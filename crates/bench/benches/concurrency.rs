@@ -1,0 +1,103 @@
+//! P9 — "we can exploit the concurrency access … features of an RDBMS"
+//! (paper §2.2).
+//!
+//! Measures aggregate query throughput as reader threads are added, and
+//! the same with a concurrent updater thread in the background. Expected
+//! shape: near-linear read scaling (readers share the RwLock), with a
+//! modest dip when a writer competes.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xomatiq_bench::{corpus, FIGURE9};
+use xomatiq_core::{ShreddingStrategy, SourceKind, Xomatiq};
+use xomatiq_datahounds::source::LoadOptions;
+
+const SCALE: usize = 2_000;
+const QUERIES_PER_THREAD: usize = 8;
+
+fn build() -> Arc<Xomatiq> {
+    let data = corpus(SCALE);
+    let xq = Xomatiq::in_memory();
+    xq.load_source_with(
+        "hlx_enzyme.DEFAULT",
+        SourceKind::Enzyme,
+        &data.enzyme_flat(),
+        LoadOptions {
+            strategy: ShreddingStrategy::Interval,
+            with_indexes: true,
+            validate: false,
+        },
+    )
+    .expect("load");
+    Arc::new(xq)
+}
+
+fn run_readers(xq: &Arc<Xomatiq>, threads: usize) -> usize {
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let xq = Arc::clone(xq);
+            std::thread::spawn(move || {
+                let mut rows = 0;
+                for _ in 0..QUERIES_PER_THREAD {
+                    rows += xq.query(FIGURE9).expect("query runs").rows.len();
+                }
+                rows
+            })
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("no panic"))
+        .sum()
+}
+
+fn bench_concurrency(c: &mut Criterion) {
+    let xq = build();
+    let mut group = c.benchmark_group("concurrent_readers");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.throughput(Throughput::Elements((threads * QUERIES_PER_THREAD) as u64));
+        group.bench_with_input(BenchmarkId::new("readers", threads), &threads, |b, t| {
+            b.iter(|| std::hint::black_box(run_readers(&xq, *t)));
+        });
+    }
+    // Readers with a background updater continuously modifying one entry.
+    let data = corpus(SCALE);
+    for threads in [2usize, 4] {
+        group.throughput(Throughput::Elements((threads * QUERIES_PER_THREAD) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("readers_with_writer", threads),
+            &threads,
+            |b, t| {
+                b.iter(|| {
+                    let stop = Arc::new(AtomicBool::new(false));
+                    let writer = {
+                        let xq = Arc::clone(&xq);
+                        let stop = Arc::clone(&stop);
+                        let mut snapshot = data.enzymes.clone();
+                        std::thread::spawn(move || {
+                            let mut round = 0usize;
+                            while !stop.load(Ordering::Relaxed) {
+                                snapshot[0].descriptions = vec![format!("Writer round {round}.")];
+                                let flat: String = snapshot.iter().map(|e| e.to_flat()).collect();
+                                xq.update_source("hlx_enzyme.DEFAULT", &flat)
+                                    .expect("update applies");
+                                round += 1;
+                            }
+                        })
+                    };
+                    let rows = run_readers(&xq, *t);
+                    stop.store(true, Ordering::Relaxed);
+                    writer.join().expect("writer exits");
+                    std::hint::black_box(rows)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_concurrency);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! P8 — regular-expression motif matching (paper §4's claimed advantage
+//! over SQL-only systems; sequence data handling from §2.2).
+//!
+//! Measures `matches()` motif scans over warehoused protein sequences,
+//! varying corpus size and pattern complexity. The NFA engine is
+//! linear-time, so latency should scale with total sequence volume and
+//! stay insensitive to pattern pathology.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xomatiq_bench::{build_warehouse, corpus};
+use xomatiq_core::ShreddingStrategy;
+
+fn bench_motif(c: &mut Criterion) {
+    let mut group = c.benchmark_group("motif_scan");
+    group.sample_size(10);
+    let patterns = [
+        ("literal", "MKNV"),
+        ("glyco_site", "N[^P][ST][^P]"),
+        ("counted", "[LIV]{3}.{2,5}[DE]"),
+        ("alternation", "(AG|GA){2}[KR]$"),
+    ];
+    for scale in [500usize, 2_000] {
+        let data = corpus(scale);
+        let xq = build_warehouse(&data, ShreddingStrategy::Interval, true);
+        for (name, pattern) in patterns {
+            let query = format!(
+                r#"FOR $b IN document("hlx_sprot.all")/hlx_p_sequence
+                   WHERE matches($b//sequence, "{pattern}")
+                   RETURN $b//sprot_accession_number"#
+            );
+            group.bench_with_input(BenchmarkId::new(name, scale), &scale, |b, _| {
+                b.iter(|| {
+                    let outcome = xq.query(&query).expect("motif scan runs");
+                    std::hint::black_box(outcome.rows.len())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_motif);
+criterion_main!(benches);

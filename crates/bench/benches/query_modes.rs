@@ -1,0 +1,42 @@
+//! P1 — "majority of XomatiQ queries … can be evaluated efficiently over
+//! relational database systems" (paper §3.2).
+//!
+//! Measures the latency of the paper's three published query modes
+//! (Figure 8 keyword search, Figure 9 sub-tree search, Figure 11 join) on
+//! fully indexed warehouses of growing size. Expected shape: latency grows
+//! far slower than corpus size for the index-served modes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xomatiq_bench::{build_warehouse, corpus, FIGURE11, FIGURE8, FIGURE9};
+use xomatiq_core::ShreddingStrategy;
+
+fn bench_query_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_modes");
+    group.sample_size(10);
+    for scale in [500usize, 2_000, 8_000] {
+        let data = corpus(scale);
+        let xq = build_warehouse(&data, ShreddingStrategy::Interval, true);
+        for (mode, query) in [
+            ("keyword_fig8", FIGURE8),
+            ("subtree_fig9", FIGURE9),
+            ("join_fig11", FIGURE11),
+        ] {
+            // Figure 8's result is the cross product of two independent
+            // binding sets — its OUTPUT grows quadratically with corpus
+            // size, so it is only meaningful at the smaller scales.
+            if mode == "keyword_fig8" && scale > 2_000 {
+                continue;
+            }
+            group.bench_with_input(BenchmarkId::new(mode, scale), &scale, |b, _| {
+                b.iter(|| {
+                    let outcome = xq.query(query).expect("query runs");
+                    std::hint::black_box(outcome.rows.len())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_modes);
+criterion_main!(benches);

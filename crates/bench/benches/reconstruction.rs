@@ -1,0 +1,74 @@
+//! P3 — "reconstruction of entire large XML document from the tuples is
+//! expensive compared to the query processing time in the RDBMS"
+//! (paper §3.3).
+//!
+//! Compares, for documents of growing size, (a) the SQL query that fetches
+//! one value out of a document against (b) full Relation2XML
+//! reconstruction of that document plus serialization. Expected shape:
+//! reconstruction dominates and grows linearly with document size, while
+//! the point query stays flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xomatiq_bioflat::EnzymeEntry;
+use xomatiq_core::{ShreddingStrategy, SourceKind, Xomatiq};
+use xomatiq_datahounds::source::LoadOptions;
+
+/// A single enzyme entry with `n` comments — a document of ~2n nodes.
+fn big_entry(n: usize) -> EnzymeEntry {
+    EnzymeEntry {
+        id: "1.1.1.1".into(),
+        descriptions: vec!["Synthetic large-document enzyme.".into()],
+        comments: (0..n)
+            .map(|i| format!("Observation number {i} about the catalytic mechanism."))
+            .collect(),
+        ..EnzymeEntry::default()
+    }
+}
+
+fn bench_reconstruction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reconstruction");
+    group.sample_size(10);
+    for doc_nodes in [100usize, 1_000, 5_000] {
+        let entry = big_entry(doc_nodes / 2);
+        let xq = Xomatiq::in_memory();
+        xq.load_source_with(
+            "c",
+            SourceKind::Enzyme,
+            &entry.to_flat(),
+            LoadOptions {
+                strategy: ShreddingStrategy::Interval,
+                with_indexes: true,
+                validate: false,
+            },
+        )
+        .expect("load");
+
+        let point_query = r#"FOR $a IN document("c")/hlx_enzyme
+                             WHERE $a//enzyme_id = "1.1.1.1"
+                             RETURN $a//enzyme_description"#;
+        group.bench_with_input(
+            BenchmarkId::new("point_query", doc_nodes),
+            &doc_nodes,
+            |b, _| {
+                b.iter(|| {
+                    let outcome = xq.query(point_query).expect("runs");
+                    std::hint::black_box(outcome.rows.len())
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reconstruct_and_serialize", doc_nodes),
+            &doc_nodes,
+            |b, _| {
+                b.iter(|| {
+                    let doc = xq.reconstruct("c", "1.1.1.1").expect("reconstructs");
+                    std::hint::black_box(xomatiq_xml::to_string(&doc).len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reconstruction);
+criterion_main!(benches);

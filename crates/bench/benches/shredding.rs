@@ -1,0 +1,62 @@
+//! P4 — the shredding-strategy ablation (paper §2.2 design choices).
+//!
+//! The paper's generic schema is proprietary; DESIGN.md brackets it with
+//! the Edge and Interval encodings its citations describe. This bench
+//! measures (a) bulk-load throughput and (b) a containment-flavoured query
+//! under each strategy. Expected shape: Edge loads slightly faster (no
+//! region bookkeeping); Interval answers descendant-scoped queries with
+//! pure integer predicates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xomatiq_bench::{build_enzyme_warehouse, corpus};
+use xomatiq_core::ShreddingStrategy;
+
+fn bench_shredding(c: &mut Criterion) {
+    let mut load_group = c.benchmark_group("shred_load");
+    load_group.sample_size(10);
+    for scale in [500usize, 2_000] {
+        let data = corpus(scale);
+        load_group.throughput(Throughput::Elements(scale as u64));
+        for strategy in [ShreddingStrategy::Edge, ShreddingStrategy::Interval] {
+            load_group.bench_with_input(
+                BenchmarkId::new(format!("{strategy:?}"), scale),
+                &scale,
+                |b, _| {
+                    b.iter(|| {
+                        let xq = build_enzyme_warehouse(&data, strategy, true);
+                        std::hint::black_box(xq.doc_count("hlx_enzyme.DEFAULT").unwrap())
+                    });
+                },
+            );
+        }
+    }
+    load_group.finish();
+
+    let mut query_group = c.benchmark_group("shred_containment_query");
+    query_group.sample_size(10);
+    // A sub-tree search is the containment-heavy shape: the witness must
+    // lie inside the bound entry's region.
+    let subtree = r#"FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+                     WHERE contains($a//db_entry, "Copper")
+                     RETURN $a//enzyme_id"#;
+    for scale in [2_000usize] {
+        let data = corpus(scale);
+        for strategy in [ShreddingStrategy::Edge, ShreddingStrategy::Interval] {
+            let xq = build_enzyme_warehouse(&data, strategy, true);
+            query_group.bench_with_input(
+                BenchmarkId::new(format!("{strategy:?}"), scale),
+                &scale,
+                |b, _| {
+                    b.iter(|| {
+                        let outcome = xq.query(subtree).expect("runs");
+                        std::hint::black_box(outcome.rows.len())
+                    });
+                },
+            );
+        }
+    }
+    query_group.finish();
+}
+
+criterion_group!(benches, bench_shredding);
+criterion_main!(benches);

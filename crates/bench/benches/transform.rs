@@ -1,0 +1,105 @@
+//! P5 — the flat → XML conversion pipeline (paper §2.1).
+//!
+//! Measures XML-Transformer throughput (entries/second) for each of the
+//! three source formats: flat-file parse, document construction, and DTD
+//! validation, separately and combined.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xomatiq_bench::corpus;
+use xomatiq_bioflat::embl::parse_embl_file;
+use xomatiq_bioflat::enzyme::parse_enzyme_file;
+use xomatiq_bioflat::swissprot::parse_swissprot_file;
+use xomatiq_datahounds::transform::{
+    embl_dtd, embl_to_xml, enzyme_dtd, enzyme_to_xml, swissprot_dtd, swissprot_to_xml,
+};
+use xomatiq_xml::dtd::validate;
+
+const SCALE: usize = 1_000;
+
+fn bench_transform(c: &mut Criterion) {
+    let data = corpus(SCALE);
+    let enzyme_flat = data.enzyme_flat();
+    let embl_flat = data.embl_flat();
+    let swissprot_flat = data.swissprot_flat();
+
+    let mut group = c.benchmark_group("xml_transform");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(SCALE as u64));
+
+    group.bench_function(BenchmarkId::new("parse_flat", "enzyme"), |b| {
+        b.iter(|| std::hint::black_box(parse_enzyme_file(&enzyme_flat).unwrap().len()));
+    });
+    group.bench_function(BenchmarkId::new("parse_flat", "embl"), |b| {
+        b.iter(|| std::hint::black_box(parse_embl_file(&embl_flat).unwrap().len()));
+    });
+    group.bench_function(BenchmarkId::new("parse_flat", "swissprot"), |b| {
+        b.iter(|| std::hint::black_box(parse_swissprot_file(&swissprot_flat).unwrap().len()));
+    });
+
+    group.bench_function(BenchmarkId::new("to_xml", "enzyme"), |b| {
+        b.iter(|| {
+            let mut nodes = 0usize;
+            for e in &data.enzymes {
+                nodes += enzyme_to_xml(e).unwrap().len();
+            }
+            std::hint::black_box(nodes)
+        });
+    });
+    group.bench_function(BenchmarkId::new("to_xml", "embl"), |b| {
+        b.iter(|| {
+            let mut nodes = 0usize;
+            for e in &data.embl {
+                nodes += embl_to_xml(e).unwrap().len();
+            }
+            std::hint::black_box(nodes)
+        });
+    });
+    group.bench_function(BenchmarkId::new("to_xml", "swissprot"), |b| {
+        b.iter(|| {
+            let mut nodes = 0usize;
+            for e in &data.swissprot {
+                nodes += swissprot_to_xml(e).unwrap().len();
+            }
+            std::hint::black_box(nodes)
+        });
+    });
+
+    // The full §2.1 path: parse + transform + validate.
+    group.bench_function(BenchmarkId::new("full_pipeline", "enzyme"), |b| {
+        let dtd = enzyme_dtd();
+        b.iter(|| {
+            let entries = parse_enzyme_file(&enzyme_flat).unwrap();
+            for e in &entries {
+                let doc = enzyme_to_xml(e).unwrap();
+                validate(&doc, &dtd).unwrap();
+            }
+            std::hint::black_box(entries.len())
+        });
+    });
+    group.bench_function(BenchmarkId::new("full_pipeline", "embl"), |b| {
+        let dtd = embl_dtd();
+        b.iter(|| {
+            let entries = parse_embl_file(&embl_flat).unwrap();
+            for e in &entries {
+                let doc = embl_to_xml(e).unwrap();
+                validate(&doc, &dtd).unwrap();
+            }
+            std::hint::black_box(entries.len())
+        });
+    });
+    group.bench_function(BenchmarkId::new("full_pipeline", "swissprot"), |b| {
+        let dtd = swissprot_dtd();
+        b.iter(|| {
+            let entries = parse_swissprot_file(&swissprot_flat).unwrap();
+            for e in &entries {
+                let doc = swissprot_to_xml(e).unwrap();
+                validate(&doc, &dtd).unwrap();
+            }
+            std::hint::black_box(entries.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_transform);
+criterion_main!(benches);

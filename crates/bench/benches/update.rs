@@ -1,0 +1,58 @@
+//! P6 — incremental updates (paper §2 requirement 2 and §2.2 end).
+//!
+//! Measures re-synchronization cost against a new source snapshot as a
+//! function of the fraction of entries that actually changed. Expected
+//! shape: cost scales with the change fraction, NOT with warehouse size —
+//! that is the point of entry-level diffing ("without any information
+//! being left out or added twice") versus a full reload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xomatiq_bench::{build_enzyme_warehouse, corpus};
+use xomatiq_core::ShreddingStrategy;
+
+const SCALE: usize = 2_000;
+
+fn bench_update(c: &mut Criterion) {
+    let data = corpus(SCALE);
+    let mut group = c.benchmark_group("incremental_update");
+    group.sample_size(10);
+
+    for changed_percent in [1usize, 10, 50] {
+        let changed = SCALE * changed_percent / 100;
+        // The new snapshot: the first `changed` entries get new text.
+        let mut v2 = data.enzymes.clone();
+        for entry in v2.iter_mut().take(changed) {
+            entry.descriptions = vec![format!("Revised: {}", entry.descriptions[0])];
+        }
+        let flat_v2: String = v2.iter().map(|e| e.to_flat()).collect();
+        group.bench_with_input(
+            BenchmarkId::new("resync", format!("{changed_percent}pct")),
+            &changed_percent,
+            |b, _| {
+                b.iter_batched(
+                    || build_enzyme_warehouse(&data, ShreddingStrategy::Interval, true),
+                    |xq| {
+                        let events = xq
+                            .update_source("hlx_enzyme.DEFAULT", &flat_v2)
+                            .expect("update");
+                        assert_eq!(events.len(), changed);
+                        std::hint::black_box(events.len())
+                    },
+                    criterion::BatchSize::PerIteration,
+                );
+            },
+        );
+    }
+
+    // Baseline: what a full reload would cost instead.
+    group.bench_function("full_reload_baseline", |b| {
+        b.iter(|| {
+            let xq = build_enzyme_warehouse(&data, ShreddingStrategy::Interval, true);
+            std::hint::black_box(xq.doc_count("hlx_enzyme.DEFAULT").unwrap())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_update);
+criterion_main!(benches);

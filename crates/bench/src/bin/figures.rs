@@ -1,0 +1,165 @@
+//! Regenerates every figure of the paper as a textual artifact.
+//!
+//! Run all: `cargo run --release -p xomatiq-bench --bin figures`
+//! Run one: `cargo run --release -p xomatiq-bench --bin figures -- fig6`
+//!
+//! Figure map (see DESIGN.md §4):
+//!   fig2  — the sample ENZYME entry (flat form)
+//!   fig4  — line types and codes, derived from the parser
+//!   fig5  — the generated ENZYME DTD
+//!   fig6  — the XML version of the fig2 entry
+//!   fig7  — sub-tree search "ketone" with both result panels
+//!   fig8  — keyword search "cdc6" over EMBL + Swiss-Prot
+//!   fig9  — the textual form of the fig7 query
+//!   fig11 — the textual form of the join query
+//!   fig12 — join results, table + XML panels
+
+use xomatiq_bench::{build_warehouse, corpus};
+use xomatiq_bioflat::enzyme::{parse_enzyme_file, FIGURE2_SAMPLE};
+use xomatiq_core::render::{render_table, render_tree};
+use xomatiq_core::tagger::tag_results;
+use xomatiq_core::{QueryBuilder, ShreddingStrategy, Xomatiq};
+use xomatiq_datahounds::transform::{enzyme_dtd, enzyme_to_xml};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let all = which == "all";
+    let want = |name: &str| all || which == name;
+
+    if want("fig2") {
+        banner("Figure 2 — sample ENZYME entry");
+        print!("{FIGURE2_SAMPLE}");
+    }
+    if want("fig4") {
+        banner("Figure 4 — line types and their codes");
+        for (code, description, cardinality) in [
+            ("ID", "Identification", "begins each entry, 1 per entry"),
+            ("DE", "Description", ">=1 per entry"),
+            ("AN", "Alternate name(s)", ">=0 per entry"),
+            ("CA", "Catalytic activity", ">=0 per entry"),
+            ("CF", "Cofactor(s)", ">=0 per entry"),
+            ("CC", "Comments", ">=0 per entry"),
+            ("DI", "Diseases", ">=0 per entry"),
+            ("PR", "Cross-references to PROSITE", ">=0 per entry"),
+            ("DR", "Cross-references to SWISS-PROT", ">=0 per entry"),
+            ("//", "Termination line", "ends each entry"),
+        ] {
+            println!("{code:<4} {description:<32} {cardinality}");
+        }
+    }
+    if want("fig5") {
+        banner("Figure 5 — DTD of the ENZYME database");
+        print!("{}", enzyme_dtd());
+    }
+    if want("fig6") {
+        banner("Figure 6 — XML data of Figure 2");
+        let entry = parse_enzyme_file(FIGURE2_SAMPLE)
+            .expect("fixture parses")
+            .remove(0);
+        let doc = enzyme_to_xml(&entry).expect("transforms");
+        print!("{}", xomatiq_xml::to_string_pretty(&doc));
+    }
+
+    // The query figures run against a standard synthetic warehouse.
+    let needs_warehouse = ["fig7", "fig8", "fig9", "fig11", "fig12"]
+        .iter()
+        .any(|f| want(f));
+    if !needs_warehouse {
+        return;
+    }
+    let scale = 500;
+    eprintln!("(building a {scale}-entry warehouse for the query figures...)");
+    let data = corpus(scale);
+    let xq: Xomatiq = build_warehouse(&data, ShreddingStrategy::Interval, true);
+
+    let fig9_query = QueryBuilder::subtree_search(
+        "a",
+        "hlx_enzyme.DEFAULT",
+        "/hlx_enzyme",
+        "$a//catalytic_activity",
+        "ketone",
+        &["$a//enzyme_id", "$a//enzyme_description"],
+    )
+    .expect("figure 9 builds");
+
+    if want("fig9") {
+        banner("Figure 9 — sub-tree query (text form)");
+        println!("{fig9_query}");
+    }
+    if want("fig7") {
+        banner("Figure 7 — querying the ENZYME database");
+        println!("-- (a) the formulated query --\n{fig9_query}\n");
+        let outcome = xq.run_query(&fig9_query).expect("runs");
+        println!("-- (b) results: left panel (table) --");
+        print_preview(&outcome, 8);
+        if let Some(first) = outcome.rows.first() {
+            let key = first[0].to_string();
+            let doc = xq
+                .reconstruct("hlx_enzyme.DEFAULT", &key)
+                .expect("reconstructs");
+            println!("-- (b) results: right panel (document {key}) --");
+            println!("{}", render_tree(&doc));
+        }
+    }
+    if want("fig8") {
+        banner("Figure 8 — keyword-based query (text form + results)");
+        let query = QueryBuilder::keyword_search(
+            &[
+                ("a", "hlx_embl.inv", "/hlx_n_sequence"),
+                ("b", "hlx_sprot.all", "/hlx_p_sequence"),
+            ],
+            "cdc6",
+            &["$b//sprot_accession_number", "$a//embl_accession_number"],
+        )
+        .expect("figure 8 builds");
+        println!("{query}\n");
+        let outcome = xq.run_query(&query).expect("runs");
+        print_preview(&outcome, 8);
+    }
+
+    let join_query = QueryBuilder::join(
+        ("a", "hlx_embl.inv", "/hlx_n_sequence/db_entry"),
+        ("b", "hlx_enzyme.DEFAULT", "/hlx_enzyme/db_entry"),
+        "$a//qualifier[@qualifier_type = \"EC number\"]",
+        "$b/enzyme_id",
+        &[
+            ("Accession_Number", "$a//embl_accession_number"),
+            ("Accession_Description", "$a//description"),
+        ],
+    )
+    .expect("figure 11 builds");
+
+    if want("fig11") {
+        banner("Figure 11 — text version of the join query");
+        println!("{join_query}");
+    }
+    if want("fig12") {
+        banner("Figure 12 — results of the join query");
+        let outcome = xq.run_query(&join_query).expect("runs");
+        println!("-- left panel (table) --");
+        print_preview(&outcome, 8);
+        println!("-- left panel (XML structure format, truncated) --");
+        let tagged = tag_results(&outcome).expect("taggable");
+        let xml = xomatiq_xml::to_string_pretty(&tagged);
+        for line in xml.lines().take(12) {
+            println!("{line}");
+        }
+        println!("...");
+    }
+}
+
+fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+fn print_preview(outcome: &xomatiq_core::QueryOutcome, n: usize) {
+    let preview = xomatiq_core::QueryOutcome {
+        columns: outcome.columns.clone(),
+        rows: outcome.rows.iter().take(n).cloned().collect(),
+        sql: String::new(),
+    };
+    println!("{}", render_table(&preview));
+    if outcome.rows.len() > n {
+        println!("... {} rows total\n", outcome.rows.len());
+    }
+}

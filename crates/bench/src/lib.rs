@@ -1,0 +1,123 @@
+//! Shared workload builders for the XomatiQ benchmark suite and the
+//! figure-regeneration binary.
+//!
+//! DESIGN.md §4 maps every figure and prose performance claim of the paper
+//! to a bench target in this crate; EXPERIMENTS.md records the measured
+//! outcomes.
+
+use xomatiq_bioflat::{Corpus, CorpusSpec};
+use xomatiq_core::{ShreddingStrategy, SourceKind, Xomatiq};
+use xomatiq_datahounds::source::LoadOptions;
+
+/// The paper's Figure 8 query (keyword search over two databases).
+pub const FIGURE8: &str = r#"
+FOR $a IN document("hlx_embl.inv")/hlx_n_sequence,
+    $b IN document("hlx_sprot.all")/hlx_p_sequence
+WHERE contains($a, "cdc6", any)
+  AND contains($b, "cdc6", any)
+RETURN $b//sprot_accession_number, $a//embl_accession_number
+"#;
+
+/// The paper's Figure 9 query (sub-tree search).
+pub const FIGURE9: &str = r#"
+FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+WHERE contains($a//catalytic_activity, "ketone")
+RETURN $a//enzyme_id, $a//enzyme_description
+"#;
+
+/// The paper's Figure 11 query (cross-database join on EC number).
+pub const FIGURE11: &str = r#"
+FOR $a IN document("hlx_embl.inv")/hlx_n_sequence/db_entry,
+    $b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+WHERE $a//qualifier[@qualifier_type = "EC number"] = $b/enzyme_id
+RETURN $Accession_Number = $a//embl_accession_number,
+       $Accession_Description = $a//description
+"#;
+
+/// The standard benchmark corpus at `scale` entries per database.
+pub fn corpus(scale: usize) -> Corpus {
+    Corpus::generate(&CorpusSpec {
+        enzymes: scale,
+        embl: scale,
+        swissprot: scale,
+        keyword_rate: 0.05,
+        link_rate: 0.3,
+        ketone_rate: 0.1,
+        seed: 42,
+    })
+}
+
+/// Builds a fully loaded three-collection warehouse.
+pub fn build_warehouse(
+    corpus: &Corpus,
+    strategy: ShreddingStrategy,
+    with_indexes: bool,
+) -> Xomatiq {
+    let xq = Xomatiq::in_memory();
+    let options = LoadOptions {
+        strategy,
+        with_indexes,
+        validate: false,
+    };
+    xq.load_source_with(
+        "hlx_enzyme.DEFAULT",
+        SourceKind::Enzyme,
+        &corpus.enzyme_flat(),
+        options,
+    )
+    .expect("load enzyme");
+    xq.load_source_with(
+        "hlx_embl.inv",
+        SourceKind::Embl,
+        &corpus.embl_flat(),
+        options,
+    )
+    .expect("load embl");
+    xq.load_source_with(
+        "hlx_sprot.all",
+        SourceKind::SwissProt,
+        &corpus.swissprot_flat(),
+        options,
+    )
+    .expect("load swissprot");
+    xq
+}
+
+/// Builds a warehouse holding only the ENZYME collection (for benches that
+/// do not need the other two databases).
+pub fn build_enzyme_warehouse(
+    corpus: &Corpus,
+    strategy: ShreddingStrategy,
+    with_indexes: bool,
+) -> Xomatiq {
+    let xq = Xomatiq::in_memory();
+    let options = LoadOptions {
+        strategy,
+        with_indexes,
+        validate: false,
+    };
+    xq.load_source_with(
+        "hlx_enzyme.DEFAULT",
+        SourceKind::Enzyme,
+        &corpus.enzyme_flat(),
+        options,
+    )
+    .expect("load enzyme");
+    xq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warehouse_builders_work() {
+        let c = corpus(10);
+        let xq = build_warehouse(&c, ShreddingStrategy::Interval, true);
+        assert_eq!(xq.collections().len(), 3);
+        let outcome = xq.query(FIGURE9).unwrap();
+        assert_eq!(outcome.columns.len(), 2);
+        let xq2 = build_enzyme_warehouse(&c, ShreddingStrategy::Edge, false);
+        assert_eq!(xq2.collections().len(), 1);
+    }
+}

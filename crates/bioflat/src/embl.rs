@@ -1,0 +1,352 @@
+//! The EMBL nucleotide database flat format (simplified).
+//!
+//! The paper's Figure 8 queries `hlx_embl.inv` (the EMBL invertebrate
+//! division) and Figure 11 joins EMBL feature qualifiers of type
+//! `EC number` against the ENZYME database. This module models the subset
+//! of the EMBL flat format those queries touch: identification, accession,
+//! description, keywords, organism, the feature table with qualifiers, and
+//! the sequence block — which is also what exercises the paper's
+//! sequence/non-sequence storage distinction (§2.2).
+
+use crate::error::{FlatError, FlatResult};
+use crate::line::wrap_lines;
+
+const FORMAT: &str = "EMBL";
+
+/// One feature-table qualifier, e.g. `/EC_number="1.14.17.3"`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Qualifier {
+    /// Qualifier name without the leading slash, e.g. `EC_number`.
+    pub name: String,
+    /// Qualifier value with quotes stripped.
+    pub value: String,
+}
+
+/// One feature-table entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Feature {
+    /// Feature key, e.g. `CDS` or `gene`.
+    pub key: String,
+    /// Location string, e.g. `1..1020`.
+    pub location: String,
+    /// Qualifiers in order.
+    pub qualifiers: Vec<Qualifier>,
+}
+
+/// One EMBL entry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EmblEntry {
+    /// Primary accession number (`ID`/`AC`), e.g. `AB000001`.
+    pub accession: String,
+    /// Molecule type, e.g. `mRNA`.
+    pub molecule: String,
+    /// Taxonomic division code, e.g. `INV`.
+    pub division: String,
+    /// Description (`DE`).
+    pub description: String,
+    /// Keywords (`KW`).
+    pub keywords: Vec<String>,
+    /// Organism species (`OS`).
+    pub organism: String,
+    /// Feature table (`FT`).
+    pub features: Vec<Feature>,
+    /// Nucleotide sequence (`SQ` block), lowercase ACGT.
+    pub sequence: String,
+}
+
+impl EmblEntry {
+    /// Parses one entry from its lines (terminator excluded).
+    pub fn parse_lines(lines: &[&str]) -> FlatResult<EmblEntry> {
+        let mut entry = EmblEntry::default();
+        let mut in_sequence = false;
+        for (i, raw) in lines.iter().enumerate() {
+            let lineno = i + 1;
+            let line = raw.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            if in_sequence {
+                // Sequence lines are indented data: letters grouped in
+                // blocks, optionally followed by a position number.
+                let seq: String = line
+                    .chars()
+                    .filter(|c| c.is_ascii_alphabetic())
+                    .map(|c| c.to_ascii_lowercase())
+                    .collect();
+                entry.sequence.push_str(&seq);
+                continue;
+            }
+            let code = line.get(0..2).unwrap_or(line);
+            let data = line.get(5..).unwrap_or("").trim_end();
+            match code {
+                "ID" => {
+                    // `AB000001; SV 1; linear; mRNA; STD; INV; 1020 BP.`
+                    let fields: Vec<&str> = data.split(';').map(str::trim).collect();
+                    if fields.is_empty() || fields[0].is_empty() {
+                        return Err(FlatError::at(FORMAT, lineno, "empty ID line"));
+                    }
+                    entry.accession = fields[0].to_string();
+                    if let Some(mol) = fields.get(3) {
+                        entry.molecule = mol.to_string();
+                    }
+                    if let Some(div) = fields.get(5) {
+                        entry.division = div.to_string();
+                    }
+                }
+                "AC" => {
+                    if entry.accession.is_empty() {
+                        entry.accession = data.split(';').next().unwrap_or("").trim().to_string();
+                    }
+                }
+                "DE" => {
+                    if !entry.description.is_empty() {
+                        entry.description.push(' ');
+                    }
+                    entry.description.push_str(data.trim());
+                }
+                "KW" => {
+                    for kw in data.split(';') {
+                        let kw = kw.trim().trim_end_matches('.').trim();
+                        if !kw.is_empty() {
+                            entry.keywords.push(kw.to_string());
+                        }
+                    }
+                }
+                "OS" => {
+                    if !entry.organism.is_empty() {
+                        entry.organism.push(' ');
+                    }
+                    entry.organism.push_str(data.trim());
+                }
+                "FT" => parse_feature_line(&mut entry, data, lineno)?,
+                "SQ" => in_sequence = true,
+                "XX" => {} // spacer lines in real EMBL files
+                other => {
+                    return Err(FlatError::at(
+                        FORMAT,
+                        lineno,
+                        format!("unknown line code {other:?}"),
+                    ));
+                }
+            }
+        }
+        if entry.accession.is_empty() {
+            return Err(FlatError::new(FORMAT, "entry has no accession"));
+        }
+        Ok(entry)
+    }
+
+    /// Writes the entry back to flat format, including the terminator.
+    pub fn to_flat(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "ID   {}; SV 1; linear; {}; STD; {}; {} BP.\n",
+            self.accession,
+            self.molecule,
+            self.division,
+            self.sequence.len()
+        ));
+        out.push_str(&format!("AC   {};\n", self.accession));
+        if !self.description.is_empty() {
+            wrap_lines("DE", &self.description, &mut out);
+        }
+        if !self.keywords.is_empty() {
+            let joined = format!("{}.", self.keywords.join("; "));
+            wrap_lines("KW", &joined, &mut out);
+        }
+        if !self.organism.is_empty() {
+            wrap_lines("OS", &self.organism, &mut out);
+        }
+        for feature in &self.features {
+            out.push_str(&format!("FT   {:<16}{}\n", feature.key, feature.location));
+            for q in &feature.qualifiers {
+                out.push_str(&format!("FT   {:<16}/{}=\"{}\"\n", "", q.name, q.value));
+            }
+        }
+        if !self.sequence.is_empty() {
+            out.push_str(&format!("SQ   Sequence {} BP;\n", self.sequence.len()));
+            for chunk in self.sequence.as_bytes().chunks(60) {
+                out.push_str("     ");
+                for block in chunk.chunks(10) {
+                    out.push_str(std::str::from_utf8(block).expect("ascii sequence"));
+                    out.push(' ');
+                }
+                out.push('\n');
+            }
+        }
+        out.push_str("//\n");
+        out
+    }
+}
+
+fn parse_feature_line(entry: &mut EmblEntry, data: &str, lineno: usize) -> FlatResult<()> {
+    if data.starts_with(char::is_whitespace) || data.starts_with('/') {
+        // Qualifier or continuation within the current feature.
+        let text = data.trim();
+        let feature = entry.features.last_mut().ok_or_else(|| {
+            FlatError::at(FORMAT, lineno, "feature qualifier before any feature key")
+        })?;
+        if let Some(q) = text.strip_prefix('/') {
+            match q.split_once('=') {
+                Some((name, value)) => feature.qualifiers.push(Qualifier {
+                    name: name.trim().to_string(),
+                    value: value.trim().trim_matches('"').to_string(),
+                }),
+                // A bare flag qualifier like /pseudo.
+                None => feature.qualifiers.push(Qualifier {
+                    name: q.trim().to_string(),
+                    value: String::new(),
+                }),
+            }
+        } else if let Some(last) = feature.qualifiers.last_mut() {
+            // Continuation of a quoted qualifier value.
+            last.value.push(' ');
+            last.value.push_str(text.trim_matches('"'));
+        } else {
+            // Continuation of the location.
+            feature.location.push_str(text);
+        }
+    } else {
+        let (key, location) = match data.split_once(char::is_whitespace) {
+            Some((k, rest)) => (k.to_string(), rest.trim().to_string()),
+            None => (data.to_string(), String::new()),
+        };
+        entry.features.push(Feature {
+            key,
+            location,
+            qualifiers: Vec::new(),
+        });
+    }
+    Ok(())
+}
+
+/// Parses a whole EMBL flat file into entries.
+pub fn parse_embl_file(input: &str) -> FlatResult<Vec<EmblEntry>> {
+    crate::line::split_entries(input)
+        .iter()
+        .map(|lines| EmblEntry::parse_lines(lines))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+ID   AB000001; SV 1; linear; mRNA; STD; INV; 120 BP.
+AC   AB000001;
+DE   Drosophila melanogaster mRNA for cell division cycle protein cdc6.
+KW   cdc6; cell cycle.
+OS   Drosophila melanogaster
+FT   source          1..120
+FT                   /organism=\"Drosophila melanogaster\"
+FT   CDS             1..120
+FT                   /gene=\"cdc6\"
+FT                   /EC_number=\"1.14.17.3\"
+FT                   /product=\"cell division control protein\"
+SQ   Sequence 120 BP;
+     acgtacgtac gtacgtacgt acgtacgtac gtacgtacgt acgtacgtac gtacgtacgt
+     acgtacgtac gtacgtacgt acgtacgtac gtacgtacgt acgtacgtac gtacgtacgt
+//
+";
+
+    #[test]
+    fn parses_sample_entry() {
+        let entries = parse_embl_file(SAMPLE).unwrap();
+        assert_eq!(entries.len(), 1);
+        let e = &entries[0];
+        assert_eq!(e.accession, "AB000001");
+        assert_eq!(e.molecule, "mRNA");
+        assert_eq!(e.division, "INV");
+        assert!(e.description.contains("cdc6"));
+        assert_eq!(e.keywords, vec!["cdc6", "cell cycle"]);
+        assert_eq!(e.organism, "Drosophila melanogaster");
+        assert_eq!(e.features.len(), 2);
+        let cds = &e.features[1];
+        assert_eq!(cds.key, "CDS");
+        assert_eq!(cds.location, "1..120");
+        assert_eq!(cds.qualifiers.len(), 3);
+        assert_eq!(
+            cds.qualifiers[1],
+            Qualifier {
+                name: "EC_number".into(),
+                value: "1.14.17.3".into()
+            }
+        );
+        assert_eq!(e.sequence.len(), 120);
+        assert!(e.sequence.chars().all(|c| "acgt".contains(c)));
+    }
+
+    #[test]
+    fn round_trips_through_flat_format() {
+        let entries = parse_embl_file(SAMPLE).unwrap();
+        let rewritten = entries[0].to_flat();
+        let reparsed = parse_embl_file(&rewritten).unwrap();
+        assert_eq!(entries, reparsed);
+    }
+
+    #[test]
+    fn multi_line_description_joins() {
+        let text =
+            "ID   X1; SV 1; linear; mRNA; STD; INV; 0 BP.\nDE   first part\nDE   second part\n//\n";
+        let e = &parse_embl_file(text).unwrap()[0];
+        assert_eq!(e.description, "first part second part");
+    }
+
+    #[test]
+    fn long_qualifier_value_continuation() {
+        let text = "ID   X1; SV 1; linear; mRNA; STD; INV; 0 BP.\nFT   CDS             1..9\nFT                   /note=\"a long note\nFT                   that continues\"\n//\n";
+        let e = &parse_embl_file(text).unwrap()[0];
+        assert_eq!(
+            e.features[0].qualifiers[0].value,
+            "a long note that continues"
+        );
+    }
+
+    #[test]
+    fn flag_qualifier_without_value() {
+        let text = "ID   X1; SV 1; linear; mRNA; STD; INV; 0 BP.\nFT   CDS             1..9\nFT                   /pseudo\n//\n";
+        let e = &parse_embl_file(text).unwrap()[0];
+        assert_eq!(e.features[0].qualifiers[0].name, "pseudo");
+        assert_eq!(e.features[0].qualifiers[0].value, "");
+    }
+
+    #[test]
+    fn rejects_bad_entries() {
+        assert!(parse_embl_file("DE   no id\n//\n").is_err());
+        assert!(parse_embl_file("ZZ   ?\n//\n").is_err());
+        // Qualifier before any feature.
+        assert!(parse_embl_file(
+            "ID   X; SV 1; a; b; c; d; 0 BP.\nFT                   /x=\"1\"\n//\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn accession_from_ac_when_id_missing() {
+        let e = &parse_embl_file("AC   Z99999;\n//\n").unwrap()[0];
+        assert_eq!(e.accession, "Z99999");
+    }
+
+    #[test]
+    fn xx_spacer_lines_are_ignored() {
+        let text = "ID   X1; SV 1; linear; mRNA; STD; INV; 0 BP.\nXX\nDE   described\nXX\n//\n";
+        let e = &parse_embl_file(text).unwrap()[0];
+        assert_eq!(e.description, "described");
+    }
+
+    #[test]
+    fn sequence_round_trip_any_length() {
+        for len in [0usize, 1, 59, 60, 61, 137] {
+            let entry = EmblEntry {
+                accession: "T1".into(),
+                molecule: "mRNA".into(),
+                division: "INV".into(),
+                sequence: "acgt".chars().cycle().take(len).collect(),
+                ..EmblEntry::default()
+            };
+            let reparsed = &parse_embl_file(&entry.to_flat()).unwrap()[0];
+            assert_eq!(reparsed.sequence, entry.sequence, "len {len}");
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! The ENZYME database flat format (paper §2.1, Figures 2–4).
+//!
+//! Each entry describes one characterized enzyme with an EC number. The
+//! paper's Figure 4 enumerates the line types; this module parses and
+//! writes all of them, treating each `CA` line as its own catalytic
+//! activity fragment and folding `CC` continuation lines into the comment
+//! opened by the preceding `-!-` marker — exactly the element grouping
+//! shown in the Figure 6 XML.
+
+use crate::error::{FlatError, FlatResult};
+use crate::line::{split_entries, split_line, wrap_lines, CodedLine};
+
+const FORMAT: &str = "ENZYME";
+
+/// A cross-reference to Swiss-Prot (`DR` line item).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwissProtRef {
+    /// The Swiss-Prot accession number, e.g. `P10731`.
+    pub accession: String,
+    /// The entry name, e.g. `AMD_BOVIN`.
+    pub name: String,
+}
+
+/// A disease association (`DI` line).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiseaseRef {
+    /// Disease description text.
+    pub description: String,
+    /// The MIM catalogue number of the disease.
+    pub mim_id: String,
+}
+
+/// One entry of the ENZYME database.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EnzymeEntry {
+    /// The EC number (`ID` line), e.g. `1.14.17.3`.
+    pub id: String,
+    /// Recommended names (`DE`; at least one in a valid entry).
+    pub descriptions: Vec<String>,
+    /// Alternative names (`AN`).
+    pub alternate_names: Vec<String>,
+    /// Catalytic activity fragments (`CA`; one per line, per Figure 6).
+    pub catalytic_activities: Vec<String>,
+    /// Cofactors (`CF`; semicolon-separated on one line).
+    pub cofactors: Vec<String>,
+    /// Comments (`CC`; `-!-` starts a comment, continuations fold in).
+    pub comments: Vec<String>,
+    /// PROSITE accession numbers (`PR` lines).
+    pub prosite_refs: Vec<String>,
+    /// Swiss-Prot cross-references (`DR` lines).
+    pub swissprot_refs: Vec<SwissProtRef>,
+    /// Disease associations (`DI` lines).
+    pub diseases: Vec<DiseaseRef>,
+}
+
+impl EnzymeEntry {
+    /// Parses one entry from its lines (terminator excluded).
+    pub fn parse_lines(lines: &[&str]) -> FlatResult<EnzymeEntry> {
+        let mut entry = EnzymeEntry::default();
+        for (i, raw) in lines.iter().enumerate() {
+            let Some(CodedLine { code, data }) = split_line(raw) else {
+                continue;
+            };
+            let lineno = i + 1;
+            match code {
+                "ID" => {
+                    if !entry.id.is_empty() {
+                        return Err(FlatError::at(FORMAT, lineno, "duplicate ID line"));
+                    }
+                    entry.id = data.trim().to_string();
+                }
+                "DE" => entry.descriptions.push(data.trim().to_string()),
+                "AN" => entry.alternate_names.push(trim_period(data)),
+                "CA" => entry.catalytic_activities.push(data.trim().to_string()),
+                "CF" => {
+                    for cf in data.split(';') {
+                        let cf = trim_period(cf);
+                        if !cf.is_empty() {
+                            entry.cofactors.push(cf);
+                        }
+                    }
+                }
+                "CC" => {
+                    let text = data.trim();
+                    if let Some(fresh) = text.strip_prefix("-!-") {
+                        entry.comments.push(fresh.trim().to_string());
+                    } else if let Some(last) = entry.comments.last_mut() {
+                        last.push(' ');
+                        last.push_str(text);
+                    } else {
+                        return Err(FlatError::at(
+                            FORMAT,
+                            lineno,
+                            "CC continuation before any '-!-' comment",
+                        ));
+                    }
+                }
+                "PR" => {
+                    // `PROSITE; PDOC00080;`
+                    let mut parts = data.split(';').map(str::trim);
+                    match (parts.next(), parts.next()) {
+                        (Some("PROSITE"), Some(acc)) if !acc.is_empty() => {
+                            entry.prosite_refs.push(acc.to_string());
+                        }
+                        _ => {
+                            return Err(FlatError::at(
+                                FORMAT,
+                                lineno,
+                                format!("malformed PR line {data:?}"),
+                            ))
+                        }
+                    }
+                }
+                "DR" => {
+                    // `P10731, AMD_BOVIN ;  P19021, AMD_HUMAN ;`
+                    for item in data.split(';') {
+                        let item = item.trim();
+                        if item.is_empty() {
+                            continue;
+                        }
+                        let (acc, name) = item.split_once(',').ok_or_else(|| {
+                            FlatError::at(FORMAT, lineno, format!("malformed DR item {item:?}"))
+                        })?;
+                        entry.swissprot_refs.push(SwissProtRef {
+                            accession: acc.trim().to_string(),
+                            name: name.trim().to_string(),
+                        });
+                    }
+                }
+                "DI" => {
+                    // `Peptidylglycine deficiency; MIM:123456.`
+                    let text = trim_period(data);
+                    let (desc, mim) = text.rsplit_once(';').ok_or_else(|| {
+                        FlatError::at(FORMAT, lineno, format!("malformed DI line {data:?}"))
+                    })?;
+                    let mim_id = mim
+                        .trim()
+                        .strip_prefix("MIM:")
+                        .ok_or_else(|| FlatError::at(FORMAT, lineno, "DI line missing MIM: tag"))?
+                        .to_string();
+                    entry.diseases.push(DiseaseRef {
+                        description: desc.trim().to_string(),
+                        mim_id,
+                    });
+                }
+                other => {
+                    return Err(FlatError::at(
+                        FORMAT,
+                        lineno,
+                        format!("unknown line code {other:?}"),
+                    ));
+                }
+            }
+        }
+        if entry.id.is_empty() {
+            return Err(FlatError::new(FORMAT, "entry has no ID line"));
+        }
+        if entry.descriptions.is_empty() {
+            return Err(FlatError::new(
+                FORMAT,
+                format!("entry {} has no DE line", entry.id),
+            ));
+        }
+        Ok(entry)
+    }
+
+    /// Writes the entry back to flat format, including the terminator.
+    pub fn to_flat(&self) -> String {
+        let mut out = String::new();
+        wrap_lines("ID", &self.id, &mut out);
+        for de in &self.descriptions {
+            wrap_lines("DE", de, &mut out);
+        }
+        for an in &self.alternate_names {
+            wrap_lines("AN", &format!("{an}."), &mut out);
+        }
+        for ca in &self.catalytic_activities {
+            // Each activity fragment stays on its own CA line (Figure 6
+            // produces one element per line), so no wrapping here.
+            out.push_str(&crate::line::format_line("CA", ca));
+            out.push('\n');
+        }
+        if !self.cofactors.is_empty() {
+            let joined = self
+                .cofactors
+                .iter()
+                .map(String::as_str)
+                .collect::<Vec<_>>()
+                .join("; ");
+            wrap_lines("CF", &format!("{joined}."), &mut out);
+        }
+        for comment in &self.comments {
+            // First line carries the -!- marker; continuations are wrapped.
+            let full = format!("-!- {comment}");
+            wrap_lines("CC", &full, &mut out);
+        }
+        for pr in &self.prosite_refs {
+            wrap_lines("PR", &format!("PROSITE; {pr};"), &mut out);
+        }
+        if !self.swissprot_refs.is_empty() {
+            // Two references per DR line, like the real database.
+            for chunk in self.swissprot_refs.chunks(2) {
+                let items = chunk
+                    .iter()
+                    .map(|r| format!("{}, {} ;", r.accession, r.name))
+                    .collect::<Vec<_>>()
+                    .join("  ");
+                out.push_str(&crate::line::format_line("DR", &items));
+                out.push('\n');
+            }
+        }
+        for di in &self.diseases {
+            wrap_lines(
+                "DI",
+                &format!("{}; MIM:{}.", di.description, di.mim_id),
+                &mut out,
+            );
+        }
+        out.push_str("//\n");
+        out
+    }
+}
+
+fn trim_period(s: &str) -> String {
+    s.trim().trim_end_matches('.').trim_end().to_string()
+}
+
+/// Parses a whole ENZYME flat file into entries.
+pub fn parse_enzyme_file(input: &str) -> FlatResult<Vec<EnzymeEntry>> {
+    split_entries(input)
+        .iter()
+        .map(|lines| EnzymeEntry::parse_lines(lines))
+        .collect()
+}
+
+/// The sample entry of the paper's Figure 2 (EC 1.14.17.3), verbatim in
+/// structure. Used by the figure-regeneration harness and golden tests.
+pub const FIGURE2_SAMPLE: &str = "\
+ID   1.14.17.3
+DE   Peptidylglycine monooxygenase.
+AN   Peptidyl alpha-amidating enzyme.
+AN   Peptidylglycine 2-hydroxylase.
+CA   Peptidylglycine + ascorbate + O(2) = peptidyl(2-hydroxyglycine) +
+CA   dehydroascorbate + H(2)O.
+CF   Copper.
+CC   -!- Peptidylglycines with a neutral amino acid residue in the
+CC       penultimate position are the best substrates for the enzyme.
+CC   -!- The enzyme also catalyzes the dismutation of the product to
+CC       glyoxylate and the corresponding desglycine peptide amide.
+PR   PROSITE; PDOC00080;
+DR   P10731, AMD_BOVIN ;  P19021, AMD_HUMAN ;
+DR   P14925, AMD_RAT ;  P08478, AMD1_XENLA ;
+DR   P12890, AMD2_XENLA ;
+//
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure2_sample() {
+        let entries = parse_enzyme_file(FIGURE2_SAMPLE).unwrap();
+        assert_eq!(entries.len(), 1);
+        let e = &entries[0];
+        assert_eq!(e.id, "1.14.17.3");
+        assert_eq!(e.descriptions, vec!["Peptidylglycine monooxygenase."]);
+        assert_eq!(
+            e.alternate_names,
+            vec![
+                "Peptidyl alpha-amidating enzyme",
+                "Peptidylglycine 2-hydroxylase"
+            ]
+        );
+        assert_eq!(e.catalytic_activities.len(), 2);
+        assert_eq!(
+            e.catalytic_activities[0],
+            "Peptidylglycine + ascorbate + O(2) = peptidyl(2-hydroxyglycine) +"
+        );
+        assert_eq!(e.cofactors, vec!["Copper"]);
+        assert_eq!(e.comments.len(), 2);
+        assert!(e.comments[0].starts_with("Peptidylglycines with a neutral"));
+        assert!(e.comments[0].ends_with("substrates for the enzyme."));
+        assert_eq!(e.prosite_refs, vec!["PDOC00080"]);
+        assert_eq!(e.swissprot_refs.len(), 5);
+        assert_eq!(
+            e.swissprot_refs[0],
+            SwissProtRef {
+                accession: "P10731".into(),
+                name: "AMD_BOVIN".into()
+            }
+        );
+        assert_eq!(e.swissprot_refs[4].accession, "P12890");
+        assert!(e.diseases.is_empty());
+    }
+
+    #[test]
+    fn round_trips_through_flat_format() {
+        let entries = parse_enzyme_file(FIGURE2_SAMPLE).unwrap();
+        let rewritten = entries[0].to_flat();
+        let reparsed = parse_enzyme_file(&rewritten).unwrap();
+        assert_eq!(entries, reparsed);
+    }
+
+    #[test]
+    fn parses_diseases() {
+        let text = "ID   1.2.3.4\nDE   Test enzyme.\nDI   Orotic aciduria; MIM:258900.\n//\n";
+        let e = &parse_enzyme_file(text).unwrap()[0];
+        assert_eq!(
+            e.diseases,
+            vec![DiseaseRef {
+                description: "Orotic aciduria".into(),
+                mim_id: "258900".into()
+            }]
+        );
+        let rewritten = e.to_flat();
+        assert_eq!(&parse_enzyme_file(&rewritten).unwrap()[0], e);
+    }
+
+    #[test]
+    fn multiple_entries() {
+        let text = format!("{FIGURE2_SAMPLE}ID   1.1.1.1\nDE   Alcohol dehydrogenase.\n//\n");
+        let entries = parse_enzyme_file(&text).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[1].id, "1.1.1.1");
+    }
+
+    #[test]
+    fn multiple_cofactors_on_one_line() {
+        let text = "ID   1.2.3.4\nDE   X.\nCF   Copper; Zinc; Magnesium.\n//\n";
+        let e = &parse_enzyme_file(text).unwrap()[0];
+        assert_eq!(e.cofactors, vec!["Copper", "Zinc", "Magnesium"]);
+    }
+
+    #[test]
+    fn rejects_malformed_entries() {
+        // Missing ID.
+        assert!(parse_enzyme_file("DE   Only description.\n//\n").is_err());
+        // Missing DE.
+        assert!(parse_enzyme_file("ID   1.1.1.1\n//\n").is_err());
+        // Duplicate ID.
+        assert!(parse_enzyme_file("ID   a\nID   b\nDE   x.\n//\n").is_err());
+        // Unknown code.
+        assert!(parse_enzyme_file("ID   a\nDE   x.\nZZ   ?\n//\n").is_err());
+        // CC continuation without an open comment.
+        assert!(parse_enzyme_file("ID   a\nDE   x.\nCC       dangling\n//\n").is_err());
+        // Malformed DR (no comma).
+        assert!(parse_enzyme_file("ID   a\nDE   x.\nDR   P10731 AMD ;\n//\n").is_err());
+        // Malformed PR.
+        assert!(parse_enzyme_file("ID   a\nDE   x.\nPR   NOTPROSITE; X;\n//\n").is_err());
+        // DI without MIM.
+        assert!(parse_enzyme_file("ID   a\nDE   x.\nDI   Disease only.\n//\n").is_err());
+    }
+
+    #[test]
+    fn long_comment_wraps_and_round_trips() {
+        let entry = EnzymeEntry {
+            id: "9.9.9.9".into(),
+            descriptions: vec!["Test.".into()],
+            comments: vec![
+                "This is a very long comment that definitely will not fit on a single \
+                 seventy-three character flat file line and therefore must wrap across \
+                 several continuation lines to survive."
+                    .into(),
+            ],
+            ..EnzymeEntry::default()
+        };
+        let flat = entry.to_flat();
+        assert!(flat.lines().filter(|l| l.starts_with("CC")).count() > 1);
+        let reparsed = &parse_enzyme_file(&flat).unwrap()[0];
+        assert_eq!(reparsed.comments, entry.comments);
+    }
+}

@@ -1,0 +1,65 @@
+//! Flat-file parsing errors.
+
+use std::fmt;
+
+/// Result alias for flat-file operations.
+pub type FlatResult<T> = Result<T, FlatError>;
+
+/// An error raised while parsing a flat-file database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatError {
+    /// Which database format was being parsed.
+    pub format: &'static str,
+    /// 1-based line number of the offending line, when known.
+    pub line: Option<usize>,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl FlatError {
+    /// Creates an error without a line position.
+    pub fn new(format: &'static str, message: impl Into<String>) -> Self {
+        FlatError {
+            format,
+            line: None,
+            message: message.into(),
+        }
+    }
+
+    /// Creates an error at a 1-based line number.
+    pub fn at(format: &'static str, line: usize, message: impl Into<String>) -> Self {
+        FlatError {
+            format,
+            line: Some(line),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for FlatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "{} line {line}: {}", self.format, self.message),
+            None => write!(f, "{}: {}", self.format, self.message),
+        }
+    }
+}
+
+impl std::error::Error for FlatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            FlatError::at("ENZYME", 7, "missing ID").to_string(),
+            "ENZYME line 7: missing ID"
+        );
+        assert_eq!(
+            FlatError::new("EMBL", "empty input").to_string(),
+            "EMBL: empty input"
+        );
+    }
+}

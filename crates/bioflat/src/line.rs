@@ -1,0 +1,186 @@
+//! The shared line discipline of the flat-file formats.
+//!
+//! Figure 3 of the paper: characters 1–2 carry a two-character line code,
+//! characters 3–5 are blank, and the data occupies characters 6 up to 78.
+//! Every entry begins with an `ID` line and ends with a `//` terminator
+//! (Figure 4). This module provides the split/join primitives the
+//! per-format parsers and writers build on.
+
+/// Maximum width of the data portion of a line (characters 6..=78).
+pub const DATA_WIDTH: usize = 73;
+
+/// A raw flat-file line: its two-character code and its data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodedLine<'a> {
+    /// The two-character line code (e.g. `ID`, `DE`, `//`).
+    pub code: &'a str,
+    /// The data portion, already stripped of the code and padding.
+    pub data: &'a str,
+}
+
+/// Splits one physical line into code and data per Figure 3.
+///
+/// Returns `None` for blank lines. The terminator `//` has empty data.
+pub fn split_line(line: &str) -> Option<CodedLine<'_>> {
+    let trimmed_end = line.trim_end();
+    if trimmed_end.is_empty() {
+        return None;
+    }
+    if trimmed_end == "//" {
+        return Some(CodedLine {
+            code: "//",
+            data: "",
+        });
+    }
+    let code = trimmed_end.get(0..2).unwrap_or(trimmed_end);
+    let data = trimmed_end.get(5..).unwrap_or("");
+    Some(CodedLine { code, data })
+}
+
+/// Formats one logical line per Figure 3: `CC···data`.
+pub fn format_line(code: &str, data: &str) -> String {
+    if code == "//" {
+        return "//".to_string();
+    }
+    if data.is_empty() {
+        return code.to_string();
+    }
+    format!("{code:<5}{data}")
+}
+
+/// Wraps `data` into as many Figure 3 lines as needed, breaking at spaces
+/// so no data portion exceeds [`DATA_WIDTH`].
+pub fn wrap_lines(code: &str, data: &str, out: &mut String) {
+    if data.len() <= DATA_WIDTH {
+        out.push_str(&format_line(code, data));
+        out.push('\n');
+        return;
+    }
+    let mut rest = data;
+    while !rest.is_empty() {
+        if rest.len() <= DATA_WIDTH {
+            out.push_str(&format_line(code, rest));
+            out.push('\n');
+            break;
+        }
+        // Break at the last space within the width; hard-break if none.
+        let cut = rest[..=DATA_WIDTH.min(rest.len() - 1)]
+            .rfind(' ')
+            .filter(|c| *c > 0)
+            .unwrap_or(DATA_WIDTH);
+        let (head, tail) = rest.split_at(cut);
+        out.push_str(&format_line(code, head.trim_end()));
+        out.push('\n');
+        rest = tail.trim_start();
+    }
+}
+
+/// Splits a multi-entry flat file into entry chunks at `//` terminators.
+/// Each returned chunk contains the entry's lines *without* the terminator.
+pub fn split_entries(input: &str) -> Vec<Vec<&str>> {
+    let mut entries = Vec::new();
+    let mut current: Vec<&str> = Vec::new();
+    for line in input.lines() {
+        if line.trim_end() == "//" {
+            if !current.is_empty() {
+                entries.push(std::mem::take(&mut current));
+            }
+        } else if !line.trim().is_empty() {
+            current.push(line);
+        }
+    }
+    // A trailing unterminated entry is kept: truncated downloads should not
+    // silently drop data, the per-entry parser reports the real problem.
+    if !current.is_empty() {
+        entries.push(current);
+    }
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_line_extracts_code_and_data() {
+        let l = split_line("ID   1.14.17.3").unwrap();
+        assert_eq!(l.code, "ID");
+        assert_eq!(l.data, "1.14.17.3");
+        let de = split_line("DE   Peptidylglycine monooxygenase.").unwrap();
+        assert_eq!(de.code, "DE");
+        assert_eq!(de.data, "Peptidylglycine monooxygenase.");
+    }
+
+    #[test]
+    fn split_line_terminator_and_blank() {
+        assert_eq!(split_line("//").unwrap().code, "//");
+        assert_eq!(split_line("//  ").unwrap().code, "//");
+        assert!(split_line("").is_none());
+        assert!(split_line("   ").is_none());
+    }
+
+    #[test]
+    fn split_line_short_lines() {
+        // A bare code with no data.
+        let l = split_line("CC").unwrap();
+        assert_eq!(l.code, "CC");
+        assert_eq!(l.data, "");
+    }
+
+    #[test]
+    fn format_line_round_trips() {
+        for (code, data) in [("ID", "1.1.1.1"), ("DE", "Some name."), ("CC", "")] {
+            let line = format_line(code, data);
+            let parsed = split_line(&line).unwrap();
+            assert_eq!(parsed.code, code);
+            assert_eq!(parsed.data, data);
+        }
+        assert_eq!(format_line("//", ""), "//");
+    }
+
+    #[test]
+    fn wrap_lines_respects_width() {
+        let long = "word ".repeat(40);
+        let mut out = String::new();
+        wrap_lines("CA", long.trim_end(), &mut out);
+        for line in out.lines() {
+            assert!(line.len() <= 5 + DATA_WIDTH, "{line:?} too long");
+            assert!(line.starts_with("CA   "));
+        }
+        // Re-joining the data restores the original text.
+        let rejoined: Vec<&str> = out.lines().map(|l| split_line(l).unwrap().data).collect();
+        assert_eq!(rejoined.join(" "), long.trim_end());
+    }
+
+    #[test]
+    fn wrap_lines_handles_unbreakable_runs() {
+        let unbreakable = "x".repeat(200);
+        let mut out = String::new();
+        wrap_lines("SQ", &unbreakable, &mut out);
+        let total: String = out.lines().map(|l| split_line(l).unwrap().data).collect();
+        assert_eq!(total, unbreakable);
+    }
+
+    #[test]
+    fn split_entries_at_terminators() {
+        let input = "ID   a\nDE   x\n//\nID   b\n//\n";
+        let entries = split_entries(input);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0], vec!["ID   a", "DE   x"]);
+        assert_eq!(entries[1], vec!["ID   b"]);
+    }
+
+    #[test]
+    fn split_entries_keeps_unterminated_tail() {
+        let entries = split_entries("ID   a\n//\nID   trailing");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[1], vec!["ID   trailing"]);
+    }
+
+    #[test]
+    fn split_entries_skips_blank_lines() {
+        let entries = split_entries("\nID   a\n\nDE   x\n//\n\n");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].len(), 2);
+    }
+}

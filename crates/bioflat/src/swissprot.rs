@@ -1,0 +1,268 @@
+//! The Swiss-Prot protein knowledge base flat format (simplified).
+//!
+//! Swiss-Prot is the second database of the paper's Figure 8 keyword query
+//! (`hlx_sprot.all`) and the target of the ENZYME `DR` cross-references.
+//! This module models the identification, accession, description, gene
+//! name, organism, keyword, cross-reference and sequence lines.
+
+use crate::error::{FlatError, FlatResult};
+use crate::line::wrap_lines;
+
+const FORMAT: &str = "Swiss-Prot";
+
+/// A database cross-reference (`DR` line), e.g. to EMBL or PROSITE.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DbXref {
+    /// Target database name, e.g. `EMBL`.
+    pub database: String,
+    /// Primary identifier in the target database.
+    pub id: String,
+}
+
+/// One Swiss-Prot entry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SwissProtEntry {
+    /// Entry name (`ID`), e.g. `AMD_BOVIN`.
+    pub name: String,
+    /// Primary accession number (`AC`), e.g. `P10731`.
+    pub accession: String,
+    /// Description (`DE`).
+    pub description: String,
+    /// Gene name (`GN`).
+    pub gene: String,
+    /// Organism species (`OS`).
+    pub organism: String,
+    /// Keywords (`KW`).
+    pub keywords: Vec<String>,
+    /// Cross-references (`DR`).
+    pub xrefs: Vec<DbXref>,
+    /// Amino-acid sequence (`SQ` block), uppercase one-letter codes.
+    pub sequence: String,
+}
+
+impl SwissProtEntry {
+    /// Parses one entry from its lines (terminator excluded).
+    pub fn parse_lines(lines: &[&str]) -> FlatResult<SwissProtEntry> {
+        let mut entry = SwissProtEntry::default();
+        let mut in_sequence = false;
+        for (i, raw) in lines.iter().enumerate() {
+            let lineno = i + 1;
+            let line = raw.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            if in_sequence {
+                let seq: String = line
+                    .chars()
+                    .filter(|c| c.is_ascii_alphabetic())
+                    .map(|c| c.to_ascii_uppercase())
+                    .collect();
+                entry.sequence.push_str(&seq);
+                continue;
+            }
+            let code = line.get(0..2).unwrap_or(line);
+            let data = line.get(5..).unwrap_or("").trim_end();
+            match code {
+                "ID" => {
+                    // `AMD_BOVIN               Reviewed;         972 AA.`
+                    entry.name = data
+                        .split_whitespace()
+                        .next()
+                        .ok_or_else(|| FlatError::at(FORMAT, lineno, "empty ID line"))?
+                        .to_string();
+                }
+                "AC" => {
+                    if entry.accession.is_empty() {
+                        entry.accession = data.split(';').next().unwrap_or("").trim().to_string();
+                    }
+                }
+                "DE" => {
+                    if !entry.description.is_empty() {
+                        entry.description.push(' ');
+                    }
+                    entry.description.push_str(data.trim());
+                }
+                "GN" => {
+                    // `Name=cdc6;`
+                    let text = data.trim();
+                    entry.gene = text
+                        .strip_prefix("Name=")
+                        .unwrap_or(text)
+                        .trim_end_matches(';')
+                        .to_string();
+                }
+                "OS" => {
+                    if !entry.organism.is_empty() {
+                        entry.organism.push(' ');
+                    }
+                    entry.organism.push_str(data.trim().trim_end_matches('.'));
+                }
+                "KW" => {
+                    for kw in data.split(';') {
+                        let kw = kw.trim().trim_end_matches('.').trim();
+                        if !kw.is_empty() {
+                            entry.keywords.push(kw.to_string());
+                        }
+                    }
+                }
+                "DR" => {
+                    // `EMBL; AB000001; -.`
+                    let mut parts = data.split(';').map(str::trim);
+                    let database = parts.next().unwrap_or("").to_string();
+                    let id = parts.next().unwrap_or("").to_string();
+                    if database.is_empty() || id.is_empty() {
+                        return Err(FlatError::at(
+                            FORMAT,
+                            lineno,
+                            format!("malformed DR line {data:?}"),
+                        ));
+                    }
+                    entry.xrefs.push(DbXref { database, id });
+                }
+                "SQ" => in_sequence = true,
+                "XX" | "CC" | "FT" | "OC" | "OX" | "RN" | "RP" | "RA" | "RT" | "RL" => {
+                    // Narrative/citation lines we model as opaque: skipped.
+                }
+                other => {
+                    return Err(FlatError::at(
+                        FORMAT,
+                        lineno,
+                        format!("unknown line code {other:?}"),
+                    ));
+                }
+            }
+        }
+        if entry.name.is_empty() {
+            return Err(FlatError::new(FORMAT, "entry has no ID line"));
+        }
+        if entry.accession.is_empty() {
+            return Err(FlatError::new(
+                FORMAT,
+                format!("entry {} has no AC line", entry.name),
+            ));
+        }
+        Ok(entry)
+    }
+
+    /// Writes the entry back to flat format, including the terminator.
+    pub fn to_flat(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "ID   {:<24}Reviewed; {:>9} AA.\n",
+            self.name,
+            self.sequence.len()
+        ));
+        out.push_str(&format!("AC   {};\n", self.accession));
+        if !self.description.is_empty() {
+            wrap_lines("DE", &self.description, &mut out);
+        }
+        if !self.gene.is_empty() {
+            out.push_str(&format!("GN   Name={};\n", self.gene));
+        }
+        if !self.organism.is_empty() {
+            wrap_lines("OS", &format!("{}.", self.organism), &mut out);
+        }
+        if !self.keywords.is_empty() {
+            let joined = format!("{}.", self.keywords.join("; "));
+            wrap_lines("KW", &joined, &mut out);
+        }
+        for x in &self.xrefs {
+            out.push_str(&format!("DR   {}; {}; -.\n", x.database, x.id));
+        }
+        if !self.sequence.is_empty() {
+            out.push_str(&format!("SQ   SEQUENCE {} AA;\n", self.sequence.len()));
+            for chunk in self.sequence.as_bytes().chunks(60) {
+                out.push_str("     ");
+                for block in chunk.chunks(10) {
+                    out.push_str(std::str::from_utf8(block).expect("ascii sequence"));
+                    out.push(' ');
+                }
+                out.push('\n');
+            }
+        }
+        out.push_str("//\n");
+        out
+    }
+}
+
+/// Parses a whole Swiss-Prot flat file into entries.
+pub fn parse_swissprot_file(input: &str) -> FlatResult<Vec<SwissProtEntry>> {
+    crate::line::split_entries(input)
+        .iter()
+        .map(|lines| SwissProtEntry::parse_lines(lines))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+ID   AMD_BOVIN               Reviewed;        60 AA.
+AC   P10731;
+DE   Peptidylglycine alpha-amidating monooxygenase precursor.
+GN   Name=PAM;
+OS   Bos taurus.
+KW   Monooxygenase; Copper; cdc6.
+DR   EMBL; AB000001; -.
+DR   PROSITE; PDOC00080; -.
+SQ   SEQUENCE 60 AA;
+     MAGRARSGLL LLLLGLLALQ SSCLAFRSPL SVFKRFKETT RSFSNECLGT TRPVIPIDSS
+//
+";
+
+    #[test]
+    fn parses_sample_entry() {
+        let entries = parse_swissprot_file(SAMPLE).unwrap();
+        assert_eq!(entries.len(), 1);
+        let e = &entries[0];
+        assert_eq!(e.name, "AMD_BOVIN");
+        assert_eq!(e.accession, "P10731");
+        assert!(e.description.contains("monooxygenase"));
+        assert_eq!(e.gene, "PAM");
+        assert_eq!(e.organism, "Bos taurus");
+        assert_eq!(e.keywords, vec!["Monooxygenase", "Copper", "cdc6"]);
+        assert_eq!(e.xrefs.len(), 2);
+        assert_eq!(
+            e.xrefs[0],
+            DbXref {
+                database: "EMBL".into(),
+                id: "AB000001".into()
+            }
+        );
+        assert_eq!(e.sequence.len(), 60);
+    }
+
+    #[test]
+    fn round_trips_through_flat_format() {
+        let entries = parse_swissprot_file(SAMPLE).unwrap();
+        let rewritten = entries[0].to_flat();
+        let reparsed = parse_swissprot_file(&rewritten).unwrap();
+        assert_eq!(entries, reparsed);
+    }
+
+    #[test]
+    fn narrative_lines_are_skipped() {
+        let text = "ID   X_Y   Reviewed;  0 AA.\nAC   P1;\nCC   free text here\nRN   [1]\nRA   Some Author;\n//\n";
+        let e = &parse_swissprot_file(text).unwrap()[0];
+        assert_eq!(e.name, "X_Y");
+    }
+
+    #[test]
+    fn rejects_bad_entries() {
+        assert!(parse_swissprot_file("AC   P1;\n//\n").is_err()); // no ID
+        assert!(parse_swissprot_file("ID   X  Reviewed; 0 AA.\n//\n").is_err()); // no AC
+        assert!(parse_swissprot_file("ID   X  Reviewed; 0 AA.\nAC   P1;\nQQ   ?\n//\n").is_err());
+        assert!(
+            parse_swissprot_file("ID   X  Reviewed; 0 AA.\nAC   P1;\nDR   EMBLONLY\n//\n").is_err()
+        );
+    }
+
+    #[test]
+    fn multiple_entries() {
+        let two = format!("{SAMPLE}ID   OTHER_HUMAN  Reviewed; 0 AA.\nAC   Q00001;\n//\n");
+        let entries = parse_swissprot_file(&two).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[1].accession, "Q00001");
+    }
+}

@@ -1,0 +1,51 @@
+//! Property tests: generated corpora of any size and seed survive
+//! write-to-flat → reparse unchanged. This is the contract Data Hounds
+//! relies on — what the transformer reads is exactly what the source
+//! database contained.
+
+use proptest::prelude::*;
+use xomatiq_bioflat::embl::parse_embl_file;
+use xomatiq_bioflat::enzyme::parse_enzyme_file;
+use xomatiq_bioflat::swissprot::parse_swissprot_file;
+use xomatiq_bioflat::{Corpus, CorpusSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn corpus_flat_files_round_trip(
+        seed in 0u64..10_000,
+        enzymes in 0usize..40,
+        embl in 0usize..40,
+        swissprot in 0usize..40,
+        keyword_rate in 0.0f64..1.0,
+        link_rate in 0.0f64..1.0,
+        ketone_rate in 0.0f64..1.0,
+    ) {
+        let spec = CorpusSpec {
+            enzymes, embl, swissprot, seed, keyword_rate, link_rate, ketone_rate,
+        };
+        let corpus = Corpus::generate(&spec);
+        prop_assert_eq!(parse_enzyme_file(&corpus.enzyme_flat()).unwrap(), corpus.enzymes.clone());
+        prop_assert_eq!(parse_embl_file(&corpus.embl_flat()).unwrap(), corpus.embl.clone());
+        prop_assert_eq!(
+            parse_swissprot_file(&corpus.swissprot_flat()).unwrap(),
+            corpus.swissprot
+        );
+    }
+
+    #[test]
+    fn ground_truth_is_consistent(seed in 0u64..10_000) {
+        let corpus = Corpus::generate(&CorpusSpec { seed, ..CorpusSpec::default() });
+        // Every planted link names a real EMBL entry and a real enzyme.
+        for (acc, ec) in &corpus.planted_ec_links {
+            prop_assert!(corpus.embl.iter().any(|e| &e.accession == acc));
+            prop_assert!(corpus.enzymes.iter().any(|e| &e.id == ec));
+        }
+        // cdc6 truth lists exactly the entries whose text mentions cdc6.
+        for e in &corpus.embl {
+            let mentions = e.description.to_lowercase().contains("cdc6");
+            prop_assert_eq!(mentions, corpus.cdc6_embl.contains(&e.accession));
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! Programmatic query formulation — the three modes of the visual
+//! interface (paper §3.1).
+//!
+//! The paper's GUI shows the collection DTD on the left and lets the user
+//! click elements and enter conditions; the "Translate Query" button then
+//! produces the textual form. [`QueryBuilder`] is that interaction as an
+//! API: the same three modes (keyword search, sub-tree search, join),
+//! producing the same [`FlwrQuery`] values, whose `Display` is the text
+//! the button would show.
+
+use xomatiq_xml::LabelPath;
+use xomatiq_xquery::ast::{
+    AttrPredicate, Binding, CompOp, Comparison, Condition, FlwrQuery, LetBinding, Literal, Operand,
+    PathExpr, ReturnItem,
+};
+use xomatiq_xquery::{QueryError, QueryResult};
+
+/// Builds FLWR queries the way the XomatiQ GUI does.
+#[derive(Debug, Default)]
+pub struct QueryBuilder {
+    bindings: Vec<Binding>,
+    lets: Vec<LetBinding>,
+    condition: Option<Condition>,
+    returns: Vec<ReturnItem>,
+    wrapper: Option<String>,
+}
+
+impl QueryBuilder {
+    /// Starts an empty query.
+    pub fn new() -> Self {
+        QueryBuilder::default()
+    }
+
+    // ---- mode presets ------------------------------------------------------
+
+    /// Keyword-search mode (Figure 8): one binding per collection, a
+    /// whole-document `contains(..., any)` for each, returning the given
+    /// paths. `collections` supplies `(variable, collection, root_path)`.
+    pub fn keyword_search(
+        collections: &[(&str, &str, &str)],
+        keyword: &str,
+        returns: &[&str],
+    ) -> QueryResult<FlwrQuery> {
+        let mut b = QueryBuilder::new();
+        for (var, collection, root) in collections {
+            b = b.for_var(var, collection, root)?;
+        }
+        for (var, ..) in collections {
+            b = b.where_contains_any(var, keyword);
+        }
+        for ret in returns {
+            b = b.return_path(ret)?;
+        }
+        b.build()
+    }
+
+    /// Sub-tree search mode (Figures 7/9): one binding, a `contains` on a
+    /// selected sub-tree, returning the given paths.
+    pub fn subtree_search(
+        var: &str,
+        collection: &str,
+        root: &str,
+        target: &str,
+        keyword: &str,
+        returns: &[&str],
+    ) -> QueryResult<FlwrQuery> {
+        let mut b = QueryBuilder::new()
+            .for_var(var, collection, root)?
+            .where_contains(target, keyword)?;
+        for ret in returns {
+            b = b.return_path(ret)?;
+        }
+        b.build()
+    }
+
+    /// Join mode (Figures 10/11): two bindings joined on a pair of path
+    /// expressions, returning aliased paths.
+    pub fn join(
+        left: (&str, &str, &str),
+        right: (&str, &str, &str),
+        join_left: &str,
+        join_right: &str,
+        returns: &[(&str, &str)],
+    ) -> QueryResult<FlwrQuery> {
+        let mut b = QueryBuilder::new()
+            .for_var(left.0, left.1, left.2)?
+            .for_var(right.0, right.1, right.2)?
+            .where_join(join_left, join_right)?;
+        for (alias, path) in returns {
+            b = b.return_aliased(alias, path)?;
+        }
+        b.build()
+    }
+
+    // ---- incremental construction ------------------------------------------
+
+    /// Adds a `FOR $var IN document("collection")root` binding.
+    pub fn for_var(mut self, var: &str, collection: &str, root: &str) -> QueryResult<Self> {
+        let path = LabelPath::parse(root).map_err(|e| QueryError::Parse(e.to_string()))?;
+        self.bindings.push(Binding {
+            var: var.to_string(),
+            collection: collection.to_string(),
+            path,
+        });
+        Ok(self)
+    }
+
+    /// Adds a `LET $var := pathexpr` alias binding.
+    pub fn let_var(mut self, var: &str, target: &str) -> QueryResult<Self> {
+        self.lets.push(LetBinding {
+            var: var.to_string(),
+            target: parse_path_expr(target)?,
+        });
+        Ok(self)
+    }
+
+    /// ANDs a whole-document keyword condition for `var`.
+    pub fn where_contains_any(self, var: &str, keyword: &str) -> Self {
+        let cond = Condition::Contains {
+            target: PathExpr::bare(var),
+            keyword: keyword.to_string(),
+            any: true,
+        };
+        self.and(cond)
+    }
+
+    /// ANDs a sub-tree keyword condition on a path like `$a//comment`.
+    pub fn where_contains(self, target: &str, keyword: &str) -> QueryResult<Self> {
+        let target = parse_path_expr(target)?;
+        Ok(self.and(Condition::Contains {
+            target,
+            keyword: keyword.to_string(),
+            any: false,
+        }))
+    }
+
+    /// ANDs a regular-expression condition (`matches(path, "pattern")`),
+    /// the sequence-motif primitive.
+    pub fn where_matches(self, target: &str, pattern: &str) -> QueryResult<Self> {
+        let target = parse_path_expr(target)?;
+        Ok(self.and(Condition::Matches {
+            target,
+            pattern: pattern.to_string(),
+        }))
+    }
+
+    /// ANDs a comparison against a string literal.
+    pub fn where_eq(self, path: &str, value: &str) -> QueryResult<Self> {
+        let left = parse_path_expr(path)?;
+        Ok(self.and(Condition::Compare(Comparison {
+            left,
+            op: CompOp::Eq,
+            right: Operand::Literal(Literal::Text(value.to_string())),
+        })))
+    }
+
+    /// ANDs a numeric comparison.
+    pub fn where_cmp_num(self, path: &str, op: CompOp, value: f64) -> QueryResult<Self> {
+        let left = parse_path_expr(path)?;
+        let lit = if value.fract() == 0.0 {
+            Literal::Int(value as i64)
+        } else {
+            Literal::Float(value)
+        };
+        Ok(self.and(Condition::Compare(Comparison {
+            left,
+            op,
+            right: Operand::Literal(lit),
+        })))
+    }
+
+    /// ANDs a join condition between two path expressions.
+    pub fn where_join(self, left: &str, right: &str) -> QueryResult<Self> {
+        let l = parse_path_expr(left)?;
+        let r = parse_path_expr(right)?;
+        Ok(self.and(Condition::Compare(Comparison {
+            left: l,
+            op: CompOp::Eq,
+            right: Operand::Path(r),
+        })))
+    }
+
+    /// ORs `other`'s condition into the current one (GUI's disjunctive
+    /// constraints, §3.1).
+    pub fn or_where(mut self, cond: Condition) -> Self {
+        self.condition = Some(match self.condition.take() {
+            Some(existing) => Condition::Or(Box::new(existing), Box::new(cond)),
+            None => cond,
+        });
+        self
+    }
+
+    fn and(mut self, cond: Condition) -> Self {
+        self.condition = Some(match self.condition.take() {
+            Some(existing) => Condition::And(Box::new(existing), Box::new(cond)),
+            None => cond,
+        });
+        self
+    }
+
+    /// Adds a RETURN item from a path like `$a//enzyme_id`.
+    pub fn return_path(mut self, path: &str) -> QueryResult<Self> {
+        self.returns.push(ReturnItem {
+            alias: None,
+            path: parse_path_expr(path)?,
+        });
+        Ok(self)
+    }
+
+    /// Adds an aliased RETURN item (`$Accession_Number = $a//...`).
+    pub fn return_aliased(mut self, alias: &str, path: &str) -> QueryResult<Self> {
+        self.returns.push(ReturnItem {
+            alias: Some(alias.to_string()),
+            path: parse_path_expr(path)?,
+        });
+        Ok(self)
+    }
+
+    /// Wraps the RETURN list in an element constructor.
+    pub fn wrap_in(mut self, tag: &str) -> Self {
+        self.wrapper = Some(tag.to_string());
+        self
+    }
+
+    /// Finalizes the query — the "Translate Query" button.
+    pub fn build(self) -> QueryResult<FlwrQuery> {
+        if self.bindings.is_empty() {
+            return Err(QueryError::Parse(
+                "a query needs at least one FOR binding".into(),
+            ));
+        }
+        if self.returns.is_empty() {
+            return Err(QueryError::Parse(
+                "a query needs at least one RETURN item".into(),
+            ));
+        }
+        Ok(FlwrQuery {
+            bindings: self.bindings,
+            lets: self.lets,
+            where_clause: self.condition,
+            return_items: self.returns,
+            wrapper: self.wrapper,
+        })
+    }
+}
+
+/// Parses a `$var//path[@attr = "v"]/@attr` string into a [`PathExpr`] by
+/// reusing the query parser on a minimal synthetic query.
+fn parse_path_expr(text: &str) -> QueryResult<PathExpr> {
+    let synthetic = format!("FOR $__ IN document(\"__\")/__ RETURN {text}");
+    let q = xomatiq_xquery::parse_query(&synthetic)?;
+    Ok(q.return_items.into_iter().next().expect("one item").path)
+}
+
+/// Re-exported for building predicates by hand.
+pub fn attr_predicate(name: &str, value: &str) -> AttrPredicate {
+    AttrPredicate {
+        name: name.to_string(),
+        value: value.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xomatiq_xquery::parse_query;
+
+    #[test]
+    fn subtree_mode_builds_figure9() {
+        let q = QueryBuilder::subtree_search(
+            "a",
+            "hlx_enzyme.DEFAULT",
+            "/hlx_enzyme",
+            "$a//catalytic_activity",
+            "ketone",
+            &["$a//enzyme_id", "$a//enzyme_description"],
+        )
+        .unwrap();
+        let text = q.to_string();
+        let expected = parse_query(
+            r#"FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+               WHERE contains($a//catalytic_activity, "ketone")
+               RETURN $a//enzyme_id, $a//enzyme_description"#,
+        )
+        .unwrap();
+        assert_eq!(q, expected, "built:\n{text}");
+    }
+
+    #[test]
+    fn keyword_mode_builds_figure8() {
+        let q = QueryBuilder::keyword_search(
+            &[
+                ("a", "hlx_embl.inv", "/hlx_n_sequence"),
+                ("b", "hlx_sprot.all", "/hlx_p_sequence"),
+            ],
+            "cdc6",
+            &["$b//sprot_accession_number", "$a//embl_accession_number"],
+        )
+        .unwrap();
+        let expected = parse_query(
+            r#"FOR $a IN document("hlx_embl.inv")/hlx_n_sequence,
+                   $b IN document("hlx_sprot.all")/hlx_p_sequence
+               WHERE contains($a, "cdc6", any) AND contains($b, "cdc6", any)
+               RETURN $b//sprot_accession_number, $a//embl_accession_number"#,
+        )
+        .unwrap();
+        assert_eq!(q, expected);
+    }
+
+    #[test]
+    fn join_mode_builds_figure11() {
+        let q = QueryBuilder::join(
+            ("a", "hlx_embl.inv", "/hlx_n_sequence/db_entry"),
+            ("b", "hlx_enzyme.DEFAULT", "/hlx_enzyme/db_entry"),
+            "$a//qualifier[@qualifier_type = \"EC number\"]",
+            "$b/enzyme_id",
+            &[
+                ("Accession_Number", "$a//embl_accession_number"),
+                ("Accession_Description", "$a//description"),
+            ],
+        )
+        .unwrap();
+        let expected = parse_query(
+            r#"FOR $a IN document("hlx_embl.inv")/hlx_n_sequence/db_entry,
+                   $b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+               WHERE $a//qualifier[@qualifier_type = "EC number"] = $b/enzyme_id
+               RETURN $Accession_Number = $a//embl_accession_number,
+                      $Accession_Description = $a//description"#,
+        )
+        .unwrap();
+        assert_eq!(q, expected);
+    }
+
+    #[test]
+    fn built_queries_round_trip_through_text() {
+        let q = QueryBuilder::new()
+            .for_var("a", "c", "/root")
+            .unwrap()
+            .where_eq("$a//x", "v")
+            .unwrap()
+            .where_cmp_num("$a//n/@len", CompOp::Gt, 10.0)
+            .unwrap()
+            .return_path("$a//x")
+            .unwrap()
+            .wrap_in("result")
+            .build()
+            .unwrap();
+        let reparsed = parse_query(&q.to_string()).unwrap();
+        assert_eq!(q, reparsed);
+    }
+
+    #[test]
+    fn or_where_builds_disjunction() {
+        let cond = Condition::Contains {
+            target: parse_path_expr("$a//comment").unwrap(),
+            keyword: "zinc".into(),
+            any: false,
+        };
+        let q = QueryBuilder::new()
+            .for_var("a", "c", "/r")
+            .unwrap()
+            .where_eq("$a//x", "v")
+            .unwrap()
+            .or_where(cond)
+            .return_path("$a//x")
+            .unwrap()
+            .build()
+            .unwrap();
+        assert!(matches!(q.where_clause, Some(Condition::Or(..))));
+    }
+
+    #[test]
+    fn build_validation() {
+        assert!(QueryBuilder::new().build().is_err());
+        assert!(QueryBuilder::new()
+            .for_var("a", "c", "/r")
+            .unwrap()
+            .build()
+            .is_err());
+        assert!(QueryBuilder::new().for_var("a", "c", "not a path").is_err());
+    }
+
+    #[test]
+    fn attr_predicate_helper() {
+        let p = attr_predicate("qualifier_type", "EC number");
+        assert_eq!(p.name, "qualifier_type");
+        assert_eq!(p.value, "EC number");
+    }
+}

@@ -1,0 +1,425 @@
+//! Federated queries across distributed warehouses.
+//!
+//! The paper's query language serves "the querying of one or more
+//! distributed or local warehouses managed within the gRNA" (§3). A
+//! [`Federation`] holds several [`Xomatiq`] warehouses (in a real gRNA
+//! deployment these would be remote nodes; here they are in-process
+//! instances, which exercises the same split-translate-combine path).
+//!
+//! Execution strategy for a query whose FOR bindings span warehouses:
+//!
+//! 1. the WHERE tree is split into top-level conjuncts;
+//! 2. each warehouse gets a sub-query containing its bindings, the
+//!    conjuncts touching only its variables, the RETURN items rooted at
+//!    its variables, and — as hidden extra columns — the path expressions
+//!    its variables contribute to cross-warehouse comparisons;
+//! 3. sub-queries run on their warehouses through the ordinary XQ2SQL
+//!    path;
+//! 4. the federation layer combines the partial results: hash joins on
+//!    cross-warehouse equality comparisons, filters for the other
+//!    operators, then a projection back to the user's RETURN order.
+//!
+//! Cross-warehouse disjunctions (an `OR` mixing variables of different
+//! warehouses) are rejected as unsupported, mirroring the conjunctive
+//! split; everything the paper's figures need is conjunctive.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use xomatiq_relstore::Value;
+use xomatiq_xquery::ast::{
+    CompOp, Comparison, Condition, FlwrQuery, Operand, PathExpr, ReturnItem,
+};
+use xomatiq_xquery::{parse_query, QueryError};
+
+use crate::warehouse::{QueryOutcome, Xomatiq, XomatiqError};
+
+/// A set of named warehouses queried as one system.
+#[derive(Default)]
+pub struct Federation {
+    members: Vec<(String, Arc<Xomatiq>)>,
+}
+
+impl Federation {
+    /// Creates an empty federation.
+    pub fn new() -> Self {
+        Federation::default()
+    }
+
+    /// Adds a warehouse under `name`.
+    pub fn add_warehouse(&mut self, name: &str, warehouse: Arc<Xomatiq>) {
+        self.members.push((name.to_string(), warehouse));
+    }
+
+    /// Member warehouse names.
+    pub fn members(&self) -> Vec<&str> {
+        self.members.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// The member warehouse holding `collection`, if any.
+    pub fn locate(&self, collection: &str) -> Option<&Arc<Xomatiq>> {
+        self.members
+            .iter()
+            .map(|(_, w)| w)
+            .find(|w| w.collections().iter().any(|c| c == collection))
+    }
+
+    /// Parses and runs a FLWR query that may span member warehouses.
+    pub fn query(&self, text: &str) -> Result<QueryOutcome, XomatiqError> {
+        let parsed = parse_query(text)?;
+        self.run_query(&parsed)
+    }
+
+    /// Runs a parsed query across the federation.
+    pub fn run_query(&self, query: &FlwrQuery) -> Result<QueryOutcome, XomatiqError> {
+        // Assign each binding variable to the member that holds its
+        // collection.
+        let mut var_home: HashMap<String, usize> = HashMap::new();
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new(); // (member idx, binding idxs)
+        for (bi, binding) in query.bindings.iter().enumerate() {
+            let member = self
+                .members
+                .iter()
+                .position(|(_, w)| w.collections().iter().any(|c| c == &binding.collection))
+                .ok_or_else(|| {
+                    XomatiqError::Query(QueryError::UnknownCollection(binding.collection.clone()))
+                })?;
+            var_home.insert(binding.var.clone(), member);
+            match groups.iter_mut().find(|(m, _)| *m == member) {
+                Some((_, list)) => list.push(bi),
+                None => groups.push((member, vec![bi])),
+            }
+        }
+        // LET variables inherit the home of their base variable chain.
+        let mut let_home = var_home.clone();
+        for l in &query.lets {
+            let home = let_home.get(&l.target.var).copied().ok_or_else(|| {
+                XomatiqError::Query(QueryError::UnboundVariable(l.target.var.clone()))
+            })?;
+            let_home.insert(l.var.clone(), home);
+        }
+
+        // Single warehouse: delegate wholesale.
+        if groups.len() <= 1 {
+            let (member, _) = groups.first().ok_or_else(|| {
+                XomatiqError::Query(QueryError::Parse("query has no bindings".into()))
+            })?;
+            return self.members[*member].1.run_query(query);
+        }
+
+        // Split the WHERE into conjuncts and classify by home set.
+        let mut local: Vec<Vec<Condition>> = vec![Vec::new(); groups.len()];
+        let mut cross: Vec<Condition> = Vec::new();
+        if let Some(cond) = &query.where_clause {
+            for conjunct in split_and(cond) {
+                let vars = condition_vars(&conjunct);
+                let homes: std::collections::BTreeSet<usize> = vars
+                    .iter()
+                    .map(|v| {
+                        let_home.get(v).copied().ok_or_else(|| {
+                            XomatiqError::Query(QueryError::UnboundVariable(v.clone()))
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                if homes.len() <= 1 {
+                    let home = homes.into_iter().next().unwrap_or(groups[0].0);
+                    let slot = groups.iter().position(|(m, _)| *m == home).ok_or_else(|| {
+                        XomatiqError::Query(QueryError::Parse(
+                            "condition references no bound warehouse".into(),
+                        ))
+                    })?;
+                    local[slot].push(conjunct);
+                } else {
+                    // Cross-warehouse conjuncts must be plain comparisons.
+                    match &conjunct {
+                        Condition::Compare(c) if matches!(c.right, Operand::Path(_)) => {
+                            cross.push(conjunct);
+                        }
+                        _ => {
+                            return Err(XomatiqError::Query(QueryError::Unsupported(
+                                "only comparisons between path expressions may span \
+                                 warehouses"
+                                    .into(),
+                            )))
+                        }
+                    }
+                }
+            }
+        }
+
+        // Build per-member sub-queries.
+        let mut sub_outcomes: Vec<QueryOutcome> = Vec::new();
+        // For every member: the visible return items it owns (with their
+        // global position) and the cross-join key columns it contributes.
+        let mut visible_map: Vec<Vec<(usize, usize)>> = Vec::new(); // member slot → [(global pos, local col)]
+        let mut key_cols: Vec<HashMap<String, usize>> = Vec::new(); // member slot → path string → local col
+
+        for (slot, (member, binding_idxs)) in groups.iter().enumerate() {
+            let bindings: Vec<_> = binding_idxs
+                .iter()
+                .map(|i| query.bindings[*i].clone())
+                .collect();
+            let lets: Vec<_> = query
+                .lets
+                .iter()
+                .filter(|l| let_home.get(&l.var) == Some(member))
+                .cloned()
+                .collect();
+            let mut items: Vec<ReturnItem> = Vec::new();
+            let mut visible = Vec::new();
+            for (global_pos, item) in query.return_items.iter().enumerate() {
+                if let_home.get(&item.path.var) == Some(member) {
+                    visible.push((global_pos, items.len()));
+                    items.push(item.clone());
+                }
+            }
+            let mut keys = HashMap::new();
+            for conjunct in &cross {
+                let Condition::Compare(c) = conjunct else {
+                    continue;
+                };
+                let Operand::Path(right) = &c.right else {
+                    continue;
+                };
+                for side in [&c.left, right] {
+                    if let_home.get(&side.var) == Some(member) {
+                        let key = side.to_string();
+                        if !keys.contains_key(&key) {
+                            keys.insert(key.clone(), items.len());
+                            items.push(ReturnItem {
+                                alias: Some(format!("__fed_key_{}", items.len())),
+                                path: side.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+            if items.is_empty() {
+                // A warehouse contributing nothing visible still needs one
+                // column so its row count (existence) participates.
+                items.push(ReturnItem {
+                    alias: Some("__fed_probe".into()),
+                    path: PathExpr::bare(&bindings[0].var),
+                });
+            }
+            let where_clause = and_all(local[slot].clone());
+            let sub = FlwrQuery {
+                bindings,
+                lets,
+                where_clause,
+                return_items: items,
+                wrapper: None,
+            };
+            let outcome = self.members[*member].1.run_query(&sub)?;
+            sub_outcomes.push(outcome);
+            visible_map.push(visible);
+            key_cols.push(keys);
+        }
+
+        // Combine: start with member 0's rows, join each further member.
+        // Row representation: Vec<Value> = concatenation of member rows,
+        // with per-member column offsets.
+        let mut offsets = vec![0usize];
+        for outcome in &sub_outcomes {
+            offsets.push(offsets.last().expect("non-empty") + outcome.columns.len());
+        }
+        let mut combined: Vec<Vec<Value>> = sub_outcomes[0].rows.to_vec();
+        let mut joined_slots = vec![0usize];
+        for next_slot in 1..sub_outcomes.len() {
+            // Equality keys between the joined slots and next_slot.
+            let mut probe_cols: Vec<usize> = Vec::new(); // absolute cols in combined
+            let mut build_cols: Vec<usize> = Vec::new(); // cols in next outcome
+            let mut residual: Vec<(usize, CompOp, usize)> = Vec::new(); // (abs col, op, next col)
+            for conjunct in &cross {
+                let Condition::Compare(c) = conjunct else {
+                    continue;
+                };
+                let Operand::Path(right) = &c.right else {
+                    continue;
+                };
+                let lh = let_home[&c.left.var];
+                let rh = let_home[&right.var];
+                let left_slot = groups.iter().position(|(m, _)| *m == lh).expect("grouped");
+                let right_slot = groups.iter().position(|(m, _)| *m == rh).expect("grouped");
+                let (joined_side, new_side, joined_slot, op) =
+                    if right_slot == next_slot && joined_slots.contains(&left_slot) {
+                        (&c.left, right, left_slot, c.op)
+                    } else if left_slot == next_slot && joined_slots.contains(&right_slot) {
+                        (right, &c.left, right_slot, flip(c.op))
+                    } else {
+                        continue;
+                    };
+                let joined_col =
+                    offsets[joined_slot] + key_cols[joined_slot][&joined_side.to_string()];
+                let new_col = key_cols[next_slot][&new_side.to_string()];
+                if op == CompOp::Eq {
+                    probe_cols.push(joined_col);
+                    build_cols.push(new_col);
+                } else {
+                    residual.push((joined_col, op, new_col));
+                }
+            }
+            let next_rows = &sub_outcomes[next_slot].rows;
+            let mut out = Vec::new();
+            if probe_cols.is_empty() {
+                // Cross join (plus residual filters).
+                for left in &combined {
+                    for right in next_rows {
+                        if residual_ok(left, right, &residual) {
+                            let mut row = left.clone();
+                            row.extend(right.iter().cloned());
+                            out.push(row);
+                        }
+                    }
+                }
+            } else {
+                let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+                for (i, row) in next_rows.iter().enumerate() {
+                    let key: Vec<Value> = build_cols.iter().map(|c| row[*c].clone()).collect();
+                    if key.iter().any(Value::is_null) {
+                        continue;
+                    }
+                    table.entry(key).or_default().push(i);
+                }
+                for left in &combined {
+                    let key: Vec<Value> = probe_cols.iter().map(|c| left[*c].clone()).collect();
+                    if key.iter().any(Value::is_null) {
+                        continue;
+                    }
+                    if let Some(matches) = table.get(&key) {
+                        for &i in matches {
+                            if residual_ok(left, &next_rows[i], &residual) {
+                                let mut row = left.clone();
+                                row.extend(next_rows[i].iter().cloned());
+                                out.push(row);
+                            }
+                        }
+                    }
+                }
+            }
+            combined = out;
+            joined_slots.push(next_slot);
+        }
+
+        // Project back to the user's RETURN order and de-duplicate (each
+        // sub-query was already DISTINCT, but the combination can repeat).
+        let mut projection: Vec<(usize, usize)> = Vec::new(); // (global pos, abs col)
+        for (slot, visible) in visible_map.iter().enumerate() {
+            for (global_pos, local_col) in visible {
+                projection.push((*global_pos, offsets[slot] + local_col));
+            }
+        }
+        projection.sort_by_key(|(global, _)| *global);
+        let columns: Vec<String> = query
+            .return_items
+            .iter()
+            .map(|item| item.output_name())
+            .collect();
+        let mut seen = std::collections::HashSet::new();
+        let mut rows = Vec::new();
+        for row in combined {
+            let projected: Vec<Value> = projection
+                .iter()
+                .map(|(_, col)| row[*col].clone())
+                .collect();
+            if seen.insert(projected.clone()) {
+                rows.push(projected);
+            }
+        }
+        // Deterministic order, matching single-warehouse translation.
+        rows.sort_by(|a, b| {
+            for (x, y) in a.iter().zip(b.iter()) {
+                let ord = x.total_cmp(y);
+                if !ord.is_eq() {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        Ok(QueryOutcome {
+            columns,
+            rows,
+            sql: "(federated: executed as per-warehouse sub-queries)".into(),
+        })
+    }
+}
+
+fn flip(op: CompOp) -> CompOp {
+    match op {
+        CompOp::Lt => CompOp::Gt,
+        CompOp::Le => CompOp::Ge,
+        CompOp::Gt => CompOp::Lt,
+        CompOp::Ge => CompOp::Le,
+        other => other,
+    }
+}
+
+fn residual_ok(left: &[Value], right: &[Value], residual: &[(usize, CompOp, usize)]) -> bool {
+    residual.iter().all(
+        |(lcol, op, rcol)| match left[*lcol].compare(&right[*rcol]) {
+            None => false,
+            Some(ord) => match op {
+                CompOp::Eq => ord.is_eq(),
+                CompOp::Ne => ord.is_ne(),
+                CompOp::Lt => ord.is_lt(),
+                CompOp::Le => ord.is_le(),
+                CompOp::Gt => ord.is_gt(),
+                CompOp::Ge => ord.is_ge(),
+            },
+        },
+    )
+}
+
+/// Splits a condition tree into top-level conjuncts.
+fn split_and(cond: &Condition) -> Vec<Condition> {
+    match cond {
+        Condition::And(a, b) => {
+            let mut out = split_and(a);
+            out.extend(split_and(b));
+            out
+        }
+        other => vec![other.clone()],
+    }
+}
+
+fn and_all(mut conds: Vec<Condition>) -> Option<Condition> {
+    let mut acc = conds.pop()?;
+    while let Some(c) = conds.pop() {
+        acc = Condition::And(Box::new(c), Box::new(acc));
+    }
+    Some(acc)
+}
+
+/// All variables referenced by a condition.
+fn condition_vars(cond: &Condition) -> Vec<String> {
+    fn path_vars(p: &PathExpr, out: &mut Vec<String>) {
+        if !out.contains(&p.var) {
+            out.push(p.var.clone());
+        }
+    }
+    fn walk(cond: &Condition, out: &mut Vec<String>) {
+        match cond {
+            Condition::And(a, b) | Condition::Or(a, b) => {
+                walk(a, out);
+                walk(b, out);
+            }
+            Condition::Not(c) => walk(c, out),
+            Condition::Compare(Comparison { left, right, .. }) => {
+                path_vars(left, out);
+                if let Operand::Path(p) = right {
+                    path_vars(p, out);
+                }
+            }
+            Condition::Contains { target, .. } | Condition::Matches { target, .. } => {
+                path_vars(target, out);
+            }
+            Condition::Order { left, right, .. } => {
+                path_vars(left, out);
+                path_vars(right, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(cond, &mut out);
+    out
+}

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! # xomatiq-core
+//!
+//! The XomatiQ system facade — the paper's primary contribution, assembled
+//! from the substrate crates into the API a gRNA application would use.
+//!
+//! ```
+//! use xomatiq_core::{Xomatiq, SourceKind};
+//! use xomatiq_bioflat::enzyme::FIGURE2_SAMPLE;
+//!
+//! let xq = Xomatiq::in_memory();
+//! xq.load_source("hlx_enzyme.DEFAULT", SourceKind::Enzyme, FIGURE2_SAMPLE).unwrap();
+//! let outcome = xq
+//!     .query(
+//!         r#"FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+//!            WHERE contains($a//cofactor, "copper")
+//!            RETURN $a//enzyme_id"#,
+//!     )
+//!     .unwrap();
+//! assert_eq!(outcome.rows[0][0].to_string(), "1.14.17.3");
+//! ```
+//!
+//! * [`warehouse`] — [`Xomatiq`]: warehouse loading/updating via Data
+//!   Hounds, FLWR querying via XQ2SQL on the embedded relational engine,
+//!   DTD inspection (what the GUI's left panel shows), and document
+//!   reconstruction.
+//! * [`builder`] — [`builder::QueryBuilder`]: the programmatic equivalent
+//!   of the visual interface's three modes (keyword search, sub-tree
+//!   search, join — paper §3.1); `build()` yields the same textual query
+//!   the GUI's "Translate Query" button produces.
+//! * [`tagger`] — the **Relation2XML-Transformer** (§3.3): result tuples
+//!   re-tagged as an XML document, or full source-document
+//!   reconstruction.
+//! * [`render`] — the two result views of Figures 7(b) and 12: a flat
+//!   table panel and an XML tree panel.
+
+pub mod builder;
+pub mod federation;
+pub mod render;
+pub mod tagger;
+pub mod warehouse;
+
+pub use builder::QueryBuilder;
+pub use federation::Federation;
+pub use warehouse::{QueryOutcome, Xomatiq};
+
+// The pieces applications typically need alongside the facade.
+pub use xomatiq_datahounds::{ChangeEvent, ChangeKind, ShreddingStrategy, SourceKind};
+pub use xomatiq_relstore::Value;

@@ -1,0 +1,163 @@
+//! Result rendering — the two panels of Figures 7(b) and 12.
+//!
+//! The paper's result window offers "the results in a table or XML
+//! structure format" on the left and "the tree structure view of the
+//! documents satisfying the query" on the right. These functions produce
+//! the textual equivalents for CLI applications and the examples.
+
+use xomatiq_xml::document::NodeKind;
+use xomatiq_xml::{Document, NodeId};
+
+use crate::warehouse::QueryOutcome;
+
+/// Renders a query outcome as an ASCII table (the "simple table format").
+pub fn render_table(outcome: &QueryOutcome) -> String {
+    let mut widths: Vec<usize> = outcome.columns.iter().map(String::len).collect();
+    let rendered: Vec<Vec<String>> = outcome
+        .rows
+        .iter()
+        .map(|r| r.iter().map(|v| v.to_string()).collect())
+        .collect();
+    for row in &rendered {
+        for (i, cell) in row.iter().enumerate() {
+            if let Some(w) = widths.get_mut(i) {
+                *w = (*w).max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        out.push('+');
+        for w in &widths {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('+');
+        }
+        out.push('\n');
+    };
+    sep(&mut out);
+    out.push('|');
+    for (c, w) in outcome.columns.iter().zip(&widths) {
+        out.push_str(&format!(" {c:<w$} |"));
+    }
+    out.push('\n');
+    sep(&mut out);
+    for row in &rendered {
+        out.push('|');
+        for (cell, w) in row.iter().zip(&widths) {
+            out.push_str(&format!(" {cell:<w$} |"));
+        }
+        out.push('\n');
+    }
+    sep(&mut out);
+    out.push_str(&format!("({} rows)\n", outcome.rows.len()));
+    out
+}
+
+/// Renders a document as an indented tree — the right-hand panel showing
+/// "the tree structure view of the documents satisfying the query".
+pub fn render_tree(doc: &Document) -> String {
+    let mut out = String::new();
+    if let Some(root) = doc.root_element() {
+        render_node(doc, root, 0, &mut out);
+    }
+    out
+}
+
+fn render_node(doc: &Document, id: NodeId, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    match doc.node(id).kind() {
+        NodeKind::Element { name, attributes } => {
+            out.push_str(&pad);
+            out.push_str(name);
+            for attr in attributes {
+                out.push_str(&format!(" @{}={}", attr.name, attr.value));
+            }
+            // Inline short pure-text content like the GUI tree does.
+            let text = xomatiq_xml::document::Document::text_content(doc, id);
+            let only_text = doc.children(id).all(|c| doc.node(c).is_text());
+            if only_text && !text.is_empty() {
+                out.push_str(&format!(": {}", truncate(&text, 60)));
+                out.push('\n');
+                return;
+            }
+            out.push('\n');
+            for child in doc.children(id) {
+                render_node(doc, child, depth + 1, out);
+            }
+        }
+        NodeKind::Text(t) => {
+            if !t.trim().is_empty() {
+                out.push_str(&format!("{pad}\"{}\"\n", truncate(t.trim(), 60)));
+            }
+        }
+        NodeKind::Comment(_) | NodeKind::ProcessingInstruction { .. } | NodeKind::Document => {}
+    }
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(max).collect();
+        format!("{cut}…")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xomatiq_relstore::Value;
+
+    #[test]
+    fn table_rendering() {
+        let outcome = QueryOutcome {
+            columns: vec!["enzyme_id".into(), "n".into()],
+            rows: vec![
+                vec![Value::Text("1.14.17.3".into()), Value::Int(5)],
+                vec![Value::Text("2.7.7.7".into()), Value::Null],
+            ],
+            sql: String::new(),
+        };
+        let t = render_table(&outcome);
+        assert!(t.contains("| enzyme_id | n    |"), "{t}");
+        assert!(t.contains("| 1.14.17.3 | 5    |"), "{t}");
+        assert!(t.contains("| 2.7.7.7   | NULL |"), "{t}");
+        assert!(t.contains("(2 rows)"), "{t}");
+    }
+
+    #[test]
+    fn tree_rendering() {
+        let doc = xomatiq_xml::parse(
+            r#"<hlx_enzyme><db_entry><enzyme_id>1.14.17.3</enzyme_id><prosite_reference prosite_accession_number="PDOC00080"/></db_entry></hlx_enzyme>"#,
+        )
+        .unwrap();
+        let t = render_tree(&doc);
+        assert!(t.contains("hlx_enzyme\n"), "{t}");
+        assert!(t.contains("  db_entry\n"), "{t}");
+        assert!(t.contains("    enzyme_id: 1.14.17.3\n"), "{t}");
+        assert!(
+            t.contains("    prosite_reference @prosite_accession_number=PDOC00080"),
+            "{t}"
+        );
+    }
+
+    #[test]
+    fn long_text_is_truncated() {
+        let long = "x".repeat(200);
+        let doc = xomatiq_xml::parse(&format!("<a><b>{long}</b></a>")).unwrap();
+        let t = render_tree(&doc);
+        assert!(t.contains('…'), "{t}");
+        assert!(!t.contains(&long), "{t}");
+    }
+
+    #[test]
+    fn empty_outcome_renders() {
+        let outcome = QueryOutcome {
+            columns: vec!["x".into()],
+            rows: vec![],
+            sql: String::new(),
+        };
+        let t = render_table(&outcome);
+        assert!(t.contains("(0 rows)"));
+    }
+}

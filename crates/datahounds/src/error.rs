@@ -1,0 +1,74 @@
+//! Error type spanning the Data Hounds pipeline.
+
+use std::fmt;
+
+use xomatiq_bioflat::FlatError;
+use xomatiq_relstore::RelError;
+use xomatiq_xml::XmlError;
+
+/// Result alias for Data Hounds operations.
+pub type HoundResult<T> = Result<T, HoundError>;
+
+/// An error from any stage of the warehouse pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HoundError {
+    /// Flat-file parsing failed.
+    Flat(FlatError),
+    /// XML construction or DTD validation failed.
+    Xml(XmlError),
+    /// The relational engine rejected an operation.
+    Rel(RelError),
+    /// A registered source or collection was not found.
+    UnknownCollection(String),
+    /// Pipeline-level misuse.
+    Pipeline(String),
+}
+
+impl fmt::Display for HoundError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HoundError::Flat(e) => write!(f, "flat-file error: {e}"),
+            HoundError::Xml(e) => write!(f, "XML error: {e}"),
+            HoundError::Rel(e) => write!(f, "relational error: {e}"),
+            HoundError::UnknownCollection(c) => write!(f, "unknown collection {c:?}"),
+            HoundError::Pipeline(m) => write!(f, "pipeline error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HoundError {}
+
+impl From<FlatError> for HoundError {
+    fn from(e: FlatError) -> Self {
+        HoundError::Flat(e)
+    }
+}
+
+impl From<XmlError> for HoundError {
+    fn from(e: XmlError) -> Self {
+        HoundError::Xml(e)
+    }
+}
+
+impl From<RelError> for HoundError {
+    fn from(e: RelError) -> Self {
+        HoundError::Rel(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: HoundError = FlatError::new("ENZYME", "bad").into();
+        assert!(e.to_string().contains("flat-file error"));
+        let e: HoundError = RelError::UnknownTable("t".into()).into();
+        assert!(e.to_string().contains("relational error"));
+        assert_eq!(
+            HoundError::UnknownCollection("x".into()).to_string(),
+            "unknown collection \"x\""
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! The Edge shredding strategy: one row per node with parent/ordinal
+//! links. Loads fast (ids are assigned in a single pass) and reconstructs
+//! directly from the `(parent_id, ord)` columns; descendant navigation
+//! needs path information because parent links are one level at a time.
+
+use xomatiq_relstore::Database;
+use xomatiq_xml::document::NodeKind;
+use xomatiq_xml::{Document, NodeId};
+
+use crate::error::{HoundError, HoundResult};
+use crate::shred::{cell_u64, direct_text, is_sequence_element, AttrRow, EmittedRows, NodeRow};
+
+/// Emits Edge rows for every node under the document root.
+pub(crate) fn emit_rows(doc: &Document, _doc_id: u64) -> EmittedRows {
+    let mut nodes = Vec::new();
+    let mut attrs = Vec::new();
+    let root = doc.root_element().expect("caller checked");
+    for id in doc.descendants(root) {
+        let node = doc.node(id);
+        let node_id = id.as_u32() as u64;
+        let parent_id = doc
+            .parent(id)
+            .filter(|p| *p != NodeId::DOCUMENT)
+            .map(|p| p.as_u32() as u64);
+        let ord = doc.ordinal(id);
+        let path = doc.label_path(id);
+        match node.kind() {
+            NodeKind::Element { name, attributes } => {
+                for attr in attributes {
+                    attrs.push(AttrRow {
+                        owner: node_id,
+                        aname: attr.name.clone(),
+                        aval: attr.value.clone(),
+                        path: format!("{path}/@{}", attr.name),
+                    });
+                }
+                nodes.push(NodeRow {
+                    node_id,
+                    parent_id,
+                    ord,
+                    start: None,
+                    stop: None,
+                    level: Some(doc.depth(id)),
+                    kind: "elem",
+                    name: Some(name.clone()),
+                    path,
+                    val: direct_text(doc, id),
+                    is_seq: is_sequence_element(name),
+                });
+            }
+            NodeKind::Text(t) => nodes.push(NodeRow {
+                node_id,
+                parent_id,
+                ord,
+                start: None,
+                stop: None,
+                level: Some(doc.depth(id)),
+                kind: "text",
+                name: None,
+                path,
+                val: Some(t.clone()),
+                is_seq: false,
+            }),
+            NodeKind::Comment(c) => nodes.push(NodeRow {
+                node_id,
+                parent_id,
+                ord,
+                start: None,
+                stop: None,
+                level: Some(doc.depth(id)),
+                kind: "comment",
+                name: None,
+                path,
+                val: Some(c.clone()),
+                is_seq: false,
+            }),
+            NodeKind::ProcessingInstruction { target, data } => nodes.push(NodeRow {
+                node_id,
+                parent_id,
+                ord,
+                start: None,
+                stop: None,
+                level: Some(doc.depth(id)),
+                kind: "pi",
+                name: Some(target.clone()),
+                path,
+                val: Some(data.clone()),
+                is_seq: false,
+            }),
+            NodeKind::Document => unreachable!("descendants of the root element"),
+        }
+    }
+    EmittedRows { nodes, attrs }
+}
+
+/// Rebuilds document `doc_id` from Edge rows.
+pub(crate) fn reconstruct(db: &Database, prefix: &str, doc_id: u64) -> HoundResult<Document> {
+    // Rows ordered by node_id = document order; parents precede children.
+    let rows = db.execute(&format!(
+        "SELECT node_id, parent_id, kind, name, val FROM {prefix}_nodes \
+         WHERE doc_id = {doc_id} ORDER BY node_id"
+    ))?;
+    if rows.rows().is_empty() {
+        return Err(HoundError::Pipeline(format!(
+            "document {doc_id} has no tuples in {prefix}_nodes"
+        )));
+    }
+    let attrs = db.execute(&format!(
+        "SELECT owner, aname, aval FROM {prefix}_attrs WHERE doc_id = {doc_id} ORDER BY owner"
+    ))?;
+
+    let mut doc = Document::new();
+    // Source node_id → rebuilt NodeId.
+    let mut id_map: std::collections::HashMap<u64, NodeId> = std::collections::HashMap::new();
+    for row in rows.rows() {
+        let node_id = cell_u64(&row[0])?;
+        let parent = match &row[1] {
+            v if v.is_null() => NodeId::DOCUMENT,
+            v => *id_map.get(&cell_u64(v)?).ok_or_else(|| {
+                HoundError::Pipeline(format!("node {node_id} arrived before its parent"))
+            })?,
+        };
+        let kind = row[2].as_text().unwrap_or("");
+        let name = row[3].as_text();
+        let val = row[4].as_text();
+        let new_id = match kind {
+            "elem" => doc.append_element(parent, name.unwrap_or(""))?,
+            "text" => doc.append_text(parent, val.unwrap_or("")),
+            "comment" => doc.append_comment(parent, val.unwrap_or("")),
+            "pi" => doc.append_pi(parent, name.unwrap_or(""), val.unwrap_or(""))?,
+            other => {
+                return Err(HoundError::Pipeline(format!("unknown node kind {other:?}")));
+            }
+        };
+        id_map.insert(node_id, new_id);
+    }
+    for row in attrs.rows() {
+        let owner = cell_u64(&row[0])?;
+        let target = id_map
+            .get(&owner)
+            .ok_or_else(|| HoundError::Pipeline(format!("attribute owner {owner} missing")))?;
+        doc.set_attribute(
+            *target,
+            row[1].as_text().unwrap_or(""),
+            row[2].as_text().unwrap_or(""),
+        )?;
+    }
+    Ok(doc)
+}

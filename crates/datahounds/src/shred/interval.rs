@@ -1,0 +1,186 @@
+//! The Interval (region-encoding) shredding strategy, after Zhang et
+//! al. \[48]: each node carries `(start, stop, level)` where `start`/`stop`
+//! delimit its region in a pre-order walk. Descendant-or-self is then the
+//! pure-SQL test `d.start > a.start AND d.start < a.stop AND d.doc_id =
+//! a.doc_id` — no recursion, no path strings — which is what makes
+//! containment queries cheap and is the reason the paper's literature
+//! favours it for ancestor/descendant-heavy workloads.
+
+use xomatiq_relstore::Database;
+use xomatiq_xml::document::NodeKind;
+use xomatiq_xml::{Document, NodeId};
+
+use crate::error::{HoundError, HoundResult};
+use crate::shred::{cell_u64, direct_text, is_sequence_element, AttrRow, EmittedRows, NodeRow};
+
+/// Emits Interval rows for every node under the document root.
+pub(crate) fn emit_rows(doc: &Document, _doc_id: u64) -> EmittedRows {
+    let mut nodes = Vec::new();
+    let mut attrs = Vec::new();
+    let root = doc.root_element().expect("caller checked");
+    let mut counter: u64 = 0;
+    walk(doc, root, &mut counter, &mut nodes, &mut attrs);
+    EmittedRows { nodes, attrs }
+}
+
+fn walk(
+    doc: &Document,
+    id: NodeId,
+    counter: &mut u64,
+    nodes: &mut Vec<NodeRow>,
+    attrs: &mut Vec<AttrRow>,
+) {
+    let node = doc.node(id);
+    let start = *counter;
+    *counter += 1;
+    let ord = doc.ordinal(id);
+    let level = doc.depth(id);
+    let path = doc.label_path(id);
+    match node.kind() {
+        NodeKind::Element { name, attributes } => {
+            for attr in attributes {
+                attrs.push(AttrRow {
+                    owner: start,
+                    aname: attr.name.clone(),
+                    aval: attr.value.clone(),
+                    path: format!("{path}/@{}", attr.name),
+                });
+            }
+            let slot = nodes.len();
+            nodes.push(NodeRow {
+                node_id: start, // node identity = its start position
+                parent_id: None,
+                ord,
+                start: Some(start),
+                stop: Some(0), // patched after children are walked
+                level: Some(level),
+                kind: "elem",
+                name: Some(name.clone()),
+                path,
+                val: direct_text(doc, id),
+                is_seq: is_sequence_element(name),
+            });
+            for child in doc.children(id) {
+                walk(doc, child, counter, nodes, attrs);
+            }
+            let stop = *counter;
+            *counter += 1;
+            nodes[slot].stop = Some(stop);
+        }
+        NodeKind::Text(t) => {
+            let stop = *counter;
+            *counter += 1;
+            nodes.push(NodeRow {
+                node_id: start,
+                parent_id: None,
+                ord,
+                start: Some(start),
+                stop: Some(stop),
+                level: Some(level),
+                kind: "text",
+                name: None,
+                path,
+                val: Some(t.clone()),
+                is_seq: false,
+            });
+        }
+        NodeKind::Comment(c) => {
+            let stop = *counter;
+            *counter += 1;
+            nodes.push(NodeRow {
+                node_id: start,
+                parent_id: None,
+                ord,
+                start: Some(start),
+                stop: Some(stop),
+                level: Some(level),
+                kind: "comment",
+                name: None,
+                path,
+                val: Some(c.clone()),
+                is_seq: false,
+            });
+        }
+        NodeKind::ProcessingInstruction { target, data } => {
+            let stop = *counter;
+            *counter += 1;
+            nodes.push(NodeRow {
+                node_id: start,
+                parent_id: None,
+                ord,
+                start: Some(start),
+                stop: Some(stop),
+                level: Some(level),
+                kind: "pi",
+                name: Some(target.clone()),
+                path,
+                val: Some(data.clone()),
+                is_seq: false,
+            });
+        }
+        NodeKind::Document => unreachable!("walk starts at the root element"),
+    }
+}
+
+/// Rebuilds document `doc_id` from Interval rows using a region stack.
+pub(crate) fn reconstruct(db: &Database, prefix: &str, doc_id: u64) -> HoundResult<Document> {
+    let rows = db.execute(&format!(
+        "SELECT start, stop, kind, name, val FROM {prefix}_nodes \
+         WHERE doc_id = {doc_id} ORDER BY start"
+    ))?;
+    if rows.rows().is_empty() {
+        return Err(HoundError::Pipeline(format!(
+            "document {doc_id} has no tuples in {prefix}_nodes"
+        )));
+    }
+    let attrs = db.execute(&format!(
+        "SELECT owner, aname, aval FROM {prefix}_attrs WHERE doc_id = {doc_id} ORDER BY owner"
+    ))?;
+
+    let mut doc = Document::new();
+    // Stack of (rebuilt id, stop): the parent of the next node is the
+    // deepest open region containing its start.
+    let mut stack: Vec<(NodeId, u64)> = Vec::new();
+    let mut id_map: std::collections::HashMap<u64, NodeId> = std::collections::HashMap::new();
+    for row in rows.rows() {
+        let start = cell_u64(&row[0])?;
+        let stop = cell_u64(&row[1])?;
+        while let Some((_, open_stop)) = stack.last() {
+            if start > *open_stop {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        let parent = stack.last().map(|(id, _)| *id).unwrap_or(NodeId::DOCUMENT);
+        let kind = row[2].as_text().unwrap_or("");
+        let name = row[3].as_text();
+        let val = row[4].as_text();
+        let new_id = match kind {
+            "elem" => {
+                let id = doc.append_element(parent, name.unwrap_or(""))?;
+                stack.push((id, stop));
+                id
+            }
+            "text" => doc.append_text(parent, val.unwrap_or("")),
+            "comment" => doc.append_comment(parent, val.unwrap_or("")),
+            "pi" => doc.append_pi(parent, name.unwrap_or(""), val.unwrap_or(""))?,
+            other => {
+                return Err(HoundError::Pipeline(format!("unknown node kind {other:?}")));
+            }
+        };
+        id_map.insert(start, new_id);
+    }
+    for row in attrs.rows() {
+        let owner = cell_u64(&row[0])?;
+        let target = id_map
+            .get(&owner)
+            .ok_or_else(|| HoundError::Pipeline(format!("attribute owner {owner} missing")))?;
+        doc.set_attribute(
+            *target,
+            row[1].as_text().unwrap_or(""),
+            row[2].as_text().unwrap_or(""),
+        )?;
+    }
+    Ok(doc)
+}

@@ -1,0 +1,754 @@
+//! The Data Hounds orchestrator.
+//!
+//! [`DataHounds`] drives the full §2 pipeline for a registered source:
+//! flat text (the simulated FTP download) → typed entries → XML documents
+//! → DTD validation → shredded tuples → indexes, and subsequently the
+//! incremental update path with trigger delivery. Collection metadata
+//! (strategy, entry keys, source text for diffing) lives in warehouse
+//! tables so it survives a restart along with the data.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use xomatiq_bioflat::embl::parse_embl_file;
+use xomatiq_bioflat::enzyme::parse_enzyme_file;
+use xomatiq_bioflat::swissprot::parse_swissprot_file;
+use xomatiq_relstore::Database;
+use xomatiq_xml::dtd::{validate, Dtd};
+use xomatiq_xml::Document;
+
+use crate::error::{HoundError, HoundResult};
+use crate::shred::{
+    collection_prefix, create_collection_indexes, create_collection_tables, delete_document,
+    reconstruct_document, shred_document, sql_quote, ShredStats, ShreddingStrategy,
+};
+use crate::transform::{
+    embl_dtd, embl_to_xml, enzyme_dtd, enzyme_to_xml, swissprot_dtd, swissprot_to_xml,
+};
+use crate::update::{diff_snapshots, ChangeEvent, ChangeKind, TriggerHub};
+
+/// Which of the supported source databases a collection holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SourceKind {
+    /// The ENZYME nomenclature database.
+    Enzyme,
+    /// The EMBL nucleotide database.
+    Embl,
+    /// The Swiss-Prot protein knowledge base.
+    SwissProt,
+    /// A pre-existing XML databank (INTERPRO-style, §2.1) or any other
+    /// source already converted to XML — including wrapped relational
+    /// tables (Figure 1's RDBMS input). Loaded via
+    /// [`DataHounds::load_xml_source`] with a caller-supplied DTD.
+    Xml,
+}
+
+impl SourceKind {
+    /// Stable name used in the warehouse metadata table.
+    pub fn name(self) -> &'static str {
+        match self {
+            SourceKind::Enzyme => "enzyme",
+            SourceKind::Embl => "embl",
+            SourceKind::SwissProt => "swissprot",
+            SourceKind::Xml => "xml",
+        }
+    }
+
+    /// Parses a stored kind name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "enzyme" => Some(SourceKind::Enzyme),
+            "embl" => Some(SourceKind::Embl),
+            "swissprot" => Some(SourceKind::SwissProt),
+            "xml" => Some(SourceKind::Xml),
+            _ => None,
+        }
+    }
+
+    /// The built-in DTD of a flat source kind; XML sources carry their own.
+    pub fn builtin_dtd(self) -> Option<Dtd> {
+        match self {
+            SourceKind::Enzyme => Some(enzyme_dtd()),
+            SourceKind::Embl => Some(embl_dtd()),
+            SourceKind::SwissProt => Some(swissprot_dtd()),
+            SourceKind::Xml => None,
+        }
+    }
+}
+
+/// The stable text of a flat source kind's DTD (for metadata storage).
+fn builtin_dtd_text(kind: SourceKind) -> &'static str {
+    match kind {
+        SourceKind::Enzyme => crate::transform::enzyme::ENZYME_DTD_TEXT,
+        SourceKind::Embl => crate::transform::embl::EMBL_DTD_TEXT,
+        SourceKind::SwissProt => crate::transform::swissprot::SWISSPROT_DTD_TEXT,
+        SourceKind::Xml => "",
+    }
+}
+
+/// Parsed entries of one source, with uniform access.
+enum Entries {
+    Enzyme(Vec<xomatiq_bioflat::EnzymeEntry>),
+    Embl(Vec<xomatiq_bioflat::EmblEntry>),
+    SwissProt(Vec<xomatiq_bioflat::SwissProtEntry>),
+}
+
+impl Entries {
+    fn parse(kind: SourceKind, flat: &str) -> HoundResult<Entries> {
+        Ok(match kind {
+            SourceKind::Enzyme => Entries::Enzyme(parse_enzyme_file(flat)?),
+            SourceKind::Embl => Entries::Embl(parse_embl_file(flat)?),
+            SourceKind::SwissProt => Entries::SwissProt(parse_swissprot_file(flat)?),
+            SourceKind::Xml => {
+                return Err(HoundError::Pipeline(
+                    "XML sources have no flat form to parse".into(),
+                ))
+            }
+        })
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Entries::Enzyme(v) => v.len(),
+            Entries::Embl(v) => v.len(),
+            Entries::SwissProt(v) => v.len(),
+        }
+    }
+
+    fn key(&self, i: usize) -> String {
+        match self {
+            Entries::Enzyme(v) => v[i].id.clone(),
+            Entries::Embl(v) => v[i].accession.clone(),
+            Entries::SwissProt(v) => v[i].accession.clone(),
+        }
+    }
+
+    fn to_xml(&self, i: usize) -> HoundResult<Document> {
+        match self {
+            Entries::Enzyme(v) => enzyme_to_xml(&v[i]),
+            Entries::Embl(v) => embl_to_xml(&v[i]),
+            Entries::SwissProt(v) => swissprot_to_xml(&v[i]),
+        }
+    }
+
+    fn to_flat(&self, i: usize) -> String {
+        match self {
+            Entries::Enzyme(v) => v[i].to_flat(),
+            Entries::Embl(v) => v[i].to_flat(),
+            Entries::SwissProt(v) => v[i].to_flat(),
+        }
+    }
+}
+
+/// One document ready for loading: its stable key, its serialized source
+/// form (used for update diffing), and the XML document itself.
+struct PreparedDoc {
+    key: String,
+    serialized: String,
+    doc: Document,
+}
+
+struct CollectionMeta {
+    prefix: String,
+    kind: SourceKind,
+    strategy: ShreddingStrategy,
+    next_doc_id: u64,
+    dtd: Dtd,
+}
+
+/// Options controlling a source load.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadOptions {
+    /// Shredding strategy for the collection.
+    pub strategy: ShreddingStrategy,
+    /// Whether to create the §3.2 index set (disabled by the ablation
+    /// bench to measure the paper's index claim).
+    pub with_indexes: bool,
+    /// Whether to validate every document against the source DTD before
+    /// shredding.
+    pub validate: bool,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        LoadOptions {
+            strategy: ShreddingStrategy::Interval,
+            with_indexes: true,
+            validate: true,
+        }
+    }
+}
+
+/// The Data Hounds: warehouse loader, updater and trigger source.
+pub struct DataHounds {
+    db: Arc<Database>,
+    triggers: TriggerHub,
+    collections: Mutex<BTreeMap<String, CollectionMeta>>,
+}
+
+impl DataHounds {
+    /// Creates a Data Hounds instance over `db`, recovering collection
+    /// metadata from the warehouse if present.
+    pub fn new(db: Arc<Database>) -> HoundResult<DataHounds> {
+        if !db.table_names().iter().any(|t| t == "hlx_collections") {
+            db.execute(
+                "CREATE TABLE hlx_collections (name TEXT, prefix TEXT, kind TEXT, \
+                 strategy TEXT, dtd TEXT)",
+            )?;
+        }
+        let mut collections = BTreeMap::new();
+        let rows = db.execute("SELECT name, prefix, kind, strategy, dtd FROM hlx_collections")?;
+        for row in rows.rows() {
+            let name = row[0].as_text().unwrap_or_default().to_string();
+            let prefix = row[1].as_text().unwrap_or_default().to_string();
+            let kind = SourceKind::from_name(row[2].as_text().unwrap_or_default())
+                .ok_or_else(|| HoundError::Pipeline("corrupt collection kind".into()))?;
+            let strategy = ShreddingStrategy::from_name(row[3].as_text().unwrap_or_default())
+                .ok_or_else(|| HoundError::Pipeline("corrupt collection strategy".into()))?;
+            let dtd = xomatiq_xml::dtd::parse_dtd(row[4].as_text().unwrap_or_default())?;
+            let max_doc = db
+                .execute(&format!("SELECT MAX(doc_id) FROM {prefix}_docs"))?
+                .rows()
+                .first()
+                .and_then(|r| r[0].as_int())
+                .map(|m| m as u64 + 1)
+                .unwrap_or(0);
+            collections.insert(
+                name,
+                CollectionMeta {
+                    prefix,
+                    kind,
+                    strategy,
+                    next_doc_id: max_doc,
+                    dtd,
+                },
+            );
+        }
+        Ok(DataHounds {
+            db,
+            triggers: TriggerHub::new(),
+            collections: Mutex::new(collections),
+        })
+    }
+
+    /// The underlying database.
+    pub fn db(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Subscribes to warehouse change triggers.
+    pub fn subscribe(&self) -> crossbeam::channel::Receiver<ChangeEvent> {
+        self.triggers.subscribe()
+    }
+
+    /// Names of all loaded collections.
+    pub fn collections(&self) -> Vec<String> {
+        self.collections.lock().keys().cloned().collect()
+    }
+
+    /// The table prefix of a collection.
+    pub fn prefix(&self, collection: &str) -> HoundResult<String> {
+        Ok(self.meta(collection)?.0)
+    }
+
+    /// The shredding strategy of a collection.
+    pub fn strategy(&self, collection: &str) -> HoundResult<ShreddingStrategy> {
+        Ok(self.meta(collection)?.2)
+    }
+
+    /// The DTD of a collection (what the XomatiQ GUI's left panel shows).
+    pub fn dtd(&self, collection: &str) -> HoundResult<Dtd> {
+        let map = self.collections.lock();
+        let meta = map
+            .get(collection)
+            .ok_or_else(|| HoundError::UnknownCollection(collection.to_string()))?;
+        Ok(meta.dtd.clone())
+    }
+
+    fn meta(&self, collection: &str) -> HoundResult<(String, SourceKind, ShreddingStrategy)> {
+        let map = self.collections.lock();
+        let meta = map
+            .get(collection)
+            .ok_or_else(|| HoundError::UnknownCollection(collection.to_string()))?;
+        Ok((meta.prefix.clone(), meta.kind, meta.strategy))
+    }
+
+    /// Loads a flat-file source end-to-end into collection `name` (e.g.
+    /// `hlx_enzyme.DEFAULT`) from its flat text.
+    pub fn load_source(
+        &self,
+        name: &str,
+        kind: SourceKind,
+        flat: &str,
+        options: LoadOptions,
+    ) -> HoundResult<ShredStats> {
+        if kind == SourceKind::Xml {
+            return Err(HoundError::Pipeline(
+                "XML sources are loaded with load_xml_source".into(),
+            ));
+        }
+        let entries = Entries::parse(kind, flat)?;
+        let dtd = kind.builtin_dtd().expect("flat kind");
+        let mut prepared = Vec::with_capacity(entries.len());
+        for i in 0..entries.len() {
+            prepared.push(PreparedDoc {
+                key: entries.key(i),
+                serialized: entries.to_flat(i),
+                doc: entries.to_xml(i)?,
+            });
+        }
+        self.load_prepared(name, kind, builtin_dtd_text(kind), dtd, prepared, options)
+    }
+
+    /// Loads a pre-existing XML source — an XML databank such as INTERPRO
+    /// (§2.1), or rows of a wrapped relational table (Figure 1) — into
+    /// collection `name`. `dtd_text` is the source's DTD; every document
+    /// is validated against it when `options.validate` is set.
+    pub fn load_xml_source(
+        &self,
+        name: &str,
+        dtd_text: &str,
+        docs: Vec<(String, Document)>,
+        options: LoadOptions,
+    ) -> HoundResult<ShredStats> {
+        let dtd = xomatiq_xml::dtd::parse_dtd(dtd_text)?;
+        let prepared = docs
+            .into_iter()
+            .map(|(key, doc)| PreparedDoc {
+                serialized: xomatiq_xml::to_string(&doc),
+                key,
+                doc,
+            })
+            .collect();
+        self.load_prepared(name, SourceKind::Xml, dtd_text, dtd, prepared, options)
+    }
+
+    fn load_prepared(
+        &self,
+        name: &str,
+        kind: SourceKind,
+        dtd_text: &str,
+        dtd: Dtd,
+        prepared: Vec<PreparedDoc>,
+        options: LoadOptions,
+    ) -> HoundResult<ShredStats> {
+        {
+            let map = self.collections.lock();
+            if map.contains_key(name) {
+                return Err(HoundError::Pipeline(format!(
+                    "collection {name:?} is already loaded; use update_source"
+                )));
+            }
+        }
+        let prefix = collection_prefix(name);
+        create_collection_tables(&self.db, &prefix)?;
+        self.db.execute(&format!(
+            "CREATE TABLE {prefix}_src (doc_id INT, entry_key TEXT, flat TEXT)"
+        ))?;
+
+        let mut stats = ShredStats::default();
+        for (i, p) in prepared.iter().enumerate() {
+            if options.validate {
+                validate(&p.doc, &dtd)?;
+            }
+            stats += shred_document(
+                &self.db,
+                &prefix,
+                options.strategy,
+                i as u64,
+                &p.key,
+                &p.doc,
+            )?;
+            self.db.execute(&format!(
+                "INSERT INTO {prefix}_src VALUES ({i}, '{}', '{}')",
+                sql_quote(&p.key),
+                sql_quote(&p.serialized)
+            ))?;
+        }
+        // Indexes are built after the bulk load, like a sane warehouse.
+        if options.with_indexes {
+            create_collection_indexes(&self.db, &prefix)?;
+            self.db.execute(&format!(
+                "CREATE INDEX {prefix}_src_doc ON {prefix}_src (doc_id)"
+            ))?;
+        }
+        self.db.execute(&format!(
+            "INSERT INTO hlx_collections VALUES ('{}', '{}', '{}', '{}', '{}')",
+            sql_quote(name),
+            sql_quote(&prefix),
+            kind.name(),
+            options.strategy.name(),
+            sql_quote(dtd_text)
+        ))?;
+        self.collections.lock().insert(
+            name.to_string(),
+            CollectionMeta {
+                prefix,
+                kind,
+                strategy: options.strategy,
+                next_doc_id: prepared.len() as u64,
+                dtd,
+            },
+        );
+        Ok(stats)
+    }
+
+    /// Integrates a fresh download of a flat source: entry-level diff,
+    /// minimal re-shredding, and a trigger per changed entry (§2.2 end).
+    pub fn update_source(&self, name: &str, flat: &str) -> HoundResult<Vec<ChangeEvent>> {
+        let (_, kind, _) = self.meta(name)?;
+        if kind == SourceKind::Xml {
+            return Err(HoundError::Pipeline(
+                "XML sources are updated with update_xml_source".into(),
+            ));
+        }
+        let entries = Entries::parse(kind, flat)?;
+        let mut prepared = Vec::with_capacity(entries.len());
+        for i in 0..entries.len() {
+            prepared.push(PreparedDoc {
+                key: entries.key(i),
+                serialized: entries.to_flat(i),
+                doc: entries.to_xml(i)?,
+            });
+        }
+        self.update_prepared(name, prepared)
+    }
+
+    /// Integrates a fresh snapshot of an XML source (diffed on serialized
+    /// document text).
+    pub fn update_xml_source(
+        &self,
+        name: &str,
+        docs: Vec<(String, Document)>,
+    ) -> HoundResult<Vec<ChangeEvent>> {
+        let (_, kind, _) = self.meta(name)?;
+        if kind != SourceKind::Xml {
+            return Err(HoundError::Pipeline(
+                "flat sources are updated with update_source".into(),
+            ));
+        }
+        let prepared = docs
+            .into_iter()
+            .map(|(key, doc)| PreparedDoc {
+                serialized: xomatiq_xml::to_string(&doc),
+                key,
+                doc,
+            })
+            .collect();
+        self.update_prepared(name, prepared)
+    }
+
+    fn update_prepared(
+        &self,
+        name: &str,
+        prepared: Vec<PreparedDoc>,
+    ) -> HoundResult<Vec<ChangeEvent>> {
+        let (prefix, _, strategy) = self.meta(name)?;
+        let dtd = self.dtd(name)?;
+
+        // Old snapshot: entry key → (doc_id, serialized source).
+        let rows = self
+            .db
+            .execute(&format!("SELECT doc_id, entry_key, flat FROM {prefix}_src"))?;
+        let mut old_docs: BTreeMap<String, u64> = BTreeMap::new();
+        let mut old_snapshot: BTreeMap<String, String> = BTreeMap::new();
+        for row in rows.rows() {
+            let doc_id = row[0].as_int().unwrap_or(0) as u64;
+            let key = row[1].as_text().unwrap_or_default().to_string();
+            let flat = row[2].as_text().unwrap_or_default().to_string();
+            old_docs.insert(key.clone(), doc_id);
+            old_snapshot.insert(key, flat);
+        }
+        let mut new_snapshot: BTreeMap<String, String> = BTreeMap::new();
+        let mut new_index: BTreeMap<String, usize> = BTreeMap::new();
+        for (i, p) in prepared.iter().enumerate() {
+            new_snapshot.insert(p.key.clone(), p.serialized.clone());
+            new_index.insert(p.key.clone(), i);
+        }
+
+        let changes = diff_snapshots(&old_snapshot, &new_snapshot);
+        let mut events = Vec::with_capacity(changes.len());
+        for (key, change) in changes {
+            match change {
+                ChangeKind::Removed => {
+                    let doc_id = old_docs[&key];
+                    delete_document(&self.db, &prefix, doc_id)?;
+                    self.db
+                        .execute(&format!("DELETE FROM {prefix}_src WHERE doc_id = {doc_id}"))?;
+                }
+                ChangeKind::Modified | ChangeKind::Added => {
+                    if change == ChangeKind::Modified {
+                        let doc_id = old_docs[&key];
+                        delete_document(&self.db, &prefix, doc_id)?;
+                        self.db.execute(&format!(
+                            "DELETE FROM {prefix}_src WHERE doc_id = {doc_id}"
+                        ))?;
+                    }
+                    let p = &prepared[new_index[&key]];
+                    validate(&p.doc, &dtd)?;
+                    let doc_id = {
+                        let mut map = self.collections.lock();
+                        let meta = map.get_mut(name).expect("checked by meta()");
+                        let id = meta.next_doc_id;
+                        meta.next_doc_id += 1;
+                        id
+                    };
+                    shred_document(&self.db, &prefix, strategy, doc_id, &key, &p.doc)?;
+                    self.db.execute(&format!(
+                        "INSERT INTO {prefix}_src VALUES ({doc_id}, '{}', '{}')",
+                        sql_quote(&key),
+                        sql_quote(&p.serialized)
+                    ))?;
+                }
+            }
+            let event = ChangeEvent {
+                collection: name.to_string(),
+                entry_key: key,
+                kind: change,
+            };
+            self.triggers.notify(&event);
+            events.push(event);
+        }
+        Ok(events)
+    }
+
+    /// Reconstructs the warehoused document for `entry_key` — the
+    /// Relation2XML direction.
+    pub fn reconstruct(&self, collection: &str, entry_key: &str) -> HoundResult<Document> {
+        let (prefix, _, strategy) = self.meta(collection)?;
+        let rows = self.db.execute(&format!(
+            "SELECT doc_id FROM {prefix}_docs WHERE entry_key = '{}'",
+            sql_quote(entry_key)
+        ))?;
+        let doc_id = rows
+            .rows()
+            .first()
+            .and_then(|r| r[0].as_int())
+            .ok_or_else(|| HoundError::Pipeline(format!("no document for entry {entry_key:?}")))?;
+        reconstruct_document(&self.db, &prefix, strategy, doc_id as u64)
+    }
+
+    /// Number of documents in a collection.
+    pub fn doc_count(&self, collection: &str) -> HoundResult<usize> {
+        let (prefix, ..) = self.meta(collection)?;
+        Ok(self.db.row_count(&format!("{prefix}_docs"))?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xomatiq_bioflat::{Corpus, CorpusSpec};
+
+    fn hounds() -> DataHounds {
+        DataHounds::new(Arc::new(Database::in_memory())).unwrap()
+    }
+
+    fn small_corpus() -> Corpus {
+        Corpus::generate(&CorpusSpec::sized(10))
+    }
+
+    #[test]
+    fn load_enzyme_collection() {
+        let dh = hounds();
+        let corpus = small_corpus();
+        let stats = dh
+            .load_source(
+                "hlx_enzyme.DEFAULT",
+                SourceKind::Enzyme,
+                &corpus.enzyme_flat(),
+                LoadOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(stats.documents, 10);
+        assert!(stats.elements > 10);
+        assert_eq!(dh.doc_count("hlx_enzyme.DEFAULT").unwrap(), 10);
+        assert_eq!(dh.collections(), vec!["hlx_enzyme.DEFAULT".to_string()]);
+        assert_eq!(
+            dh.prefix("hlx_enzyme.DEFAULT").unwrap(),
+            "hlx_enzyme_default"
+        );
+    }
+
+    #[test]
+    fn double_load_rejected() {
+        let dh = hounds();
+        let corpus = small_corpus();
+        dh.load_source(
+            "c",
+            SourceKind::Enzyme,
+            &corpus.enzyme_flat(),
+            LoadOptions::default(),
+        )
+        .unwrap();
+        assert!(dh
+            .load_source(
+                "c",
+                SourceKind::Enzyme,
+                &corpus.enzyme_flat(),
+                LoadOptions::default()
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn reconstruct_round_trips_both_strategies() {
+        let corpus = small_corpus();
+        for strategy in [ShreddingStrategy::Edge, ShreddingStrategy::Interval] {
+            let dh = hounds();
+            dh.load_source(
+                "hlx_enzyme.DEFAULT",
+                SourceKind::Enzyme,
+                &corpus.enzyme_flat(),
+                LoadOptions {
+                    strategy,
+                    ..LoadOptions::default()
+                },
+            )
+            .unwrap();
+            for entry in &corpus.enzymes {
+                let rebuilt = dh.reconstruct("hlx_enzyme.DEFAULT", &entry.id).unwrap();
+                let original = crate::transform::enzyme_to_xml(entry).unwrap();
+                assert!(
+                    original.structurally_equal(&rebuilt),
+                    "{strategy:?} reconstruction of {} diverged",
+                    entry.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn update_applies_minimal_changes_and_fires_triggers() {
+        let dh = hounds();
+        let corpus = small_corpus();
+        dh.load_source(
+            "hlx_enzyme.DEFAULT",
+            SourceKind::Enzyme,
+            &corpus.enzyme_flat(),
+            LoadOptions::default(),
+        )
+        .unwrap();
+        let rx = dh.subscribe();
+
+        // New snapshot: drop entry 0, modify entry 1, add a fresh entry.
+        let mut entries = corpus.enzymes.clone();
+        let removed_key = entries.remove(0).id;
+        entries[0].descriptions = vec!["Renamed enzyme.".into()];
+        let modified_key = entries[0].id.clone();
+        let mut added = entries[1].clone();
+        added.id = "9.9.9.99".into();
+        entries.push(added);
+        let flat: String = entries.iter().map(|e| e.to_flat()).collect();
+
+        let events = dh.update_source("hlx_enzyme.DEFAULT", &flat).unwrap();
+        assert_eq!(events.len(), 3);
+        let kinds: std::collections::HashMap<String, ChangeKind> = events
+            .iter()
+            .map(|e| (e.entry_key.clone(), e.kind))
+            .collect();
+        assert_eq!(kinds[&removed_key], ChangeKind::Removed);
+        assert_eq!(kinds[&modified_key], ChangeKind::Modified);
+        assert_eq!(kinds["9.9.9.99"], ChangeKind::Added);
+
+        // Triggers delivered.
+        let mut received = Vec::new();
+        while let Ok(e) = rx.try_recv() {
+            received.push(e);
+        }
+        assert_eq!(received.len(), 3);
+
+        // Warehouse state matches the new snapshot.
+        assert_eq!(dh.doc_count("hlx_enzyme.DEFAULT").unwrap(), 10);
+        let rebuilt = dh.reconstruct("hlx_enzyme.DEFAULT", &modified_key).unwrap();
+        let expected = crate::transform::enzyme_to_xml(&entries[0]).unwrap();
+        assert!(expected.structurally_equal(&rebuilt));
+        assert!(dh.reconstruct("hlx_enzyme.DEFAULT", &removed_key).is_err());
+        assert!(dh.reconstruct("hlx_enzyme.DEFAULT", "9.9.9.99").is_ok());
+    }
+
+    #[test]
+    fn update_with_no_changes_is_a_no_op() {
+        let dh = hounds();
+        let corpus = small_corpus();
+        let flat = corpus.enzyme_flat();
+        dh.load_source("c", SourceKind::Enzyme, &flat, LoadOptions::default())
+            .unwrap();
+        let events = dh.update_source("c", &flat).unwrap();
+        assert!(events.is_empty());
+        assert_eq!(dh.doc_count("c").unwrap(), 10);
+    }
+
+    #[test]
+    fn metadata_survives_reopen_on_same_database() {
+        let db = Arc::new(Database::in_memory());
+        let corpus = small_corpus();
+        {
+            let dh = DataHounds::new(Arc::clone(&db)).unwrap();
+            dh.load_source(
+                "hlx_embl.inv",
+                SourceKind::Embl,
+                &corpus.embl_flat(),
+                LoadOptions::default(),
+            )
+            .unwrap();
+        }
+        // A second Data Hounds over the same database recovers metadata.
+        let dh2 = DataHounds::new(db).unwrap();
+        assert_eq!(dh2.collections(), vec!["hlx_embl.inv".to_string()]);
+        assert_eq!(
+            dh2.strategy("hlx_embl.inv").unwrap(),
+            ShreddingStrategy::Interval
+        );
+        assert_eq!(dh2.doc_count("hlx_embl.inv").unwrap(), 10);
+        // And updates keep working (doc ids continue from the right spot).
+        let mut entries = corpus.embl.clone();
+        entries[0].description = "changed".into();
+        let flat: String = entries.iter().map(|e| e.to_flat()).collect();
+        let events = dh2.update_source("hlx_embl.inv", &flat).unwrap();
+        assert_eq!(events.len(), 1);
+    }
+
+    #[test]
+    fn unknown_collection_errors() {
+        let dh = hounds();
+        assert!(matches!(
+            dh.dtd("nope"),
+            Err(HoundError::UnknownCollection(_))
+        ));
+        assert!(dh.update_source("nope", "").is_err());
+        assert!(dh.reconstruct("nope", "k").is_err());
+    }
+
+    #[test]
+    fn all_three_kinds_load() {
+        let dh = hounds();
+        let corpus = small_corpus();
+        dh.load_source(
+            "hlx_enzyme.DEFAULT",
+            SourceKind::Enzyme,
+            &corpus.enzyme_flat(),
+            LoadOptions::default(),
+        )
+        .unwrap();
+        dh.load_source(
+            "hlx_embl.inv",
+            SourceKind::Embl,
+            &corpus.embl_flat(),
+            LoadOptions::default(),
+        )
+        .unwrap();
+        dh.load_source(
+            "hlx_sprot.all",
+            SourceKind::SwissProt,
+            &corpus.swissprot_flat(),
+            LoadOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(dh.collections().len(), 3);
+        for c in ["hlx_enzyme.DEFAULT", "hlx_embl.inv", "hlx_sprot.all"] {
+            assert_eq!(dh.doc_count(c).unwrap(), 10, "{c}");
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! EMBL → XML.
+//!
+//! The paper's queries address EMBL documents as
+//! `document("hlx_embl.inv")/hlx_n_sequence` with entries under
+//! `db_entry`, an `embl_accession_number`, a `description`, and feature
+//! `qualifier` elements carrying a `qualifier_type` attribute (Figures 8
+//! and 11). This transformer produces exactly that shape; the sequence
+//! block lands in a dedicated `sequence` element so the warehouse can keep
+//! its sequence/non-sequence distinction (§2.2).
+
+use xomatiq_bioflat::EmblEntry;
+use xomatiq_xml::dtd::{parse_dtd, Dtd};
+use xomatiq_xml::Document;
+
+use crate::error::HoundResult;
+
+/// The DTD of warehoused EMBL documents.
+pub const EMBL_DTD_TEXT: &str = r#"<!ELEMENT hlx_n_sequence (db_entry)>
+<!ELEMENT db_entry (embl_accession_number,description?,molecule?,division?,
+  organism?,keyword_list,feature_table,sequence?)>
+<!ELEMENT embl_accession_number (#PCDATA)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT molecule (#PCDATA)>
+<!ELEMENT division (#PCDATA)>
+<!ELEMENT organism (#PCDATA)>
+<!ELEMENT keyword_list (keyword*)>
+<!ELEMENT keyword (#PCDATA)>
+<!ELEMENT feature_table (feature*)>
+<!ELEMENT feature (qualifier*)>
+<!ATTLIST feature
+  feature_key CDATA #REQUIRED
+  location CDATA #REQUIRED
+>
+<!ELEMENT qualifier (#PCDATA)>
+<!ATTLIST qualifier
+  qualifier_type CDATA #REQUIRED
+>
+<!ELEMENT sequence (#PCDATA)>
+<!ATTLIST sequence
+  length NMTOKEN #REQUIRED
+>
+"#;
+
+/// Parses [`EMBL_DTD_TEXT`] into a [`Dtd`].
+pub fn embl_dtd() -> Dtd {
+    parse_dtd(EMBL_DTD_TEXT).expect("the EMBL DTD is well-formed")
+}
+
+/// The qualifier-type label for a flat-file qualifier name: the paper's
+/// Figure 11 matches `@qualifier_type = "EC number"`, i.e. underscores in
+/// the flat format become spaces in the attribute.
+pub fn qualifier_type_label(name: &str) -> String {
+    name.replace('_', " ")
+}
+
+/// Converts one EMBL entry to its XML document.
+pub fn embl_to_xml(entry: &EmblEntry) -> HoundResult<Document> {
+    let (mut doc, root) = Document::with_root("hlx_n_sequence")?;
+    let db_entry = doc.append_element(root, "db_entry")?;
+
+    let acc = doc.append_element(db_entry, "embl_accession_number")?;
+    doc.append_text(acc, &entry.accession);
+
+    if !entry.description.is_empty() {
+        let de = doc.append_element(db_entry, "description")?;
+        doc.append_text(de, &entry.description);
+    }
+    if !entry.molecule.is_empty() {
+        let el = doc.append_element(db_entry, "molecule")?;
+        doc.append_text(el, &entry.molecule);
+    }
+    if !entry.division.is_empty() {
+        let el = doc.append_element(db_entry, "division")?;
+        doc.append_text(el, &entry.division);
+    }
+    if !entry.organism.is_empty() {
+        let el = doc.append_element(db_entry, "organism")?;
+        doc.append_text(el, &entry.organism);
+    }
+
+    let kw_list = doc.append_element(db_entry, "keyword_list")?;
+    for kw in &entry.keywords {
+        let el = doc.append_element(kw_list, "keyword")?;
+        doc.append_text(el, kw);
+    }
+
+    let ft = doc.append_element(db_entry, "feature_table")?;
+    for feature in &entry.features {
+        let fe = doc.append_element(ft, "feature")?;
+        doc.set_attribute(fe, "feature_key", &feature.key)?;
+        doc.set_attribute(fe, "location", &feature.location)?;
+        for q in &feature.qualifiers {
+            let qe = doc.append_element(fe, "qualifier")?;
+            doc.set_attribute(qe, "qualifier_type", &qualifier_type_label(&q.name))?;
+            if !q.value.is_empty() {
+                doc.append_text(qe, &q.value);
+            }
+        }
+    }
+
+    if !entry.sequence.is_empty() {
+        let seq = doc.append_element(db_entry, "sequence")?;
+        doc.set_attribute(seq, "length", &entry.sequence.len().to_string())?;
+        doc.append_text(seq, &entry.sequence);
+    }
+
+    Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xomatiq_bioflat::embl::{Feature, Qualifier};
+    use xomatiq_xml::dtd::validate;
+    use xomatiq_xml::writer::to_string_pretty;
+
+    fn sample() -> EmblEntry {
+        EmblEntry {
+            accession: "AB000001".into(),
+            molecule: "mRNA".into(),
+            division: "INV".into(),
+            description: "Drosophila melanogaster mRNA for cdc6.".into(),
+            keywords: vec!["cdc6".into(), "cell cycle".into()],
+            organism: "Drosophila melanogaster".into(),
+            features: vec![Feature {
+                key: "CDS".into(),
+                location: "1..120".into(),
+                qualifiers: vec![
+                    Qualifier {
+                        name: "gene".into(),
+                        value: "cdc6".into(),
+                    },
+                    Qualifier {
+                        name: "EC_number".into(),
+                        value: "1.14.17.3".into(),
+                    },
+                ],
+            }],
+            sequence: "acgt".repeat(30),
+        }
+    }
+
+    #[test]
+    fn produces_figure11_addressable_shape() {
+        let doc = embl_to_xml(&sample()).unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.node(root).name(), Some("hlx_n_sequence"));
+        let entry = doc.child_element(root, "db_entry").unwrap();
+        let acc = doc.child_element(entry, "embl_accession_number").unwrap();
+        assert_eq!(doc.text_content(acc), "AB000001");
+        // The join predicate of Figure 11: //qualifier[@qualifier_type="EC number"].
+        let ft = doc.child_element(entry, "feature_table").unwrap();
+        let feature = doc.child_element(ft, "feature").unwrap();
+        let quals: Vec<_> = doc.child_elements(feature).collect();
+        assert_eq!(quals.len(), 2);
+        assert_eq!(
+            doc.node(quals[1]).attribute("qualifier_type"),
+            Some("EC number")
+        );
+        assert_eq!(doc.text_content(quals[1]), "1.14.17.3");
+    }
+
+    #[test]
+    fn validates_against_dtd() {
+        validate(&embl_to_xml(&sample()).unwrap(), &embl_dtd()).unwrap();
+        // Minimal entry too.
+        let minimal = EmblEntry {
+            accession: "X1".into(),
+            ..EmblEntry::default()
+        };
+        validate(&embl_to_xml(&minimal).unwrap(), &embl_dtd()).unwrap();
+    }
+
+    #[test]
+    fn sequence_element_carries_length_attribute() {
+        let doc = embl_to_xml(&sample()).unwrap();
+        let xml = to_string_pretty(&doc);
+        assert!(xml.contains("<sequence length=\"120\">"), "{xml}");
+    }
+
+    #[test]
+    fn qualifier_label_mapping() {
+        assert_eq!(qualifier_type_label("EC_number"), "EC number");
+        assert_eq!(qualifier_type_label("gene"), "gene");
+    }
+}

@@ -1,0 +1,224 @@
+//! ENZYME → XML, reproducing Figures 5 (DTD) and 6 (document) exactly.
+
+use xomatiq_bioflat::EnzymeEntry;
+use xomatiq_xml::dtd::{parse_dtd, Dtd};
+use xomatiq_xml::{Document, NodeId};
+
+use crate::error::HoundResult;
+
+/// The DTD of the ENZYME database — the paper's Figure 5, with the
+/// figure's space-separated names rendered in the underscore form a real
+/// DTD requires (`db entry` → `db_entry`).
+pub const ENZYME_DTD_TEXT: &str = r#"<!ELEMENT hlx_enzyme (db_entry)>
+<!ELEMENT db_entry (enzyme_id,enzyme_description+,alternate_name_list,
+  catalytic_activity*,cofactor_list,comment_list,prosite_reference*,
+  swissprot_reference_list,disease_list)>
+<!ELEMENT enzyme_id (#PCDATA)>
+<!ELEMENT enzyme_description (#PCDATA)>
+<!ELEMENT alternate_name_list (alternate_name*)>
+<!ELEMENT alternate_name (#PCDATA)>
+<!ELEMENT catalytic_activity (#PCDATA)>
+<!ELEMENT cofactor_list (cofactor*)>
+<!ELEMENT cofactor (#PCDATA)>
+<!ELEMENT comment_list (comment*)>
+<!ELEMENT comment (#PCDATA)>
+<!ELEMENT prosite_reference (#PCDATA)>
+<!ATTLIST prosite_reference
+  prosite_accession_number NMTOKEN #REQUIRED
+>
+<!ELEMENT swissprot_reference_list (reference*)>
+<!ELEMENT reference (#PCDATA)>
+<!ATTLIST reference
+  name CDATA #REQUIRED
+  swissprot_accession_number NMTOKEN #REQUIRED
+>
+<!ELEMENT disease_list (disease*)>
+<!ELEMENT disease (#PCDATA)>
+<!ATTLIST disease
+  mim_id CDATA #REQUIRED
+>
+"#;
+
+/// Parses [`ENZYME_DTD_TEXT`] into a [`Dtd`].
+pub fn enzyme_dtd() -> Dtd {
+    parse_dtd(ENZYME_DTD_TEXT).expect("the Figure 5 DTD is well-formed")
+}
+
+/// Converts one ENZYME entry to its XML document (the paper's Figure 6).
+pub fn enzyme_to_xml(entry: &EnzymeEntry) -> HoundResult<Document> {
+    let (mut doc, root) = Document::with_root("hlx_enzyme")?;
+    let db_entry = doc.append_element(root, "db_entry")?;
+
+    append_text_element(&mut doc, db_entry, "enzyme_id", &entry.id)?;
+    for de in &entry.descriptions {
+        append_text_element(&mut doc, db_entry, "enzyme_description", de)?;
+    }
+
+    let an_list = doc.append_element(db_entry, "alternate_name_list")?;
+    for an in &entry.alternate_names {
+        append_text_element(&mut doc, an_list, "alternate_name", an)?;
+    }
+
+    for ca in &entry.catalytic_activities {
+        append_text_element(&mut doc, db_entry, "catalytic_activity", ca)?;
+    }
+
+    let cf_list = doc.append_element(db_entry, "cofactor_list")?;
+    for cf in &entry.cofactors {
+        append_text_element(&mut doc, cf_list, "cofactor", cf)?;
+    }
+
+    let cc_list = doc.append_element(db_entry, "comment_list")?;
+    for cc in &entry.comments {
+        append_text_element(&mut doc, cc_list, "comment", cc)?;
+    }
+
+    for pr in &entry.prosite_refs {
+        let el = doc.append_element(db_entry, "prosite_reference")?;
+        doc.set_attribute(el, "prosite_accession_number", pr)?;
+    }
+
+    let dr_list = doc.append_element(db_entry, "swissprot_reference_list")?;
+    for dr in &entry.swissprot_refs {
+        let el = doc.append_element(dr_list, "reference")?;
+        doc.set_attribute(el, "name", &dr.name)?;
+        doc.set_attribute(el, "swissprot_accession_number", &dr.accession)?;
+    }
+
+    let di_list = doc.append_element(db_entry, "disease_list")?;
+    for di in &entry.diseases {
+        let el = doc.append_element(di_list, "disease")?;
+        doc.set_attribute(el, "mim_id", &di.mim_id)?;
+        doc.append_text(el, &di.description);
+    }
+
+    Ok(doc)
+}
+
+fn append_text_element(
+    doc: &mut Document,
+    parent: NodeId,
+    name: &str,
+    text: &str,
+) -> HoundResult<NodeId> {
+    let el = doc.append_element(parent, name)?;
+    if !text.is_empty() {
+        doc.append_text(el, text);
+    }
+    Ok(el)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xomatiq_bioflat::enzyme::{parse_enzyme_file, FIGURE2_SAMPLE};
+    use xomatiq_xml::dtd::validate;
+    use xomatiq_xml::writer::to_string_pretty;
+
+    fn figure2_entry() -> EnzymeEntry {
+        parse_enzyme_file(FIGURE2_SAMPLE).unwrap().remove(0)
+    }
+
+    #[test]
+    fn figure6_structure() {
+        let doc = enzyme_to_xml(&figure2_entry()).unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.node(root).name(), Some("hlx_enzyme"));
+        let entry = doc.child_element(root, "db_entry").unwrap();
+        let id = doc.child_element(entry, "enzyme_id").unwrap();
+        assert_eq!(doc.text_content(id), "1.14.17.3");
+        let desc = doc.child_element(entry, "enzyme_description").unwrap();
+        assert_eq!(doc.text_content(desc), "Peptidylglycine monooxygenase.");
+        // Two alternate names under the list element.
+        let an_list = doc.child_element(entry, "alternate_name_list").unwrap();
+        assert_eq!(doc.child_elements(an_list).count(), 2);
+        // Two catalytic_activity elements — one per CA line, as Figure 6.
+        let cas: Vec<NodeId> = doc
+            .child_elements(entry)
+            .filter(|e| doc.node(*e).name() == Some("catalytic_activity"))
+            .collect();
+        assert_eq!(cas.len(), 2);
+        assert!(doc
+            .text_content(cas[0])
+            .starts_with("Peptidylglycine + ascorbate"));
+        // Cofactor.
+        let cf_list = doc.child_element(entry, "cofactor_list").unwrap();
+        let cf = doc.child_element(cf_list, "cofactor").unwrap();
+        assert_eq!(doc.text_content(cf), "Copper");
+        // prosite_reference carries its accession as an attribute.
+        let pr = doc.child_element(entry, "prosite_reference").unwrap();
+        assert_eq!(
+            doc.node(pr).attribute("prosite_accession_number"),
+            Some("PDOC00080")
+        );
+        // Five Swiss-Prot references with name + accession attributes.
+        let dr_list = doc
+            .child_element(entry, "swissprot_reference_list")
+            .unwrap();
+        let refs: Vec<NodeId> = doc.child_elements(dr_list).collect();
+        assert_eq!(refs.len(), 5);
+        assert_eq!(doc.node(refs[0]).attribute("name"), Some("AMD_BOVIN"));
+        assert_eq!(
+            doc.node(refs[0]).attribute("swissprot_accession_number"),
+            Some("P10731")
+        );
+        // Empty disease list is present (Figure 6 shows `<disease_list/>`).
+        let di = doc.child_element(entry, "disease_list").unwrap();
+        assert_eq!(doc.children(di).count(), 0);
+    }
+
+    #[test]
+    fn figure6_document_is_valid_per_figure5_dtd() {
+        let doc = enzyme_to_xml(&figure2_entry()).unwrap();
+        validate(&doc, &enzyme_dtd()).unwrap();
+    }
+
+    #[test]
+    fn serialized_form_contains_figure6_landmarks() {
+        let doc = enzyme_to_xml(&figure2_entry()).unwrap();
+        let xml = to_string_pretty(&doc);
+        for needle in [
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?>",
+            "<hlx_enzyme>",
+            "<enzyme_id>1.14.17.3</enzyme_id>",
+            "<alternate_name>Peptidyl alpha-amidating enzyme</alternate_name>",
+            "<cofactor>Copper</cofactor>",
+            "prosite_accession_number=\"PDOC00080\"",
+            "name=\"AMD_RAT\" swissprot_accession_number=\"P14925\"",
+            "<disease_list/>",
+        ] {
+            assert!(xml.contains(needle), "missing {needle:?} in:\n{xml}");
+        }
+    }
+
+    #[test]
+    fn dtd_text_matches_parsed_model() {
+        let dtd = enzyme_dtd();
+        assert_eq!(dtd.root(), Some("hlx_enzyme"));
+        // Leaf elements carry PCDATA only.
+        let leaves = dtd.leaf_elements();
+        for l in ["enzyme_id", "cofactor", "comment", "alternate_name"] {
+            assert!(leaves.contains(&l), "{l} should be a leaf");
+        }
+    }
+
+    #[test]
+    fn entry_with_disease_validates() {
+        let entry = EnzymeEntry {
+            id: "1.2.3.4".into(),
+            descriptions: vec!["Some enzyme.".into()],
+            diseases: vec![xomatiq_bioflat::enzyme::DiseaseRef {
+                description: "Alkaptonuria".into(),
+                mim_id: "203500".into(),
+            }],
+            ..EnzymeEntry::default()
+        };
+        let doc = enzyme_to_xml(&entry).unwrap();
+        validate(&doc, &enzyme_dtd()).unwrap();
+        let xml = to_string_pretty(&doc);
+        assert!(
+            xml.contains("<disease mim_id=\"203500\">Alkaptonuria</disease>"),
+            "{xml}"
+        );
+    }
+}

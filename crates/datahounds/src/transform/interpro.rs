@@ -1,0 +1,107 @@
+//! InterPro entries → XML (an XML databank: the documents ARE the source
+//! form, so this transformer also defines the databank's DTD).
+
+use xomatiq_bioflat::interpro::InterProEntry;
+use xomatiq_xml::dtd::{parse_dtd, Dtd};
+use xomatiq_xml::Document;
+
+use crate::error::HoundResult;
+
+/// The DTD of warehoused InterPro documents.
+pub const INTERPRO_DTD_TEXT: &str = r#"<!ELEMENT hlx_interpro (db_entry)>
+<!ELEMENT db_entry (interpro_id,entry_name,entry_type,abstract?,
+  signature_list,go_list,protein_match_list)>
+<!ELEMENT interpro_id (#PCDATA)>
+<!ELEMENT entry_name (#PCDATA)>
+<!ELEMENT entry_type (#PCDATA)>
+<!ELEMENT abstract (#PCDATA)>
+<!ELEMENT signature_list (signature*)>
+<!ELEMENT signature EMPTY>
+<!ATTLIST signature
+  database CDATA #REQUIRED
+  signature_accession NMTOKEN #REQUIRED
+>
+<!ELEMENT go_list (go_term*)>
+<!ELEMENT go_term (#PCDATA)>
+<!ATTLIST go_term
+  go_id CDATA #REQUIRED
+  category CDATA #REQUIRED
+>
+<!ELEMENT protein_match_list (protein_match*)>
+<!ELEMENT protein_match (#PCDATA)>
+"#;
+
+/// Parses [`INTERPRO_DTD_TEXT`] into a [`Dtd`].
+pub fn interpro_dtd() -> Dtd {
+    parse_dtd(INTERPRO_DTD_TEXT).expect("the InterPro DTD is well-formed")
+}
+
+/// Converts one InterPro entry to its XML document.
+pub fn interpro_to_xml(entry: &InterProEntry) -> HoundResult<Document> {
+    let (mut doc, root) = Document::with_root("hlx_interpro")?;
+    let db_entry = doc.append_element(root, "db_entry")?;
+
+    let id = doc.append_element(db_entry, "interpro_id")?;
+    doc.append_text(id, &entry.id);
+    let name = doc.append_element(db_entry, "entry_name")?;
+    doc.append_text(name, &entry.name);
+    let ty = doc.append_element(db_entry, "entry_type")?;
+    doc.append_text(ty, &entry.entry_type);
+    if !entry.abstract_text.is_empty() {
+        let ab = doc.append_element(db_entry, "abstract")?;
+        doc.append_text(ab, &entry.abstract_text);
+    }
+
+    let sig_list = doc.append_element(db_entry, "signature_list")?;
+    for sig in &entry.signatures {
+        let el = doc.append_element(sig_list, "signature")?;
+        doc.set_attribute(el, "database", &sig.database)?;
+        doc.set_attribute(el, "signature_accession", &sig.accession)?;
+    }
+
+    let go_list = doc.append_element(db_entry, "go_list")?;
+    for go in &entry.go_terms {
+        let el = doc.append_element(go_list, "go_term")?;
+        doc.set_attribute(el, "go_id", &go.id)?;
+        doc.set_attribute(el, "category", &go.category)?;
+        doc.append_text(el, &go.name);
+    }
+
+    let pm_list = doc.append_element(db_entry, "protein_match_list")?;
+    for acc in &entry.protein_matches {
+        let el = doc.append_element(pm_list, "protein_match")?;
+        doc.append_text(el, acc);
+    }
+
+    Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xomatiq_bioflat::interpro::generate_interpro;
+    use xomatiq_xml::dtd::validate;
+
+    #[test]
+    fn generated_entries_validate() {
+        let dtd = interpro_dtd();
+        let accs = vec!["P00001".to_string()];
+        for e in generate_interpro(30, 5, &accs) {
+            let doc = interpro_to_xml(&e).unwrap();
+            validate(&doc, &dtd).unwrap_or_else(|err| panic!("{}: {err}", e.id));
+        }
+    }
+
+    #[test]
+    fn document_shape() {
+        let entries = generate_interpro(1, 2, &["P12345".to_string()]);
+        let doc = interpro_to_xml(&entries[0]).unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.node(root).name(), Some("hlx_interpro"));
+        let entry = doc.child_element(root, "db_entry").unwrap();
+        let id = doc.child_element(entry, "interpro_id").unwrap();
+        assert_eq!(doc.text_content(id), "IPR000001");
+        let sigs = doc.child_element(entry, "signature_list").unwrap();
+        assert!(doc.child_elements(sigs).count() >= 1);
+    }
+}

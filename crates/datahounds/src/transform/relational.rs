@@ -1,0 +1,152 @@
+//! Wrapping relational tables as XML documents.
+//!
+//! Figure 1 of the paper shows Data Hounds ingesting from two source
+//! shapes: flat files and an RDBMS ("programmable mechanisms to facilitate
+//! the transport, wrapping and conversion of remotely located relational
+//! tables and flat-files"). This module is the RDBMS wrapper: given a
+//! remote table (simulated by any [`Database`]), it derives a DTD from the
+//! table schema and converts each row into one `db_entry` document, ready
+//! for [`crate::DataHounds::load_xml_source`].
+
+use xomatiq_relstore::{DataType, Database, Value};
+use xomatiq_xml::name::sanitize_name;
+use xomatiq_xml::Document;
+
+use crate::error::{HoundError, HoundResult};
+
+/// Derives the DTD for a wrapped table: a root element named
+/// `hlx_<table>`, one `db_entry` per row, one leaf element per column.
+pub fn relational_dtd_text(root: &str, columns: &[(String, DataType)]) -> String {
+    let mut out = String::new();
+    let column_names: Vec<String> = columns
+        .iter()
+        .map(|(name, _)| sanitize_name(name))
+        .collect();
+    out.push_str(&format!("<!ELEMENT {root} (db_entry)>\n"));
+    out.push_str(&format!(
+        "<!ELEMENT db_entry ({})>\n",
+        column_names
+            .iter()
+            .map(|c| format!("{c}?"))
+            .collect::<Vec<_>>()
+            .join(",")
+    ));
+    for name in &column_names {
+        out.push_str(&format!("<!ELEMENT {name} (#PCDATA)>\n"));
+    }
+    out
+}
+
+/// Wraps every row of `table` in `remote` as an XML document. `key_column`
+/// names the column whose value becomes the entry key (it must be unique
+/// in the table — typically the primary key).
+///
+/// Returns the derived DTD text and the `(key, document)` pairs.
+pub fn wrap_relational_table(
+    remote: &Database,
+    table: &str,
+    key_column: &str,
+) -> HoundResult<(String, Vec<(String, Document)>)> {
+    let rs = remote.execute(&format!("SELECT * FROM {table}"))?;
+    let columns: Vec<String> = rs.columns().to_vec();
+    let key_pos = columns
+        .iter()
+        .position(|c| c.eq_ignore_ascii_case(key_column))
+        .ok_or_else(|| {
+            HoundError::Pipeline(format!("table {table} has no column {key_column:?}"))
+        })?;
+    // Recover the declared types for the DTD comment trail; values carry
+    // their own runtime types so Text is a safe fallback.
+    let typed: Vec<(String, DataType)> = columns
+        .iter()
+        .map(|c| (c.clone(), DataType::Text))
+        .collect();
+    let root = format!("hlx_{}", sanitize_name(table));
+    let dtd_text = relational_dtd_text(&root, &typed);
+
+    let mut docs = Vec::with_capacity(rs.rows().len());
+    let mut seen_keys = std::collections::HashSet::new();
+    for row in rs.rows() {
+        let key = row[key_pos].to_string();
+        if !seen_keys.insert(key.clone()) {
+            return Err(HoundError::Pipeline(format!(
+                "key column {key_column:?} is not unique: duplicate {key:?}"
+            )));
+        }
+        let (mut doc, root_el) = Document::with_root(&root)?;
+        let entry = doc.append_element(root_el, "db_entry")?;
+        for (i, column) in columns.iter().enumerate() {
+            if matches!(row[i], Value::Null) {
+                continue; // NULL columns are simply absent, per the DTD's `?`
+            }
+            let el = doc.append_element(entry, &sanitize_name(column))?;
+            doc.append_text(el, &row[i].to_string());
+        }
+        docs.push((key, doc));
+    }
+    Ok((dtd_text, docs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xomatiq_xml::dtd::{parse_dtd, validate};
+
+    fn remote() -> Database {
+        let db = Database::in_memory();
+        db.execute("CREATE TABLE patients (mrn TEXT, diagnosis TEXT, age INT, score FLOAT)")
+            .unwrap();
+        db.execute(
+            "INSERT INTO patients VALUES \
+             ('MRN001', 'Alkaptonuria', 34, 0.8), \
+             ('MRN002', 'Phenylketonuria', 7, NULL), \
+             ('MRN003', NULL, 61, 0.3)",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn wraps_rows_as_valid_documents() {
+        let db = remote();
+        let (dtd_text, docs) = wrap_relational_table(&db, "patients", "mrn").unwrap();
+        assert_eq!(docs.len(), 3);
+        let dtd = parse_dtd(&dtd_text).unwrap();
+        assert_eq!(dtd.root(), Some("hlx_patients"));
+        for (key, doc) in &docs {
+            validate(doc, &dtd).unwrap_or_else(|e| panic!("{key}: {e}"));
+        }
+        // NULL columns are absent.
+        let (_, doc3) = &docs[2];
+        let root = doc3.root_element().unwrap();
+        let entry = doc3.child_element(root, "db_entry").unwrap();
+        assert!(doc3.child_element(entry, "diagnosis").is_none());
+        assert!(doc3.child_element(entry, "age").is_some());
+    }
+
+    #[test]
+    fn numeric_values_become_text_content() {
+        let db = remote();
+        let (_, docs) = wrap_relational_table(&db, "patients", "mrn").unwrap();
+        let (_, doc) = &docs[0];
+        let root = doc.root_element().unwrap();
+        let entry = doc.child_element(root, "db_entry").unwrap();
+        let age = doc.child_element(entry, "age").unwrap();
+        assert_eq!(doc.text_content(age), "34");
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        let db = remote();
+        db.execute("INSERT INTO patients VALUES ('MRN001', 'dup', 1, 1.0)")
+            .unwrap();
+        assert!(wrap_relational_table(&db, "patients", "mrn").is_err());
+    }
+
+    #[test]
+    fn unknown_table_or_key_rejected() {
+        let db = remote();
+        assert!(wrap_relational_table(&db, "missing", "mrn").is_err());
+        assert!(wrap_relational_table(&db, "patients", "nope").is_err());
+    }
+}

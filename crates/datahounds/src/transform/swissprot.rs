@@ -1,0 +1,134 @@
+//! Swiss-Prot → XML.
+//!
+//! The paper's Figure 8 keyword query returns
+//! `$b//sprot_accession_number` from `document("hlx_sprot.all")/
+//! hlx_n_sequence`; we root Swiss-Prot documents at `hlx_p_sequence`
+//! (protein sequence) with the same `db_entry` shape, keeping the
+//! accession addressable as `//sprot_accession_number`.
+
+use xomatiq_bioflat::SwissProtEntry;
+use xomatiq_xml::dtd::{parse_dtd, Dtd};
+use xomatiq_xml::Document;
+
+use crate::error::HoundResult;
+
+/// The DTD of warehoused Swiss-Prot documents.
+pub const SWISSPROT_DTD_TEXT: &str = r#"<!ELEMENT hlx_p_sequence (db_entry)>
+<!ELEMENT db_entry (sprot_accession_number,entry_name,description?,gene?,
+  organism?,keyword_list,xref_list,sequence?)>
+<!ELEMENT sprot_accession_number (#PCDATA)>
+<!ELEMENT entry_name (#PCDATA)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT gene (#PCDATA)>
+<!ELEMENT organism (#PCDATA)>
+<!ELEMENT keyword_list (keyword*)>
+<!ELEMENT keyword (#PCDATA)>
+<!ELEMENT xref_list (xref*)>
+<!ELEMENT xref EMPTY>
+<!ATTLIST xref
+  database CDATA #REQUIRED
+  xref_id CDATA #REQUIRED
+>
+<!ELEMENT sequence (#PCDATA)>
+<!ATTLIST sequence
+  length NMTOKEN #REQUIRED
+>
+"#;
+
+/// Parses [`SWISSPROT_DTD_TEXT`] into a [`Dtd`].
+pub fn swissprot_dtd() -> Dtd {
+    parse_dtd(SWISSPROT_DTD_TEXT).expect("the Swiss-Prot DTD is well-formed")
+}
+
+/// Converts one Swiss-Prot entry to its XML document.
+pub fn swissprot_to_xml(entry: &SwissProtEntry) -> HoundResult<Document> {
+    let (mut doc, root) = Document::with_root("hlx_p_sequence")?;
+    let db_entry = doc.append_element(root, "db_entry")?;
+
+    let acc = doc.append_element(db_entry, "sprot_accession_number")?;
+    doc.append_text(acc, &entry.accession);
+    let name = doc.append_element(db_entry, "entry_name")?;
+    doc.append_text(name, &entry.name);
+
+    if !entry.description.is_empty() {
+        let el = doc.append_element(db_entry, "description")?;
+        doc.append_text(el, &entry.description);
+    }
+    if !entry.gene.is_empty() {
+        let el = doc.append_element(db_entry, "gene")?;
+        doc.append_text(el, &entry.gene);
+    }
+    if !entry.organism.is_empty() {
+        let el = doc.append_element(db_entry, "organism")?;
+        doc.append_text(el, &entry.organism);
+    }
+
+    let kw_list = doc.append_element(db_entry, "keyword_list")?;
+    for kw in &entry.keywords {
+        let el = doc.append_element(kw_list, "keyword")?;
+        doc.append_text(el, kw);
+    }
+
+    let xref_list = doc.append_element(db_entry, "xref_list")?;
+    for x in &entry.xrefs {
+        let el = doc.append_element(xref_list, "xref")?;
+        doc.set_attribute(el, "database", &x.database)?;
+        doc.set_attribute(el, "xref_id", &x.id)?;
+    }
+
+    if !entry.sequence.is_empty() {
+        let seq = doc.append_element(db_entry, "sequence")?;
+        doc.set_attribute(seq, "length", &entry.sequence.len().to_string())?;
+        doc.append_text(seq, &entry.sequence);
+    }
+
+    Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xomatiq_bioflat::swissprot::DbXref;
+    use xomatiq_xml::dtd::validate;
+
+    fn sample() -> SwissProtEntry {
+        SwissProtEntry {
+            name: "AMD_BOVIN".into(),
+            accession: "P10731".into(),
+            description: "Peptidylglycine alpha-amidating monooxygenase.".into(),
+            gene: "PAM".into(),
+            organism: "Bos taurus".into(),
+            keywords: vec!["Monooxygenase".into(), "Copper".into()],
+            xrefs: vec![DbXref {
+                database: "EMBL".into(),
+                id: "AB000001".into(),
+            }],
+            sequence: "MAGRA".repeat(10),
+        }
+    }
+
+    #[test]
+    fn produces_figure8_addressable_shape() {
+        let doc = swissprot_to_xml(&sample()).unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.node(root).name(), Some("hlx_p_sequence"));
+        let entry = doc.child_element(root, "db_entry").unwrap();
+        let acc = doc.child_element(entry, "sprot_accession_number").unwrap();
+        assert_eq!(doc.text_content(acc), "P10731");
+        let xl = doc.child_element(entry, "xref_list").unwrap();
+        let x = doc.child_element(xl, "xref").unwrap();
+        assert_eq!(doc.node(x).attribute("database"), Some("EMBL"));
+        assert_eq!(doc.node(x).attribute("xref_id"), Some("AB000001"));
+    }
+
+    #[test]
+    fn validates_against_dtd() {
+        validate(&swissprot_to_xml(&sample()).unwrap(), &swissprot_dtd()).unwrap();
+        let minimal = SwissProtEntry {
+            name: "X_Y".into(),
+            accession: "P1".into(),
+            ..SwissProtEntry::default()
+        };
+        validate(&swissprot_to_xml(&minimal).unwrap(), &swissprot_dtd()).unwrap();
+    }
+}

@@ -1,0 +1,163 @@
+//! Incremental updates and change triggers.
+//!
+//! The paper's second design consideration (§2) is "the ability to
+//! download and integrate the latest updates to any database without any
+//! information being left out or added twice", and §2.2 ends with "once
+//! the changes have been committed to the local warehouse, the Data
+//! Hounds sends out triggers to related applications". This module
+//! supplies the entry-level diff and the trigger fan-out.
+
+use std::collections::BTreeMap;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+/// What happened to an entry during an update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ChangeKind {
+    /// The entry is new in this update.
+    Added,
+    /// The entry existed before but its content changed.
+    Modified,
+    /// The entry disappeared from the source.
+    Removed,
+}
+
+/// A change trigger sent to subscribed applications.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChangeEvent {
+    /// The warehouse collection that changed.
+    pub collection: String,
+    /// The stable entry key (EC number / accession).
+    pub entry_key: String,
+    /// The kind of change.
+    pub kind: ChangeKind,
+}
+
+/// Fan-out hub delivering [`ChangeEvent`]s to any number of subscribers.
+#[derive(Debug, Default)]
+pub struct TriggerHub {
+    subscribers: Mutex<Vec<Sender<ChangeEvent>>>,
+}
+
+impl TriggerHub {
+    /// Creates an empty hub.
+    pub fn new() -> Self {
+        TriggerHub::default()
+    }
+
+    /// Subscribes; the returned receiver sees every subsequent event.
+    pub fn subscribe(&self) -> Receiver<ChangeEvent> {
+        let (tx, rx) = unbounded();
+        self.subscribers.lock().push(tx);
+        rx
+    }
+
+    /// Delivers `event` to all live subscribers, pruning closed ones.
+    pub fn notify(&self, event: &ChangeEvent) {
+        let mut subs = self.subscribers.lock();
+        subs.retain(|tx| tx.send(event.clone()).is_ok());
+    }
+
+    /// Number of live subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.lock().len()
+    }
+}
+
+/// Diffs two keyed snapshots (entry key → serialized entry), producing the
+/// per-entry change set. Unchanged entries produce nothing — that is the
+/// "without … added twice" half of the §2 requirement.
+pub fn diff_snapshots(
+    old: &BTreeMap<String, String>,
+    new: &BTreeMap<String, String>,
+) -> Vec<(String, ChangeKind)> {
+    let mut changes = Vec::new();
+    for (key, old_src) in old {
+        match new.get(key) {
+            None => changes.push((key.clone(), ChangeKind::Removed)),
+            Some(new_src) if new_src != old_src => {
+                changes.push((key.clone(), ChangeKind::Modified));
+            }
+            Some(_) => {}
+        }
+    }
+    for key in new.keys() {
+        if !old.contains_key(key) {
+            changes.push((key.clone(), ChangeKind::Added));
+        }
+    }
+    changes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(pairs: &[(&str, &str)]) -> BTreeMap<String, String> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn diff_detects_all_change_kinds() {
+        let old = snap(&[("a", "1"), ("b", "2"), ("c", "3")]);
+        let new = snap(&[("a", "1"), ("b", "CHANGED"), ("d", "4")]);
+        let mut changes = diff_snapshots(&old, &new);
+        changes.sort();
+        assert_eq!(
+            changes,
+            vec![
+                ("b".to_string(), ChangeKind::Modified),
+                ("c".to_string(), ChangeKind::Removed),
+                ("d".to_string(), ChangeKind::Added),
+            ]
+        );
+    }
+
+    #[test]
+    fn identical_snapshots_produce_no_changes() {
+        let s = snap(&[("a", "1"), ("b", "2")]);
+        assert!(diff_snapshots(&s, &s).is_empty());
+    }
+
+    #[test]
+    fn empty_to_full_is_all_added() {
+        let changes = diff_snapshots(&BTreeMap::new(), &snap(&[("a", "1"), ("b", "2")]));
+        assert_eq!(changes.len(), 2);
+        assert!(changes.iter().all(|(_, k)| *k == ChangeKind::Added));
+    }
+
+    #[test]
+    fn triggers_reach_all_subscribers() {
+        let hub = TriggerHub::new();
+        let rx1 = hub.subscribe();
+        let rx2 = hub.subscribe();
+        let event = ChangeEvent {
+            collection: "hlx_enzyme".into(),
+            entry_key: "1.1.1.1".into(),
+            kind: ChangeKind::Modified,
+        };
+        hub.notify(&event);
+        assert_eq!(rx1.try_recv().unwrap(), event);
+        assert_eq!(rx2.try_recv().unwrap(), event);
+        assert!(rx1.try_recv().is_err()); // exactly once each
+    }
+
+    #[test]
+    fn dropped_subscribers_are_pruned() {
+        let hub = TriggerHub::new();
+        let rx = hub.subscribe();
+        drop(rx);
+        let rx2 = hub.subscribe();
+        hub.notify(&ChangeEvent {
+            collection: "c".into(),
+            entry_key: "k".into(),
+            kind: ChangeKind::Added,
+        });
+        assert_eq!(hub.subscriber_count(), 1);
+        assert_eq!(rx2.try_recv().unwrap().entry_key, "k");
+    }
+}

@@ -1,0 +1,966 @@
+//! The database facade: storage, SQL entry point, durability, concurrency.
+//!
+//! [`Database`] is what the rest of the workspace talks to — the stand-in
+//! for the paper's Oracle 9i instance. It wraps [`Storage`] (catalog +
+//! tables + indexes) in a reader/writer lock, so any number of XomatiQ
+//! queries run concurrently while Data Hounds updates take exclusive
+//! turns, and threads every mutation through the write-ahead log before
+//! acknowledging it.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::error::{RelError, RelResult};
+use crate::exec::execute_plan;
+use crate::expr::{eval, eval_predicate, RowSchema};
+use crate::index::BTreeIndex;
+use crate::plan::PlannedQuery;
+use crate::planner::plan_select;
+use crate::schema::{Catalog, Column, IndexDef, TableSchema};
+use crate::sql::ast::Statement;
+use crate::sql::parser::parse_statement;
+use crate::table::{Row, RowId, Table};
+use crate::text::KeywordIndex;
+use crate::value::Value;
+use crate::wal::{Wal, WalRecord};
+
+/// In-memory state: catalog, tables and index structures.
+#[derive(Debug, Default)]
+pub struct Storage {
+    /// Schemas and index definitions.
+    pub catalog: Catalog,
+    tables: BTreeMap<String, Table>,
+    btree: BTreeMap<String, BTreeIndex>,
+    keyword: BTreeMap<String, KeywordIndex>,
+}
+
+fn key(name: &str) -> String {
+    name.to_ascii_lowercase()
+}
+
+impl Storage {
+    /// Borrows a table.
+    pub fn table(&self, name: &str) -> RelResult<&Table> {
+        self.tables
+            .get(&key(name))
+            .ok_or_else(|| RelError::UnknownTable(name.to_string()))
+    }
+
+    /// Borrows a B-tree index by name.
+    pub fn btree_index(&self, name: &str) -> RelResult<&BTreeIndex> {
+        self.btree
+            .get(&key(name))
+            .ok_or_else(|| RelError::UnknownIndex(name.to_string()))
+    }
+
+    /// Borrows a keyword index by name.
+    pub fn keyword_index(&self, name: &str) -> RelResult<&KeywordIndex> {
+        self.keyword
+            .get(&key(name))
+            .ok_or_else(|| RelError::UnknownIndex(name.to_string()))
+    }
+
+    fn create_table(&mut self, schema: TableSchema) -> RelResult<()> {
+        self.catalog.create_table(schema.clone())?;
+        self.tables.insert(key(&schema.name), Table::new(schema));
+        Ok(())
+    }
+
+    fn drop_table(&mut self, name: &str) -> RelResult<()> {
+        // Record which indexes will disappear before mutating the catalog.
+        let dropped: Vec<String> = self
+            .catalog
+            .indexes_on(name)
+            .iter()
+            .map(|d| key(&d.name))
+            .collect();
+        self.catalog.drop_table(name)?;
+        self.tables.remove(&key(name));
+        for idx in dropped {
+            self.btree.remove(&idx);
+            self.keyword.remove(&idx);
+        }
+        Ok(())
+    }
+
+    fn create_index(&mut self, def: IndexDef) -> RelResult<()> {
+        self.catalog.create_index(def.clone())?;
+        let table = self.table(&def.table)?;
+        if def.keyword {
+            let col = table
+                .schema()
+                .column_index(&def.columns[0])
+                .expect("validated by catalog");
+            let mut idx = KeywordIndex::new(col);
+            for (id, row) in table.scan() {
+                idx.insert(id, row);
+            }
+            self.keyword.insert(key(&def.name), idx);
+        } else {
+            let cols: Vec<usize> = def
+                .columns
+                .iter()
+                .map(|c| {
+                    table
+                        .schema()
+                        .column_index(c)
+                        .expect("validated by catalog")
+                })
+                .collect();
+            let mut idx = BTreeIndex::new(cols);
+            for (id, row) in table.scan() {
+                idx.insert(id, row);
+            }
+            self.btree.insert(key(&def.name), idx);
+        }
+        Ok(())
+    }
+
+    fn drop_index(&mut self, name: &str) -> RelResult<()> {
+        self.catalog.drop_index(name)?;
+        self.btree.remove(&key(name));
+        self.keyword.remove(&key(name));
+        Ok(())
+    }
+
+    fn insert(&mut self, table: &str, row: Row) -> RelResult<(RowId, Row)> {
+        let t = self
+            .tables
+            .get_mut(&key(table))
+            .ok_or_else(|| RelError::UnknownTable(table.to_string()))?;
+        let id = t.insert(row)?;
+        let stored = t.get(id).expect("just inserted").clone();
+        self.index_insert(table, id, &stored);
+        Ok((id, stored))
+    }
+
+    fn insert_at(&mut self, table: &str, id: RowId, row: Row) -> RelResult<()> {
+        let t = self
+            .tables
+            .get_mut(&key(table))
+            .ok_or_else(|| RelError::UnknownTable(table.to_string()))?;
+        t.insert_at(id, row)?;
+        let stored = t.get(id).expect("just inserted").clone();
+        self.index_insert(table, id, &stored);
+        Ok(())
+    }
+
+    fn delete(&mut self, table: &str, id: RowId) -> RelResult<Row> {
+        let t = self
+            .tables
+            .get_mut(&key(table))
+            .ok_or_else(|| RelError::UnknownTable(table.to_string()))?;
+        let old = t.delete(id)?;
+        self.index_remove(table, id, &old);
+        Ok(old)
+    }
+
+    fn update(&mut self, table: &str, id: RowId, row: Row) -> RelResult<Row> {
+        let t = self
+            .tables
+            .get_mut(&key(table))
+            .ok_or_else(|| RelError::UnknownTable(table.to_string()))?;
+        let old = t.update(id, row)?;
+        let new = t.get(id).expect("just updated").clone();
+        self.index_remove(table, id, &old);
+        self.index_insert(table, id, &new);
+        Ok(old)
+    }
+
+    fn index_insert(&mut self, table: &str, id: RowId, row: &[Value]) {
+        for def in self
+            .catalog
+            .indexes_on(table)
+            .into_iter()
+            .map(|d| d.name.clone())
+            .collect::<Vec<_>>()
+        {
+            if let Some(idx) = self.btree.get_mut(&key(&def)) {
+                idx.insert(id, row);
+            }
+            if let Some(idx) = self.keyword.get_mut(&key(&def)) {
+                idx.insert(id, row);
+            }
+        }
+    }
+
+    fn index_remove(&mut self, table: &str, id: RowId, row: &[Value]) {
+        for def in self
+            .catalog
+            .indexes_on(table)
+            .into_iter()
+            .map(|d| d.name.clone())
+            .collect::<Vec<_>>()
+        {
+            if let Some(idx) = self.btree.get_mut(&key(&def)) {
+                idx.remove(id, row);
+            }
+            if let Some(idx) = self.keyword.get_mut(&key(&def)) {
+                idx.remove(id, row);
+            }
+        }
+    }
+
+    /// Rows of `table` matching `filter` (all rows when `None`).
+    /// Rows of `table` matching `filter` (all rows when `None`).
+    ///
+    /// DML gets the same index-driven access paths as queries: the
+    /// filter's sargable conjuncts go through the planner's access-path
+    /// selection, so `DELETE ... WHERE doc_id = 7` touches only the
+    /// matching rows instead of scanning the table — which is what makes
+    /// the Data Hounds' per-entry incremental updates cheaper than a full
+    /// reload.
+    fn matching_rows(
+        &self,
+        table: &str,
+        filter: Option<&crate::sql::ast::Expr>,
+    ) -> RelResult<Vec<RowId>> {
+        use crate::plan::{IndexAccess, Plan};
+        let t = self.table(table)?;
+        let schema = RowSchema::for_table(table, t.schema().columns.iter().map(|c| c.name.clone()));
+        // Candidate row ids from the best index, else a full scan.
+        let candidates: Vec<RowId> = match filter {
+            Some(f) => {
+                let mut conjuncts = Vec::new();
+                crate::planner::split_conjuncts(f.clone(), &mut conjuncts);
+                let table_ref = crate::sql::ast::TableRef {
+                    table: table.to_string(),
+                    alias: table.to_string(),
+                };
+                match crate::planner::choose_access_path(&table_ref, &conjuncts, &self.catalog) {
+                    Plan::IndexScan { index, access, .. } => {
+                        let idx = self.btree_index(&index)?;
+                        let mut ids = match &access {
+                            IndexAccess::Exact(values) => {
+                                if values.len() == idx.key_columns().len() {
+                                    idx.lookup(values)
+                                } else {
+                                    idx.lookup_prefix(values)
+                                }
+                            }
+                            IndexAccess::Range {
+                                prefix,
+                                lower,
+                                upper,
+                            } => idx.range(prefix, bound_as_ref(lower), bound_as_ref(upper)),
+                        };
+                        ids.sort();
+                        ids
+                    }
+                    Plan::KeywordScan { index, keyword, .. } => {
+                        let idx = self.keyword_index(&index)?;
+                        let mut ids = idx.lookup(&keyword);
+                        ids.sort();
+                        ids
+                    }
+                    _ => t.scan().map(|(id, _)| id).collect(),
+                }
+            }
+            None => t.scan().map(|(id, _)| id).collect(),
+        };
+        // The full filter is re-checked on every candidate (index access
+        // only covers the sargable prefix).
+        let mut ids = Vec::with_capacity(candidates.len());
+        for id in candidates {
+            let Some(row) = t.get(id) else { continue };
+            let keep = match filter {
+                Some(f) => eval_predicate(f, &schema, row)?,
+                None => true,
+            };
+            if keep {
+                ids.push(id);
+            }
+        }
+        Ok(ids)
+    }
+}
+
+/// The result of executing a statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    columns: Vec<String>,
+    rows: Vec<Row>,
+    affected: usize,
+}
+
+impl ResultSet {
+    fn query(columns: Vec<String>, rows: Vec<Row>) -> Self {
+        ResultSet {
+            columns,
+            rows,
+            affected: 0,
+        }
+    }
+
+    fn dml(affected: usize) -> Self {
+        ResultSet {
+            columns: Vec::new(),
+            rows: Vec::new(),
+            affected,
+        }
+    }
+
+    /// Output column names (empty for DML/DDL).
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Result rows (empty for DML/DDL).
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Rows affected by DML (0 for queries).
+    pub fn affected(&self) -> usize {
+        self.affected
+    }
+
+    /// Consumes the result set into its rows.
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+
+    /// Renders the result as an ASCII table — the "simple table format"
+    /// result view of the paper's Figure 7(b).
+    pub fn to_table(&self) -> String {
+        if self.columns.is_empty() {
+            return format!("({} rows affected)\n", self.affected);
+        }
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let sep = |out: &mut String| {
+            out.push('+');
+            for w in &widths {
+                out.push_str(&"-".repeat(w + 2));
+                out.push('+');
+            }
+            out.push('\n');
+        };
+        sep(&mut out);
+        out.push('|');
+        for (c, w) in self.columns.iter().zip(&widths) {
+            out.push_str(&format!(" {c:<w$} |"));
+        }
+        out.push('\n');
+        sep(&mut out);
+        for row in &rendered {
+            out.push('|');
+            for (cell, w) in row.iter().zip(&widths) {
+                out.push_str(&format!(" {cell:<w$} |"));
+            }
+            out.push('\n');
+        }
+        sep(&mut out);
+        out.push_str(&format!("({} rows)\n", self.rows.len()));
+        out
+    }
+}
+
+struct WalState {
+    wal: Wal,
+    next_tx: u64,
+}
+
+/// An embedded relational database.
+pub struct Database {
+    storage: RwLock<Storage>,
+    wal: Option<Mutex<WalState>>,
+}
+
+impl Database {
+    /// Creates a volatile database (no durability).
+    pub fn in_memory() -> Database {
+        Database {
+            storage: RwLock::new(Storage::default()),
+            wal: None,
+        }
+    }
+
+    /// Opens a durable database whose write-ahead log lives at `path`,
+    /// replaying any committed history found there.
+    pub fn open(path: &Path) -> RelResult<Database> {
+        let records = Wal::read_all(path)?;
+        let mut storage = Storage::default();
+        let mut max_tx = 0u64;
+        // Buffer DML per transaction; apply at Commit. DDL is autocommitted
+        // (it is only ever logged outside an open transaction).
+        let mut open_txns: BTreeMap<u64, Vec<WalRecord>> = BTreeMap::new();
+        for record in records {
+            match record {
+                WalRecord::Begin { tx } => {
+                    max_tx = max_tx.max(tx);
+                    open_txns.insert(tx, Vec::new());
+                }
+                WalRecord::Commit { tx } => {
+                    if let Some(ops) = open_txns.remove(&tx) {
+                        for op in ops {
+                            apply_dml(&mut storage, op)?;
+                        }
+                    }
+                }
+                WalRecord::CreateTable { schema } => storage.create_table(schema)?,
+                WalRecord::DropTable { name } => storage.drop_table(&name)?,
+                WalRecord::CreateIndex { def } => storage.create_index(def)?,
+                WalRecord::DropIndex { name } => storage.drop_index(&name)?,
+                dml @ (WalRecord::Insert { .. }
+                | WalRecord::Delete { .. }
+                | WalRecord::Update { .. }) => {
+                    let tx = match &dml {
+                        WalRecord::Insert { tx, .. }
+                        | WalRecord::Delete { tx, .. }
+                        | WalRecord::Update { tx, .. } => *tx,
+                        _ => unreachable!(),
+                    };
+                    match open_txns.get_mut(&tx) {
+                        Some(ops) => ops.push(dml),
+                        // An op without a Begin comes from a compacted
+                        // snapshot; apply directly.
+                        None => apply_dml(&mut storage, dml)?,
+                    }
+                }
+            }
+        }
+        let wal = Wal::open(path)?;
+        Ok(Database {
+            storage: RwLock::new(storage),
+            wal: Some(Mutex::new(WalState {
+                wal,
+                next_tx: max_tx + 1,
+            })),
+        })
+    }
+
+    /// Parses and executes one SQL statement.
+    pub fn execute(&self, sql: &str) -> RelResult<ResultSet> {
+        let stmt = parse_statement(sql)?;
+        self.execute_statement(stmt)
+    }
+
+    /// Executes a pre-parsed statement.
+    pub fn execute_statement(&self, stmt: Statement) -> RelResult<ResultSet> {
+        match stmt {
+            Statement::Select(select) => {
+                let storage = self.storage.read();
+                let PlannedQuery { plan, visible } = plan_select(&select, &storage.catalog)?;
+                let (schema, rows) = execute_plan(&plan, &storage)?;
+                let columns: Vec<String> = schema
+                    .columns()
+                    .iter()
+                    .take(visible)
+                    .map(|b| b.name.clone())
+                    .collect();
+                let rows = rows
+                    .into_iter()
+                    .map(|mut r| {
+                        r.truncate(visible);
+                        r
+                    })
+                    .collect();
+                Ok(ResultSet::query(columns, rows))
+            }
+            Statement::CreateTable { name, columns } => {
+                let schema = TableSchema::new(
+                    &name,
+                    columns
+                        .into_iter()
+                        .map(|(n, ty)| Column { name: n, ty })
+                        .collect(),
+                );
+                let mut storage = self.storage.write();
+                storage.create_table(schema.clone())?;
+                self.log_ddl(WalRecord::CreateTable { schema })?;
+                Ok(ResultSet::dml(0))
+            }
+            Statement::DropTable { name } => {
+                let mut storage = self.storage.write();
+                storage.drop_table(&name)?;
+                self.log_ddl(WalRecord::DropTable { name })?;
+                Ok(ResultSet::dml(0))
+            }
+            Statement::CreateIndex {
+                name,
+                table,
+                columns,
+                keyword,
+            } => {
+                let def = IndexDef {
+                    name,
+                    table,
+                    columns,
+                    keyword,
+                };
+                let mut storage = self.storage.write();
+                storage.create_index(def.clone())?;
+                self.log_ddl(WalRecord::CreateIndex { def })?;
+                Ok(ResultSet::dml(0))
+            }
+            Statement::DropIndex { name } => {
+                let mut storage = self.storage.write();
+                storage.drop_index(&name)?;
+                self.log_ddl(WalRecord::DropIndex { name })?;
+                Ok(ResultSet::dml(0))
+            }
+            Statement::Insert { table, rows } => {
+                let empty = RowSchema::default();
+                let mut evaluated = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let values: Row = row
+                        .iter()
+                        .map(|e| eval(e, &empty, &[]))
+                        .collect::<RelResult<_>>()?;
+                    evaluated.push(values);
+                }
+                let mut storage = self.storage.write();
+                let tx = self.begin_tx();
+                let mut records = Vec::with_capacity(evaluated.len());
+                let count = evaluated.len();
+                for values in evaluated {
+                    let (id, stored) = storage.insert(&table, values)?;
+                    records.push(WalRecord::Insert {
+                        tx,
+                        table: table.clone(),
+                        row_id: id,
+                        row: stored,
+                    });
+                }
+                self.commit_tx(tx, records)?;
+                Ok(ResultSet::dml(count))
+            }
+            Statement::Delete { table, filter } => {
+                let mut storage = self.storage.write();
+                let filter = match filter {
+                    Some(f) => Some(self.resolve_single_table(&storage, &table, f)?),
+                    None => None,
+                };
+                let ids = storage.matching_rows(&table, filter.as_ref())?;
+                let tx = self.begin_tx();
+                let mut records = Vec::with_capacity(ids.len());
+                for id in &ids {
+                    storage.delete(&table, *id)?;
+                    records.push(WalRecord::Delete {
+                        tx,
+                        table: table.clone(),
+                        row_id: *id,
+                    });
+                }
+                self.commit_tx(tx, records)?;
+                Ok(ResultSet::dml(ids.len()))
+            }
+            Statement::Update {
+                table,
+                assignments,
+                filter,
+            } => {
+                let mut storage = self.storage.write();
+                let filter = match filter {
+                    Some(f) => Some(self.resolve_single_table(&storage, &table, f)?),
+                    None => None,
+                };
+                let schema_cols: Vec<String> = storage
+                    .table(&table)?
+                    .schema()
+                    .columns
+                    .iter()
+                    .map(|c| c.name.clone())
+                    .collect();
+                let row_schema = RowSchema::for_table(&table, schema_cols.clone());
+                let mut positions = Vec::with_capacity(assignments.len());
+                for (col, _) in &assignments {
+                    let pos = storage
+                        .table(&table)?
+                        .schema()
+                        .column_index(col)
+                        .ok_or_else(|| RelError::UnknownColumn(format!("{table}.{col}")))?;
+                    positions.push(pos);
+                }
+                let ids = storage.matching_rows(&table, filter.as_ref())?;
+                let tx = self.begin_tx();
+                let mut records = Vec::with_capacity(ids.len());
+                for id in &ids {
+                    let current = storage
+                        .table(&table)?
+                        .get(*id)
+                        .expect("matched row exists")
+                        .clone();
+                    let mut next = current.clone();
+                    for ((_, expr), pos) in assignments.iter().zip(&positions) {
+                        next[*pos] = eval(expr, &row_schema, &current)?;
+                    }
+                    storage.update(&table, *id, next.clone())?;
+                    let stored = storage.table(&table)?.get(*id).expect("updated").clone();
+                    records.push(WalRecord::Update {
+                        tx,
+                        table: table.clone(),
+                        row_id: *id,
+                        row: stored,
+                    });
+                }
+                self.commit_tx(tx, records)?;
+                Ok(ResultSet::dml(ids.len()))
+            }
+        }
+    }
+
+    /// Executes a sequence of DML statements atomically: either every
+    /// statement applies and a single commit record is fsynced, or none do.
+    pub fn execute_batch(&self, statements: &[&str]) -> RelResult<usize> {
+        let parsed: Vec<Statement> = statements
+            .iter()
+            .map(|s| parse_statement(s))
+            .collect::<RelResult<_>>()?;
+        for stmt in &parsed {
+            if !matches!(
+                stmt,
+                Statement::Insert { .. } | Statement::Delete { .. } | Statement::Update { .. }
+            ) {
+                return Err(RelError::Internal(
+                    "execute_batch accepts DML statements only".into(),
+                ));
+            }
+        }
+        let mut storage = self.storage.write();
+        let tx = self.begin_tx();
+        let mut records = Vec::new();
+        let mut undo: Vec<UndoOp> = Vec::new();
+        let mut affected = 0usize;
+        let result = (|| -> RelResult<()> {
+            for stmt in parsed {
+                affected += apply_batch_statement(&mut storage, stmt, tx, &mut records, &mut undo)?;
+            }
+            Ok(())
+        })();
+        match result {
+            Ok(()) => {
+                self.commit_tx(tx, records)?;
+                Ok(affected)
+            }
+            Err(e) => {
+                for op in undo.into_iter().rev() {
+                    op.apply(&mut storage)?;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Returns the textual plan for a `SELECT` — the engine's `EXPLAIN`.
+    pub fn explain(&self, sql: &str) -> RelResult<String> {
+        match parse_statement(sql)? {
+            Statement::Select(select) => {
+                let storage = self.storage.read();
+                let planned = plan_select(&select, &storage.catalog)?;
+                Ok(planned.plan.explain())
+            }
+            _ => Err(RelError::Parse("EXPLAIN supports SELECT only".into())),
+        }
+    }
+
+    /// Plans a `SELECT` without executing it (used by tests and benches to
+    /// assert access paths).
+    pub fn plan(&self, sql: &str) -> RelResult<PlannedQuery> {
+        match parse_statement(sql)? {
+            Statement::Select(select) => {
+                let storage = self.storage.read();
+                plan_select(&select, &storage.catalog)
+            }
+            _ => Err(RelError::Parse("only SELECT can be planned".into())),
+        }
+    }
+
+    /// Number of rows currently in `table`.
+    pub fn row_count(&self, table: &str) -> RelResult<usize> {
+        Ok(self.storage.read().table(table)?.len())
+    }
+
+    /// Names of all tables.
+    pub fn table_names(&self) -> Vec<String> {
+        self.storage
+            .read()
+            .catalog
+            .tables()
+            .map(|t| t.name.clone())
+            .collect()
+    }
+
+    /// Rewrites the log as a compact snapshot of current state; recovery
+    /// time becomes proportional to live data rather than history.
+    pub fn compact(&self) -> RelResult<()> {
+        let Some(wal_state) = &self.wal else {
+            return Ok(()); // nothing to compact in memory-only mode
+        };
+        let storage = self.storage.write();
+        let mut state = wal_state.lock();
+        let path = state.wal.path().to_path_buf();
+        let tmp_path = path.with_extension("compact");
+        let _ = std::fs::remove_file(&tmp_path);
+        let mut fresh = Wal::open(&tmp_path)?;
+        for schema in storage.catalog.tables() {
+            fresh.append(&WalRecord::CreateTable {
+                schema: schema.clone(),
+            });
+        }
+        for def in storage.catalog.indexes() {
+            fresh.append(&WalRecord::CreateIndex { def: def.clone() });
+        }
+        for schema in storage.catalog.tables() {
+            let table = storage.table(&schema.name)?;
+            for (id, row) in table.scan() {
+                fresh.append(&WalRecord::Insert {
+                    tx: 0,
+                    table: schema.name.clone(),
+                    row_id: id,
+                    row: row.clone(),
+                });
+            }
+        }
+        fresh.sync()?;
+        drop(fresh);
+        std::fs::rename(&tmp_path, &path)
+            .map_err(|e| RelError::Wal(format!("rename compacted log: {e}")))?;
+        state.wal = Wal::open(&path)?;
+        Ok(())
+    }
+
+    fn resolve_single_table(
+        &self,
+        storage: &Storage,
+        table: &str,
+        filter: crate::sql::ast::Expr,
+    ) -> RelResult<crate::sql::ast::Expr> {
+        // DELETE/UPDATE predicates see the bare table as its own alias;
+        // reuse the SELECT planner's resolver by planning a trivial query.
+        let schema = storage.table(table)?.schema();
+        let row_schema = RowSchema::for_table(table, schema.columns.iter().map(|c| c.name.clone()));
+        // Validate references eagerly so errors carry good messages.
+        validate_expr_columns(&filter, &row_schema)?;
+        Ok(filter)
+    }
+
+    fn begin_tx(&self) -> u64 {
+        match &self.wal {
+            Some(state) => {
+                let mut s = state.lock();
+                let tx = s.next_tx;
+                s.next_tx += 1;
+                tx
+            }
+            None => 0,
+        }
+    }
+
+    fn commit_tx(&self, tx: u64, records: Vec<WalRecord>) -> RelResult<()> {
+        if let Some(state) = &self.wal {
+            let mut s = state.lock();
+            if records.is_empty() {
+                return Ok(());
+            }
+            s.wal.append(&WalRecord::Begin { tx });
+            for r in &records {
+                s.wal.append(r);
+            }
+            s.wal.append(&WalRecord::Commit { tx });
+            s.wal.sync()?;
+        }
+        Ok(())
+    }
+
+    fn log_ddl(&self, record: WalRecord) -> RelResult<()> {
+        if let Some(state) = &self.wal {
+            let mut s = state.lock();
+            s.wal.append(&record);
+            s.wal.sync()?;
+        }
+        Ok(())
+    }
+}
+
+/// Validates that every column an expression mentions resolves.
+fn validate_expr_columns(expr: &crate::sql::ast::Expr, schema: &RowSchema) -> RelResult<()> {
+    use crate::sql::ast::Expr as E;
+    match expr {
+        E::Column { table, name } => {
+            schema.resolve(table.as_deref(), name)?;
+            Ok(())
+        }
+        E::Literal(_) => Ok(()),
+        E::Binary { left, right, .. } => {
+            validate_expr_columns(left, schema)?;
+            validate_expr_columns(right, schema)
+        }
+        E::Not(e) | E::Neg(e) => validate_expr_columns(e, schema),
+        E::IsNull { expr, .. } => validate_expr_columns(expr, schema),
+        E::Like { expr, pattern, .. } => {
+            validate_expr_columns(expr, schema)?;
+            validate_expr_columns(pattern, schema)
+        }
+        E::InList { expr, list, .. } => {
+            validate_expr_columns(expr, schema)?;
+            list.iter()
+                .try_for_each(|e| validate_expr_columns(e, schema))
+        }
+        E::Between {
+            expr, low, high, ..
+        } => {
+            validate_expr_columns(expr, schema)?;
+            validate_expr_columns(low, schema)?;
+            validate_expr_columns(high, schema)
+        }
+        E::Contains { column, keyword } => {
+            validate_expr_columns(column, schema)?;
+            validate_expr_columns(keyword, schema)
+        }
+        E::Matches { column, pattern } => {
+            validate_expr_columns(column, schema)?;
+            validate_expr_columns(pattern, schema)
+        }
+        E::Aggregate { .. } => Err(RelError::Eval("aggregate in DML predicate".into())),
+    }
+}
+
+/// `Bound<Value>` → `Bound<&Value>`.
+fn bound_as_ref(b: &std::ops::Bound<Value>) -> std::ops::Bound<&Value> {
+    match b {
+        std::ops::Bound::Included(v) => std::ops::Bound::Included(v),
+        std::ops::Bound::Excluded(v) => std::ops::Bound::Excluded(v),
+        std::ops::Bound::Unbounded => std::ops::Bound::Unbounded,
+    }
+}
+
+fn apply_dml(storage: &mut Storage, record: WalRecord) -> RelResult<()> {
+    match record {
+        WalRecord::Insert {
+            table, row_id, row, ..
+        } => storage.insert_at(&table, row_id, row),
+        WalRecord::Delete { table, row_id, .. } => storage.delete(&table, row_id).map(|_| ()),
+        WalRecord::Update {
+            table, row_id, row, ..
+        } => storage.update(&table, row_id, row).map(|_| ()),
+        other => Err(RelError::Wal(format!("unexpected DML record {other:?}"))),
+    }
+}
+
+/// Inverse operation recorded while applying a batch, replayed on failure.
+enum UndoOp {
+    DeleteInserted { table: String, id: RowId },
+    ReinsertDeleted { table: String, id: RowId, row: Row },
+    RevertUpdated { table: String, id: RowId, row: Row },
+}
+
+impl UndoOp {
+    fn apply(self, storage: &mut Storage) -> RelResult<()> {
+        match self {
+            UndoOp::DeleteInserted { table, id } => storage.delete(&table, id).map(|_| ()),
+            UndoOp::ReinsertDeleted { table, id, row } => storage.insert_at(&table, id, row),
+            UndoOp::RevertUpdated { table, id, row } => storage.update(&table, id, row).map(|_| ()),
+        }
+    }
+}
+
+fn apply_batch_statement(
+    storage: &mut Storage,
+    stmt: Statement,
+    tx: u64,
+    records: &mut Vec<WalRecord>,
+    undo: &mut Vec<UndoOp>,
+) -> RelResult<usize> {
+    match stmt {
+        Statement::Insert { table, rows } => {
+            let empty = RowSchema::default();
+            let count = rows.len();
+            for row in rows {
+                let values: Row = row
+                    .iter()
+                    .map(|e| eval(e, &empty, &[]))
+                    .collect::<RelResult<_>>()?;
+                let (id, stored) = storage.insert(&table, values)?;
+                records.push(WalRecord::Insert {
+                    tx,
+                    table: table.clone(),
+                    row_id: id,
+                    row: stored,
+                });
+                undo.push(UndoOp::DeleteInserted {
+                    table: table.clone(),
+                    id,
+                });
+            }
+            Ok(count)
+        }
+        Statement::Delete { table, filter } => {
+            let ids = storage.matching_rows(&table, filter.as_ref())?;
+            for id in &ids {
+                let old = storage.delete(&table, *id)?;
+                records.push(WalRecord::Delete {
+                    tx,
+                    table: table.clone(),
+                    row_id: *id,
+                });
+                undo.push(UndoOp::ReinsertDeleted {
+                    table: table.clone(),
+                    id: *id,
+                    row: old,
+                });
+            }
+            Ok(ids.len())
+        }
+        Statement::Update {
+            table,
+            assignments,
+            filter,
+        } => {
+            let columns: Vec<String> = storage
+                .table(&table)?
+                .schema()
+                .columns
+                .iter()
+                .map(|c| c.name.clone())
+                .collect();
+            let row_schema = RowSchema::for_table(&table, columns);
+            let mut positions = Vec::with_capacity(assignments.len());
+            for (col, _) in &assignments {
+                positions.push(
+                    storage
+                        .table(&table)?
+                        .schema()
+                        .column_index(col)
+                        .ok_or_else(|| RelError::UnknownColumn(format!("{table}.{col}")))?,
+                );
+            }
+            let ids = storage.matching_rows(&table, filter.as_ref())?;
+            for id in &ids {
+                let current = storage.table(&table)?.get(*id).expect("matched").clone();
+                let mut next = current.clone();
+                for ((_, expr), pos) in assignments.iter().zip(&positions) {
+                    next[*pos] = eval(expr, &row_schema, &current)?;
+                }
+                let old = storage.update(&table, *id, next)?;
+                let stored = storage.table(&table)?.get(*id).expect("updated").clone();
+                records.push(WalRecord::Update {
+                    tx,
+                    table: table.clone(),
+                    row_id: *id,
+                    row: stored,
+                });
+                undo.push(UndoOp::RevertUpdated {
+                    table: table.clone(),
+                    id: *id,
+                    row: old,
+                });
+            }
+            Ok(ids.len())
+        }
+        _ => unreachable!("validated as DML"),
+    }
+}

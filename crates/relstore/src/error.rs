@@ -1,0 +1,71 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Result alias for engine operations.
+pub type RelResult<T> = Result<T, RelError>;
+
+/// An error raised by the relational engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RelError {
+    /// SQL text failed to lex or parse.
+    Parse(String),
+    /// A statement referenced an unknown table.
+    UnknownTable(String),
+    /// A statement referenced an unknown column.
+    UnknownColumn(String),
+    /// A column reference was ambiguous across joined tables.
+    AmbiguousColumn(String),
+    /// A table or index already exists.
+    AlreadyExists(String),
+    /// An index name was not found.
+    UnknownIndex(String),
+    /// A row's arity or types did not match the table schema.
+    SchemaMismatch(String),
+    /// A runtime evaluation error (type mismatch, division by zero, ...).
+    Eval(String),
+    /// Write-ahead log I/O or corruption.
+    Wal(String),
+    /// Anything else.
+    Internal(String),
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::Parse(m) => write!(f, "SQL parse error: {m}"),
+            RelError::UnknownTable(t) => write!(f, "unknown table {t:?}"),
+            RelError::UnknownColumn(c) => write!(f, "unknown column {c:?}"),
+            RelError::AmbiguousColumn(c) => write!(f, "ambiguous column {c:?}"),
+            RelError::AlreadyExists(n) => write!(f, "{n:?} already exists"),
+            RelError::UnknownIndex(n) => write!(f, "unknown index {n:?}"),
+            RelError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            RelError::Eval(m) => write!(f, "evaluation error: {m}"),
+            RelError::Wal(m) => write!(f, "write-ahead log error: {m}"),
+            RelError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            RelError::UnknownTable("t".into()).to_string(),
+            "unknown table \"t\""
+        );
+        assert_eq!(
+            RelError::Parse("x".into()).to_string(),
+            "SQL parse error: x"
+        );
+        assert_eq!(
+            RelError::AmbiguousColumn("id".into()).to_string(),
+            "ambiguous column \"id\""
+        );
+    }
+}

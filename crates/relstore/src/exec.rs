@@ -1,0 +1,470 @@
+//! Plan execution.
+//!
+//! A straightforward pull-everything interpreter: each operator produces a
+//! fully materialized `(schema, rows)` pair. Materialization keeps the
+//! engine simple and is a good fit for the workload shape the paper
+//! describes — selective index-driven lookups over a large warehouse, with
+//! result sets sized for a human or a downstream tool.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+
+use crate::db::Storage;
+use crate::error::{RelError, RelResult};
+use crate::expr::{eval, eval_predicate, RowSchema};
+use crate::plan::{IndexAccess, Plan, ProjectItem, SortKey};
+use crate::sql::ast::{AggFunc, Expr};
+use crate::table::Row;
+use crate::value::Value;
+
+/// Executes a plan against storage.
+pub fn execute_plan(plan: &Plan, storage: &Storage) -> RelResult<(RowSchema, Vec<Row>)> {
+    match plan {
+        Plan::Scan { table, alias } => {
+            let t = storage.table(table)?;
+            let schema =
+                RowSchema::for_table(alias, t.schema().columns.iter().map(|c| c.name.clone()));
+            let rows = t.scan().map(|(_, r)| r.clone()).collect();
+            Ok((schema, rows))
+        }
+        Plan::IndexScan {
+            table,
+            alias,
+            index,
+            access,
+        } => {
+            let t = storage.table(table)?;
+            let idx = storage.btree_index(index)?;
+            let mut ids = match access {
+                IndexAccess::Exact(values) => {
+                    if values.len() == idx.key_columns().len() {
+                        idx.lookup(values)
+                    } else {
+                        idx.lookup_prefix(values)
+                    }
+                }
+                IndexAccess::Range {
+                    prefix,
+                    lower,
+                    upper,
+                } => idx.range(prefix, bound_ref(lower), bound_ref(upper)),
+            };
+            // Return rows in insertion (document) order, matching Scan.
+            ids.sort();
+            let schema =
+                RowSchema::for_table(alias, t.schema().columns.iter().map(|c| c.name.clone()));
+            let rows = ids
+                .into_iter()
+                .filter_map(|id| t.get(id).cloned())
+                .collect();
+            Ok((schema, rows))
+        }
+        Plan::KeywordScan {
+            table,
+            alias,
+            index,
+            keyword,
+        } => {
+            let t = storage.table(table)?;
+            let idx = storage.keyword_index(index)?;
+            let mut ids = idx.lookup(keyword);
+            ids.sort();
+            let schema =
+                RowSchema::for_table(alias, t.schema().columns.iter().map(|c| c.name.clone()));
+            let rows = ids
+                .into_iter()
+                .filter_map(|id| t.get(id).cloned())
+                .collect();
+            Ok((schema, rows))
+        }
+        Plan::Filter { input, predicate } => {
+            let (schema, rows) = execute_plan(input, storage)?;
+            let mut out = Vec::new();
+            for row in rows {
+                if eval_predicate(predicate, &schema, &row)? {
+                    out.push(row);
+                }
+            }
+            Ok((schema, out))
+        }
+        Plan::NestedLoopJoin {
+            left,
+            right,
+            condition,
+        } => {
+            let (ls, lrows) = execute_plan(left, storage)?;
+            let (rs, rrows) = execute_plan(right, storage)?;
+            let schema = ls.join(&rs);
+            let mut out = Vec::new();
+            for lrow in &lrows {
+                for rrow in &rrows {
+                    let mut combined = lrow.clone();
+                    combined.extend(rrow.iter().cloned());
+                    match condition {
+                        Some(cond) => {
+                            if eval_predicate(cond, &schema, &combined)? {
+                                out.push(combined);
+                            }
+                        }
+                        None => out.push(combined),
+                    }
+                }
+            }
+            Ok((schema, out))
+        }
+        Plan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+            semi,
+        } => {
+            let (ls, lrows) = execute_plan(left, storage)?;
+            let (rs, rrows) = execute_plan(right, storage)?;
+            // Keys are evaluated once per row; NULL keys never join.
+            let eval_keys =
+                |keys: &[Expr], schema: &RowSchema, row: &Row| -> RelResult<Option<Vec<Value>>> {
+                    let key: Vec<Value> = keys
+                        .iter()
+                        .map(|k| eval(k, schema, row))
+                        .collect::<RelResult<_>>()?;
+                    Ok(if key.iter().any(Value::is_null) {
+                        None
+                    } else {
+                        Some(key)
+                    })
+                };
+            if *semi {
+                // Existence-only: emit each left row at most once and drop
+                // the right side's columns (planner guaranteed nothing
+                // downstream references them and the query is DISTINCT).
+                let mut table: HashSet<Vec<Value>> = HashSet::new();
+                for rrow in &rrows {
+                    if let Some(key) = eval_keys(right_keys, &rs, rrow)? {
+                        table.insert(key);
+                    }
+                }
+                let mut out = Vec::new();
+                for lrow in lrows {
+                    if let Some(key) = eval_keys(left_keys, &ls, &lrow)? {
+                        if table.contains(&key) {
+                            out.push(lrow);
+                        }
+                    }
+                }
+                return Ok((ls, out));
+            }
+            let schema = ls.join(&rs);
+            let mut out = Vec::new();
+            // Build the hash table on the smaller input; probe with the
+            // larger. Output rows are always left-columns-then-right.
+            if lrows.len() <= rrows.len() {
+                let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+                for (i, lrow) in lrows.iter().enumerate() {
+                    if let Some(key) = eval_keys(left_keys, &ls, lrow)? {
+                        table.entry(key).or_default().push(i);
+                    }
+                }
+                for rrow in &rrows {
+                    let Some(key) = eval_keys(right_keys, &rs, rrow)? else {
+                        continue;
+                    };
+                    if let Some(matches) = table.get(&key) {
+                        for &i in matches {
+                            let mut combined = lrows[i].clone();
+                            combined.extend(rrow.iter().cloned());
+                            match residual {
+                                Some(cond) => {
+                                    if eval_predicate(cond, &schema, &combined)? {
+                                        out.push(combined);
+                                    }
+                                }
+                                None => out.push(combined),
+                            }
+                        }
+                    }
+                }
+            } else {
+                let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+                for (i, rrow) in rrows.iter().enumerate() {
+                    if let Some(key) = eval_keys(right_keys, &rs, rrow)? {
+                        table.entry(key).or_default().push(i);
+                    }
+                }
+                for lrow in &lrows {
+                    let Some(key) = eval_keys(left_keys, &ls, lrow)? else {
+                        continue;
+                    };
+                    if let Some(matches) = table.get(&key) {
+                        for &i in matches {
+                            let mut combined = lrow.clone();
+                            combined.extend(rrows[i].iter().cloned());
+                            match residual {
+                                Some(cond) => {
+                                    if eval_predicate(cond, &schema, &combined)? {
+                                        out.push(combined);
+                                    }
+                                }
+                                None => out.push(combined),
+                            }
+                        }
+                    }
+                }
+            }
+            Ok((schema, out))
+        }
+        Plan::Project { input, items, .. } => {
+            let (schema, rows) = execute_plan(input, storage)?;
+            let out_schema = projected_schema(items);
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                let projected: Row = items
+                    .iter()
+                    .map(|item| eval(&item.expr, &schema, &row))
+                    .collect::<RelResult<_>>()?;
+                out.push(projected);
+            }
+            Ok((out_schema, out))
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            items,
+            ..
+        } => {
+            let (schema, rows) = execute_plan(input, storage)?;
+            let out_schema = projected_schema(items);
+            // Group rows; with no GROUP BY everything is one global group.
+            let mut groups: Vec<(Vec<Value>, Vec<Row>)> = Vec::new();
+            let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+            for row in rows {
+                let key: Vec<Value> = group_by
+                    .iter()
+                    .map(|e| eval(e, &schema, &row))
+                    .collect::<RelResult<_>>()?;
+                match index.entry(key.clone()) {
+                    Entry::Occupied(slot) => groups[*slot.get()].1.push(row),
+                    Entry::Vacant(slot) => {
+                        slot.insert(groups.len());
+                        groups.push((key, vec![row]));
+                    }
+                }
+            }
+            if groups.is_empty() && group_by.is_empty() {
+                // Global aggregate over empty input yields one row.
+                groups.push((Vec::new(), Vec::new()));
+            }
+            let mut out = Vec::with_capacity(groups.len());
+            for (_, group_rows) in &groups {
+                let null_row;
+                let representative: &Row = match group_rows.first() {
+                    Some(r) => r,
+                    None => {
+                        null_row = vec![Value::Null; schema.len()];
+                        &null_row
+                    }
+                };
+                let mut result_row = Vec::with_capacity(items.len());
+                for item in items {
+                    let materialized = materialize_aggregates(&item.expr, &schema, group_rows)?;
+                    result_row.push(eval(&materialized, &schema, representative)?);
+                }
+                out.push(result_row);
+            }
+            Ok((out_schema, out))
+        }
+        Plan::Sort { input, keys } => {
+            let (schema, mut rows) = execute_plan(input, storage)?;
+            rows.sort_by(|a, b| compare_rows(a, b, keys));
+            Ok((schema, rows))
+        }
+        Plan::Distinct { input, visible } => {
+            let (schema, rows) = execute_plan(input, storage)?;
+            let mut seen: HashSet<Vec<Value>> = HashSet::new();
+            let mut out = Vec::new();
+            for row in rows {
+                let key: Vec<Value> = row.iter().take(*visible).cloned().collect();
+                if seen.insert(key) {
+                    out.push(row);
+                }
+            }
+            Ok((schema, out))
+        }
+        Plan::Limit {
+            input,
+            limit,
+            offset,
+        } => {
+            let (schema, rows) = execute_plan(input, storage)?;
+            let out = rows
+                .into_iter()
+                .skip(*offset as usize)
+                .take(limit.map(|l| l as usize).unwrap_or(usize::MAX))
+                .collect();
+            Ok((schema, out))
+        }
+    }
+}
+
+fn bound_ref(b: &std::ops::Bound<Value>) -> std::ops::Bound<&Value> {
+    match b {
+        std::ops::Bound::Included(v) => std::ops::Bound::Included(v),
+        std::ops::Bound::Excluded(v) => std::ops::Bound::Excluded(v),
+        std::ops::Bound::Unbounded => std::ops::Bound::Unbounded,
+    }
+}
+
+fn projected_schema(items: &[ProjectItem]) -> RowSchema {
+    RowSchema::new(
+        items
+            .iter()
+            .map(|i| crate::expr::ColumnBinding {
+                table: String::new(),
+                name: i.name.clone(),
+            })
+            .collect(),
+    )
+}
+
+fn compare_rows(a: &Row, b: &Row, keys: &[SortKey]) -> std::cmp::Ordering {
+    for key in keys {
+        let ord = a[key.column].total_cmp(&b[key.column]);
+        let ord = if key.descending { ord.reverse() } else { ord };
+        if !ord.is_eq() {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Replaces every `Aggregate` subexpression with the literal computed over
+/// the group's rows, leaving a plain expression to evaluate against the
+/// group's representative row.
+fn materialize_aggregates(expr: &Expr, schema: &RowSchema, rows: &[Row]) -> RelResult<Expr> {
+    Ok(match expr {
+        Expr::Aggregate {
+            func,
+            arg,
+            distinct,
+        } => Expr::Literal(compute_aggregate(
+            *func,
+            arg.as_deref(),
+            *distinct,
+            schema,
+            rows,
+        )?),
+        Expr::Literal(_) | Expr::Column { .. } => expr.clone(),
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(materialize_aggregates(left, schema, rows)?),
+            right: Box::new(materialize_aggregates(right, schema, rows)?),
+        },
+        Expr::Not(e) => Expr::Not(Box::new(materialize_aggregates(e, schema, rows)?)),
+        Expr::Neg(e) => Expr::Neg(Box::new(materialize_aggregates(e, schema, rows)?)),
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(materialize_aggregates(expr, schema, rows)?),
+            negated: *negated,
+        },
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
+            expr: Box::new(materialize_aggregates(expr, schema, rows)?),
+            pattern: Box::new(materialize_aggregates(pattern, schema, rows)?),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(materialize_aggregates(expr, schema, rows)?),
+            list: list
+                .iter()
+                .map(|e| materialize_aggregates(e, schema, rows))
+                .collect::<RelResult<_>>()?,
+            negated: *negated,
+        },
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(materialize_aggregates(expr, schema, rows)?),
+            low: Box::new(materialize_aggregates(low, schema, rows)?),
+            high: Box::new(materialize_aggregates(high, schema, rows)?),
+            negated: *negated,
+        },
+        Expr::Contains { column, keyword } => Expr::Contains {
+            column: Box::new(materialize_aggregates(column, schema, rows)?),
+            keyword: Box::new(materialize_aggregates(keyword, schema, rows)?),
+        },
+        Expr::Matches { column, pattern } => Expr::Matches {
+            column: Box::new(materialize_aggregates(column, schema, rows)?),
+            pattern: Box::new(materialize_aggregates(pattern, schema, rows)?),
+        },
+    })
+}
+
+fn compute_aggregate(
+    func: AggFunc,
+    arg: Option<&Expr>,
+    distinct: bool,
+    schema: &RowSchema,
+    rows: &[Row],
+) -> RelResult<Value> {
+    // Collect the (non-null) argument values.
+    let mut values: Vec<Value> = Vec::new();
+    for row in rows {
+        match arg {
+            Some(e) => {
+                let v = eval(e, schema, row)?;
+                if !v.is_null() {
+                    values.push(v);
+                }
+            }
+            None => values.push(Value::Int(1)), // COUNT(*)
+        }
+    }
+    if distinct {
+        let mut seen = HashSet::new();
+        values.retain(|v| seen.insert(v.clone()));
+    }
+    match func {
+        AggFunc::Count => Ok(Value::Int(if arg.is_none() {
+            rows.len() as i64
+        } else {
+            values.len() as i64
+        })),
+        AggFunc::Sum | AggFunc::Avg => {
+            if values.is_empty() {
+                return Ok(Value::Null);
+            }
+            let all_int = values.iter().all(|v| matches!(v, Value::Int(_)));
+            let mut sum = 0.0;
+            for v in &values {
+                sum += v.as_f64().ok_or_else(|| {
+                    RelError::Eval(format!("{func:?} over non-numeric value {v}"))
+                })?;
+            }
+            if func == AggFunc::Avg {
+                Ok(Value::Float(sum / values.len() as f64))
+            } else if all_int {
+                Ok(Value::Int(sum as i64))
+            } else {
+                Ok(Value::Float(sum))
+            }
+        }
+        AggFunc::Min => Ok(values
+            .into_iter()
+            .min_by(|a, b| a.total_cmp(b))
+            .unwrap_or(Value::Null)),
+        AggFunc::Max => Ok(values
+            .into_iter()
+            .max_by(|a, b| a.total_cmp(b))
+            .unwrap_or(Value::Null)),
+    }
+}

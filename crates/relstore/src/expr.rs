@@ -1,0 +1,531 @@
+//! Expression evaluation.
+//!
+//! Expressions are evaluated against a [`RowSchema`] (the named columns an
+//! operator produces) and a row of values. SQL three-valued logic is
+//! honoured: comparisons involving NULL yield NULL, `AND`/`OR` short-
+//! circuit around NULL per the standard truth tables, and a WHERE clause
+//! accepts a row only when its predicate is *true* (not NULL).
+
+use crate::error::{RelError, RelResult};
+use crate::regex::Pattern;
+use crate::sql::ast::{BinOp, Expr};
+use crate::text::tokenize;
+use crate::value::Value;
+
+thread_local! {
+    /// Compiled-pattern cache for `MATCHES`: a query evaluates the same
+    /// pattern once per row, so compilation is amortized per thread.
+    static PATTERN_CACHE: std::cell::RefCell<std::collections::HashMap<String, Pattern>> =
+        std::cell::RefCell::new(std::collections::HashMap::new());
+}
+
+/// Compiles `pattern` (cached) and tests it against `text`.
+pub fn regex_match(pattern: &str, text: &str) -> RelResult<bool> {
+    PATTERN_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if !cache.contains_key(pattern) {
+            let compiled = Pattern::compile(pattern).map_err(|e| RelError::Eval(e.to_string()))?;
+            cache.insert(pattern.to_string(), compiled);
+        }
+        Ok(cache.get(pattern).expect("just inserted").is_match(text))
+    })
+}
+
+/// A named column in an operator's output: `(binding alias, column name)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnBinding {
+    /// The table alias this column came from.
+    pub table: String,
+    /// The column name.
+    pub name: String,
+}
+
+/// The schema of rows flowing through the executor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RowSchema {
+    columns: Vec<ColumnBinding>,
+}
+
+impl RowSchema {
+    /// Creates a schema from bindings.
+    pub fn new(columns: Vec<ColumnBinding>) -> Self {
+        RowSchema { columns }
+    }
+
+    /// Builds a schema for a base table bound under `alias`.
+    pub fn for_table(alias: &str, column_names: impl IntoIterator<Item = String>) -> Self {
+        RowSchema {
+            columns: column_names
+                .into_iter()
+                .map(|name| ColumnBinding {
+                    table: alias.to_string(),
+                    name,
+                })
+                .collect(),
+        }
+    }
+
+    /// The bindings.
+    pub fn columns(&self) -> &[ColumnBinding] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the schema is empty.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Concatenates two schemas (join output).
+    pub fn join(&self, other: &RowSchema) -> RowSchema {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        RowSchema { columns }
+    }
+
+    /// Resolves a possibly-qualified column reference to its position.
+    pub fn resolve(&self, table: Option<&str>, name: &str) -> RelResult<usize> {
+        let mut found = None;
+        for (i, binding) in self.columns.iter().enumerate() {
+            let table_ok = table.is_none_or(|t| binding.table.eq_ignore_ascii_case(t));
+            if table_ok && binding.name.eq_ignore_ascii_case(name) {
+                if found.is_some() {
+                    let full = match table {
+                        Some(t) => format!("{t}.{name}"),
+                        None => name.to_string(),
+                    };
+                    return Err(RelError::AmbiguousColumn(full));
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| {
+            let full = match table {
+                Some(t) => format!("{t}.{name}"),
+                None => name.to_string(),
+            };
+            RelError::UnknownColumn(full)
+        })
+    }
+}
+
+/// Evaluates `expr` against one row.
+pub fn eval(expr: &Expr, schema: &RowSchema, row: &[Value]) -> RelResult<Value> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Column { table, name } => {
+            let i = schema.resolve(table.as_deref(), name)?;
+            Ok(row[i].clone())
+        }
+        Expr::Binary { op, left, right } => {
+            if matches!(op, BinOp::And | BinOp::Or) {
+                return eval_logic(*op, left, right, schema, row);
+            }
+            let l = eval(left, schema, row)?;
+            let r = eval(right, schema, row)?;
+            if op.is_comparison() {
+                return Ok(match l.compare(&r) {
+                    None => Value::Null,
+                    Some(ord) => {
+                        let b = match op {
+                            BinOp::Eq => ord.is_eq(),
+                            BinOp::Ne => ord.is_ne(),
+                            BinOp::Lt => ord.is_lt(),
+                            BinOp::Le => ord.is_le(),
+                            BinOp::Gt => ord.is_gt(),
+                            BinOp::Ge => ord.is_ge(),
+                            _ => unreachable!("comparison op"),
+                        };
+                        bool_value(b)
+                    }
+                });
+            }
+            eval_arith(*op, &l, &r)
+        }
+        Expr::Not(inner) => {
+            let v = eval(inner, schema, row)?;
+            Ok(match truth(&v) {
+                None => Value::Null,
+                Some(b) => bool_value(!b),
+            })
+        }
+        Expr::Neg(inner) => {
+            let v = eval(inner, schema, row)?;
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => Ok(Value::Int(-i)),
+                Value::Float(f) => Ok(Value::Float(-f)),
+                Value::Text(_) => Err(RelError::Eval("cannot negate text".into())),
+            }
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval(expr, schema, row)?;
+            Ok(bool_value(v.is_null() != *negated))
+        }
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let v = eval(expr, schema, row)?;
+            let p = eval(pattern, schema, row)?;
+            match (&v, &p) {
+                (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                (Value::Text(text), Value::Text(pattern)) => {
+                    Ok(bool_value(like_match(pattern, text) != *negated))
+                }
+                _ => Err(RelError::Eval("LIKE requires text operands".into())),
+            }
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = eval(expr, schema, row)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut saw_null = false;
+            for item in list {
+                let candidate = eval(item, schema, row)?;
+                match v.compare(&candidate) {
+                    Some(ord) if ord.is_eq() => return Ok(bool_value(!*negated)),
+                    None if candidate.is_null() => saw_null = true,
+                    _ => {}
+                }
+            }
+            if saw_null {
+                Ok(Value::Null)
+            } else {
+                Ok(bool_value(*negated))
+            }
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let v = eval(expr, schema, row)?;
+            let lo = eval(low, schema, row)?;
+            let hi = eval(high, schema, row)?;
+            match (v.compare(&lo), v.compare(&hi)) {
+                (Some(a), Some(b)) => Ok(bool_value((a.is_ge() && b.is_le()) != *negated)),
+                _ => Ok(Value::Null),
+            }
+        }
+        Expr::Contains { column, keyword } => {
+            let v = eval(column, schema, row)?;
+            let k = eval(keyword, schema, row)?;
+            match (&v, &k) {
+                (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                (Value::Text(text), Value::Text(keyword)) => {
+                    Ok(bool_value(contains_keywords(text, keyword)))
+                }
+                _ => Err(RelError::Eval("CONTAINS requires text operands".into())),
+            }
+        }
+        Expr::Matches { column, pattern } => {
+            let v = eval(column, schema, row)?;
+            let p = eval(pattern, schema, row)?;
+            match (&v, &p) {
+                (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                (Value::Text(text), Value::Text(pattern)) => {
+                    Ok(bool_value(regex_match(pattern, text)?))
+                }
+                _ => Err(RelError::Eval("MATCHES requires text operands".into())),
+            }
+        }
+        Expr::Aggregate { .. } => Err(RelError::Eval(
+            "aggregate used outside of a select list".into(),
+        )),
+    }
+}
+
+/// Evaluates a predicate for filtering: true ⇢ keep, false/NULL ⇢ drop.
+pub fn eval_predicate(expr: &Expr, schema: &RowSchema, row: &[Value]) -> RelResult<bool> {
+    Ok(truth(&eval(expr, schema, row)?).unwrap_or(false))
+}
+
+fn eval_logic(
+    op: BinOp,
+    left: &Expr,
+    right: &Expr,
+    schema: &RowSchema,
+    row: &[Value],
+) -> RelResult<Value> {
+    let l = truth(&eval(left, schema, row)?);
+    // Short-circuit per three-valued logic.
+    match (op, l) {
+        (BinOp::And, Some(false)) => return Ok(bool_value(false)),
+        (BinOp::Or, Some(true)) => return Ok(bool_value(true)),
+        _ => {}
+    }
+    let r = truth(&eval(right, schema, row)?);
+    Ok(match op {
+        BinOp::And => match (l, r) {
+            (Some(true), Some(true)) => bool_value(true),
+            (Some(false), _) | (_, Some(false)) => bool_value(false),
+            _ => Value::Null,
+        },
+        BinOp::Or => match (l, r) {
+            (Some(false), Some(false)) => bool_value(false),
+            (Some(true), _) | (_, Some(true)) => bool_value(true),
+            _ => Value::Null,
+        },
+        _ => unreachable!("logic op"),
+    })
+}
+
+fn eval_arith(op: BinOp, l: &Value, r: &Value) -> RelResult<Value> {
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    // Integer arithmetic when both sides are Int; otherwise float.
+    if let (Value::Int(a), Value::Int(b)) = (l, r) {
+        return match op {
+            BinOp::Add => Ok(Value::Int(a.wrapping_add(*b))),
+            BinOp::Sub => Ok(Value::Int(a.wrapping_sub(*b))),
+            BinOp::Mul => Ok(Value::Int(a.wrapping_mul(*b))),
+            BinOp::Div => {
+                if *b == 0 {
+                    Err(RelError::Eval("division by zero".into()))
+                } else {
+                    Ok(Value::Int(a / b))
+                }
+            }
+            _ => Err(RelError::Eval(format!("{op:?} is not arithmetic"))),
+        };
+    }
+    let (a, b) = match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            return Err(RelError::Eval(format!(
+                "arithmetic on non-numeric values {l} and {r}"
+            )))
+        }
+    };
+    match op {
+        BinOp::Add => Ok(Value::Float(a + b)),
+        BinOp::Sub => Ok(Value::Float(a - b)),
+        BinOp::Mul => Ok(Value::Float(a * b)),
+        BinOp::Div => {
+            if b == 0.0 {
+                Err(RelError::Eval("division by zero".into()))
+            } else {
+                Ok(Value::Float(a / b))
+            }
+        }
+        _ => Err(RelError::Eval(format!("{op:?} is not arithmetic"))),
+    }
+}
+
+fn bool_value(b: bool) -> Value {
+    Value::Int(if b { 1 } else { 0 })
+}
+
+/// SQL truthiness: NULL is unknown; zero numerics are false; text is an
+/// error domain we conservatively treat as false.
+fn truth(v: &Value) -> Option<bool> {
+    match v {
+        Value::Null => None,
+        Value::Int(i) => Some(*i != 0),
+        Value::Float(f) => Some(*f != 0.0),
+        Value::Text(_) => Some(false),
+    }
+}
+
+/// `LIKE` pattern matching with `%` (any run) and `_` (any single char).
+pub fn like_match(pattern: &str, text: &str) -> bool {
+    fn rec(p: &[char], t: &[char]) -> bool {
+        match p.first() {
+            None => t.is_empty(),
+            Some('%') => {
+                // Collapse consecutive %.
+                let p = &p[1..];
+                (0..=t.len()).any(|i| rec(p, &t[i..]))
+            }
+            Some('_') => !t.is_empty() && rec(&p[1..], &t[1..]),
+            Some(c) => t.first().is_some_and(|tc| tc == c) && rec(&p[1..], &t[1..]),
+        }
+    }
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    rec(&p, &t)
+}
+
+/// Whole-token containment used by the fallback (non-indexed) CONTAINS.
+pub fn contains_keywords(text: &str, keyword: &str) -> bool {
+    let wanted = tokenize(keyword);
+    if wanted.is_empty() {
+        return false;
+    }
+    let have = tokenize(text);
+    wanted.iter().all(|w| have.iter().any(|h| h == w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::ast::Statement;
+    use crate::sql::parser::parse_statement;
+
+    fn schema() -> RowSchema {
+        RowSchema::for_table("t", vec!["a".into(), "b".into(), "txt".into()])
+    }
+
+    fn filter_of(sql: &str) -> Expr {
+        match parse_statement(&format!("SELECT * FROM t WHERE {sql}")).unwrap() {
+            Statement::Select(s) => s.filter.unwrap(),
+            _ => unreachable!(),
+        }
+    }
+
+    fn run(pred: &str, row: &[Value]) -> bool {
+        eval_predicate(&filter_of(pred), &schema(), row).unwrap()
+    }
+
+    fn row(a: i64, b: f64, txt: &str) -> Vec<Value> {
+        vec![Value::Int(a), Value::Float(b), Value::Text(txt.into())]
+    }
+
+    #[test]
+    fn comparisons() {
+        let r = row(5, 2.5, "hello");
+        assert!(run("a = 5", &r));
+        assert!(run("a <> 4", &r));
+        assert!(run("b < 3", &r));
+        assert!(run("b >= 2.5", &r));
+        assert!(run("a > b", &r));
+        assert!(run("txt = 'hello'", &r));
+        assert!(!run("txt = 'HELLO'", &r));
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let r = vec![Value::Null, Value::Float(1.0), Value::Text("x".into())];
+        assert!(!run("a = 1", &r));
+        assert!(!run("a <> 1", &r));
+        assert!(run("a IS NULL", &r));
+        assert!(!run("a IS NOT NULL", &r));
+        // NULL OR true = true; NULL AND false = false.
+        assert!(run("a = 1 OR b = 1", &r));
+        assert!(!run("a = 1 AND b = 0", &r));
+        assert!(!run("a = 1 AND b = 1", &r));
+        // NOT NULL is NULL → filtered out.
+        assert!(!run("NOT (a = 1)", &r));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let r = row(10, 0.5, "");
+        assert!(run("a + 5 = 15", &r));
+        assert!(run("a * 2 = 20", &r));
+        assert!(run("a / 3 = 3", &r)); // integer division
+        assert!(run("b * 4 = 2.0", &r));
+        assert!(run("-a = -10", &r));
+        let err = eval(&filter_of("a / 0"), &schema(), &r).unwrap_err();
+        assert!(matches!(err, RelError::Eval(_)));
+    }
+
+    #[test]
+    fn mixed_numeric_comparison() {
+        let r = row(2, 2.0, "");
+        assert!(run("a = b", &r));
+        assert!(run("a >= b", &r));
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("%ketone%", "the ketone group"));
+        assert!(like_match("cdc_", "cdc6"));
+        assert!(like_match("%", ""));
+        assert!(like_match("a%z", "az"));
+        assert!(like_match("a%z", "a--z"));
+        assert!(!like_match("a%z", "a--y"));
+        assert!(!like_match("_", ""));
+        assert!(like_match("%%x%%", "xx"));
+        let r = row(0, 0.0, "Peptidylglycine monooxygenase.");
+        assert!(run("txt LIKE '%glycine%'", &r));
+        assert!(run("txt NOT LIKE 'x%'", &r));
+    }
+
+    #[test]
+    fn in_list_semantics() {
+        let r = row(2, 0.0, "x");
+        assert!(run("a IN (1, 2, 3)", &r));
+        assert!(!run("a IN (4, 5)", &r));
+        assert!(run("a NOT IN (4, 5)", &r));
+        // x NOT IN (..., NULL) is NULL when no match → filtered.
+        assert!(!run("a NOT IN (4, NULL)", &r));
+        assert!(run("a IN (2, NULL)", &r));
+    }
+
+    #[test]
+    fn between_semantics() {
+        let r = row(5, 0.0, "x");
+        assert!(run("a BETWEEN 1 AND 10", &r));
+        assert!(run("a BETWEEN 5 AND 5", &r));
+        assert!(!run("a BETWEEN 6 AND 10", &r));
+        assert!(run("a NOT BETWEEN 6 AND 10", &r));
+    }
+
+    #[test]
+    fn contains_predicate() {
+        let r = row(0, 0.0, "cell division cycle protein cdc6");
+        assert!(run("CONTAINS(txt, 'cdc6')", &r));
+        assert!(run("CONTAINS(txt, 'CELL division')", &r));
+        assert!(!run("CONTAINS(txt, 'mitosis')", &r));
+        assert!(!run("CONTAINS(txt, 'divis')", &r)); // whole-token only
+    }
+
+    #[test]
+    fn matches_predicate() {
+        let r = row(0, 0.0, "MKNVTLAGRA");
+        assert!(run("MATCHES(txt, 'N[^P][ST]')", &r));
+        assert!(run("MATCHES(txt, '^MK')", &r));
+        assert!(!run("MATCHES(txt, '^VTL')", &r));
+        assert!(run("MATCHES(txt, 'AGRA$')", &r));
+        // NULL propagates.
+        let n = vec![Value::Int(0), Value::Float(0.0), Value::Null];
+        assert!(!run("MATCHES(txt, 'x')", &n));
+        // Bad pattern is an error.
+        assert!(eval(&filter_of("MATCHES(txt, '[')"), &schema(), &r).is_err());
+        // Non-text operand is an error.
+        assert!(eval(&filter_of("MATCHES(a, 'x')"), &schema(), &r).is_err());
+    }
+
+    #[test]
+    fn column_resolution() {
+        let s = RowSchema::for_table("a", vec!["x".into()])
+            .join(&RowSchema::for_table("b", vec!["x".into(), "y".into()]));
+        assert_eq!(s.resolve(Some("a"), "x").unwrap(), 0);
+        assert_eq!(s.resolve(Some("b"), "x").unwrap(), 1);
+        assert_eq!(s.resolve(None, "y").unwrap(), 2);
+        assert!(matches!(
+            s.resolve(None, "x"),
+            Err(RelError::AmbiguousColumn(_))
+        ));
+        assert!(matches!(
+            s.resolve(None, "zz"),
+            Err(RelError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            s.resolve(Some("c"), "x"),
+            Err(RelError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn case_insensitive_resolution() {
+        let s = schema();
+        let r = row(1, 2.0, "t");
+        assert!(run("T.A = 1", &r));
+        assert_eq!(s.resolve(Some("T"), "TXT").unwrap(), 2);
+    }
+}

@@ -1,0 +1,63 @@
+#![warn(missing_docs)]
+
+//! # xomatiq-relstore
+//!
+//! An embedded relational engine — the stand-in for the commercial RDBMS
+//! (Oracle 9i) underneath the paper's Data Hounds warehouse.
+//!
+//! The paper's architecture leans on four properties of the relational
+//! substrate (§2.2): the ability to store and process large volumes of
+//! tuples, mature query processing ("all of the power of relational
+//! database systems"), meticulous index support (§3.2), and "the
+//! concurrency access and crash recovery features of an RDBMS". This crate
+//! implements each of them from scratch:
+//!
+//! * [`value`] / [`schema`] — typed values (the paper distinguishes string
+//!   from numeric data because "common queries often require to compare
+//!   these numeric types across large datasets"), columns, table schemas
+//!   and a catalog.
+//! * [`table`] — a row store with stable, insertion-ordered row ids.
+//! * [`index`] — composite-key B-tree secondary indexes with point and
+//!   range scans.
+//! * [`text`] — an inverted keyword index supporting the paper's
+//!   "efficient keyword-based searches in the relational database system".
+//! * [`sql`] — a SQL subset (lexer, parser, AST) covering everything the
+//!   XQ2SQL translator emits: `SELECT` (joins, `WHERE`, `ORDER BY`,
+//!   `LIMIT`, `DISTINCT`, aggregates), DML and DDL.
+//! * [`expr`], [`plan`], [`planner`], [`exec`] — expression evaluation,
+//!   logical plans, an index-selecting planner, and the executor
+//!   (filtered scans, index scans, nested-loop and hash joins, sort).
+//! * [`wal`] / [`db`] — a write-ahead log with crash recovery, and the
+//!   [`Database`] facade combining all of the above behind reader/writer
+//!   locking.
+//!
+//! ```
+//! use xomatiq_relstore::Database;
+//!
+//! let db = Database::in_memory();
+//! db.execute("CREATE TABLE enzymes (ec TEXT, description TEXT, sites INT)").unwrap();
+//! db.execute("INSERT INTO enzymes VALUES ('1.14.17.3', 'Peptidylglycine monooxygenase.', 5)")
+//!     .unwrap();
+//! let rs = db.execute("SELECT ec FROM enzymes WHERE sites > 2").unwrap();
+//! assert_eq!(rs.rows().len(), 1);
+//! ```
+
+pub mod db;
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod index;
+pub mod plan;
+pub mod planner;
+pub mod regex;
+pub mod schema;
+pub mod sql;
+pub mod table;
+pub mod text;
+pub mod value;
+pub mod wal;
+
+pub use db::{Database, ResultSet};
+pub use error::{RelError, RelResult};
+pub use schema::{Column, TableSchema};
+pub use value::{DataType, Value};

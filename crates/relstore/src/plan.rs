@@ -1,0 +1,357 @@
+//! Logical query plans.
+//!
+//! The planner compiles a parsed `SELECT` into a tree of these operators;
+//! the executor interprets the tree. The shapes mirror what the paper's
+//! §3.2 describes observing in Oracle's plans: index-driven access paths
+//! chosen "by meticulous analysis of the query plans", hash joins for the
+//! cross-database equi-joins of Figure 11, and filtered scans elsewhere.
+
+use std::ops::Bound;
+
+use crate::sql::ast::{Expr, OrderKey};
+use crate::value::Value;
+
+/// How an index scan locates rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IndexAccess {
+    /// Equality on the first `values.len()` key columns (full key or prefix).
+    Exact(Vec<Value>),
+    /// Equality on `prefix`, then a range over the next key column.
+    Range {
+        /// Exact values for the leading key columns.
+        prefix: Vec<Value>,
+        /// Lower bound on the next key column.
+        lower: Bound<Value>,
+        /// Upper bound on the next key column.
+        upper: Bound<Value>,
+    },
+}
+
+/// One output column of a projection: expression plus output name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProjectItem {
+    /// The expression to evaluate.
+    pub expr: Expr,
+    /// The name the column carries in the result set.
+    pub name: String,
+}
+
+/// A logical plan operator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// Full scan of a table bound under `alias`.
+    Scan {
+        /// Table name.
+        table: String,
+        /// Binding alias.
+        alias: String,
+    },
+    /// B-tree index scan.
+    IndexScan {
+        /// Table name.
+        table: String,
+        /// Binding alias.
+        alias: String,
+        /// Index name.
+        index: String,
+        /// How the index is probed.
+        access: IndexAccess,
+    },
+    /// Inverted keyword index scan (serves `CONTAINS`).
+    KeywordScan {
+        /// Table name.
+        table: String,
+        /// Binding alias.
+        alias: String,
+        /// Index name.
+        index: String,
+        /// The keyword(s) looked up.
+        keyword: String,
+    },
+    /// Predicate filter.
+    Filter {
+        /// Input operator.
+        input: Box<Plan>,
+        /// Rows are kept when this evaluates to true.
+        predicate: Expr,
+    },
+    /// Nested-loop join with an optional residual condition.
+    NestedLoopJoin {
+        /// Left (outer) input.
+        left: Box<Plan>,
+        /// Right (inner) input.
+        right: Box<Plan>,
+        /// Optional join condition (cross join when absent).
+        condition: Option<Expr>,
+    },
+    /// Hash join on equi-key expressions, with an optional residual filter.
+    /// With `semi`, the join only tests existence: each left row is emitted
+    /// at most once and the right side's columns are dropped — sound under
+    /// `SELECT DISTINCT` when nothing downstream references the right side
+    /// (the planner checks both).
+    HashJoin {
+        /// Left input (probe side by default).
+        left: Box<Plan>,
+        /// Right input (build side by default).
+        right: Box<Plan>,
+        /// Key expressions over the left schema.
+        left_keys: Vec<Expr>,
+        /// Key expressions over the right schema.
+        right_keys: Vec<Expr>,
+        /// Extra condition checked on joined rows.
+        residual: Option<Expr>,
+        /// Existence-only semi-join (see type docs).
+        semi: bool,
+    },
+    /// Projection. `visible` marks how many leading items the user asked
+    /// for; the remainder are hidden sort keys appended by the planner.
+    Project {
+        /// Input operator.
+        input: Box<Plan>,
+        /// Output expressions, visible ones first.
+        items: Vec<ProjectItem>,
+        /// How many leading items the user asked for.
+        visible: usize,
+    },
+    /// Grouped aggregation producing one row per group; items may contain
+    /// aggregate calls.
+    Aggregate {
+        /// Input operator.
+        input: Box<Plan>,
+        /// Grouping key expressions (empty = one global group).
+        group_by: Vec<Expr>,
+        /// Output expressions, possibly containing aggregate calls.
+        items: Vec<ProjectItem>,
+        /// How many leading items the user asked for.
+        visible: usize,
+    },
+    /// Sort by projected column positions.
+    Sort {
+        /// Input operator.
+        input: Box<Plan>,
+        /// Sort keys over the projected row.
+        keys: Vec<SortKey>,
+    },
+    /// Duplicate elimination over the first `visible` columns.
+    Distinct {
+        /// Input operator.
+        input: Box<Plan>,
+        /// Number of leading columns considered for uniqueness.
+        visible: usize,
+    },
+    /// Row-count limiting.
+    Limit {
+        /// Input operator.
+        input: Box<Plan>,
+        /// Maximum rows to return (`None` = unlimited).
+        limit: Option<u64>,
+        /// Rows to skip first.
+        offset: u64,
+    },
+}
+
+/// A sort key: projected column position plus direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortKey {
+    /// Column position in the projected row.
+    pub column: usize,
+    /// Descending order.
+    pub descending: bool,
+}
+
+impl Plan {
+    /// A one-line-per-operator rendering for plan inspection (the moral
+    /// equivalent of `EXPLAIN`, which §3.2 leans on for index design).
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(0, &mut out);
+        out
+    }
+
+    fn explain_into(&self, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        match self {
+            Plan::Scan { table, alias } => {
+                out.push_str(&format!("{pad}Scan {table} AS {alias}\n"));
+            }
+            Plan::IndexScan {
+                table,
+                alias,
+                index,
+                access,
+            } => {
+                let how = match access {
+                    IndexAccess::Exact(values) => format!("exact({} cols)", values.len()),
+                    IndexAccess::Range { prefix, .. } => {
+                        format!("range(prefix {} cols)", prefix.len())
+                    }
+                };
+                out.push_str(&format!(
+                    "{pad}IndexScan {table} AS {alias} USING {index} {how}\n"
+                ));
+            }
+            Plan::KeywordScan {
+                table,
+                alias,
+                index,
+                keyword,
+            } => {
+                out.push_str(&format!(
+                    "{pad}KeywordScan {table} AS {alias} USING {index} FOR {keyword:?}\n"
+                ));
+            }
+            Plan::Filter { input, .. } => {
+                out.push_str(&format!("{pad}Filter\n"));
+                input.explain_into(depth + 1, out);
+            }
+            Plan::NestedLoopJoin { left, right, .. } => {
+                out.push_str(&format!("{pad}NestedLoopJoin\n"));
+                left.explain_into(depth + 1, out);
+                right.explain_into(depth + 1, out);
+            }
+            Plan::HashJoin {
+                left,
+                right,
+                left_keys,
+                semi,
+                ..
+            } => {
+                let kind = if *semi { "HashSemiJoin" } else { "HashJoin" };
+                out.push_str(&format!("{pad}{kind} ({} keys)\n", left_keys.len()));
+                left.explain_into(depth + 1, out);
+                right.explain_into(depth + 1, out);
+            }
+            Plan::Project {
+                input,
+                items,
+                visible,
+            } => {
+                out.push_str(&format!(
+                    "{pad}Project [{}]{}\n",
+                    items
+                        .iter()
+                        .take(*visible)
+                        .map(|i| i.name.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    if items.len() > *visible {
+                        " (+hidden sort keys)"
+                    } else {
+                        ""
+                    },
+                ));
+                input.explain_into(depth + 1, out);
+            }
+            Plan::Aggregate {
+                input,
+                group_by,
+                items,
+                visible,
+            } => {
+                out.push_str(&format!(
+                    "{pad}Aggregate groups={} [{}]\n",
+                    group_by.len(),
+                    items
+                        .iter()
+                        .take(*visible)
+                        .map(|i| i.name.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                ));
+                input.explain_into(depth + 1, out);
+            }
+            Plan::Sort { input, keys } => {
+                out.push_str(&format!("{pad}Sort ({} keys)\n", keys.len()));
+                input.explain_into(depth + 1, out);
+            }
+            Plan::Distinct { input, .. } => {
+                out.push_str(&format!("{pad}Distinct\n"));
+                input.explain_into(depth + 1, out);
+            }
+            Plan::Limit {
+                input,
+                limit,
+                offset,
+            } => {
+                out.push_str(&format!("{pad}Limit {limit:?} OFFSET {offset}\n"));
+                input.explain_into(depth + 1, out);
+            }
+        }
+    }
+
+    /// Whether any operator in the tree is an index or keyword scan —
+    /// used by tests and the index-ablation bench to assert access paths.
+    pub fn uses_index(&self) -> bool {
+        match self {
+            Plan::IndexScan { .. } | Plan::KeywordScan { .. } => true,
+            Plan::Scan { .. } => false,
+            Plan::Filter { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Distinct { input, .. }
+            | Plan::Limit { input, .. } => input.uses_index(),
+            Plan::NestedLoopJoin { left, right, .. } | Plan::HashJoin { left, right, .. } => {
+                left.uses_index() || right.uses_index()
+            }
+        }
+    }
+}
+
+/// The planner's output: a plan plus the visible column count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedQuery {
+    /// The operator tree.
+    pub plan: Plan,
+    /// The number of user-visible output columns (hidden sort keys follow).
+    pub visible: usize,
+}
+
+/// Re-exported for planner convenience.
+pub type OrderKeys = Vec<OrderKey>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explain_renders_tree() {
+        let plan = Plan::Limit {
+            input: Box::new(Plan::Filter {
+                input: Box::new(Plan::Scan {
+                    table: "t".into(),
+                    alias: "t".into(),
+                }),
+                predicate: Expr::lit(1i64),
+            }),
+            limit: Some(5),
+            offset: 0,
+        };
+        let text = plan.explain();
+        assert!(text.contains("Limit Some(5) OFFSET 0"));
+        assert!(text.contains("  Filter"));
+        assert!(text.contains("    Scan t AS t"));
+    }
+
+    #[test]
+    fn uses_index_detects_access_paths() {
+        let scan = Plan::Scan {
+            table: "t".into(),
+            alias: "t".into(),
+        };
+        assert!(!scan.uses_index());
+        let idx = Plan::IndexScan {
+            table: "t".into(),
+            alias: "t".into(),
+            index: "i".into(),
+            access: IndexAccess::Exact(vec![Value::Int(1)]),
+        };
+        assert!(idx.uses_index());
+        let join = Plan::NestedLoopJoin {
+            left: Box::new(scan),
+            right: Box::new(idx),
+            condition: None,
+        };
+        assert!(join.uses_index());
+    }
+}

@@ -1,0 +1,1159 @@
+//! The query planner.
+//!
+//! Compiles a parsed [`SelectStmt`] into a [`PlannedQuery`]. Planning is
+//! rule-based, mirroring the paper's workflow of shaping indexes until the
+//! optimizer picks them (§3.2):
+//!
+//! 1. every unqualified column reference is resolved to its table alias;
+//! 2. the `WHERE` clause and all `ON` conditions are split into conjuncts;
+//! 3. each table gets an access path — a B-tree [`Plan::IndexScan`] when a
+//!    catalog index's leading key columns are bound by equality (plus an
+//!    optional range on the next column), a [`Plan::KeywordScan`] when a
+//!    `CONTAINS` conjunct hits a keyword index, and a full [`Plan::Scan`]
+//!    otherwise — with the table's conjuncts re-applied as a filter;
+//! 4. tables join left-deep, greedily preferring tables connected to the
+//!    joined set by an equi-join conjunct (hash join) so unrelated tables
+//!    do not cross-product early; nested loops otherwise;
+//! 5. aggregation, projection (with hidden sort-key columns), sorting,
+//!    `DISTINCT` and `LIMIT` complete the tree.
+
+use std::collections::{BTreeMap, HashSet};
+use std::ops::Bound;
+
+use crate::error::{RelError, RelResult};
+use crate::plan::{IndexAccess, Plan, PlannedQuery, ProjectItem, SortKey};
+use crate::schema::Catalog;
+use crate::sql::ast::{BinOp, Expr, SelectItem, SelectStmt, TableRef};
+use crate::value::Value;
+
+/// Plans a `SELECT` statement against the catalog.
+pub fn plan_select(stmt: &SelectStmt, catalog: &Catalog) -> RelResult<PlannedQuery> {
+    let mut tables: Vec<TableRef> = stmt.from.clone();
+    tables.extend(stmt.joins.iter().map(|j| j.table.clone()));
+    if tables.is_empty() {
+        return Err(RelError::Parse("SELECT requires at least one table".into()));
+    }
+    // Alias → table mapping, with duplicate detection.
+    let mut alias_map: BTreeMap<String, String> = BTreeMap::new();
+    for t in &tables {
+        if alias_map
+            .insert(t.alias.to_ascii_lowercase(), t.table.clone())
+            .is_some()
+        {
+            return Err(RelError::Parse(format!(
+                "duplicate table alias {:?}",
+                t.alias
+            )));
+        }
+        catalog.table(&t.table)?; // existence check
+    }
+    let resolver = Resolver {
+        catalog,
+        tables: &tables,
+    };
+
+    // Gather and resolve all conjuncts from WHERE and ON clauses.
+    let mut conjuncts: Vec<Expr> = Vec::new();
+    if let Some(filter) = &stmt.filter {
+        split_conjuncts(resolver.resolve_expr(filter.clone())?, &mut conjuncts);
+    }
+    for join in &stmt.joins {
+        split_conjuncts(resolver.resolve_expr(join.on.clone())?, &mut conjuncts);
+    }
+
+    // Partition conjuncts by the set of aliases they touch.
+    let mut single: BTreeMap<String, Vec<Expr>> = BTreeMap::new();
+    let mut multi: Vec<Expr> = Vec::new();
+    for c in conjuncts {
+        let aliases = aliases_in(&c);
+        if aliases.len() == 1 {
+            let alias = aliases.into_iter().next().expect("one alias");
+            single.entry(alias).or_default().push(c);
+        } else {
+            multi.push(c);
+        }
+    }
+
+    // Access path per table.
+    let mut inputs: Vec<(String, Plan)> = Vec::new();
+    for t in &tables {
+        let own = single
+            .remove(&t.alias.to_ascii_lowercase())
+            .unwrap_or_default();
+        let scan = choose_access_path(t, &own, catalog);
+        let plan = if own.is_empty() {
+            scan
+        } else {
+            Plan::Filter {
+                input: Box::new(scan),
+                predicate: and_all(own),
+            }
+        };
+        inputs.push((t.alias.to_ascii_lowercase(), plan));
+    }
+
+    // Aliases whose columns are visible to anything above the join tree
+    // (projection, grouping, ordering). A table outside this set whose only
+    // role is existence-testing can join as a semi-join under DISTINCT.
+    let mut output_aliases: HashSet<String> = HashSet::new();
+    for item in &stmt.items {
+        match item {
+            SelectItem::Wildcard => {
+                for t in &tables {
+                    output_aliases.insert(t.alias.to_ascii_lowercase());
+                }
+            }
+            SelectItem::TableWildcard(alias) => {
+                output_aliases.insert(alias.to_ascii_lowercase());
+            }
+            SelectItem::Expr { expr, .. } => {
+                if let Ok(resolved) = resolver.resolve_expr(expr.clone()) {
+                    output_aliases.extend(aliases_in(&resolved));
+                }
+            }
+        }
+    }
+    for e in &stmt.group_by {
+        if let Ok(resolved) = resolver.resolve_expr(e.clone()) {
+            output_aliases.extend(aliases_in(&resolved));
+        }
+    }
+    for key in &stmt.order_by {
+        if let Ok(resolved) = resolver.resolve_expr(key.expr.clone()) {
+            output_aliases.extend(aliases_in(&resolved));
+        }
+    }
+
+    // Join ordering (the planner-side half of §3.2's "meticulous analysis
+    // of the query plans"): tables are first partitioned into connected
+    // components of the multi-table-conjunct graph; each component builds
+    // a left-deep plan greedily preferring equi-join-connected tables
+    // (hash joins), and only the fully *reduced* components are then
+    // crossed. Crossing reduced components instead of raw tables keeps
+    // queries with independent bindings — the Figure 8 keyword search —
+    // from materializing table-sized cross products.
+    let components = connected_components(inputs, &multi);
+    let mut component_plans: Vec<Plan> = Vec::new();
+    for mut remaining in components {
+        let (first_alias, mut plan) = remaining.remove(0);
+        let mut joined: HashSet<String> = HashSet::from([first_alias]);
+        while !remaining.is_empty() {
+            let next_pos = remaining
+                .iter()
+                .position(|(alias, _)| {
+                    multi
+                        .iter()
+                        .any(|c| equi_join_keys(c, &joined, alias).is_some())
+                })
+                .unwrap_or(0);
+            let (alias, right) = remaining.remove(next_pos);
+            let alias_key = alias.clone();
+            // Find equi-join conjuncts connecting the joined set to `alias`.
+            let mut left_keys = Vec::new();
+            let mut right_keys = Vec::new();
+            let mut rest = Vec::new();
+            for c in std::mem::take(&mut multi) {
+                if let Some((lk, rk)) = equi_join_keys(&c, &joined, &alias) {
+                    left_keys.push(lk);
+                    right_keys.push(rk);
+                } else {
+                    rest.push(c);
+                }
+            }
+            multi = rest;
+            joined.insert(alias);
+            // Conjuncts now fully contained in the joined set become
+            // residuals of this join step.
+            let mut residuals = Vec::new();
+            let mut still_pending = Vec::new();
+            for c in std::mem::take(&mut multi) {
+                if aliases_in(&c).iter().all(|a| joined.contains(a)) {
+                    residuals.push(c);
+                } else {
+                    still_pending.push(c);
+                }
+            }
+            multi = still_pending;
+            let residual = if residuals.is_empty() {
+                None
+            } else {
+                Some(and_all(residuals))
+            };
+            // Semi-join eligibility: under DISTINCT, a table referenced by
+            // nothing downstream (projection, ordering, grouping, residual
+            // or pending conjuncts) only tests existence; multiplying rows
+            // by its matches would be collapsed by DISTINCT anyway.
+            let semi = stmt.distinct
+                && residual.is_none()
+                && !output_aliases.contains(&alias_key)
+                && !multi.iter().any(|c| aliases_in(c).contains(&alias_key));
+            plan = if left_keys.is_empty() {
+                Plan::NestedLoopJoin {
+                    left: Box::new(plan),
+                    right: Box::new(right),
+                    condition: residual,
+                }
+            } else {
+                Plan::HashJoin {
+                    left: Box::new(plan),
+                    right: Box::new(right),
+                    left_keys,
+                    right_keys,
+                    residual,
+                    semi,
+                }
+            };
+        }
+        component_plans.push(plan);
+    }
+    // Cross the reduced components. Any conjuncts still pending span
+    // components without being equi-joins; the final cross carries them
+    // as its condition.
+    let mut component_iter = component_plans.into_iter();
+    let mut plan = component_iter.next().expect("at least one component");
+    let mut components_left = component_iter.len();
+    for right in component_iter {
+        components_left -= 1;
+        let condition = if components_left == 0 && !multi.is_empty() {
+            Some(and_all(std::mem::take(&mut multi)))
+        } else {
+            None
+        };
+        plan = Plan::NestedLoopJoin {
+            left: Box::new(plan),
+            right: Box::new(right),
+            condition,
+        };
+    }
+    // Anything left over (possible only for single-component queries with
+    // non-equi multi-table conjuncts) goes into a top filter.
+    if !multi.is_empty() {
+        plan = Plan::Filter {
+            input: Box::new(plan),
+            predicate: and_all(multi),
+        };
+    }
+
+    // Expand the select list into project items.
+    let mut items: Vec<ProjectItem> = Vec::new();
+    for item in &stmt.items {
+        match item {
+            SelectItem::Wildcard => {
+                for t in &tables {
+                    push_table_columns(&mut items, t, catalog)?;
+                }
+            }
+            SelectItem::TableWildcard(alias) => {
+                let t = tables
+                    .iter()
+                    .find(|t| t.alias.eq_ignore_ascii_case(alias))
+                    .ok_or_else(|| RelError::UnknownTable(alias.clone()))?;
+                push_table_columns(&mut items, t, catalog)?;
+            }
+            SelectItem::Expr { expr, alias } => {
+                let resolved = resolver.resolve_expr(expr.clone())?;
+                let name = alias
+                    .clone()
+                    .unwrap_or_else(|| derive_name(&resolved, items.len()));
+                items.push(ProjectItem {
+                    expr: resolved,
+                    name,
+                });
+            }
+        }
+    }
+    let visible = items.len();
+
+    let group_by: Vec<Expr> = stmt
+        .group_by
+        .iter()
+        .map(|e| resolver.resolve_expr(e.clone()))
+        .collect::<RelResult<_>>()?;
+    let is_aggregate = !group_by.is_empty() || items.iter().any(|i| i.expr.has_aggregate());
+
+    // Sort keys: reuse a visible item when the key names or equals one;
+    // otherwise append a hidden item.
+    let mut sort_keys: Vec<SortKey> = Vec::new();
+    for key in &stmt.order_by {
+        let resolved = match resolver.resolve_expr(key.expr.clone()) {
+            Ok(e) => e,
+            // An ORDER BY name may reference a select alias rather than a
+            // real column; fall back to name matching below.
+            Err(err) => {
+                let name = match &key.expr {
+                    Expr::Column { table: None, name } => name.clone(),
+                    _ => return Err(err),
+                };
+                let pos = items
+                    .iter()
+                    .position(|i| i.name.eq_ignore_ascii_case(&name))
+                    .ok_or(err)?;
+                sort_keys.push(SortKey {
+                    column: pos,
+                    descending: key.descending,
+                });
+                continue;
+            }
+        };
+        let pos = items
+            .iter()
+            .position(|i| i.expr == resolved)
+            .unwrap_or_else(|| {
+                items.push(ProjectItem {
+                    expr: resolved.clone(),
+                    name: format!("__sort_{}", items.len()),
+                });
+                items.len() - 1
+            });
+        sort_keys.push(SortKey {
+            column: pos,
+            descending: key.descending,
+        });
+    }
+
+    plan = if is_aggregate {
+        Plan::Aggregate {
+            input: Box::new(plan),
+            group_by,
+            items,
+            visible,
+        }
+    } else {
+        Plan::Project {
+            input: Box::new(plan),
+            items,
+            visible,
+        }
+    };
+    if !sort_keys.is_empty() {
+        plan = Plan::Sort {
+            input: Box::new(plan),
+            keys: sort_keys,
+        };
+    }
+    if stmt.distinct {
+        plan = Plan::Distinct {
+            input: Box::new(plan),
+            visible,
+        };
+    }
+    if stmt.limit.is_some() || stmt.offset.is_some() {
+        plan = Plan::Limit {
+            input: Box::new(plan),
+            limit: stmt.limit,
+            offset: stmt.offset.unwrap_or(0),
+        };
+    }
+    Ok(PlannedQuery { plan, visible })
+}
+
+fn push_table_columns(
+    items: &mut Vec<ProjectItem>,
+    t: &TableRef,
+    catalog: &Catalog,
+) -> RelResult<()> {
+    let schema = catalog.table(&t.table)?;
+    for col in &schema.columns {
+        items.push(ProjectItem {
+            expr: Expr::col(Some(&t.alias), &col.name),
+            name: col.name.clone(),
+        });
+    }
+    Ok(())
+}
+
+fn derive_name(expr: &Expr, position: usize) -> String {
+    match expr {
+        Expr::Column { name, .. } => name.clone(),
+        Expr::Aggregate { func, .. } => format!("{func:?}").to_ascii_lowercase(),
+        _ => format!("col{position}"),
+    }
+}
+
+pub(crate) fn split_conjuncts(expr: Expr, out: &mut Vec<Expr>) {
+    match expr {
+        Expr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        } => {
+            split_conjuncts(*left, out);
+            split_conjuncts(*right, out);
+        }
+        other => out.push(other),
+    }
+}
+
+fn and_all(mut exprs: Vec<Expr>) -> Expr {
+    let mut acc = exprs.remove(0);
+    for e in exprs {
+        acc = Expr::binary(BinOp::And, acc, e);
+    }
+    acc
+}
+
+/// Partitions the table inputs into connected components of the
+/// multi-table-conjunct graph, preserving declaration order within and
+/// across components.
+fn connected_components(inputs: Vec<(String, Plan)>, multi: &[Expr]) -> Vec<Vec<(String, Plan)>> {
+    // Union-find over alias names.
+    let aliases: Vec<String> = inputs.iter().map(|(a, _)| a.clone()).collect();
+    let index: BTreeMap<&str, usize> = aliases
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (a.as_str(), i))
+        .collect();
+    let mut parent: Vec<usize> = (0..aliases.len()).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let root = find(parent, parent[x]);
+            parent[x] = root;
+        }
+        parent[x]
+    }
+    for c in multi {
+        let touched: Vec<usize> = aliases_in(c)
+            .into_iter()
+            .filter_map(|a| index.get(a.as_str()).copied())
+            .collect();
+        for pair in touched.windows(2) {
+            let (ra, rb) = (find(&mut parent, pair[0]), find(&mut parent, pair[1]));
+            if ra != rb {
+                parent[rb] = ra;
+            }
+        }
+    }
+    let mut groups: Vec<(usize, Vec<(String, Plan)>)> = Vec::new();
+    for (i, input) in inputs.into_iter().enumerate() {
+        let root = find(&mut parent, i);
+        match groups.iter_mut().find(|(r, _)| *r == root) {
+            Some((_, members)) => members.push(input),
+            None => groups.push((root, vec![input])),
+        }
+    }
+    groups.into_iter().map(|(_, members)| members).collect()
+}
+
+/// The lowercase aliases referenced by an expression.
+fn aliases_in(expr: &Expr) -> HashSet<String> {
+    fn walk(expr: &Expr, out: &mut HashSet<String>) {
+        match expr {
+            Expr::Column { table, .. } => {
+                if let Some(t) = table {
+                    out.insert(t.to_ascii_lowercase());
+                }
+            }
+            Expr::Literal(_) => {}
+            Expr::Binary { left, right, .. } => {
+                walk(left, out);
+                walk(right, out);
+            }
+            Expr::Not(e) | Expr::Neg(e) => walk(e, out),
+            Expr::IsNull { expr, .. } => walk(expr, out),
+            Expr::Like { expr, pattern, .. } => {
+                walk(expr, out);
+                walk(pattern, out);
+            }
+            Expr::InList { expr, list, .. } => {
+                walk(expr, out);
+                for e in list {
+                    walk(e, out);
+                }
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                walk(expr, out);
+                walk(low, out);
+                walk(high, out);
+            }
+            Expr::Contains { column, keyword } => {
+                walk(column, out);
+                walk(keyword, out);
+            }
+            Expr::Matches { column, pattern } => {
+                walk(column, out);
+                walk(pattern, out);
+            }
+            Expr::Aggregate { arg, .. } => {
+                if let Some(a) = arg {
+                    walk(a, out);
+                }
+            }
+        }
+    }
+    let mut out = HashSet::new();
+    walk(expr, &mut out);
+    out
+}
+
+/// If `c` is `lhs = rhs` with one side referencing only `joined` aliases
+/// and the other only `new_alias`, returns `(left_key, right_key)`.
+fn equi_join_keys(c: &Expr, joined: &HashSet<String>, new_alias: &str) -> Option<(Expr, Expr)> {
+    let Expr::Binary {
+        op: BinOp::Eq,
+        left,
+        right,
+    } = c
+    else {
+        return None;
+    };
+    let la = aliases_in(left);
+    let ra = aliases_in(right);
+    let only_joined = |s: &HashSet<String>| !s.is_empty() && s.iter().all(|a| joined.contains(a));
+    let only_new = |s: &HashSet<String>| s.len() == 1 && s.contains(new_alias);
+    if only_joined(&la) && only_new(&ra) {
+        Some(((**left).clone(), (**right).clone()))
+    } else if only_joined(&ra) && only_new(&la) {
+        Some(((**right).clone(), (**left).clone()))
+    } else {
+        None
+    }
+}
+
+/// Resolves unqualified column references against the tables in scope.
+struct Resolver<'a> {
+    catalog: &'a Catalog,
+    tables: &'a [TableRef],
+}
+
+impl Resolver<'_> {
+    fn resolve_column(&self, table: Option<String>, name: String) -> RelResult<Expr> {
+        if let Some(alias) = table {
+            // Verify the alias exists and carries the column.
+            let t = self
+                .tables
+                .iter()
+                .find(|t| t.alias.eq_ignore_ascii_case(&alias))
+                .ok_or_else(|| RelError::UnknownTable(alias.clone()))?;
+            let schema = self.catalog.table(&t.table)?;
+            if schema.column_index(&name).is_none() {
+                return Err(RelError::UnknownColumn(format!("{alias}.{name}")));
+            }
+            return Ok(Expr::Column {
+                table: Some(t.alias.clone()),
+                name,
+            });
+        }
+        let mut owner = None;
+        for t in self.tables {
+            let schema = self.catalog.table(&t.table)?;
+            if schema.column_index(&name).is_some() {
+                if owner.is_some() {
+                    return Err(RelError::AmbiguousColumn(name));
+                }
+                owner = Some(t.alias.clone());
+            }
+        }
+        match owner {
+            Some(alias) => Ok(Expr::Column {
+                table: Some(alias),
+                name,
+            }),
+            None => Err(RelError::UnknownColumn(name)),
+        }
+    }
+
+    fn resolve_expr(&self, expr: Expr) -> RelResult<Expr> {
+        Ok(match expr {
+            Expr::Column { table, name } => self.resolve_column(table, name)?,
+            Expr::Literal(v) => Expr::Literal(v),
+            Expr::Binary { op, left, right } => Expr::Binary {
+                op,
+                left: Box::new(self.resolve_expr(*left)?),
+                right: Box::new(self.resolve_expr(*right)?),
+            },
+            Expr::Not(e) => Expr::Not(Box::new(self.resolve_expr(*e)?)),
+            Expr::Neg(e) => Expr::Neg(Box::new(self.resolve_expr(*e)?)),
+            Expr::IsNull { expr, negated } => Expr::IsNull {
+                expr: Box::new(self.resolve_expr(*expr)?),
+                negated,
+            },
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => Expr::Like {
+                expr: Box::new(self.resolve_expr(*expr)?),
+                pattern: Box::new(self.resolve_expr(*pattern)?),
+                negated,
+            },
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Expr::InList {
+                expr: Box::new(self.resolve_expr(*expr)?),
+                list: list
+                    .into_iter()
+                    .map(|e| self.resolve_expr(e))
+                    .collect::<RelResult<_>>()?,
+                negated,
+            },
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => Expr::Between {
+                expr: Box::new(self.resolve_expr(*expr)?),
+                low: Box::new(self.resolve_expr(*low)?),
+                high: Box::new(self.resolve_expr(*high)?),
+                negated,
+            },
+            Expr::Contains { column, keyword } => Expr::Contains {
+                column: Box::new(self.resolve_expr(*column)?),
+                keyword: Box::new(self.resolve_expr(*keyword)?),
+            },
+            Expr::Matches { column, pattern } => Expr::Matches {
+                column: Box::new(self.resolve_expr(*column)?),
+                pattern: Box::new(self.resolve_expr(*pattern)?),
+            },
+            Expr::Aggregate {
+                func,
+                arg,
+                distinct,
+            } => Expr::Aggregate {
+                func,
+                arg: match arg {
+                    Some(a) => Some(Box::new(self.resolve_expr(*a)?)),
+                    None => None,
+                },
+                distinct,
+            },
+        })
+    }
+}
+
+/// Chooses the cheapest access path for one table given its single-table
+/// conjuncts (already alias-resolved).
+pub(crate) fn choose_access_path(t: &TableRef, conjuncts: &[Expr], catalog: &Catalog) -> Plan {
+    // Collect sargable constraints per column (lowercase names).
+    let mut eq: BTreeMap<String, Value> = BTreeMap::new();
+    let mut ranges: BTreeMap<String, (Bound<Value>, Bound<Value>)> = BTreeMap::new();
+    let mut keywords: Vec<(String, String)> = Vec::new();
+    for c in conjuncts {
+        collect_sargs(c, &mut eq, &mut ranges, &mut keywords);
+    }
+
+    // Keyword index first: a CONTAINS hit through the inverted index is the
+    // paper's purpose-built fast path for keyword queries.
+    for (col, kw) in &keywords {
+        for def in catalog.indexes_on(&t.table) {
+            if def.keyword && def.columns[0].eq_ignore_ascii_case(col) {
+                return Plan::KeywordScan {
+                    table: t.table.clone(),
+                    alias: t.alias.clone(),
+                    index: def.name.clone(),
+                    keyword: kw.clone(),
+                };
+            }
+        }
+    }
+
+    // Best B-tree index: longest equality prefix, range extension breaks ties.
+    let mut best: Option<(usize, bool, Plan)> = None;
+    for def in catalog.indexes_on(&t.table) {
+        if def.keyword {
+            continue;
+        }
+        let mut values = Vec::new();
+        for col in &def.columns {
+            match eq.get(&col.to_ascii_lowercase()) {
+                Some(v) => values.push(v.clone()),
+                None => break,
+            }
+        }
+        let matched = values.len();
+        let range_col = def.columns.get(matched).map(|c| c.to_ascii_lowercase());
+        let range = range_col.as_ref().and_then(|c| ranges.get(c)).cloned();
+        let candidate = if matched == 0 && range.is_none() {
+            continue;
+        } else if let Some((lower, upper)) = range {
+            (
+                matched,
+                true,
+                Plan::IndexScan {
+                    table: t.table.clone(),
+                    alias: t.alias.clone(),
+                    index: def.name.clone(),
+                    access: IndexAccess::Range {
+                        prefix: values,
+                        lower,
+                        upper,
+                    },
+                },
+            )
+        } else {
+            (
+                matched,
+                false,
+                Plan::IndexScan {
+                    table: t.table.clone(),
+                    alias: t.alias.clone(),
+                    index: def.name.clone(),
+                    access: IndexAccess::Exact(values),
+                },
+            )
+        };
+        let better = match &best {
+            None => true,
+            Some((m, r, _)) => candidate.0 > *m || (candidate.0 == *m && candidate.1 && !r),
+        };
+        if better {
+            best = Some(candidate);
+        }
+    }
+    if let Some((_, _, plan)) = best {
+        return plan;
+    }
+    Plan::Scan {
+        table: t.table.clone(),
+        alias: t.alias.clone(),
+    }
+}
+
+/// Extracts index-usable constraints from one conjunct.
+fn collect_sargs(
+    c: &Expr,
+    eq: &mut BTreeMap<String, Value>,
+    ranges: &mut BTreeMap<String, (Bound<Value>, Bound<Value>)>,
+    keywords: &mut Vec<(String, String)>,
+) {
+    fn col_name(e: &Expr) -> Option<String> {
+        match e {
+            Expr::Column { name, .. } => Some(name.to_ascii_lowercase()),
+            _ => None,
+        }
+    }
+    fn literal(e: &Expr) -> Option<Value> {
+        match e {
+            Expr::Literal(v) if !v.is_null() => Some(v.clone()),
+            _ => None,
+        }
+    }
+    match c {
+        Expr::Binary { op, left, right } if op.is_comparison() => {
+            // Normalize to column-op-literal.
+            let (col, val, op) = match (col_name(left), literal(right)) {
+                (Some(c), Some(v)) => (c, v, *op),
+                _ => match (col_name(right), literal(left)) {
+                    (Some(c), Some(v)) => {
+                        let flipped = match op {
+                            BinOp::Lt => BinOp::Gt,
+                            BinOp::Le => BinOp::Ge,
+                            BinOp::Gt => BinOp::Lt,
+                            BinOp::Ge => BinOp::Le,
+                            other => *other,
+                        };
+                        (c, v, flipped)
+                    }
+                    _ => return,
+                },
+            };
+            match op {
+                BinOp::Eq => {
+                    eq.insert(col, val);
+                }
+                BinOp::Lt => {
+                    let r = ranges
+                        .entry(col)
+                        .or_insert((Bound::Unbounded, Bound::Unbounded));
+                    r.1 = Bound::Excluded(val);
+                }
+                BinOp::Le => {
+                    let r = ranges
+                        .entry(col)
+                        .or_insert((Bound::Unbounded, Bound::Unbounded));
+                    r.1 = Bound::Included(val);
+                }
+                BinOp::Gt => {
+                    let r = ranges
+                        .entry(col)
+                        .or_insert((Bound::Unbounded, Bound::Unbounded));
+                    r.0 = Bound::Excluded(val);
+                }
+                BinOp::Ge => {
+                    let r = ranges
+                        .entry(col)
+                        .or_insert((Bound::Unbounded, Bound::Unbounded));
+                    r.0 = Bound::Included(val);
+                }
+                _ => {}
+            }
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated: false,
+        } => {
+            if let (Some(col), Some(lo), Some(hi)) = (col_name(expr), literal(low), literal(high)) {
+                ranges.insert(col, (Bound::Included(lo), Bound::Included(hi)));
+            }
+        }
+        Expr::Contains { column, keyword } => {
+            if let (Some(col), Some(Value::Text(kw))) = (col_name(column), literal(keyword)) {
+                keywords.push((col, kw));
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, IndexDef, TableSchema};
+    use crate::sql::ast::Statement;
+    use crate::sql::parser::parse_statement;
+    use crate::value::DataType;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.create_table(TableSchema::new(
+            "elements",
+            vec![
+                Column::new("doc_id", DataType::Int),
+                Column::new("path", DataType::Text),
+                Column::new("ord", DataType::Int),
+                Column::new("val", DataType::Text),
+            ],
+        ))
+        .unwrap();
+        cat.create_table(TableSchema::new(
+            "attrs",
+            vec![
+                Column::new("doc_id", DataType::Int),
+                Column::new("aname", DataType::Text),
+                Column::new("aval", DataType::Text),
+            ],
+        ))
+        .unwrap();
+        cat.create_index(IndexDef {
+            name: "idx_path".into(),
+            table: "elements".into(),
+            columns: vec!["path".into(), "ord".into()],
+            keyword: false,
+        })
+        .unwrap();
+        cat.create_index(IndexDef {
+            name: "kw_val".into(),
+            table: "elements".into(),
+            columns: vec!["val".into()],
+            keyword: true,
+        })
+        .unwrap();
+        cat
+    }
+
+    fn plan(sql: &str) -> PlannedQuery {
+        let stmt = match parse_statement(sql).unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("{other:?}"),
+        };
+        plan_select(&stmt, &catalog()).unwrap()
+    }
+
+    fn find_scan(plan: &Plan) -> &Plan {
+        match plan {
+            Plan::Scan { .. } | Plan::IndexScan { .. } | Plan::KeywordScan { .. } => plan,
+            Plan::Filter { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Distinct { input, .. }
+            | Plan::Limit { input, .. } => find_scan(input),
+            Plan::NestedLoopJoin { left, .. } | Plan::HashJoin { left, .. } => find_scan(left),
+        }
+    }
+
+    #[test]
+    fn full_scan_without_predicates() {
+        let p = plan("SELECT val FROM elements");
+        assert!(matches!(find_scan(&p.plan), Plan::Scan { .. }));
+        assert_eq!(p.visible, 1);
+    }
+
+    #[test]
+    fn equality_picks_index() {
+        let p = plan("SELECT val FROM elements WHERE path = '/a/b'");
+        match find_scan(&p.plan) {
+            Plan::IndexScan {
+                index,
+                access: IndexAccess::Exact(values),
+                ..
+            } => {
+                assert_eq!(index, "idx_path");
+                assert_eq!(values, &vec![Value::Text("/a/b".into())]);
+            }
+            other => panic!("expected index scan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn composite_equality_uses_both_columns() {
+        let p = plan("SELECT val FROM elements WHERE path = '/a' AND ord = 3");
+        match find_scan(&p.plan) {
+            Plan::IndexScan {
+                access: IndexAccess::Exact(values),
+                ..
+            } => {
+                assert_eq!(values.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn range_after_prefix() {
+        let p = plan("SELECT val FROM elements WHERE path = '/a' AND ord BETWEEN 2 AND 9");
+        match find_scan(&p.plan) {
+            Plan::IndexScan {
+                access:
+                    IndexAccess::Range {
+                        prefix,
+                        lower,
+                        upper,
+                    },
+                ..
+            } => {
+                assert_eq!(prefix.len(), 1);
+                assert_eq!(*lower, Bound::Included(Value::Int(2)));
+                assert_eq!(*upper, Bound::Included(Value::Int(9)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn contains_picks_keyword_index() {
+        let p = plan("SELECT val FROM elements WHERE CONTAINS(val, 'cdc6')");
+        match find_scan(&p.plan) {
+            Plan::KeywordScan { index, keyword, .. } => {
+                assert_eq!(index, "kw_val");
+                assert_eq!(keyword, "cdc6");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_sargable_predicate_scans() {
+        let p = plan("SELECT val FROM elements WHERE val LIKE '%x%'");
+        assert!(matches!(find_scan(&p.plan), Plan::Scan { .. }));
+        assert!(!p.plan.uses_index());
+    }
+
+    #[test]
+    fn equijoin_becomes_hash_join() {
+        let p = plan(
+            "SELECT e.val FROM elements e, attrs a WHERE e.doc_id = a.doc_id AND a.aname = 'x'",
+        );
+        fn has_hash(plan: &Plan) -> bool {
+            match plan {
+                Plan::HashJoin { .. } => true,
+                Plan::Project { input, .. }
+                | Plan::Filter { input, .. }
+                | Plan::Sort { input, .. }
+                | Plan::Limit { input, .. }
+                | Plan::Distinct { input, .. }
+                | Plan::Aggregate { input, .. } => has_hash(input),
+                _ => false,
+            }
+        }
+        assert!(has_hash(&p.plan), "{}", p.plan.explain());
+    }
+
+    #[test]
+    fn explicit_join_on_condition() {
+        let p = plan("SELECT e.val FROM elements e JOIN attrs a ON e.doc_id = a.doc_id");
+        assert!(
+            p.plan.explain().contains("HashJoin"),
+            "{}",
+            p.plan.explain()
+        );
+    }
+
+    #[test]
+    fn join_reordering_avoids_cross_products() {
+        // Tables declared as (elements, attrs_like, elements2) where the
+        // middle table connects to NEITHER directly, but elements joins
+        // elements2: the planner must join the connected pair first.
+        let p = plan(
+            "SELECT e.val FROM elements e, attrs a, elements e2 \
+             WHERE e.val = e2.val AND e2.doc_id = a.doc_id",
+        );
+        let text = p.plan.explain();
+        // Every join in the tree must be a hash join — no cross product.
+        assert!(!text.contains("NestedLoopJoin"), "{text}");
+        assert_eq!(text.matches("HashJoin").count(), 2, "{text}");
+    }
+
+    #[test]
+    fn independent_components_reduce_before_crossing() {
+        // Two independent pairs: (e ⋈ a) × (e2 ⋈ a2). The cross must sit
+        // ABOVE both hash joins, not between raw tables.
+        let p = plan(
+            "SELECT e.val FROM elements e, attrs a, elements e2, attrs a2 \
+             WHERE e.doc_id = a.doc_id AND e2.doc_id = a2.doc_id",
+        );
+        match strip_to_join(&p.plan) {
+            Plan::NestedLoopJoin { left, right, .. } => {
+                assert!(
+                    matches!(**left, Plan::HashJoin { .. }),
+                    "{}",
+                    p.plan.explain()
+                );
+                assert!(
+                    matches!(**right, Plan::HashJoin { .. }),
+                    "{}",
+                    p.plan.explain()
+                );
+            }
+            other => panic!("expected top-level cross, got {other:?}"),
+        }
+    }
+
+    fn strip_to_join(plan: &Plan) -> &Plan {
+        match plan {
+            Plan::Project { input, .. }
+            | Plan::Filter { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. }
+            | Plan::Distinct { input, .. }
+            | Plan::Aggregate { input, .. } => strip_to_join(input),
+            other => other,
+        }
+    }
+
+    #[test]
+    fn semi_join_under_distinct_for_existence_only_tables() {
+        // `a` only tests existence: DISTINCT query, no projected/ordered
+        // columns from it, equality join, no residual.
+        let p = plan("SELECT DISTINCT e.val FROM elements e, attrs a WHERE e.doc_id = a.doc_id");
+        assert!(
+            p.plan.explain().contains("HashSemiJoin"),
+            "{}",
+            p.plan.explain()
+        );
+        // Without DISTINCT the multiplicity matters: plain hash join.
+        let p2 = plan("SELECT e.val FROM elements e, attrs a WHERE e.doc_id = a.doc_id");
+        assert!(
+            !p2.plan.explain().contains("HashSemiJoin"),
+            "{}",
+            p2.plan.explain()
+        );
+        // A projected column from `a` forbids the semi-join.
+        let p3 = plan(
+            "SELECT DISTINCT e.val, a.aname FROM elements e, attrs a \
+             WHERE e.doc_id = a.doc_id",
+        );
+        assert!(
+            !p3.plan.explain().contains("HashSemiJoin"),
+            "{}",
+            p3.plan.explain()
+        );
+        // An ORDER BY reference also forbids it.
+        let p4 = plan(
+            "SELECT DISTINCT e.val FROM elements e, attrs a \
+             WHERE e.doc_id = a.doc_id ORDER BY a.aname",
+        );
+        assert!(
+            !p4.plan.explain().contains("HashSemiJoin"),
+            "{}",
+            p4.plan.explain()
+        );
+    }
+
+    #[test]
+    fn cross_join_is_nested_loop() {
+        let p = plan("SELECT e.val FROM elements e, attrs a");
+        assert!(
+            p.plan.explain().contains("NestedLoopJoin"),
+            "{}",
+            p.plan.explain()
+        );
+    }
+
+    #[test]
+    fn unqualified_columns_resolve() {
+        let p = plan("SELECT aname FROM elements e, attrs a WHERE aname = 'x'");
+        assert_eq!(p.visible, 1);
+    }
+
+    #[test]
+    fn ambiguous_column_rejected() {
+        let stmt = match parse_statement("SELECT doc_id FROM elements e, attrs a").unwrap() {
+            Statement::Select(s) => s,
+            _ => unreachable!(),
+        };
+        assert!(matches!(
+            plan_select(&stmt, &catalog()),
+            Err(RelError::AmbiguousColumn(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_column_and_table_rejected() {
+        for sql in [
+            "SELECT nope FROM elements",
+            "SELECT e.nope FROM elements e",
+            "SELECT x.val FROM elements e",
+            "SELECT val FROM missing",
+        ] {
+            let stmt = match parse_statement(sql).unwrap() {
+                Statement::Select(s) => s,
+                _ => unreachable!(),
+            };
+            assert!(plan_select(&stmt, &catalog()).is_err(), "{sql}");
+        }
+    }
+
+    #[test]
+    fn order_by_alias_and_hidden_key() {
+        let p = plan("SELECT val AS v FROM elements ORDER BY v");
+        assert!(p.plan.explain().contains("Sort"));
+        // Hidden sort key case: order by a non-projected column.
+        let p2 = plan("SELECT val FROM elements ORDER BY ord DESC");
+        match &p2.plan {
+            Plan::Sort { input, keys } => {
+                assert_eq!(keys[0].column, 1); // hidden key appended after `val`
+                assert!(keys[0].descending);
+                match input.as_ref() {
+                    Plan::Project { items, visible, .. } => {
+                        assert_eq!(*visible, 1);
+                        assert_eq!(items.len(), 2);
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregates_route_to_aggregate_node() {
+        let p = plan("SELECT path, COUNT(*) FROM elements GROUP BY path");
+        assert!(p.plan.explain().contains("Aggregate groups=1"));
+        let p2 = plan("SELECT COUNT(*) FROM elements");
+        assert!(p2.plan.explain().contains("Aggregate groups=0"));
+    }
+
+    #[test]
+    fn wildcard_expansion() {
+        let p = plan("SELECT * FROM elements e, attrs a");
+        assert_eq!(p.visible, 7);
+        let p2 = plan("SELECT a.* FROM elements e, attrs a");
+        assert_eq!(p2.visible, 3);
+    }
+
+    #[test]
+    fn duplicate_alias_rejected() {
+        let stmt = match parse_statement("SELECT 1 FROM elements x, attrs x").unwrap() {
+            Statement::Select(s) => s,
+            _ => unreachable!(),
+        };
+        assert!(plan_select(&stmt, &catalog()).is_err());
+    }
+}

@@ -1,0 +1,656 @@
+//! A small regular-expression engine for the `MATCHES` predicate.
+//!
+//! The paper argues (§4, Discovery Link comparison) that meaningful
+//! bioinformatics queries "often require more sophisticated conditions
+//! than the SQL query language can express, for example, regular
+//! expression pattern matching" — sequence motifs being the canonical
+//! case (§2.2). This module implements the engine behind the SQL
+//! extension `MATCHES(column, 'pattern')`: a classic Thompson-style NFA
+//! built by recursive descent, with linear-time simulation (no
+//! backtracking blow-up on hostile patterns).
+//!
+//! Supported syntax — the PROSITE-style subset motif work needs:
+//!
+//! * literal characters (case-sensitive), `.` any character;
+//! * character classes `[abc]`, ranges `[a-z0-9]`, negation `[^abc]`;
+//! * repetition `*`, `+`, `?` and counted `{n}`, `{n,}`, `{n,m}`;
+//! * alternation `|` and grouping `(...)`;
+//! * anchors `^` and `$` (a pattern without anchors is unanchored — it
+//!   matches anywhere in the text, like `grep`);
+//! * escapes `\.` `\*` `\\` etc. for metacharacters.
+
+use std::fmt;
+
+/// A compiled pattern.
+///
+/// ```
+/// use xomatiq_relstore::regex::Pattern;
+/// let motif = Pattern::compile("N[^P][ST]").unwrap();
+/// assert!(motif.is_match("MKNVTLAGRA"));
+/// assert!(!motif.is_match("MKNPTLAGRA"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    program: Vec<Inst>,
+    anchored_start: bool,
+}
+
+/// A compile error with a message and position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the pattern.
+    pub position: usize,
+}
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+/// One NFA instruction.
+#[derive(Debug, Clone)]
+enum Inst {
+    /// Match one character satisfying the test, advance.
+    Char(CharTest),
+    /// Fork execution to both targets.
+    Split(usize, usize),
+    /// Unconditional jump.
+    Jump(usize),
+    /// Match only at end of input.
+    EndAnchor,
+    /// Accept.
+    Accept,
+}
+
+/// A single-character test.
+#[derive(Debug, Clone)]
+enum CharTest {
+    /// Exactly this character.
+    Literal(char),
+    /// Any character.
+    Any,
+    /// A set of ranges, possibly negated.
+    Class {
+        negated: bool,
+        ranges: Vec<(char, char)>,
+    },
+}
+
+impl CharTest {
+    fn matches(&self, c: char) -> bool {
+        match self {
+            CharTest::Literal(l) => *l == c,
+            CharTest::Any => true,
+            CharTest::Class { negated, ranges } => {
+                let inside = ranges.iter().any(|(lo, hi)| *lo <= c && c <= *hi);
+                inside != *negated
+            }
+        }
+    }
+}
+
+impl Pattern {
+    /// Compiles `pattern`.
+    pub fn compile(pattern: &str) -> Result<Pattern, RegexError> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut p = Compiler {
+            chars,
+            pos: 0,
+            program: Vec::new(),
+        };
+        let anchored_start = p.eat('^');
+        p.alternation()?;
+        if p.pos < p.chars.len() {
+            return Err(p.error("unexpected character"));
+        }
+        p.program.push(Inst::Accept);
+        Ok(Pattern {
+            program: p.program,
+            anchored_start,
+        })
+    }
+
+    /// Whether the pattern matches anywhere in `text` (or at the anchored
+    /// positions when `^`/`$` are present).
+    pub fn is_match(&self, text: &str) -> bool {
+        let chars: Vec<char> = text.chars().collect();
+        if self.anchored_start {
+            return self.run(&chars, 0);
+        }
+        (0..=chars.len()).any(|start| self.run(&chars, start))
+    }
+
+    /// Thompson NFA simulation from one start offset.
+    fn run(&self, text: &[char], start: usize) -> bool {
+        let mut current = vec![false; self.program.len()];
+        let mut next = vec![false; self.program.len()];
+        let mut any_current = false;
+        self.add_thread(0, start == text.len(), &mut current, &mut any_current);
+        let mut i = start;
+        loop {
+            // Check acceptance in the current thread set.
+            if current
+                .iter()
+                .enumerate()
+                .any(|(pc, live)| *live && matches!(self.program[pc], Inst::Accept))
+            {
+                return true;
+            }
+            if i >= text.len() || !any_current {
+                return false;
+            }
+            let c = text[i];
+            i += 1;
+            let at_end = i == text.len();
+            next.iter_mut().for_each(|b| *b = false);
+            let mut any_next = false;
+            let live: Vec<usize> = current
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| **l)
+                .map(|(pc, _)| pc)
+                .collect();
+            for pc in live {
+                if let Inst::Char(test) = &self.program[pc] {
+                    if test.matches(c) {
+                        self.add_thread(pc + 1, at_end, &mut next, &mut any_next);
+                    }
+                }
+            }
+            std::mem::swap(&mut current, &mut next);
+            any_current = any_next;
+        }
+    }
+
+    /// Adds `pc` and everything reachable through epsilon transitions.
+    fn add_thread(&self, pc: usize, at_end: bool, set: &mut [bool], any: &mut bool) {
+        if pc >= self.program.len() || set[pc] {
+            return;
+        }
+        match &self.program[pc] {
+            Inst::Split(a, b) => {
+                // Mark visited to guard against epsilon loops like `(a*)*`.
+                set[pc] = true;
+                let (a, b) = (*a, *b);
+                self.add_thread(a, at_end, set, any);
+                self.add_thread(b, at_end, set, any);
+            }
+            Inst::Jump(t) => {
+                set[pc] = true;
+                let t = *t;
+                self.add_thread(t, at_end, set, any);
+            }
+            Inst::EndAnchor => {
+                set[pc] = true;
+                if at_end {
+                    self.add_thread(pc + 1, at_end, set, any);
+                }
+            }
+            Inst::Char(_) | Inst::Accept => {
+                set[pc] = true;
+                *any = true;
+            }
+        }
+    }
+}
+
+struct Compiler {
+    chars: Vec<char>,
+    pos: usize,
+    program: Vec<Inst>,
+}
+
+impl Compiler {
+    fn error(&self, message: &str) -> RegexError {
+        RegexError {
+            message: message.to_string(),
+            position: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// alternation := concat ('|' concat)*
+    fn alternation(&mut self) -> Result<(), RegexError> {
+        let start = self.program.len();
+        self.concat()?;
+        if self.peek() != Some('|') {
+            return Ok(());
+        }
+        // Rewrite: insert a Split before the first branch; each previous
+        // branch jumps past the rest once finished.
+        let mut branch_ends = Vec::new();
+        while self.eat('|') {
+            // Shift the existing branch down by one to make room for Split.
+            let first_len = self.program.len() - start;
+            self.program.insert(start, Inst::Split(start + 1, 0));
+            shift_targets(&mut self.program, start, 1);
+            let _ = first_len;
+            // The completed branch jumps to the (eventual) end.
+            self.program.push(Inst::Jump(usize::MAX));
+            branch_ends.push(self.program.len() - 1);
+            let second = self.program.len();
+            if let Inst::Split(_, ref mut b) = self.program[start] {
+                *b = second;
+            }
+            self.concat()?;
+            // If another '|' follows, the loop repeats treating everything
+            // from `start` as the first branch again.
+        }
+        let end = self.program.len();
+        for pc in branch_ends {
+            if let Inst::Jump(ref mut t) = self.program[pc] {
+                *t = end;
+            }
+        }
+        Ok(())
+    }
+
+    /// concat := repeat*
+    fn concat(&mut self) -> Result<(), RegexError> {
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            self.repeat()?;
+        }
+        Ok(())
+    }
+
+    /// repeat := atom ('*' | '+' | '?' | '{n[,m]}')?
+    fn repeat(&mut self) -> Result<(), RegexError> {
+        let atom_start = self.program.len();
+        self.atom()?;
+        match self.peek() {
+            Some('*') => {
+                self.pos += 1;
+                // split(atom, past); atom; jump(split)
+                self.program
+                    .insert(atom_start, Inst::Split(atom_start + 1, 0));
+                shift_targets(&mut self.program, atom_start, 1);
+                self.program.push(Inst::Jump(atom_start));
+                let past = self.program.len();
+                if let Inst::Split(_, ref mut b) = self.program[atom_start] {
+                    *b = past;
+                }
+            }
+            Some('+') => {
+                self.pos += 1;
+                // atom; split(atom, past)
+                self.program
+                    .push(Inst::Split(atom_start, self.program.len() + 1));
+            }
+            Some('?') => {
+                self.pos += 1;
+                self.program
+                    .insert(atom_start, Inst::Split(atom_start + 1, 0));
+                shift_targets(&mut self.program, atom_start, 1);
+                let past = self.program.len();
+                if let Inst::Split(_, ref mut b) = self.program[atom_start] {
+                    *b = past;
+                }
+            }
+            Some('{') => {
+                self.pos += 1;
+                let atom: Vec<Inst> = self.program.drain(atom_start..).collect();
+                let (min, max) = self.counted_bounds()?;
+                // min copies, then (max-min) optional copies or a star.
+                for _ in 0..min {
+                    self.append_copy(&atom, atom_start);
+                }
+                match max {
+                    Some(max) => {
+                        if max < min {
+                            return Err(self.error("{n,m} with m < n"));
+                        }
+                        for _ in 0..(max - min) {
+                            let opt_start = self.program.len();
+                            self.program.push(Inst::Split(opt_start + 1, 0));
+                            self.append_copy(&atom, atom_start);
+                            let past = self.program.len();
+                            if let Inst::Split(_, ref mut b) = self.program[opt_start] {
+                                *b = past;
+                            }
+                        }
+                    }
+                    None => {
+                        // `{n,}`: a trailing star.
+                        let star_start = self.program.len();
+                        self.program.push(Inst::Split(star_start + 1, 0));
+                        self.append_copy(&atom, atom_start);
+                        self.program.push(Inst::Jump(star_start));
+                        let past = self.program.len();
+                        if let Inst::Split(_, ref mut b) = self.program[star_start] {
+                            *b = past;
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Appends a copy of a compiled atom, relocating internal targets.
+    ///
+    /// The atom was drained out of the program starting at `origin`; its
+    /// internal Split/Jump targets are still absolute with respect to
+    /// that original layout, so each copy rebases them by the offset
+    /// between the copy position and the origin.
+    fn append_copy(&mut self, atom: &[Inst], origin: usize) {
+        let new_start = self.program.len();
+        let delta = new_start as isize - origin as isize;
+        for inst in atom {
+            self.program.push(match inst {
+                Inst::Split(a, b) => Inst::Split(
+                    (*a as isize + delta) as usize,
+                    (*b as isize + delta) as usize,
+                ),
+                Inst::Jump(t) => Inst::Jump((*t as isize + delta) as usize),
+                other => other.clone(),
+            });
+        }
+    }
+
+    fn counted_bounds(&mut self) -> Result<(usize, Option<usize>), RegexError> {
+        let min = self.number()?;
+        if self.eat('}') {
+            return Ok((min, Some(min)));
+        }
+        if !self.eat(',') {
+            return Err(self.error("expected ',' or '}' in counted repetition"));
+        }
+        if self.eat('}') {
+            return Ok((min, None));
+        }
+        let max = self.number()?;
+        if !self.eat('}') {
+            return Err(self.error("expected '}' in counted repetition"));
+        }
+        Ok((min, Some(max)))
+    }
+
+    fn number(&mut self) -> Result<usize, RegexError> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.error("expected a number"));
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse().map_err(|_| self.error("number too large"))
+    }
+
+    /// atom := '(' alternation ')' | class | '.' | '$' | escaped | literal
+    fn atom(&mut self) -> Result<(), RegexError> {
+        match self.peek() {
+            Some('(') => {
+                self.pos += 1;
+                self.alternation()?;
+                if !self.eat(')') {
+                    return Err(self.error("unclosed group"));
+                }
+                Ok(())
+            }
+            Some('[') => {
+                self.pos += 1;
+                let negated = self.eat('^');
+                let mut ranges = Vec::new();
+                loop {
+                    match self.peek() {
+                        None => return Err(self.error("unclosed character class")),
+                        Some(']') if !ranges.is_empty() => {
+                            self.pos += 1;
+                            break;
+                        }
+                        Some(mut c) => {
+                            self.pos += 1;
+                            if c == '\\' {
+                                c = self.escaped()?;
+                            }
+                            if self.peek() == Some('-')
+                                && self.chars.get(self.pos + 1).is_some_and(|n| *n != ']')
+                            {
+                                self.pos += 1;
+                                let mut hi = self
+                                    .peek()
+                                    .ok_or_else(|| self.error("unclosed character class"))?;
+                                self.pos += 1;
+                                if hi == '\\' {
+                                    hi = self.escaped()?;
+                                }
+                                if hi < c {
+                                    return Err(self.error("inverted range"));
+                                }
+                                ranges.push((c, hi));
+                            } else {
+                                ranges.push((c, c));
+                            }
+                        }
+                    }
+                }
+                self.program
+                    .push(Inst::Char(CharTest::Class { negated, ranges }));
+                Ok(())
+            }
+            Some('.') => {
+                self.pos += 1;
+                self.program.push(Inst::Char(CharTest::Any));
+                Ok(())
+            }
+            Some('$') => {
+                self.pos += 1;
+                self.program.push(Inst::EndAnchor);
+                Ok(())
+            }
+            Some('\\') => {
+                self.pos += 1;
+                let c = self.escaped()?;
+                self.program.push(Inst::Char(CharTest::Literal(c)));
+                Ok(())
+            }
+            Some(c) if !"*+?{".contains(c) => {
+                self.pos += 1;
+                self.program.push(Inst::Char(CharTest::Literal(c)));
+                Ok(())
+            }
+            Some(_) => Err(self.error("repetition with nothing to repeat")),
+            None => Err(self.error("unexpected end of pattern")),
+        }
+    }
+
+    fn escaped(&mut self) -> Result<char, RegexError> {
+        match self.peek() {
+            Some(c) => {
+                self.pos += 1;
+                Ok(match c {
+                    'n' => '\n',
+                    't' => '\t',
+                    other => other,
+                })
+            }
+            None => Err(self.error("dangling escape")),
+        }
+    }
+}
+
+/// Shifts every instruction target >= `from` by `by` (after an insert).
+/// `usize::MAX` targets are unpatched alternation sentinels and are left
+/// alone.
+fn shift_targets(program: &mut [Inst], from: usize, by: usize) {
+    for (idx, inst) in program.iter_mut().enumerate() {
+        // Never rewrite targets of the instruction we just inserted.
+        if idx == from {
+            continue;
+        }
+        match inst {
+            Inst::Split(a, b) => {
+                if *a >= from && *a != usize::MAX {
+                    *a += by;
+                }
+                if *b >= from && *b != usize::MAX {
+                    *b += by;
+                }
+            }
+            Inst::Jump(t) if *t >= from && *t != usize::MAX => {
+                *t += by;
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pattern: &str, text: &str) -> bool {
+        Pattern::compile(pattern).unwrap().is_match(text)
+    }
+
+    #[test]
+    fn literals_and_any() {
+        assert!(m("acgt", "aaacgtt"));
+        assert!(!m("acgt", "acg"));
+        assert!(m("a.g", "aXg"));
+        assert!(!m("a.g", "ag"));
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(m("^acg", "acgt"));
+        assert!(!m("^cgt", "acgt"));
+        assert!(m("cgt$", "acgt"));
+        assert!(!m("acg$", "acgt"));
+        assert!(m("^acgt$", "acgt"));
+        assert!(!m("^acgt$", "acgtt"));
+        assert!(m("^$", ""));
+        assert!(!m("^$", "x"));
+    }
+
+    #[test]
+    fn classes() {
+        assert!(m("[abc]", "zebra"));
+        assert!(!m("[xyz]", "abc"));
+        assert!(m("[a-f]+", "beef"));
+        assert!(m("[^ac]", "acb"));
+        assert!(!m("[^abc]", "abc"));
+        assert!(m("[0-9]{3}", "ec123x"));
+        assert!(m(r"[\]]", "]"));
+    }
+
+    #[test]
+    fn repetition() {
+        assert!(m("ab*c", "ac"));
+        assert!(m("ab*c", "abbbbc"));
+        assert!(m("ab+c", "abc"));
+        assert!(!m("ab+c", "ac"));
+        assert!(m("ab?c", "ac"));
+        assert!(m("ab?c", "abc"));
+        assert!(!m("ab?c", "abbc"));
+    }
+
+    #[test]
+    fn counted_repetition() {
+        assert!(m("^a{3}$", "aaa"));
+        assert!(!m("^a{3}$", "aa"));
+        assert!(m("^a{2,}$", "aaaa"));
+        assert!(!m("^a{2,}$", "a"));
+        assert!(m("^a{1,3}$", "aa"));
+        assert!(!m("^a{1,3}$", "aaaa"));
+        assert!(m("^(ab){2}$", "abab"));
+        assert!(m("^(a|b){3}$", "aba"));
+        assert!(Pattern::compile("a{3,1}").is_err());
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        assert!(m("cat|dog", "hotdog"));
+        assert!(m("^(cat|dog)$", "cat"));
+        assert!(!m("^(cat|dog)$", "cow"));
+        assert!(m("a(b|c)*d", "abcbcd"));
+        assert!(m("x|y|z", "only z here"));
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(m(r"1\.14\.17\.3", "EC 1.14.17.3 entry"));
+        assert!(!m(r"1\.14", "1x14"));
+        assert!(m(r"a\*b", "a*b"));
+        assert!(m(r"\\", r"back\slash"));
+    }
+
+    #[test]
+    fn prosite_style_motif() {
+        // PROSITE PS00001-like: N-glycosylation site N-{P}-[ST]-{P}
+        // as a regex: N[^P][ST][^P]
+        let motif = "N[^P][ST][^P]";
+        assert!(m(motif, "AANGSAA"));
+        assert!(!m(motif, "AANPSAA")); // P in the second position
+        assert!(!m(motif, "AANGPAA")); // P in the fourth position
+        assert!(m(motif, "MKNVTL"));
+    }
+
+    #[test]
+    fn dna_motifs() {
+        // TATA box with spacer.
+        assert!(m("TATA[AT]A", "GGTATAAAGG"));
+        // A restriction site with ambiguity: GGWCC where W = A/T.
+        assert!(m("GG[AT]CC", "AAGGTCCAA"));
+        assert!(!m("GG[AT]CC", "AAGGGCCAA"));
+    }
+
+    #[test]
+    fn pathological_patterns_terminate_quickly() {
+        // Classic catastrophic-backtracking shape; the NFA simulation is
+        // linear so this must return fast.
+        let pattern = "(a+)+$";
+        let text = format!("{}b", "a".repeat(64));
+        let start = std::time::Instant::now();
+        assert!(!m(pattern, &text));
+        assert!(
+            start.elapsed().as_millis() < 500,
+            "took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn epsilon_loop_star_of_star() {
+        assert!(m("(a*)*b", "b"));
+        assert!(m("(a*)*b", "aaab"));
+        assert!(!m("^(a*)*$", "c"));
+    }
+
+    #[test]
+    fn compile_errors() {
+        for bad in ["(", "[", "[]", "a{", "a{2", "*a", "+", "a\\", "a{x}", "(a"] {
+            assert!(Pattern::compile(bad).is_err(), "{bad:?} should fail");
+        }
+        assert!(Pattern::compile("a)").is_err());
+        assert!(Pattern::compile("[z-a]").is_err());
+    }
+
+    #[test]
+    fn unicode_text() {
+        assert!(m("αβ+γ", "xxαββγx"));
+        assert!(m("[α-ω]+", "ε"));
+    }
+}

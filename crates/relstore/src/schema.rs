@@ -1,0 +1,339 @@
+//! Columns, table schemas and the catalog.
+
+use std::collections::BTreeMap;
+
+use crate::error::{RelError, RelResult};
+use crate::value::{DataType, Value};
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (case-preserving; lookups are case-insensitive like SQL).
+    pub name: String,
+    /// Declared type.
+    pub ty: DataType,
+}
+
+impl Column {
+    /// Convenience constructor.
+    pub fn new(name: &str, ty: DataType) -> Self {
+        Column {
+            name: name.to_string(),
+            ty,
+        }
+    }
+}
+
+/// The schema of a table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Table name.
+    pub name: String,
+    /// Column definitions in declaration order.
+    pub columns: Vec<Column>,
+}
+
+impl TableSchema {
+    /// Creates a schema.
+    pub fn new(name: &str, columns: Vec<Column>) -> Self {
+        TableSchema {
+            name: name.to_string(),
+            columns,
+        }
+    }
+
+    /// The index of column `name` (case-insensitive).
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// The arity of the table.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Checks a row against the schema and coerces values to the declared
+    /// column types (text arriving from sources becomes numeric where the
+    /// schema says so — paper §2.2, "string and numeric data").
+    pub fn check_row(&self, row: Vec<Value>) -> RelResult<Vec<Value>> {
+        if row.len() != self.columns.len() {
+            return Err(RelError::SchemaMismatch(format!(
+                "table {} expects {} values, got {}",
+                self.name,
+                self.columns.len(),
+                row.len()
+            )));
+        }
+        row.into_iter()
+            .zip(&self.columns)
+            .map(|(v, col)| {
+                v.coerce(col.ty).ok_or_else(|| {
+                    RelError::SchemaMismatch(format!(
+                        "value for column {}.{} is not a {}",
+                        self.name, col.name, col.ty
+                    ))
+                })
+            })
+            .collect()
+    }
+}
+
+/// An index definition recorded in the catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexDef {
+    /// Index name (unique across the database).
+    pub name: String,
+    /// Indexed table.
+    pub table: String,
+    /// Indexed column names, in key order.
+    pub columns: Vec<String>,
+    /// Whether this is an inverted keyword index (single text column) as
+    /// opposed to a B-tree value index.
+    pub keyword: bool,
+}
+
+/// The catalog: schemas plus index definitions.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, TableSchema>,
+    indexes: BTreeMap<String, IndexDef>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    fn key(name: &str) -> String {
+        name.to_ascii_lowercase()
+    }
+
+    /// Registers a table schema.
+    pub fn create_table(&mut self, schema: TableSchema) -> RelResult<()> {
+        let key = Self::key(&schema.name);
+        if self.tables.contains_key(&key) {
+            return Err(RelError::AlreadyExists(schema.name));
+        }
+        if schema.columns.is_empty() {
+            return Err(RelError::SchemaMismatch(format!(
+                "table {} has no columns",
+                schema.name
+            )));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for col in &schema.columns {
+            if !seen.insert(col.name.to_ascii_lowercase()) {
+                return Err(RelError::SchemaMismatch(format!(
+                    "table {} declares column {:?} twice",
+                    schema.name, col.name
+                )));
+            }
+        }
+        self.tables.insert(key, schema);
+        Ok(())
+    }
+
+    /// Removes a table schema and all indexes over it.
+    pub fn drop_table(&mut self, name: &str) -> RelResult<TableSchema> {
+        let schema = self
+            .tables
+            .remove(&Self::key(name))
+            .ok_or_else(|| RelError::UnknownTable(name.to_string()))?;
+        self.indexes
+            .retain(|_, def| !def.table.eq_ignore_ascii_case(name));
+        Ok(schema)
+    }
+
+    /// Looks up a table schema.
+    pub fn table(&self, name: &str) -> RelResult<&TableSchema> {
+        self.tables
+            .get(&Self::key(name))
+            .ok_or_else(|| RelError::UnknownTable(name.to_string()))
+    }
+
+    /// Whether `name` is a known table.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(&Self::key(name))
+    }
+
+    /// All table schemas, sorted by name.
+    pub fn tables(&self) -> impl Iterator<Item = &TableSchema> {
+        self.tables.values()
+    }
+
+    /// Registers an index definition, verifying table and columns exist.
+    pub fn create_index(&mut self, def: IndexDef) -> RelResult<()> {
+        let key = Self::key(&def.name);
+        if self.indexes.contains_key(&key) {
+            return Err(RelError::AlreadyExists(def.name));
+        }
+        let schema = self.table(&def.table)?;
+        for col in &def.columns {
+            if schema.column_index(col).is_none() {
+                return Err(RelError::UnknownColumn(format!("{}.{col}", def.table)));
+            }
+        }
+        if def.keyword && def.columns.len() != 1 {
+            return Err(RelError::SchemaMismatch(
+                "keyword indexes cover exactly one column".into(),
+            ));
+        }
+        self.indexes.insert(key, def);
+        Ok(())
+    }
+
+    /// Removes an index definition.
+    pub fn drop_index(&mut self, name: &str) -> RelResult<IndexDef> {
+        self.indexes
+            .remove(&Self::key(name))
+            .ok_or_else(|| RelError::UnknownIndex(name.to_string()))
+    }
+
+    /// Looks up an index definition.
+    pub fn index(&self, name: &str) -> RelResult<&IndexDef> {
+        self.indexes
+            .get(&Self::key(name))
+            .ok_or_else(|| RelError::UnknownIndex(name.to_string()))
+    }
+
+    /// All indexes defined over `table`.
+    pub fn indexes_on(&self, table: &str) -> Vec<&IndexDef> {
+        self.indexes
+            .values()
+            .filter(|d| d.table.eq_ignore_ascii_case(table))
+            .collect()
+    }
+
+    /// All index definitions.
+    pub fn indexes(&self) -> impl Iterator<Item = &IndexDef> {
+        self.indexes.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "elements",
+            vec![
+                Column::new("doc_id", DataType::Int),
+                Column::new("path", DataType::Text),
+                Column::new("val", DataType::Text),
+            ],
+        )
+    }
+
+    #[test]
+    fn column_lookup_is_case_insensitive() {
+        let s = schema();
+        assert_eq!(s.column_index("PATH"), Some(1));
+        assert_eq!(s.column_index("doc_id"), Some(0));
+        assert_eq!(s.column_index("nope"), None);
+    }
+
+    #[test]
+    fn check_row_coerces_types() {
+        let s = schema();
+        let row = s
+            .check_row(vec![
+                Value::Text("7".into()),
+                Value::Text("/a".into()),
+                Value::Null,
+            ])
+            .unwrap();
+        assert_eq!(row[0], Value::Int(7));
+        assert_eq!(row[2], Value::Null);
+    }
+
+    #[test]
+    fn check_row_rejects_bad_arity_and_types() {
+        let s = schema();
+        assert!(s.check_row(vec![Value::Int(1)]).is_err());
+        assert!(s
+            .check_row(vec![Value::Text("xy".into()), Value::Null, Value::Null])
+            .is_err());
+    }
+
+    #[test]
+    fn catalog_table_lifecycle() {
+        let mut cat = Catalog::new();
+        cat.create_table(schema()).unwrap();
+        assert!(cat.has_table("ELEMENTS"));
+        assert!(matches!(
+            cat.create_table(schema()),
+            Err(RelError::AlreadyExists(_))
+        ));
+        cat.drop_table("elements").unwrap();
+        assert!(!cat.has_table("elements"));
+        assert!(cat.drop_table("elements").is_err());
+    }
+
+    #[test]
+    fn catalog_rejects_degenerate_tables() {
+        let mut cat = Catalog::new();
+        assert!(cat.create_table(TableSchema::new("empty", vec![])).is_err());
+        assert!(cat
+            .create_table(TableSchema::new(
+                "dup",
+                vec![
+                    Column::new("x", DataType::Int),
+                    Column::new("X", DataType::Text)
+                ],
+            ))
+            .is_err());
+    }
+
+    #[test]
+    fn catalog_index_lifecycle() {
+        let mut cat = Catalog::new();
+        cat.create_table(schema()).unwrap();
+        cat.create_index(IndexDef {
+            name: "idx_path".into(),
+            table: "elements".into(),
+            columns: vec!["path".into()],
+            keyword: false,
+        })
+        .unwrap();
+        assert_eq!(cat.indexes_on("elements").len(), 1);
+        // Unknown column rejected.
+        assert!(cat
+            .create_index(IndexDef {
+                name: "idx_bad".into(),
+                table: "elements".into(),
+                columns: vec!["nope".into()],
+                keyword: false,
+            })
+            .is_err());
+        // Duplicate name rejected.
+        assert!(cat
+            .create_index(IndexDef {
+                name: "IDX_PATH".into(),
+                table: "elements".into(),
+                columns: vec!["val".into()],
+                keyword: false,
+            })
+            .is_err());
+        // Dropping the table drops its indexes.
+        cat.drop_table("elements").unwrap();
+        assert!(cat.index("idx_path").is_err());
+    }
+
+    #[test]
+    fn keyword_index_requires_single_column() {
+        let mut cat = Catalog::new();
+        cat.create_table(schema()).unwrap();
+        assert!(cat
+            .create_index(IndexDef {
+                name: "kw".into(),
+                table: "elements".into(),
+                columns: vec!["path".into(), "val".into()],
+                keyword: true,
+            })
+            .is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! The row store.
+//!
+//! Rows are kept in a `BTreeMap` keyed by a monotonically increasing
+//! [`RowId`], so a full scan returns rows in insertion order — which, for
+//! shredded XML, is document order. That makes "order as a data value"
+//! (paper §2.2) cheap: the shredder stores ordinals, and the storage layer
+//! never reorders underneath them.
+
+use std::collections::BTreeMap;
+
+use crate::error::{RelError, RelResult};
+use crate::schema::TableSchema;
+use crate::value::Value;
+
+/// Stable identifier of a row within its table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RowId(pub u64);
+
+/// A stored row.
+pub type Row = Vec<Value>;
+
+/// A table: schema plus rows.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: TableSchema,
+    rows: BTreeMap<RowId, Row>,
+    next_row_id: u64,
+}
+
+impl Table {
+    /// Creates an empty table with `schema`.
+    pub fn new(schema: TableSchema) -> Self {
+        Table {
+            schema,
+            rows: BTreeMap::new(),
+            next_row_id: 0,
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Validates, coerces and appends `row`, returning its new id.
+    pub fn insert(&mut self, row: Row) -> RelResult<RowId> {
+        let row = self.schema.check_row(row)?;
+        let id = RowId(self.next_row_id);
+        self.next_row_id += 1;
+        self.rows.insert(id, row);
+        Ok(id)
+    }
+
+    /// Re-inserts a row under a specific id (WAL replay only).
+    ///
+    /// Keeps `next_row_id` ahead of every replayed id so post-recovery
+    /// inserts never collide.
+    pub fn insert_at(&mut self, id: RowId, row: Row) -> RelResult<()> {
+        let row = self.schema.check_row(row)?;
+        self.next_row_id = self.next_row_id.max(id.0 + 1);
+        self.rows.insert(id, row);
+        Ok(())
+    }
+
+    /// Removes the row `id`, returning it.
+    pub fn delete(&mut self, id: RowId) -> RelResult<Row> {
+        self.rows.remove(&id).ok_or_else(|| {
+            RelError::Internal(format!("row {id:?} not found in {}", self.schema.name))
+        })
+    }
+
+    /// Replaces the row `id`, returning the previous value.
+    pub fn update(&mut self, id: RowId, row: Row) -> RelResult<Row> {
+        let row = self.schema.check_row(row)?;
+        let slot = self.rows.get_mut(&id).ok_or_else(|| {
+            RelError::Internal(format!("row {id:?} not found in {}", self.schema.name))
+        })?;
+        Ok(std::mem::replace(slot, row))
+    }
+
+    /// Borrows the row `id`.
+    pub fn get(&self, id: RowId) -> Option<&Row> {
+        self.rows.get(&id)
+    }
+
+    /// Iterates over `(id, row)` in insertion order.
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, &Row)> {
+        self.rows.iter().map(|(id, row)| (*id, row))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::DataType;
+
+    fn table() -> Table {
+        Table::new(TableSchema::new(
+            "t",
+            vec![
+                Column::new("a", DataType::Int),
+                Column::new("b", DataType::Text),
+            ],
+        ))
+    }
+
+    #[test]
+    fn insert_scan_order() {
+        let mut t = table();
+        for i in 0..5 {
+            t.insert(vec![Value::Int(i), Value::Text(format!("r{i}"))])
+                .unwrap();
+        }
+        let scanned: Vec<i64> = t.scan().map(|(_, r)| r[0].as_int().unwrap()).collect();
+        assert_eq!(scanned, vec![0, 1, 2, 3, 4]);
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn row_ids_are_stable_across_deletes() {
+        let mut t = table();
+        let a = t
+            .insert(vec![Value::Int(1), Value::Text("x".into())])
+            .unwrap();
+        let b = t
+            .insert(vec![Value::Int(2), Value::Text("y".into())])
+            .unwrap();
+        t.delete(a).unwrap();
+        let c = t
+            .insert(vec![Value::Int(3), Value::Text("z".into())])
+            .unwrap();
+        assert!(c > b);
+        assert!(t.get(a).is_none());
+        assert_eq!(t.get(b).unwrap()[0], Value::Int(2));
+    }
+
+    #[test]
+    fn update_replaces_and_returns_old() {
+        let mut t = table();
+        let id = t
+            .insert(vec![Value::Int(1), Value::Text("x".into())])
+            .unwrap();
+        let old = t
+            .update(id, vec![Value::Int(9), Value::Text("y".into())])
+            .unwrap();
+        assert_eq!(old[0], Value::Int(1));
+        assert_eq!(t.get(id).unwrap()[0], Value::Int(9));
+    }
+
+    #[test]
+    fn schema_enforced_on_insert_and_update() {
+        let mut t = table();
+        assert!(t.insert(vec![Value::Int(1)]).is_err());
+        let id = t
+            .insert(vec![Value::Int(1), Value::Text("x".into())])
+            .unwrap();
+        assert!(t
+            .update(id, vec![Value::Text("no".into()), Value::Null])
+            .is_err());
+    }
+
+    #[test]
+    fn insert_coerces_text_to_int() {
+        let mut t = table();
+        let id = t
+            .insert(vec![Value::Text("12".into()), Value::Text("x".into())])
+            .unwrap();
+        assert_eq!(t.get(id).unwrap()[0], Value::Int(12));
+    }
+
+    #[test]
+    fn insert_at_keeps_next_id_monotone() {
+        let mut t = table();
+        t.insert_at(RowId(10), vec![Value::Int(1), Value::Text("x".into())])
+            .unwrap();
+        let next = t
+            .insert(vec![Value::Int(2), Value::Text("y".into())])
+            .unwrap();
+        assert!(next > RowId(10));
+    }
+
+    #[test]
+    fn delete_missing_row_errors() {
+        let mut t = table();
+        assert!(t.delete(RowId(99)).is_err());
+        assert!(t
+            .update(RowId(99), vec![Value::Int(1), Value::Text("x".into())])
+            .is_err());
+    }
+}

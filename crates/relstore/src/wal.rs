@@ -1,0 +1,615 @@
+//! Write-ahead logging and crash recovery.
+//!
+//! One of the paper's stated reasons for shredding XML into an RDBMS is to
+//! "exploit the concurrency access and crash recovery features of an RDBMS"
+//! (§2.2). This module supplies the recovery half: every mutation is
+//! encoded as a [`WalRecord`], framed with a length and an FNV-1a checksum,
+//! and appended to a log file before it is acknowledged. Recovery replays
+//! the log, applying DDL immediately and buffering DML until its `Commit`
+//! record — so a crash mid-transaction loses exactly the uncommitted tail,
+//! and a torn final record (crash mid-write) is detected by the checksum
+//! and discarded.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::{RelError, RelResult};
+use crate::schema::{IndexDef, TableSchema};
+use crate::table::RowId;
+use crate::value::{DataType, Value};
+
+/// A logged operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// Transaction start.
+    Begin {
+        /// Transaction id.
+        tx: u64,
+    },
+    /// Transaction commit; buffered operations become durable.
+    Commit {
+        /// Transaction id.
+        tx: u64,
+    },
+    /// DDL: create a table.
+    CreateTable {
+        /// The created table's schema.
+        schema: TableSchema,
+    },
+    /// DDL: drop a table.
+    DropTable {
+        /// Table name.
+        name: String,
+    },
+    /// DDL: create an index.
+    CreateIndex {
+        /// The index definition.
+        def: IndexDef,
+    },
+    /// DDL: drop an index.
+    DropIndex {
+        /// Index name.
+        name: String,
+    },
+    /// DML: insert `row` into `table` at `row_id`.
+    Insert {
+        /// Owning transaction.
+        tx: u64,
+        /// Target table.
+        table: String,
+        /// Assigned row id.
+        row_id: RowId,
+        /// The inserted values.
+        row: Vec<Value>,
+    },
+    /// DML: delete the row at `row_id`.
+    Delete {
+        /// Owning transaction.
+        tx: u64,
+        /// Target table.
+        table: String,
+        /// Deleted row id.
+        row_id: RowId,
+    },
+    /// DML: replace the row at `row_id` with `row`.
+    Update {
+        /// Owning transaction.
+        tx: u64,
+        /// Target table.
+        table: String,
+        /// Updated row id.
+        row_id: RowId,
+        /// The replacement values.
+        row: Vec<Value>,
+    },
+}
+
+const TAG_BEGIN: u8 = 0x01;
+const TAG_COMMIT: u8 = 0x02;
+const TAG_CREATE_TABLE: u8 = 0x10;
+const TAG_DROP_TABLE: u8 = 0x11;
+const TAG_CREATE_INDEX: u8 = 0x12;
+const TAG_DROP_INDEX: u8 = 0x13;
+const TAG_INSERT: u8 = 0x20;
+const TAG_DELETE: u8 = 0x21;
+const TAG_UPDATE: u8 = 0x22;
+
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811c9dc5;
+    for b in bytes {
+        hash ^= u32::from(*b);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> RelResult<String> {
+    if buf.remaining() < 4 {
+        return Err(RelError::Wal("truncated string length".into()));
+    }
+    let len = buf.get_u32() as usize;
+    if buf.remaining() < len {
+        return Err(RelError::Wal("truncated string payload".into()));
+    }
+    let raw = buf.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| RelError::Wal("invalid UTF-8".into()))
+}
+
+fn put_value(buf: &mut BytesMut, v: &Value) {
+    match v {
+        Value::Null => buf.put_u8(0),
+        Value::Int(i) => {
+            buf.put_u8(1);
+            buf.put_i64(*i);
+        }
+        Value::Float(f) => {
+            buf.put_u8(2);
+            buf.put_f64(*f);
+        }
+        Value::Text(s) => {
+            buf.put_u8(3);
+            put_str(buf, s);
+        }
+    }
+}
+
+fn get_value(buf: &mut Bytes) -> RelResult<Value> {
+    if !buf.has_remaining() {
+        return Err(RelError::Wal("truncated value tag".into()));
+    }
+    match buf.get_u8() {
+        0 => Ok(Value::Null),
+        1 => {
+            if buf.remaining() < 8 {
+                return Err(RelError::Wal("truncated int".into()));
+            }
+            Ok(Value::Int(buf.get_i64()))
+        }
+        2 => {
+            if buf.remaining() < 8 {
+                return Err(RelError::Wal("truncated float".into()));
+            }
+            Ok(Value::Float(buf.get_f64()))
+        }
+        3 => Ok(Value::Text(get_str(buf)?)),
+        t => Err(RelError::Wal(format!("unknown value tag {t}"))),
+    }
+}
+
+fn put_row(buf: &mut BytesMut, row: &[Value]) {
+    buf.put_u32(row.len() as u32);
+    for v in row {
+        put_value(buf, v);
+    }
+}
+
+fn get_row(buf: &mut Bytes) -> RelResult<Vec<Value>> {
+    if buf.remaining() < 4 {
+        return Err(RelError::Wal("truncated row length".into()));
+    }
+    let n = buf.get_u32() as usize;
+    let mut row = Vec::with_capacity(n);
+    for _ in 0..n {
+        row.push(get_value(buf)?);
+    }
+    Ok(row)
+}
+
+fn put_schema(buf: &mut BytesMut, schema: &TableSchema) {
+    put_str(buf, &schema.name);
+    buf.put_u32(schema.columns.len() as u32);
+    for col in &schema.columns {
+        put_str(buf, &col.name);
+        buf.put_u8(match col.ty {
+            DataType::Int => 0,
+            DataType::Float => 1,
+            DataType::Text => 2,
+        });
+    }
+}
+
+fn get_schema(buf: &mut Bytes) -> RelResult<TableSchema> {
+    let name = get_str(buf)?;
+    if buf.remaining() < 4 {
+        return Err(RelError::Wal("truncated column count".into()));
+    }
+    let n = buf.get_u32() as usize;
+    let mut columns = Vec::with_capacity(n);
+    for _ in 0..n {
+        let col_name = get_str(buf)?;
+        if !buf.has_remaining() {
+            return Err(RelError::Wal("truncated column type".into()));
+        }
+        let ty = match buf.get_u8() {
+            0 => DataType::Int,
+            1 => DataType::Float,
+            2 => DataType::Text,
+            t => return Err(RelError::Wal(format!("unknown column type tag {t}"))),
+        };
+        columns.push(crate::schema::Column { name: col_name, ty });
+    }
+    Ok(TableSchema { name, columns })
+}
+
+impl WalRecord {
+    /// Serializes the record payload (without framing).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64);
+        match self {
+            WalRecord::Begin { tx } => {
+                buf.put_u8(TAG_BEGIN);
+                buf.put_u64(*tx);
+            }
+            WalRecord::Commit { tx } => {
+                buf.put_u8(TAG_COMMIT);
+                buf.put_u64(*tx);
+            }
+            WalRecord::CreateTable { schema } => {
+                buf.put_u8(TAG_CREATE_TABLE);
+                put_schema(&mut buf, schema);
+            }
+            WalRecord::DropTable { name } => {
+                buf.put_u8(TAG_DROP_TABLE);
+                put_str(&mut buf, name);
+            }
+            WalRecord::CreateIndex { def } => {
+                buf.put_u8(TAG_CREATE_INDEX);
+                put_str(&mut buf, &def.name);
+                put_str(&mut buf, &def.table);
+                buf.put_u32(def.columns.len() as u32);
+                for c in &def.columns {
+                    put_str(&mut buf, c);
+                }
+                buf.put_u8(u8::from(def.keyword));
+            }
+            WalRecord::DropIndex { name } => {
+                buf.put_u8(TAG_DROP_INDEX);
+                put_str(&mut buf, name);
+            }
+            WalRecord::Insert {
+                tx,
+                table,
+                row_id,
+                row,
+            } => {
+                buf.put_u8(TAG_INSERT);
+                buf.put_u64(*tx);
+                put_str(&mut buf, table);
+                buf.put_u64(row_id.0);
+                put_row(&mut buf, row);
+            }
+            WalRecord::Delete { tx, table, row_id } => {
+                buf.put_u8(TAG_DELETE);
+                buf.put_u64(*tx);
+                put_str(&mut buf, table);
+                buf.put_u64(row_id.0);
+            }
+            WalRecord::Update {
+                tx,
+                table,
+                row_id,
+                row,
+            } => {
+                buf.put_u8(TAG_UPDATE);
+                buf.put_u64(*tx);
+                put_str(&mut buf, table);
+                buf.put_u64(row_id.0);
+                put_row(&mut buf, row);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Deserializes a record payload.
+    pub fn decode(mut buf: Bytes) -> RelResult<WalRecord> {
+        if !buf.has_remaining() {
+            return Err(RelError::Wal("empty record".into()));
+        }
+        let tag = buf.get_u8();
+        let need_u64 = |buf: &mut Bytes| -> RelResult<u64> {
+            if buf.remaining() < 8 {
+                Err(RelError::Wal("truncated u64".into()))
+            } else {
+                Ok(buf.get_u64())
+            }
+        };
+        match tag {
+            TAG_BEGIN => Ok(WalRecord::Begin {
+                tx: need_u64(&mut buf)?,
+            }),
+            TAG_COMMIT => Ok(WalRecord::Commit {
+                tx: need_u64(&mut buf)?,
+            }),
+            TAG_CREATE_TABLE => Ok(WalRecord::CreateTable {
+                schema: get_schema(&mut buf)?,
+            }),
+            TAG_DROP_TABLE => Ok(WalRecord::DropTable {
+                name: get_str(&mut buf)?,
+            }),
+            TAG_CREATE_INDEX => {
+                let name = get_str(&mut buf)?;
+                let table = get_str(&mut buf)?;
+                if buf.remaining() < 4 {
+                    return Err(RelError::Wal("truncated index columns".into()));
+                }
+                let n = buf.get_u32() as usize;
+                let mut columns = Vec::with_capacity(n);
+                for _ in 0..n {
+                    columns.push(get_str(&mut buf)?);
+                }
+                if !buf.has_remaining() {
+                    return Err(RelError::Wal("truncated index kind".into()));
+                }
+                let keyword = buf.get_u8() != 0;
+                Ok(WalRecord::CreateIndex {
+                    def: IndexDef {
+                        name,
+                        table,
+                        columns,
+                        keyword,
+                    },
+                })
+            }
+            TAG_DROP_INDEX => Ok(WalRecord::DropIndex {
+                name: get_str(&mut buf)?,
+            }),
+            TAG_INSERT => {
+                let tx = need_u64(&mut buf)?;
+                let table = get_str(&mut buf)?;
+                let row_id = RowId(need_u64(&mut buf)?);
+                let row = get_row(&mut buf)?;
+                Ok(WalRecord::Insert {
+                    tx,
+                    table,
+                    row_id,
+                    row,
+                })
+            }
+            TAG_DELETE => {
+                let tx = need_u64(&mut buf)?;
+                let table = get_str(&mut buf)?;
+                let row_id = RowId(need_u64(&mut buf)?);
+                Ok(WalRecord::Delete { tx, table, row_id })
+            }
+            TAG_UPDATE => {
+                let tx = need_u64(&mut buf)?;
+                let table = get_str(&mut buf)?;
+                let row_id = RowId(need_u64(&mut buf)?);
+                let row = get_row(&mut buf)?;
+                Ok(WalRecord::Update {
+                    tx,
+                    table,
+                    row_id,
+                    row,
+                })
+            }
+            t => Err(RelError::Wal(format!("unknown record tag {t}"))),
+        }
+    }
+}
+
+/// An append-only write-ahead log file.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    /// Records appended since the last [`Wal::sync`].
+    pending: Vec<u8>,
+}
+
+impl Wal {
+    /// Opens (creating if absent) the log at `path`.
+    pub fn open(path: &Path) -> RelResult<Wal> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(path)
+            .map_err(|e| RelError::Wal(format!("open {}: {e}", path.display())))?;
+        Ok(Wal {
+            file,
+            path: path.to_path_buf(),
+            pending: Vec::new(),
+        })
+    }
+
+    /// The log file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Buffers one record (framing: `len u32 | crc u32 | payload`).
+    pub fn append(&mut self, record: &WalRecord) {
+        let payload = record.encode();
+        self.pending.reserve(8 + payload.len());
+        self.pending
+            .extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        self.pending
+            .extend_from_slice(&fnv1a(&payload).to_be_bytes());
+        self.pending.extend_from_slice(&payload);
+    }
+
+    /// Writes buffered records and fsyncs — the durability point.
+    pub fn sync(&mut self) -> RelResult<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        self.file
+            .write_all(&self.pending)
+            .map_err(|e| RelError::Wal(format!("write: {e}")))?;
+        self.file
+            .sync_data()
+            .map_err(|e| RelError::Wal(format!("fsync: {e}")))?;
+        self.pending.clear();
+        Ok(())
+    }
+
+    /// Discards buffered (unsynced) records — transaction rollback.
+    pub fn discard_pending(&mut self) {
+        self.pending.clear();
+    }
+
+    /// Reads every intact record from the log file at `path`.
+    ///
+    /// A torn tail (truncated frame or checksum mismatch on the final
+    /// record) is treated as a crash artifact and silently dropped;
+    /// corruption anywhere *before* the tail is an error.
+    pub fn read_all(path: &Path) -> RelResult<Vec<WalRecord>> {
+        let mut raw = Vec::new();
+        match File::open(path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut raw)
+                    .map_err(|e| RelError::Wal(format!("read {}: {e}", path.display())))?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(RelError::Wal(format!("open {}: {e}", path.display()))),
+        }
+        let mut records = Vec::new();
+        let mut pos = 0usize;
+        while pos + 8 <= raw.len() {
+            let len = u32::from_be_bytes(raw[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let crc = u32::from_be_bytes(raw[pos + 4..pos + 8].try_into().expect("4 bytes"));
+            let start = pos + 8;
+            if start + len > raw.len() {
+                // Torn tail: a crash interrupted the final append.
+                break;
+            }
+            let payload = &raw[start..start + len];
+            if fnv1a(payload) != crc {
+                if start + len == raw.len() {
+                    break; // torn final record
+                }
+                return Err(RelError::Wal(format!(
+                    "checksum mismatch at offset {pos} (mid-log corruption)"
+                )));
+            }
+            records.push(WalRecord::decode(Bytes::copy_from_slice(payload))?);
+            pos = start + len;
+        }
+        Ok(records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("xomatiq-wal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{name}-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::CreateTable {
+                schema: TableSchema::new(
+                    "t",
+                    vec![
+                        Column::new("a", DataType::Int),
+                        Column::new("b", DataType::Text),
+                    ],
+                ),
+            },
+            WalRecord::CreateIndex {
+                def: IndexDef {
+                    name: "i".into(),
+                    table: "t".into(),
+                    columns: vec!["a".into()],
+                    keyword: false,
+                },
+            },
+            WalRecord::Begin { tx: 1 },
+            WalRecord::Insert {
+                tx: 1,
+                table: "t".into(),
+                row_id: RowId(0),
+                row: vec![Value::Int(7), Value::Text("seven".into())],
+            },
+            WalRecord::Update {
+                tx: 1,
+                table: "t".into(),
+                row_id: RowId(0),
+                row: vec![Value::Null, Value::Float(2.5)],
+            },
+            WalRecord::Delete {
+                tx: 1,
+                table: "t".into(),
+                row_id: RowId(0),
+            },
+            WalRecord::Commit { tx: 1 },
+            WalRecord::DropIndex { name: "i".into() },
+            WalRecord::DropTable { name: "t".into() },
+        ]
+    }
+
+    #[test]
+    fn records_encode_decode_round_trip() {
+        for record in sample_records() {
+            let encoded = record.encode();
+            let decoded = WalRecord::decode(encoded).unwrap();
+            assert_eq!(decoded, record);
+        }
+    }
+
+    #[test]
+    fn append_sync_read_back() {
+        let path = tmp("roundtrip");
+        let mut wal = Wal::open(&path).unwrap();
+        for r in sample_records() {
+            wal.append(&r);
+        }
+        wal.sync().unwrap();
+        let read = Wal::read_all(&path).unwrap();
+        assert_eq!(read, sample_records());
+    }
+
+    #[test]
+    fn unsynced_records_are_not_durable() {
+        let path = tmp("unsynced");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(&WalRecord::Begin { tx: 9 });
+        // No sync: nothing on disk yet.
+        assert!(Wal::read_all(&path).unwrap().is_empty());
+        wal.discard_pending();
+        wal.sync().unwrap();
+        assert!(Wal::read_all(&path).unwrap().is_empty());
+    }
+
+    #[test]
+    fn missing_file_reads_empty() {
+        let path = tmp("missing");
+        let _ = std::fs::remove_file(&path);
+        assert!(Wal::read_all(&path).unwrap().is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_dropped() {
+        let path = tmp("torn");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(&WalRecord::Begin { tx: 1 });
+        wal.append(&WalRecord::Commit { tx: 1 });
+        wal.sync().unwrap();
+        // Simulate a crash mid-append by truncating the file.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        let read = Wal::read_all(&path).unwrap();
+        assert_eq!(read, vec![WalRecord::Begin { tx: 1 }]);
+    }
+
+    #[test]
+    fn mid_log_corruption_is_an_error() {
+        let path = tmp("corrupt");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(&WalRecord::Begin { tx: 1 });
+        wal.append(&WalRecord::Commit { tx: 1 });
+        wal.sync().unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a payload byte in the first record.
+        bytes[9] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(Wal::read_all(&path), Err(RelError::Wal(_))));
+    }
+
+    #[test]
+    fn unicode_and_empty_strings_survive() {
+        let record = WalRecord::Insert {
+            tx: 0,
+            table: "enzymes".into(),
+            row_id: RowId(3),
+            row: vec![Value::Text("αβγ – café".into()), Value::Text(String::new())],
+        };
+        assert_eq!(WalRecord::decode(record.encode()).unwrap(), record);
+    }
+}

@@ -1,0 +1,207 @@
+//! Durability tests: committed work survives reopen; uncommitted and torn
+//! tails do not; compaction preserves state; concurrent readers see
+//! consistent snapshots during writes.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use xomatiq_relstore::{Database, Value};
+
+fn wal_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("xomatiq-db-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{name}-{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn seed(db: &Database) {
+    db.execute("CREATE TABLE t (a INT, b TEXT)").unwrap();
+    db.execute("CREATE INDEX idx_a ON t (a)").unwrap();
+    db.execute("INSERT INTO t VALUES (1, 'one'), (2, 'two'), (3, 'three')")
+        .unwrap();
+}
+
+#[test]
+fn committed_data_survives_reopen() {
+    let path = wal_path("reopen");
+    {
+        let db = Database::open(&path).unwrap();
+        seed(&db);
+        db.execute("UPDATE t SET b = 'TWO' WHERE a = 2").unwrap();
+        db.execute("DELETE FROM t WHERE a = 3").unwrap();
+    } // drop = process exit
+    let db = Database::open(&path).unwrap();
+    let rs = db.execute("SELECT a, b FROM t ORDER BY a").unwrap();
+    assert_eq!(
+        rs.rows(),
+        &[
+            vec![Value::Int(1), Value::Text("one".into())],
+            vec![Value::Int(2), Value::Text("TWO".into())],
+        ]
+    );
+    // Indexes are rebuilt and used after recovery.
+    assert!(db
+        .plan("SELECT b FROM t WHERE a = 1")
+        .unwrap()
+        .plan
+        .uses_index());
+    let via_index = db.execute("SELECT b FROM t WHERE a = 1").unwrap();
+    assert_eq!(via_index.rows()[0][0], Value::Text("one".into()));
+}
+
+#[test]
+fn ddl_survives_reopen() {
+    let path = wal_path("ddl");
+    {
+        let db = Database::open(&path).unwrap();
+        seed(&db);
+        db.execute("CREATE KEYWORD INDEX kw_b ON t (b)").unwrap();
+        db.execute("CREATE TABLE gone (x INT)").unwrap();
+        db.execute("DROP TABLE gone").unwrap();
+    }
+    let db = Database::open(&path).unwrap();
+    assert_eq!(db.table_names(), vec!["t".to_string()]);
+    let rs = db
+        .execute("SELECT a FROM t WHERE CONTAINS(b, 'two')")
+        .unwrap();
+    assert_eq!(rs.rows().len(), 1);
+}
+
+#[test]
+fn torn_tail_loses_only_the_last_transaction() {
+    let path = wal_path("torn");
+    {
+        let db = Database::open(&path).unwrap();
+        seed(&db);
+        db.execute("INSERT INTO t VALUES (99, 'late')").unwrap();
+    }
+    // Corrupt the last few bytes, as if the machine died mid-append.
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+    let db = Database::open(&path).unwrap();
+    // The torn commit record kills transaction 99's insert; earlier commits
+    // are intact.
+    let rs = db.execute("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(rs.rows()[0][0], Value::Int(3));
+}
+
+#[test]
+fn failed_batch_leaves_no_trace_after_reopen() {
+    let path = wal_path("batch");
+    {
+        let db = Database::open(&path).unwrap();
+        seed(&db);
+        let result = db.execute_batch(&[
+            "INSERT INTO t VALUES (50, 'fifty')",
+            "INSERT INTO missing VALUES (1)",
+        ]);
+        assert!(result.is_err());
+        // Successful batch afterwards.
+        db.execute_batch(&["INSERT INTO t VALUES (60, 'sixty')"])
+            .unwrap();
+    }
+    let db = Database::open(&path).unwrap();
+    assert_eq!(
+        db.execute("SELECT COUNT(*) FROM t WHERE a = 50")
+            .unwrap()
+            .rows()[0][0],
+        Value::Int(0)
+    );
+    assert_eq!(
+        db.execute("SELECT COUNT(*) FROM t WHERE a = 60")
+            .unwrap()
+            .rows()[0][0],
+        Value::Int(1)
+    );
+}
+
+#[test]
+fn compaction_preserves_state_and_shrinks_log() {
+    let path = wal_path("compact");
+    {
+        let db = Database::open(&path).unwrap();
+        seed(&db);
+        // Churn: many updates that compaction should collapse.
+        for i in 0..50 {
+            db.execute(&format!("UPDATE t SET b = 'v{i}' WHERE a = 1"))
+                .unwrap();
+        }
+        let before = std::fs::metadata(&path).unwrap().len();
+        db.compact().unwrap();
+        let after = std::fs::metadata(&path).unwrap().len();
+        assert!(
+            after < before,
+            "compaction should shrink the log ({before} -> {after})"
+        );
+    }
+    let db = Database::open(&path).unwrap();
+    let rs = db.execute("SELECT b FROM t WHERE a = 1").unwrap();
+    assert_eq!(rs.rows()[0][0], Value::Text("v49".into()));
+    assert_eq!(db.row_count("t").unwrap(), 3);
+    // Writes continue to work after compaction + reopen.
+    db.execute("INSERT INTO t VALUES (4, 'four')").unwrap();
+    assert_eq!(db.row_count("t").unwrap(), 4);
+}
+
+#[test]
+fn row_ids_do_not_collide_after_recovery() {
+    let path = wal_path("rowids");
+    {
+        let db = Database::open(&path).unwrap();
+        db.execute("CREATE TABLE t (a INT, b TEXT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+            .unwrap();
+        db.execute("DELETE FROM t WHERE a = 1").unwrap();
+    }
+    let db = Database::open(&path).unwrap();
+    db.execute("INSERT INTO t VALUES (3, 'z')").unwrap();
+    let rs = db.execute("SELECT a FROM t ORDER BY a").unwrap();
+    assert_eq!(rs.rows().len(), 2);
+}
+
+#[test]
+fn concurrent_readers_during_writes() {
+    let db = Arc::new(Database::in_memory());
+    db.execute("CREATE TABLE t (a INT, b TEXT)").unwrap();
+    db.execute("INSERT INTO t VALUES (0, 'seed')").unwrap();
+
+    let writers: Vec<_> = (0..4)
+        .map(|w| {
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                for i in 0..50 {
+                    db.execute(&format!(
+                        "INSERT INTO t VALUES ({}, 'w{w}i{i}')",
+                        w * 1000 + i
+                    ))
+                    .unwrap();
+                }
+            })
+        })
+        .collect();
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                for _ in 0..100 {
+                    let rs = db.execute("SELECT COUNT(*), MIN(a) FROM t").unwrap();
+                    // The seed row is always visible; counts only grow.
+                    assert_eq!(rs.rows()[0][1], Value::Int(0));
+                }
+            })
+        })
+        .collect();
+    for h in writers.into_iter().chain(readers) {
+        h.join().unwrap();
+    }
+    assert_eq!(db.row_count("t").unwrap(), 201);
+}
+
+#[test]
+fn in_memory_mode_has_no_wal_side_effects() {
+    let db = Database::in_memory();
+    seed(&db);
+    db.compact().unwrap(); // no-op, must not fail
+    assert_eq!(db.row_count("t").unwrap(), 3);
+}

@@ -1,0 +1,652 @@
+//! Arena-backed XML document tree.
+//!
+//! Every node lives in a flat `Vec` owned by the [`Document`]; nodes refer to
+//! each other by [`NodeId`]. This gives the shredder and the tagger exactly
+//! what the paper needs from a document model:
+//!
+//! * **stable ids** — a shredded tuple can refer back to its source node;
+//! * **document order** — nodes are appended in document order during
+//!   parsing and construction, so comparing [`NodeId`]s compares document
+//!   positions, and [`Document::ordinal`] yields the per-parent ordinal the
+//!   generic relational schema stores as a data value (paper §2.2);
+//! * **cheap traversal** — parent/first-child/next-sibling links make
+//!   descendant iteration allocation-free.
+
+use std::fmt;
+
+use crate::error::{XmlError, XmlErrorKind, XmlResult};
+use crate::name::is_valid_name;
+
+/// Index of a node within its [`Document`] arena.
+///
+/// Ids are assigned in document order: for nodes `a` and `b` of the same
+/// document, `a < b` iff `a` precedes `b` in document order. This is the
+/// property the BEFORE/AFTER operators of the query language rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The id of the synthetic document root (parent of the root element).
+    pub const DOCUMENT: NodeId = NodeId(0);
+
+    /// The arena index as a `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The arena index as a `u32` (used by the shredder as the stored id).
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A single attribute on an element, in the order it was written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name (a valid XML name).
+    pub name: String,
+    /// Unescaped attribute value.
+    pub value: String,
+}
+
+/// The payload of a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// The synthetic document node; exactly one per document, always id 0.
+    Document,
+    /// An element with a name and attributes.
+    Element {
+        /// Element name.
+        name: String,
+        /// Attributes in declaration order.
+        attributes: Vec<Attribute>,
+    },
+    /// A text node (unescaped content).
+    Text(String),
+    /// A comment (`<!-- ... -->`).
+    Comment(String),
+    /// A processing instruction (`<?target data?>`).
+    ProcessingInstruction {
+        /// The PI target name.
+        target: String,
+        /// The PI data text.
+        data: String,
+    },
+}
+
+/// A node in the arena: payload plus structural links.
+#[derive(Debug, Clone)]
+pub struct Node {
+    pub(crate) kind: NodeKind,
+    pub(crate) parent: Option<NodeId>,
+    pub(crate) first_child: Option<NodeId>,
+    pub(crate) last_child: Option<NodeId>,
+    pub(crate) next_sibling: Option<NodeId>,
+    pub(crate) prev_sibling: Option<NodeId>,
+}
+
+impl Node {
+    /// The node's payload.
+    pub fn kind(&self) -> &NodeKind {
+        &self.kind
+    }
+
+    /// The element name, if this node is an element.
+    pub fn name(&self) -> Option<&str> {
+        match &self.kind {
+            NodeKind::Element { name, .. } => Some(name),
+            _ => None,
+        }
+    }
+
+    /// The attributes, if this node is an element (empty slice otherwise).
+    pub fn attributes(&self) -> &[Attribute] {
+        match &self.kind {
+            NodeKind::Element { attributes, .. } => attributes,
+            _ => &[],
+        }
+    }
+
+    /// The value of attribute `name`, if this node is an element carrying it.
+    pub fn attribute(&self, name: &str) -> Option<&str> {
+        self.attributes()
+            .iter()
+            .find(|a| a.name == name)
+            .map(|a| a.value.as_str())
+    }
+
+    /// The text content, if this node is a text node.
+    pub fn text(&self) -> Option<&str> {
+        match &self.kind {
+            NodeKind::Text(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Whether this node is an element.
+    pub fn is_element(&self) -> bool {
+        matches!(self.kind, NodeKind::Element { .. })
+    }
+
+    /// Whether this node is a text node.
+    pub fn is_text(&self) -> bool {
+        matches!(self.kind, NodeKind::Text(_))
+    }
+}
+
+/// An ordered XML document.
+///
+/// Construction is append-only: children are always added after existing
+/// children of their parent, which is how parsing naturally proceeds and how
+/// the tagger rebuilds documents from order-sorted tuples.
+#[derive(Debug, Clone)]
+pub struct Document {
+    nodes: Vec<Node>,
+}
+
+impl Default for Document {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Document {
+    /// Creates an empty document containing only the document node.
+    pub fn new() -> Self {
+        Document {
+            nodes: vec![Node {
+                kind: NodeKind::Document,
+                parent: None,
+                first_child: None,
+                last_child: None,
+                next_sibling: None,
+                prev_sibling: None,
+            }],
+        }
+    }
+
+    /// Creates a document with a root element named `name`.
+    pub fn with_root(name: &str) -> XmlResult<(Self, NodeId)> {
+        let mut doc = Document::new();
+        let root = doc.append_element(NodeId::DOCUMENT, name)?;
+        Ok((doc, root))
+    }
+
+    /// Number of nodes, including the document node.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the document holds only the document node.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Borrows the node with id `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` does not belong to this document.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The root element, if one has been added.
+    pub fn root_element(&self) -> Option<NodeId> {
+        self.children(NodeId::DOCUMENT)
+            .find(|id| self.node(*id).is_element())
+    }
+
+    /// Appends a new element named `name` as the last child of `parent`.
+    pub fn append_element(&mut self, parent: NodeId, name: &str) -> XmlResult<NodeId> {
+        if !is_valid_name(name) {
+            return Err(XmlError::new(XmlErrorKind::InvalidName(name.to_string())));
+        }
+        Ok(self.append_node(
+            parent,
+            NodeKind::Element {
+                name: name.to_string(),
+                attributes: Vec::new(),
+            },
+        ))
+    }
+
+    /// Appends a text node as the last child of `parent`.
+    pub fn append_text(&mut self, parent: NodeId, text: &str) -> NodeId {
+        self.append_node(parent, NodeKind::Text(text.to_string()))
+    }
+
+    /// Appends a comment as the last child of `parent`.
+    pub fn append_comment(&mut self, parent: NodeId, text: &str) -> NodeId {
+        self.append_node(parent, NodeKind::Comment(text.to_string()))
+    }
+
+    /// Appends a processing instruction as the last child of `parent`.
+    pub fn append_pi(&mut self, parent: NodeId, target: &str, data: &str) -> XmlResult<NodeId> {
+        if !is_valid_name(target) {
+            return Err(XmlError::new(XmlErrorKind::InvalidName(target.to_string())));
+        }
+        Ok(self.append_node(
+            parent,
+            NodeKind::ProcessingInstruction {
+                target: target.to_string(),
+                data: data.to_string(),
+            },
+        ))
+    }
+
+    /// Sets attribute `name` to `value` on element `id`, replacing any
+    /// existing value and otherwise appending in declaration order.
+    pub fn set_attribute(&mut self, id: NodeId, name: &str, value: &str) -> XmlResult<()> {
+        if !is_valid_name(name) {
+            return Err(XmlError::new(XmlErrorKind::InvalidName(name.to_string())));
+        }
+        match &mut self.nodes[id.index()].kind {
+            NodeKind::Element { attributes, .. } => {
+                if let Some(attr) = attributes.iter_mut().find(|a| a.name == name) {
+                    attr.value = value.to_string();
+                } else {
+                    attributes.push(Attribute {
+                        name: name.to_string(),
+                        value: value.to_string(),
+                    });
+                }
+                Ok(())
+            }
+            _ => Err(XmlError::new(XmlErrorKind::Malformed(format!(
+                "node {id} is not an element; cannot set attribute {name:?}"
+            )))),
+        }
+    }
+
+    fn append_node(&mut self, parent: NodeId, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        let prev = self.nodes[parent.index()].last_child;
+        self.nodes.push(Node {
+            kind,
+            parent: Some(parent),
+            first_child: None,
+            last_child: None,
+            next_sibling: None,
+            prev_sibling: prev,
+        });
+        if let Some(prev) = prev {
+            self.nodes[prev.index()].next_sibling = Some(id);
+        } else {
+            self.nodes[parent.index()].first_child = Some(id);
+        }
+        self.nodes[parent.index()].last_child = Some(id);
+        id
+    }
+
+    /// The parent of `id`, or `None` for the document node.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).parent
+    }
+
+    /// Iterates over the children of `id` in document order.
+    pub fn children(&self, id: NodeId) -> Children<'_> {
+        Children {
+            doc: self,
+            next: self.node(id).first_child,
+        }
+    }
+
+    /// Iterates over the element children of `id` in document order.
+    pub fn child_elements(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.children(id).filter(|c| self.node(*c).is_element())
+    }
+
+    /// The first child element of `id` named `name`.
+    pub fn child_element(&self, id: NodeId, name: &str) -> Option<NodeId> {
+        self.child_elements(id)
+            .find(|c| self.node(*c).name() == Some(name))
+    }
+
+    /// Iterates over `id` and all its descendants in document order.
+    pub fn descendants(&self, id: NodeId) -> Descendants<'_> {
+        Descendants {
+            doc: self,
+            root: id,
+            next: Some(id),
+        }
+    }
+
+    /// Iterates over all element descendants of `id` (excluding `id`).
+    pub fn descendant_elements(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.descendants(id)
+            .skip(1)
+            .filter(|d| self.node(*d).is_element())
+    }
+
+    /// The 0-based position of `id` among all children of its parent.
+    ///
+    /// This is the "order as a data value" the shredder persists so that
+    /// documents can be reconstructed and order predicates evaluated on the
+    /// relational side (paper §2.2).
+    pub fn ordinal(&self, id: NodeId) -> u32 {
+        let mut ord = 0;
+        let mut cur = self.node(id).prev_sibling;
+        while let Some(prev) = cur {
+            ord += 1;
+            cur = self.node(prev).prev_sibling;
+        }
+        ord
+    }
+
+    /// Concatenation of all text descendants of `id` in document order.
+    pub fn text_content(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        for d in self.descendants(id) {
+            if let NodeKind::Text(t) = &self.node(d).kind {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// The depth of `id` (document node = 0, root element = 1, ...).
+    pub fn depth(&self, id: NodeId) -> u32 {
+        let mut depth = 0;
+        let mut cur = self.node(id).parent;
+        while let Some(p) = cur {
+            depth += 1;
+            cur = self.node(p).parent;
+        }
+        depth
+    }
+
+    /// The slash-separated label path of `id` from the root, e.g.
+    /// `/hlx_enzyme/db_entry/enzyme_id`. Non-element nodes contribute no
+    /// step; the path of a text node equals the path of its parent element.
+    pub fn label_path(&self, id: NodeId) -> String {
+        let mut labels = Vec::new();
+        let mut cur = Some(id);
+        while let Some(n) = cur {
+            if let Some(name) = self.node(n).name() {
+                labels.push(name);
+            }
+            cur = self.node(n).parent;
+        }
+        let mut out = String::new();
+        for label in labels.iter().rev() {
+            out.push('/');
+            out.push_str(label);
+        }
+        out
+    }
+
+    /// Selects all elements whose root-to-node label chain matches the
+    /// pattern — client-side path evaluation over an in-memory document
+    /// (the warehouse-side equivalent is XQ2SQL's pattern expansion).
+    pub fn select<'a>(&'a self, pattern: &'a crate::path::LabelPath) -> Vec<NodeId> {
+        let Some(root) = self.root_element() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mut labels: Vec<&str> = Vec::new();
+        self.select_walk(root, pattern, &mut labels, &mut out);
+        out
+    }
+
+    fn select_walk<'a>(
+        &'a self,
+        node: NodeId,
+        pattern: &crate::path::LabelPath,
+        labels: &mut Vec<&'a str>,
+        out: &mut Vec<NodeId>,
+    ) {
+        let Some(name) = self.node(node).name() else {
+            return;
+        };
+        labels.push(name);
+        if pattern.matches(labels) {
+            out.push(node);
+        }
+        for child in self.children(node) {
+            if self.node(child).is_element() {
+                self.select_walk(child, pattern, labels, out);
+            }
+        }
+        labels.pop();
+    }
+
+    /// Structural equality ignoring node ids: same tree shape, names,
+    /// attributes (order-sensitive) and text.
+    pub fn structurally_equal(&self, other: &Document) -> bool {
+        fn eq(a: &Document, an: NodeId, b: &Document, bn: NodeId) -> bool {
+            if a.node(an).kind != b.node(bn).kind {
+                return false;
+            }
+            let mut ac = a.children(an);
+            let mut bc = b.children(bn);
+            loop {
+                match (ac.next(), bc.next()) {
+                    (None, None) => return true,
+                    (Some(x), Some(y)) => {
+                        if !eq(a, x, b, y) {
+                            return false;
+                        }
+                    }
+                    _ => return false,
+                }
+            }
+        }
+        eq(self, NodeId::DOCUMENT, other, NodeId::DOCUMENT)
+    }
+}
+
+/// Iterator over the children of a node. See [`Document::children`].
+pub struct Children<'a> {
+    doc: &'a Document,
+    next: Option<NodeId>,
+}
+
+impl Iterator for Children<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        self.next = self.doc.node(cur).next_sibling;
+        Some(cur)
+    }
+}
+
+/// Depth-first (document order) iterator. See [`Document::descendants`].
+pub struct Descendants<'a> {
+    doc: &'a Document,
+    root: NodeId,
+    next: Option<NodeId>,
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        // Advance: first child, else next sibling, else climb until a
+        // sibling exists or we pass the subtree root.
+        let node = self.doc.node(cur);
+        self.next = if let Some(child) = node.first_child {
+            Some(child)
+        } else {
+            let mut walk = cur;
+            loop {
+                if walk == self.root {
+                    break None;
+                }
+                if let Some(sib) = self.doc.node(walk).next_sibling {
+                    break Some(sib);
+                }
+                match self.doc.node(walk).parent {
+                    Some(p) => walk = p,
+                    None => break None,
+                }
+            }
+        };
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Document, NodeId) {
+        let (mut doc, root) = Document::with_root("hlx_enzyme").unwrap();
+        let entry = doc.append_element(root, "db_entry").unwrap();
+        let id = doc.append_element(entry, "enzyme_id").unwrap();
+        doc.append_text(id, "1.14.17.3");
+        let desc = doc.append_element(entry, "enzyme_description").unwrap();
+        doc.append_text(desc, "Peptidylglycine monooxygenase.");
+        let refs = doc.append_element(entry, "prosite_reference").unwrap();
+        doc.set_attribute(refs, "prosite_accession_number", "PDOC00080")
+            .unwrap();
+        (doc, root)
+    }
+
+    #[test]
+    fn construction_and_navigation() {
+        let (doc, root) = sample();
+        assert_eq!(doc.root_element(), Some(root));
+        let entry = doc.child_element(root, "db_entry").unwrap();
+        assert_eq!(doc.child_elements(entry).count(), 3);
+        let id = doc.child_element(entry, "enzyme_id").unwrap();
+        assert_eq!(doc.text_content(id), "1.14.17.3");
+        assert_eq!(doc.parent(id), Some(entry));
+        assert_eq!(doc.depth(id), 3);
+    }
+
+    #[test]
+    fn node_ids_follow_document_order() {
+        let (doc, root) = sample();
+        let order: Vec<NodeId> = doc.descendants(root).collect();
+        for pair in order.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn ordinals_count_preceding_siblings() {
+        let (doc, root) = sample();
+        let entry = doc.child_element(root, "db_entry").unwrap();
+        let kids: Vec<NodeId> = doc.children(entry).collect();
+        for (i, k) in kids.iter().enumerate() {
+            assert_eq!(doc.ordinal(*k), i as u32);
+        }
+    }
+
+    #[test]
+    fn attributes() {
+        let (mut doc, root) = sample();
+        let entry = doc.child_element(root, "db_entry").unwrap();
+        let pref = doc.child_element(entry, "prosite_reference").unwrap();
+        assert_eq!(
+            doc.node(pref).attribute("prosite_accession_number"),
+            Some("PDOC00080")
+        );
+        doc.set_attribute(pref, "prosite_accession_number", "PDOC99999")
+            .unwrap();
+        assert_eq!(
+            doc.node(pref).attribute("prosite_accession_number"),
+            Some("PDOC99999")
+        );
+        assert_eq!(doc.node(pref).attributes().len(), 1);
+        assert!(doc.set_attribute(pref, "bad name", "x").is_err());
+    }
+
+    #[test]
+    fn set_attribute_on_text_node_fails() {
+        let (mut doc, root) = sample();
+        let entry = doc.child_element(root, "db_entry").unwrap();
+        let id = doc.child_element(entry, "enzyme_id").unwrap();
+        let text = doc.children(id).next().unwrap();
+        assert!(doc.set_attribute(text, "a", "b").is_err());
+    }
+
+    #[test]
+    fn invalid_element_name_rejected() {
+        let mut doc = Document::new();
+        assert!(doc.append_element(NodeId::DOCUMENT, "1bad").is_err());
+        assert!(doc.append_element(NodeId::DOCUMENT, "").is_err());
+    }
+
+    #[test]
+    fn label_paths() {
+        let (doc, root) = sample();
+        let entry = doc.child_element(root, "db_entry").unwrap();
+        let id = doc.child_element(entry, "enzyme_id").unwrap();
+        assert_eq!(doc.label_path(id), "/hlx_enzyme/db_entry/enzyme_id");
+        let text = doc.children(id).next().unwrap();
+        assert_eq!(doc.label_path(text), "/hlx_enzyme/db_entry/enzyme_id");
+        assert_eq!(doc.label_path(root), "/hlx_enzyme");
+    }
+
+    #[test]
+    fn select_evaluates_path_patterns() {
+        use crate::path::LabelPath;
+        let (mut doc, root) = Document::with_root("r").unwrap();
+        let a1 = doc.append_element(root, "a").unwrap();
+        let b1 = doc.append_element(a1, "b").unwrap();
+        let a2 = doc.append_element(root, "a").unwrap();
+        let c = doc.append_element(a2, "c").unwrap();
+        let b2 = doc.append_element(c, "b").unwrap();
+
+        let direct = LabelPath::parse("/r/a/b").unwrap();
+        assert_eq!(doc.select(&direct), vec![b1]);
+        let descend = LabelPath::parse("//b").unwrap();
+        assert_eq!(doc.select(&descend), vec![b1, b2]); // document order
+        let anywhere_a = LabelPath::parse("//a").unwrap();
+        assert_eq!(doc.select(&anywhere_a), vec![a1, a2]);
+        let missing = LabelPath::parse("//zz").unwrap();
+        assert!(doc.select(&missing).is_empty());
+        // Empty document selects nothing.
+        let empty = Document::new();
+        assert!(empty.select(&descend).is_empty());
+    }
+
+    #[test]
+    fn descendants_covers_whole_subtree_once() {
+        let (doc, root) = sample();
+        let all: Vec<NodeId> = doc.descendants(root).collect();
+        assert_eq!(all.len(), doc.len() - 1); // everything except document node
+        let mut sorted = all.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), all.len());
+    }
+
+    #[test]
+    fn structural_equality_ignores_construction_history() {
+        let (a, _) = sample();
+        let (b, _) = sample();
+        assert!(a.structurally_equal(&b));
+        let (mut c, root) = sample();
+        c.append_text(root, "extra");
+        assert!(!a.structurally_equal(&c));
+    }
+
+    #[test]
+    fn text_content_concatenates_in_order() {
+        let (mut doc, root) = Document::with_root("r").unwrap();
+        let a = doc.append_element(root, "a").unwrap();
+        doc.append_text(a, "one ");
+        let b = doc.append_element(a, "b").unwrap();
+        doc.append_text(b, "two ");
+        doc.append_text(a, "three");
+        assert_eq!(doc.text_content(root), "one two three");
+    }
+
+    #[test]
+    fn empty_document() {
+        let doc = Document::new();
+        assert!(doc.is_empty());
+        assert_eq!(doc.root_element(), None);
+        assert_eq!(doc.len(), 1);
+    }
+}

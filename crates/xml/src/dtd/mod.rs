@@ -1,0 +1,25 @@
+//! Document Type Definitions.
+//!
+//! The Data Hounds XML-Transformer is driven by a DTD per source database
+//! (paper §2.1): Figure 5 gives the DTD generated for the ENZYME database,
+//! and XomatiQ's visual interface displays "the DTD structure of the XML
+//! documents to be queried" (§3.1). This module provides:
+//!
+//! * [`model`] — the DTD data model: element declarations with content
+//!   models (`EMPTY`, `ANY`, mixed, children particles with `?`/`*`/`+`
+//!   repetition) and attribute lists with types and defaults;
+//! * [`parser`] — a parser for external-subset style DTD text
+//!   (`<!ELEMENT ...>` / `<!ATTLIST ...>` declarations);
+//! * [`validator`] — validation of a [`crate::Document`] against a DTD,
+//!   which is how "valid XML documents of the corresponding data" (§1.1)
+//!   is enforced before shredding.
+
+pub mod model;
+pub mod parser;
+pub mod validator;
+
+pub use model::{
+    AttrDecl, AttrDefault, AttrType, ContentModel, ContentParticle, Dtd, ElementDecl, Repetition,
+};
+pub use parser::parse_dtd;
+pub use validator::validate;

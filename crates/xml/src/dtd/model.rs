@@ -1,0 +1,427 @@
+//! DTD data model and serialization.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How often a content particle may repeat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Repetition {
+    /// Exactly once (no suffix).
+    One,
+    /// Zero or one (`?`).
+    Optional,
+    /// Zero or more (`*`).
+    ZeroOrMore,
+    /// One or more (`+`).
+    OneOrMore,
+}
+
+impl Repetition {
+    /// The suffix character, if any.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Repetition::One => "",
+            Repetition::Optional => "?",
+            Repetition::ZeroOrMore => "*",
+            Repetition::OneOrMore => "+",
+        }
+    }
+
+    /// Whether zero occurrences satisfy this repetition.
+    pub fn allows_zero(self) -> bool {
+        matches!(self, Repetition::Optional | Repetition::ZeroOrMore)
+    }
+
+    /// Whether more than one occurrence satisfies this repetition.
+    pub fn allows_many(self) -> bool {
+        matches!(self, Repetition::ZeroOrMore | Repetition::OneOrMore)
+    }
+}
+
+/// A particle of an element content model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContentParticle {
+    /// An element name with a repetition, e.g. `cofactor*`.
+    Name(String, Repetition),
+    /// A sequence `(a, b, c)` with a repetition.
+    Sequence(Vec<ContentParticle>, Repetition),
+    /// A choice `(a | b | c)` with a repetition.
+    Choice(Vec<ContentParticle>, Repetition),
+}
+
+impl ContentParticle {
+    /// The particle's repetition.
+    pub fn repetition(&self) -> Repetition {
+        match self {
+            ContentParticle::Name(_, r)
+            | ContentParticle::Sequence(_, r)
+            | ContentParticle::Choice(_, r) => *r,
+        }
+    }
+
+    /// Collects every element name mentioned in the particle.
+    pub fn element_names(&self, out: &mut Vec<String>) {
+        match self {
+            ContentParticle::Name(n, _) => out.push(n.clone()),
+            ContentParticle::Sequence(items, _) | ContentParticle::Choice(items, _) => {
+                for item in items {
+                    item.element_names(out);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for ContentParticle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContentParticle::Name(n, r) => write!(f, "{n}{}", r.suffix()),
+            ContentParticle::Sequence(items, r) => {
+                f.write_str("(")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "){}", r.suffix())
+            }
+            ContentParticle::Choice(items, r) => {
+                f.write_str("(")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str("|")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "){}", r.suffix())
+            }
+        }
+    }
+}
+
+/// The content model of an element declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContentModel {
+    /// `EMPTY` — no children at all.
+    Empty,
+    /// `ANY` — any declared elements and text.
+    Any,
+    /// `(#PCDATA)` or `(#PCDATA | a | b)*` — text optionally mixed with the
+    /// listed elements in any order.
+    Mixed(Vec<String>),
+    /// A children content model (element-only).
+    Children(ContentParticle),
+}
+
+impl fmt::Display for ContentModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContentModel::Empty => f.write_str("EMPTY"),
+            ContentModel::Any => f.write_str("ANY"),
+            ContentModel::Mixed(names) if names.is_empty() => f.write_str("(#PCDATA)"),
+            ContentModel::Mixed(names) => {
+                f.write_str("(#PCDATA")?;
+                for n in names {
+                    write!(f, "|{n}")?;
+                }
+                f.write_str(")*")
+            }
+            ContentModel::Children(cp) => match cp {
+                // The outermost particle must be parenthesized even when it
+                // is a bare name.
+                ContentParticle::Name(n, r) => write!(f, "({n}){}", r.suffix()),
+                other => write!(f, "{other}"),
+            },
+        }
+    }
+}
+
+/// An `<!ELEMENT ...>` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElementDecl {
+    /// Element name.
+    pub name: String,
+    /// Declared content model.
+    pub content: ContentModel,
+}
+
+/// The declared type of an attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttrType {
+    /// `CDATA` — any character data.
+    Cdata,
+    /// `NMTOKEN` — a single name token.
+    NmToken,
+    /// `NMTOKENS` — whitespace-separated name tokens.
+    NmTokens,
+    /// `ID` — a document-unique name.
+    Id,
+    /// `IDREF` — a reference to an ID.
+    IdRef,
+    /// An enumeration `(a|b|c)`.
+    Enumeration(Vec<String>),
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrType::Cdata => f.write_str("CDATA"),
+            AttrType::NmToken => f.write_str("NMTOKEN"),
+            AttrType::NmTokens => f.write_str("NMTOKENS"),
+            AttrType::Id => f.write_str("ID"),
+            AttrType::IdRef => f.write_str("IDREF"),
+            AttrType::Enumeration(values) => {
+                f.write_str("(")?;
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str("|")?;
+                    }
+                    f.write_str(v)?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+/// The default declaration of an attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttrDefault {
+    /// `#REQUIRED`.
+    Required,
+    /// `#IMPLIED`.
+    Implied,
+    /// `#FIXED "value"`.
+    Fixed(String),
+    /// A plain default value.
+    Default(String),
+}
+
+impl fmt::Display for AttrDefault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrDefault::Required => f.write_str("#REQUIRED"),
+            AttrDefault::Implied => f.write_str("#IMPLIED"),
+            AttrDefault::Fixed(v) => write!(f, "#FIXED \"{v}\""),
+            AttrDefault::Default(v) => write!(f, "\"{v}\""),
+        }
+    }
+}
+
+/// One attribute definition within an `<!ATTLIST ...>` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrDecl {
+    /// Attribute name.
+    pub name: String,
+    /// Declared type.
+    pub ty: AttrType,
+    /// Default declaration.
+    pub default: AttrDefault,
+}
+
+/// A complete DTD: element declarations plus per-element attribute lists.
+///
+/// Declaration order is preserved so the serialized form matches the
+/// human-authored layout of Figure 5.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Dtd {
+    elements: Vec<ElementDecl>,
+    attlists: BTreeMap<String, Vec<AttrDecl>>,
+}
+
+impl Dtd {
+    /// Creates an empty DTD.
+    pub fn new() -> Self {
+        Dtd::default()
+    }
+
+    /// Adds (or replaces) an element declaration.
+    pub fn declare_element(&mut self, decl: ElementDecl) {
+        if let Some(existing) = self.elements.iter_mut().find(|e| e.name == decl.name) {
+            *existing = decl;
+        } else {
+            self.elements.push(decl);
+        }
+    }
+
+    /// Adds an attribute declaration for `element`.
+    pub fn declare_attribute(&mut self, element: &str, decl: AttrDecl) {
+        let list = self.attlists.entry(element.to_string()).or_default();
+        if let Some(existing) = list.iter_mut().find(|a| a.name == decl.name) {
+            *existing = decl;
+        } else {
+            list.push(decl);
+        }
+    }
+
+    /// Looks up the declaration of `name`.
+    pub fn element(&self, name: &str) -> Option<&ElementDecl> {
+        self.elements.iter().find(|e| e.name == name)
+    }
+
+    /// The attribute declarations for `element` (empty if none).
+    pub fn attributes(&self, element: &str) -> &[AttrDecl] {
+        self.attlists.get(element).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All element declarations in declaration order.
+    pub fn elements(&self) -> &[ElementDecl] {
+        &self.elements
+    }
+
+    /// The first declared element, conventionally the document root.
+    pub fn root(&self) -> Option<&str> {
+        self.elements.first().map(|e| e.name.as_str())
+    }
+
+    /// Names of elements declared with a pure `(#PCDATA)` content model —
+    /// the leaves whose text the shredder stores as values.
+    pub fn leaf_elements(&self) -> Vec<&str> {
+        self.elements
+            .iter()
+            .filter(|e| matches!(&e.content, ContentModel::Mixed(names) if names.is_empty()))
+            .map(|e| e.name.as_str())
+            .collect()
+    }
+}
+
+impl fmt::Display for Dtd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for decl in &self.elements {
+            writeln!(f, "<!ELEMENT {} {}>", decl.name, decl.content)?;
+            if let Some(attrs) = self.attlists.get(&decl.name) {
+                writeln!(f, "<!ATTLIST {}", decl.name)?;
+                for attr in attrs {
+                    writeln!(f, "  {} {} {}", attr.name, attr.ty, attr.default)?;
+                }
+                writeln!(f, ">")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pcdata() -> ContentModel {
+        ContentModel::Mixed(Vec::new())
+    }
+
+    #[test]
+    fn declarations_replace_by_name() {
+        let mut dtd = Dtd::new();
+        dtd.declare_element(ElementDecl {
+            name: "a".into(),
+            content: ContentModel::Empty,
+        });
+        dtd.declare_element(ElementDecl {
+            name: "a".into(),
+            content: pcdata(),
+        });
+        assert_eq!(dtd.elements().len(), 1);
+        assert_eq!(dtd.element("a").unwrap().content, pcdata());
+    }
+
+    #[test]
+    fn root_is_first_declared() {
+        let mut dtd = Dtd::new();
+        dtd.declare_element(ElementDecl {
+            name: "hlx_enzyme".into(),
+            content: ContentModel::Any,
+        });
+        dtd.declare_element(ElementDecl {
+            name: "db_entry".into(),
+            content: ContentModel::Any,
+        });
+        assert_eq!(dtd.root(), Some("hlx_enzyme"));
+    }
+
+    #[test]
+    fn leaf_elements_are_pure_pcdata() {
+        let mut dtd = Dtd::new();
+        dtd.declare_element(ElementDecl {
+            name: "list".into(),
+            content: ContentModel::Children(ContentParticle::Name(
+                "item".into(),
+                Repetition::ZeroOrMore,
+            )),
+        });
+        dtd.declare_element(ElementDecl {
+            name: "item".into(),
+            content: pcdata(),
+        });
+        dtd.declare_element(ElementDecl {
+            name: "mixed".into(),
+            content: ContentModel::Mixed(vec!["item".into()]),
+        });
+        assert_eq!(dtd.leaf_elements(), vec!["item"]);
+    }
+
+    #[test]
+    fn content_model_display() {
+        let seq = ContentModel::Children(ContentParticle::Sequence(
+            vec![
+                ContentParticle::Name("enzyme_id".into(), Repetition::One),
+                ContentParticle::Name("enzyme_description".into(), Repetition::OneOrMore),
+                ContentParticle::Name("catalytic_activity".into(), Repetition::ZeroOrMore),
+            ],
+            Repetition::One,
+        ));
+        assert_eq!(
+            seq.to_string(),
+            "(enzyme_id,enzyme_description+,catalytic_activity*)"
+        );
+        let choice = ContentModel::Children(ContentParticle::Choice(
+            vec![
+                ContentParticle::Name("a".into(), Repetition::One),
+                ContentParticle::Name("b".into(), Repetition::Optional),
+            ],
+            Repetition::OneOrMore,
+        ));
+        assert_eq!(choice.to_string(), "(a|b?)+");
+        assert_eq!(ContentModel::Mixed(vec![]).to_string(), "(#PCDATA)");
+        assert_eq!(
+            ContentModel::Mixed(vec!["em".into()]).to_string(),
+            "(#PCDATA|em)*"
+        );
+        assert_eq!(
+            ContentModel::Children(ContentParticle::Name("x".into(), Repetition::ZeroOrMore))
+                .to_string(),
+            "(x)*"
+        );
+    }
+
+    #[test]
+    fn dtd_display_includes_attlists() {
+        let mut dtd = Dtd::new();
+        dtd.declare_element(ElementDecl {
+            name: "disease".into(),
+            content: pcdata(),
+        });
+        dtd.declare_attribute(
+            "disease",
+            AttrDecl {
+                name: "mim_id".into(),
+                ty: AttrType::Cdata,
+                default: AttrDefault::Required,
+            },
+        );
+        let s = dtd.to_string();
+        assert!(s.contains("<!ELEMENT disease (#PCDATA)>"), "{s}");
+        assert!(s.contains("<!ATTLIST disease"), "{s}");
+        assert!(s.contains("mim_id CDATA #REQUIRED"), "{s}");
+    }
+
+    #[test]
+    fn attr_type_display() {
+        assert_eq!(
+            AttrType::Enumeration(vec!["x".into(), "y".into()]).to_string(),
+            "(x|y)"
+        );
+        assert_eq!(AttrDefault::Fixed("v".into()).to_string(), "#FIXED \"v\"");
+        assert_eq!(AttrDefault::Default("d".into()).to_string(), "\"d\"");
+    }
+}

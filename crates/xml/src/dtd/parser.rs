@@ -1,0 +1,491 @@
+//! Parser for external-subset style DTD text.
+//!
+//! Accepts a sequence of `<!ELEMENT ...>` and `<!ATTLIST ...>` declarations
+//! with interleaved comments, i.e. exactly the shape of Figure 5 in the
+//! paper. Parameter entities and conditional sections are out of scope —
+//! the pipeline neither generates nor consumes them.
+
+use crate::dtd::model::{
+    AttrDecl, AttrDefault, AttrType, ContentModel, ContentParticle, Dtd, ElementDecl, Repetition,
+};
+use crate::error::{XmlError, XmlErrorKind, XmlResult};
+use crate::name::{is_name_char, is_name_start_char, is_valid_name};
+
+/// Parses DTD text into a [`Dtd`].
+pub fn parse_dtd(input: &str) -> XmlResult<Dtd> {
+    let mut parser = DtdParser { input, pos: 0 };
+    parser.parse()
+}
+
+struct DtdParser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> DtdParser<'a> {
+    fn parse(&mut self) -> XmlResult<Dtd> {
+        let mut dtd = Dtd::new();
+        loop {
+            self.skip_ws();
+            if self.pos >= self.input.len() {
+                break;
+            }
+            if self.starts_with("<!--") {
+                self.pos += 4;
+                match self.input[self.pos..].find("-->") {
+                    Some(offset) => self.pos += offset + 3,
+                    None => return Err(self.err("unterminated comment")),
+                }
+            } else if self.starts_with("<?") {
+                // Skip an XML declaration or PI heading the file.
+                match self.input[self.pos..].find("?>") {
+                    Some(offset) => self.pos += offset + 2,
+                    None => return Err(self.err("unterminated processing instruction")),
+                }
+            } else if self.starts_with("<!ELEMENT") {
+                self.pos += "<!ELEMENT".len();
+                self.parse_element(&mut dtd)?;
+            } else if self.starts_with("<!ATTLIST") {
+                self.pos += "<!ATTLIST".len();
+                self.parse_attlist(&mut dtd)?;
+            } else {
+                return Err(self.err("expected <!ELEMENT ...> or <!ATTLIST ...>"));
+            }
+        }
+        Ok(dtd)
+    }
+
+    fn err(&self, msg: &str) -> XmlError {
+        let consumed = &self.input[..self.pos.min(self.input.len())];
+        let line = consumed.bytes().filter(|b| *b == b'\n').count() as u32 + 1;
+        let column = (self.pos - consumed.rfind('\n').map(|i| i + 1).unwrap_or(0)) as u32 + 1;
+        XmlError::at(XmlErrorKind::Dtd(msg.to_string()), line, column)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input.as_bytes()[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.input[self.pos..].chars().next()
+    }
+
+    fn eat(&mut self, c: char) -> XmlResult<()> {
+        if self.peek() == Some(c) {
+            self.pos += c.len_utf8();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {c:?}")))
+        }
+    }
+
+    fn parse_name(&mut self) -> XmlResult<String> {
+        self.skip_ws();
+        let start = self.pos;
+        let mut chars = self.input[self.pos..].chars();
+        match chars.next() {
+            Some(c) if is_name_start_char(c) => self.pos += c.len_utf8(),
+            _ => return Err(self.err("expected a name")),
+        }
+        for c in chars {
+            if is_name_char(c) {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    fn parse_repetition(&mut self) -> Repetition {
+        match self.peek() {
+            Some('?') => {
+                self.pos += 1;
+                Repetition::Optional
+            }
+            Some('*') => {
+                self.pos += 1;
+                Repetition::ZeroOrMore
+            }
+            Some('+') => {
+                self.pos += 1;
+                Repetition::OneOrMore
+            }
+            _ => Repetition::One,
+        }
+    }
+
+    fn parse_element(&mut self, dtd: &mut Dtd) -> XmlResult<()> {
+        let name = self.parse_name()?;
+        self.skip_ws();
+        let content = if self.starts_with("EMPTY") {
+            self.pos += "EMPTY".len();
+            ContentModel::Empty
+        } else if self.starts_with("ANY") {
+            self.pos += "ANY".len();
+            ContentModel::Any
+        } else if self.peek() == Some('(') {
+            self.parse_paren_model()?
+        } else {
+            return Err(self.err("expected EMPTY, ANY or a parenthesized content model"));
+        };
+        self.skip_ws();
+        self.eat('>')?;
+        dtd.declare_element(ElementDecl { name, content });
+        Ok(())
+    }
+
+    /// Parses a parenthesized content model: either mixed
+    /// `(#PCDATA ...)` or a children particle.
+    fn parse_paren_model(&mut self) -> XmlResult<ContentModel> {
+        // Look ahead for #PCDATA immediately after the open paren.
+        let save = self.pos;
+        self.eat('(')?;
+        self.skip_ws();
+        if self.starts_with("#PCDATA") {
+            self.pos += "#PCDATA".len();
+            let mut names = Vec::new();
+            loop {
+                self.skip_ws();
+                match self.peek() {
+                    Some('|') => {
+                        self.pos += 1;
+                        names.push(self.parse_name()?);
+                    }
+                    Some(')') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    _ => return Err(self.err("expected '|' or ')' in mixed content")),
+                }
+            }
+            if !names.is_empty() {
+                // Mixed content with elements must be starred: (#PCDATA|a)*.
+                if self.peek() == Some('*') {
+                    self.pos += 1;
+                } else {
+                    return Err(self.err("mixed content with elements requires '*'"));
+                }
+            } else if self.peek() == Some('*') {
+                // (#PCDATA)* is legal and equivalent to (#PCDATA).
+                self.pos += 1;
+            }
+            return Ok(ContentModel::Mixed(names));
+        }
+        self.pos = save;
+        let particle = self.parse_particle()?;
+        Ok(ContentModel::Children(particle))
+    }
+
+    /// Parses a content particle: a name or a parenthesized group, with a
+    /// trailing repetition.
+    fn parse_particle(&mut self) -> XmlResult<ContentParticle> {
+        self.skip_ws();
+        if self.peek() == Some('(') {
+            self.eat('(')?;
+            let first = self.parse_particle()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(',') => {
+                    let mut items = vec![first];
+                    while self.peek() == Some(',') {
+                        self.pos += 1;
+                        items.push(self.parse_particle()?);
+                        self.skip_ws();
+                    }
+                    self.eat(')')?;
+                    Ok(ContentParticle::Sequence(items, self.parse_repetition()))
+                }
+                Some('|') => {
+                    let mut items = vec![first];
+                    while self.peek() == Some('|') {
+                        self.pos += 1;
+                        items.push(self.parse_particle()?);
+                        self.skip_ws();
+                    }
+                    self.eat(')')?;
+                    Ok(ContentParticle::Choice(items, self.parse_repetition()))
+                }
+                Some(')') => {
+                    self.pos += 1;
+                    let rep = self.parse_repetition();
+                    // A single-item group: the group repetition wraps the item.
+                    Ok(match rep {
+                        Repetition::One => first,
+                        rep => match first {
+                            // `(name)` with a suffix on the group collapses
+                            // onto the name when the name itself had none.
+                            ContentParticle::Name(n, Repetition::One) => {
+                                ContentParticle::Name(n, rep)
+                            }
+                            other => ContentParticle::Sequence(vec![other], rep),
+                        },
+                    })
+                }
+                _ => Err(self.err("expected ',', '|' or ')' in content particle")),
+            }
+        } else {
+            let name = self.parse_name()?;
+            if !is_valid_name(&name) {
+                return Err(self.err(&format!("invalid element name {name:?}")));
+            }
+            Ok(ContentParticle::Name(name, self.parse_repetition()))
+        }
+    }
+
+    fn parse_attlist(&mut self, dtd: &mut Dtd) -> XmlResult<()> {
+        let element = self.parse_name()?;
+        loop {
+            self.skip_ws();
+            if self.peek() == Some('>') {
+                self.pos += 1;
+                return Ok(());
+            }
+            let attr_name = self.parse_name()?;
+            self.skip_ws();
+            let ty = if self.starts_with("CDATA") {
+                self.pos += "CDATA".len();
+                AttrType::Cdata
+            } else if self.starts_with("NMTOKENS") {
+                self.pos += "NMTOKENS".len();
+                AttrType::NmTokens
+            } else if self.starts_with("NMTOKEN") {
+                self.pos += "NMTOKEN".len();
+                AttrType::NmToken
+            } else if self.starts_with("IDREF") {
+                self.pos += "IDREF".len();
+                AttrType::IdRef
+            } else if self.starts_with("ID") {
+                self.pos += "ID".len();
+                AttrType::Id
+            } else if self.peek() == Some('(') {
+                self.eat('(')?;
+                let mut values = vec![self.parse_name()?];
+                loop {
+                    self.skip_ws();
+                    match self.peek() {
+                        Some('|') => {
+                            self.pos += 1;
+                            values.push(self.parse_name()?);
+                        }
+                        Some(')') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        _ => return Err(self.err("expected '|' or ')' in enumeration")),
+                    }
+                }
+                AttrType::Enumeration(values)
+            } else {
+                return Err(self.err("expected an attribute type"));
+            };
+            self.skip_ws();
+            let default = if self.starts_with("#REQUIRED") {
+                self.pos += "#REQUIRED".len();
+                AttrDefault::Required
+            } else if self.starts_with("#IMPLIED") {
+                self.pos += "#IMPLIED".len();
+                AttrDefault::Implied
+            } else if self.starts_with("#FIXED") {
+                self.pos += "#FIXED".len();
+                AttrDefault::Fixed(self.parse_quoted()?)
+            } else if matches!(self.peek(), Some('"' | '\'')) {
+                AttrDefault::Default(self.parse_quoted()?)
+            } else {
+                return Err(self.err("expected a default declaration"));
+            };
+            dtd.declare_attribute(
+                &element,
+                AttrDecl {
+                    name: attr_name,
+                    ty,
+                    default,
+                },
+            );
+        }
+    }
+
+    fn parse_quoted(&mut self) -> XmlResult<String> {
+        self.skip_ws();
+        let quote = match self.peek() {
+            Some(q @ ('"' | '\'')) => q,
+            _ => return Err(self.err("expected a quoted value")),
+        };
+        self.pos += 1;
+        match self.input[self.pos..].find(quote) {
+            Some(offset) => {
+                let value = self.input[self.pos..self.pos + offset].to_string();
+                self.pos += offset + 1;
+                Ok(value)
+            }
+            None => Err(self.err("unterminated quoted value")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The ENZYME DTD of Figure 5 (names sanitized to valid XML names).
+    pub const ENZYME_DTD: &str = r#"
+<!ELEMENT hlx_enzyme (db_entry)>
+<!ELEMENT db_entry (enzyme_id,enzyme_description+,alternate_name_list,
+  catalytic_activity*,cofactor_list,comment_list,prosite_reference*,
+  swissprot_reference_list,disease_list)>
+<!ELEMENT enzyme_id (#PCDATA)>
+<!ELEMENT enzyme_description (#PCDATA)>
+<!ELEMENT alternate_name_list (alternate_name*)>
+<!ELEMENT alternate_name (#PCDATA)>
+<!ELEMENT catalytic_activity (#PCDATA)>
+<!ELEMENT cofactor_list (cofactor*)>
+<!ELEMENT cofactor (#PCDATA)>
+<!ELEMENT comment_list (comment*)>
+<!ELEMENT comment (#PCDATA)>
+<!ELEMENT prosite_reference (#PCDATA)>
+<!ATTLIST prosite_reference
+  prosite_accession_number NMTOKEN #REQUIRED
+>
+<!ELEMENT swissprot_reference_list (reference*)>
+<!ELEMENT reference (#PCDATA)>
+<!ATTLIST reference
+  name CDATA #REQUIRED
+  swissprot_accession_number NMTOKEN #REQUIRED
+>
+<!ELEMENT disease_list (disease*)>
+<!ELEMENT disease (#PCDATA)>
+<!ATTLIST disease
+  mim_id CDATA #REQUIRED
+>
+"#;
+
+    #[test]
+    fn parses_figure5_enzyme_dtd() {
+        let dtd = parse_dtd(ENZYME_DTD).unwrap();
+        assert_eq!(dtd.root(), Some("hlx_enzyme"));
+        assert_eq!(dtd.elements().len(), 16);
+        let entry = dtd.element("db_entry").unwrap();
+        match &entry.content {
+            ContentModel::Children(ContentParticle::Sequence(items, Repetition::One)) => {
+                assert_eq!(items.len(), 9);
+                assert_eq!(
+                    items[1],
+                    ContentParticle::Name("enzyme_description".into(), Repetition::OneOrMore)
+                );
+                assert_eq!(
+                    items[3],
+                    ContentParticle::Name("catalytic_activity".into(), Repetition::ZeroOrMore)
+                );
+            }
+            other => panic!("unexpected content model: {other:?}"),
+        }
+        let ref_attrs = dtd.attributes("reference");
+        assert_eq!(ref_attrs.len(), 2);
+        assert_eq!(ref_attrs[0].name, "name");
+        assert_eq!(ref_attrs[0].ty, AttrType::Cdata);
+        assert_eq!(ref_attrs[1].ty, AttrType::NmToken);
+        assert!(matches!(ref_attrs[1].default, AttrDefault::Required));
+    }
+
+    #[test]
+    fn round_trips_through_display() {
+        let dtd = parse_dtd(ENZYME_DTD).unwrap();
+        let printed = dtd.to_string();
+        let reparsed = parse_dtd(&printed).unwrap();
+        assert_eq!(dtd, reparsed);
+    }
+
+    #[test]
+    fn parses_choice_and_nested_groups() {
+        let dtd = parse_dtd("<!ELEMENT a ((b|c)+,(d,e)?)>").unwrap();
+        match &dtd.element("a").unwrap().content {
+            ContentModel::Children(ContentParticle::Sequence(items, _)) => {
+                assert!(
+                    matches!(&items[0], ContentParticle::Choice(cs, Repetition::OneOrMore) if cs.len() == 2)
+                );
+                assert!(
+                    matches!(&items[1], ContentParticle::Sequence(ss, Repetition::Optional) if ss.len() == 2)
+                );
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_empty_any_and_mixed() {
+        let dtd = parse_dtd(
+            "<!ELEMENT e EMPTY><!ELEMENT a ANY><!ELEMENT m (#PCDATA|em|strong)*><!ELEMENT p (#PCDATA)>",
+        )
+        .unwrap();
+        assert_eq!(dtd.element("e").unwrap().content, ContentModel::Empty);
+        assert_eq!(dtd.element("a").unwrap().content, ContentModel::Any);
+        assert_eq!(
+            dtd.element("m").unwrap().content,
+            ContentModel::Mixed(vec!["em".into(), "strong".into()])
+        );
+        assert_eq!(
+            dtd.element("p").unwrap().content,
+            ContentModel::Mixed(vec![])
+        );
+    }
+
+    #[test]
+    fn single_name_group_with_repetition() {
+        let dtd = parse_dtd("<!ELEMENT l (item)*>").unwrap();
+        assert_eq!(
+            dtd.element("l").unwrap().content,
+            ContentModel::Children(ContentParticle::Name("item".into(), Repetition::ZeroOrMore))
+        );
+    }
+
+    #[test]
+    fn parses_enumeration_and_defaults() {
+        let dtd = parse_dtd(
+            r#"<!ELEMENT x EMPTY>
+               <!ATTLIST x kind (dna|rna|protein) "dna"
+                           note CDATA #IMPLIED
+                           ver NMTOKEN #FIXED "1">"#,
+        )
+        .unwrap();
+        let attrs = dtd.attributes("x");
+        assert_eq!(attrs.len(), 3);
+        assert_eq!(
+            attrs[0].ty,
+            AttrType::Enumeration(vec!["dna".into(), "rna".into(), "protein".into()])
+        );
+        assert_eq!(attrs[0].default, AttrDefault::Default("dna".into()));
+        assert_eq!(attrs[1].default, AttrDefault::Implied);
+        assert_eq!(attrs[2].default, AttrDefault::Fixed("1".into()));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let dtd = parse_dtd("<!-- header --><!ELEMENT a EMPTY><!-- tail -->").unwrap();
+        assert_eq!(dtd.elements().len(), 1);
+    }
+
+    #[test]
+    fn mixed_with_elements_requires_star() {
+        assert!(parse_dtd("<!ELEMENT m (#PCDATA|em)>").is_err());
+    }
+
+    #[test]
+    fn errors_report_line_numbers() {
+        let err = parse_dtd("<!ELEMENT a EMPTY>\n<!BOGUS>").unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::Dtd(_)));
+        assert_eq!(err.line(), Some(2));
+    }
+
+    #[test]
+    fn rejects_truncated_input() {
+        assert!(parse_dtd("<!ELEMENT a (b,").is_err());
+        assert!(parse_dtd("<!ATTLIST a b CDATA").is_err());
+        assert!(parse_dtd("<!-- unterminated").is_err());
+    }
+}

@@ -1,0 +1,537 @@
+//! DTD validation of documents.
+//!
+//! Data Hounds promises to create "valid XML documents of the corresponding
+//! data" (paper §1.1); validation is the contract check between the
+//! XML-Transformer and the shredder. The validator checks the root element
+//! name, every element's content model, attribute presence/type/defaults,
+//! and ID/IDREF consistency.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::document::{Document, NodeId, NodeKind};
+use crate::dtd::model::{AttrDefault, AttrType, ContentModel, ContentParticle, Dtd};
+use crate::error::{XmlError, XmlErrorKind, XmlResult};
+use crate::name::{is_valid_name, is_valid_nmtoken};
+
+/// Validates `doc` against `dtd`, returning the first violation found.
+pub fn validate(doc: &Document, dtd: &Dtd) -> XmlResult<()> {
+    let root = doc.root_element().ok_or_else(|| {
+        XmlError::new(XmlErrorKind::Validation(
+            "document has no root element".into(),
+        ))
+    })?;
+    if let Some(expected) = dtd.root() {
+        let actual = doc.node(root).name().expect("root is an element");
+        if actual != expected {
+            return Err(err(format!(
+                "root element is <{actual}>, DTD expects <{expected}>"
+            )));
+        }
+    }
+    let mut ids: HashSet<String> = HashSet::new();
+    let mut idrefs: Vec<String> = Vec::new();
+    validate_element(doc, root, dtd, &mut ids, &mut idrefs)?;
+    for idref in idrefs {
+        if !ids.contains(&idref) {
+            return Err(err(format!("IDREF {idref:?} does not match any ID")));
+        }
+    }
+    Ok(())
+}
+
+fn err(msg: String) -> XmlError {
+    XmlError::new(XmlErrorKind::Validation(msg))
+}
+
+fn validate_element(
+    doc: &Document,
+    id: NodeId,
+    dtd: &Dtd,
+    ids: &mut HashSet<String>,
+    idrefs: &mut Vec<String>,
+) -> XmlResult<()> {
+    let name = doc.node(id).name().expect("element").to_string();
+    let decl = dtd
+        .element(&name)
+        .ok_or_else(|| err(format!("element <{name}> is not declared")))?;
+
+    validate_attributes(doc, id, &name, dtd, ids, idrefs)?;
+
+    let child_elements: Vec<&str> = doc
+        .children(id)
+        .filter_map(|c| doc.node(c).name())
+        .collect();
+    let has_text = doc
+        .children(id)
+        .any(|c| matches!(doc.node(c).kind(), NodeKind::Text(t) if !t.trim().is_empty()));
+
+    match &decl.content {
+        ContentModel::Empty => {
+            if !child_elements.is_empty() || has_text {
+                return Err(err(format!(
+                    "element <{name}> is declared EMPTY but has content"
+                )));
+            }
+        }
+        ContentModel::Any => {
+            for child in &child_elements {
+                if dtd.element(child).is_none() {
+                    return Err(err(format!(
+                        "element <{child}> inside ANY <{name}> is not declared"
+                    )));
+                }
+            }
+        }
+        ContentModel::Mixed(allowed) => {
+            for child in &child_elements {
+                if !allowed.iter().any(|a| a == child) {
+                    return Err(err(format!(
+                        "element <{child}> is not allowed in mixed content of <{name}>"
+                    )));
+                }
+            }
+        }
+        ContentModel::Children(particle) => {
+            if has_text {
+                return Err(err(format!(
+                    "element <{name}> has element content but contains text"
+                )));
+            }
+            if !matches_particle(particle, &child_elements) {
+                return Err(err(format!(
+                    "children of <{name}> ({}) do not match content model {}",
+                    child_elements.join(","),
+                    decl.content
+                )));
+            }
+        }
+    }
+
+    for child in doc.child_elements(id) {
+        validate_element(doc, child, dtd, ids, idrefs)?;
+    }
+    Ok(())
+}
+
+fn validate_attributes(
+    doc: &Document,
+    id: NodeId,
+    element: &str,
+    dtd: &Dtd,
+    ids: &mut HashSet<String>,
+    idrefs: &mut Vec<String>,
+) -> XmlResult<()> {
+    let decls = dtd.attributes(element);
+    let decl_by_name: HashMap<&str, _> = decls.iter().map(|d| (d.name.as_str(), d)).collect();
+
+    for attr in doc.node(id).attributes() {
+        let Some(decl) = decl_by_name.get(attr.name.as_str()) else {
+            return Err(err(format!(
+                "attribute {:?} on <{element}> is not declared",
+                attr.name
+            )));
+        };
+        match &decl.ty {
+            AttrType::Cdata => {}
+            AttrType::NmToken => {
+                if !is_valid_nmtoken(&attr.value) {
+                    return Err(err(format!(
+                        "attribute {}={:?} on <{element}> is not a valid NMTOKEN",
+                        attr.name, attr.value
+                    )));
+                }
+            }
+            AttrType::NmTokens => {
+                let tokens: Vec<&str> = attr.value.split_whitespace().collect();
+                if tokens.is_empty() || !tokens.iter().all(|t| is_valid_nmtoken(t)) {
+                    return Err(err(format!(
+                        "attribute {}={:?} on <{element}> is not valid NMTOKENS",
+                        attr.name, attr.value
+                    )));
+                }
+            }
+            AttrType::Id => {
+                if !is_valid_name(&attr.value) {
+                    return Err(err(format!(
+                        "ID value {:?} on <{element}> is not a valid name",
+                        attr.value
+                    )));
+                }
+                if !ids.insert(attr.value.clone()) {
+                    return Err(err(format!("duplicate ID {:?}", attr.value)));
+                }
+            }
+            AttrType::IdRef => {
+                if !is_valid_name(&attr.value) {
+                    return Err(err(format!(
+                        "IDREF value {:?} on <{element}> is not a valid name",
+                        attr.value
+                    )));
+                }
+                idrefs.push(attr.value.clone());
+            }
+            AttrType::Enumeration(values) => {
+                if !values.iter().any(|v| v == &attr.value) {
+                    return Err(err(format!(
+                        "attribute {}={:?} on <{element}> is not one of ({})",
+                        attr.name,
+                        attr.value,
+                        values.join("|")
+                    )));
+                }
+            }
+        }
+        if let AttrDefault::Fixed(fixed) = &decl.default {
+            if &attr.value != fixed {
+                return Err(err(format!(
+                    "attribute {} on <{element}> must have the #FIXED value {fixed:?}",
+                    attr.name
+                )));
+            }
+        }
+    }
+
+    for decl in decls {
+        if matches!(decl.default, AttrDefault::Required)
+            && doc.node(id).attribute(&decl.name).is_none()
+        {
+            return Err(err(format!(
+                "required attribute {:?} missing on <{element}>",
+                decl.name
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Whether the full sequence of child element names matches `particle`.
+///
+/// Implemented as a backtracking matcher: `advance` returns every input
+/// position reachable after consuming one instance of the particle starting
+/// at `pos`. Content models in this domain are short (tens of particles) so
+/// the exponential worst case of backtracking is irrelevant, and the code
+/// stays obviously correct.
+pub fn matches_particle(particle: &ContentParticle, names: &[&str]) -> bool {
+    advance(particle, names, 0).contains(&names.len())
+}
+
+fn advance(particle: &ContentParticle, names: &[&str], pos: usize) -> Vec<usize> {
+    let rep = particle.repetition();
+    let mut results: Vec<usize> = Vec::new();
+    if rep.allows_zero() {
+        results.push(pos);
+    }
+    // Positions reachable after k >= 1 repetitions.
+    let mut frontier = vec![pos];
+    loop {
+        let mut next = Vec::new();
+        for p in &frontier {
+            for q in advance_once(particle, names, *p) {
+                if q > *p && !next.contains(&q) {
+                    next.push(q);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        for q in &next {
+            if !results.contains(q) {
+                results.push(*q);
+            }
+        }
+        if !rep.allows_many() {
+            // Only a single repetition permitted.
+            if !rep.allows_zero() {
+                // Exactly-one: the zero-consumption seed must be removed if
+                // a single match consumed nothing (possible for nested
+                // optional groups).
+            }
+            break;
+        }
+        frontier = next;
+    }
+    if !rep.allows_zero() {
+        // For One / OneOrMore the particle itself may still legitimately
+        // consume zero input (e.g. `(a?)` matching nothing); account for
+        // that by checking a single zero-width match.
+        if advance_once(particle, names, pos).contains(&pos) && !results.contains(&pos) {
+            results.push(pos);
+        }
+    }
+    results
+}
+
+/// Positions reachable after consuming exactly one instance of `particle`.
+fn advance_once(particle: &ContentParticle, names: &[&str], pos: usize) -> Vec<usize> {
+    match particle {
+        ContentParticle::Name(name, _) => {
+            if names.get(pos).is_some_and(|n| n == name) {
+                vec![pos + 1]
+            } else {
+                Vec::new()
+            }
+        }
+        ContentParticle::Sequence(items, _) => {
+            let mut positions = vec![pos];
+            for item in items {
+                let mut next = Vec::new();
+                for p in positions {
+                    for q in advance(item, names, p) {
+                        if !next.contains(&q) {
+                            next.push(q);
+                        }
+                    }
+                }
+                positions = next;
+                if positions.is_empty() {
+                    break;
+                }
+            }
+            positions
+        }
+        ContentParticle::Choice(items, _) => {
+            let mut out = Vec::new();
+            for item in items {
+                for q in advance(item, names, pos) {
+                    if !out.contains(&q) {
+                        out.push(q);
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtd::parser::parse_dtd;
+    use crate::parser::parse;
+
+    const DTD: &str = r#"
+<!ELEMENT hlx_enzyme (db_entry)>
+<!ELEMENT db_entry (enzyme_id,enzyme_description+,catalytic_activity*,prosite_reference?)>
+<!ELEMENT enzyme_id (#PCDATA)>
+<!ELEMENT enzyme_description (#PCDATA)>
+<!ELEMENT catalytic_activity (#PCDATA)>
+<!ELEMENT prosite_reference EMPTY>
+<!ATTLIST prosite_reference prosite_accession_number NMTOKEN #REQUIRED>
+"#;
+
+    fn dtd() -> Dtd {
+        parse_dtd(DTD).unwrap()
+    }
+
+    #[test]
+    fn valid_document_passes() {
+        let doc = parse(
+            r#"<hlx_enzyme><db_entry>
+              <enzyme_id>1.14.17.3</enzyme_id>
+              <enzyme_description>Peptidylglycine monooxygenase.</enzyme_description>
+              <catalytic_activity>A + B = C</catalytic_activity>
+              <prosite_reference prosite_accession_number="PDOC00080"/>
+            </db_entry></hlx_enzyme>"#,
+        )
+        .unwrap();
+        validate(&doc, &dtd()).unwrap();
+    }
+
+    #[test]
+    fn optional_elements_may_be_absent() {
+        let doc = parse(
+            "<hlx_enzyme><db_entry><enzyme_id>x</enzyme_id><enzyme_description>y</enzyme_description></db_entry></hlx_enzyme>",
+        )
+        .unwrap();
+        validate(&doc, &dtd()).unwrap();
+    }
+
+    #[test]
+    fn wrong_root_fails() {
+        let doc = parse("<db_entry/>").unwrap();
+        let e = validate(&doc, &dtd()).unwrap_err();
+        assert!(e.to_string().contains("root element"), "{e}");
+    }
+
+    #[test]
+    fn missing_required_child_fails() {
+        let doc = parse("<hlx_enzyme><db_entry><enzyme_id>x</enzyme_id></db_entry></hlx_enzyme>")
+            .unwrap();
+        let e = validate(&doc, &dtd()).unwrap_err();
+        assert!(e.to_string().contains("do not match content model"), "{e}");
+    }
+
+    #[test]
+    fn wrong_child_order_fails() {
+        let doc = parse(
+            "<hlx_enzyme><db_entry><enzyme_description>y</enzyme_description><enzyme_id>x</enzyme_id></db_entry></hlx_enzyme>",
+        )
+        .unwrap();
+        assert!(validate(&doc, &dtd()).is_err());
+    }
+
+    #[test]
+    fn undeclared_element_fails() {
+        let doc = parse("<hlx_enzyme><mystery/></hlx_enzyme>").unwrap();
+        assert!(validate(&doc, &dtd()).is_err());
+    }
+
+    #[test]
+    fn text_in_element_content_fails() {
+        let doc = parse(
+            "<hlx_enzyme>stray<db_entry><enzyme_id>x</enzyme_id><enzyme_description>y</enzyme_description></db_entry></hlx_enzyme>",
+        )
+        .unwrap();
+        let e = validate(&doc, &dtd()).unwrap_err();
+        assert!(e.to_string().contains("contains text"), "{e}");
+    }
+
+    #[test]
+    fn empty_element_with_content_fails() {
+        let doc = parse(
+            r#"<hlx_enzyme><db_entry><enzyme_id>x</enzyme_id><enzyme_description>y</enzyme_description><prosite_reference prosite_accession_number="P1">text</prosite_reference></db_entry></hlx_enzyme>"#,
+        )
+        .unwrap();
+        let e = validate(&doc, &dtd()).unwrap_err();
+        assert!(e.to_string().contains("EMPTY"), "{e}");
+    }
+
+    #[test]
+    fn missing_required_attribute_fails() {
+        let doc = parse(
+            "<hlx_enzyme><db_entry><enzyme_id>x</enzyme_id><enzyme_description>y</enzyme_description><prosite_reference/></db_entry></hlx_enzyme>",
+        )
+        .unwrap();
+        let e = validate(&doc, &dtd()).unwrap_err();
+        assert!(e.to_string().contains("required attribute"), "{e}");
+    }
+
+    #[test]
+    fn undeclared_attribute_fails() {
+        let doc = parse(
+            r#"<hlx_enzyme><db_entry><enzyme_id>x</enzyme_id><enzyme_description>y</enzyme_description><prosite_reference prosite_accession_number="P1" extra="no"/></db_entry></hlx_enzyme>"#,
+        )
+        .unwrap();
+        let e = validate(&doc, &dtd()).unwrap_err();
+        assert!(e.to_string().contains("not declared"), "{e}");
+    }
+
+    #[test]
+    fn nmtoken_attribute_type_enforced() {
+        let doc = parse(
+            r#"<hlx_enzyme><db_entry><enzyme_id>x</enzyme_id><enzyme_description>y</enzyme_description><prosite_reference prosite_accession_number="has space"/></db_entry></hlx_enzyme>"#,
+        )
+        .unwrap();
+        let e = validate(&doc, &dtd()).unwrap_err();
+        assert!(e.to_string().contains("NMTOKEN"), "{e}");
+    }
+
+    #[test]
+    fn enumeration_and_fixed_enforced() {
+        let dtd = parse_dtd(
+            r#"<!ELEMENT x EMPTY>
+               <!ATTLIST x kind (dna|rna) #REQUIRED ver CDATA #FIXED "1">"#,
+        )
+        .unwrap();
+        validate(&parse(r#"<x kind="dna" ver="1"/>"#).unwrap(), &dtd).unwrap();
+        validate(&parse(r#"<x kind="rna"/>"#).unwrap(), &dtd).unwrap();
+        assert!(validate(&parse(r#"<x kind="protein"/>"#).unwrap(), &dtd).is_err());
+        assert!(validate(&parse(r#"<x kind="dna" ver="2"/>"#).unwrap(), &dtd).is_err());
+    }
+
+    #[test]
+    fn id_uniqueness_and_idref_resolution() {
+        let dtd = parse_dtd(
+            r#"<!ELEMENT r (n*)>
+               <!ELEMENT n EMPTY>
+               <!ATTLIST n id ID #REQUIRED ref IDREF #IMPLIED>"#,
+        )
+        .unwrap();
+        validate(
+            &parse(r#"<r><n id="a"/><n id="b" ref="a"/></r>"#).unwrap(),
+            &dtd,
+        )
+        .unwrap();
+        let dup = validate(&parse(r#"<r><n id="a"/><n id="a"/></r>"#).unwrap(), &dtd).unwrap_err();
+        assert!(dup.to_string().contains("duplicate ID"), "{dup}");
+        let dangling =
+            validate(&parse(r#"<r><n id="a" ref="zz"/></r>"#).unwrap(), &dtd).unwrap_err();
+        assert!(dangling.to_string().contains("IDREF"), "{dangling}");
+    }
+
+    #[test]
+    fn mixed_content_allows_listed_elements_any_order() {
+        let dtd = parse_dtd("<!ELEMENT p (#PCDATA|em)*><!ELEMENT em (#PCDATA)>").unwrap();
+        validate(
+            &parse("<p>one <em>two</em> three <em>four</em></p>").unwrap(),
+            &dtd,
+        )
+        .unwrap();
+        assert!(validate(&parse("<p><strong>x</strong></p>").unwrap(), &dtd).is_err());
+    }
+
+    #[test]
+    fn any_content_allows_declared_elements() {
+        let dtd = parse_dtd("<!ELEMENT r ANY><!ELEMENT a (#PCDATA)>").unwrap();
+        validate(&parse("<r>text<a>x</a></r>").unwrap(), &dtd).unwrap();
+        assert!(validate(&parse("<r><zz/></r>").unwrap(), &dtd).is_err());
+    }
+
+    // ---- particle matcher unit tests --------------------------------------
+
+    fn particle(src: &str) -> ContentParticle {
+        let dtd = parse_dtd(&format!("<!ELEMENT t {src}>")).unwrap();
+        match &dtd.element("t").unwrap().content {
+            ContentModel::Children(p) => p.clone(),
+            other => panic!("expected children model, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn particle_sequence_with_repetitions() {
+        let p = particle("(a,b+,c*)");
+        assert!(matches_particle(&p, &["a", "b"]));
+        assert!(matches_particle(&p, &["a", "b", "b", "c", "c"]));
+        assert!(!matches_particle(&p, &["a"]));
+        assert!(!matches_particle(&p, &["a", "c"]));
+        assert!(!matches_particle(&p, &["b", "a"]));
+    }
+
+    #[test]
+    fn particle_choice() {
+        let p = particle("((a|b)+)");
+        assert!(matches_particle(&p, &["a"]));
+        assert!(matches_particle(&p, &["b", "a", "b"]));
+        assert!(!matches_particle(&p, &[]));
+        assert!(!matches_particle(&p, &["c"]));
+    }
+
+    #[test]
+    fn particle_nested_groups() {
+        let p = particle("((a,b)*,c)");
+        assert!(matches_particle(&p, &["c"]));
+        assert!(matches_particle(&p, &["a", "b", "c"]));
+        assert!(matches_particle(&p, &["a", "b", "a", "b", "c"]));
+        assert!(!matches_particle(&p, &["a", "c"]));
+        assert!(!matches_particle(&p, &["a", "b"]));
+    }
+
+    #[test]
+    fn particle_all_optional_matches_empty() {
+        let p = particle("(a?,b*)");
+        assert!(matches_particle(&p, &[]));
+        assert!(matches_particle(&p, &["b", "b"]));
+        assert!(matches_particle(&p, &["a"]));
+        assert!(!matches_particle(&p, &["b", "a"]));
+    }
+
+    #[test]
+    fn particle_ambiguous_backtracking() {
+        // (a*, a) requires at least one a; the matcher must backtrack.
+        let p = particle("(a*,a)");
+        assert!(matches_particle(&p, &["a"]));
+        assert!(matches_particle(&p, &["a", "a", "a"]));
+        assert!(!matches_particle(&p, &[]));
+    }
+}

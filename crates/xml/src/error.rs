@@ -1,0 +1,138 @@
+//! Error type shared by the XML parser, DTD parser and validator.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type XmlResult<T> = Result<T, XmlError>;
+
+/// An error raised while parsing, validating or addressing XML.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    kind: XmlErrorKind,
+    /// 1-based line of the offending input position, when known.
+    line: Option<u32>,
+    /// 1-based column of the offending input position, when known.
+    column: Option<u32>,
+}
+
+/// The category of an [`XmlError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlErrorKind {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof(String),
+    /// A construct was syntactically malformed.
+    Malformed(String),
+    /// An element name, attribute name or target was not a valid XML name.
+    InvalidName(String),
+    /// An end tag did not match the open element.
+    MismatchedTag {
+        /// The name of the currently open element.
+        expected: String,
+        /// The end-tag name actually found.
+        found: String,
+    },
+    /// The same attribute appeared twice on one element.
+    DuplicateAttribute(String),
+    /// An unknown entity reference such as `&foo;`.
+    UnknownEntity(String),
+    /// A DTD declaration was malformed.
+    Dtd(String),
+    /// A document failed DTD validation.
+    Validation(String),
+    /// A label path string was malformed.
+    Path(String),
+}
+
+impl XmlError {
+    /// Creates an error with no position information.
+    pub fn new(kind: XmlErrorKind) -> Self {
+        XmlError {
+            kind,
+            line: None,
+            column: None,
+        }
+    }
+
+    /// Creates an error positioned at `line:column` (both 1-based).
+    pub fn at(kind: XmlErrorKind, line: u32, column: u32) -> Self {
+        XmlError {
+            kind,
+            line: Some(line),
+            column: Some(column),
+        }
+    }
+
+    /// The error category.
+    pub fn kind(&self) -> &XmlErrorKind {
+        &self.kind
+    }
+
+    /// The 1-based line of the error, when known.
+    pub fn line(&self) -> Option<u32> {
+        self.line
+    }
+
+    /// The 1-based column of the error, when known.
+    pub fn column(&self) -> Option<u32> {
+        self.column
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            XmlErrorKind::UnexpectedEof(what) => {
+                write!(f, "unexpected end of input while parsing {what}")?
+            }
+            XmlErrorKind::Malformed(msg) => write!(f, "malformed XML: {msg}")?,
+            XmlErrorKind::InvalidName(name) => write!(f, "invalid XML name: {name:?}")?,
+            XmlErrorKind::MismatchedTag { expected, found } => write!(
+                f,
+                "mismatched end tag: expected </{expected}>, found </{found}>"
+            )?,
+            XmlErrorKind::DuplicateAttribute(name) => write!(f, "duplicate attribute {name:?}")?,
+            XmlErrorKind::UnknownEntity(name) => write!(f, "unknown entity &{name};")?,
+            XmlErrorKind::Dtd(msg) => write!(f, "malformed DTD: {msg}")?,
+            XmlErrorKind::Validation(msg) => write!(f, "validation error: {msg}")?,
+            XmlErrorKind::Path(msg) => write!(f, "malformed label path: {msg}")?,
+        }
+        if let (Some(line), Some(column)) = (self.line, self.column) {
+            write!(f, " at {line}:{column}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let err = XmlError::at(XmlErrorKind::Malformed("broken".into()), 3, 17);
+        assert_eq!(err.to_string(), "malformed XML: broken at 3:17");
+        assert_eq!(err.line(), Some(3));
+        assert_eq!(err.column(), Some(17));
+    }
+
+    #[test]
+    fn display_without_position() {
+        let err = XmlError::new(XmlErrorKind::UnknownEntity("nbsp".into()));
+        assert_eq!(err.to_string(), "unknown entity &nbsp;");
+        assert_eq!(err.line(), None);
+    }
+
+    #[test]
+    fn mismatched_tag_message() {
+        let err = XmlError::new(XmlErrorKind::MismatchedTag {
+            expected: "a".into(),
+            found: "b".into(),
+        });
+        assert_eq!(
+            err.to_string(),
+            "mismatched end tag: expected </a>, found </b>"
+        );
+    }
+}

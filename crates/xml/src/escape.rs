@@ -1,0 +1,155 @@
+//! Escaping and unescaping of XML character data and attribute values.
+//!
+//! Biological flat files are full of markup-significant characters —
+//! catalytic activity strings such as `peptidylglycine + ascorbate + O(2) =
+//! ...` contain `<`-free but `&`-rich chemistry, and comment lines may carry
+//! arbitrary punctuation — so correct escaping is what keeps the Figure 2 →
+//! Figure 6 conversion lossless.
+
+use std::borrow::Cow;
+
+use crate::error::{XmlError, XmlErrorKind, XmlResult};
+
+/// Escapes `&`, `<` and `>` in element text content.
+///
+/// Returns a borrowed string when no escaping is required, avoiding an
+/// allocation on the (very common) clean path.
+pub fn escape_text(raw: &str) -> Cow<'_, str> {
+    escape(raw, false)
+}
+
+/// Escapes `&`, `<`, `>`, `"` and `'` for use inside a quoted attribute
+/// value.
+pub fn escape_attr(raw: &str) -> Cow<'_, str> {
+    escape(raw, true)
+}
+
+fn escape(raw: &str, attr: bool) -> Cow<'_, str> {
+    let needs = raw
+        .bytes()
+        .any(|b| matches!(b, b'&' | b'<' | b'>') || (attr && matches!(b, b'"' | b'\'')));
+    if !needs {
+        return Cow::Borrowed(raw);
+    }
+    let mut out = String::with_capacity(raw.len() + 8);
+    for c in raw.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if attr => out.push_str("&quot;"),
+            '\'' if attr => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Expands the five predefined entities plus decimal (`&#NN;`) and
+/// hexadecimal (`&#xNN;`) character references.
+///
+/// Unknown named entities are an error: the pipeline never emits them, so
+/// encountering one means the input is not ours to silently mangle.
+pub fn unescape(raw: &str) -> XmlResult<Cow<'_, str>> {
+    if !raw.contains('&') {
+        return Ok(Cow::Borrowed(raw));
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let after = &rest[amp + 1..];
+        let semi = after.find(';').ok_or_else(|| {
+            XmlError::new(XmlErrorKind::Malformed(
+                "unterminated entity reference".into(),
+            ))
+        })?;
+        let entity = &after[..semi];
+        match entity {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                out.push(char_ref(&entity[2..], 16)?);
+            }
+            _ if entity.starts_with('#') => {
+                out.push(char_ref(&entity[1..], 10)?);
+            }
+            other => {
+                return Err(XmlError::new(XmlErrorKind::UnknownEntity(
+                    other.to_string(),
+                )));
+            }
+        }
+        rest = &after[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(Cow::Owned(out))
+}
+
+fn char_ref(digits: &str, radix: u32) -> XmlResult<char> {
+    let code = u32::from_str_radix(digits, radix).map_err(|_| {
+        XmlError::new(XmlErrorKind::Malformed(format!(
+            "invalid character reference digits {digits:?}"
+        )))
+    })?;
+    char::from_u32(code).ok_or_else(|| {
+        XmlError::new(XmlErrorKind::Malformed(format!(
+            "character reference U+{code:X} is not a valid character"
+        )))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_text_borrows() {
+        assert!(matches!(escape_text("Copper"), Cow::Borrowed(_)));
+        assert!(matches!(unescape("Copper").unwrap(), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn escapes_markup_characters() {
+        assert_eq!(escape_text("a < b & c > d"), "a &lt; b &amp; c &gt; d");
+        assert_eq!(
+            escape_attr(r#"say "hi" & 'bye'"#),
+            "say &quot;hi&quot; &amp; &apos;bye&apos;"
+        );
+    }
+
+    #[test]
+    fn text_escape_leaves_quotes_alone() {
+        assert_eq!(escape_text(r#""quoted""#), r#""quoted""#);
+    }
+
+    #[test]
+    fn unescape_round_trips_escape() {
+        let raw = r#"A + B(2) = "gamma" & <delta>'s product"#;
+        assert_eq!(unescape(&escape_attr(raw)).unwrap(), raw);
+        let text = "x < y && z";
+        assert_eq!(unescape(&escape_text(text)).unwrap(), text);
+    }
+
+    #[test]
+    fn unescape_character_references() {
+        assert_eq!(unescape("&#65;&#x42;&#X43;").unwrap(), "ABC");
+        assert_eq!(unescape("caf&#233;").unwrap(), "café");
+    }
+
+    #[test]
+    fn unescape_rejects_unknown_entity() {
+        let err = unescape("&nbsp;").unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::UnknownEntity(name) if name == "nbsp"));
+    }
+
+    #[test]
+    fn unescape_rejects_unterminated_and_bad_refs() {
+        assert!(unescape("tail &amp").is_err());
+        assert!(unescape("&#zz;").is_err());
+        assert!(unescape("&#x110000;").is_err()); // beyond Unicode range
+    }
+}

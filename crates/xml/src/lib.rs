@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+
+//! # xomatiq-xml
+//!
+//! XML infrastructure for the XomatiQ reproduction, written from scratch.
+//!
+//! The paper's Data Hounds component converts biological flat files into XML
+//! documents that are valid with respect to a per-source DTD (paper §2.1,
+//! Figures 5–6), and the whole pipeline — shredding, querying, re-tagging —
+//! operates on those documents. This crate provides everything the rest of
+//! the workspace needs to *be* an "all-XML" system:
+//!
+//! * [`Document`] — an arena-backed, ordered document tree with stable node
+//!   ids and cheap navigation ([`document`]).
+//! * [`parse`] / [`Parser`] — a non-validating XML 1.0 parser covering the
+//!   subset the pipeline produces (elements, attributes, text, comments,
+//!   processing instructions, character/entity references, CDATA)
+//!   ([`parser`]).
+//! * [`writer`] — compact and pretty serializers that round-trip documents.
+//! * [`dtd`] — a DTD model, parser and validator (element content models,
+//!   attribute lists with types and defaults).
+//! * [`path`] — slash-separated label paths with `//` descendant steps and
+//!   attribute addressing, the addressing scheme used by the shredder and by
+//!   XQ2SQL translation.
+//!
+//! Document order is a first-class concept throughout: the paper stores
+//! order as a data value so that documents can be reconstructed from tuples
+//! and order-based XQuery operators keep their semantics (§2.2). Node ids in
+//! this crate enumerate nodes in document order, and [`Document::ordinal`]
+//! exposes the per-parent ordinal the shredder persists.
+//!
+//! ```
+//! use xomatiq_xml::{parse, to_string, dtd};
+//!
+//! let doc = parse("<hlx_enzyme><db_entry><enzyme_id>1.14.17.3</enzyme_id></db_entry></hlx_enzyme>")?;
+//! let root = doc.root_element().unwrap();
+//! let entry = doc.child_element(root, "db_entry").unwrap();
+//! assert_eq!(doc.text_content(entry), "1.14.17.3");
+//!
+//! let schema = dtd::parse_dtd(
+//!     "<!ELEMENT hlx_enzyme (db_entry)>\n<!ELEMENT db_entry (enzyme_id)>\n<!ELEMENT enzyme_id (#PCDATA)>",
+//! )?;
+//! dtd::validate(&doc, &schema)?;
+//! assert!(to_string(&doc).contains("<enzyme_id>"));
+//! # Ok::<(), xomatiq_xml::XmlError>(())
+//! ```
+
+pub mod document;
+pub mod dtd;
+pub mod error;
+pub mod escape;
+pub mod name;
+pub mod parser;
+pub mod path;
+pub mod writer;
+
+pub use document::{Attribute, Document, Node, NodeId, NodeKind};
+pub use error::{XmlError, XmlResult};
+pub use parser::{parse, Parser};
+pub use path::{LabelPath, PathStep};
+pub use writer::{to_string, to_string_pretty, WriteOptions};

@@ -1,0 +1,121 @@
+//! XML name validation.
+//!
+//! Element and attribute names produced by the Data Hounds transformers are
+//! derived from flat-file line codes and field labels, so they must be
+//! checked against the XML 1.0 `Name` production before a document is built.
+//! We implement the commonly-used ASCII-plus-letters subset of the spec: a
+//! name starts with a letter, `_` or `:`, and continues with letters,
+//! digits, `.`, `-`, `_` or `:`. Non-ASCII alphabetic characters are
+//! accepted as letters, which covers every name the pipeline generates.
+
+/// Returns `true` if `c` may start an XML name.
+pub fn is_name_start_char(c: char) -> bool {
+    c.is_alphabetic() || c == '_' || c == ':'
+}
+
+/// Returns `true` if `c` may appear after the first character of an XML name.
+pub fn is_name_char(c: char) -> bool {
+    is_name_start_char(c) || c.is_ascii_digit() || c == '.' || c == '-'
+}
+
+/// Returns `true` if `s` is a valid XML `Name`.
+pub fn is_valid_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if is_name_start_char(c) => {}
+        _ => return false,
+    }
+    chars.all(is_name_char)
+}
+
+/// Returns `true` if `s` is a valid XML `Nmtoken` (one or more name chars).
+pub fn is_valid_nmtoken(s: &str) -> bool {
+    !s.is_empty() && s.chars().all(is_name_char)
+}
+
+/// Converts an arbitrary label (for example a flat-file field name such as
+/// `"prosite accession number"`) into a valid XML name by lowercasing ASCII
+/// letters and replacing runs of invalid characters with single underscores.
+/// An empty or all-invalid input becomes `"field"`; a leading character that
+/// cannot start a name is prefixed with `_`.
+pub fn sanitize_name(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    let mut last_was_sep = false;
+    for c in label.chars() {
+        let c = c.to_ascii_lowercase();
+        if is_name_char(c) && c != ':' {
+            out.push(c);
+            last_was_sep = false;
+        } else if !last_was_sep && !out.is_empty() {
+            out.push('_');
+            last_was_sep = true;
+        }
+    }
+    while out.ends_with('_') {
+        out.pop();
+    }
+    if out.is_empty() {
+        return "field".to_string();
+    }
+    if !is_name_start_char(out.chars().next().expect("non-empty")) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_typical_names() {
+        for name in [
+            "db_entry",
+            "enzyme_id",
+            "hlx_enzyme",
+            "a",
+            "_x",
+            "ns:tag",
+            "x.y-z2",
+        ] {
+            assert!(is_valid_name(name), "{name} should be valid");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_names() {
+        for name in ["", "1abc", "-x", ".y", "a b", "a&b", "<tag>"] {
+            assert!(!is_valid_name(name), "{name} should be invalid");
+        }
+    }
+
+    #[test]
+    fn nmtoken_allows_leading_digit() {
+        assert!(is_valid_nmtoken("1.14.17.3"));
+        assert!(is_valid_nmtoken("PDOC00080"));
+        assert!(!is_valid_nmtoken(""));
+        assert!(!is_valid_nmtoken("a b"));
+    }
+
+    #[test]
+    fn sanitize_flat_file_labels() {
+        assert_eq!(
+            sanitize_name("prosite accession number"),
+            "prosite_accession_number"
+        );
+        assert_eq!(sanitize_name("Catalytic activity"), "catalytic_activity");
+        assert_eq!(sanitize_name("EC number"), "ec_number");
+        assert_eq!(sanitize_name("123"), "_123");
+        assert_eq!(sanitize_name("***"), "field");
+        assert_eq!(sanitize_name("trailing  sep!!"), "trailing_sep");
+    }
+
+    #[test]
+    fn sanitize_is_idempotent() {
+        for label in ["prosite accession number", "EC number", "abc", "A--B"] {
+            let once = sanitize_name(label);
+            assert_eq!(sanitize_name(&once), once);
+            assert!(is_valid_name(&once));
+        }
+    }
+}

@@ -1,0 +1,537 @@
+//! A non-validating XML 1.0 parser.
+//!
+//! The parser is a hand-written single-pass scanner that builds a
+//! [`Document`] directly. It handles the constructs the Data Hounds
+//! pipeline emits and the ones found in third-party XML databanks the paper
+//! mentions (INTERPRO-style documents): the XML declaration, an optional
+//! `<!DOCTYPE ...>` (skipped here; DTDs are parsed by [`crate::dtd`]),
+//! elements, attributes, character data with entity and character
+//! references, CDATA sections, comments, and processing instructions.
+//!
+//! Whitespace-only text between elements is dropped by default — the
+//! pipeline's pretty-printed documents would otherwise be polluted with
+//! indentation nodes and shredding would store meaningless tuples. Set
+//! [`ParseOptions::keep_whitespace`] to retain it.
+
+use crate::document::{Document, NodeId};
+use crate::error::{XmlError, XmlErrorKind, XmlResult};
+use crate::escape::unescape;
+use crate::name::{is_name_char, is_name_start_char};
+
+/// Options controlling parsing behaviour.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParseOptions {
+    /// Keep whitespace-only text nodes between elements (default: false).
+    pub keep_whitespace: bool,
+}
+
+/// Parses `input` into a [`Document`] with default options.
+pub fn parse(input: &str) -> XmlResult<Document> {
+    Parser::new(input).parse()
+}
+
+/// A single-use XML parser over a string slice.
+pub struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    line_start: usize,
+    options: ParseOptions,
+}
+
+impl<'a> Parser<'a> {
+    /// Creates a parser over `input` with default options.
+    pub fn new(input: &'a str) -> Self {
+        Parser::with_options(input, ParseOptions::default())
+    }
+
+    /// Creates a parser over `input` with explicit options.
+    pub fn with_options(input: &'a str, options: ParseOptions) -> Self {
+        Parser {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+            line: 1,
+            line_start: 0,
+            options,
+        }
+    }
+
+    /// Runs the parser to completion.
+    pub fn parse(mut self) -> XmlResult<Document> {
+        let mut doc = Document::new();
+        // open element stack
+        let mut stack: Vec<NodeId> = vec![NodeId::DOCUMENT];
+        let mut seen_root = false;
+
+        self.skip_ws();
+        while self.pos < self.bytes.len() {
+            if self.peek() == b'<' {
+                match self.bytes.get(self.pos + 1) {
+                    Some(b'?') => self.parse_pi_or_decl(&mut doc, *stack.last().expect("stack"))?,
+                    Some(b'!') => {
+                        if self.starts_with("<!--") {
+                            self.parse_comment(&mut doc, *stack.last().expect("stack"))?;
+                        } else if self.starts_with("<![CDATA[") {
+                            let parent = *stack.last().expect("stack");
+                            if parent == NodeId::DOCUMENT {
+                                return Err(self.err(XmlErrorKind::Malformed(
+                                    "CDATA outside of root element".into(),
+                                )));
+                            }
+                            self.parse_cdata(&mut doc, parent)?;
+                        } else if self.starts_with("<!DOCTYPE") {
+                            self.skip_doctype()?;
+                        } else {
+                            return Err(self.err(XmlErrorKind::Malformed(
+                                "unrecognized markup declaration".into(),
+                            )));
+                        }
+                    }
+                    Some(b'/') => {
+                        let name = self.parse_end_tag()?;
+                        let open = stack
+                            .pop()
+                            .filter(|id| *id != NodeId::DOCUMENT)
+                            .ok_or_else(|| {
+                                self.err(XmlErrorKind::Malformed(format!(
+                                    "end tag </{name}> with no open element"
+                                )))
+                            })?;
+                        let open_name = doc.node(open).name().unwrap_or("");
+                        if open_name != name {
+                            return Err(self.err(XmlErrorKind::MismatchedTag {
+                                expected: open_name.to_string(),
+                                found: name,
+                            }));
+                        }
+                    }
+                    Some(_) => {
+                        let parent = *stack.last().expect("stack");
+                        if parent == NodeId::DOCUMENT && seen_root {
+                            return Err(
+                                self.err(XmlErrorKind::Malformed("multiple root elements".into()))
+                            );
+                        }
+                        let (id, self_closing) = self.parse_start_tag(&mut doc, parent)?;
+                        if parent == NodeId::DOCUMENT {
+                            seen_root = true;
+                        }
+                        if !self_closing {
+                            stack.push(id);
+                        }
+                    }
+                    None => {
+                        return Err(self.err(XmlErrorKind::UnexpectedEof("tag".into())));
+                    }
+                }
+            } else {
+                let parent = *stack.last().expect("stack");
+                self.parse_text(&mut doc, parent)?;
+            }
+            if stack.len() == 1 {
+                // Between root-level constructs: skip inter-markup whitespace.
+                self.skip_ws();
+            }
+        }
+
+        if stack.len() > 1 {
+            let open = doc
+                .node(*stack.last().expect("stack"))
+                .name()
+                .unwrap_or("?")
+                .to_string();
+            return Err(self.err(XmlErrorKind::UnexpectedEof(format!("element <{open}>"))));
+        }
+        if !seen_root {
+            return Err(self.err(XmlErrorKind::Malformed(
+                "document has no root element".into(),
+            )));
+        }
+        Ok(doc)
+    }
+
+    // ---- scanning helpers -------------------------------------------------
+
+    fn peek(&self) -> u8 {
+        self.bytes[self.pos]
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    fn advance(&mut self, n: usize) {
+        for i in self.pos..(self.pos + n).min(self.bytes.len()) {
+            if self.bytes[i] == b'\n' {
+                self.line += 1;
+                self.line_start = i + 1;
+            }
+        }
+        self.pos += n;
+    }
+
+    fn column(&self) -> u32 {
+        (self.pos - self.line_start) as u32 + 1
+    }
+
+    fn err(&self, kind: XmlErrorKind) -> XmlError {
+        XmlError::at(kind, self.line, self.column())
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.advance(1);
+        }
+    }
+
+    fn expect(&mut self, s: &str, what: &str) -> XmlResult<()> {
+        if self.starts_with(s) {
+            self.advance(s.len());
+            Ok(())
+        } else if self.pos >= self.bytes.len() {
+            Err(self.err(XmlErrorKind::UnexpectedEof(what.to_string())))
+        } else {
+            Err(self.err(XmlErrorKind::Malformed(format!("expected {s:?} in {what}"))))
+        }
+    }
+
+    fn parse_name(&mut self) -> XmlResult<&'a str> {
+        let start = self.pos;
+        let mut chars = self.input[self.pos..].chars();
+        match chars.next() {
+            Some(c) if is_name_start_char(c) => self.advance(c.len_utf8()),
+            _ => return Err(self.err(XmlErrorKind::Malformed("expected a name".into()))),
+        }
+        for c in chars {
+            if is_name_char(c) {
+                self.advance(c.len_utf8());
+            } else {
+                break;
+            }
+        }
+        Ok(&self.input[start..self.pos])
+    }
+
+    fn scan_until(&mut self, terminator: &str, what: &str) -> XmlResult<&'a str> {
+        match self.input[self.pos..].find(terminator) {
+            Some(offset) => {
+                let s = &self.input[self.pos..self.pos + offset];
+                self.advance(offset + terminator.len());
+                Ok(s)
+            }
+            None => Err(self.err(XmlErrorKind::UnexpectedEof(what.to_string()))),
+        }
+    }
+
+    // ---- construct parsers ------------------------------------------------
+
+    fn parse_pi_or_decl(&mut self, doc: &mut Document, parent: NodeId) -> XmlResult<()> {
+        self.expect("<?", "processing instruction")?;
+        let target = self.parse_name()?.to_string();
+        self.skip_ws();
+        let data = self.scan_until("?>", "processing instruction")?;
+        if target.eq_ignore_ascii_case("xml") {
+            // XML declaration: validated lightly and not stored in the tree.
+            return Ok(());
+        }
+        doc.append_pi(parent, &target, data.trim_end())?;
+        Ok(())
+    }
+
+    fn parse_comment(&mut self, doc: &mut Document, parent: NodeId) -> XmlResult<()> {
+        self.expect("<!--", "comment")?;
+        let text = self.scan_until("-->", "comment")?;
+        if text.contains("--") {
+            return Err(self.err(XmlErrorKind::Malformed("'--' inside comment".into())));
+        }
+        doc.append_comment(parent, text);
+        Ok(())
+    }
+
+    fn parse_cdata(&mut self, doc: &mut Document, parent: NodeId) -> XmlResult<()> {
+        self.expect("<![CDATA[", "CDATA section")?;
+        let text = self.scan_until("]]>", "CDATA section")?.to_string();
+        doc.append_text(parent, &text);
+        Ok(())
+    }
+
+    fn skip_doctype(&mut self) -> XmlResult<()> {
+        self.expect("<!DOCTYPE", "DOCTYPE")?;
+        // Skip to the matching '>' accounting for an optional internal
+        // subset delimited by brackets.
+        let mut depth = 0usize;
+        while self.pos < self.bytes.len() {
+            match self.peek() {
+                b'[' => {
+                    depth += 1;
+                    self.advance(1);
+                }
+                b']' => {
+                    depth = depth.saturating_sub(1);
+                    self.advance(1);
+                }
+                b'>' if depth == 0 => {
+                    self.advance(1);
+                    return Ok(());
+                }
+                _ => self.advance(1),
+            }
+        }
+        Err(self.err(XmlErrorKind::UnexpectedEof("DOCTYPE".into())))
+    }
+
+    fn parse_start_tag(&mut self, doc: &mut Document, parent: NodeId) -> XmlResult<(NodeId, bool)> {
+        self.expect("<", "start tag")?;
+        let name = self.parse_name()?.to_string();
+        let id = doc.append_element(parent, &name)?;
+        loop {
+            self.skip_ws();
+            if self.pos >= self.bytes.len() {
+                return Err(self.err(XmlErrorKind::UnexpectedEof(format!("start tag <{name}>"))));
+            }
+            match self.peek() {
+                b'>' => {
+                    self.advance(1);
+                    return Ok((id, false));
+                }
+                b'/' => {
+                    self.expect("/>", "empty-element tag")?;
+                    return Ok((id, true));
+                }
+                _ => {
+                    let attr_name = self.parse_name()?.to_string();
+                    if doc.node(id).attribute(&attr_name).is_some() {
+                        return Err(self.err(XmlErrorKind::DuplicateAttribute(attr_name)));
+                    }
+                    self.skip_ws();
+                    self.expect("=", "attribute")?;
+                    self.skip_ws();
+                    let quote = match self.bytes.get(self.pos) {
+                        Some(q @ (b'"' | b'\'')) => *q as char,
+                        _ => {
+                            return Err(self.err(XmlErrorKind::Malformed(
+                                "attribute value must be quoted".into(),
+                            )))
+                        }
+                    };
+                    self.advance(1);
+                    let raw =
+                        self.scan_until(if quote == '"' { "\"" } else { "'" }, "attribute value")?;
+                    if raw.contains('<') {
+                        return Err(
+                            self.err(XmlErrorKind::Malformed("'<' in attribute value".into()))
+                        );
+                    }
+                    let value = unescape(raw)?;
+                    doc.set_attribute(id, &attr_name, &value)?;
+                }
+            }
+        }
+    }
+
+    fn parse_end_tag(&mut self) -> XmlResult<String> {
+        self.expect("</", "end tag")?;
+        let name = self.parse_name()?.to_string();
+        self.skip_ws();
+        self.expect(">", "end tag")?;
+        Ok(name)
+    }
+
+    fn parse_text(&mut self, doc: &mut Document, parent: NodeId) -> XmlResult<()> {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.peek() != b'<' {
+            self.advance(1);
+        }
+        let raw = &self.input[start..self.pos];
+        if raw.contains(']') && raw.contains("]]>") {
+            return Err(self.err(XmlErrorKind::Malformed("']]>' in character data".into())));
+        }
+        if parent == NodeId::DOCUMENT {
+            if raw.trim().is_empty() {
+                return Ok(());
+            }
+            return Err(self.err(XmlErrorKind::Malformed("text outside root element".into())));
+        }
+        if !self.options.keep_whitespace && raw.trim().is_empty() {
+            return Ok(());
+        }
+        let text = unescape(raw)?;
+        doc.append_text(parent, &text);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::NodeKind;
+
+    #[test]
+    fn parses_minimal_document() {
+        let doc = parse("<a/>").unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.node(root).name(), Some("a"));
+        assert_eq!(doc.children(root).count(), 0);
+    }
+
+    #[test]
+    fn parses_declaration_and_nested_elements() {
+        let doc = parse(
+            r#"<?xml version="1.0" encoding="UTF-8"?>
+            <hlx_enzyme>
+              <db_entry>
+                <enzyme_id>1.14.17.3</enzyme_id>
+              </db_entry>
+            </hlx_enzyme>"#,
+        )
+        .unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.node(root).name(), Some("hlx_enzyme"));
+        let entry = doc.child_element(root, "db_entry").unwrap();
+        let id = doc.child_element(entry, "enzyme_id").unwrap();
+        assert_eq!(doc.text_content(id), "1.14.17.3");
+    }
+
+    #[test]
+    fn parses_attributes_with_references() {
+        let doc = parse(r#"<r><ref name="AMD BOVIN" num='P10731' note="a &amp; b"/></r>"#).unwrap();
+        let root = doc.root_element().unwrap();
+        let r = doc.child_element(root, "ref").unwrap();
+        assert_eq!(doc.node(r).attribute("name"), Some("AMD BOVIN"));
+        assert_eq!(doc.node(r).attribute("num"), Some("P10731"));
+        assert_eq!(doc.node(r).attribute("note"), Some("a & b"));
+    }
+
+    #[test]
+    fn whitespace_only_text_dropped_by_default() {
+        let doc = parse("<a>\n  <b/>\n</a>").unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.children(root).count(), 1);
+    }
+
+    #[test]
+    fn keep_whitespace_option_retains_text_nodes() {
+        let doc = Parser::with_options(
+            "<a>\n  <b/>\n</a>",
+            ParseOptions {
+                keep_whitespace: true,
+            },
+        )
+        .parse()
+        .unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.children(root).count(), 3);
+    }
+
+    #[test]
+    fn mixed_content_preserved_in_order() {
+        let doc = parse("<p>alpha <em>beta</em> gamma</p>").unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.text_content(root), "alpha beta gamma");
+        let kinds: Vec<bool> = doc
+            .children(root)
+            .map(|c| doc.node(c).is_element())
+            .collect();
+        assert_eq!(kinds, vec![false, true, false]);
+    }
+
+    #[test]
+    fn entity_and_char_refs_in_text() {
+        let doc = parse("<t>A &amp; B &lt; C &#65;</t>").unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.text_content(root), "A & B < C A");
+    }
+
+    #[test]
+    fn cdata_is_literal() {
+        let doc = parse("<t><![CDATA[a < b & <c>]]></t>").unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.text_content(root), "a < b & <c>");
+    }
+
+    #[test]
+    fn comments_and_pis_preserved() {
+        let doc = parse("<r><!-- note --><?app do-thing?></r>").unwrap();
+        let root = doc.root_element().unwrap();
+        let kids: Vec<NodeId> = doc.children(root).collect();
+        assert_eq!(kids.len(), 2);
+        assert!(matches!(doc.node(kids[0]).kind(), NodeKind::Comment(c) if c == " note "));
+        assert!(matches!(
+            doc.node(kids[1]).kind(),
+            NodeKind::ProcessingInstruction { target, data } if target == "app" && data == "do-thing"
+        ));
+    }
+
+    #[test]
+    fn doctype_is_skipped() {
+        let doc = parse(
+            r#"<!DOCTYPE hlx_enzyme [ <!ELEMENT hlx_enzyme (#PCDATA)> ]><hlx_enzyme>x</hlx_enzyme>"#,
+        )
+        .unwrap();
+        assert_eq!(doc.text_content(doc.root_element().unwrap()), "x");
+    }
+
+    #[test]
+    fn error_on_mismatched_tags() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(
+            matches!(err.kind(), XmlErrorKind::MismatchedTag { expected, found }
+            if expected == "b" && found == "a")
+        );
+    }
+
+    #[test]
+    fn error_on_unclosed_element_reports_position() {
+        let err = parse("<a>\n<b>").unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::UnexpectedEof(_)));
+        assert_eq!(err.line(), Some(2));
+    }
+
+    #[test]
+    fn error_on_multiple_roots() {
+        assert!(parse("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn error_on_no_root() {
+        assert!(parse("  <!-- only a comment -->  ").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn error_on_duplicate_attribute() {
+        let err = parse(r#"<a x="1" x="2"/>"#).unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::DuplicateAttribute(n) if n == "x"));
+    }
+
+    #[test]
+    fn error_on_text_outside_root() {
+        assert!(parse("stray<a/>").is_err());
+    }
+
+    #[test]
+    fn error_on_unquoted_attribute() {
+        assert!(parse("<a x=1/>").is_err());
+    }
+
+    #[test]
+    fn error_on_lt_in_attribute_value() {
+        assert!(parse(r#"<a x="<"/>"#).is_err());
+    }
+
+    #[test]
+    fn error_on_double_hyphen_in_comment() {
+        assert!(parse("<a><!-- x -- y --></a>").is_err());
+    }
+
+    #[test]
+    fn unicode_content_and_names() {
+        let doc = parse("<énzyme idé=\"α\">βγδ</énzyme>").unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.node(root).name(), Some("énzyme"));
+        assert_eq!(doc.node(root).attribute("idé"), Some("α"));
+        assert_eq!(doc.text_content(root), "βγδ");
+    }
+}

@@ -1,0 +1,382 @@
+//! Label paths — the addressing scheme shared by the shredder, the query
+//! translator and the visual query builder.
+//!
+//! A label path is the sequence of element names from the document root to a
+//! node, written `/hlx_enzyme/db_entry/enzyme_id`. The paper's query
+//! language lets users address elements at any nesting level ("searches on
+//! attributes at any level", §4) via `//` descendant steps, and address
+//! attributes with `@name`; both appear in the Figure 11 join query
+//! (`$a//qualifier[@qualifier_type = "EC number"]`).
+//!
+//! [`LabelPath`] models such a pattern and can match it against concrete
+//! root-to-node label sequences. Matching is the core primitive XQ2SQL uses
+//! to expand a path pattern into the set of stored label paths it denotes.
+
+use std::fmt;
+
+use crate::error::{XmlError, XmlErrorKind, XmlResult};
+use crate::name::is_valid_name;
+
+/// One step of a [`LabelPath`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PathStep {
+    /// `/name` — a direct child with this element name.
+    Child(String),
+    /// `//name` — a descendant at any depth with this element name.
+    Descendant(String),
+    /// `/*` — a direct child with any name.
+    AnyChild,
+    /// `//*` — any descendant.
+    AnyDescendant,
+}
+
+impl PathStep {
+    fn label(&self) -> Option<&str> {
+        match self {
+            PathStep::Child(n) | PathStep::Descendant(n) => Some(n),
+            PathStep::AnyChild | PathStep::AnyDescendant => None,
+        }
+    }
+
+    fn is_descendant(&self) -> bool {
+        matches!(self, PathStep::Descendant(_) | PathStep::AnyDescendant)
+    }
+}
+
+/// A parsed label-path pattern, optionally ending in an attribute step.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LabelPath {
+    steps: Vec<PathStep>,
+    /// Trailing `/@attr` step, if any.
+    attribute: Option<String>,
+    /// Whether the pattern is anchored at the document root (starts with a
+    /// single `/`). Unanchored patterns (starting with `//` or a bare name)
+    /// may begin matching at any depth.
+    rooted: bool,
+}
+
+impl LabelPath {
+    /// Parses a path pattern such as `/a/b//c/@id` or `//qualifier`.
+    pub fn parse(input: &str) -> XmlResult<Self> {
+        let input = input.trim();
+        if input.is_empty() {
+            return Err(XmlError::new(XmlErrorKind::Path("empty path".into())));
+        }
+        let mut steps = Vec::new();
+        let mut attribute = None;
+        let mut rest = input;
+        let rooted = rest.starts_with('/') && !rest.starts_with("//");
+        let mut first = true;
+        while !rest.is_empty() {
+            let descendant = if rest.starts_with("//") {
+                rest = &rest[2..];
+                true
+            } else if rest.starts_with('/') {
+                rest = &rest[1..];
+                false
+            } else if first {
+                // A bare leading name is an unanchored child step.
+                false
+            } else {
+                return Err(XmlError::new(XmlErrorKind::Path(format!(
+                    "expected '/' before {rest:?}"
+                ))));
+            };
+            first = false;
+            if rest.is_empty() {
+                return Err(XmlError::new(XmlErrorKind::Path(
+                    "path ends with a separator".into(),
+                )));
+            }
+            let end = rest.find('/').unwrap_or(rest.len());
+            let token = &rest[..end];
+            rest = &rest[end..];
+            if let Some(attr) = token.strip_prefix('@') {
+                if !is_valid_name(attr) {
+                    return Err(XmlError::new(XmlErrorKind::Path(format!(
+                        "invalid attribute name {attr:?}"
+                    ))));
+                }
+                if !rest.is_empty() {
+                    return Err(XmlError::new(XmlErrorKind::Path(
+                        "attribute step must be last".into(),
+                    )));
+                }
+                if descendant {
+                    return Err(XmlError::new(XmlErrorKind::Path(
+                        "attribute step cannot follow '//'".into(),
+                    )));
+                }
+                attribute = Some(attr.to_string());
+            } else if token == "*" {
+                steps.push(if descendant {
+                    PathStep::AnyDescendant
+                } else {
+                    PathStep::AnyChild
+                });
+            } else if is_valid_name(token) {
+                steps.push(if descendant {
+                    PathStep::Descendant(token.to_string())
+                } else {
+                    PathStep::Child(token.to_string())
+                });
+            } else {
+                return Err(XmlError::new(XmlErrorKind::Path(format!(
+                    "invalid step {token:?}"
+                ))));
+            }
+        }
+        if steps.is_empty() && attribute.is_none() {
+            return Err(XmlError::new(XmlErrorKind::Path("no steps".into())));
+        }
+        Ok(LabelPath {
+            steps,
+            attribute,
+            rooted,
+        })
+    }
+
+    /// Builds a rooted path from exact child labels (no wildcards).
+    pub fn from_labels<I, S>(labels: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        LabelPath {
+            steps: labels
+                .into_iter()
+                .map(|l| PathStep::Child(l.into()))
+                .collect(),
+            attribute: None,
+            rooted: true,
+        }
+    }
+
+    /// The element steps.
+    pub fn steps(&self) -> &[PathStep] {
+        &self.steps
+    }
+
+    /// The trailing attribute name, if the pattern addresses an attribute.
+    pub fn attribute(&self) -> Option<&str> {
+        self.attribute.as_deref()
+    }
+
+    /// Whether the pattern is anchored at the root.
+    pub fn is_rooted(&self) -> bool {
+        self.rooted
+    }
+
+    /// The final element label, if the last step names one.
+    pub fn leaf_label(&self) -> Option<&str> {
+        self.steps.last().and_then(|s| s.label())
+    }
+
+    /// Returns a copy of this path extended with `suffix` (the suffix's
+    /// steps become relative to this path's end).
+    pub fn join(&self, suffix: &LabelPath) -> LabelPath {
+        let mut steps = self.steps.clone();
+        steps.extend(suffix.steps.iter().cloned());
+        LabelPath {
+            steps,
+            attribute: suffix.attribute.clone(),
+            rooted: self.rooted,
+        }
+    }
+
+    /// Matches this pattern against a concrete root-to-node label sequence.
+    ///
+    /// `labels` must be the full chain of element names from the document
+    /// root (inclusive) down to the candidate element (inclusive). For
+    /// rooted patterns the match must start at `labels[0]`; unanchored
+    /// patterns may start anywhere. The match must consume the entire
+    /// sequence (the candidate is the last pattern step).
+    pub fn matches(&self, labels: &[&str]) -> bool {
+        fn match_from(steps: &[PathStep], labels: &[&str]) -> bool {
+            let Some(step) = steps.first() else {
+                return labels.is_empty();
+            };
+            if step.is_descendant() {
+                // Try every depth at which this descendant step could bind.
+                for i in 0..labels.len() {
+                    let ok = match step.label() {
+                        Some(want) => labels[i] == want,
+                        None => true,
+                    };
+                    if ok && match_from(&steps[1..], &labels[i + 1..]) {
+                        return true;
+                    }
+                }
+                false
+            } else {
+                let Some(first) = labels.first() else {
+                    return false;
+                };
+                let ok = match step.label() {
+                    Some(want) => *first == want,
+                    None => true,
+                };
+                ok && match_from(&steps[1..], &labels[1..])
+            }
+        }
+        if self.rooted {
+            match_from(&self.steps, labels)
+        } else {
+            // Unanchored: the first step behaves as a descendant step.
+            let mut steps = self.steps.clone();
+            if let Some(first) = steps.first_mut() {
+                *first = match first.clone() {
+                    PathStep::Child(n) | PathStep::Descendant(n) => PathStep::Descendant(n),
+                    PathStep::AnyChild | PathStep::AnyDescendant => PathStep::AnyDescendant,
+                };
+            }
+            match_from(&steps, labels)
+        }
+    }
+
+    /// Convenience: match against a slash-separated concrete path such as
+    /// the output of [`crate::Document::label_path`].
+    pub fn matches_path(&self, concrete: &str) -> bool {
+        let labels: Vec<&str> = concrete.split('/').filter(|s| !s.is_empty()).collect();
+        self.matches(&labels)
+    }
+}
+
+impl fmt::Display for LabelPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, step) in self.steps.iter().enumerate() {
+            let sep = if step.is_descendant() {
+                "//"
+            } else if i == 0 && !self.rooted {
+                ""
+            } else {
+                "/"
+            };
+            f.write_str(sep)?;
+            f.write_str(step.label().unwrap_or("*"))?;
+        }
+        if let Some(attr) = &self.attribute {
+            write!(f, "/@{attr}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_rooted_path() {
+        let p = LabelPath::parse("/hlx_enzyme/db_entry/enzyme_id").unwrap();
+        assert!(p.is_rooted());
+        assert_eq!(p.steps().len(), 3);
+        assert_eq!(p.leaf_label(), Some("enzyme_id"));
+        assert_eq!(p.to_string(), "/hlx_enzyme/db_entry/enzyme_id");
+    }
+
+    #[test]
+    fn parses_descendant_and_attribute() {
+        let p = LabelPath::parse("//qualifier/@qualifier_type").unwrap();
+        assert!(!p.is_rooted());
+        assert_eq!(p.attribute(), Some("qualifier_type"));
+        assert_eq!(p.to_string(), "//qualifier/@qualifier_type");
+    }
+
+    #[test]
+    fn parses_wildcards() {
+        let p = LabelPath::parse("/a/*//b//*").unwrap();
+        assert_eq!(p.steps().len(), 4);
+        assert_eq!(p.to_string(), "/a/*//b//*");
+    }
+
+    #[test]
+    fn rejects_malformed_paths() {
+        for bad in ["", "/", "/a/", "a//", "/a/@x/b", "/a/@1bad", "/a b", "//@x"] {
+            assert!(LabelPath::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn rooted_matching() {
+        let p = LabelPath::parse("/a/b/c").unwrap();
+        assert!(p.matches(&["a", "b", "c"]));
+        assert!(!p.matches(&["a", "b"]));
+        assert!(!p.matches(&["a", "b", "c", "d"]));
+        assert!(!p.matches(&["x", "b", "c"]));
+    }
+
+    #[test]
+    fn descendant_matching() {
+        let p = LabelPath::parse("/a//c").unwrap();
+        assert!(p.matches(&["a", "c"]));
+        assert!(p.matches(&["a", "b", "c"]));
+        assert!(p.matches(&["a", "b", "b", "c"]));
+        assert!(!p.matches(&["a", "b", "c", "d"]));
+        assert!(!p.matches(&["c"]));
+    }
+
+    #[test]
+    fn unanchored_matching_starts_anywhere() {
+        let p = LabelPath::parse("//qualifier").unwrap();
+        assert!(p.matches(&["hlx_n_sequence", "db_entry", "feature", "qualifier"]));
+        assert!(p.matches(&["qualifier"]));
+        assert!(!p.matches(&["hlx_n_sequence", "qualifier", "x"]));
+        let bare = LabelPath::parse("db_entry/enzyme_id").unwrap();
+        assert!(bare.matches(&["hlx_enzyme", "db_entry", "enzyme_id"]));
+    }
+
+    #[test]
+    fn wildcard_matching() {
+        let p = LabelPath::parse("/a/*/c").unwrap();
+        assert!(p.matches(&["a", "b", "c"]));
+        assert!(p.matches(&["a", "x", "c"]));
+        assert!(!p.matches(&["a", "c"]));
+        let any = LabelPath::parse("/a//*").unwrap();
+        assert!(any.matches(&["a", "b"]));
+        assert!(any.matches(&["a", "b", "c"]));
+        assert!(!any.matches(&["a"]));
+    }
+
+    #[test]
+    fn backtracking_descendants() {
+        // //b//b needs two distinct b's.
+        let p = LabelPath::parse("//b//b").unwrap();
+        assert!(p.matches(&["a", "b", "x", "b"]));
+        assert!(p.matches(&["b", "b"]));
+        assert!(!p.matches(&["a", "b"]));
+    }
+
+    #[test]
+    fn join_extends_path() {
+        let base = LabelPath::parse("/hlx_enzyme/db_entry").unwrap();
+        let rel = LabelPath::parse("enzyme_id").unwrap();
+        let joined = base.join(&rel);
+        assert_eq!(joined.to_string(), "/hlx_enzyme/db_entry/enzyme_id");
+        assert!(joined.matches(&["hlx_enzyme", "db_entry", "enzyme_id"]));
+    }
+
+    #[test]
+    fn matches_path_string_form() {
+        let p = LabelPath::parse("//enzyme_id").unwrap();
+        assert!(p.matches_path("/hlx_enzyme/db_entry/enzyme_id"));
+        assert!(!p.matches_path("/hlx_enzyme/db_entry/enzyme_description"));
+    }
+
+    #[test]
+    fn from_labels_builder() {
+        let p = LabelPath::from_labels(["hlx_enzyme", "db_entry"]);
+        assert_eq!(p.to_string(), "/hlx_enzyme/db_entry");
+        assert!(p.is_rooted());
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for src in ["/a/b/c", "//x", "/a//b/@id", "a/b", "/a/*/b", "//*"] {
+            let p = LabelPath::parse(src).unwrap();
+            let printed = p.to_string();
+            let reparsed = LabelPath::parse(&printed).unwrap();
+            assert_eq!(p, reparsed, "{src}");
+        }
+    }
+}

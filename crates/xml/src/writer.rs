@@ -1,0 +1,235 @@
+//! XML serialization.
+//!
+//! Two modes: compact (no inserted whitespace — safe for round-tripping and
+//! for hashing document content during update detection) and pretty
+//! (indented, matching the presentation style of Figure 6 in the paper).
+
+use std::fmt::Write as _;
+
+use crate::document::{Document, NodeId, NodeKind};
+use crate::escape::{escape_attr, escape_text};
+
+/// Serialization options.
+#[derive(Debug, Clone)]
+pub struct WriteOptions {
+    /// Emit an `<?xml version="1.0" encoding="UTF-8"?>` declaration.
+    pub declaration: bool,
+    /// Indent nested elements; `None` writes compact output.
+    pub indent: Option<usize>,
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        WriteOptions {
+            declaration: true,
+            indent: None,
+        }
+    }
+}
+
+/// Serializes the document compactly, with an XML declaration.
+pub fn to_string(doc: &Document) -> String {
+    write_document(doc, &WriteOptions::default())
+}
+
+/// Serializes the document with two-space indentation, matching the layout
+/// of the paper's Figure 6.
+pub fn to_string_pretty(doc: &Document) -> String {
+    write_document(
+        doc,
+        &WriteOptions {
+            declaration: true,
+            indent: Some(2),
+        },
+    )
+}
+
+/// Serializes `doc` according to `options`.
+pub fn write_document(doc: &Document, options: &WriteOptions) -> String {
+    let mut out = String::with_capacity(256);
+    if options.declaration {
+        out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+        if options.indent.is_some() {
+            out.push('\n');
+        }
+    }
+    let mut first = true;
+    for child in doc.children(NodeId::DOCUMENT) {
+        if !first && options.indent.is_some() {
+            out.push('\n');
+        }
+        write_node(doc, child, options, 0, &mut out);
+        first = false;
+    }
+    if options.indent.is_some() && !out.ends_with('\n') {
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes the subtree rooted at `id` (without a declaration).
+pub fn write_subtree(doc: &Document, id: NodeId) -> String {
+    let mut out = String::new();
+    write_node(
+        doc,
+        id,
+        &WriteOptions {
+            declaration: false,
+            indent: None,
+        },
+        0,
+        &mut out,
+    );
+    out
+}
+
+fn write_node(doc: &Document, id: NodeId, options: &WriteOptions, depth: usize, out: &mut String) {
+    match doc.node(id).kind() {
+        NodeKind::Document => {
+            for child in doc.children(id) {
+                write_node(doc, child, options, depth, out);
+            }
+        }
+        NodeKind::Element { name, attributes } => {
+            indent(options, depth, out);
+            out.push('<');
+            out.push_str(name);
+            for attr in attributes {
+                let _ = write!(out, " {}=\"{}\"", attr.name, escape_attr(&attr.value));
+            }
+            let mut children = doc.children(id).peekable();
+            if children.peek().is_none() {
+                out.push_str("/>");
+                return;
+            }
+            out.push('>');
+            // An element whose only children are text is written inline even
+            // in pretty mode, so text content round-trips byte-for-byte.
+            let only_text = doc.children(id).all(|c| doc.node(c).is_text());
+            if only_text {
+                for child in children {
+                    if let NodeKind::Text(t) = doc.node(child).kind() {
+                        out.push_str(&escape_text(t));
+                    }
+                }
+            } else {
+                for child in children {
+                    write_node(doc, child, options, depth + 1, out);
+                }
+                indent(options, depth, out);
+            }
+            out.push_str("</");
+            out.push_str(name);
+            out.push('>');
+        }
+        NodeKind::Text(t) => {
+            // Mixed content: never indent around text, it would change the data.
+            out.push_str(&escape_text(t));
+        }
+        NodeKind::Comment(c) => {
+            indent(options, depth, out);
+            let _ = write!(out, "<!--{c}-->");
+        }
+        NodeKind::ProcessingInstruction { target, data } => {
+            indent(options, depth, out);
+            if data.is_empty() {
+                let _ = write!(out, "<?{target}?>");
+            } else {
+                let _ = write!(out, "<?{target} {data}?>");
+            }
+        }
+    }
+}
+
+fn indent(options: &WriteOptions, depth: usize, out: &mut String) {
+    if let Some(width) = options.indent {
+        if !out.is_empty() && !out.ends_with('\n') {
+            out.push('\n');
+        }
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn compact_round_trip() {
+        let src = r#"<?xml version="1.0" encoding="UTF-8"?><hlx_enzyme><db_entry><enzyme_id>1.14.17.3</enzyme_id><prosite_reference prosite_accession_number="PDOC00080"/></db_entry></hlx_enzyme>"#;
+        let doc = parse(src).unwrap();
+        assert_eq!(to_string(&doc), src);
+    }
+
+    #[test]
+    fn escapes_text_and_attributes() {
+        let (mut doc, root) = Document::with_root("r").unwrap();
+        doc.set_attribute(root, "a", "x<y & \"z\"").unwrap();
+        doc.append_text(root, "1 < 2 & 3");
+        let s = to_string(&doc);
+        assert!(s.contains(r#"a="x&lt;y &amp; &quot;z&quot;""#), "{s}");
+        assert!(s.contains("1 &lt; 2 &amp; 3"), "{s}");
+        // And the output reparses to the same content.
+        let doc2 = parse(&s).unwrap();
+        assert!(doc.structurally_equal(&doc2));
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_reparses_equal() {
+        let src = "<a><b><c>x</c></b><d/></a>";
+        let doc = parse(src).unwrap();
+        let pretty = to_string_pretty(&doc);
+        assert!(pretty.contains("\n  <b>"), "{pretty}");
+        assert!(pretty.contains("\n    <c>x</c>"), "{pretty}");
+        let doc2 = parse(&pretty).unwrap();
+        assert!(doc.structurally_equal(&doc2));
+    }
+
+    #[test]
+    fn empty_elements_self_close() {
+        let doc = parse("<a><b></b></a>").unwrap();
+        assert_eq!(
+            to_string(&doc),
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?><a><b/></a>"
+        );
+    }
+
+    #[test]
+    fn mixed_content_round_trip() {
+        let src = "<p>alpha <em>beta</em> gamma</p>";
+        let doc = parse(src).unwrap();
+        let out = write_document(
+            &doc,
+            &WriteOptions {
+                declaration: false,
+                indent: None,
+            },
+        );
+        assert_eq!(out, src);
+    }
+
+    #[test]
+    fn comments_and_pis_serialize() {
+        let src = "<r><!-- note --><?app run?></r>";
+        let doc = parse(src).unwrap();
+        let out = write_document(
+            &doc,
+            &WriteOptions {
+                declaration: false,
+                indent: None,
+            },
+        );
+        assert_eq!(out, src);
+    }
+
+    #[test]
+    fn write_subtree_serializes_single_branch() {
+        let doc = parse("<a><b>x</b><c>y</c></a>").unwrap();
+        let root = doc.root_element().unwrap();
+        let b = doc.child_element(root, "b").unwrap();
+        assert_eq!(write_subtree(&doc, b), "<b>x</b>");
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests: arbitrary documents survive serialize → parse, and
+//! escaping round-trips arbitrary text.
+
+use proptest::prelude::*;
+use xomatiq_xml::document::{Document, NodeId};
+use xomatiq_xml::escape::{escape_attr, escape_text, unescape};
+use xomatiq_xml::parser::parse;
+use xomatiq_xml::writer::{to_string, to_string_pretty};
+
+/// A recipe for building a small random document.
+#[derive(Debug, Clone)]
+enum BuildOp {
+    /// Append a child element (name index into NAMES) and descend into it.
+    Open(usize),
+    /// Close the current element (no-op at the root).
+    Close,
+    /// Append a text child (content index into TEXTS).
+    Text(usize),
+    /// Set an attribute (name index, value index).
+    Attr(usize, usize),
+}
+
+const NAMES: &[&str] = &[
+    "db_entry",
+    "enzyme_id",
+    "cofactor",
+    "comment",
+    "reference",
+    "a1",
+];
+const TEXTS: &[&str] = &[
+    "1.14.17.3",
+    "Copper",
+    "A + B = C & D < E",
+    "  padded  ",
+    "quote\"and'apos",
+    "multi\nline",
+];
+
+fn build(ops: &[BuildOp]) -> Document {
+    let (mut doc, root) = Document::with_root("hlx_root").unwrap();
+    let mut stack = vec![root];
+    for op in ops {
+        let cur = *stack.last().unwrap();
+        match op {
+            BuildOp::Open(n) => {
+                let id = doc.append_element(cur, NAMES[n % NAMES.len()]).unwrap();
+                stack.push(id);
+            }
+            BuildOp::Close => {
+                if stack.len() > 1 {
+                    stack.pop();
+                }
+            }
+            BuildOp::Text(t) => {
+                // Avoid adjacent text nodes: the parser merges them, so a
+                // tree with two consecutive text children cannot round-trip
+                // structurally. Real pipeline documents never produce them.
+                let last_is_text = doc
+                    .children(cur)
+                    .last()
+                    .is_some_and(|c: NodeId| doc.node(c).is_text());
+                if !last_is_text {
+                    doc.append_text(cur, TEXTS[t % TEXTS.len()]);
+                }
+            }
+            BuildOp::Attr(n, v) => {
+                doc.set_attribute(cur, NAMES[n % NAMES.len()], TEXTS[v % TEXTS.len()])
+                    .unwrap();
+            }
+        }
+    }
+    doc
+}
+
+fn op_strategy() -> impl Strategy<Value = BuildOp> {
+    prop_oneof![
+        (0..NAMES.len()).prop_map(BuildOp::Open),
+        Just(BuildOp::Close),
+        (0..TEXTS.len()).prop_map(BuildOp::Text),
+        ((0..NAMES.len()), (0..TEXTS.len())).prop_map(|(n, v)| BuildOp::Attr(n, v)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn compact_serialization_round_trips(ops in prop::collection::vec(op_strategy(), 0..60)) {
+        let doc = build(&ops);
+        let serialized = to_string(&doc);
+        let reparsed = parse(&serialized).expect("serialized output must reparse");
+        prop_assert!(doc.structurally_equal(&reparsed),
+            "round-trip mismatch for {serialized}");
+    }
+
+    #[test]
+    fn pretty_serialization_preserves_text_content(ops in prop::collection::vec(op_strategy(), 0..60)) {
+        let doc = build(&ops);
+        let pretty = to_string_pretty(&doc);
+        let reparsed = parse(&pretty).expect("pretty output must reparse");
+        // Pretty printing may insert whitespace between elements but must
+        // never alter the text inside text-only elements.
+        let root_a = doc.root_element().unwrap();
+        let root_b = reparsed.root_element().unwrap();
+        prop_assert_eq!(
+            doc.descendants(root_a).filter(|n| doc.node(*n).is_element()).count(),
+            reparsed.descendants(root_b).filter(|n| reparsed.node(*n).is_element()).count()
+        );
+    }
+
+    #[test]
+    fn escape_unescape_text_identity(s in "\\PC*") {
+        let escaped = escape_text(&s);
+        let unescaped = unescape(&escaped).unwrap();
+        prop_assert_eq!(unescaped.as_ref(), s.as_str());
+    }
+
+    #[test]
+    fn escape_unescape_attr_identity(s in "\\PC*") {
+        let escaped = escape_attr(&s);
+        let unescaped = unescape(&escaped).unwrap();
+        prop_assert_eq!(unescaped.as_ref(), s.as_str());
+    }
+
+    #[test]
+    fn node_ids_are_document_ordered(ops in prop::collection::vec(op_strategy(), 0..60)) {
+        let doc = build(&ops);
+        let root = doc.root_element().unwrap();
+        let ids: Vec<_> = doc.descendants(root).collect();
+        for w in ids.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+}

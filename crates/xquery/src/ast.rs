@@ -1,0 +1,497 @@
+//! Abstract syntax of the FLWR subset, with canonical pretty-printing.
+//!
+//! The `Display` implementations render the textual form the paper's
+//! figures show and the GUI's "Translate Query" button produces; parsing
+//! the printed form yields the same AST (round-trip tested).
+
+use std::fmt;
+
+use xomatiq_xml::LabelPath;
+
+/// A comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CompOp {
+    /// The SQL spelling of the operator.
+    pub fn sql(self) -> &'static str {
+        match self {
+            CompOp::Eq => "=",
+            CompOp::Ne => "<>",
+            CompOp::Lt => "<",
+            CompOp::Le => "<=",
+            CompOp::Gt => ">",
+            CompOp::Ge => ">=",
+        }
+    }
+}
+
+impl fmt::Display for CompOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CompOp::Eq => "=",
+            CompOp::Ne => "!=",
+            CompOp::Lt => "<",
+            CompOp::Le => "<=",
+            CompOp::Gt => ">",
+            CompOp::Ge => ">=",
+        })
+    }
+}
+
+/// A literal operand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// A string literal.
+    Text(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Text(s) => write!(f, "\"{s}\""),
+            Literal::Int(i) => write!(f, "{i}"),
+            Literal::Float(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+/// An attribute predicate inside a step: `[@name = "value"]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrPredicate {
+    /// Attribute name.
+    pub name: String,
+    /// Required value.
+    pub value: String,
+}
+
+/// A path expression rooted at a bound variable, e.g.
+/// `$a//qualifier[@qualifier_type = "EC number"]` or
+/// `$a//reference/@swissprot_accession_number` or bare `$a`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathExpr {
+    /// The variable the path starts from (without `$`).
+    pub var: String,
+    /// Relative steps from the variable's binding (None for bare `$v`).
+    pub steps: Option<LabelPath>,
+    /// Optional attribute predicate on the final element step.
+    pub predicate: Option<AttrPredicate>,
+    /// Terminal attribute access (`/@name`), mutually exclusive with a
+    /// text-value reading of the final element.
+    pub attribute: Option<String>,
+    /// Positional (range) predicate `[N]` (1-based) on the final element
+    /// step — one of the paper's §2.2 order-based functionalities, served
+    /// by the stored ordinal. Sound when the element's siblings share its
+    /// name, which holds for every list container the transformers emit.
+    pub position: Option<u32>,
+}
+
+impl PathExpr {
+    /// A bare variable reference `$var`.
+    pub fn bare(var: &str) -> Self {
+        PathExpr {
+            var: var.to_string(),
+            steps: None,
+            predicate: None,
+            attribute: None,
+            position: None,
+        }
+    }
+
+    /// A variable plus relative steps (no predicates).
+    pub fn steps(var: &str, steps: LabelPath) -> Self {
+        PathExpr {
+            var: var.to_string(),
+            steps: Some(steps),
+            predicate: None,
+            attribute: None,
+            position: None,
+        }
+    }
+
+    /// The trailing element label, used for deriving output column names.
+    pub fn leaf_label(&self) -> Option<&str> {
+        match &self.attribute {
+            Some(a) => Some(a.as_str()),
+            None => self.steps.as_ref().and_then(|s| s.leaf_label()),
+        }
+    }
+}
+
+impl fmt::Display for PathExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.var)?;
+        if let Some(steps) = &self.steps {
+            // Relative steps always attach with their own separators; an
+            // unanchored first step renders as `//`.
+            let printed = steps.to_string();
+            if printed.starts_with('/') {
+                write!(f, "{printed}")?;
+            } else {
+                write!(f, "//{printed}")?;
+            }
+        }
+        if let Some(p) = &self.predicate {
+            write!(f, "[@{} = \"{}\"]", p.name, p.value)?;
+        }
+        if let Some(n) = self.position {
+            write!(f, "[{n}]")?;
+        }
+        if let Some(a) = &self.attribute {
+            write!(f, "/@{a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The right-hand side of a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// Another path expression (a join).
+    Path(PathExpr),
+    /// A literal.
+    Literal(Literal),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Path(p) => write!(f, "{p}"),
+            Operand::Literal(l) => write!(f, "{l}"),
+        }
+    }
+}
+
+/// A comparison condition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Left-hand path expression.
+    pub left: PathExpr,
+    /// Operator.
+    pub op: CompOp,
+    /// Right-hand operand.
+    pub right: Operand,
+}
+
+/// A WHERE-clause condition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// Conjunction.
+    And(Box<Condition>, Box<Condition>),
+    /// Disjunction.
+    Or(Box<Condition>, Box<Condition>),
+    /// Negation.
+    Not(Box<Condition>),
+    /// A comparison.
+    Compare(Comparison),
+    /// The keyword extension `contains(target, "kw" [, any])`. With
+    /// `any = true` (or a bare `$v` target) the keyword may occur anywhere
+    /// in the document; otherwise it must occur in the targeted sub-tree.
+    Contains {
+        /// What to search.
+        target: PathExpr,
+        /// The keyword(s).
+        keyword: String,
+        /// Whole-document (`any`) search.
+        any: bool,
+    },
+    /// Regular-expression matching `matches(target, "pattern")` — the
+    /// capability the paper highlights against SQL-only integration
+    /// systems (§4), primarily for sequence motifs (§2.2).
+    Matches {
+        /// The value to match (element text or attribute).
+        target: PathExpr,
+        /// The pattern (see `xomatiq_relstore::regex` for the syntax).
+        pattern: String,
+    },
+    /// The order-based operators of §2.2: `left BEFORE right` /
+    /// `left AFTER right` compare document positions of two path
+    /// expressions bound to the same variable.
+    Order {
+        /// Left path expression.
+        left: PathExpr,
+        /// Right path expression.
+        right: PathExpr,
+        /// `true` for BEFORE, `false` for AFTER.
+        before: bool,
+    },
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::And(a, b) => {
+                // Parenthesize nested conjunctions so the printed form
+                // reparses to the identical tree shape.
+                let wrap = |c: &Condition| matches!(c, Condition::And(..));
+                if wrap(a) {
+                    write!(f, "({a})")?;
+                } else {
+                    write!(f, "{a}")?;
+                }
+                write!(f, " AND ")?;
+                if wrap(b) {
+                    write!(f, "({b})")
+                } else {
+                    write!(f, "{b}")
+                }
+            }
+            Condition::Or(a, b) => {
+                // Parenthesize disjunctions so precedence survives a
+                // print/parse round trip.
+                write!(f, "({a} OR {b})")
+            }
+            Condition::Not(c) => write!(f, "NOT ({c})"),
+            Condition::Compare(c) => write!(f, "{} {} {}", c.left, c.op, c.right),
+            Condition::Contains {
+                target,
+                keyword,
+                any,
+            } => {
+                if *any {
+                    write!(f, "contains({target}, \"{keyword}\", any)")
+                } else {
+                    write!(f, "contains({target}, \"{keyword}\")")
+                }
+            }
+            Condition::Matches { target, pattern } => {
+                write!(f, "matches({target}, \"{pattern}\")")
+            }
+            Condition::Order {
+                left,
+                right,
+                before,
+            } => {
+                write!(
+                    f,
+                    "{left} {} {right}",
+                    if *before { "BEFORE" } else { "AFTER" }
+                )
+            }
+        }
+    }
+}
+
+/// A `FOR $var IN document("collection")/path` binding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Binding {
+    /// The variable name (without `$`).
+    pub var: String,
+    /// The warehoused collection named in `document(...)`.
+    pub collection: String,
+    /// The rooted binding path after `document(...)`.
+    pub path: LabelPath,
+}
+
+impl fmt::Display for Binding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "${} IN document(\"{}\"){}",
+            self.var, self.collection, self.path
+        )
+    }
+}
+
+/// One item of the RETURN clause: `[$Alias =] pathexpr`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReturnItem {
+    /// Optional output name (`$Accession_Number = ...` in Figure 11).
+    pub alias: Option<String>,
+    /// The returned path expression.
+    pub path: PathExpr,
+}
+
+impl ReturnItem {
+    /// The output column name: the alias, else the leaf label, else the
+    /// variable name.
+    pub fn output_name(&self) -> String {
+        self.alias
+            .clone()
+            .or_else(|| self.path.leaf_label().map(str::to_string))
+            .unwrap_or_else(|| self.path.var.clone())
+    }
+}
+
+impl fmt::Display for ReturnItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(alias) = &self.alias {
+            write!(f, "${alias} = ")?;
+        }
+        write!(f, "{}", self.path)
+    }
+}
+
+/// A complete FLWR query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlwrQuery {
+    /// FOR bindings, in order.
+    pub bindings: Vec<Binding>,
+    /// LET bindings, in order (each may reference FOR variables and
+    /// earlier LET variables) — the "let" of the paper's for-let-where-
+    /// return expressions (§3).
+    pub lets: Vec<LetBinding>,
+    /// Optional WHERE condition.
+    pub where_clause: Option<Condition>,
+    /// RETURN items.
+    pub return_items: Vec<ReturnItem>,
+    /// Optional element-constructor wrapper around the RETURN list.
+    pub wrapper: Option<String>,
+}
+
+/// A `LET $var := pathexpr` binding: the variable becomes an alias for the
+/// path expression, usable in WHERE and RETURN (optionally extended with
+/// further steps).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LetBinding {
+    /// The bound variable name (without `$`).
+    pub var: String,
+    /// The aliased path expression.
+    pub target: PathExpr,
+}
+
+impl fmt::Display for LetBinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${} := {}", self.var, self.target)
+    }
+}
+
+impl fmt::Display for FlwrQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FOR ")?;
+        for (i, b) in self.bindings.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",\n    ")?;
+            }
+            write!(f, "{b}")?;
+        }
+        for l in &self.lets {
+            write!(f, "\nLET {l}")?;
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, "\nWHERE {w}")?;
+        }
+        write!(f, "\nRETURN ")?;
+        if let Some(tag) = &self.wrapper {
+            write!(f, "<{tag}> ")?;
+        }
+        for (i, item) in self.return_items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        if let Some(tag) = &self.wrapper {
+            write!(f, " </{tag}>")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_expr_display() {
+        let p = PathExpr {
+            var: "a".into(),
+            steps: Some(LabelPath::parse("//qualifier").unwrap()),
+            predicate: Some(AttrPredicate {
+                name: "qualifier_type".into(),
+                value: "EC number".into(),
+            }),
+            attribute: None,
+            position: None,
+        };
+        assert_eq!(
+            p.to_string(),
+            "$a//qualifier[@qualifier_type = \"EC number\"]"
+        );
+        let bare = PathExpr::bare("b");
+        assert_eq!(bare.to_string(), "$b");
+        let attr = PathExpr {
+            var: "a".into(),
+            steps: Some(LabelPath::parse("//reference").unwrap()),
+            predicate: None,
+            attribute: Some("swissprot_accession_number".into()),
+            position: None,
+        };
+        assert_eq!(
+            attr.to_string(),
+            "$a//reference/@swissprot_accession_number"
+        );
+    }
+
+    #[test]
+    fn leaf_labels() {
+        let p = PathExpr::steps("a", LabelPath::parse("//enzyme_id").unwrap());
+        assert_eq!(p.leaf_label(), Some("enzyme_id"));
+        assert_eq!(PathExpr::bare("a").leaf_label(), None);
+    }
+
+    #[test]
+    fn return_item_output_names() {
+        let item = ReturnItem {
+            alias: Some("Accession_Number".into()),
+            path: PathExpr::bare("a"),
+        };
+        assert_eq!(item.output_name(), "Accession_Number");
+        let item2 = ReturnItem {
+            alias: None,
+            path: PathExpr::steps("a", LabelPath::parse("//enzyme_id").unwrap()),
+        };
+        assert_eq!(item2.output_name(), "enzyme_id");
+        assert_eq!(
+            ReturnItem {
+                alias: None,
+                path: PathExpr::bare("v")
+            }
+            .output_name(),
+            "v"
+        );
+    }
+
+    #[test]
+    fn query_display_matches_figure_layout() {
+        let q = FlwrQuery {
+            bindings: vec![Binding {
+                var: "a".into(),
+                collection: "hlx_enzyme.DEFAULT".into(),
+                path: LabelPath::parse("/hlx_enzyme").unwrap(),
+            }],
+            lets: Vec::new(),
+            where_clause: Some(Condition::Contains {
+                target: PathExpr::steps("a", LabelPath::parse("//catalytic_activity").unwrap()),
+                keyword: "ketone".into(),
+                any: false,
+            }),
+            return_items: vec![ReturnItem {
+                alias: None,
+                path: PathExpr::steps("a", LabelPath::parse("//enzyme_id").unwrap()),
+            }],
+            wrapper: None,
+        };
+        let text = q.to_string();
+        assert!(text.starts_with("FOR $a IN document(\"hlx_enzyme.DEFAULT\")/hlx_enzyme"));
+        assert!(text.contains("WHERE contains($a//catalytic_activity, \"ketone\")"));
+        assert!(text.contains("RETURN $a//enzyme_id"));
+    }
+}

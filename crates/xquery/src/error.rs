@@ -1,0 +1,65 @@
+//! Query-language errors.
+
+use std::fmt;
+
+/// Result alias for query operations.
+pub type QueryResult<T> = Result<T, QueryError>;
+
+/// An error raised while lexing, parsing or translating a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query text failed to lex or parse.
+    Parse(String),
+    /// A variable was used without being bound in a FOR clause.
+    UnboundVariable(String),
+    /// A `document("...")` referenced an unknown collection.
+    UnknownCollection(String),
+    /// A path pattern matched nothing in the collection's path catalog.
+    EmptyPath {
+        /// The collection searched.
+        collection: String,
+        /// The pattern that matched nothing.
+        pattern: String,
+    },
+    /// The query uses a construct the translator does not support.
+    Unsupported(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse(m) => write!(f, "query parse error: {m}"),
+            QueryError::UnboundVariable(v) => write!(f, "unbound variable ${v}"),
+            QueryError::UnknownCollection(c) => write!(f, "unknown collection {c:?}"),
+            QueryError::EmptyPath {
+                collection,
+                pattern,
+            } => write!(
+                f,
+                "path {pattern:?} matches nothing in collection {collection:?}"
+            ),
+            QueryError::Unsupported(m) => write!(f, "unsupported query construct: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            QueryError::UnboundVariable("a".into()).to_string(),
+            "unbound variable $a"
+        );
+        assert!(QueryError::EmptyPath {
+            collection: "c".into(),
+            pattern: "//x".into()
+        }
+        .to_string()
+        .contains("matches nothing"));
+    }
+}

@@ -1,0 +1,286 @@
+//! Tokenizer for the FLWR query language.
+
+use crate::error::{QueryError, QueryResult};
+
+/// A lexical token of the query language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QToken {
+    /// A bare word: keyword (`FOR`, `IN`, ...), function name or element
+    /// name (keywords are matched case-insensitively by the parser).
+    Word(String),
+    /// A `$variable` reference (without the dollar sign).
+    Var(String),
+    /// A `"double-quoted"` string literal.
+    Str(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// Punctuation: `( ) [ ] , / // @ = != < <= > >= < >` plus the element
+    /// constructor markers `<tag>` handled as Open/Close.
+    Sym(&'static str),
+    /// `<name>` — opening tag of a RETURN element constructor.
+    OpenTag(String),
+    /// `</name>` — closing tag of a RETURN element constructor.
+    CloseTag(String),
+}
+
+impl QToken {
+    /// Whether this token is the keyword `kw` (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, QToken::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+}
+
+fn is_word_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '.' || c == '-'
+}
+
+/// Tokenizes query text.
+pub fn tokenize_query(input: &str) -> QueryResult<Vec<QToken>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        match c {
+            '$' => {
+                i += 1;
+                let start = i;
+                while i < chars.len() && is_word_char(chars[i]) {
+                    i += 1;
+                }
+                if start == i {
+                    return Err(QueryError::Parse("'$' without a variable name".into()));
+                }
+                tokens.push(QToken::Var(chars[start..i].iter().collect()));
+            }
+            '"' => {
+                i += 1;
+                let start = i;
+                while i < chars.len() && chars[i] != '"' {
+                    i += 1;
+                }
+                if i >= chars.len() {
+                    return Err(QueryError::Parse("unterminated string literal".into()));
+                }
+                tokens.push(QToken::Str(chars[start..i].iter().collect()));
+                i += 1;
+            }
+            '/' => {
+                if chars.get(i + 1) == Some(&'/') {
+                    tokens.push(QToken::Sym("//"));
+                    i += 2;
+                } else {
+                    tokens.push(QToken::Sym("/"));
+                    i += 1;
+                }
+            }
+            '<' => {
+                // Could be an element-constructor tag, a close tag, or a
+                // comparison. A tag is `<name>` or `</name>` with no
+                // spaces; anything else is a comparison operator.
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(QToken::Sym("<="));
+                    i += 2;
+                } else if chars.get(i + 1) == Some(&'>') {
+                    tokens.push(QToken::Sym("!="));
+                    i += 2;
+                } else {
+                    let closing = chars.get(i + 1) == Some(&'/');
+                    let name_start = if closing { i + 2 } else { i + 1 };
+                    let mut j = name_start;
+                    while j < chars.len() && is_word_char(chars[j]) {
+                        j += 1;
+                    }
+                    if j > name_start && chars.get(j) == Some(&'>') {
+                        let name: String = chars[name_start..j].iter().collect();
+                        tokens.push(if closing {
+                            QToken::CloseTag(name)
+                        } else {
+                            QToken::OpenTag(name)
+                        });
+                        i = j + 1;
+                    } else {
+                        tokens.push(QToken::Sym("<"));
+                        i += 1;
+                    }
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(QToken::Sym(">="));
+                    i += 2;
+                } else {
+                    tokens.push(QToken::Sym(">"));
+                    i += 1;
+                }
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(QToken::Sym("!="));
+                    i += 2;
+                } else {
+                    return Err(QueryError::Parse("unexpected '!'".into()));
+                }
+            }
+            '=' => {
+                tokens.push(QToken::Sym("="));
+                i += 1;
+            }
+            ':' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(QToken::Sym(":="));
+                    i += 2;
+                } else {
+                    return Err(QueryError::Parse("expected ':='".into()));
+                }
+            }
+            '(' | ')' | '[' | ']' | ',' | '@' => {
+                tokens.push(QToken::Sym(match c {
+                    '(' => "(",
+                    ')' => ")",
+                    '[' => "[",
+                    ']' => "]",
+                    ',' => ",",
+                    _ => "@",
+                }));
+                i += 1;
+            }
+            d if d.is_ascii_digit()
+                || (d == '-' && chars.get(i + 1).is_some_and(|n| n.is_ascii_digit())) =>
+            {
+                let start = i;
+                if d == '-' {
+                    i += 1;
+                }
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                if let Ok(n) = text.parse::<i64>() {
+                    tokens.push(QToken::Int(n));
+                } else if let Ok(f) = text.parse::<f64>() {
+                    tokens.push(QToken::Float(f));
+                } else {
+                    // Dotted identifiers like EC numbers are words.
+                    tokens.push(QToken::Word(text));
+                }
+            }
+            w if is_word_char(w) => {
+                let start = i;
+                while i < chars.len() && is_word_char(chars[i]) {
+                    i += 1;
+                }
+                tokens.push(QToken::Word(chars[start..i].iter().collect()));
+            }
+            other => {
+                return Err(QueryError::Parse(format!("unexpected character {other:?}")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_figure9_query() {
+        let toks = tokenize_query(
+            r#"FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+               WHERE contains($a//catalytic_activity, "ketone")
+               RETURN $a//enzyme_id, $a//enzyme_description"#,
+        )
+        .unwrap();
+        assert!(toks.contains(&QToken::Word("FOR".into())));
+        assert!(toks.contains(&QToken::Var("a".into())));
+        assert!(toks.contains(&QToken::Str("hlx_enzyme.DEFAULT".into())));
+        assert!(toks.contains(&QToken::Sym("//")));
+        assert!(toks.contains(&QToken::Word("contains".into())));
+        assert!(toks.contains(&QToken::Str("ketone".into())));
+    }
+
+    #[test]
+    fn variables_and_paths() {
+        let toks = tokenize_query("$a//qualifier[@qualifier_type = \"EC number\"]").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                QToken::Var("a".into()),
+                QToken::Sym("//"),
+                QToken::Word("qualifier".into()),
+                QToken::Sym("["),
+                QToken::Sym("@"),
+                QToken::Word("qualifier_type".into()),
+                QToken::Sym("="),
+                QToken::Str("EC number".into()),
+                QToken::Sym("]"),
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = tokenize_query("a = b != c < d <= e > f >= g <> h").unwrap();
+        let syms: Vec<&QToken> = toks
+            .iter()
+            .filter(|t| matches!(t, QToken::Sym(_)))
+            .collect();
+        assert_eq!(
+            syms,
+            vec![
+                &QToken::Sym("="),
+                &QToken::Sym("!="),
+                &QToken::Sym("<"),
+                &QToken::Sym("<="),
+                &QToken::Sym(">"),
+                &QToken::Sym(">="),
+                &QToken::Sym("!="),
+            ]
+        );
+    }
+
+    #[test]
+    fn element_constructor_tags() {
+        let toks = tokenize_query("RETURN <result> $a </result>").unwrap();
+        assert_eq!(toks[1], QToken::OpenTag("result".into()));
+        assert_eq!(toks[3], QToken::CloseTag("result".into()));
+    }
+
+    #[test]
+    fn tag_vs_less_than_disambiguation() {
+        let toks = tokenize_query("$a < 5").unwrap();
+        assert_eq!(toks[1], QToken::Sym("<"));
+        // `<name ` without closing angle is a comparison, then a word.
+        let toks2 = tokenize_query("x <y z").unwrap();
+        assert_eq!(toks2[1], QToken::Sym("<"));
+        assert_eq!(toks2[2], QToken::Word("y".into()));
+    }
+
+    #[test]
+    fn numbers_and_ec_like_words() {
+        let toks = tokenize_query("42 2.5 1.14.17.3").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                QToken::Int(42),
+                QToken::Float(2.5),
+                QToken::Word("1.14.17.3".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize_query("$ ").is_err());
+        assert!(tokenize_query("\"unterminated").is_err());
+        assert!(tokenize_query("a ! b").is_err());
+        assert!(tokenize_query("a ; b").is_err());
+    }
+}

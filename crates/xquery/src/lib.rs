@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! # xomatiq-xquery
+//!
+//! The XomatiQ query language and its SQL translation (paper §3).
+//!
+//! The language is the FLWR subset of the June-2001 XQuery working draft
+//! that the paper adopts — `FOR $v IN document("collection")/path`
+//! bindings, a `WHERE` clause with conjunctive and disjunctive
+//! constraints, and a `RETURN` clause of path expressions — plus the
+//! paper's keyword extension `contains(target, "keyword" [, any])`
+//! (Figures 8, 9 and 11 are all expressible and covered by tests).
+//!
+//! * [`lexer`] / [`ast`] / [`parser`] — query text → [`ast::FlwrQuery`];
+//!   the AST pretty-prints back to canonical text, which is what the GUI's
+//!   "Translate Query" button shows.
+//! * [`catalog`] — the slice of warehouse metadata the translator needs
+//!   (collection prefixes, shredding strategies, concrete path sets).
+//! * [`xq2sql`] — the **XQ2SQL-Transformer** (§3.2): rewrites a FLWR query
+//!   into one SQL query over the generic shredding schema, expanding `//`
+//!   patterns against the stored path catalog, joining node instances on
+//!   document/containment, and lowering `contains` onto the keyword index.
+
+//!
+//! ```
+//! use xomatiq_xquery::parse_query;
+//!
+//! let q = parse_query(
+//!     r#"FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+//!        WHERE contains($a//catalytic_activity, "ketone")
+//!        RETURN $a//enzyme_id"#,
+//! )
+//! .unwrap();
+//! assert_eq!(q.bindings[0].collection, "hlx_enzyme.DEFAULT");
+//! // The canonical text form round-trips.
+//! assert_eq!(parse_query(&q.to_string()).unwrap(), q);
+//! ```
+
+pub mod ast;
+pub mod catalog;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod xq2sql;
+
+pub use ast::{Binding, Comparison, Condition, FlwrQuery, PathExpr, ReturnItem};
+pub use catalog::{CatalogProvider, CollectionCatalog};
+pub use error::{QueryError, QueryResult};
+pub use parser::parse_query;
+pub use xq2sql::{translate, TranslatedQuery};

@@ -1,0 +1,601 @@
+//! Recursive-descent parser for the FLWR subset.
+
+use xomatiq_xml::LabelPath;
+
+use crate::ast::{
+    AttrPredicate, Binding, CompOp, Comparison, Condition, FlwrQuery, LetBinding, Literal, Operand,
+    PathExpr, ReturnItem,
+};
+use crate::error::{QueryError, QueryResult};
+use crate::lexer::{tokenize_query, QToken};
+
+/// Parses query text into a [`FlwrQuery`].
+pub fn parse_query(input: &str) -> QueryResult<FlwrQuery> {
+    let tokens = tokenize_query(input)?;
+    let mut p = QueryParser { tokens, pos: 0 };
+    let q = p.query()?;
+    if p.pos != p.tokens.len() {
+        return Err(QueryError::Parse(format!(
+            "unexpected trailing input near {:?}",
+            p.tokens[p.pos]
+        )));
+    }
+    Ok(q)
+}
+
+struct QueryParser {
+    tokens: Vec<QToken>,
+    pos: usize,
+}
+
+impl QueryParser {
+    fn peek(&self) -> Option<&QToken> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<QToken> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_kw(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> QueryResult<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(QueryError::Parse(format!(
+                "expected {kw}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> bool {
+        if matches!(self.peek(), Some(QToken::Sym(s)) if *s == sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, sym: &str) -> QueryResult<()> {
+        if self.eat_sym(sym) {
+            Ok(())
+        } else {
+            Err(QueryError::Parse(format!(
+                "expected {sym:?}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn word(&mut self) -> QueryResult<String> {
+        match self.next() {
+            Some(QToken::Word(w)) => Ok(w),
+            other => Err(QueryError::Parse(format!(
+                "expected a name, found {other:?}"
+            ))),
+        }
+    }
+
+    fn var(&mut self) -> QueryResult<String> {
+        match self.next() {
+            Some(QToken::Var(v)) => Ok(v),
+            other => Err(QueryError::Parse(format!(
+                "expected $variable, found {other:?}"
+            ))),
+        }
+    }
+
+    fn string(&mut self) -> QueryResult<String> {
+        match self.next() {
+            Some(QToken::Str(s)) => Ok(s),
+            other => Err(QueryError::Parse(format!(
+                "expected a string, found {other:?}"
+            ))),
+        }
+    }
+
+    fn query(&mut self) -> QueryResult<FlwrQuery> {
+        self.expect_kw("FOR")?;
+        let mut bindings = vec![self.binding()?];
+        while self.eat_sym(",") {
+            bindings.push(self.binding()?);
+        }
+        let mut lets = Vec::new();
+        while self.eat_kw("LET") {
+            loop {
+                let var = self.var()?;
+                self.expect_sym(":=")?;
+                let target = self.path_expr()?;
+                lets.push(LetBinding { var, target });
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.condition()?)
+        } else {
+            None
+        };
+        self.expect_kw("RETURN")?;
+        let wrapper = match self.peek() {
+            Some(QToken::OpenTag(tag)) => {
+                let tag = tag.clone();
+                self.pos += 1;
+                Some(tag)
+            }
+            _ => None,
+        };
+        let mut return_items = vec![self.return_item()?];
+        while self.eat_sym(",") {
+            return_items.push(self.return_item()?);
+        }
+        if let Some(tag) = &wrapper {
+            match self.next() {
+                Some(QToken::CloseTag(close)) if close == *tag => {}
+                other => {
+                    return Err(QueryError::Parse(format!(
+                        "expected </{tag}>, found {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(FlwrQuery {
+            bindings,
+            lets,
+            where_clause,
+            return_items,
+            wrapper,
+        })
+    }
+
+    fn binding(&mut self) -> QueryResult<Binding> {
+        let var = self.var()?;
+        self.expect_kw("IN")?;
+        // document("collection")
+        let doc = self.word()?;
+        if !doc.eq_ignore_ascii_case("document") {
+            return Err(QueryError::Parse(format!(
+                "expected document(...), found {doc}"
+            )));
+        }
+        self.expect_sym("(")?;
+        let collection = self.string()?;
+        self.expect_sym(")")?;
+        // Rooted path: /name(/name | //name)*
+        let path = self.rooted_path()?;
+        Ok(Binding {
+            var,
+            collection,
+            path,
+        })
+    }
+
+    fn rooted_path(&mut self) -> QueryResult<LabelPath> {
+        let mut text = String::new();
+        loop {
+            if self.eat_sym("//") {
+                text.push_str("//");
+            } else if self.eat_sym("/") {
+                text.push('/');
+            } else {
+                break;
+            }
+            text.push_str(&self.word()?);
+        }
+        if text.is_empty() {
+            return Err(QueryError::Parse(
+                "expected a path after document(...)".into(),
+            ));
+        }
+        LabelPath::parse(&text).map_err(|e| QueryError::Parse(e.to_string()))
+    }
+
+    /// Parses `$var(step)*([@attr = "v"])?(/@attr)?`.
+    fn path_expr(&mut self) -> QueryResult<PathExpr> {
+        let var = self.var()?;
+        let mut text = String::new();
+        let mut attribute = None;
+        loop {
+            let descendant = if self.eat_sym("//") {
+                true
+            } else if self.eat_sym("/") {
+                false
+            } else {
+                break;
+            };
+            if self.eat_sym("@") {
+                attribute = Some(self.word()?);
+                break;
+            }
+            text.push_str(if descendant { "//" } else { "/" });
+            text.push_str(&self.word()?);
+        }
+        let steps = if text.is_empty() {
+            None
+        } else {
+            Some(LabelPath::parse(&text).map_err(|e| QueryError::Parse(e.to_string()))?)
+        };
+        // Optional predicates — `[@attr = v]` and/or positional `[N]` —
+        // then an optional trailing /@attr.
+        let mut predicate = None;
+        let mut position = None;
+        while attribute.is_none() && self.eat_sym("[") {
+            if self.eat_sym("@") {
+                if predicate.is_some() {
+                    return Err(QueryError::Parse(
+                        "at most one attribute predicate per step".into(),
+                    ));
+                }
+                let name = self.word()?;
+                self.expect_sym("=")?;
+                let value = match self.next() {
+                    Some(QToken::Str(s)) => s,
+                    Some(QToken::Word(w)) => w,
+                    Some(QToken::Int(i)) => i.to_string(),
+                    other => {
+                        return Err(QueryError::Parse(format!(
+                            "expected a predicate value, found {other:?}"
+                        )))
+                    }
+                };
+                self.expect_sym("]")?;
+                predicate = Some(AttrPredicate { name, value });
+            } else {
+                match self.next() {
+                    Some(QToken::Int(n)) if n >= 1 => {
+                        if position.is_some() {
+                            return Err(QueryError::Parse(
+                                "at most one positional predicate per step".into(),
+                            ));
+                        }
+                        position = Some(n as u32);
+                        self.expect_sym("]")?;
+                    }
+                    other => {
+                        return Err(QueryError::Parse(format!(
+                            "expected '@attr = value' or a 1-based position, found {other:?}"
+                        )))
+                    }
+                }
+            }
+            if self.eat_sym("/") {
+                self.expect_sym("@")?;
+                attribute = Some(self.word()?);
+                break;
+            }
+        }
+        Ok(PathExpr {
+            var,
+            steps,
+            predicate,
+            attribute,
+            position,
+        })
+    }
+
+    fn return_item(&mut self) -> QueryResult<ReturnItem> {
+        // `$Alias = $v//path` vs plain `$v//path`: decide by lookahead for
+        // `= $` after the variable.
+        let save = self.pos;
+        let first = self.var()?;
+        if self.eat_sym("=") {
+            if matches!(self.peek(), Some(QToken::Var(_))) {
+                let path = self.path_expr()?;
+                return Ok(ReturnItem {
+                    alias: Some(first),
+                    path,
+                });
+            }
+            return Err(QueryError::Parse(
+                "expected a path expression after '=' in RETURN".into(),
+            ));
+        }
+        self.pos = save;
+        let path = self.path_expr()?;
+        Ok(ReturnItem { alias: None, path })
+    }
+
+    // Conditions: OR < AND < NOT < primary.
+    fn condition(&mut self) -> QueryResult<Condition> {
+        let mut left = self.and_condition()?;
+        while self.eat_kw("OR") {
+            let right = self.and_condition()?;
+            left = Condition::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_condition(&mut self) -> QueryResult<Condition> {
+        let mut left = self.not_condition()?;
+        while self.eat_kw("AND") {
+            let right = self.not_condition()?;
+            left = Condition::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_condition(&mut self) -> QueryResult<Condition> {
+        if self.eat_kw("NOT") {
+            return Ok(Condition::Not(Box::new(self.not_condition()?)));
+        }
+        self.primary_condition()
+    }
+
+    fn primary_condition(&mut self) -> QueryResult<Condition> {
+        if self.peek().is_some_and(|t| t.is_kw("matches")) {
+            self.pos += 1;
+            self.expect_sym("(")?;
+            let target = self.path_expr()?;
+            self.expect_sym(",")?;
+            let pattern = self.string()?;
+            self.expect_sym(")")?;
+            return Ok(Condition::Matches { target, pattern });
+        }
+        if self.peek().is_some_and(|t| t.is_kw("contains")) {
+            self.pos += 1;
+            self.expect_sym("(")?;
+            let target = self.path_expr()?;
+            self.expect_sym(",")?;
+            let keyword = self.string()?;
+            let mut any = false;
+            if self.eat_sym(",") {
+                self.expect_kw("any")?;
+                any = true;
+            }
+            self.expect_sym(")")?;
+            // A bare-variable target is inherently a whole-document search.
+            let any = any || (target.steps.is_none() && target.attribute.is_none());
+            return Ok(Condition::Contains {
+                target,
+                keyword,
+                any,
+            });
+        }
+        if self.eat_sym("(") {
+            let inner = self.condition()?;
+            self.expect_sym(")")?;
+            return Ok(inner);
+        }
+        // Comparison: pathexpr op operand — or an order-based condition.
+        let left = self.path_expr()?;
+        if self.eat_kw("BEFORE") {
+            let right = self.path_expr()?;
+            return Ok(Condition::Order {
+                left,
+                right,
+                before: true,
+            });
+        }
+        if self.eat_kw("AFTER") {
+            let right = self.path_expr()?;
+            return Ok(Condition::Order {
+                left,
+                right,
+                before: false,
+            });
+        }
+        let op = match self.next() {
+            Some(QToken::Sym("=")) => CompOp::Eq,
+            Some(QToken::Sym("!=")) => CompOp::Ne,
+            Some(QToken::Sym("<")) => CompOp::Lt,
+            Some(QToken::Sym("<=")) => CompOp::Le,
+            Some(QToken::Sym(">")) => CompOp::Gt,
+            Some(QToken::Sym(">=")) => CompOp::Ge,
+            other => {
+                return Err(QueryError::Parse(format!(
+                    "expected a comparison operator, found {other:?}"
+                )))
+            }
+        };
+        let right = match self.peek() {
+            Some(QToken::Var(_)) => Operand::Path(self.path_expr()?),
+            Some(QToken::Str(_)) => Operand::Literal(Literal::Text(self.string()?)),
+            Some(QToken::Int(i)) => {
+                let v = *i;
+                self.pos += 1;
+                Operand::Literal(Literal::Int(v))
+            }
+            Some(QToken::Float(x)) => {
+                let v = *x;
+                self.pos += 1;
+                Operand::Literal(Literal::Float(v))
+            }
+            Some(QToken::Word(w)) => {
+                // Unquoted words (EC numbers in hand-written queries).
+                let v = w.clone();
+                self.pos += 1;
+                Operand::Literal(Literal::Text(v))
+            }
+            other => {
+                return Err(QueryError::Parse(format!(
+                    "expected a comparison operand, found {other:?}"
+                )))
+            }
+        };
+        Ok(Condition::Compare(Comparison { left, op, right }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 8 keyword query (names made valid XML).
+    pub const FIGURE8: &str = r#"
+FOR $a IN document("hlx_embl.inv")/hlx_n_sequence,
+    $b IN document("hlx_sprot.all")/hlx_p_sequence
+WHERE contains($a, "cdc6", any)
+  AND contains($b, "cdc6", any)
+RETURN $b//sprot_accession_number, $a//embl_accession_number
+"#;
+
+    /// The paper's Figure 9 sub-tree query.
+    pub const FIGURE9: &str = r#"
+FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+WHERE contains($a//catalytic_activity, "ketone")
+RETURN $a//enzyme_id, $a//enzyme_description
+"#;
+
+    /// The paper's Figure 11 join query.
+    pub const FIGURE11: &str = r#"
+FOR $a IN document("hlx_embl.inv")/hlx_n_sequence/db_entry,
+    $b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+WHERE $a//qualifier[@qualifier_type = "EC number"] = $b/enzyme_id
+RETURN $Accession_Number = $a//embl_accession_number,
+       $Accession_Description = $a//description
+"#;
+
+    #[test]
+    fn parses_figure8() {
+        let q = parse_query(FIGURE8).unwrap();
+        assert_eq!(q.bindings.len(), 2);
+        assert_eq!(q.bindings[0].collection, "hlx_embl.inv");
+        assert_eq!(q.bindings[0].path.to_string(), "/hlx_n_sequence");
+        match q.where_clause.as_ref().unwrap() {
+            Condition::And(a, b) => {
+                assert!(matches!(**a, Condition::Contains { any: true, .. }));
+                assert!(matches!(**b, Condition::Contains { any: true, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(q.return_items.len(), 2);
+        assert_eq!(q.return_items[0].output_name(), "sprot_accession_number");
+    }
+
+    #[test]
+    fn parses_figure9() {
+        let q = parse_query(FIGURE9).unwrap();
+        assert_eq!(q.bindings.len(), 1);
+        match q.where_clause.as_ref().unwrap() {
+            Condition::Contains {
+                target,
+                keyword,
+                any,
+            } => {
+                assert_eq!(target.to_string(), "$a//catalytic_activity");
+                assert_eq!(keyword, "ketone");
+                assert!(!any);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_figure11() {
+        let q = parse_query(FIGURE11).unwrap();
+        assert_eq!(q.bindings[0].path.to_string(), "/hlx_n_sequence/db_entry");
+        match q.where_clause.as_ref().unwrap() {
+            Condition::Compare(c) => {
+                assert_eq!(
+                    c.left.to_string(),
+                    "$a//qualifier[@qualifier_type = \"EC number\"]"
+                );
+                assert_eq!(c.op, CompOp::Eq);
+                assert!(matches!(&c.right, Operand::Path(p) if p.to_string() == "$b/enzyme_id"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(q.return_items[0].alias.as_deref(), Some("Accession_Number"));
+        assert_eq!(q.return_items[1].output_name(), "Accession_Description");
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        for src in [FIGURE8, FIGURE9, FIGURE11] {
+            let q = parse_query(src).unwrap();
+            let printed = q.to_string();
+            let reparsed = parse_query(&printed).unwrap();
+            assert_eq!(q, reparsed, "round trip failed for:\n{printed}");
+        }
+    }
+
+    #[test]
+    fn parses_wrapper_element() {
+        let q = parse_query(r#"FOR $a IN document("c")/r RETURN <result> $a//x, $a//y </result>"#)
+            .unwrap();
+        assert_eq!(q.wrapper.as_deref(), Some("result"));
+        assert_eq!(q.return_items.len(), 2);
+        // Mismatched close tag is an error.
+        assert!(
+            parse_query(r#"FOR $a IN document("c")/r RETURN <result> $a//x </other>"#).is_err()
+        );
+    }
+
+    #[test]
+    fn parses_logical_operators_and_precedence() {
+        let q = parse_query(
+            r#"FOR $a IN document("c")/r
+               WHERE $a//x = "1" OR $a//y = "2" AND NOT $a//z = "3"
+               RETURN $a//x"#,
+        )
+        .unwrap();
+        // OR at top; AND under its right arm; NOT inside.
+        match q.where_clause.unwrap() {
+            Condition::Or(_, right) => match *right {
+                Condition::And(_, inner_right) => {
+                    assert!(matches!(*inner_right, Condition::Not(_)));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_numeric_comparisons() {
+        let q = parse_query(
+            r#"FOR $a IN document("c")/r WHERE $a//sequence/@length > 100 RETURN $a//x"#,
+        )
+        .unwrap();
+        match q.where_clause.unwrap() {
+            Condition::Compare(c) => {
+                assert_eq!(c.left.attribute.as_deref(), Some("length"));
+                assert_eq!(c.op, CompOp::Gt);
+                assert_eq!(c.right, Operand::Literal(Literal::Int(100)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        for bad in [
+            "",
+            "FOR $a",
+            r#"FOR $a IN doc("c")/r RETURN $a"#,
+            r#"FOR $a IN document("c") RETURN $a"#, // missing path
+            r#"FOR $a IN document("c")/r WHERE RETURN $a"#,
+            r#"FOR $a IN document("c")/r RETURN"#,
+            r#"FOR $a IN document("c")/r WHERE contains($a) RETURN $a"#,
+            r#"FOR $a IN document("c")/r RETURN $x = 5"#,
+        ] {
+            assert!(parse_query(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let q =
+            parse_query(r#"for $a in document("c")/r where contains($a, "kw", ANY) return $a//x"#)
+                .unwrap();
+        assert!(matches!(
+            q.where_clause.unwrap(),
+            Condition::Contains { any: true, .. }
+        ));
+    }
+}

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Renders Criterion output (bench_output.txt) into the EXPERIMENTS.md
+performance tables, replacing the `<!-- BENCH:group -->` placeholders."""
+
+import re
+import sys
+
+BENCH = "bench_output.txt"
+DOC = "EXPERIMENTS.md"
+
+# group-in-file -> placeholder tag
+GROUPS = {
+    "query_modes": "query_modes",
+    "index_ablation": "index_ablation",
+    "reconstruction": "reconstruction",
+    "shred_load": "shredding",
+    "shred_containment_query": "shredding",
+    "xml_transform": "transform",
+    "incremental_update": "update",
+    "keyword_search": "keyword",
+    "motif_scan": "motif",
+    "concurrent_readers": "concurrency",
+    "federation": "federation",
+}
+
+
+def parse(path):
+    results = []  # (group, bench_id, median)
+    name = None
+    for line in open(path):
+        m = re.match(r"^(\S+)\s+time:\s+\[([^\]]+)\]", line)
+        if m:
+            parts = m.group(2).split()
+            bench_id = m.group(1)
+            results.append((bench_id.split("/")[0], bench_id, f"{parts[2]} {parts[3]}"))
+            name = None
+            continue
+        if line.startswith("Benchmarking ") and line.rstrip().endswith(": Analyzing"):
+            name = line[len("Benchmarking "):].rsplit(": Analyzing", 1)[0].strip()
+            continue
+        m2 = re.search(r"time:\s+\[([^\]]+)\]", line)
+        if m2 and name:
+            parts = m2.group(1).split()
+            results.append((name.split("/")[0], name, f"{parts[2]} {parts[3]}"))
+            name = None
+    return results
+
+
+def render(results):
+    by_tag = {}
+    for group, name, median in results:
+        tag = GROUPS.get(group)
+        if not tag:
+            continue
+        by_tag.setdefault(tag, []).append((name, median))
+    tables = {}
+    for tag, rows in by_tag.items():
+        lines = ["| benchmark | median time |", "|---|---|"]
+        for name, median in rows:
+            lines.append(f"| `{name}` | {median} |")
+        tables[tag] = "\n".join(lines)
+    return tables
+
+
+def main():
+    results = parse(BENCH)
+    if not results:
+        print("no results parsed", file=sys.stderr)
+        sys.exit(1)
+    tables = render(results)
+    doc = open(DOC).read()
+    for tag, table in tables.items():
+        placeholder = f"<!-- BENCH:{tag} -->"
+        if placeholder in doc:
+            doc = doc.replace(placeholder, table)
+    open(DOC, "w").write(doc)
+    print(f"updated {DOC} with {len(results)} measurements across {len(tables)} tables")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,255 @@
+//! An interactive XomatiQ shell — the CLI equivalent of the paper's GUI.
+//!
+//! ```text
+//! cargo run --release --bin xomatiq-shell [warehouse.wal]
+//! ```
+//!
+//! With a path argument the warehouse is durable (write-ahead log +
+//! recovery); without one it is in-memory. Commands:
+//!
+//! ```text
+//! gen <n>                        generate+load demo corpora at n entries each
+//! load <collection> <kind> <file>  load a flat file (kind: enzyme|embl|swissprot)
+//! update <collection> <file>       integrate a fresh snapshot
+//! collections | stats              what is loaded
+//! dtd <collection>                 show a collection's DTD (the GUI left panel)
+//! doc <collection> <entry-key>     reconstruct + print one document
+//! explain <flwr-query>             show generated SQL + plan
+//! xml                              toggle XML result view (default: table)
+//! FOR ...                          any FLWR query, run immediately
+//! help | quit
+//! ```
+
+use std::io::{BufRead, Write};
+
+use xomatiq_core::render::{render_table, render_tree};
+use xomatiq_core::tagger::tag_results;
+use xomatiq_core::{SourceKind, Xomatiq};
+
+fn main() {
+    let xq = match std::env::args().nth(1) {
+        Some(path) => {
+            let path = std::path::PathBuf::from(path);
+            println!("opening durable warehouse at {}", path.display());
+            Xomatiq::open(&path).expect("open warehouse")
+        }
+        None => {
+            println!("in-memory warehouse (pass a path for durability)");
+            Xomatiq::in_memory()
+        }
+    };
+    let mut xml_view = false;
+    let stdin = std::io::stdin();
+    let interactive = atty_stdin();
+    let mut buffer = String::new();
+
+    loop {
+        if interactive {
+            if buffer.is_empty() {
+                print!("xomatiq> ");
+            } else {
+                print!("    ...> ");
+            }
+            std::io::stdout().flush().ok();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let trimmed = line.trim();
+        // Multi-line FLWR entry: accumulate until an empty line or ';'.
+        if !buffer.is_empty() {
+            if trimmed.is_empty() || trimmed == ";" {
+                let query = std::mem::take(&mut buffer);
+                run_query(&xq, &query, xml_view);
+            } else {
+                buffer.push(' ');
+                buffer.push_str(trimmed.trim_end_matches(';'));
+                if trimmed.ends_with(';') {
+                    let query = std::mem::take(&mut buffer);
+                    run_query(&xq, &query, xml_view);
+                }
+            }
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        match parts.next() {
+            None => continue,
+            Some(cmd) if cmd.eq_ignore_ascii_case("quit") || cmd.eq_ignore_ascii_case("exit") => {
+                break;
+            }
+            Some(cmd) if cmd.eq_ignore_ascii_case("help") => {
+                println!("{}", HELP.trim());
+            }
+            Some(cmd) if cmd.eq_ignore_ascii_case("xml") => {
+                xml_view = !xml_view;
+                println!("result view: {}", if xml_view { "XML" } else { "table" });
+            }
+            Some(cmd) if cmd.eq_ignore_ascii_case("gen") => {
+                let n: usize = parts.next().and_then(|s| s.parse().ok()).unwrap_or(500);
+                generate_demo(&xq, n);
+            }
+            Some(cmd) if cmd.eq_ignore_ascii_case("load") => {
+                let (Some(collection), Some(kind), Some(file)) =
+                    (parts.next(), parts.next(), parts.next())
+                else {
+                    println!("usage: load <collection> <enzyme|embl|swissprot> <file>");
+                    continue;
+                };
+                let Some(kind) = SourceKind::from_name(&kind.to_ascii_lowercase()) else {
+                    println!("unknown source kind {kind:?}");
+                    continue;
+                };
+                match std::fs::read_to_string(file) {
+                    Ok(flat) => match xq.load_source(collection, kind, &flat) {
+                        Ok(stats) => println!(
+                            "loaded {} documents ({} element rows)",
+                            stats.documents, stats.elements
+                        ),
+                        Err(e) => println!("load failed: {e}"),
+                    },
+                    Err(e) => println!("cannot read {file}: {e}"),
+                }
+            }
+            Some(cmd) if cmd.eq_ignore_ascii_case("update") => {
+                let (Some(collection), Some(file)) = (parts.next(), parts.next()) else {
+                    println!("usage: update <collection> <file>");
+                    continue;
+                };
+                match std::fs::read_to_string(file) {
+                    Ok(flat) => match xq.update_source(collection, &flat) {
+                        Ok(events) => {
+                            println!("{} change(s) integrated", events.len());
+                            for e in events {
+                                println!("  {:?} {}", e.kind, e.entry_key);
+                            }
+                        }
+                        Err(e) => println!("update failed: {e}"),
+                    },
+                    Err(e) => println!("cannot read {file}: {e}"),
+                }
+            }
+            Some(cmd) if cmd.eq_ignore_ascii_case("collections") => {
+                for c in xq.collections() {
+                    println!("{c}");
+                }
+            }
+            Some(cmd) if cmd.eq_ignore_ascii_case("stats") => match xq.statistics() {
+                Ok(stats) => {
+                    for (name, docs, nodes) in stats {
+                        println!("{name}: {docs} documents, {nodes} node rows");
+                    }
+                }
+                Err(e) => println!("{e}"),
+            },
+            Some(cmd) if cmd.eq_ignore_ascii_case("dtd") => {
+                let Some(collection) = parts.next() else {
+                    println!("usage: dtd <collection>");
+                    continue;
+                };
+                match xq.dtd(collection) {
+                    Ok(dtd) => print!("{dtd}"),
+                    Err(e) => println!("{e}"),
+                }
+            }
+            Some(cmd) if cmd.eq_ignore_ascii_case("doc") => {
+                let (Some(collection), Some(key)) = (parts.next(), parts.next()) else {
+                    println!("usage: doc <collection> <entry-key>");
+                    continue;
+                };
+                match xq.reconstruct(collection, key) {
+                    Ok(doc) => print!("{}", render_tree(&doc)),
+                    Err(e) => println!("{e}"),
+                }
+            }
+            Some(cmd) if cmd.eq_ignore_ascii_case("explain") => {
+                let rest = trimmed[cmd.len()..].trim();
+                if rest.is_empty() {
+                    println!("usage: explain FOR ... RETURN ...");
+                    continue;
+                }
+                match xq.explain_query(rest) {
+                    Ok(text) => println!("{text}"),
+                    Err(e) => println!("{e}"),
+                }
+            }
+            Some(cmd) if cmd.eq_ignore_ascii_case("FOR") => {
+                // Start of a (possibly multi-line) query.
+                buffer = trimmed.trim_end_matches(';').to_string();
+                if trimmed.ends_with(';') {
+                    let query = std::mem::take(&mut buffer);
+                    run_query(&xq, &query, xml_view);
+                }
+            }
+            Some(other) => {
+                println!("unknown command {other:?} — try `help`");
+            }
+        }
+    }
+}
+
+fn run_query(xq: &Xomatiq, query: &str, xml_view: bool) {
+    let start = std::time::Instant::now();
+    match xq.query(query) {
+        Ok(outcome) => {
+            if xml_view {
+                match tag_results(&outcome) {
+                    Ok(doc) => println!("{}", xomatiq_xml::to_string_pretty(&doc)),
+                    Err(e) => println!("tagging failed: {e}"),
+                }
+            } else {
+                println!("{}", render_table(&outcome));
+            }
+            println!("({:.2?})", start.elapsed());
+        }
+        Err(e) => println!("query failed: {e}"),
+    }
+}
+
+fn generate_demo(xq: &Xomatiq, n: usize) {
+    use xomatiq_bioflat::{Corpus, CorpusSpec};
+    println!("generating {n}-entry demo corpora...");
+    let corpus = Corpus::generate(&CorpusSpec::sized(n));
+    for (name, kind, flat) in [
+        (
+            "hlx_enzyme.DEFAULT",
+            SourceKind::Enzyme,
+            corpus.enzyme_flat(),
+        ),
+        ("hlx_embl.inv", SourceKind::Embl, corpus.embl_flat()),
+        (
+            "hlx_sprot.all",
+            SourceKind::SwissProt,
+            corpus.swissprot_flat(),
+        ),
+    ] {
+        match xq.load_source(name, kind, &flat) {
+            Ok(stats) => println!("  {name}: {} documents", stats.documents),
+            Err(e) => println!("  {name}: {e}"),
+        }
+    }
+}
+
+/// Rough interactivity check without a libc dependency: honor the common
+/// convention that piped input sets no TERM-related expectations.
+fn atty_stdin() -> bool {
+    // When stdin is a pipe, reading from it without prompts is the useful
+    // behaviour (scripted tests). A simple heuristic: the PS1-less
+    // environments used in tests set `XOMATIQ_BATCH`.
+    std::env::var_os("XOMATIQ_BATCH").is_none()
+}
+
+const HELP: &str = r#"
+gen <n>                           generate+load demo corpora at n entries each
+load <collection> <kind> <file>   load a flat file (kind: enzyme|embl|swissprot)
+update <collection> <file>        integrate a fresh snapshot of a source
+collections | stats               list what is loaded
+dtd <collection>                  show a collection's DTD
+doc <collection> <entry-key>      reconstruct and print one document
+explain FOR ... RETURN ...        show generated SQL and plan
+xml                               toggle XML result view
+FOR ... RETURN ... ;              run a FLWR query (end with ';' or blank line)
+quit
+"#;

@@ -1,0 +1,2 @@
+//! Umbrella crate hosting the examples and integration tests.
+pub use xomatiq_core as core_api;

@@ -1,0 +1,199 @@
+//! Federated-query tests: the paper's "one or more distributed or local
+//! warehouses" (§3). Ground truth for every federated result is the same
+//! query run against a single warehouse holding all collections.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use xomatiq_bioflat::{Corpus, CorpusSpec};
+use xomatiq_core::{Federation, SourceKind, Xomatiq};
+
+const FIG11: &str = r#"
+FOR $a IN document("hlx_embl.inv")/hlx_n_sequence/db_entry,
+    $b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+WHERE $a//qualifier[@qualifier_type = "EC number"] = $b/enzyme_id
+RETURN $Accession_Number = $a//embl_accession_number,
+       $Accession_Description = $a//description
+"#;
+
+const FIG8: &str = r#"
+FOR $a IN document("hlx_embl.inv")/hlx_n_sequence,
+    $b IN document("hlx_sprot.all")/hlx_p_sequence
+WHERE contains($a, "cdc6", any)
+  AND contains($b, "cdc6", any)
+RETURN $b//sprot_accession_number, $a//embl_accession_number
+"#;
+
+struct Setup {
+    federation: Federation,
+    single: Xomatiq,
+    corpus: Corpus,
+}
+
+/// Three collections spread over three warehouses, plus one warehouse
+/// holding everything (the oracle).
+fn setup() -> Setup {
+    let corpus = Corpus::generate(&CorpusSpec {
+        enzymes: 50,
+        embl: 50,
+        swissprot: 50,
+        keyword_rate: 0.2,
+        link_rate: 0.4,
+        ketone_rate: 0.2,
+        seed: 13,
+    });
+    let mut federation = Federation::new();
+    let node_a = Arc::new(Xomatiq::in_memory());
+    node_a
+        .load_source("hlx_embl.inv", SourceKind::Embl, &corpus.embl_flat())
+        .unwrap();
+    federation.add_warehouse("node-a", node_a);
+    let node_b = Arc::new(Xomatiq::in_memory());
+    node_b
+        .load_source(
+            "hlx_enzyme.DEFAULT",
+            SourceKind::Enzyme,
+            &corpus.enzyme_flat(),
+        )
+        .unwrap();
+    federation.add_warehouse("node-b", node_b);
+    let node_c = Arc::new(Xomatiq::in_memory());
+    node_c
+        .load_source(
+            "hlx_sprot.all",
+            SourceKind::SwissProt,
+            &corpus.swissprot_flat(),
+        )
+        .unwrap();
+    federation.add_warehouse("node-c", node_c);
+
+    let single = Xomatiq::in_memory();
+    single
+        .load_source("hlx_embl.inv", SourceKind::Embl, &corpus.embl_flat())
+        .unwrap();
+    single
+        .load_source(
+            "hlx_enzyme.DEFAULT",
+            SourceKind::Enzyme,
+            &corpus.enzyme_flat(),
+        )
+        .unwrap();
+    single
+        .load_source(
+            "hlx_sprot.all",
+            SourceKind::SwissProt,
+            &corpus.swissprot_flat(),
+        )
+        .unwrap();
+    Setup {
+        federation,
+        single,
+        corpus,
+    }
+}
+
+fn rows_of(outcome: &xomatiq_core::QueryOutcome) -> BTreeSet<Vec<String>> {
+    outcome
+        .rows
+        .iter()
+        .map(|r| r.iter().map(|v| v.to_string()).collect())
+        .collect()
+}
+
+#[test]
+fn single_warehouse_queries_delegate() {
+    let s = setup();
+    let q = r#"FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+               WHERE contains($a//catalytic_activity, "ketone")
+               RETURN $a//enzyme_id"#;
+    let fed = s.federation.query(q).unwrap();
+    let oracle = s.single.query(q).unwrap();
+    assert_eq!(rows_of(&fed), rows_of(&oracle));
+    assert!(!fed.rows.is_empty());
+}
+
+#[test]
+fn cross_warehouse_join_matches_single_warehouse() {
+    let s = setup();
+    let fed = s.federation.query(FIG11).unwrap();
+    let oracle = s.single.query(FIG11).unwrap();
+    assert_eq!(fed.columns, oracle.columns);
+    assert_eq!(rows_of(&fed), rows_of(&oracle));
+    assert_eq!(fed.rows.len(), s.corpus.planted_ec_links.len());
+}
+
+#[test]
+fn cross_warehouse_keyword_search_matches_single_warehouse() {
+    let s = setup();
+    let fed = s.federation.query(FIG8).unwrap();
+    let oracle = s.single.query(FIG8).unwrap();
+    assert_eq!(rows_of(&fed), rows_of(&oracle));
+    assert_eq!(
+        fed.rows.len(),
+        s.corpus.cdc6_embl.len() * s.corpus.cdc6_swissprot.len()
+    );
+}
+
+#[test]
+fn three_warehouse_query() {
+    let s = setup();
+    // Correlate all three databases: enzymes linked from EMBL entries
+    // whose Swiss-Prot reference appears in the federation's third node.
+    let q = r#"
+        FOR $a IN document("hlx_embl.inv")/hlx_n_sequence/db_entry,
+            $b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry,
+            $c IN document("hlx_sprot.all")/hlx_p_sequence/db_entry
+        WHERE $a//qualifier[@qualifier_type = "EC number"] = $b/enzyme_id
+          AND $b//reference/@swissprot_accession_number = $c/sprot_accession_number
+        RETURN $a//embl_accession_number, $b/enzyme_id, $c//entry_name
+    "#;
+    let fed = s.federation.query(q).unwrap();
+    let oracle = s.single.query(q).unwrap();
+    assert_eq!(rows_of(&fed), rows_of(&oracle));
+    assert!(
+        !fed.rows.is_empty(),
+        "corpus should produce three-way links"
+    );
+}
+
+#[test]
+fn non_equality_cross_condition() {
+    let s = setup();
+    // A numeric inequality spanning warehouses (resolved by the residual
+    // filter path): EMBL sequences longer than the Swiss-Prot sequence of
+    // a cdc6 protein.
+    let q = r#"
+        FOR $a IN document("hlx_embl.inv")/hlx_n_sequence,
+            $b IN document("hlx_sprot.all")/hlx_p_sequence
+        WHERE contains($b, "cdc6", any)
+          AND $a//sequence/@length > $b//sequence/@length
+        RETURN $a//embl_accession_number, $b//sprot_accession_number
+    "#;
+    let fed = s.federation.query(q).unwrap();
+    let oracle = s.single.query(q).unwrap();
+    assert_eq!(rows_of(&fed), rows_of(&oracle));
+}
+
+#[test]
+fn unsupported_cross_warehouse_constructs() {
+    let s = setup();
+    // OR spanning warehouses.
+    let q = r#"
+        FOR $a IN document("hlx_embl.inv")/hlx_n_sequence,
+            $b IN document("hlx_sprot.all")/hlx_p_sequence
+        WHERE contains($a, "cdc6", any) OR contains($b, "cdc6", any)
+        RETURN $a//embl_accession_number
+    "#;
+    assert!(s.federation.query(q).is_err());
+    // Unknown collection anywhere in the federation.
+    assert!(s
+        .federation
+        .query(r#"FOR $x IN document("nowhere")/r RETURN $x//y"#)
+        .is_err());
+}
+
+#[test]
+fn members_listing() {
+    let s = setup();
+    assert_eq!(s.federation.members(), vec!["node-a", "node-b", "node-c"]);
+}

@@ -1,0 +1,134 @@
+//! Scripted tests of the `xomatiq-shell` binary (the CLI stand-in for the
+//! paper's GUI), driven through stdin.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run_script(script: &str, args: &[&str]) -> String {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_xomatiq-shell"))
+        .args(args)
+        .env("XOMATIQ_BATCH", "1")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("shell binary spawns");
+    child
+        .stdin
+        .as_mut()
+        .expect("piped")
+        .write_all(script.as_bytes())
+        .expect("write script");
+    let output = child.wait_with_output().expect("shell exits");
+    assert!(
+        output.status.success(),
+        "shell exited with {:?}",
+        output.status
+    );
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+#[test]
+fn gen_query_and_inspect() {
+    let out = run_script(
+        r#"gen 40
+stats
+dtd hlx_enzyme.DEFAULT
+FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme WHERE contains($a//db_entry, "Copper") RETURN $a//enzyme_id;
+quit
+"#,
+        &[],
+    );
+    assert!(out.contains("hlx_enzyme.DEFAULT: 40 documents"), "{out}");
+    assert!(out.contains("<!ELEMENT hlx_enzyme (db_entry)>"), "{out}");
+    assert!(out.contains("| enzyme_id |"), "{out}");
+    assert!(out.contains("rows)"), "{out}");
+}
+
+#[test]
+fn multiline_query_and_xml_view() {
+    let out = run_script(
+        r#"gen 30
+xml
+FOR $a IN document("hlx_embl.inv")/hlx_n_sequence
+WHERE contains($a, "cdc6", any)
+RETURN $a//embl_accession_number
+
+quit
+"#,
+        &[],
+    );
+    assert!(out.contains("result view: XML"), "{out}");
+    assert!(out.contains("<results count="), "{out}");
+}
+
+#[test]
+fn explain_and_doc_commands() {
+    let out = run_script(
+        r#"gen 20
+explain FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme WHERE $a//enzyme_id = "1.1.1.1" RETURN $a//enzyme_id
+doc hlx_enzyme.DEFAULT 1.1.1.1
+quit
+"#,
+        &[],
+    );
+    assert!(out.contains("-- SQL"), "{out}");
+    assert!(out.contains("IndexScan"), "{out}");
+    assert!(out.contains("enzyme_id: 1.1.1.1"), "{out}");
+}
+
+#[test]
+fn load_and_update_from_files() {
+    let dir = std::env::temp_dir().join(format!("xomatiq-shell-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let v1 = dir.join("enzyme_v1.txt");
+    std::fs::write(&v1, xomatiq_bioflat::enzyme::FIGURE2_SAMPLE).unwrap();
+    let v2 = dir.join("enzyme_v2.txt");
+    let mut entry =
+        xomatiq_bioflat::enzyme::parse_enzyme_file(xomatiq_bioflat::enzyme::FIGURE2_SAMPLE)
+            .unwrap()
+            .remove(0);
+    entry.descriptions = vec!["Renamed via shell.".into()];
+    std::fs::write(&v2, entry.to_flat()).unwrap();
+
+    let script = format!(
+        "load c enzyme {}\nupdate c {}\nFOR $a IN document(\"c\")/hlx_enzyme RETURN $a//enzyme_description;\nquit\n",
+        v1.display(),
+        v2.display()
+    );
+    let out = run_script(&script, &[]);
+    assert!(out.contains("loaded 1 documents"), "{out}");
+    assert!(out.contains("1 change(s) integrated"), "{out}");
+    assert!(out.contains("Modified"), "{out}");
+    assert!(out.contains("Renamed via shell."), "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn durable_shell_session() {
+    let wal = std::env::temp_dir().join(format!("xomatiq-shell-wal-{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&wal);
+    let wal_str = wal.display().to_string();
+    run_script("gen 10\nquit\n", &[&wal_str]);
+    // Second session recovers the warehouse.
+    let out = run_script("stats\nquit\n", &[&wal_str]);
+    assert!(out.contains("hlx_enzyme.DEFAULT: 10 documents"), "{out}");
+    let _ = std::fs::remove_file(&wal);
+}
+
+#[test]
+fn errors_do_not_crash_the_shell() {
+    let out = run_script(
+        r#"bogus command
+load x unknown_kind /nope
+dtd missing_collection
+FOR garbage;
+quit
+"#,
+        &[],
+    );
+    assert!(out.contains("unknown command"), "{out}");
+    assert!(out.contains("unknown source kind"), "{out}");
+    assert!(out.contains("unknown collection"), "{out}");
+    assert!(out.contains("query failed"), "{out}");
+}

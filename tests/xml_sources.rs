@@ -1,0 +1,257 @@
+//! Integration tests for the two non-flat source paths of the paper's
+//! Figure 1: pre-existing XML databanks (INTERPRO, §2.1) and wrapped
+//! relational tables.
+
+use std::collections::BTreeSet;
+
+use xomatiq_bioflat::interpro::generate_interpro;
+use xomatiq_bioflat::{Corpus, CorpusSpec};
+use xomatiq_core::{ChangeKind, SourceKind, Xomatiq};
+use xomatiq_datahounds::transform::interpro::{interpro_to_xml, INTERPRO_DTD_TEXT};
+use xomatiq_relstore::Database;
+
+fn interpro_docs(
+    entries: &[xomatiq_bioflat::interpro::InterProEntry],
+) -> Vec<(String, xomatiq_xml::Document)> {
+    entries
+        .iter()
+        .map(|e| (e.id.clone(), interpro_to_xml(e).unwrap()))
+        .collect()
+}
+
+#[test]
+fn interpro_xml_databank_loads_and_queries() {
+    let corpus = Corpus::generate(&CorpusSpec::sized(30));
+    let sp_accessions: Vec<String> = corpus
+        .swissprot
+        .iter()
+        .map(|e| e.accession.clone())
+        .collect();
+    let entries = generate_interpro(40, 3, &sp_accessions);
+
+    let xq = Xomatiq::in_memory();
+    xq.load_source(
+        "hlx_sprot.all",
+        SourceKind::SwissProt,
+        &corpus.swissprot_flat(),
+    )
+    .unwrap();
+    let stats = xq
+        .load_xml_source(
+            "hlx_interpro.all",
+            INTERPRO_DTD_TEXT,
+            interpro_docs(&entries),
+        )
+        .unwrap();
+    assert_eq!(stats.documents, 40);
+
+    // Query the databank directly.
+    let outcome = xq
+        .query(
+            r#"FOR $i IN document("hlx_interpro.all")/hlx_interpro
+               WHERE $i//entry_type = "Domain"
+               RETURN $i//interpro_id, $i//entry_name"#,
+        )
+        .unwrap();
+    let expected: BTreeSet<String> = entries
+        .iter()
+        .filter(|e| e.entry_type == "Domain")
+        .map(|e| e.id.clone())
+        .collect();
+    let got: BTreeSet<String> = outcome.rows.iter().map(|r| r[0].to_string()).collect();
+    assert_eq!(got, expected);
+
+    // Cross-databank join: InterPro protein matches against Swiss-Prot.
+    let join = xq
+        .query(
+            r#"FOR $i IN document("hlx_interpro.all")/hlx_interpro/db_entry,
+                   $p IN document("hlx_sprot.all")/hlx_p_sequence/db_entry
+               WHERE $i//protein_match = $p/sprot_accession_number
+               RETURN $i//interpro_id, $p//entry_name"#,
+        )
+        .unwrap();
+    let expected_pairs: BTreeSet<(String, String)> = entries
+        .iter()
+        .flat_map(|e| {
+            e.protein_matches.iter().map(|m| {
+                let protein = corpus.swissprot.iter().find(|p| &p.accession == m).unwrap();
+                (e.id.clone(), protein.name.clone())
+            })
+        })
+        .collect();
+    let got_pairs: BTreeSet<(String, String)> = join
+        .rows
+        .iter()
+        .map(|r| (r[0].to_string(), r[1].to_string()))
+        .collect();
+    assert_eq!(got_pairs, expected_pairs);
+    assert!(!expected_pairs.is_empty());
+}
+
+#[test]
+fn interpro_updates_and_reconstruction() {
+    let entries = generate_interpro(10, 5, &[]);
+    let xq = Xomatiq::in_memory();
+    xq.load_xml_source("ipr", INTERPRO_DTD_TEXT, interpro_docs(&entries))
+        .unwrap();
+
+    // Reconstruction round-trips.
+    let doc = xq.reconstruct("ipr", "IPR000003").unwrap();
+    let original = interpro_to_xml(&entries[2]).unwrap();
+    assert!(original.structurally_equal(&doc));
+
+    // The DTD panel shows the stored DTD even for XML sources.
+    let dtd = xq.dtd("ipr").unwrap();
+    assert_eq!(dtd.root(), Some("hlx_interpro"));
+
+    // Incremental update: rename one entry, drop one, add one.
+    let mut v2 = entries.clone();
+    v2[0].name = "Renamed_family".into();
+    v2.remove(5);
+    let mut added = v2[1].clone();
+    added.id = "IPR999999".into();
+    v2.push(added);
+    let events = xq.update_xml_source("ipr", interpro_docs(&v2)).unwrap();
+    assert_eq!(events.len(), 3);
+    let kinds: BTreeSet<ChangeKind> = events.iter().map(|e| e.kind).collect();
+    assert_eq!(kinds.len(), 3);
+    assert_eq!(xq.doc_count("ipr").unwrap(), 10);
+    // Flat-style update on an XML source is rejected.
+    assert!(xq.update_source("ipr", "ID x").is_err());
+}
+
+#[test]
+fn relational_table_wraps_and_queries() {
+    // A "remote" clinical database (the paper's §1 medical-records
+    // correlation scenario) — simulated by a second engine instance.
+    let remote = Database::in_memory();
+    remote
+        .execute("CREATE TABLE patients (mrn TEXT, diagnosis TEXT, mim_id TEXT, age INT)")
+        .unwrap();
+    remote
+        .execute(
+            "INSERT INTO patients VALUES \
+             ('MRN001', 'Alkaptonuria', '203500', 34), \
+             ('MRN002', 'Phenylketonuria', '261600', 7), \
+             ('MRN003', 'Alkaptonuria', '203500', 61), \
+             ('MRN004', 'Galactosemia', '230400', 2)",
+        )
+        .unwrap();
+
+    let xq = Xomatiq::in_memory();
+    let stats = xq
+        .load_relational_source("hlx_patients", &remote, "patients", "mrn")
+        .unwrap();
+    assert_eq!(stats.documents, 4);
+
+    // Query the wrapped table through FLWR like any other collection.
+    let outcome = xq
+        .query(
+            r#"FOR $p IN document("hlx_patients")/hlx_patients
+               WHERE $p//diagnosis = "Alkaptonuria" AND $p//age > 40
+               RETURN $p//mrn"#,
+        )
+        .unwrap();
+    assert_eq!(outcome.rows.len(), 1);
+    assert_eq!(outcome.rows[0][0].to_string(), "MRN003");
+
+    // Correlate with the ENZYME disease annotations (paper §1: medical
+    // records × disease databases) via MIM ids.
+    let mut enzyme = xomatiq_bioflat::EnzymeEntry {
+        id: "1.2.3.4".into(),
+        descriptions: vec!["Homogentisate oxidase.".into()],
+        ..Default::default()
+    };
+    enzyme.diseases.push(xomatiq_bioflat::enzyme::DiseaseRef {
+        description: "Alkaptonuria".into(),
+        mim_id: "203500".into(),
+    });
+    xq.load_source("hlx_enzyme.DEFAULT", SourceKind::Enzyme, &enzyme.to_flat())
+        .unwrap();
+    let join = xq
+        .query(
+            r#"FOR $p IN document("hlx_patients")/hlx_patients/db_entry,
+                   $e IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+               WHERE $p/mim_id = $e//disease/@mim_id
+               RETURN $p//mrn, $e//enzyme_description"#,
+        )
+        .unwrap();
+    let mrns: BTreeSet<String> = join.rows.iter().map(|r| r[0].to_string()).collect();
+    assert_eq!(
+        mrns,
+        BTreeSet::from(["MRN001".to_string(), "MRN003".to_string()])
+    );
+}
+
+#[test]
+fn xml_source_survives_restart() {
+    let path = std::env::temp_dir().join(format!("xomatiq-xmlsrc-{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let entries = generate_interpro(5, 8, &[]);
+    {
+        let xq = Xomatiq::open(&path).unwrap();
+        xq.load_xml_source("ipr", INTERPRO_DTD_TEXT, interpro_docs(&entries))
+            .unwrap();
+    }
+    let xq = Xomatiq::open(&path).unwrap();
+    assert_eq!(xq.doc_count("ipr").unwrap(), 5);
+    assert_eq!(xq.dtd("ipr").unwrap().root(), Some("hlx_interpro"));
+    let outcome = xq
+        .query(r#"FOR $i IN document("ipr")/hlx_interpro RETURN $i//interpro_id"#)
+        .unwrap();
+    assert_eq!(outcome.rows.len(), 5);
+    // XML updates still work post-recovery.
+    let mut v2 = entries.clone();
+    v2[0].name = "changed".into();
+    let events = xq.update_xml_source("ipr", interpro_docs(&v2)).unwrap();
+    assert_eq!(events.len(), 1);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn invalid_xml_source_rejected() {
+    let xq = Xomatiq::in_memory();
+    // A document that does not match the declared DTD.
+    let (mut doc, root) = xomatiq_xml::Document::with_root("wrong_root").unwrap();
+    doc.append_text(root, "x");
+    let err = xq.load_xml_source("bad", INTERPRO_DTD_TEXT, vec![("k".into(), doc)]);
+    assert!(err.is_err());
+    // Flat loader refuses the Xml kind.
+    assert!(xq.load_source("bad2", SourceKind::Xml, "").is_err());
+}
+
+#[test]
+fn comments_and_pis_survive_shredding() {
+    // XML databank entries may carry comments and processing instructions;
+    // both shredding strategies must store and reconstruct them.
+    let dtd_text = "<!ELEMENT r (item*)>\n<!ELEMENT item (#PCDATA)>\n";
+    let (mut doc, root) = xomatiq_xml::Document::with_root("r").unwrap();
+    doc.append_comment(root, " curator note ");
+    let item = doc.append_element(root, "item").unwrap();
+    doc.append_text(item, "value");
+    doc.append_pi(root, "render", "inline").unwrap();
+
+    for strategy in [
+        xomatiq_core::ShreddingStrategy::Edge,
+        xomatiq_core::ShreddingStrategy::Interval,
+    ] {
+        let xq = Xomatiq::in_memory();
+        xq.hounds()
+            .load_xml_source(
+                "c",
+                dtd_text,
+                vec![("k1".to_string(), doc.clone())],
+                xomatiq_datahounds::source::LoadOptions {
+                    strategy,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let rebuilt = xq.reconstruct("c", "k1").unwrap();
+        assert!(
+            doc.structurally_equal(&rebuilt),
+            "{strategy:?} lost comments or PIs:\n{}",
+            xomatiq_xml::to_string(&rebuilt)
+        );
+    }
+}
