@@ -24,7 +24,8 @@
 //! split; everything the paper's figures need is conjunctive.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
 
 use xomatiq_relstore::Value;
 use xomatiq_xquery::ast::{
@@ -34,10 +35,61 @@ use xomatiq_xquery::{parse_query, QueryError};
 
 use crate::warehouse::{QueryOutcome, Xomatiq, XomatiqError};
 
+/// An injected fault for one member, returned by a [`FaultHook`]. Tests
+/// use this to simulate a member dying mid-query or hanging past its
+/// deadline without needing a real remote node to kill.
+#[derive(Debug, Clone)]
+pub enum MemberFault {
+    /// The member fails immediately with this message.
+    Fail(String),
+    /// The member stalls for this long before answering (exceeding the
+    /// federation deadline makes it count as failed).
+    Hang(Duration),
+}
+
+/// Decides, per member name, whether to inject a [`MemberFault`] for the
+/// current query. Runs on the member's worker thread.
+pub type FaultHook = Arc<dyn Fn(&str) -> Option<MemberFault> + Send + Sync>;
+
+/// One member that did not contribute to a federated result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemberFailure {
+    /// The federation name of the member.
+    pub member: String,
+    /// Why it failed (execution error, injected fault, or deadline).
+    pub reason: String,
+}
+
+/// Which members failed during a federated query. Empty on a clean run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DegradedReport {
+    /// The members whose sub-queries did not complete.
+    pub failed: Vec<MemberFailure>,
+}
+
+impl DegradedReport {
+    /// Whether any member failed (the result is partial).
+    pub fn is_degraded(&self) -> bool {
+        !self.failed.is_empty()
+    }
+}
+
+/// A federated query result together with its degradation report.
+#[derive(Debug, Clone)]
+pub struct FederatedOutcome {
+    /// The (possibly partial) combined result.
+    pub outcome: QueryOutcome,
+    /// Which members failed; empty when every member answered.
+    pub degraded: DegradedReport,
+}
+
 /// A set of named warehouses queried as one system.
 #[derive(Default)]
 pub struct Federation {
     members: Vec<(String, Arc<Xomatiq>)>,
+    member_deadline: Option<Duration>,
+    strict: bool,
+    fault_hook: Option<FaultHook>,
 }
 
 impl Federation {
@@ -56,6 +108,26 @@ impl Federation {
         self.members.iter().map(|(n, _)| n.as_str()).collect()
     }
 
+    /// Sets the per-member execution deadline. A member that has not
+    /// answered its sub-query within the deadline counts as failed; its
+    /// worker is abandoned (never joined), so a hung member cannot stall
+    /// the federation. `None` (the default) waits indefinitely.
+    pub fn set_member_deadline(&mut self, deadline: Option<Duration>) {
+        self.member_deadline = deadline;
+    }
+
+    /// Opts into strict all-or-nothing semantics: any member failure fails
+    /// the whole query instead of returning a degraded partial result.
+    pub fn set_strict(&mut self, strict: bool) {
+        self.strict = strict;
+    }
+
+    /// Installs (or clears) the fault-injection hook consulted before each
+    /// member sub-query. Production federations leave this `None`.
+    pub fn set_fault_hook(&mut self, hook: Option<FaultHook>) {
+        self.fault_hook = hook;
+    }
+
     /// The member warehouse holding `collection`, if any.
     pub fn locate(&self, collection: &str) -> Option<&Arc<Xomatiq>> {
         self.members
@@ -66,12 +138,88 @@ impl Federation {
 
     /// Parses and runs a FLWR query that may span member warehouses.
     pub fn query(&self, text: &str) -> Result<QueryOutcome, XomatiqError> {
+        self.query_with_report(text).map(|f| f.outcome)
+    }
+
+    /// Parses and runs a FLWR query, also reporting which members (if any)
+    /// failed to contribute.
+    pub fn query_with_report(&self, text: &str) -> Result<FederatedOutcome, XomatiqError> {
         let parsed = parse_query(text)?;
-        self.run_query(&parsed)
+        self.run_query_with_report(&parsed)
+    }
+
+    /// Starts `sub` on member `member`'s own worker thread and returns the
+    /// channel its result will arrive on. The worker is detached: if it
+    /// outlives the deadline it finishes (or hangs) in the background
+    /// without holding the federation hostage.
+    fn spawn_member(
+        &self,
+        member: usize,
+        sub: FlwrQuery,
+    ) -> mpsc::Receiver<Result<QueryOutcome, XomatiqError>> {
+        let (tx, rx) = mpsc::channel();
+        let name = self.members[member].0.clone();
+        let warehouse = Arc::clone(&self.members[member].1);
+        let hook = self.fault_hook.clone();
+        std::thread::spawn(move || {
+            let result = (|| {
+                if let Some(hook) = &hook {
+                    match hook(&name) {
+                        Some(MemberFault::Fail(msg)) => {
+                            return Err(XomatiqError::Federation(format!(
+                                "member {name:?} died: {msg}"
+                            )))
+                        }
+                        Some(MemberFault::Hang(d)) => std::thread::sleep(d),
+                        None => {}
+                    }
+                }
+                warehouse.run_query(&sub)
+            })();
+            // A receiver that timed out and went away is fine.
+            let _ = tx.send(result);
+        });
+        rx
+    }
+
+    /// Waits for one member's answer, applying the federation deadline.
+    fn await_member(
+        &self,
+        rx: &mpsc::Receiver<Result<QueryOutcome, XomatiqError>>,
+    ) -> Result<QueryOutcome, String> {
+        let answer = match self.member_deadline {
+            Some(deadline) => rx.recv_timeout(deadline).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => {
+                    format!("deadline of {deadline:?} exceeded")
+                }
+                mpsc::RecvTimeoutError::Disconnected => "member worker vanished".to_string(),
+            })?,
+            None => rx
+                .recv()
+                .map_err(|_| "member worker vanished".to_string())?,
+        };
+        answer.map_err(|e| e.to_string())
     }
 
     /// Runs a parsed query across the federation.
     pub fn run_query(&self, query: &FlwrQuery) -> Result<QueryOutcome, XomatiqError> {
+        self.run_query_with_report(query).map(|f| f.outcome)
+    }
+
+    /// Runs a parsed query across the federation, reporting degradation.
+    ///
+    /// By default a member that fails (execution error, injected fault, or
+    /// missed deadline) is dropped from the result: surviving members'
+    /// rows are combined, the failed member's RETURN columns come back as
+    /// NULL, cross-warehouse conditions involving it are skipped, and the
+    /// [`DegradedReport`] names it. With [`Federation::set_strict`] any
+    /// member failure fails the whole query. A query whose *every*
+    /// contributing member failed always errors — there is nothing left to
+    /// return.
+    pub fn run_query_with_report(
+        &self,
+        query: &FlwrQuery,
+    ) -> Result<FederatedOutcome, XomatiqError> {
         // Assign each binding variable to the member that holds its
         // collection.
         let mut var_home: HashMap<String, usize> = HashMap::new();
@@ -99,12 +247,24 @@ impl Federation {
             let_home.insert(l.var.clone(), home);
         }
 
-        // Single warehouse: delegate wholesale.
+        // Single warehouse: delegate wholesale (still under the deadline
+        // and fault hook — a lone member failing has no survivors to
+        // degrade to, so it is always an error).
         if groups.len() <= 1 {
             let (member, _) = groups.first().ok_or_else(|| {
                 XomatiqError::Query(QueryError::Parse("query has no bindings".into()))
             })?;
-            return self.members[*member].1.run_query(query);
+            let rx = self.spawn_member(*member, query.clone());
+            let outcome = self.await_member(&rx).map_err(|reason| {
+                XomatiqError::Federation(format!(
+                    "member {:?} failed: {reason}",
+                    self.members[*member].0
+                ))
+            })?;
+            return Ok(FederatedOutcome {
+                outcome,
+                degraded: DegradedReport::default(),
+            });
         }
 
         // Split the WHERE into conjuncts and classify by home set.
@@ -148,7 +308,7 @@ impl Federation {
         }
 
         // Build per-member sub-queries.
-        let mut sub_outcomes: Vec<QueryOutcome> = Vec::new();
+        let mut subs: Vec<FlwrQuery> = Vec::new();
         // For every member: the visible return items it owns (with their
         // global position) and the cross-join key columns it contributes.
         let mut visible_map: Vec<Vec<(usize, usize)>> = Vec::new(); // member slot → [(global pos, local col)]
@@ -203,29 +363,81 @@ impl Federation {
                 });
             }
             let where_clause = and_all(local[slot].clone());
-            let sub = FlwrQuery {
+            subs.push(FlwrQuery {
                 bindings,
                 lets,
                 where_clause,
                 return_items: items,
                 wrapper: None,
-            };
-            let outcome = self.members[*member].1.run_query(&sub)?;
-            sub_outcomes.push(outcome);
+            });
             visible_map.push(visible);
             key_cols.push(keys);
         }
 
-        // Combine: start with member 0's rows, join each further member.
-        // Row representation: Vec<Value> = concatenation of member rows,
-        // with per-member column offsets.
+        // Launch every member's sub-query on its own worker, then gather
+        // under the per-member deadline. A failed member yields `None`.
+        let receivers: Vec<_> = groups
+            .iter()
+            .zip(&subs)
+            .map(|((member, _), sub)| self.spawn_member(*member, sub.clone()))
+            .collect();
+        let mut sub_outcomes: Vec<Option<QueryOutcome>> = Vec::new();
+        let mut degraded = DegradedReport::default();
+        for (slot, rx) in receivers.iter().enumerate() {
+            match self.await_member(rx) {
+                Ok(outcome) => sub_outcomes.push(Some(outcome)),
+                Err(reason) => {
+                    degraded.failed.push(MemberFailure {
+                        member: self.members[groups[slot].0].0.clone(),
+                        reason,
+                    });
+                    sub_outcomes.push(None);
+                }
+            }
+        }
+        if degraded.is_degraded() {
+            if self.strict {
+                let detail: Vec<String> = degraded
+                    .failed
+                    .iter()
+                    .map(|f| format!("{} ({})", f.member, f.reason))
+                    .collect();
+                return Err(XomatiqError::Federation(format!(
+                    "strict mode: member failure(s): {}",
+                    detail.join("; ")
+                )));
+            }
+            if sub_outcomes.iter().all(Option::is_none) {
+                return Err(XomatiqError::Federation(
+                    "every federation member failed".into(),
+                ));
+            }
+        }
+
+        // Combine: start with the first surviving member's rows, join each
+        // further surviving member. Row representation: Vec<Value> =
+        // concatenation of member rows, with per-member column offsets
+        // (failed members occupy zero columns). Cross-warehouse conjuncts
+        // touching a failed member are unevaluable and skipped — the
+        // surviving side comes back unfiltered, which is the documented
+        // partial-result semantics.
         let mut offsets = vec![0usize];
         for outcome in &sub_outcomes {
-            offsets.push(offsets.last().expect("non-empty") + outcome.columns.len());
+            let width = outcome.as_ref().map_or(0, |o| o.columns.len());
+            offsets.push(offsets.last().expect("non-empty") + width);
         }
-        let mut combined: Vec<Vec<Value>> = sub_outcomes[0].rows.to_vec();
-        let mut joined_slots = vec![0usize];
-        for next_slot in 1..sub_outcomes.len() {
+        let surviving: Vec<usize> = sub_outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.as_ref().map(|_| i))
+            .collect();
+        let seed = surviving[0];
+        let mut combined: Vec<Vec<Value>> = sub_outcomes[seed]
+            .as_ref()
+            .map(|o| o.rows.to_vec())
+            .unwrap_or_default();
+        let mut joined_slots = vec![seed];
+        for &next_slot in surviving.iter().skip(1) {
             // Equality keys between the joined slots and next_slot.
             let mut probe_cols: Vec<usize> = Vec::new(); // absolute cols in combined
             let mut build_cols: Vec<usize> = Vec::new(); // cols in next outcome
@@ -259,7 +471,10 @@ impl Federation {
                     residual.push((joined_col, op, new_col));
                 }
             }
-            let next_rows = &sub_outcomes[next_slot].rows;
+            let next_rows = &sub_outcomes[next_slot]
+                .as_ref()
+                .expect("surviving slot")
+                .rows;
             let mut out = Vec::new();
             if probe_cols.is_empty() {
                 // Cross join (plus residual filters).
@@ -303,10 +518,12 @@ impl Federation {
 
         // Project back to the user's RETURN order and de-duplicate (each
         // sub-query was already DISTINCT, but the combination can repeat).
-        let mut projection: Vec<(usize, usize)> = Vec::new(); // (global pos, abs col)
+        // Columns owned by a failed member project as NULL.
+        let mut projection: Vec<(usize, Option<usize>)> = Vec::new(); // (global pos, abs col)
         for (slot, visible) in visible_map.iter().enumerate() {
+            let alive = sub_outcomes[slot].is_some();
             for (global_pos, local_col) in visible {
-                projection.push((*global_pos, offsets[slot] + local_col));
+                projection.push((*global_pos, alive.then_some(offsets[slot] + local_col)));
             }
         }
         projection.sort_by_key(|(global, _)| *global);
@@ -320,7 +537,10 @@ impl Federation {
         for row in combined {
             let projected: Vec<Value> = projection
                 .iter()
-                .map(|(_, col)| row[*col].clone())
+                .map(|(_, col)| match col {
+                    Some(c) => row[*c].clone(),
+                    None => Value::Null,
+                })
                 .collect();
             if seen.insert(projected.clone()) {
                 rows.push(projected);
@@ -336,10 +556,13 @@ impl Federation {
             }
             std::cmp::Ordering::Equal
         });
-        Ok(QueryOutcome {
-            columns,
-            rows,
-            sql: "(federated: executed as per-warehouse sub-queries)".into(),
+        Ok(FederatedOutcome {
+            outcome: QueryOutcome {
+                columns,
+                rows,
+                sql: "(federated: executed as per-warehouse sub-queries)".into(),
+            },
+            degraded,
         })
     }
 }

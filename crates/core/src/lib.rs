@@ -42,8 +42,10 @@ pub mod tagger;
 pub mod warehouse;
 
 pub use builder::QueryBuilder;
-pub use federation::Federation;
-pub use warehouse::{QueryOutcome, Xomatiq};
+pub use federation::{
+    DegradedReport, FaultHook, FederatedOutcome, Federation, MemberFailure, MemberFault,
+};
+pub use warehouse::{QueryOutcome, Xomatiq, XomatiqError};
 
 // The pieces applications typically need alongside the facade.
 pub use xomatiq_datahounds::{ChangeEvent, ChangeKind, ShreddingStrategy, SourceKind};

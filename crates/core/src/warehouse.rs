@@ -236,6 +236,9 @@ pub enum XomatiqError {
     Warehouse(HoundError),
     /// SQL execution failed.
     Execution(String),
+    /// A federated query failed at the federation layer (member death,
+    /// deadline, or strict-mode refusal of a degraded result).
+    Federation(String),
 }
 
 impl std::fmt::Display for XomatiqError {
@@ -244,6 +247,7 @@ impl std::fmt::Display for XomatiqError {
             XomatiqError::Query(e) => write!(f, "{e}"),
             XomatiqError::Warehouse(e) => write!(f, "{e}"),
             XomatiqError::Execution(m) => write!(f, "query execution failed: {m}"),
+            XomatiqError::Federation(m) => write!(f, "federation error: {m}"),
         }
     }
 }

@@ -1,0 +1,182 @@
+//! Retry policy for flaky source downloads.
+//!
+//! The paper's Data Hounds "periodically download" their sources over the
+//! network (§2.2); real FTP mirrors drop connections. [`RetryPolicy`]
+//! re-attempts a fallible fetch with capped exponential backoff. Sleeping
+//! goes through the [`Sleeper`] trait so tests can record the schedule
+//! deterministically instead of touching the wall clock.
+
+use std::time::Duration;
+
+/// How to wait between retry attempts.
+pub trait Sleeper {
+    /// Blocks (or pretends to block) for `d`.
+    fn sleep(&mut self, d: Duration);
+}
+
+/// Production sleeper: actually blocks the calling thread.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ThreadSleeper;
+
+impl Sleeper for ThreadSleeper {
+    fn sleep(&mut self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}
+
+/// Test sleeper: records every requested delay and returns immediately.
+#[derive(Debug, Default)]
+pub struct RecordingSleeper {
+    /// The delays requested so far, in order.
+    pub slept: Vec<Duration>,
+}
+
+impl Sleeper for RecordingSleeper {
+    fn sleep(&mut self, d: Duration) {
+        self.slept.push(d);
+    }
+}
+
+/// Capped exponential backoff: attempt `n` (0-based) waits
+/// `min(base_delay_ms << n, max_delay_ms)` before retrying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (0 behaves as 1).
+    pub max_attempts: u32,
+    /// Delay before the first retry, in milliseconds.
+    pub base_delay_ms: u64,
+    /// Ceiling on any single delay, in milliseconds.
+    pub max_delay_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay_ms: 250,
+            max_delay_ms: 5_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that tries exactly once — no retries, no sleeping.
+    pub fn no_retries() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_delay_ms: 0,
+            max_delay_ms: 0,
+        }
+    }
+
+    /// The backoff delay after failed attempt `attempt` (0-based).
+    pub fn delay_for(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base_delay_ms
+            .checked_shl(attempt)
+            .unwrap_or(self.max_delay_ms);
+        Duration::from_millis(exp.min(self.max_delay_ms))
+    }
+
+    /// Runs `op` until it succeeds or `max_attempts` is exhausted, sleeping
+    /// via `sleeper` between attempts. Returns the last error on exhaustion.
+    pub fn run<T, E, F>(&self, sleeper: &mut dyn Sleeper, mut op: F) -> Result<T, E>
+    where
+        F: FnMut(u32) -> Result<T, E>,
+    {
+        let attempts = self.max_attempts.max(1);
+        let mut last_err = None;
+        for attempt in 0..attempts {
+            match op(attempt) {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    last_err = Some(e);
+                    if attempt + 1 < attempts {
+                        sleeper.sleep(self.delay_for(attempt));
+                    }
+                }
+            }
+        }
+        Err(last_err.expect("at least one attempt ran"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_success_skips_sleeping() {
+        let mut sleeper = RecordingSleeper::default();
+        let got: Result<i32, &str> = RetryPolicy::default().run(&mut sleeper, |_| Ok(42));
+        assert_eq!(got, Ok(42));
+        assert!(sleeper.slept.is_empty());
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let policy = RetryPolicy {
+            max_attempts: 6,
+            base_delay_ms: 100,
+            max_delay_ms: 450,
+        };
+        let mut sleeper = RecordingSleeper::default();
+        let got: Result<(), String> = policy.run(&mut sleeper, |n| Err(format!("attempt {n}")));
+        // Exhausted: the *last* error comes back.
+        assert_eq!(got, Err("attempt 5".to_string()));
+        // 5 sleeps between 6 attempts: 100, 200, 400, then capped at 450.
+        let ms: Vec<u64> = sleeper.slept.iter().map(|d| d.as_millis() as u64).collect();
+        assert_eq!(ms, vec![100, 200, 400, 450, 450]);
+    }
+
+    #[test]
+    fn succeeds_midway() {
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            base_delay_ms: 10,
+            max_delay_ms: 1_000,
+        };
+        let mut sleeper = RecordingSleeper::default();
+        let got: Result<u32, &str> =
+            policy.run(
+                &mut sleeper,
+                |n| {
+                    if n < 2 {
+                        Err("transient")
+                    } else {
+                        Ok(n)
+                    }
+                },
+            );
+        assert_eq!(got, Ok(2));
+        assert_eq!(sleeper.slept.len(), 2);
+    }
+
+    #[test]
+    fn zero_attempts_still_runs_once() {
+        let policy = RetryPolicy {
+            max_attempts: 0,
+            base_delay_ms: 10,
+            max_delay_ms: 10,
+        };
+        let mut sleeper = RecordingSleeper::default();
+        let mut calls = 0;
+        let got: Result<(), &str> = policy.run(&mut sleeper, |_| {
+            calls += 1;
+            Err("nope")
+        });
+        assert!(got.is_err());
+        assert_eq!(calls, 1);
+        assert!(sleeper.slept.is_empty());
+    }
+
+    #[test]
+    fn shift_overflow_saturates_at_cap() {
+        let policy = RetryPolicy {
+            max_attempts: 80,
+            base_delay_ms: 1,
+            max_delay_ms: 700,
+        };
+        assert_eq!(policy.delay_for(70), Duration::from_millis(700));
+    }
+}

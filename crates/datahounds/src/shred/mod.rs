@@ -155,18 +155,22 @@ pub fn drop_collection_tables(db: &Database, prefix: &str) -> RelResult<()> {
     Ok(())
 }
 
-/// Shreds one document into the collection under `prefix`.
+/// Builds the SQL statements that shred one document into the collection
+/// under `prefix`, without executing them.
 ///
-/// `doc_id` must be unique within the collection; `entry_key` is the
-/// stable source identifier (EC number / accession) used by updates.
-pub fn shred_document(
+/// Callers fold the returned statements into a larger atomic batch (e.g.
+/// together with the collection's `_src` bookkeeping row) so an entry's
+/// tuples land in a single WAL transaction. `doc_id` must be unique within
+/// the collection; `entry_key` is the stable source identifier (EC number
+/// / accession) used by updates.
+pub fn shred_statements(
     db: &Database,
     prefix: &str,
     strategy: ShreddingStrategy,
     doc_id: u64,
     entry_key: &str,
     doc: &Document,
-) -> HoundResult<ShredStats> {
+) -> HoundResult<(Vec<String>, ShredStats)> {
     let root = doc
         .root_element()
         .ok_or_else(|| HoundError::Pipeline("cannot shred an empty document".into()))?;
@@ -249,18 +253,40 @@ pub fn shred_document(
         ));
     }
 
+    Ok((statements, stats))
+}
+
+/// Shreds one document into the collection under `prefix`, executing all
+/// of its tuples as a single atomic batch.
+pub fn shred_document(
+    db: &Database,
+    prefix: &str,
+    strategy: ShreddingStrategy,
+    doc_id: u64,
+    entry_key: &str,
+    doc: &Document,
+) -> HoundResult<ShredStats> {
+    let (statements, stats) = shred_statements(db, prefix, strategy, doc_id, entry_key, doc)?;
     let refs: Vec<&str> = statements.iter().map(String::as_str).collect();
     db.execute_batch(&refs)?;
     Ok(stats)
 }
 
+/// Builds the SQL statements that delete every tuple belonging to `doc_id`
+/// in the collection, without executing them.
+pub fn delete_statements(prefix: &str, doc_id: u64) -> Vec<String> {
+    vec![
+        format!("DELETE FROM {prefix}_nodes WHERE doc_id = {doc_id}"),
+        format!("DELETE FROM {prefix}_attrs WHERE doc_id = {doc_id}"),
+        format!("DELETE FROM {prefix}_docs WHERE doc_id = {doc_id}"),
+    ]
+}
+
 /// Deletes every tuple belonging to `doc_id` in the collection.
 pub fn delete_document(db: &Database, prefix: &str, doc_id: u64) -> HoundResult<()> {
-    db.execute_batch(&[
-        &format!("DELETE FROM {prefix}_nodes WHERE doc_id = {doc_id}"),
-        &format!("DELETE FROM {prefix}_attrs WHERE doc_id = {doc_id}"),
-        &format!("DELETE FROM {prefix}_docs WHERE doc_id = {doc_id}"),
-    ])?;
+    let statements = delete_statements(prefix, doc_id);
+    let refs: Vec<&str> = statements.iter().map(String::as_str).collect();
+    db.execute_batch(&refs)?;
     Ok(())
 }
 

@@ -11,17 +11,16 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use xomatiq_bioflat::embl::parse_embl_file;
-use xomatiq_bioflat::enzyme::parse_enzyme_file;
-use xomatiq_bioflat::swissprot::parse_swissprot_file;
+use xomatiq_bioflat::line::{split_entries, split_line};
 use xomatiq_relstore::Database;
 use xomatiq_xml::dtd::{validate, Dtd};
 use xomatiq_xml::Document;
 
 use crate::error::{HoundError, HoundResult};
+use crate::retry::{RetryPolicy, Sleeper};
 use crate::shred::{
-    collection_prefix, create_collection_indexes, create_collection_tables, delete_document,
-    reconstruct_document, shred_document, sql_quote, ShredStats, ShreddingStrategy,
+    collection_prefix, create_collection_indexes, create_collection_tables, delete_statements,
+    reconstruct_document, shred_statements, sql_quote, ShredStats, ShreddingStrategy,
 };
 use crate::transform::{
     embl_dtd, embl_to_xml, enzyme_dtd, enzyme_to_xml, swissprot_dtd, swissprot_to_xml,
@@ -87,19 +86,25 @@ fn builtin_dtd_text(kind: SourceKind) -> &'static str {
     }
 }
 
-/// Parsed entries of one source, with uniform access.
-enum Entries {
-    Enzyme(Vec<xomatiq_bioflat::EnzymeEntry>),
-    Embl(Vec<xomatiq_bioflat::EmblEntry>),
-    SwissProt(Vec<xomatiq_bioflat::SwissProtEntry>),
+/// One parsed entry of a flat source, with uniform access.
+enum ParsedFlatEntry {
+    Enzyme(xomatiq_bioflat::EnzymeEntry),
+    Embl(xomatiq_bioflat::EmblEntry),
+    SwissProt(xomatiq_bioflat::SwissProtEntry),
 }
 
-impl Entries {
-    fn parse(kind: SourceKind, flat: &str) -> HoundResult<Entries> {
+impl ParsedFlatEntry {
+    fn parse(kind: SourceKind, lines: &[&str]) -> HoundResult<ParsedFlatEntry> {
         Ok(match kind {
-            SourceKind::Enzyme => Entries::Enzyme(parse_enzyme_file(flat)?),
-            SourceKind::Embl => Entries::Embl(parse_embl_file(flat)?),
-            SourceKind::SwissProt => Entries::SwissProt(parse_swissprot_file(flat)?),
+            SourceKind::Enzyme => {
+                ParsedFlatEntry::Enzyme(xomatiq_bioflat::EnzymeEntry::parse_lines(lines)?)
+            }
+            SourceKind::Embl => {
+                ParsedFlatEntry::Embl(xomatiq_bioflat::EmblEntry::parse_lines(lines)?)
+            }
+            SourceKind::SwissProt => {
+                ParsedFlatEntry::SwissProt(xomatiq_bioflat::SwissProtEntry::parse_lines(lines)?)
+            }
             SourceKind::Xml => {
                 return Err(HoundError::Pipeline(
                     "XML sources have no flat form to parse".into(),
@@ -108,37 +113,92 @@ impl Entries {
         })
     }
 
-    fn len(&self) -> usize {
+    fn key(&self) -> String {
         match self {
-            Entries::Enzyme(v) => v.len(),
-            Entries::Embl(v) => v.len(),
-            Entries::SwissProt(v) => v.len(),
+            ParsedFlatEntry::Enzyme(e) => e.id.clone(),
+            ParsedFlatEntry::Embl(e) => e.accession.clone(),
+            ParsedFlatEntry::SwissProt(e) => e.accession.clone(),
         }
     }
 
-    fn key(&self, i: usize) -> String {
+    fn to_xml(&self) -> HoundResult<Document> {
         match self {
-            Entries::Enzyme(v) => v[i].id.clone(),
-            Entries::Embl(v) => v[i].accession.clone(),
-            Entries::SwissProt(v) => v[i].accession.clone(),
+            ParsedFlatEntry::Enzyme(e) => enzyme_to_xml(e),
+            ParsedFlatEntry::Embl(e) => embl_to_xml(e),
+            ParsedFlatEntry::SwissProt(e) => swissprot_to_xml(e),
         }
     }
 
-    fn to_xml(&self, i: usize) -> HoundResult<Document> {
+    fn to_flat(&self) -> String {
         match self {
-            Entries::Enzyme(v) => enzyme_to_xml(&v[i]),
-            Entries::Embl(v) => embl_to_xml(&v[i]),
-            Entries::SwissProt(v) => swissprot_to_xml(&v[i]),
+            ParsedFlatEntry::Enzyme(e) => e.to_flat(),
+            ParsedFlatEntry::Embl(e) => e.to_flat(),
+            ParsedFlatEntry::SwissProt(e) => e.to_flat(),
         }
     }
+}
 
-    fn to_flat(&self, i: usize) -> String {
-        match self {
-            Entries::Enzyme(v) => v[i].to_flat(),
-            Entries::Embl(v) => v[i].to_flat(),
-            Entries::SwissProt(v) => v[i].to_flat(),
+/// A source entry set aside during a harvest instead of aborting it: the
+/// dead-letter record kept in the `hlx_quarantine` warehouse table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineRecord {
+    /// Best-effort stable key of the entry (`ID`-line token, or a
+    /// positional `entry-N` placeholder when even that is unreadable).
+    pub entry_key: String,
+    /// Why the entry was rejected (parse, transform or validation error).
+    pub reason: String,
+    /// The raw source text of the entry, for post-mortem repair.
+    pub raw: String,
+}
+
+/// Best-effort key extraction from a raw entry chunk: the first token of
+/// its `ID` line, else a positional placeholder.
+fn guess_entry_key(lines: &[&str], index: usize) -> String {
+    for line in lines {
+        if let Some(coded) = split_line(line) {
+            if coded.code == "ID" {
+                if let Some(tok) = coded.data.split_whitespace().next() {
+                    return tok.to_string();
+                }
+            }
         }
     }
+    format!("entry-{index}")
+}
+
+/// Splits `flat` into entries and parses each independently: good entries
+/// become [`PreparedDoc`]s, malformed ones become [`QuarantineRecord`]s so
+/// one rotten entry cannot sink a whole harvest.
+fn prepare_flat(
+    kind: SourceKind,
+    flat: &str,
+) -> HoundResult<(Vec<PreparedDoc>, Vec<QuarantineRecord>)> {
+    if kind == SourceKind::Xml {
+        return Err(HoundError::Pipeline(
+            "XML sources have no flat form to parse".into(),
+        ));
+    }
+    let mut prepared = Vec::new();
+    let mut rejected = Vec::new();
+    for (i, chunk) in split_entries(flat).iter().enumerate() {
+        let outcome = ParsedFlatEntry::parse(kind, chunk).and_then(|entry| {
+            let doc = entry.to_xml()?;
+            Ok(PreparedDoc {
+                key: entry.key(),
+                serialized: entry.to_flat(),
+                doc,
+            })
+        });
+        match outcome {
+            Ok(doc) => prepared.push(doc),
+            Err(e) => rejected.push(QuarantineRecord {
+                entry_key: guess_entry_key(chunk, i),
+                reason: e.to_string(),
+                raw: chunk.join("\n"),
+            }),
+        }
+    }
+    Ok((prepared, rejected))
 }
 
 /// One document ready for loading: its stable key, its serialized source
@@ -195,6 +255,12 @@ impl DataHounds {
             db.execute(
                 "CREATE TABLE hlx_collections (name TEXT, prefix TEXT, kind TEXT, \
                  strategy TEXT, dtd TEXT)",
+            )?;
+        }
+        if !db.table_names().iter().any(|t| t == "hlx_quarantine") {
+            db.execute(
+                "CREATE TABLE hlx_quarantine (collection TEXT, entry_key TEXT, \
+                 reason TEXT, raw TEXT)",
             )?;
         }
         let mut collections = BTreeMap::new();
@@ -276,6 +342,10 @@ impl DataHounds {
 
     /// Loads a flat-file source end-to-end into collection `name` (e.g.
     /// `hlx_enzyme.DEFAULT`) from its flat text.
+    ///
+    /// Malformed entries do not abort the harvest: each is recorded in the
+    /// `hlx_quarantine` dead-letter table (see [`DataHounds::quarantined`])
+    /// and skipped, and the remaining entries load normally.
     pub fn load_source(
         &self,
         name: &str,
@@ -288,17 +358,19 @@ impl DataHounds {
                 "XML sources are loaded with load_xml_source".into(),
             ));
         }
-        let entries = Entries::parse(kind, flat)?;
-        let dtd = kind.builtin_dtd().expect("flat kind");
-        let mut prepared = Vec::with_capacity(entries.len());
-        for i in 0..entries.len() {
-            prepared.push(PreparedDoc {
-                key: entries.key(i),
-                serialized: entries.to_flat(i),
-                doc: entries.to_xml(i)?,
-            });
-        }
-        self.load_prepared(name, kind, builtin_dtd_text(kind), dtd, prepared, options)
+        let dtd = kind
+            .builtin_dtd()
+            .ok_or_else(|| HoundError::Pipeline("flat kind without a built-in DTD".into()))?;
+        let (prepared, rejected) = prepare_flat(kind, flat)?;
+        self.load_prepared(
+            name,
+            kind,
+            builtin_dtd_text(kind),
+            dtd,
+            prepared,
+            rejected,
+            options,
+        )
     }
 
     /// Loads a pre-existing XML source — an XML databank such as INTERPRO
@@ -321,9 +393,18 @@ impl DataHounds {
                 doc,
             })
             .collect();
-        self.load_prepared(name, SourceKind::Xml, dtd_text, dtd, prepared, options)
+        self.load_prepared(
+            name,
+            SourceKind::Xml,
+            dtd_text,
+            dtd,
+            prepared,
+            Vec::new(),
+            options,
+        )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn load_prepared(
         &self,
         name: &str,
@@ -331,6 +412,7 @@ impl DataHounds {
         dtd_text: &str,
         dtd: Dtd,
         prepared: Vec<PreparedDoc>,
+        mut rejected: Vec<QuarantineRecord>,
         options: LoadOptions,
     ) -> HoundResult<ShredStats> {
         {
@@ -342,29 +424,47 @@ impl DataHounds {
             }
         }
         let prefix = collection_prefix(name);
+        // A crash between the per-entry commits and the final registration
+        // commit leaves this collection's tables behind with no metadata
+        // row; the leftovers would make the re-load fail on CREATE TABLE.
+        self.sweep_orphan_tables(&prefix)?;
         create_collection_tables(&self.db, &prefix)?;
         self.db.execute(&format!(
             "CREATE TABLE {prefix}_src (doc_id INT, entry_key TEXT, flat TEXT)"
         ))?;
 
         let mut stats = ShredStats::default();
-        for (i, p) in prepared.iter().enumerate() {
+        let mut doc_id = 0u64;
+        for p in &prepared {
             if options.validate {
-                validate(&p.doc, &dtd)?;
+                if let Err(e) = validate(&p.doc, &dtd) {
+                    // Harvested flat entries are quarantined; programmatic
+                    // XML loads keep the strict all-or-nothing contract.
+                    if kind == SourceKind::Xml {
+                        return Err(e.into());
+                    }
+                    rejected.push(QuarantineRecord {
+                        entry_key: p.key.clone(),
+                        reason: format!("DTD validation failed: {e}"),
+                        raw: p.serialized.clone(),
+                    });
+                    continue;
+                }
             }
-            stats += shred_document(
-                &self.db,
-                &prefix,
-                options.strategy,
-                i as u64,
-                &p.key,
-                &p.doc,
-            )?;
-            self.db.execute(&format!(
-                "INSERT INTO {prefix}_src VALUES ({i}, '{}', '{}')",
+            // All tuples of one entry — shredded rows plus its `_src`
+            // bookkeeping row — go through a single atomic batch, so a
+            // crash mid-harvest can never leave a half-ingested document.
+            let (mut statements, entry_stats) =
+                shred_statements(&self.db, &prefix, options.strategy, doc_id, &p.key, &p.doc)?;
+            statements.push(format!(
+                "INSERT INTO {prefix}_src VALUES ({doc_id}, '{}', '{}')",
                 sql_quote(&p.key),
                 sql_quote(&p.serialized)
-            ))?;
+            ));
+            let refs: Vec<&str> = statements.iter().map(String::as_str).collect();
+            self.db.execute_batch(&refs)?;
+            stats += entry_stats;
+            doc_id += 1;
         }
         // Indexes are built after the bulk load, like a sane warehouse.
         if options.with_indexes {
@@ -381,13 +481,14 @@ impl DataHounds {
             options.strategy.name(),
             sql_quote(dtd_text)
         ))?;
+        self.record_quarantine(name, &rejected)?;
         self.collections.lock().insert(
             name.to_string(),
             CollectionMeta {
                 prefix,
                 kind,
                 strategy: options.strategy,
-                next_doc_id: prepared.len() as u64,
+                next_doc_id: doc_id,
                 dtd,
             },
         );
@@ -396,6 +497,10 @@ impl DataHounds {
 
     /// Integrates a fresh download of a flat source: entry-level diff,
     /// minimal re-shredding, and a trigger per changed entry (§2.2 end).
+    ///
+    /// Malformed entries are quarantined rather than aborting the update;
+    /// an entry that is quarantined in this snapshot keeps its previously
+    /// warehoused version (it is *not* treated as removed).
     pub fn update_source(&self, name: &str, flat: &str) -> HoundResult<Vec<ChangeEvent>> {
         let (_, kind, _) = self.meta(name)?;
         if kind == SourceKind::Xml {
@@ -403,16 +508,8 @@ impl DataHounds {
                 "XML sources are updated with update_xml_source".into(),
             ));
         }
-        let entries = Entries::parse(kind, flat)?;
-        let mut prepared = Vec::with_capacity(entries.len());
-        for i in 0..entries.len() {
-            prepared.push(PreparedDoc {
-                key: entries.key(i),
-                serialized: entries.to_flat(i),
-                doc: entries.to_xml(i)?,
-            });
-        }
-        self.update_prepared(name, prepared)
+        let (prepared, rejected) = prepare_flat(kind, flat)?;
+        self.update_prepared(name, prepared, rejected)
     }
 
     /// Integrates a fresh snapshot of an XML source (diffed on serialized
@@ -436,15 +533,16 @@ impl DataHounds {
                 doc,
             })
             .collect();
-        self.update_prepared(name, prepared)
+        self.update_prepared(name, prepared, Vec::new())
     }
 
     fn update_prepared(
         &self,
         name: &str,
         prepared: Vec<PreparedDoc>,
+        mut rejected: Vec<QuarantineRecord>,
     ) -> HoundResult<Vec<ChangeEvent>> {
-        let (prefix, _, strategy) = self.meta(name)?;
+        let (prefix, kind, strategy) = self.meta(name)?;
         let dtd = self.dtd(name)?;
 
         // Old snapshot: entry key → (doc_id, serialized source).
@@ -467,39 +565,68 @@ impl DataHounds {
             new_index.insert(p.key.clone(), i);
         }
 
+        // An entry quarantined in this snapshot is absent from the new
+        // snapshot for the wrong reason — keep its warehoused version
+        // instead of treating it as removed.
+        let quarantined_keys: std::collections::BTreeSet<String> =
+            rejected.iter().map(|r| r.entry_key.clone()).collect();
+
         let changes = diff_snapshots(&old_snapshot, &new_snapshot);
         let mut events = Vec::with_capacity(changes.len());
         for (key, change) in changes {
             match change {
                 ChangeKind::Removed => {
+                    if quarantined_keys.contains(&key) {
+                        continue;
+                    }
                     let doc_id = old_docs[&key];
-                    delete_document(&self.db, &prefix, doc_id)?;
-                    self.db
-                        .execute(&format!("DELETE FROM {prefix}_src WHERE doc_id = {doc_id}"))?;
+                    let mut statements = delete_statements(&prefix, doc_id);
+                    statements.push(format!("DELETE FROM {prefix}_src WHERE doc_id = {doc_id}"));
+                    let refs: Vec<&str> = statements.iter().map(String::as_str).collect();
+                    self.db.execute_batch(&refs)?;
                 }
                 ChangeKind::Modified | ChangeKind::Added => {
-                    if change == ChangeKind::Modified {
-                        let doc_id = old_docs[&key];
-                        delete_document(&self.db, &prefix, doc_id)?;
-                        self.db.execute(&format!(
-                            "DELETE FROM {prefix}_src WHERE doc_id = {doc_id}"
-                        ))?;
-                    }
                     let p = &prepared[new_index[&key]];
-                    validate(&p.doc, &dtd)?;
+                    if let Err(e) = validate(&p.doc, &dtd) {
+                        if kind == SourceKind::Xml {
+                            return Err(e.into());
+                        }
+                        rejected.push(QuarantineRecord {
+                            entry_key: key.clone(),
+                            reason: format!("DTD validation failed: {e}"),
+                            raw: p.serialized.clone(),
+                        });
+                        continue;
+                    }
                     let doc_id = {
                         let mut map = self.collections.lock();
-                        let meta = map.get_mut(name).expect("checked by meta()");
+                        let meta = map
+                            .get_mut(name)
+                            .ok_or_else(|| HoundError::UnknownCollection(name.to_string()))?;
                         let id = meta.next_doc_id;
                         meta.next_doc_id += 1;
                         id
                     };
-                    shred_document(&self.db, &prefix, strategy, doc_id, &key, &p.doc)?;
-                    self.db.execute(&format!(
+                    // One atomic batch: tear down the old version (for a
+                    // modification), write the new tuples and the `_src`
+                    // row together, so the entry is never half-replaced.
+                    let mut statements = Vec::new();
+                    if change == ChangeKind::Modified {
+                        let old_id = old_docs[&key];
+                        statements.extend(delete_statements(&prefix, old_id));
+                        statements
+                            .push(format!("DELETE FROM {prefix}_src WHERE doc_id = {old_id}"));
+                    }
+                    let (shred, _) =
+                        shred_statements(&self.db, &prefix, strategy, doc_id, &key, &p.doc)?;
+                    statements.extend(shred);
+                    statements.push(format!(
                         "INSERT INTO {prefix}_src VALUES ({doc_id}, '{}', '{}')",
                         sql_quote(&key),
                         sql_quote(&p.serialized)
-                    ))?;
+                    ));
+                    let refs: Vec<&str> = statements.iter().map(String::as_str).collect();
+                    self.db.execute_batch(&refs)?;
                 }
             }
             let event = ChangeEvent {
@@ -510,7 +637,90 @@ impl DataHounds {
             self.triggers.notify(&event);
             events.push(event);
         }
+        self.record_quarantine(name, &rejected)?;
         Ok(events)
+    }
+
+    /// Drops leftover tables of an unregistered collection: the residue of
+    /// a load whose registration commit never became durable. The prefix is
+    /// matched up to an underscore so sibling collections sharing a name
+    /// stem (`..._default` vs `..._default2`) are left alone.
+    fn sweep_orphan_tables(&self, prefix: &str) -> HoundResult<()> {
+        for table in self.db.table_names() {
+            let orphan = table
+                .strip_prefix(prefix)
+                .is_some_and(|rest| rest.starts_with('_'));
+            if orphan {
+                self.db.execute(&format!("DROP TABLE {table}"))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Replaces the quarantine records of `collection` with `rejected`.
+    fn record_quarantine(
+        &self,
+        collection: &str,
+        rejected: &[QuarantineRecord],
+    ) -> HoundResult<()> {
+        self.db.execute(&format!(
+            "DELETE FROM hlx_quarantine WHERE collection = '{}'",
+            sql_quote(collection)
+        ))?;
+        for r in rejected {
+            self.db.execute(&format!(
+                "INSERT INTO hlx_quarantine VALUES ('{}', '{}', '{}', '{}')",
+                sql_quote(collection),
+                sql_quote(&r.entry_key),
+                sql_quote(&r.reason),
+                sql_quote(&r.raw)
+            ))?;
+        }
+        Ok(())
+    }
+
+    /// The dead-letter records of a collection's most recent harvest:
+    /// entries that failed to parse, transform or validate and were
+    /// skipped. Empty after a fully clean harvest.
+    pub fn quarantined(&self, collection: &str) -> HoundResult<Vec<QuarantineRecord>> {
+        let rows = self.db.execute(&format!(
+            "SELECT entry_key, reason, raw FROM hlx_quarantine WHERE collection = '{}'",
+            sql_quote(collection)
+        ))?;
+        Ok(rows
+            .rows()
+            .iter()
+            .map(|r| QuarantineRecord {
+                entry_key: r[0].as_text().unwrap_or_default().to_string(),
+                reason: r[1].as_text().unwrap_or_default().to_string(),
+                raw: r[2].as_text().unwrap_or_default().to_string(),
+            })
+            .collect())
+    }
+
+    /// Harvests a flat source through a fallible `fetch` (the simulated
+    /// FTP download), retrying transient failures per `policy` with capped
+    /// exponential backoff. A first harvest loads the collection; later
+    /// harvests integrate the new snapshot and return its change events.
+    pub fn harvest_source<F>(
+        &self,
+        name: &str,
+        kind: SourceKind,
+        mut fetch: F,
+        options: LoadOptions,
+        policy: &RetryPolicy,
+        sleeper: &mut dyn Sleeper,
+    ) -> HoundResult<Vec<ChangeEvent>>
+    where
+        F: FnMut() -> HoundResult<String>,
+    {
+        let flat = policy.run(sleeper, |_| fetch())?;
+        if self.collections.lock().contains_key(name) {
+            self.update_source(name, &flat)
+        } else {
+            self.load_source(name, kind, &flat, options)?;
+            Ok(Vec::new())
+        }
     }
 
     /// Reconstructs the warehoused document for `entry_key` — the
@@ -569,6 +779,49 @@ mod tests {
             dh.prefix("hlx_enzyme.DEFAULT").unwrap(),
             "hlx_enzyme_default"
         );
+    }
+
+    #[test]
+    fn interrupted_load_leftovers_are_swept_on_reload() {
+        let db = Arc::new(Database::in_memory());
+        let dh = DataHounds::new(Arc::clone(&db)).unwrap();
+        // Simulate a load that crashed after creating tables and ingesting
+        // an entry but before the registration commit became durable: the
+        // tables exist, the metadata row does not.
+        let prefix = collection_prefix("hlx_enzyme.DEFAULT");
+        create_collection_tables(&db, &prefix).unwrap();
+        db.execute(&format!(
+            "CREATE TABLE {prefix}_src (doc_id INT, entry_key TEXT, flat TEXT)"
+        ))
+        .unwrap();
+        db.execute(&format!(
+            "INSERT INTO {prefix}_src VALUES (0, 'stale', 'stale')"
+        ))
+        .unwrap();
+        // A sibling collection sharing the name stem must survive the sweep.
+        db.execute(&format!("CREATE TABLE {prefix}2_docs (doc_id INT)"))
+            .unwrap();
+
+        let corpus = small_corpus();
+        let stats = dh
+            .load_source(
+                "hlx_enzyme.DEFAULT",
+                SourceKind::Enzyme,
+                &corpus.enzyme_flat(),
+                LoadOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(stats.documents, 10);
+        assert_eq!(dh.doc_count("hlx_enzyme.DEFAULT").unwrap(), 10);
+        let stale = db
+            .execute(&format!(
+                "SELECT flat FROM {prefix}_src WHERE entry_key = 'stale'"
+            ))
+            .unwrap();
+        assert!(stale.rows().is_empty(), "stale orphan row must be swept");
+        assert!(db
+            .execute(&format!("SELECT doc_id FROM {prefix}2_docs"))
+            .is_ok());
     }
 
     #[test]
@@ -719,6 +972,152 @@ mod tests {
         ));
         assert!(dh.update_source("nope", "").is_err());
         assert!(dh.reconstruct("nope", "k").is_err());
+    }
+
+    #[test]
+    fn corrupted_entry_is_quarantined_and_harvest_continues() {
+        let dh = hounds();
+        let corpus = small_corpus();
+        // A rotten entry in the middle of the feed: a CC continuation with
+        // no preceding comment is a parse error.
+        let mut flat = String::new();
+        for (i, e) in corpus.enzymes.iter().enumerate() {
+            if i == 3 {
+                flat.push_str("ID   9.9.9.99\nCC   orphan continuation\n//\n");
+            }
+            flat.push_str(&e.to_flat());
+        }
+        let stats = dh
+            .load_source("c", SourceKind::Enzyme, &flat, LoadOptions::default())
+            .unwrap();
+        // The ten good entries are in, the bad one is dead-lettered.
+        assert_eq!(stats.documents, 10);
+        assert_eq!(dh.doc_count("c").unwrap(), 10);
+        let q = dh.quarantined("c").unwrap();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].entry_key, "9.9.9.99");
+        assert!(q[0].reason.contains("CC continuation"));
+        assert!(q[0].raw.contains("orphan continuation"));
+
+        // Re-harvest with the entry fixed: it arrives as an addition, the
+        // quarantine clears, and nothing else is touched (no duplicates).
+        let mut fixed = corpus.enzymes[1].clone();
+        fixed.id = "9.9.9.99".into();
+        let mut flat2: String = corpus.enzymes.iter().map(|e| e.to_flat()).collect();
+        flat2.push_str(&fixed.to_flat());
+        let events = dh.update_source("c", &flat2).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, ChangeKind::Added);
+        assert_eq!(events[0].entry_key, "9.9.9.99");
+        assert!(dh.quarantined("c").unwrap().is_empty());
+        assert_eq!(dh.doc_count("c").unwrap(), 11);
+
+        // A further identical harvest is a no-op — tuples never duplicate.
+        let nodes_before = dh.db().row_count("c_nodes").unwrap();
+        let events = dh.update_source("c", &flat2).unwrap();
+        assert!(events.is_empty());
+        assert_eq!(dh.doc_count("c").unwrap(), 11);
+        assert_eq!(dh.db().row_count("c_nodes").unwrap(), nodes_before);
+    }
+
+    #[test]
+    fn quarantined_update_entry_keeps_the_old_version() {
+        let dh = hounds();
+        let corpus = small_corpus();
+        dh.load_source(
+            "c",
+            SourceKind::Enzyme,
+            &corpus.enzyme_flat(),
+            LoadOptions::default(),
+        )
+        .unwrap();
+        let victim = corpus.enzymes[2].id.clone();
+        // New snapshot where one previously good entry turns to garbage.
+        let mut flat = String::new();
+        for e in &corpus.enzymes {
+            if e.id == victim {
+                flat.push_str(&format!("ID   {victim}\nPR   GARBAGE\n//\n"));
+            } else {
+                flat.push_str(&e.to_flat());
+            }
+        }
+        let events = dh.update_source("c", &flat).unwrap();
+        // Not removed, not modified: the warehoused version survives.
+        assert!(events.is_empty());
+        assert_eq!(dh.doc_count("c").unwrap(), 10);
+        assert!(dh.reconstruct("c", &victim).is_ok());
+        let q = dh.quarantined("c").unwrap();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].entry_key, victim);
+    }
+
+    #[test]
+    fn harvest_source_retries_fetches_with_backoff() {
+        use crate::retry::{RecordingSleeper, RetryPolicy};
+
+        let dh = hounds();
+        let corpus = small_corpus();
+        let flat = corpus.enzyme_flat();
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            base_delay_ms: 100,
+            max_delay_ms: 150,
+        };
+        let mut sleeper = RecordingSleeper::default();
+        let mut calls = 0;
+        let events = dh
+            .harvest_source(
+                "c",
+                SourceKind::Enzyme,
+                || {
+                    calls += 1;
+                    if calls < 3 {
+                        Err(HoundError::Pipeline("connection reset".into()))
+                    } else {
+                        Ok(flat.clone())
+                    }
+                },
+                LoadOptions::default(),
+                &policy,
+                &mut sleeper,
+            )
+            .unwrap();
+        assert!(events.is_empty());
+        assert_eq!(calls, 3);
+        let ms: Vec<u64> = sleeper.slept.iter().map(|d| d.as_millis() as u64).collect();
+        assert_eq!(ms, vec![100, 150]);
+        assert_eq!(dh.doc_count("c").unwrap(), 10);
+
+        // A later harvest of the same collection is an update.
+        let mut entries = corpus.enzymes.clone();
+        entries[0].descriptions = vec!["Renamed.".into()];
+        let flat2: String = entries.iter().map(|e| e.to_flat()).collect();
+        let mut sleeper = RecordingSleeper::default();
+        let events = dh
+            .harvest_source(
+                "c",
+                SourceKind::Enzyme,
+                || Ok(flat2.clone()),
+                LoadOptions::default(),
+                &RetryPolicy::no_retries(),
+                &mut sleeper,
+            )
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, ChangeKind::Modified);
+
+        // Exhausted retries surface the last fetch error.
+        let mut sleeper = RecordingSleeper::default();
+        let err = dh.harvest_source(
+            "d",
+            SourceKind::Enzyme,
+            || Err::<String, _>(HoundError::Pipeline("down".into())),
+            LoadOptions::default(),
+            &policy,
+            &mut sleeper,
+        );
+        assert!(err.is_err());
+        assert_eq!(sleeper.slept.len(), 3);
     }
 
     #[test]

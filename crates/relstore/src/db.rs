@@ -24,7 +24,7 @@ use crate::sql::parser::parse_statement;
 use crate::table::{Row, RowId, Table};
 use crate::text::KeywordIndex;
 use crate::value::Value;
-use crate::wal::{Wal, WalRecord};
+use crate::wal::{RecoveryReport, Wal, WalIo, WalRecord};
 
 /// In-memory state: catalog, tables and index structures.
 #[derive(Debug, Default)]
@@ -391,29 +391,82 @@ impl Database {
     /// Opens a durable database whose write-ahead log lives at `path`,
     /// replaying any committed history found there.
     pub fn open(path: &Path) -> RelResult<Database> {
-        let records = Wal::read_all(path)?;
+        Database::open_with_report(path).map(|(db, _)| db)
+    }
+
+    /// Like [`Database::open`], but also returns the [`RecoveryReport`]
+    /// describing what replay found: transactions applied, transactions
+    /// dropped, and any corruption truncated off the tail.
+    pub fn open_with_report(path: &Path) -> RelResult<(Database, RecoveryReport)> {
+        Database::from_wal(Wal::open(path)?)
+    }
+
+    /// Opens a durable database over an arbitrary [`WalIo`] backend —
+    /// the entry point for fault-injection tests.
+    pub fn open_with_io(io: Box<dyn WalIo>) -> RelResult<(Database, RecoveryReport)> {
+        Database::from_wal(Wal::with_io(io))
+    }
+
+    fn from_wal(mut wal: Wal) -> RelResult<(Database, RecoveryReport)> {
+        let scan = wal.recover()?;
+        let mut report = RecoveryReport {
+            records_scanned: scan.records.len(),
+            corruption: scan.corruption.clone(),
+            truncated_bytes: scan.total_len - scan.valid_len,
+            ..RecoveryReport::default()
+        };
         let mut storage = Storage::default();
         let mut max_tx = 0u64;
-        // Buffer DML per transaction; apply at Commit. DDL is autocommitted
-        // (it is only ever logged outside an open transaction).
+        // Buffer DML per transaction; apply at Commit, strictly in log
+        // (= commit) order, so interleaved transactions replay exactly as
+        // they were acknowledged. DDL is autocommitted (it is only ever
+        // logged outside an open transaction).
         let mut open_txns: BTreeMap<u64, Vec<WalRecord>> = BTreeMap::new();
-        for record in records {
+        for record in scan.records {
             match record {
                 WalRecord::Begin { tx } => {
                     max_tx = max_tx.max(tx);
-                    open_txns.insert(tx, Vec::new());
-                }
-                WalRecord::Commit { tx } => {
-                    if let Some(ops) = open_txns.remove(&tx) {
-                        for op in ops {
-                            apply_dml(&mut storage, op)?;
-                        }
+                    if open_txns.insert(tx, Vec::new()).is_some() {
+                        report.replay_errors.push(format!(
+                            "transaction {tx} restarted by a second Begin; \
+                             earlier uncommitted operations discarded"
+                        ));
                     }
                 }
-                WalRecord::CreateTable { schema } => storage.create_table(schema)?,
-                WalRecord::DropTable { name } => storage.drop_table(&name)?,
-                WalRecord::CreateIndex { def } => storage.create_index(def)?,
-                WalRecord::DropIndex { name } => storage.drop_index(&name)?,
+                WalRecord::Commit { tx } => match open_txns.remove(&tx) {
+                    Some(ops) => match apply_txn(&mut storage, &ops) {
+                        Ok(()) => report.transactions_applied += 1,
+                        Err(e) => {
+                            report.transactions_dropped.push(tx);
+                            report
+                                .replay_errors
+                                .push(format!("transaction {tx} dropped: {e}"));
+                        }
+                    },
+                    None => report
+                        .replay_errors
+                        .push(format!("Commit for unknown transaction {tx} ignored")),
+                },
+                WalRecord::CreateTable { schema } => {
+                    if let Err(e) = storage.create_table(schema) {
+                        report.replay_errors.push(format!("CREATE TABLE: {e}"));
+                    }
+                }
+                WalRecord::DropTable { name } => {
+                    if let Err(e) = storage.drop_table(&name) {
+                        report.replay_errors.push(format!("DROP TABLE: {e}"));
+                    }
+                }
+                WalRecord::CreateIndex { def } => {
+                    if let Err(e) = storage.create_index(def) {
+                        report.replay_errors.push(format!("CREATE INDEX: {e}"));
+                    }
+                }
+                WalRecord::DropIndex { name } => {
+                    if let Err(e) = storage.drop_index(&name) {
+                        report.replay_errors.push(format!("DROP INDEX: {e}"));
+                    }
+                }
                 dml @ (WalRecord::Insert { .. }
                 | WalRecord::Delete { .. }
                 | WalRecord::Update { .. }) => {
@@ -427,19 +480,33 @@ impl Database {
                         Some(ops) => ops.push(dml),
                         // An op without a Begin comes from a compacted
                         // snapshot; apply directly.
-                        None => apply_dml(&mut storage, dml)?,
+                        None => {
+                            let mut throwaway = Vec::new();
+                            if let Err(e) = apply_dml(&mut storage, &dml, &mut throwaway) {
+                                report
+                                    .replay_errors
+                                    .push(format!("snapshot record unapplicable: {e}"));
+                            }
+                        }
                     }
                 }
             }
         }
-        let wal = Wal::open(path)?;
-        Ok(Database {
-            storage: RwLock::new(storage),
-            wal: Some(Mutex::new(WalState {
-                wal,
-                next_tx: max_tx + 1,
-            })),
-        })
+        // Whatever is still open never committed: the crash tail.
+        for tx in open_txns.into_keys() {
+            report.transactions_dropped.push(tx);
+        }
+        report.transactions_dropped.sort_unstable();
+        Ok((
+            Database {
+                storage: RwLock::new(storage),
+                wal: Some(Mutex::new(WalState {
+                    wal,
+                    next_tx: max_tx + 1,
+                })),
+            },
+            report,
+        ))
     }
 
     /// Parses and executes one SQL statement.
@@ -512,103 +579,38 @@ impl Database {
                 self.log_ddl(WalRecord::DropIndex { name })?;
                 Ok(ResultSet::dml(0))
             }
-            Statement::Insert { table, rows } => {
-                let empty = RowSchema::default();
-                let mut evaluated = Vec::with_capacity(rows.len());
-                for row in rows {
-                    let values: Row = row
-                        .iter()
-                        .map(|e| eval(e, &empty, &[]))
-                        .collect::<RelResult<_>>()?;
-                    evaluated.push(values);
-                }
-                let mut storage = self.storage.write();
-                let tx = self.begin_tx();
-                let mut records = Vec::with_capacity(evaluated.len());
-                let count = evaluated.len();
-                for values in evaluated {
-                    let (id, stored) = storage.insert(&table, values)?;
-                    records.push(WalRecord::Insert {
-                        tx,
-                        table: table.clone(),
-                        row_id: id,
-                        row: stored,
-                    });
-                }
-                self.commit_tx(tx, records)?;
-                Ok(ResultSet::dml(count))
-            }
-            Statement::Delete { table, filter } => {
-                let mut storage = self.storage.write();
-                let filter = match filter {
-                    Some(f) => Some(self.resolve_single_table(&storage, &table, f)?),
-                    None => None,
-                };
-                let ids = storage.matching_rows(&table, filter.as_ref())?;
-                let tx = self.begin_tx();
-                let mut records = Vec::with_capacity(ids.len());
-                for id in &ids {
-                    storage.delete(&table, *id)?;
-                    records.push(WalRecord::Delete {
-                        tx,
-                        table: table.clone(),
-                        row_id: *id,
-                    });
-                }
-                self.commit_tx(tx, records)?;
-                Ok(ResultSet::dml(ids.len()))
-            }
-            Statement::Update {
+            stmt @ (Statement::Insert { .. }
+            | Statement::Delete { .. }
+            | Statement::Update { .. }) => self.execute_dml(stmt),
+        }
+    }
+
+    /// Runs one DML statement as its own transaction. The in-memory state
+    /// and the log move together: if the commit cannot be made durable,
+    /// the in-memory mutation is rolled back before the error surfaces.
+    fn execute_dml(&self, stmt: Statement) -> RelResult<ResultSet> {
+        let mut storage = self.storage.write();
+        match &stmt {
+            Statement::Delete {
                 table,
-                assignments,
-                filter,
-            } => {
-                let mut storage = self.storage.write();
-                let filter = match filter {
-                    Some(f) => Some(self.resolve_single_table(&storage, &table, f)?),
-                    None => None,
-                };
-                let schema_cols: Vec<String> = storage
-                    .table(&table)?
-                    .schema()
-                    .columns
-                    .iter()
-                    .map(|c| c.name.clone())
-                    .collect();
-                let row_schema = RowSchema::for_table(&table, schema_cols.clone());
-                let mut positions = Vec::with_capacity(assignments.len());
-                for (col, _) in &assignments {
-                    let pos = storage
-                        .table(&table)?
-                        .schema()
-                        .column_index(col)
-                        .ok_or_else(|| RelError::UnknownColumn(format!("{table}.{col}")))?;
-                    positions.push(pos);
-                }
-                let ids = storage.matching_rows(&table, filter.as_ref())?;
-                let tx = self.begin_tx();
-                let mut records = Vec::with_capacity(ids.len());
-                for id in &ids {
-                    let current = storage
-                        .table(&table)?
-                        .get(*id)
-                        .expect("matched row exists")
-                        .clone();
-                    let mut next = current.clone();
-                    for ((_, expr), pos) in assignments.iter().zip(&positions) {
-                        next[*pos] = eval(expr, &row_schema, &current)?;
-                    }
-                    storage.update(&table, *id, next.clone())?;
-                    let stored = storage.table(&table)?.get(*id).expect("updated").clone();
-                    records.push(WalRecord::Update {
-                        tx,
-                        table: table.clone(),
-                        row_id: *id,
-                        row: stored,
-                    });
-                }
-                self.commit_tx(tx, records)?;
-                Ok(ResultSet::dml(ids.len()))
+                filter: Some(f),
+            }
+            | Statement::Update {
+                table,
+                filter: Some(f),
+                ..
+            } => self.validate_filter(&storage, table, f)?,
+            _ => {}
+        }
+        let tx = self.begin_tx();
+        let mut records = Vec::new();
+        let mut undo = Vec::new();
+        let applied = apply_batch_statement(&mut storage, stmt, tx, &mut records, &mut undo);
+        match applied.and_then(|n| self.commit_tx(tx, records).map(|()| n)) {
+            Ok(affected) => Ok(ResultSet::dml(affected)),
+            Err(e) => {
+                rollback(&mut storage, undo);
+                Err(e)
             }
         }
     }
@@ -641,15 +643,13 @@ impl Database {
             }
             Ok(())
         })();
-        match result {
-            Ok(()) => {
-                self.commit_tx(tx, records)?;
-                Ok(affected)
-            }
+        // A batch that failed to apply OR failed to commit durably is
+        // rolled back in memory: no half-applied document, no state the
+        // log does not have.
+        match result.and_then(|()| self.commit_tx(tx, records)) {
+            Ok(()) => Ok(affected),
             Err(e) => {
-                for op in undo.into_iter().rev() {
-                    op.apply(&mut storage)?;
-                }
+                rollback(&mut storage, undo);
                 Err(e)
             }
         }
@@ -702,22 +702,19 @@ impl Database {
         };
         let storage = self.storage.write();
         let mut state = wal_state.lock();
-        let path = state.wal.path().to_path_buf();
-        let tmp_path = path.with_extension("compact");
-        let _ = std::fs::remove_file(&tmp_path);
-        let mut fresh = Wal::open(&tmp_path)?;
+        let mut snapshot = Vec::new();
         for schema in storage.catalog.tables() {
-            fresh.append(&WalRecord::CreateTable {
+            snapshot.push(WalRecord::CreateTable {
                 schema: schema.clone(),
             });
         }
         for def in storage.catalog.indexes() {
-            fresh.append(&WalRecord::CreateIndex { def: def.clone() });
+            snapshot.push(WalRecord::CreateIndex { def: def.clone() });
         }
         for schema in storage.catalog.tables() {
             let table = storage.table(&schema.name)?;
             for (id, row) in table.scan() {
-                fresh.append(&WalRecord::Insert {
+                snapshot.push(WalRecord::Insert {
                     tx: 0,
                     table: schema.name.clone(),
                     row_id: id,
@@ -725,27 +722,40 @@ impl Database {
                 });
             }
         }
-        fresh.sync()?;
-        drop(fresh);
-        std::fs::rename(&tmp_path, &path)
-            .map_err(|e| RelError::Wal(format!("rename compacted log: {e}")))?;
-        state.wal = Wal::open(&path)?;
+        match state.wal.path().map(Path::to_path_buf) {
+            // File-backed: write the snapshot beside the log and swap it
+            // in with an atomic rename, so a crash mid-compaction leaves
+            // either the old log or the new one — never a mixture.
+            Some(path) => {
+                let tmp_path = path.with_extension("compact");
+                let _ = std::fs::remove_file(&tmp_path);
+                let mut fresh = Wal::open(&tmp_path)?;
+                for record in &snapshot {
+                    fresh.append(record);
+                }
+                fresh.sync()?;
+                drop(fresh);
+                std::fs::rename(&tmp_path, &path)
+                    .map_err(|e| RelError::Wal(format!("rename compacted log: {e}")))?;
+                state.wal = Wal::open(&path)?;
+            }
+            // Custom backend: no rename available; rewrite in place.
+            None => state.wal.rewrite(&snapshot)?,
+        }
         Ok(())
     }
 
-    fn resolve_single_table(
+    fn validate_filter(
         &self,
         storage: &Storage,
         table: &str,
-        filter: crate::sql::ast::Expr,
-    ) -> RelResult<crate::sql::ast::Expr> {
-        // DELETE/UPDATE predicates see the bare table as its own alias;
-        // reuse the SELECT planner's resolver by planning a trivial query.
+        filter: &crate::sql::ast::Expr,
+    ) -> RelResult<()> {
+        // DELETE/UPDATE predicates see the bare table as its own alias.
         let schema = storage.table(table)?.schema();
         let row_schema = RowSchema::for_table(table, schema.columns.iter().map(|c| c.name.clone()));
         // Validate references eagerly so errors carry good messages.
-        validate_expr_columns(&filter, &row_schema)?;
-        Ok(filter)
+        validate_expr_columns(filter, &row_schema)
     }
 
     fn begin_tx(&self) -> u64 {
@@ -838,16 +848,64 @@ fn bound_as_ref(b: &std::ops::Bound<Value>) -> std::ops::Bound<&Value> {
     }
 }
 
-fn apply_dml(storage: &mut Storage, record: WalRecord) -> RelResult<()> {
+/// Applies one replayed DML record, recording its inverse in `undo`.
+fn apply_dml(storage: &mut Storage, record: &WalRecord, undo: &mut Vec<UndoOp>) -> RelResult<()> {
     match record {
         WalRecord::Insert {
             table, row_id, row, ..
-        } => storage.insert_at(&table, row_id, row),
-        WalRecord::Delete { table, row_id, .. } => storage.delete(&table, row_id).map(|_| ()),
+        } => {
+            storage.insert_at(table, *row_id, row.clone())?;
+            undo.push(UndoOp::DeleteInserted {
+                table: table.clone(),
+                id: *row_id,
+            });
+            Ok(())
+        }
+        WalRecord::Delete { table, row_id, .. } => {
+            let old = storage.delete(table, *row_id)?;
+            undo.push(UndoOp::ReinsertDeleted {
+                table: table.clone(),
+                id: *row_id,
+                row: old,
+            });
+            Ok(())
+        }
         WalRecord::Update {
             table, row_id, row, ..
-        } => storage.update(&table, row_id, row).map(|_| ()),
+        } => {
+            let old = storage.update(table, *row_id, row.clone())?;
+            undo.push(UndoOp::RevertUpdated {
+                table: table.clone(),
+                id: *row_id,
+                row: old,
+            });
+            Ok(())
+        }
         other => Err(RelError::Wal(format!("unexpected DML record {other:?}"))),
+    }
+}
+
+/// Applies one committed transaction's operations; on failure rolls back
+/// whatever part already applied, so a dropped transaction leaves no
+/// trace (all-or-nothing even during replay of a damaged log).
+fn apply_txn(storage: &mut Storage, ops: &[WalRecord]) -> RelResult<()> {
+    let mut undo = Vec::with_capacity(ops.len());
+    for op in ops {
+        if let Err(e) = apply_dml(storage, op, &mut undo) {
+            rollback(storage, undo);
+            return Err(e);
+        }
+    }
+    Ok(())
+}
+
+/// Best-effort reverse replay of an undo log.
+fn rollback(storage: &mut Storage, undo: Vec<UndoOp>) {
+    for op in undo.into_iter().rev() {
+        // Each undo op inverts an operation that succeeded, so failure
+        // here is unreachable in practice; ignoring it keeps rollback
+        // total (it must never panic or abort halfway).
+        let _ = op.apply(storage);
     }
 }
 

@@ -61,3 +61,4 @@ pub use db::{Database, ResultSet};
 pub use error::{RelError, RelResult};
 pub use schema::{Column, TableSchema};
 pub use value::{DataType, Value};
+pub use wal::{Corruption, FaultConfig, FaultyIo, RecoveryReport, StdFileIo, WalIo};

@@ -11,8 +11,9 @@
 //! and discarded.
 
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
+use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -376,58 +377,421 @@ impl WalRecord {
     }
 }
 
-/// An append-only write-ahead log file.
-#[derive(Debug)]
-pub struct Wal {
-    file: File,
-    path: PathBuf,
-    /// Records appended since the last [`Wal::sync`].
-    pending: Vec<u8>,
+/// The fault plane: every byte the log reads or writes goes through this
+/// trait. Production uses [`StdFileIo`]; tests inject [`FaultyIo`] to
+/// exercise torn writes, bit-flips, failed fsyncs and read errors without
+/// touching a real disk.
+pub trait WalIo: Send + std::fmt::Debug {
+    /// Appends `bytes` at the end of the log (OS cache; not yet durable).
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()>;
+    /// Makes every appended byte durable.
+    fn fsync(&mut self) -> io::Result<()>;
+    /// Reads the entire log as currently visible.
+    fn read_all(&mut self) -> io::Result<Vec<u8>>;
+    /// Discards every byte past `len` (corrupt-tail repair).
+    fn truncate_to(&mut self, len: u64) -> io::Result<()>;
 }
 
-impl Wal {
-    /// Opens (creating if absent) the log at `path`.
-    pub fn open(path: &Path) -> RelResult<Wal> {
+/// Production [`WalIo`]: a real append-only file.
+#[derive(Debug)]
+pub struct StdFileIo {
+    file: File,
+}
+
+impl StdFileIo {
+    /// Opens (creating if absent) the log file at `path`.
+    pub fn open(path: &Path) -> io::Result<StdFileIo> {
         let file = OpenOptions::new()
             .create(true)
             .append(true)
             .read(true)
-            .open(path)
+            .open(path)?;
+        Ok(StdFileIo { file })
+    }
+}
+
+impl WalIo for StdFileIo {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.file.write_all(bytes)
+    }
+
+    fn fsync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    fn read_all(&mut self) -> io::Result<Vec<u8>> {
+        self.file.seek(SeekFrom::Start(0))?;
+        let mut raw = Vec::new();
+        self.file.read_to_end(&mut raw)?;
+        Ok(raw)
+    }
+
+    fn truncate_to(&mut self, len: u64) -> io::Result<()> {
+        self.file.set_len(len)
+    }
+}
+
+/// How often [`FaultyIo`] injects each fault kind: a fault fires roughly
+/// once every N operations of its kind (0 = never). All draws come from
+/// one seeded generator, so a given seed always produces the same
+/// schedule.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// 1-in-N appends stop partway through and report an error.
+    pub torn_write_in: u32,
+    /// 1-in-N appends silently flip one bit of the written bytes.
+    pub bit_flip_in: u32,
+    /// 1-in-N fsyncs fail; only a prefix of the cached bytes reaches the
+    /// durable store and the rest of the cache is lost (the kernel may
+    /// drop dirty pages after a failed fsync).
+    pub fsync_fail_in: u32,
+    /// 1-in-N reads fail outright.
+    pub read_fail_in: u32,
+}
+
+impl FaultConfig {
+    /// A configuration that injects nothing.
+    pub fn none() -> FaultConfig {
+        FaultConfig::default()
+    }
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn one_in(state: &mut u64, n: u32) -> bool {
+    n != 0 && splitmix(state).is_multiple_of(u64::from(n))
+}
+
+#[derive(Debug)]
+struct FaultyState {
+    /// Bytes that survive a crash.
+    durable: Vec<u8>,
+    /// Appended but not yet fsynced bytes (simulated OS cache).
+    cache: Vec<u8>,
+    rng: u64,
+    cfg: FaultConfig,
+}
+
+/// Deterministic fault-injecting [`WalIo`] over an in-memory disk.
+///
+/// Clones share the disk and the fault schedule, so a test can keep a
+/// handle while the [`Wal`] owns another: crash the disk, inspect the
+/// durable bytes, or flip bits at rest.
+#[derive(Debug, Clone)]
+pub struct FaultyIo {
+    state: Arc<Mutex<FaultyState>>,
+}
+
+impl FaultyIo {
+    /// A fresh empty disk with the given fault schedule seed.
+    pub fn new(seed: u64, cfg: FaultConfig) -> FaultyIo {
+        FaultyIo {
+            state: Arc::new(Mutex::new(FaultyState {
+                durable: Vec::new(),
+                cache: Vec::new(),
+                rng: seed,
+                cfg,
+            })),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FaultyState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Simulates a crash: everything not fsynced is gone.
+    pub fn crash(&self) {
+        self.lock().cache.clear();
+    }
+
+    /// Replaces the fault schedule (e.g. disable faults for recovery).
+    pub fn set_config(&self, cfg: FaultConfig) {
+        self.lock().cfg = cfg;
+    }
+
+    /// The bytes that would survive a crash.
+    pub fn durable_bytes(&self) -> Vec<u8> {
+        self.lock().durable.clone()
+    }
+
+    /// Total visible log length (durable + cached).
+    pub fn len(&self) -> u64 {
+        let s = self.lock();
+        (s.durable.len() + s.cache.len()) as u64
+    }
+
+    /// Whether the visible log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flips bits of the durable byte at `offset` (corruption at rest).
+    pub fn corrupt_durable(&self, offset: u64, mask: u8) {
+        let mut s = self.lock();
+        if let Some(b) = s.durable.get_mut(offset as usize) {
+            *b ^= mask;
+        }
+    }
+}
+
+impl WalIo for FaultyIo {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let mut s = self.lock();
+        let s = &mut *s;
+        if one_in(&mut s.rng, s.cfg.torn_write_in) {
+            let cut = (splitmix(&mut s.rng) as usize) % (bytes.len() + 1);
+            s.cache.extend_from_slice(&bytes[..cut]);
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                format!("injected torn write: {cut} of {} bytes", bytes.len()),
+            ));
+        }
+        if !bytes.is_empty() && one_in(&mut s.rng, s.cfg.bit_flip_in) {
+            let mut corrupted = bytes.to_vec();
+            let at = (splitmix(&mut s.rng) as usize) % corrupted.len();
+            let bit = (splitmix(&mut s.rng) % 8) as u8;
+            corrupted[at] ^= 1 << bit;
+            s.cache.extend_from_slice(&corrupted);
+            return Ok(()); // silent corruption: the write "succeeds"
+        }
+        s.cache.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn fsync(&mut self) -> io::Result<()> {
+        let mut s = self.lock();
+        let s = &mut *s;
+        if one_in(&mut s.rng, s.cfg.fsync_fail_in) {
+            let keep = (splitmix(&mut s.rng) as usize) % (s.cache.len() + 1);
+            let kept: Vec<u8> = s.cache.drain(..keep).collect();
+            s.durable.extend_from_slice(&kept);
+            s.cache.clear();
+            return Err(io::Error::other("injected fsync failure"));
+        }
+        let cache = std::mem::take(&mut s.cache);
+        s.durable.extend_from_slice(&cache);
+        Ok(())
+    }
+
+    fn read_all(&mut self) -> io::Result<Vec<u8>> {
+        let mut s = self.lock();
+        let s = &mut *s;
+        if one_in(&mut s.rng, s.cfg.read_fail_in) {
+            return Err(io::Error::other("injected read failure"));
+        }
+        let mut raw = s.durable.clone();
+        raw.extend_from_slice(&s.cache);
+        Ok(raw)
+    }
+
+    fn truncate_to(&mut self, len: u64) -> io::Result<()> {
+        let mut s = self.lock();
+        let len = len as usize;
+        if len <= s.durable.len() {
+            s.durable.truncate(len);
+            s.cache.clear();
+        } else {
+            let keep = len - s.durable.len();
+            s.cache.truncate(keep);
+        }
+        Ok(())
+    }
+}
+
+/// Where and why a log scan stopped early.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Corruption {
+    /// Byte offset of the first bad frame.
+    pub offset: u64,
+    /// Human-readable cause (truncated frame, checksum mismatch, ...).
+    pub reason: String,
+}
+
+/// The result of scanning a raw log image.
+#[derive(Debug, Clone, Default)]
+pub struct LogScan {
+    /// Every record up to (not including) the first bad frame.
+    pub records: Vec<WalRecord>,
+    /// Byte offset of each record's frame, parallel to `records`.
+    pub offsets: Vec<u64>,
+    /// Length of the valid prefix; everything past it is garbage.
+    pub valid_len: u64,
+    /// Total length of the scanned image.
+    pub total_len: u64,
+    /// The first bad frame, if the log did not end cleanly.
+    pub corruption: Option<Corruption>,
+}
+
+/// What recovery found and did. Returned by
+/// [`Database::open_with_report`](crate::db::Database::open_with_report):
+/// the caller learns exactly which transactions were replayed and which
+/// were dropped, instead of recovery failing (or worse, panicking) on a
+/// damaged log.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Intact records found in the log.
+    pub records_scanned: usize,
+    /// Committed transactions fully applied.
+    pub transactions_applied: usize,
+    /// Transactions present in the log but not applied: uncommitted
+    /// (crash before commit) or unapplicable (log inconsistency).
+    pub transactions_dropped: Vec<u64>,
+    /// Non-fatal replay problems, one message each.
+    pub replay_errors: Vec<String>,
+    /// The first bad frame, if corruption cut the log short.
+    pub corruption: Option<Corruption>,
+    /// Bytes discarded past the last intact frame.
+    pub truncated_bytes: u64,
+}
+
+impl RecoveryReport {
+    /// True when the whole log was intact and every committed transaction
+    /// applied cleanly.
+    pub fn is_clean(&self) -> bool {
+        self.corruption.is_none()
+            && self.transactions_dropped.is_empty()
+            && self.replay_errors.is_empty()
+    }
+}
+
+/// Frames cannot plausibly exceed this; a larger length prefix means the
+/// length field itself is corrupt.
+const MAX_FRAME: usize = 64 << 20;
+
+/// Scans a raw log image, collecting records up to the first bad frame.
+/// Never fails: damage is reported in [`LogScan::corruption`].
+pub fn scan_log(raw: &[u8]) -> LogScan {
+    let mut scan = LogScan {
+        total_len: raw.len() as u64,
+        ..LogScan::default()
+    };
+    let mut pos = 0usize;
+    let corrupt = |pos: usize, reason: &str| Corruption {
+        offset: pos as u64,
+        reason: reason.to_string(),
+    };
+    while pos < raw.len() {
+        if pos + 8 > raw.len() {
+            scan.corruption = Some(corrupt(pos, "truncated frame header"));
+            break;
+        }
+        let len = u32::from_be_bytes(raw[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_be_bytes(raw[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        let start = pos + 8;
+        if len > MAX_FRAME {
+            scan.corruption = Some(corrupt(pos, "implausible frame length"));
+            break;
+        }
+        if start + len > raw.len() {
+            scan.corruption = Some(corrupt(pos, "truncated frame payload"));
+            break;
+        }
+        let payload = &raw[start..start + len];
+        if fnv1a(payload) != crc {
+            scan.corruption = Some(corrupt(pos, "checksum mismatch"));
+            break;
+        }
+        match WalRecord::decode(Bytes::copy_from_slice(payload)) {
+            Ok(record) => {
+                scan.records.push(record);
+                scan.offsets.push(pos as u64);
+            }
+            Err(e) => {
+                scan.corruption = Some(corrupt(pos, &format!("undecodable record: {e}")));
+                break;
+            }
+        }
+        pos = start + len;
+    }
+    scan.valid_len = pos as u64;
+    scan
+}
+
+fn frame_into(buf: &mut Vec<u8>, record: &WalRecord) {
+    let payload = record.encode();
+    buf.reserve(8 + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    buf.extend_from_slice(&fnv1a(&payload).to_be_bytes());
+    buf.extend_from_slice(&payload);
+}
+
+/// An append-only write-ahead log over a [`WalIo`].
+///
+/// A failed sync **poisons** the handle: the on-disk suffix is in an
+/// unknown state, so instead of risking interleaved garbage every later
+/// sync fails fast until the database is reopened (which repairs the
+/// tail).
+#[derive(Debug)]
+pub struct Wal {
+    io: Box<dyn WalIo>,
+    path: Option<PathBuf>,
+    /// Records appended since the last [`Wal::sync`].
+    pending: Vec<u8>,
+    poisoned: bool,
+}
+
+impl Wal {
+    /// Opens (creating if absent) the log file at `path`.
+    pub fn open(path: &Path) -> RelResult<Wal> {
+        let io = StdFileIo::open(path)
             .map_err(|e| RelError::Wal(format!("open {}: {e}", path.display())))?;
         Ok(Wal {
-            file,
-            path: path.to_path_buf(),
+            io: Box::new(io),
+            path: Some(path.to_path_buf()),
             pending: Vec::new(),
+            poisoned: false,
         })
     }
 
-    /// The log file's path.
-    pub fn path(&self) -> &Path {
-        &self.path
+    /// A log over an arbitrary [`WalIo`] (fault injection, in-memory).
+    pub fn with_io(io: Box<dyn WalIo>) -> Wal {
+        Wal {
+            io,
+            path: None,
+            pending: Vec::new(),
+            poisoned: false,
+        }
+    }
+
+    /// The log file's path (`None` for non-file backends).
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Whether an earlier I/O failure poisoned this handle.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
     }
 
     /// Buffers one record (framing: `len u32 | crc u32 | payload`).
     pub fn append(&mut self, record: &WalRecord) {
-        let payload = record.encode();
-        self.pending.reserve(8 + payload.len());
-        self.pending
-            .extend_from_slice(&(payload.len() as u32).to_be_bytes());
-        self.pending
-            .extend_from_slice(&fnv1a(&payload).to_be_bytes());
-        self.pending.extend_from_slice(&payload);
+        frame_into(&mut self.pending, record);
     }
 
     /// Writes buffered records and fsyncs — the durability point.
+    ///
+    /// On failure the handle is poisoned: the tail of the log may hold a
+    /// partial frame, and appending more would bury it mid-log.
     pub fn sync(&mut self) -> RelResult<()> {
+        if self.poisoned {
+            return Err(RelError::Wal(
+                "log poisoned by an earlier I/O failure; reopen the database".into(),
+            ));
+        }
         if self.pending.is_empty() {
             return Ok(());
         }
-        self.file
-            .write_all(&self.pending)
-            .map_err(|e| RelError::Wal(format!("write: {e}")))?;
-        self.file
-            .sync_data()
-            .map_err(|e| RelError::Wal(format!("fsync: {e}")))?;
+        let result = self.io.append(&self.pending).and_then(|()| self.io.fsync());
+        if let Err(e) = result {
+            self.poisoned = true;
+            return Err(RelError::Wal(format!("sync: {e} (log poisoned)")));
+        }
         self.pending.clear();
         Ok(())
     }
@@ -437,44 +801,47 @@ impl Wal {
         self.pending.clear();
     }
 
-    /// Reads every intact record from the log file at `path`.
-    ///
-    /// A torn tail (truncated frame or checksum mismatch on the final
-    /// record) is treated as a crash artifact and silently dropped;
-    /// corruption anywhere *before* the tail is an error.
-    pub fn read_all(path: &Path) -> RelResult<Vec<WalRecord>> {
-        let mut raw = Vec::new();
-        match File::open(path) {
-            Ok(mut f) => {
-                f.read_to_end(&mut raw)
-                    .map_err(|e| RelError::Wal(format!("read {}: {e}", path.display())))?;
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
-            Err(e) => return Err(RelError::Wal(format!("open {}: {e}", path.display()))),
+    /// Reads the log, keeps the longest intact prefix, and physically
+    /// truncates anything after the first bad frame so later appends
+    /// land on a clean tail. Never fails on *corruption* — only on I/O
+    /// errors reading or repairing the log.
+    pub fn recover(&mut self) -> RelResult<LogScan> {
+        let raw = self
+            .io
+            .read_all()
+            .map_err(|e| RelError::Wal(format!("read log: {e}")))?;
+        let scan = scan_log(&raw);
+        if scan.valid_len < scan.total_len {
+            self.io
+                .truncate_to(scan.valid_len)
+                .map_err(|e| RelError::Wal(format!("truncate corrupt tail: {e}")))?;
         }
-        let mut records = Vec::new();
-        let mut pos = 0usize;
-        while pos + 8 <= raw.len() {
-            let len = u32::from_be_bytes(raw[pos..pos + 4].try_into().expect("4 bytes")) as usize;
-            let crc = u32::from_be_bytes(raw[pos + 4..pos + 8].try_into().expect("4 bytes"));
-            let start = pos + 8;
-            if start + len > raw.len() {
-                // Torn tail: a crash interrupted the final append.
-                break;
-            }
-            let payload = &raw[start..start + len];
-            if fnv1a(payload) != crc {
-                if start + len == raw.len() {
-                    break; // torn final record
-                }
-                return Err(RelError::Wal(format!(
-                    "checksum mismatch at offset {pos} (mid-log corruption)"
-                )));
-            }
-            records.push(WalRecord::decode(Bytes::copy_from_slice(payload))?);
-            pos = start + len;
+        Ok(scan)
+    }
+
+    /// Atomically-ish replaces the log contents with `records` (used by
+    /// compaction on non-file backends, where rename is unavailable).
+    pub fn rewrite(&mut self, records: &[WalRecord]) -> RelResult<()> {
+        if self.poisoned {
+            return Err(RelError::Wal(
+                "log poisoned by an earlier I/O failure; reopen the database".into(),
+            ));
         }
-        Ok(records)
+        let mut buf = Vec::new();
+        for r in records {
+            frame_into(&mut buf, r);
+        }
+        let result = self
+            .io
+            .truncate_to(0)
+            .and_then(|()| self.io.append(&buf))
+            .and_then(|()| self.io.fsync());
+        if let Err(e) = result {
+            self.poisoned = true;
+            return Err(RelError::Wal(format!("rewrite: {e} (log poisoned)")));
+        }
+        self.pending.clear();
+        Ok(())
     }
 }
 
@@ -534,6 +901,11 @@ mod tests {
         ]
     }
 
+    /// Opens the log at `path` and returns every intact record.
+    fn read_back(path: &Path) -> Vec<WalRecord> {
+        Wal::open(path).unwrap().recover().unwrap().records
+    }
+
     #[test]
     fn records_encode_decode_round_trip() {
         for record in sample_records() {
@@ -551,8 +923,7 @@ mod tests {
             wal.append(&r);
         }
         wal.sync().unwrap();
-        let read = Wal::read_all(&path).unwrap();
-        assert_eq!(read, sample_records());
+        assert_eq!(read_back(&path), sample_records());
     }
 
     #[test]
@@ -561,21 +932,22 @@ mod tests {
         let mut wal = Wal::open(&path).unwrap();
         wal.append(&WalRecord::Begin { tx: 9 });
         // No sync: nothing on disk yet.
-        assert!(Wal::read_all(&path).unwrap().is_empty());
+        assert!(read_back(&path).is_empty());
         wal.discard_pending();
         wal.sync().unwrap();
-        assert!(Wal::read_all(&path).unwrap().is_empty());
+        assert!(read_back(&path).is_empty());
     }
 
     #[test]
     fn missing_file_reads_empty() {
         let path = tmp("missing");
         let _ = std::fs::remove_file(&path);
-        assert!(Wal::read_all(&path).unwrap().is_empty());
+        assert!(read_back(&path).is_empty());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
-    fn torn_tail_is_dropped() {
+    fn torn_tail_is_dropped_and_truncated() {
         let path = tmp("torn");
         let mut wal = Wal::open(&path).unwrap();
         wal.append(&WalRecord::Begin { tx: 1 });
@@ -584,12 +956,18 @@ mod tests {
         // Simulate a crash mid-append by truncating the file.
         let full = std::fs::read(&path).unwrap();
         std::fs::write(&path, &full[..full.len() - 3]).unwrap();
-        let read = Wal::read_all(&path).unwrap();
-        assert_eq!(read, vec![WalRecord::Begin { tx: 1 }]);
+        let mut wal = Wal::open(&path).unwrap();
+        let scan = wal.recover().unwrap();
+        assert_eq!(scan.records, vec![WalRecord::Begin { tx: 1 }]);
+        assert!(scan.corruption.is_some());
+        // The bad tail is physically gone: a second recovery is clean.
+        let scan2 = Wal::open(&path).unwrap().recover().unwrap();
+        assert_eq!(scan2.records, vec![WalRecord::Begin { tx: 1 }]);
+        assert!(scan2.corruption.is_none());
     }
 
     #[test]
-    fn mid_log_corruption_is_an_error() {
+    fn mid_log_corruption_truncates_at_first_bad_frame() {
         let path = tmp("corrupt");
         let mut wal = Wal::open(&path).unwrap();
         wal.append(&WalRecord::Begin { tx: 1 });
@@ -599,7 +977,85 @@ mod tests {
         // Flip a payload byte in the first record.
         bytes[9] ^= 0xff;
         std::fs::write(&path, &bytes).unwrap();
-        assert!(matches!(Wal::read_all(&path), Err(RelError::Wal(_))));
+        let scan = Wal::open(&path).unwrap().recover().unwrap();
+        assert!(scan.records.is_empty());
+        let corruption = scan.corruption.expect("corruption reported");
+        assert_eq!(corruption.offset, 0);
+        assert_eq!(corruption.reason, "checksum mismatch");
+        assert_eq!(scan.valid_len, 0);
+        // Both records are gone (the second sat after the bad frame), and
+        // the file was repaired down to the valid prefix.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn scan_log_reports_implausible_length() {
+        let mut raw = Vec::new();
+        frame_into(&mut raw, &WalRecord::Begin { tx: 1 });
+        let first = raw.len();
+        raw.extend_from_slice(&u32::MAX.to_be_bytes()); // absurd length
+        raw.extend_from_slice(&[0u8; 4]);
+        let scan = scan_log(&raw);
+        assert_eq!(scan.records, vec![WalRecord::Begin { tx: 1 }]);
+        assert_eq!(scan.valid_len, first as u64);
+        assert_eq!(
+            scan.corruption.unwrap().reason,
+            "implausible frame length".to_string()
+        );
+    }
+
+    #[test]
+    fn failed_sync_poisons_the_handle() {
+        let io = FaultyIo::new(7, FaultConfig::none());
+        let mut wal = Wal::with_io(Box::new(io.clone()));
+        wal.append(&WalRecord::Begin { tx: 1 });
+        wal.sync().unwrap();
+        // Every fsync fails from here on.
+        io.set_config(FaultConfig {
+            fsync_fail_in: 1,
+            ..FaultConfig::none()
+        });
+        wal.append(&WalRecord::Commit { tx: 1 });
+        assert!(wal.sync().is_err());
+        assert!(wal.is_poisoned());
+        // Later syncs fail fast even after faults are disabled: the tail
+        // state is unknown until recovery.
+        io.set_config(FaultConfig::none());
+        wal.append(&WalRecord::Begin { tx: 2 });
+        let err = wal.sync().unwrap_err();
+        assert!(err.to_string().contains("poisoned"), "{err}");
+    }
+
+    #[test]
+    fn faulty_io_schedule_is_deterministic() {
+        let cfg = FaultConfig {
+            torn_write_in: 3,
+            bit_flip_in: 4,
+            fsync_fail_in: 5,
+            read_fail_in: 0,
+        };
+        let run = |seed: u64| {
+            let mut io = FaultyIo::new(seed, cfg);
+            let mut outcomes = Vec::new();
+            for i in 0..32u64 {
+                outcomes.push(io.append(&i.to_be_bytes()).is_ok());
+                outcomes.push(io.fsync().is_ok());
+            }
+            (outcomes, io.durable_bytes())
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).0, run(43).0);
+    }
+
+    #[test]
+    fn faulty_io_crash_drops_unsynced_bytes() {
+        let io = FaultyIo::new(1, FaultConfig::none());
+        let mut handle = io.clone();
+        handle.append(b"durable").unwrap();
+        handle.fsync().unwrap();
+        handle.append(b"lost").unwrap();
+        io.crash();
+        assert_eq!(handle.read_all().unwrap(), b"durable");
     }
 
     #[test]

@@ -69,12 +69,16 @@ impl<'a> Parser<'a> {
         while self.pos < self.bytes.len() {
             if self.peek() == b'<' {
                 match self.bytes.get(self.pos + 1) {
-                    Some(b'?') => self.parse_pi_or_decl(&mut doc, *stack.last().expect("stack"))?,
+                    Some(b'?') => {
+                        let parent = self.open_parent(&stack)?;
+                        self.parse_pi_or_decl(&mut doc, parent)?;
+                    }
                     Some(b'!') => {
                         if self.starts_with("<!--") {
-                            self.parse_comment(&mut doc, *stack.last().expect("stack"))?;
+                            let parent = self.open_parent(&stack)?;
+                            self.parse_comment(&mut doc, parent)?;
                         } else if self.starts_with("<![CDATA[") {
-                            let parent = *stack.last().expect("stack");
+                            let parent = self.open_parent(&stack)?;
                             if parent == NodeId::DOCUMENT {
                                 return Err(self.err(XmlErrorKind::Malformed(
                                     "CDATA outside of root element".into(),
@@ -108,7 +112,7 @@ impl<'a> Parser<'a> {
                         }
                     }
                     Some(_) => {
-                        let parent = *stack.last().expect("stack");
+                        let parent = self.open_parent(&stack)?;
                         if parent == NodeId::DOCUMENT && seen_root {
                             return Err(
                                 self.err(XmlErrorKind::Malformed("multiple root elements".into()))
@@ -127,7 +131,7 @@ impl<'a> Parser<'a> {
                     }
                 }
             } else {
-                let parent = *stack.last().expect("stack");
+                let parent = self.open_parent(&stack)?;
                 self.parse_text(&mut doc, parent)?;
             }
             if stack.len() == 1 {
@@ -137,11 +141,10 @@ impl<'a> Parser<'a> {
         }
 
         if stack.len() > 1 {
-            let open = doc
-                .node(*stack.last().expect("stack"))
-                .name()
-                .unwrap_or("?")
-                .to_string();
+            let open = self.open_parent(&stack).map_or_else(
+                |_| "?".to_string(),
+                |id| doc.node(id).name().unwrap_or("?").to_string(),
+            );
             return Err(self.err(XmlErrorKind::UnexpectedEof(format!("element <{open}>"))));
         }
         if !seen_root {
@@ -153,6 +156,18 @@ impl<'a> Parser<'a> {
     }
 
     // ---- scanning helpers -------------------------------------------------
+
+    /// The innermost open element (the DOCUMENT sentinel at top level).
+    /// An empty stack would be a scanner bug; it surfaces as a typed parse
+    /// error rather than a panic so a malformed input can never take the
+    /// ingestion pipeline down.
+    fn open_parent(&self, stack: &[NodeId]) -> XmlResult<NodeId> {
+        stack.last().copied().ok_or_else(|| {
+            self.err(XmlErrorKind::Malformed(
+                "internal: element stack underflow".into(),
+            ))
+        })
+    }
 
     fn peek(&self) -> u8 {
         self.bytes[self.pos]

@@ -197,3 +197,91 @@ fn members_listing() {
     let s = setup();
     assert_eq!(s.federation.members(), vec!["node-a", "node-b", "node-c"]);
 }
+
+#[test]
+fn dead_member_degrades_to_surviving_rows() {
+    let mut s = setup();
+    // Kill the enzyme node (node-b) mid-query: the federation returns the
+    // surviving EMBL node's rows and names the corpse in the report.
+    s.federation.set_fault_hook(Some(Arc::new(|member: &str| {
+        if member == "node-b" {
+            Some(xomatiq_core::MemberFault::Fail("killed mid-query".into()))
+        } else {
+            None
+        }
+    })));
+    let fed = s.federation.query_with_report(FIG11).unwrap();
+    assert!(fed.degraded.is_degraded());
+    assert_eq!(fed.degraded.failed.len(), 1);
+    assert_eq!(fed.degraded.failed[0].member, "node-b");
+    assert!(fed.degraded.failed[0].reason.contains("killed mid-query"));
+    // Both RETURN columns live on node-a; with the cross-warehouse join
+    // condition unevaluable, every EMBL entry comes back.
+    assert!(fed.outcome.rows.len() >= s.corpus.planted_ec_links.len());
+    assert!(!fed.outcome.rows.is_empty());
+    for row in &fed.outcome.rows {
+        assert!(!row[0].is_null(), "surviving member's columns are real");
+    }
+
+    // A clean run over the same federation reports no degradation.
+    s.federation.set_fault_hook(None);
+    let fed = s.federation.query_with_report(FIG11).unwrap();
+    assert!(!fed.degraded.is_degraded());
+    let oracle = s.single.query(FIG11).unwrap();
+    assert_eq!(rows_of(&fed.outcome), rows_of(&oracle));
+}
+
+#[test]
+fn strict_mode_refuses_degraded_results() {
+    let mut s = setup();
+    s.federation.set_strict(true);
+    s.federation.set_fault_hook(Some(Arc::new(|member: &str| {
+        if member == "node-b" {
+            Some(xomatiq_core::MemberFault::Fail("killed mid-query".into()))
+        } else {
+            None
+        }
+    })));
+    let err = s.federation.query(FIG11).unwrap_err();
+    match err {
+        xomatiq_core::XomatiqError::Federation(msg) => {
+            assert!(msg.contains("strict mode"), "{msg}");
+            assert!(msg.contains("node-b"), "{msg}");
+        }
+        other => panic!("expected a federation error, got {other:?}"),
+    }
+}
+
+#[test]
+fn hung_member_is_cut_off_at_the_deadline() {
+    let mut s = setup();
+    s.federation
+        .set_member_deadline(Some(std::time::Duration::from_millis(50)));
+    s.federation.set_fault_hook(Some(Arc::new(|member: &str| {
+        if member == "node-c" {
+            Some(xomatiq_core::MemberFault::Hang(
+                std::time::Duration::from_secs(5),
+            ))
+        } else {
+            None
+        }
+    })));
+    let start = std::time::Instant::now();
+    let fed = s.federation.query_with_report(FIG8).unwrap();
+    // The federation did not wait out the 5s hang.
+    assert!(start.elapsed() < std::time::Duration::from_secs(4));
+    assert_eq!(fed.degraded.failed.len(), 1);
+    assert_eq!(fed.degraded.failed[0].member, "node-c");
+    assert!(
+        fed.degraded.failed[0].reason.contains("deadline"),
+        "{}",
+        fed.degraded.failed[0].reason
+    );
+    // Surviving node-a rows: all cdc6-marked EMBL entries, with the dead
+    // member's column projected as NULL.
+    assert_eq!(fed.outcome.rows.len(), s.corpus.cdc6_embl.len());
+    for row in &fed.outcome.rows {
+        assert!(row[0].is_null(), "dead member's column is NULL");
+        assert!(!row[1].is_null());
+    }
+}
