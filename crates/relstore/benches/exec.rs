@@ -1,0 +1,143 @@
+//! Executor microbenchmarks: scan, limit-over-scan, Top-K, hash join and
+//! keyword query, each timed on the streaming executor and (where the
+//! comparison is meaningful) the materializing reference interpreter.
+//!
+//! Besides the usual console output, results are recorded to
+//! `BENCH_exec.json` at the workspace root so future PRs have a perf
+//! trajectory to compare against. Set `XOMATIQ_BENCH_SMOKE=1` to run with
+//! a tiny dataset — CI uses this to keep the harness from bit-rotting.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use xomatiq_relstore::Database;
+
+/// Row count: 50k normally, 500 under `XOMATIQ_BENCH_SMOKE`.
+fn scale() -> usize {
+    if std::env::var("XOMATIQ_BENCH_SMOKE").is_ok() {
+        500
+    } else {
+        50_000
+    }
+}
+
+/// `big(a INT, b INT, s TEXT)` with a keyword index on `s`, plus the
+/// `facts`/`dims` pair for the join benchmark.
+fn build_db(n: usize) -> Database {
+    let db = Database::in_memory();
+    db.execute("CREATE TABLE big (a INT, b INT, s TEXT)")
+        .unwrap();
+    db.execute("CREATE KEYWORD INDEX kw_big_s ON big (s)")
+        .unwrap();
+    db.execute("CREATE TABLE facts (id INT, v INT)").unwrap();
+    db.execute("CREATE TABLE dims (id INT, name TEXT)").unwrap();
+    let mut stmts: Vec<String> = Vec::with_capacity(2 * n + 64);
+    for i in 0..n {
+        // ~1 row in 500 carries the needle keyword.
+        let s = if i % 500 == 250 {
+            "needle in the haystack"
+        } else {
+            "plain filler text"
+        };
+        stmts.push(format!("INSERT INTO big VALUES ({i}, {}, '{s}')", i % 97));
+    }
+    for i in 0..n {
+        stmts.push(format!("INSERT INTO facts VALUES ({}, {i})", i % 64));
+    }
+    for i in 0..64 {
+        stmts.push(format!("INSERT INTO dims VALUES ({i}, 'dim{i}')"));
+    }
+    let refs: Vec<&str> = stmts.iter().map(|s| s.as_str()).collect();
+    db.execute_batch(&refs).unwrap();
+    db
+}
+
+struct Recorder {
+    samples: usize,
+    results: Vec<(String, f64)>,
+}
+
+impl Recorder {
+    /// Times `f` over `samples` iterations (after one warmup), prints the
+    /// mean, and records it for the JSON report.
+    fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        black_box(f()); // warmup
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        let ns = start.elapsed().as_nanos() as f64 / self.samples as f64;
+        println!("exec/{name}: {ns:.0} ns/iter");
+        self.results.push((name.to_string(), ns));
+    }
+
+    fn write_json(&self, rows: usize) {
+        let mut entries = String::new();
+        for (i, (name, ns)) in self.results.iter().enumerate() {
+            if i > 0 {
+                entries.push_str(",\n");
+            }
+            entries.push_str(&format!(
+                "    {{\"name\": \"{name}\", \"ns_per_iter\": {ns:.0}}}"
+            ));
+        }
+        let json = format!(
+            "{{\n  \"bench\": \"exec\",\n  \"rows\": {rows},\n  \"results\": [\n{entries}\n  ]\n}}\n"
+        );
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_exec.json");
+        std::fs::write(path, json).expect("write BENCH_exec.json");
+        println!("wrote {path}");
+    }
+}
+
+fn bench_exec(_c: &mut Criterion) {
+    let n = scale();
+    let db = build_db(n);
+    let mut rec = Recorder {
+        samples: if n > 1_000 { 10 } else { 30 },
+        results: Vec::new(),
+    };
+
+    rec.bench("scan_full", || {
+        db.execute("SELECT a FROM big").unwrap().rows().len()
+    });
+
+    // The tentpole number: LIMIT k over a large scan. The streaming
+    // executor pulls k rows; the reference interpreter clones the table.
+    let limit_sql = "SELECT a, b FROM big LIMIT 10";
+    rec.bench("limit_over_scan/streaming", || {
+        db.execute(limit_sql).unwrap().rows().len()
+    });
+    rec.bench("limit_over_scan/reference", || {
+        db.query_reference(limit_sql).unwrap().rows().len()
+    });
+
+    // Top-K: bounded heap vs full sort + slice.
+    let topk_sql = "SELECT a, b FROM big ORDER BY b DESC, a LIMIT 10";
+    rec.bench("topk_sort_limit/streaming", || {
+        db.execute(topk_sql).unwrap().rows().len()
+    });
+    rec.bench("topk_sort_limit/reference", || {
+        db.query_reference(topk_sql).unwrap().rows().len()
+    });
+
+    // Hash join: build on 64-row dims, probe streams over facts.
+    let join_sql = "SELECT f.v, d.name FROM facts f, dims d WHERE f.id = d.id AND f.v < 100";
+    rec.bench("hash_join/streaming", || {
+        db.execute(join_sql).unwrap().rows().len()
+    });
+    rec.bench("hash_join/reference", || {
+        db.query_reference(join_sql).unwrap().rows().len()
+    });
+
+    // Keyword query through the inverted index.
+    let kw_sql = "SELECT a FROM big WHERE CONTAINS(s, 'needle')";
+    rec.bench("keyword_query/streaming", || {
+        db.execute(kw_sql).unwrap().rows().len()
+    });
+
+    rec.write_json(n);
+}
+
+criterion_group!(benches, bench_exec);
+criterion_main!(benches);

@@ -13,7 +13,7 @@ use std::path::Path;
 use parking_lot::{Mutex, RwLock};
 
 use crate::error::{RelError, RelResult};
-use crate::exec::execute_plan;
+use crate::exec::{execute_plan, execute_plan_with_stats, ExecStats};
 use crate::expr::{eval, eval_predicate, RowSchema};
 use crate::index::BTreeIndex;
 use crate::plan::PlannedQuery;
@@ -277,6 +277,25 @@ impl Storage {
     }
 }
 
+/// Shapes executor output into a [`ResultSet`], dropping the hidden
+/// sort-key columns the planner appended after the first `visible` items.
+fn select_result(visible: usize, schema: &RowSchema, rows: Vec<Row>) -> ResultSet {
+    let columns: Vec<String> = schema
+        .columns()
+        .iter()
+        .take(visible)
+        .map(|b| b.name.clone())
+        .collect();
+    let rows = rows
+        .into_iter()
+        .map(|mut r| {
+            r.truncate(visible);
+            r
+        })
+        .collect();
+    ResultSet::query(columns, rows)
+}
+
 /// The result of executing a statement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ResultSet {
@@ -522,20 +541,7 @@ impl Database {
                 let storage = self.storage.read();
                 let PlannedQuery { plan, visible } = plan_select(&select, &storage.catalog)?;
                 let (schema, rows) = execute_plan(&plan, &storage)?;
-                let columns: Vec<String> = schema
-                    .columns()
-                    .iter()
-                    .take(visible)
-                    .map(|b| b.name.clone())
-                    .collect();
-                let rows = rows
-                    .into_iter()
-                    .map(|mut r| {
-                        r.truncate(visible);
-                        r
-                    })
-                    .collect();
-                Ok(ResultSet::query(columns, rows))
+                Ok(select_result(visible, &schema, rows))
             }
             Statement::CreateTable { name, columns } => {
                 let schema = TableSchema::new(
@@ -676,6 +682,40 @@ impl Database {
                 plan_select(&select, &storage.catalog)
             }
             _ => Err(RelError::Parse("only SELECT can be planned".into())),
+        }
+    }
+
+    /// Executes a `SELECT` and returns its results together with the
+    /// executor's counters — rows scanned, peak buffered rows, rows
+    /// emitted. This is the hook tests and benches use to assert that
+    /// `LIMIT`/Top-K queries materialize O(k) rows, not the whole input.
+    pub fn query_with_stats(&self, sql: &str) -> RelResult<(ResultSet, ExecStats)> {
+        match parse_statement(sql)? {
+            Statement::Select(select) => {
+                let storage = self.storage.read();
+                let PlannedQuery { plan, visible } = plan_select(&select, &storage.catalog)?;
+                let (schema, rows, stats) = execute_plan_with_stats(&plan, &storage)?;
+                Ok((select_result(visible, &schema, rows), stats))
+            }
+            _ => Err(RelError::Parse("only SELECT reports exec stats".into())),
+        }
+    }
+
+    /// Executes a `SELECT` through the materializing reference interpreter
+    /// ([`crate::exec_reference`]) instead of the streaming executor.
+    /// The property suite runs randomized queries through both paths and
+    /// requires row-for-row identical results.
+    pub fn query_reference(&self, sql: &str) -> RelResult<ResultSet> {
+        match parse_statement(sql)? {
+            Statement::Select(select) => {
+                let storage = self.storage.read();
+                let PlannedQuery { plan, visible } = plan_select(&select, &storage.catalog)?;
+                let (schema, rows) = crate::exec_reference::execute_plan(&plan, &storage)?;
+                Ok(select_result(visible, &schema, rows))
+            }
+            _ => Err(RelError::Parse(
+                "only SELECT runs on the reference executor".into(),
+            )),
         }
     }
 

@@ -1,31 +1,159 @@
 //! Plan execution.
 //!
-//! A straightforward pull-everything interpreter: each operator produces a
-//! fully materialized `(schema, rows)` pair. Materialization keeps the
-//! engine simple and is a good fit for the workload shape the paper
-//! describes — selective index-driven lookups over a large warehouse, with
-//! result sets sized for a human or a downstream tool.
+//! A streaming (pull-based iterator) executor: [`open`] compiles each
+//! [`Plan`] operator into a cursor that yields one row at a time, so
+//! `Filter`, `Project`, `Limit`, `Distinct` and the probe side of
+//! `HashJoin` never materialize their inputs. Scan cursors *borrow* rows
+//! straight out of the table's B-tree; a row is only cloned once an
+//! operator genuinely needs ownership (projection output, join
+//! concatenation, pipeline breakers). The pipeline breakers — `Sort`,
+//! `Aggregate`, `TopK` and the build side of joins — buffer the minimum
+//! they need and account for it in [`ExecStats`], which is how tests pin
+//! the O(k) memory bound of `LIMIT`/Top-K pushdown.
+//!
+//! The retained materialize-everything interpreter lives on in
+//! [`crate::exec_reference`] as the oracle the property tests compare
+//! against, row for row.
 
+use std::cell::Cell;
+use std::cmp::Ordering;
 use std::collections::hash_map::Entry;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::rc::Rc;
 
 use crate::db::Storage;
 use crate::error::{RelError, RelResult};
 use crate::expr::{eval, eval_predicate, RowSchema};
 use crate::plan::{IndexAccess, Plan, ProjectItem, SortKey};
 use crate::sql::ast::{AggFunc, Expr};
-use crate::table::Row;
+use crate::table::{Row, RowId, Table};
 use crate::value::Value;
 
-/// Executes a plan against storage.
+/// Counters published by one plan execution.
+///
+/// `buffered_peak` is the executor's materialization bound: the largest
+/// number of rows simultaneously retained inside operator buffers (sort
+/// runs, aggregation groups, join build sides, Top-K heaps, distinct
+/// keys). A fully streaming pipeline — e.g. `LIMIT k` over a scan —
+/// reports `0` regardless of table size.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Rows pulled out of base-table access paths (scan, index, keyword).
+    pub rows_scanned: u64,
+    /// Peak number of rows held in operator buffers at any one moment.
+    pub buffered_peak: u64,
+    /// Rows the root operator produced.
+    pub rows_emitted: u64,
+}
+
+/// Shared mutable counters threaded through every cursor of one execution.
+#[derive(Debug, Default)]
+struct StatsCell {
+    scanned: Cell<u64>,
+    buffered: Cell<u64>,
+    buffered_peak: Cell<u64>,
+}
+
+impl StatsCell {
+    fn scan_one(&self) {
+        self.scanned.set(self.scanned.get() + 1);
+    }
+
+    fn buffer_grow(&self, n: u64) {
+        let cur = self.buffered.get() + n;
+        self.buffered.set(cur);
+        if cur > self.buffered_peak.get() {
+            self.buffered_peak.set(cur);
+        }
+    }
+
+    fn buffer_shrink(&self, n: u64) {
+        self.buffered.set(self.buffered.get().saturating_sub(n));
+    }
+}
+
+/// A row flowing between operators: borrowed from storage until an
+/// operator needs ownership.
+enum RowRef<'a> {
+    /// A row borrowed from a table (or another borrowed source).
+    Borrowed(&'a [Value]),
+    /// A row an operator built (projection, join concatenation, ...).
+    Owned(Row),
+}
+
+impl RowRef<'_> {
+    fn as_slice(&self) -> &[Value] {
+        match self {
+            RowRef::Borrowed(r) => r,
+            RowRef::Owned(r) => r,
+        }
+    }
+
+    fn into_owned(self) -> Row {
+        match self {
+            RowRef::Borrowed(r) => r.to_vec(),
+            RowRef::Owned(r) => r,
+        }
+    }
+}
+
+impl AsRef<[Value]> for RowRef<'_> {
+    fn as_ref(&self) -> &[Value] {
+        self.as_slice()
+    }
+}
+
+/// A pull-based operator: yields rows until exhausted.
+trait Cursor<'a> {
+    /// Pulls the next row, or `None` when the operator is exhausted.
+    fn next_row(&mut self) -> RelResult<Option<RowRef<'a>>>;
+}
+
+type BoxCursor<'a> = Box<dyn Cursor<'a> + 'a>;
+
+/// Executes a plan against storage, materializing the full result.
 pub fn execute_plan(plan: &Plan, storage: &Storage) -> RelResult<(RowSchema, Vec<Row>)> {
+    let (schema, rows, _) = execute_plan_with_stats(plan, storage)?;
+    Ok((schema, rows))
+}
+
+/// Like [`execute_plan`], but also reports the execution counters.
+pub fn execute_plan_with_stats(
+    plan: &Plan,
+    storage: &Storage,
+) -> RelResult<(RowSchema, Vec<Row>, ExecStats)> {
+    let stats = Rc::new(StatsCell::default());
+    let (schema, mut cursor) = open(plan, storage, &stats)?;
+    let mut rows = Vec::new();
+    while let Some(row) = cursor.next_row()? {
+        rows.push(row.into_owned());
+    }
+    let stats = ExecStats {
+        rows_scanned: stats.scanned.get(),
+        buffered_peak: stats.buffered_peak.get(),
+        rows_emitted: rows.len() as u64,
+    };
+    Ok((schema, rows, stats))
+}
+
+/// Compiles a plan operator into its output schema and a cursor.
+fn open<'a>(
+    plan: &'a Plan,
+    storage: &'a Storage,
+    stats: &Rc<StatsCell>,
+) -> RelResult<(RowSchema, BoxCursor<'a>)> {
     match plan {
         Plan::Scan { table, alias } => {
             let t = storage.table(table)?;
             let schema =
                 RowSchema::for_table(alias, t.schema().columns.iter().map(|c| c.name.clone()));
-            let rows = t.scan().map(|(_, r)| r.clone()).collect();
-            Ok((schema, rows))
+            Ok((
+                schema,
+                Box::new(ScanCursor {
+                    rows: t.rows(),
+                    stats: Rc::clone(stats),
+                }),
+            ))
         }
         Plan::IndexScan {
             table,
@@ -53,11 +181,14 @@ pub fn execute_plan(plan: &Plan, storage: &Storage) -> RelResult<(RowSchema, Vec
             ids.sort();
             let schema =
                 RowSchema::for_table(alias, t.schema().columns.iter().map(|c| c.name.clone()));
-            let rows = ids
-                .into_iter()
-                .filter_map(|id| t.get(id).cloned())
-                .collect();
-            Ok((schema, rows))
+            Ok((
+                schema,
+                Box::new(IdListCursor {
+                    table: t,
+                    ids: ids.into_iter(),
+                    stats: Rc::clone(stats),
+                }),
+            ))
         }
         Plan::KeywordScan {
             table,
@@ -71,46 +202,47 @@ pub fn execute_plan(plan: &Plan, storage: &Storage) -> RelResult<(RowSchema, Vec
             ids.sort();
             let schema =
                 RowSchema::for_table(alias, t.schema().columns.iter().map(|c| c.name.clone()));
-            let rows = ids
-                .into_iter()
-                .filter_map(|id| t.get(id).cloned())
-                .collect();
-            Ok((schema, rows))
+            Ok((
+                schema,
+                Box::new(IdListCursor {
+                    table: t,
+                    ids: ids.into_iter(),
+                    stats: Rc::clone(stats),
+                }),
+            ))
         }
         Plan::Filter { input, predicate } => {
-            let (schema, rows) = execute_plan(input, storage)?;
-            let mut out = Vec::new();
-            for row in rows {
-                if eval_predicate(predicate, &schema, &row)? {
-                    out.push(row);
-                }
-            }
-            Ok((schema, out))
+            let (schema, input) = open(input, storage, stats)?;
+            Ok((
+                schema.clone(),
+                Box::new(FilterCursor {
+                    input,
+                    schema,
+                    predicate,
+                }),
+            ))
         }
         Plan::NestedLoopJoin {
             left,
             right,
             condition,
         } => {
-            let (ls, lrows) = execute_plan(left, storage)?;
-            let (rs, rrows) = execute_plan(right, storage)?;
+            let (ls, lcur) = open(left, storage, stats)?;
+            let (rs, rcur) = open(right, storage, stats)?;
             let schema = ls.join(&rs);
-            let mut out = Vec::new();
-            for lrow in &lrows {
-                for rrow in &rrows {
-                    let mut combined = lrow.clone();
-                    combined.extend(rrow.iter().cloned());
-                    match condition {
-                        Some(cond) => {
-                            if eval_predicate(cond, &schema, &combined)? {
-                                out.push(combined);
-                            }
-                        }
-                        None => out.push(combined),
-                    }
-                }
-            }
-            Ok((schema, out))
+            Ok((
+                schema.clone(),
+                Box::new(NestedLoopCursor {
+                    left: lcur,
+                    right_input: Some(rcur),
+                    right: Vec::new(),
+                    schema,
+                    condition: condition.as_ref(),
+                    current_left: None,
+                    right_pos: 0,
+                    stats: Rc::clone(stats),
+                }),
+            ))
         }
         Plan::HashJoin {
             left,
@@ -120,112 +252,52 @@ pub fn execute_plan(plan: &Plan, storage: &Storage) -> RelResult<(RowSchema, Vec
             residual,
             semi,
         } => {
-            let (ls, lrows) = execute_plan(left, storage)?;
-            let (rs, rrows) = execute_plan(right, storage)?;
-            // Keys are evaluated once per row; NULL keys never join.
-            let eval_keys =
-                |keys: &[Expr], schema: &RowSchema, row: &Row| -> RelResult<Option<Vec<Value>>> {
-                    let key: Vec<Value> = keys
-                        .iter()
-                        .map(|k| eval(k, schema, row))
-                        .collect::<RelResult<_>>()?;
-                    Ok(if key.iter().any(Value::is_null) {
-                        None
-                    } else {
-                        Some(key)
-                    })
-                };
+            let (ls, lcur) = open(left, storage, stats)?;
+            let (rs, rcur) = open(right, storage, stats)?;
             if *semi {
-                // Existence-only: emit each left row at most once and drop
-                // the right side's columns (planner guaranteed nothing
-                // downstream references them and the query is DISTINCT).
-                let mut table: HashSet<Vec<Value>> = HashSet::new();
-                for rrow in &rrows {
-                    if let Some(key) = eval_keys(right_keys, &rs, rrow)? {
-                        table.insert(key);
-                    }
-                }
-                let mut out = Vec::new();
-                for lrow in lrows {
-                    if let Some(key) = eval_keys(left_keys, &ls, &lrow)? {
-                        if table.contains(&key) {
-                            out.push(lrow);
-                        }
-                    }
-                }
-                return Ok((ls, out));
+                // Existence-only: emit each matching left row once; the
+                // right side's columns are dropped (planner guaranteed
+                // nothing downstream references them).
+                return Ok((
+                    ls.clone(),
+                    Box::new(SemiJoinCursor {
+                        left: lcur,
+                        left_schema: ls,
+                        left_keys,
+                        build: None,
+                        right_input: Some((rs, rcur)),
+                        right_keys,
+                        stats: Rc::clone(stats),
+                    }),
+                ));
             }
             let schema = ls.join(&rs);
-            let mut out = Vec::new();
-            // Build the hash table on the smaller input; probe with the
-            // larger. Output rows are always left-columns-then-right.
-            if lrows.len() <= rrows.len() {
-                let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-                for (i, lrow) in lrows.iter().enumerate() {
-                    if let Some(key) = eval_keys(left_keys, &ls, lrow)? {
-                        table.entry(key).or_default().push(i);
-                    }
-                }
-                for rrow in &rrows {
-                    let Some(key) = eval_keys(right_keys, &rs, rrow)? else {
-                        continue;
-                    };
-                    if let Some(matches) = table.get(&key) {
-                        for &i in matches {
-                            let mut combined = lrows[i].clone();
-                            combined.extend(rrow.iter().cloned());
-                            match residual {
-                                Some(cond) => {
-                                    if eval_predicate(cond, &schema, &combined)? {
-                                        out.push(combined);
-                                    }
-                                }
-                                None => out.push(combined),
-                            }
-                        }
-                    }
-                }
-            } else {
-                let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-                for (i, rrow) in rrows.iter().enumerate() {
-                    if let Some(key) = eval_keys(right_keys, &rs, rrow)? {
-                        table.entry(key).or_default().push(i);
-                    }
-                }
-                for lrow in &lrows {
-                    let Some(key) = eval_keys(left_keys, &ls, lrow)? else {
-                        continue;
-                    };
-                    if let Some(matches) = table.get(&key) {
-                        for &i in matches {
-                            let mut combined = lrow.clone();
-                            combined.extend(rrows[i].iter().cloned());
-                            match residual {
-                                Some(cond) => {
-                                    if eval_predicate(cond, &schema, &combined)? {
-                                        out.push(combined);
-                                    }
-                                }
-                                None => out.push(combined),
-                            }
-                        }
-                    }
-                }
-            }
-            Ok((schema, out))
+            Ok((
+                schema.clone(),
+                Box::new(HashJoinCursor {
+                    left: lcur,
+                    left_schema: ls,
+                    schema,
+                    left_keys,
+                    residual: residual.as_ref(),
+                    build: None,
+                    right_input: Some((rs, rcur)),
+                    right_keys,
+                    probe: None,
+                    stats: Rc::clone(stats),
+                }),
+            ))
         }
         Plan::Project { input, items, .. } => {
-            let (schema, rows) = execute_plan(input, storage)?;
-            let out_schema = projected_schema(items);
-            let mut out = Vec::with_capacity(rows.len());
-            for row in rows {
-                let projected: Row = items
-                    .iter()
-                    .map(|item| eval(&item.expr, &schema, &row))
-                    .collect::<RelResult<_>>()?;
-                out.push(projected);
-            }
-            Ok((out_schema, out))
+            let (schema, input) = open(input, storage, stats)?;
+            Ok((
+                projected_schema(items),
+                Box::new(ProjectCursor {
+                    input,
+                    schema,
+                    items,
+                }),
+            ))
         }
         Plan::Aggregate {
             input,
@@ -233,16 +305,363 @@ pub fn execute_plan(plan: &Plan, storage: &Storage) -> RelResult<(RowSchema, Vec
             items,
             ..
         } => {
-            let (schema, rows) = execute_plan(input, storage)?;
-            let out_schema = projected_schema(items);
+            let (schema, input) = open(input, storage, stats)?;
+            Ok((
+                projected_schema(items),
+                Box::new(AggregateCursor {
+                    input: Some(input),
+                    schema,
+                    group_by,
+                    items,
+                    output: Vec::new().into_iter(),
+                    stats: Rc::clone(stats),
+                }),
+            ))
+        }
+        Plan::Sort { input, keys } => {
+            let (schema, input) = open(input, storage, stats)?;
+            Ok((
+                schema,
+                Box::new(SortCursor {
+                    input: Some(input),
+                    keys,
+                    sorted: Vec::new().into_iter(),
+                    stats: Rc::clone(stats),
+                }),
+            ))
+        }
+        Plan::TopK {
+            input,
+            keys,
+            limit,
+            offset,
+        } => {
+            let (schema, input) = open(input, storage, stats)?;
+            Ok((
+                schema,
+                Box::new(TopKCursor {
+                    input: Some(input),
+                    keys,
+                    limit: *limit,
+                    offset: *offset,
+                    output: Vec::new().into_iter(),
+                    stats: Rc::clone(stats),
+                }),
+            ))
+        }
+        Plan::Distinct { input, visible } => {
+            let (schema, input) = open(input, storage, stats)?;
+            Ok((
+                schema,
+                Box::new(DistinctCursor {
+                    input,
+                    visible: *visible,
+                    seen: HashSet::new(),
+                    stats: Rc::clone(stats),
+                }),
+            ))
+        }
+        Plan::Limit {
+            input,
+            limit,
+            offset,
+        } => {
+            let (schema, input) = open(input, storage, stats)?;
+            Ok((
+                schema,
+                Box::new(LimitCursor {
+                    input,
+                    to_skip: *offset,
+                    remaining: *limit,
+                }),
+            ))
+        }
+    }
+}
+
+/// Full-table scan borrowing rows in insertion (document) order.
+struct ScanCursor<'a> {
+    rows: std::collections::btree_map::Values<'a, RowId, Row>,
+    stats: Rc<StatsCell>,
+}
+
+impl<'a> Cursor<'a> for ScanCursor<'a> {
+    fn next_row(&mut self) -> RelResult<Option<RowRef<'a>>> {
+        Ok(self.rows.next().map(|r| {
+            self.stats.scan_one();
+            RowRef::Borrowed(r)
+        }))
+    }
+}
+
+/// Index/keyword access: resolves a precomputed id list to borrowed rows.
+struct IdListCursor<'a> {
+    table: &'a Table,
+    ids: std::vec::IntoIter<RowId>,
+    stats: Rc<StatsCell>,
+}
+
+impl<'a> Cursor<'a> for IdListCursor<'a> {
+    fn next_row(&mut self) -> RelResult<Option<RowRef<'a>>> {
+        for id in self.ids.by_ref() {
+            if let Some(row) = self.table.get(id) {
+                self.stats.scan_one();
+                return Ok(Some(RowRef::Borrowed(row)));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Streaming predicate filter.
+struct FilterCursor<'a> {
+    input: BoxCursor<'a>,
+    schema: RowSchema,
+    predicate: &'a Expr,
+}
+
+impl<'a> Cursor<'a> for FilterCursor<'a> {
+    fn next_row(&mut self) -> RelResult<Option<RowRef<'a>>> {
+        while let Some(row) = self.input.next_row()? {
+            if eval_predicate(self.predicate, &self.schema, row.as_slice())? {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Streaming projection.
+struct ProjectCursor<'a> {
+    input: BoxCursor<'a>,
+    schema: RowSchema,
+    items: &'a [ProjectItem],
+}
+
+impl<'a> Cursor<'a> for ProjectCursor<'a> {
+    fn next_row(&mut self) -> RelResult<Option<RowRef<'a>>> {
+        let Some(row) = self.input.next_row()? else {
+            return Ok(None);
+        };
+        let projected: Row = self
+            .items
+            .iter()
+            .map(|item| eval(&item.expr, &self.schema, row.as_slice()))
+            .collect::<RelResult<_>>()?;
+        Ok(Some(RowRef::Owned(projected)))
+    }
+}
+
+/// Nested-loop join: the right (inner) side is buffered once, the left
+/// side streams.
+struct NestedLoopCursor<'a> {
+    left: BoxCursor<'a>,
+    /// Right input, consumed into `right` on the first pull.
+    right_input: Option<BoxCursor<'a>>,
+    right: Vec<RowRef<'a>>,
+    schema: RowSchema,
+    condition: Option<&'a Expr>,
+    current_left: Option<RowRef<'a>>,
+    right_pos: usize,
+    stats: Rc<StatsCell>,
+}
+
+impl<'a> Cursor<'a> for NestedLoopCursor<'a> {
+    fn next_row(&mut self) -> RelResult<Option<RowRef<'a>>> {
+        if let Some(mut rcur) = self.right_input.take() {
+            while let Some(row) = rcur.next_row()? {
+                self.stats.buffer_grow(1);
+                self.right.push(row);
+            }
+        }
+        loop {
+            if self.current_left.is_none() {
+                self.current_left = self.left.next_row()?;
+                self.right_pos = 0;
+                if self.current_left.is_none() {
+                    return Ok(None);
+                }
+            }
+            let lrow = self.current_left.as_ref().expect("checked above");
+            while self.right_pos < self.right.len() {
+                let rrow = &self.right[self.right_pos];
+                self.right_pos += 1;
+                let mut combined = lrow.as_slice().to_vec();
+                combined.extend(rrow.as_slice().iter().cloned());
+                let keep = match self.condition {
+                    Some(cond) => eval_predicate(cond, &self.schema, &combined)?,
+                    None => true,
+                };
+                if keep {
+                    return Ok(Some(RowRef::Owned(combined)));
+                }
+            }
+            self.current_left = None;
+        }
+    }
+}
+
+/// Evaluates join key expressions; any NULL key disqualifies the row.
+fn eval_join_keys(
+    keys: &[Expr],
+    schema: &RowSchema,
+    row: &[Value],
+) -> RelResult<Option<Vec<Value>>> {
+    let key: Vec<Value> = keys
+        .iter()
+        .map(|k| eval(k, schema, row))
+        .collect::<RelResult<_>>()?;
+    Ok(if key.iter().any(Value::is_null) {
+        None
+    } else {
+        Some(key)
+    })
+}
+
+/// The buffered build side of a hash join.
+struct BuildSide<'a> {
+    rows: Vec<RowRef<'a>>,
+    index: HashMap<Vec<Value>, Vec<usize>>,
+}
+
+impl<'a> BuildSide<'a> {
+    /// Drains `input`, keeping only rows with fully non-NULL keys (rows
+    /// with a NULL key can never join).
+    fn build(
+        schema: &RowSchema,
+        keys: &[Expr],
+        mut input: BoxCursor<'a>,
+        stats: &StatsCell,
+    ) -> RelResult<BuildSide<'a>> {
+        let mut side = BuildSide {
+            rows: Vec::new(),
+            index: HashMap::new(),
+        };
+        while let Some(row) = input.next_row()? {
+            if let Some(key) = eval_join_keys(keys, schema, row.as_slice())? {
+                stats.buffer_grow(1);
+                side.index.entry(key).or_default().push(side.rows.len());
+                side.rows.push(row);
+            }
+        }
+        Ok(side)
+    }
+}
+
+/// Hash join: the right side is the build side, the left side streams as
+/// the probe. Output rows are left-columns-then-right, in probe order.
+struct HashJoinCursor<'a> {
+    left: BoxCursor<'a>,
+    left_schema: RowSchema,
+    schema: RowSchema,
+    left_keys: &'a [Expr],
+    residual: Option<&'a Expr>,
+    build: Option<BuildSide<'a>>,
+    right_input: Option<(RowSchema, BoxCursor<'a>)>,
+    right_keys: &'a [Expr],
+    /// The probe row currently being expanded: `(row, matches, position)`.
+    probe: Option<(RowRef<'a>, Vec<usize>, usize)>,
+    stats: Rc<StatsCell>,
+}
+
+impl<'a> Cursor<'a> for HashJoinCursor<'a> {
+    fn next_row(&mut self) -> RelResult<Option<RowRef<'a>>> {
+        if let Some((rs, rcur)) = self.right_input.take() {
+            self.build = Some(BuildSide::build(&rs, self.right_keys, rcur, &self.stats)?);
+        }
+        let build = self.build.as_ref().expect("built above");
+        loop {
+            if let Some((lrow, matches, pos)) = &mut self.probe {
+                while *pos < matches.len() {
+                    let rrow = &build.rows[matches[*pos]];
+                    *pos += 1;
+                    let mut combined = lrow.as_slice().to_vec();
+                    combined.extend(rrow.as_slice().iter().cloned());
+                    let keep = match self.residual {
+                        Some(cond) => eval_predicate(cond, &self.schema, &combined)?,
+                        None => true,
+                    };
+                    if keep {
+                        return Ok(Some(RowRef::Owned(combined)));
+                    }
+                }
+                self.probe = None;
+            }
+            let Some(lrow) = self.left.next_row()? else {
+                return Ok(None);
+            };
+            let Some(key) = eval_join_keys(self.left_keys, &self.left_schema, lrow.as_slice())?
+            else {
+                continue;
+            };
+            if let Some(matches) = build.index.get(&key) {
+                self.probe = Some((lrow, matches.clone(), 0));
+            }
+        }
+    }
+}
+
+/// Hash semi-join: the right side collapses to a key set, each matching
+/// left row passes through unchanged (and unclowned).
+struct SemiJoinCursor<'a> {
+    left: BoxCursor<'a>,
+    left_schema: RowSchema,
+    left_keys: &'a [Expr],
+    build: Option<HashSet<Vec<Value>>>,
+    right_input: Option<(RowSchema, BoxCursor<'a>)>,
+    right_keys: &'a [Expr],
+    stats: Rc<StatsCell>,
+}
+
+impl<'a> Cursor<'a> for SemiJoinCursor<'a> {
+    fn next_row(&mut self) -> RelResult<Option<RowRef<'a>>> {
+        if let Some((rs, mut rcur)) = self.right_input.take() {
+            let mut keys = HashSet::new();
+            while let Some(row) = rcur.next_row()? {
+                if let Some(key) = eval_join_keys(self.right_keys, &rs, row.as_slice())? {
+                    if keys.insert(key) {
+                        self.stats.buffer_grow(1);
+                    }
+                }
+            }
+            self.build = Some(keys);
+        }
+        let keys = self.build.as_ref().expect("built above");
+        while let Some(lrow) = self.left.next_row()? {
+            if let Some(key) = eval_join_keys(self.left_keys, &self.left_schema, lrow.as_slice())? {
+                if keys.contains(&key) {
+                    return Ok(Some(lrow));
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Grouped aggregation: a pipeline breaker that buffers each group's rows
+/// until the input is exhausted, then streams the per-group results.
+struct AggregateCursor<'a> {
+    input: Option<BoxCursor<'a>>,
+    schema: RowSchema,
+    group_by: &'a [Expr],
+    items: &'a [ProjectItem],
+    output: std::vec::IntoIter<Row>,
+    stats: Rc<StatsCell>,
+}
+
+impl<'a> Cursor<'a> for AggregateCursor<'a> {
+    fn next_row(&mut self) -> RelResult<Option<RowRef<'a>>> {
+        if let Some(mut input) = self.input.take() {
             // Group rows; with no GROUP BY everything is one global group.
-            let mut groups: Vec<(Vec<Value>, Vec<Row>)> = Vec::new();
+            let mut groups: Vec<(Vec<Value>, Vec<RowRef<'a>>)> = Vec::new();
             let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
-            for row in rows {
-                let key: Vec<Value> = group_by
+            while let Some(row) = input.next_row()? {
+                let key: Vec<Value> = self
+                    .group_by
                     .iter()
-                    .map(|e| eval(e, &schema, &row))
+                    .map(|e| eval(e, &self.schema, row.as_slice()))
                     .collect::<RelResult<_>>()?;
+                self.stats.buffer_grow(1);
                 match index.entry(key.clone()) {
                     Entry::Occupied(slot) => groups[*slot.get()].1.push(row),
                     Entry::Vacant(slot) => {
@@ -251,63 +670,209 @@ pub fn execute_plan(plan: &Plan, storage: &Storage) -> RelResult<(RowSchema, Vec
                     }
                 }
             }
-            if groups.is_empty() && group_by.is_empty() {
+            if groups.is_empty() && self.group_by.is_empty() {
                 // Global aggregate over empty input yields one row.
                 groups.push((Vec::new(), Vec::new()));
             }
             let mut out = Vec::with_capacity(groups.len());
             for (_, group_rows) in &groups {
                 let null_row;
-                let representative: &Row = match group_rows.first() {
-                    Some(r) => r,
+                let representative: &[Value] = match group_rows.first() {
+                    Some(r) => r.as_slice(),
                     None => {
-                        null_row = vec![Value::Null; schema.len()];
+                        null_row = vec![Value::Null; self.schema.len()];
                         &null_row
                     }
                 };
-                let mut result_row = Vec::with_capacity(items.len());
-                for item in items {
-                    let materialized = materialize_aggregates(&item.expr, &schema, group_rows)?;
-                    result_row.push(eval(&materialized, &schema, representative)?);
+                let mut result_row = Vec::with_capacity(self.items.len());
+                for item in self.items {
+                    let materialized =
+                        materialize_aggregates(&item.expr, &self.schema, group_rows)?;
+                    result_row.push(eval(&materialized, &self.schema, representative)?);
                 }
                 out.push(result_row);
             }
-            Ok((out_schema, out))
-        }
-        Plan::Sort { input, keys } => {
-            let (schema, mut rows) = execute_plan(input, storage)?;
-            rows.sort_by(|a, b| compare_rows(a, b, keys));
-            Ok((schema, rows))
-        }
-        Plan::Distinct { input, visible } => {
-            let (schema, rows) = execute_plan(input, storage)?;
-            let mut seen: HashSet<Vec<Value>> = HashSet::new();
-            let mut out = Vec::new();
-            for row in rows {
-                let key: Vec<Value> = row.iter().take(*visible).cloned().collect();
-                if seen.insert(key) {
-                    out.push(row);
-                }
+            for (_, group_rows) in &groups {
+                self.stats.buffer_shrink(group_rows.len() as u64);
             }
-            Ok((schema, out))
+            self.stats.buffer_grow(out.len() as u64);
+            self.output = out.into_iter();
         }
-        Plan::Limit {
-            input,
-            limit,
-            offset,
-        } => {
-            let (schema, rows) = execute_plan(input, storage)?;
-            let out = rows
-                .into_iter()
-                .skip(*offset as usize)
-                .take(limit.map(|l| l as usize).unwrap_or(usize::MAX))
-                .collect();
-            Ok((schema, out))
+        if let Some(row) = self.output.next() {
+            self.stats.buffer_shrink(1);
+            return Ok(Some(RowRef::Owned(row)));
         }
+        Ok(None)
     }
 }
 
-fn bound_ref(b: &std::ops::Bound<Value>) -> std::ops::Bound<&Value> {
+/// Full sort: a pipeline breaker buffering the whole input.
+struct SortCursor<'a> {
+    input: Option<BoxCursor<'a>>,
+    keys: &'a [SortKey],
+    sorted: std::vec::IntoIter<RowRef<'a>>,
+    stats: Rc<StatsCell>,
+}
+
+impl<'a> Cursor<'a> for SortCursor<'a> {
+    fn next_row(&mut self) -> RelResult<Option<RowRef<'a>>> {
+        if let Some(mut input) = self.input.take() {
+            let mut rows = Vec::new();
+            while let Some(row) = input.next_row()? {
+                self.stats.buffer_grow(1);
+                rows.push(row);
+            }
+            rows.sort_by(|a, b| compare_rows(a.as_slice(), b.as_slice(), self.keys));
+            self.sorted = rows.into_iter();
+        }
+        if let Some(row) = self.sorted.next() {
+            self.stats.buffer_shrink(1);
+            return Ok(Some(row));
+        }
+        Ok(None)
+    }
+}
+
+/// One retained row in the Top-K heap. Ordering is `(sort keys, input
+/// sequence)`, so the heap reproduces a stable sort's tie behaviour
+/// exactly; the `BinaryHeap` is a max-heap whose top is the first row to
+/// evict.
+struct HeapEntry<'a> {
+    keys: &'a [SortKey],
+    row: RowRef<'a>,
+    seq: u64,
+}
+
+impl HeapEntry<'_> {
+    fn order(&self, other: &Self) -> Ordering {
+        compare_rows(self.row.as_slice(), other.row.as_slice(), self.keys)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialEq for HeapEntry<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.order(other) == Ordering::Equal
+    }
+}
+
+impl Eq for HeapEntry<'_> {}
+
+impl PartialOrd for HeapEntry<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry<'_> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.order(other)
+    }
+}
+
+/// Fused `ORDER BY … LIMIT k OFFSET o`: retains at most `o + k` rows in a
+/// bounded heap instead of sorting the whole input.
+struct TopKCursor<'a> {
+    input: Option<BoxCursor<'a>>,
+    keys: &'a [SortKey],
+    limit: u64,
+    offset: u64,
+    output: std::vec::IntoIter<RowRef<'a>>,
+    stats: Rc<StatsCell>,
+}
+
+impl<'a> Cursor<'a> for TopKCursor<'a> {
+    fn next_row(&mut self) -> RelResult<Option<RowRef<'a>>> {
+        if let Some(mut input) = self.input.take() {
+            let cap = self.offset.saturating_add(self.limit) as usize;
+            if cap == 0 {
+                // LIMIT 0: nothing can come out; don't even pull the input.
+                return Ok(None);
+            }
+            let mut heap: BinaryHeap<HeapEntry<'a>> = BinaryHeap::with_capacity(cap + 1);
+            let mut seq = 0u64;
+            while let Some(row) = input.next_row()? {
+                let entry = HeapEntry {
+                    keys: self.keys,
+                    row,
+                    seq,
+                };
+                seq += 1;
+                if heap.len() < cap {
+                    self.stats.buffer_grow(1);
+                    heap.push(entry);
+                } else if entry < *heap.peek().expect("cap > 0") {
+                    heap.pop();
+                    heap.push(entry);
+                }
+            }
+            let kept = heap.into_sorted_vec(); // ascending (keys, seq)
+            let skipped = (self.offset as usize).min(kept.len());
+            self.stats.buffer_shrink(skipped as u64);
+            self.output = kept
+                .into_iter()
+                .skip(self.offset as usize)
+                .map(|e| e.row)
+                .collect::<Vec<_>>()
+                .into_iter();
+        }
+        if let Some(row) = self.output.next() {
+            self.stats.buffer_shrink(1);
+            return Ok(Some(row));
+        }
+        Ok(None)
+    }
+}
+
+/// Streaming duplicate elimination over the first `visible` columns.
+struct DistinctCursor<'a> {
+    input: BoxCursor<'a>,
+    visible: usize,
+    seen: HashSet<Vec<Value>>,
+    stats: Rc<StatsCell>,
+}
+
+impl<'a> Cursor<'a> for DistinctCursor<'a> {
+    fn next_row(&mut self) -> RelResult<Option<RowRef<'a>>> {
+        while let Some(row) = self.input.next_row()? {
+            let key: Vec<Value> = row.as_slice().iter().take(self.visible).cloned().collect();
+            if self.seen.insert(key) {
+                self.stats.buffer_grow(1);
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Streaming `LIMIT`/`OFFSET`: stops pulling its input once satisfied —
+/// this is the operator that makes `LIMIT k` over a huge scan O(k).
+struct LimitCursor<'a> {
+    input: BoxCursor<'a>,
+    to_skip: u64,
+    remaining: Option<u64>,
+}
+
+impl<'a> Cursor<'a> for LimitCursor<'a> {
+    fn next_row(&mut self) -> RelResult<Option<RowRef<'a>>> {
+        if self.remaining == Some(0) {
+            return Ok(None);
+        }
+        while let Some(row) = self.input.next_row()? {
+            if self.to_skip > 0 {
+                self.to_skip -= 1;
+                continue;
+            }
+            if let Some(r) = &mut self.remaining {
+                *r -= 1;
+            }
+            return Ok(Some(row));
+        }
+        Ok(None)
+    }
+}
+
+pub(crate) fn bound_ref(b: &std::ops::Bound<Value>) -> std::ops::Bound<&Value> {
     match b {
         std::ops::Bound::Included(v) => std::ops::Bound::Included(v),
         std::ops::Bound::Excluded(v) => std::ops::Bound::Excluded(v),
@@ -315,7 +880,7 @@ fn bound_ref(b: &std::ops::Bound<Value>) -> std::ops::Bound<&Value> {
     }
 }
 
-fn projected_schema(items: &[ProjectItem]) -> RowSchema {
+pub(crate) fn projected_schema(items: &[ProjectItem]) -> RowSchema {
     RowSchema::new(
         items
             .iter()
@@ -327,7 +892,7 @@ fn projected_schema(items: &[ProjectItem]) -> RowSchema {
     )
 }
 
-fn compare_rows(a: &Row, b: &Row, keys: &[SortKey]) -> std::cmp::Ordering {
+pub(crate) fn compare_rows(a: &[Value], b: &[Value], keys: &[SortKey]) -> Ordering {
     for key in keys {
         let ord = a[key.column].total_cmp(&b[key.column]);
         let ord = if key.descending { ord.reverse() } else { ord };
@@ -335,13 +900,17 @@ fn compare_rows(a: &Row, b: &Row, keys: &[SortKey]) -> std::cmp::Ordering {
             return ord;
         }
     }
-    std::cmp::Ordering::Equal
+    Ordering::Equal
 }
 
 /// Replaces every `Aggregate` subexpression with the literal computed over
 /// the group's rows, leaving a plain expression to evaluate against the
 /// group's representative row.
-fn materialize_aggregates(expr: &Expr, schema: &RowSchema, rows: &[Row]) -> RelResult<Expr> {
+pub(crate) fn materialize_aggregates<R: AsRef<[Value]>>(
+    expr: &Expr,
+    schema: &RowSchema,
+    rows: &[R],
+) -> RelResult<Expr> {
     Ok(match expr {
         Expr::Aggregate {
             func,
@@ -409,19 +978,19 @@ fn materialize_aggregates(expr: &Expr, schema: &RowSchema, rows: &[Row]) -> RelR
     })
 }
 
-fn compute_aggregate(
+pub(crate) fn compute_aggregate<R: AsRef<[Value]>>(
     func: AggFunc,
     arg: Option<&Expr>,
     distinct: bool,
     schema: &RowSchema,
-    rows: &[Row],
+    rows: &[R],
 ) -> RelResult<Value> {
     // Collect the (non-null) argument values.
     let mut values: Vec<Value> = Vec::new();
     for row in rows {
         match arg {
             Some(e) => {
-                let v = eval(e, schema, row)?;
+                let v = eval(e, schema, row.as_ref())?;
                 if !v.is_null() {
                     values.push(v);
                 }
@@ -444,6 +1013,21 @@ fn compute_aggregate(
                 return Ok(Value::Null);
             }
             let all_int = values.iter().all(|v| matches!(v, Value::Int(_)));
+            if all_int && func == AggFunc::Sum {
+                // Exact integer accumulation: an i128 cannot overflow over
+                // any number of i64 addends this engine can hold, and the
+                // result is range-checked instead of silently truncated
+                // through f64 (which corrupts totals beyond 2^53).
+                let mut sum: i128 = 0;
+                for v in &values {
+                    if let Value::Int(i) = v {
+                        sum += *i as i128;
+                    }
+                }
+                return i64::try_from(sum)
+                    .map(Value::Int)
+                    .map_err(|_| RelError::Eval(format!("integer overflow in SUM (total {sum})")));
+            }
             let mut sum = 0.0;
             for v in &values {
                 sum += v.as_f64().ok_or_else(|| {
@@ -452,8 +1036,6 @@ fn compute_aggregate(
             }
             if func == AggFunc::Avg {
                 Ok(Value::Float(sum / values.len() as f64))
-            } else if all_int {
-                Ok(Value::Int(sum as i64))
             } else {
                 Ok(Value::Float(sum))
             }

@@ -157,7 +157,10 @@ pub fn eval(expr: &Expr, schema: &RowSchema, row: &[Value]) -> RelResult<Value> 
             let v = eval(inner, schema, row)?;
             match v {
                 Value::Null => Ok(Value::Null),
-                Value::Int(i) => Ok(Value::Int(-i)),
+                Value::Int(i) => i
+                    .checked_neg()
+                    .map(Value::Int)
+                    .ok_or_else(|| RelError::Eval(format!("integer overflow evaluating -({i})"))),
                 Value::Float(f) => Ok(Value::Float(-f)),
                 Value::Text(_) => Err(RelError::Eval("cannot negate text".into())),
             }
@@ -288,15 +291,19 @@ fn eval_arith(op: BinOp, l: &Value, r: &Value) -> RelResult<Value> {
     }
     // Integer arithmetic when both sides are Int; otherwise float.
     if let (Value::Int(a), Value::Int(b)) = (l, r) {
+        // Out-of-range results are surfaced as errors, never wrapped:
+        // a silently wrapped total is indistinguishable from real data.
+        let overflow = || RelError::Eval(format!("integer overflow evaluating {a} {op:?} {b}"));
         return match op {
-            BinOp::Add => Ok(Value::Int(a.wrapping_add(*b))),
-            BinOp::Sub => Ok(Value::Int(a.wrapping_sub(*b))),
-            BinOp::Mul => Ok(Value::Int(a.wrapping_mul(*b))),
+            BinOp::Add => a.checked_add(*b).map(Value::Int).ok_or_else(overflow),
+            BinOp::Sub => a.checked_sub(*b).map(Value::Int).ok_or_else(overflow),
+            BinOp::Mul => a.checked_mul(*b).map(Value::Int).ok_or_else(overflow),
             BinOp::Div => {
                 if *b == 0 {
                     Err(RelError::Eval("division by zero".into()))
                 } else {
-                    Ok(Value::Int(a / b))
+                    // checked_div guards i64::MIN / -1, which would panic.
+                    a.checked_div(*b).map(Value::Int).ok_or_else(overflow)
                 }
             }
             _ => Err(RelError::Eval(format!("{op:?} is not arithmetic"))),
@@ -341,22 +348,38 @@ fn truth(v: &Value) -> Option<bool> {
 }
 
 /// `LIKE` pattern matching with `%` (any run) and `_` (any single char).
+///
+/// Greedy two-pointer algorithm: on mismatch after a `%`, resume at the
+/// most recent `%` and let it absorb one more character. Each text
+/// position is revisited at most once per `%`, so matching is O(n·m) in
+/// the worst case — never the exponential blowup of naive backtracking
+/// on patterns like `%a%a%a%b`.
 pub fn like_match(pattern: &str, text: &str) -> bool {
-    fn rec(p: &[char], t: &[char]) -> bool {
-        match p.first() {
-            None => t.is_empty(),
-            Some('%') => {
-                // Collapse consecutive %.
-                let p = &p[1..];
-                (0..=t.len()).any(|i| rec(p, &t[i..]))
-            }
-            Some('_') => !t.is_empty() && rec(&p[1..], &t[1..]),
-            Some(c) => t.first().is_some_and(|tc| tc == c) && rec(&p[1..], &t[1..]),
-        }
-    }
     let p: Vec<char> = pattern.chars().collect();
     let t: Vec<char> = text.chars().collect();
-    rec(&p, &t)
+    let (mut pi, mut ti) = (0usize, 0usize);
+    // Resume state for the last `%` seen: its pattern position, and the
+    // text position its run currently extends to.
+    let (mut star, mut star_ti) = (None::<usize>, 0usize);
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some(pi);
+            star_ti = ti;
+            pi += 1;
+        } else if let Some(s) = star {
+            // Mismatch: widen the last `%` by one character and retry.
+            pi = s + 1;
+            star_ti += 1;
+            ti = star_ti;
+        } else {
+            return false;
+        }
+    }
+    // Only trailing `%` can match the exhausted text.
+    p[pi..].iter().all(|c| *c == '%')
 }
 
 /// Whole-token containment used by the fallback (non-indexed) CONTAINS.
@@ -453,6 +476,74 @@ mod tests {
         let r = row(0, 0.0, "Peptidylglycine monooxygenase.");
         assert!(run("txt LIKE '%glycine%'", &r));
         assert!(run("txt NOT LIKE 'x%'", &r));
+    }
+
+    #[test]
+    fn like_no_exponential_backtracking() {
+        // Seed regression: the naive recursive matcher was exponential in
+        // the number of `%` wildcards on non-matching text. 200 chars of
+        // text against a 10-wildcard pattern must finish in milliseconds.
+        let text = "a".repeat(200);
+        let pattern = format!("{}b", "%a".repeat(10));
+        let start = std::time::Instant::now();
+        assert!(!like_match(&pattern, &text));
+        // Generous bound: the greedy matcher runs in microseconds; the
+        // exponential one would need longer than the age of the universe.
+        assert!(
+            start.elapsed() < std::time::Duration::from_millis(500),
+            "like_match took {:?}",
+            start.elapsed()
+        );
+        // Same shape, but matching (text ends in b).
+        let text = format!("{}b", "a".repeat(199));
+        assert!(like_match(&pattern, &text));
+    }
+
+    #[test]
+    fn like_backtracking_semantics() {
+        // Cases that exercise the %-resume path specifically.
+        assert!(like_match("%abc%", "ababcx"));
+        assert!(like_match("%a_c%", "zzabczz"));
+        assert!(!like_match("%abc", "ababx"));
+        assert!(like_match("a%b%c", "axxbyyc"));
+        assert!(!like_match("a%b%c", "axxbyyd"));
+        assert!(like_match("%_%", "x"));
+        assert!(!like_match("%_%", ""));
+        assert!(like_match("ab%", "ab"));
+        assert!(!like_match("ab", "abc"));
+    }
+
+    #[test]
+    fn integer_overflow_is_an_error_not_a_wrap() {
+        // Seed regression: wrapping_add/sub/mul returned wrong answers
+        // silently; i64::MIN / -1 panicked.
+        let s = schema();
+        let r = row(0, 0.0, "");
+        let max = i64::MAX;
+        // i64::MIN has no SQL literal spelling (its magnitude overflows
+        // during parsing), so build it as -MAX - 1.
+        let min = format!("(-{max} - 1)");
+        for sql in [
+            format!("a + ({max} + 1)"),
+            format!("a + ({min} - 1)"),
+            format!("a + ({max} * 2)"),
+            format!("a + ({min} / -1)"),
+            format!("a + (-{min})"),
+        ] {
+            let err = eval(&filter_of(&sql), &s, &r).unwrap_err();
+            match err {
+                RelError::Eval(msg) => {
+                    assert!(
+                        msg.contains("integer overflow"),
+                        "unexpected message: {msg}"
+                    )
+                }
+                other => panic!("expected Eval error, got {other:?}"),
+            }
+        }
+        // In-range results are untouched.
+        assert!(run(&format!("a + {max} = {max}"), &r));
+        assert!(run("a + (-9) / -1 = 9", &r));
     }
 
     #[test]

@@ -45,6 +45,7 @@
 pub mod db;
 pub mod error;
 pub mod exec;
+pub mod exec_reference;
 pub mod expr;
 pub mod index;
 pub mod plan;
@@ -59,6 +60,7 @@ pub mod wal;
 
 pub use db::{Database, ResultSet};
 pub use error::{RelError, RelResult};
+pub use exec::ExecStats;
 pub use schema::{Column, TableSchema};
 pub use value::{DataType, Value};
 pub use wal::{Corruption, FaultConfig, FaultyIo, RecoveryReport, StdFileIo, WalIo};

@@ -132,6 +132,21 @@ pub enum Plan {
         /// Sort keys over the projected row.
         keys: Vec<SortKey>,
     },
+    /// Fused `Sort` + `Limit`: retains only the top `offset + limit` rows
+    /// in a bounded heap instead of sorting the full input. Chosen by the
+    /// planner whenever an `ORDER BY … LIMIT` has no intervening
+    /// `DISTINCT`; semantics (including stable tie order) are identical
+    /// to `Limit(Sort(input))`.
+    TopK {
+        /// Input operator.
+        input: Box<Plan>,
+        /// Sort keys over the projected row.
+        keys: Vec<SortKey>,
+        /// Maximum rows to return.
+        limit: u64,
+        /// Rows to skip after sorting.
+        offset: u64,
+    },
     /// Duplicate elimination over the first `visible` columns.
     Distinct {
         /// Input operator.
@@ -264,6 +279,18 @@ impl Plan {
                 out.push_str(&format!("{pad}Sort ({} keys)\n", keys.len()));
                 input.explain_into(depth + 1, out);
             }
+            Plan::TopK {
+                input,
+                keys,
+                limit,
+                offset,
+            } => {
+                out.push_str(&format!(
+                    "{pad}TopK {limit} OFFSET {offset} ({} keys)\n",
+                    keys.len()
+                ));
+                input.explain_into(depth + 1, out);
+            }
             Plan::Distinct { input, .. } => {
                 out.push_str(&format!("{pad}Distinct\n"));
                 input.explain_into(depth + 1, out);
@@ -289,6 +316,7 @@ impl Plan {
             | Plan::Project { input, .. }
             | Plan::Aggregate { input, .. }
             | Plan::Sort { input, .. }
+            | Plan::TopK { input, .. }
             | Plan::Distinct { input, .. }
             | Plan::Limit { input, .. } => input.uses_index(),
             Plan::NestedLoopJoin { left, right, .. } | Plan::HashJoin { left, right, .. } => {
@@ -331,6 +359,26 @@ mod tests {
         assert!(text.contains("Limit Some(5) OFFSET 0"));
         assert!(text.contains("  Filter"));
         assert!(text.contains("    Scan t AS t"));
+    }
+
+    #[test]
+    fn explain_renders_topk() {
+        let plan = Plan::TopK {
+            input: Box::new(Plan::Scan {
+                table: "t".into(),
+                alias: "t".into(),
+            }),
+            keys: vec![SortKey {
+                column: 0,
+                descending: true,
+            }],
+            limit: 3,
+            offset: 2,
+        };
+        let text = plan.explain();
+        assert!(text.contains("TopK 3 OFFSET 2 (1 keys)"));
+        assert!(text.contains("  Scan t AS t"));
+        assert!(!plan.uses_index());
     }
 
     #[test]

@@ -92,36 +92,100 @@ pub fn plan_select(stmt: &SelectStmt, catalog: &Catalog) -> RelResult<PlannedQue
         inputs.push((t.alias.to_ascii_lowercase(), plan));
     }
 
-    // Aliases whose columns are visible to anything above the join tree
-    // (projection, grouping, ordering). A table outside this set whose only
-    // role is existence-testing can join as a semi-join under DISTINCT.
-    let mut output_aliases: HashSet<String> = HashSet::new();
+    // Expand the select list into project items. This happens *before*
+    // join construction so that a bad column reference fails the query
+    // with a clear UnknownColumn/AmbiguousColumn error instead of shaping
+    // the join tree: the planner previously re-resolved these expressions
+    // through a lossy `if let Ok(..)` when computing semi-join
+    // eligibility, silently dropping resolution errors.
+    let mut items: Vec<ProjectItem> = Vec::new();
     for item in &stmt.items {
         match item {
             SelectItem::Wildcard => {
                 for t in &tables {
-                    output_aliases.insert(t.alias.to_ascii_lowercase());
+                    push_table_columns(&mut items, t, catalog)?;
                 }
             }
             SelectItem::TableWildcard(alias) => {
-                output_aliases.insert(alias.to_ascii_lowercase());
+                let t = tables
+                    .iter()
+                    .find(|t| t.alias.eq_ignore_ascii_case(alias))
+                    .ok_or_else(|| RelError::UnknownTable(alias.clone()))?;
+                push_table_columns(&mut items, t, catalog)?;
             }
-            SelectItem::Expr { expr, .. } => {
-                if let Ok(resolved) = resolver.resolve_expr(expr.clone()) {
-                    output_aliases.extend(aliases_in(&resolved));
-                }
+            SelectItem::Expr { expr, alias } => {
+                let resolved = resolver.resolve_expr(expr.clone())?;
+                let name = alias
+                    .clone()
+                    .unwrap_or_else(|| derive_name(&resolved, items.len()));
+                items.push(ProjectItem {
+                    expr: resolved,
+                    name,
+                });
             }
         }
     }
-    for e in &stmt.group_by {
-        if let Ok(resolved) = resolver.resolve_expr(e.clone()) {
-            output_aliases.extend(aliases_in(&resolved));
-        }
-    }
+    let visible = items.len();
+
+    let group_by: Vec<Expr> = stmt
+        .group_by
+        .iter()
+        .map(|e| resolver.resolve_expr(e.clone()))
+        .collect::<RelResult<_>>()?;
+    let is_aggregate = !group_by.is_empty() || items.iter().any(|i| i.expr.has_aggregate());
+
+    // Sort keys: reuse a visible item when the key names or equals one;
+    // otherwise append a hidden item.
+    let mut sort_keys: Vec<SortKey> = Vec::new();
     for key in &stmt.order_by {
-        if let Ok(resolved) = resolver.resolve_expr(key.expr.clone()) {
-            output_aliases.extend(aliases_in(&resolved));
-        }
+        let resolved = match resolver.resolve_expr(key.expr.clone()) {
+            Ok(e) => e,
+            // An ORDER BY name may reference a select alias rather than a
+            // real column; fall back to name matching below.
+            Err(err) => {
+                let name = match &key.expr {
+                    Expr::Column { table: None, name } => name.clone(),
+                    _ => return Err(err),
+                };
+                let pos = items
+                    .iter()
+                    .position(|i| i.name.eq_ignore_ascii_case(&name))
+                    .ok_or(err)?;
+                sort_keys.push(SortKey {
+                    column: pos,
+                    descending: key.descending,
+                });
+                continue;
+            }
+        };
+        let pos = items
+            .iter()
+            .position(|i| i.expr == resolved)
+            .unwrap_or_else(|| {
+                items.push(ProjectItem {
+                    expr: resolved.clone(),
+                    name: format!("__sort_{}", items.len()),
+                });
+                items.len() - 1
+            });
+        sort_keys.push(SortKey {
+            column: pos,
+            descending: key.descending,
+        });
+    }
+
+    // Aliases whose columns are visible to anything above the join tree.
+    // Everything above it evaluates against `items` (hidden sort keys
+    // included) and `group_by`, all fully resolved by now, so these two
+    // collections are exactly the visibility set. A table outside it whose
+    // only role is existence-testing can join as a semi-join under
+    // DISTINCT.
+    let mut output_aliases: HashSet<String> = HashSet::new();
+    for item in &items {
+        output_aliases.extend(aliases_in(&item.expr));
+    }
+    for e in &group_by {
+        output_aliases.extend(aliases_in(e));
     }
 
     // Join ordering (the planner-side half of §3.2's "meticulous analysis
@@ -234,83 +298,6 @@ pub fn plan_select(stmt: &SelectStmt, catalog: &Catalog) -> RelResult<PlannedQue
         };
     }
 
-    // Expand the select list into project items.
-    let mut items: Vec<ProjectItem> = Vec::new();
-    for item in &stmt.items {
-        match item {
-            SelectItem::Wildcard => {
-                for t in &tables {
-                    push_table_columns(&mut items, t, catalog)?;
-                }
-            }
-            SelectItem::TableWildcard(alias) => {
-                let t = tables
-                    .iter()
-                    .find(|t| t.alias.eq_ignore_ascii_case(alias))
-                    .ok_or_else(|| RelError::UnknownTable(alias.clone()))?;
-                push_table_columns(&mut items, t, catalog)?;
-            }
-            SelectItem::Expr { expr, alias } => {
-                let resolved = resolver.resolve_expr(expr.clone())?;
-                let name = alias
-                    .clone()
-                    .unwrap_or_else(|| derive_name(&resolved, items.len()));
-                items.push(ProjectItem {
-                    expr: resolved,
-                    name,
-                });
-            }
-        }
-    }
-    let visible = items.len();
-
-    let group_by: Vec<Expr> = stmt
-        .group_by
-        .iter()
-        .map(|e| resolver.resolve_expr(e.clone()))
-        .collect::<RelResult<_>>()?;
-    let is_aggregate = !group_by.is_empty() || items.iter().any(|i| i.expr.has_aggregate());
-
-    // Sort keys: reuse a visible item when the key names or equals one;
-    // otherwise append a hidden item.
-    let mut sort_keys: Vec<SortKey> = Vec::new();
-    for key in &stmt.order_by {
-        let resolved = match resolver.resolve_expr(key.expr.clone()) {
-            Ok(e) => e,
-            // An ORDER BY name may reference a select alias rather than a
-            // real column; fall back to name matching below.
-            Err(err) => {
-                let name = match &key.expr {
-                    Expr::Column { table: None, name } => name.clone(),
-                    _ => return Err(err),
-                };
-                let pos = items
-                    .iter()
-                    .position(|i| i.name.eq_ignore_ascii_case(&name))
-                    .ok_or(err)?;
-                sort_keys.push(SortKey {
-                    column: pos,
-                    descending: key.descending,
-                });
-                continue;
-            }
-        };
-        let pos = items
-            .iter()
-            .position(|i| i.expr == resolved)
-            .unwrap_or_else(|| {
-                items.push(ProjectItem {
-                    expr: resolved.clone(),
-                    name: format!("__sort_{}", items.len()),
-                });
-                items.len() - 1
-            });
-        sort_keys.push(SortKey {
-            column: pos,
-            descending: key.descending,
-        });
-    }
-
     plan = if is_aggregate {
         Plan::Aggregate {
             input: Box::new(plan),
@@ -325,24 +312,39 @@ pub fn plan_select(stmt: &SelectStmt, catalog: &Catalog) -> RelResult<PlannedQue
             visible,
         }
     };
-    if !sort_keys.is_empty() {
-        plan = Plan::Sort {
-            input: Box::new(plan),
-            keys: sort_keys,
-        };
-    }
-    if stmt.distinct {
-        plan = Plan::Distinct {
-            input: Box::new(plan),
-            visible,
-        };
-    }
-    if stmt.limit.is_some() || stmt.offset.is_some() {
-        plan = Plan::Limit {
-            input: Box::new(plan),
-            limit: stmt.limit,
-            offset: stmt.offset.unwrap_or(0),
-        };
+    // Fuse `ORDER BY … LIMIT k` into a bounded Top-K instead of a full
+    // sort. DISTINCT blocks the fusion: it runs between Sort and Limit,
+    // so the limit cannot be pushed below it.
+    match stmt.limit {
+        Some(limit) if !sort_keys.is_empty() && !stmt.distinct => {
+            plan = Plan::TopK {
+                input: Box::new(plan),
+                keys: sort_keys,
+                limit,
+                offset: stmt.offset.unwrap_or(0),
+            };
+        }
+        _ => {
+            if !sort_keys.is_empty() {
+                plan = Plan::Sort {
+                    input: Box::new(plan),
+                    keys: sort_keys,
+                };
+            }
+            if stmt.distinct {
+                plan = Plan::Distinct {
+                    input: Box::new(plan),
+                    visible,
+                };
+            }
+            if stmt.limit.is_some() || stmt.offset.is_some() {
+                plan = Plan::Limit {
+                    input: Box::new(plan),
+                    limit: stmt.limit,
+                    offset: stmt.offset.unwrap_or(0),
+                };
+            }
+        }
     }
     Ok(PlannedQuery { plan, visible })
 }
@@ -862,6 +864,7 @@ mod tests {
             | Plan::Project { input, .. }
             | Plan::Aggregate { input, .. }
             | Plan::Sort { input, .. }
+            | Plan::TopK { input, .. }
             | Plan::Distinct { input, .. }
             | Plan::Limit { input, .. } => find_scan(input),
             Plan::NestedLoopJoin { left, .. } | Plan::HashJoin { left, .. } => find_scan(left),
@@ -1020,6 +1023,7 @@ mod tests {
             Plan::Project { input, .. }
             | Plan::Filter { input, .. }
             | Plan::Sort { input, .. }
+            | Plan::TopK { input, .. }
             | Plan::Limit { input, .. }
             | Plan::Distinct { input, .. }
             | Plan::Aggregate { input, .. } => strip_to_join(input),
@@ -1146,6 +1150,91 @@ mod tests {
         assert_eq!(p.visible, 7);
         let p2 = plan("SELECT a.* FROM elements e, attrs a");
         assert_eq!(p2.visible, 3);
+    }
+
+    #[test]
+    fn order_by_limit_fuses_to_topk() {
+        let p = plan("SELECT val FROM elements ORDER BY ord LIMIT 5 OFFSET 2");
+        match &p.plan {
+            Plan::TopK {
+                keys,
+                limit,
+                offset,
+                ..
+            } => {
+                assert_eq!(keys.len(), 1);
+                assert_eq!(*limit, 5);
+                assert_eq!(*offset, 2);
+            }
+            other => panic!("expected TopK, got {other:?}"),
+        }
+        // The ORDER-BY-select-alias fallback fuses too.
+        let p2 = plan("SELECT val AS v FROM elements ORDER BY v LIMIT 3");
+        assert!(
+            p2.plan.explain().contains("TopK 3"),
+            "{}",
+            p2.plan.explain()
+        );
+    }
+
+    #[test]
+    fn distinct_blocks_topk_fusion() {
+        // DISTINCT sits between Sort and Limit, so pushing the limit into
+        // the sort would drop rows before duplicate elimination.
+        let p = plan("SELECT DISTINCT val FROM elements ORDER BY val LIMIT 2");
+        let text = p.plan.explain();
+        assert!(!text.contains("TopK"), "{text}");
+        assert!(text.contains("Sort"), "{text}");
+        assert!(text.contains("Distinct"), "{text}");
+        assert!(text.contains("Limit"), "{text}");
+    }
+
+    #[test]
+    fn sort_without_limit_and_limit_without_sort_stay_unfused() {
+        let p = plan("SELECT val FROM elements ORDER BY val");
+        assert!(!p.plan.explain().contains("TopK"), "{}", p.plan.explain());
+        let p2 = plan("SELECT val FROM elements LIMIT 5");
+        assert!(!p2.plan.explain().contains("TopK"), "{}", p2.plan.explain());
+        // OFFSET without LIMIT has no bound to push into the sort.
+        let p3 = plan("SELECT val FROM elements ORDER BY val OFFSET 3");
+        assert!(!p3.plan.explain().contains("TopK"), "{}", p3.plan.explain());
+        assert!(p3.plan.explain().contains("Limit"), "{}", p3.plan.explain());
+    }
+
+    #[test]
+    fn semi_join_eligibility_errors_propagate() {
+        // Regression: computing semi-join eligibility used a lossy
+        // `if let Ok(..)` re-resolution that swallowed UnknownColumn /
+        // AmbiguousColumn errors from the select list, GROUP BY and
+        // ORDER BY. Each of these must surface the error.
+        for sql in [
+            "SELECT DISTINCT e.nope FROM elements e, attrs a WHERE e.doc_id = a.doc_id",
+            "SELECT DISTINCT e.val FROM elements e, attrs a \
+             WHERE e.doc_id = a.doc_id GROUP BY e.nope",
+            "SELECT DISTINCT e.val FROM elements e, attrs a \
+             WHERE e.doc_id = a.doc_id ORDER BY e.nope",
+            "SELECT DISTINCT doc_id FROM elements e, attrs a WHERE e.doc_id = a.doc_id",
+        ] {
+            let stmt = match parse_statement(sql).unwrap() {
+                Statement::Select(s) => s,
+                _ => unreachable!(),
+            };
+            let err = plan_select(&stmt, &catalog()).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    RelError::UnknownColumn(_) | RelError::AmbiguousColumn(_)
+                ),
+                "{sql}: {err:?}"
+            );
+        }
+        // Valid existence-only queries still get the semi-join.
+        let p = plan("SELECT DISTINCT e.val FROM elements e, attrs a WHERE e.doc_id = a.doc_id");
+        assert!(
+            p.plan.explain().contains("HashSemiJoin"),
+            "{}",
+            p.plan.explain()
+        );
     }
 
     #[test]

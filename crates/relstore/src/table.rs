@@ -97,6 +97,14 @@ impl Table {
     pub fn scan(&self) -> impl Iterator<Item = (RowId, &Row)> {
         self.rows.iter().map(|(id, row)| (*id, row))
     }
+
+    /// Borrows the rows in insertion order (streaming scan cursors).
+    ///
+    /// The concrete iterator type is exposed so executor cursors can hold
+    /// it in a named struct field without boxing.
+    pub fn rows(&self) -> std::collections::btree_map::Values<'_, RowId, Row> {
+        self.rows.values()
+    }
 }
 
 #[cfg(test)]

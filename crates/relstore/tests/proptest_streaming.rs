@@ -1,0 +1,158 @@
+//! Streaming-vs-reference executor equivalence.
+//!
+//! The streaming executor ([`xomatiq_relstore::exec`]) is an optimization,
+//! never a semantic change: for any plan the planner can produce, its
+//! output must match the retained materializing interpreter
+//! ([`xomatiq_relstore::exec_reference`]) row for row, *including order* —
+//! same rows, same duplicates, same tie-breaking under Top-K.
+
+use proptest::prelude::*;
+use xomatiq_relstore::{Database, Value};
+
+/// One database with two joinable tables, `t` (fact-like) and `u`
+/// (dimension-like), optionally indexed so index scans get exercised too.
+fn build_db(t_rows: &[(i64, i64, String)], u_rows: &[(i64, String)]) -> Database {
+    let db = Database::in_memory();
+    db.execute("CREATE TABLE t (a INT, b INT, s TEXT)").unwrap();
+    db.execute("CREATE TABLE u (a INT, name TEXT)").unwrap();
+    db.execute("CREATE INDEX idx_t_a ON t (a)").unwrap();
+    db.execute("CREATE KEYWORD INDEX kw_t_s ON t (s)").unwrap();
+    for (a, b, s) in t_rows {
+        db.execute(&format!("INSERT INTO t VALUES ({a}, {b}, '{s}')"))
+            .unwrap();
+    }
+    for (a, name) in u_rows {
+        db.execute(&format!("INSERT INTO u VALUES ({a}, '{name}')"))
+            .unwrap();
+    }
+    db
+}
+
+fn t_row_strategy() -> impl Strategy<Value = (i64, i64, String)> {
+    (
+        0i64..12,
+        0i64..6,
+        prop::sample::select(vec![
+            "alpha beta".to_string(),
+            "beta gamma".to_string(),
+            "cdc6 protein".to_string(),
+            "plain".to_string(),
+        ]),
+    )
+}
+
+fn u_row_strategy() -> impl Strategy<Value = (i64, String)> {
+    (
+        0i64..12,
+        prop::sample::select(vec!["x".to_string(), "y".to_string(), "z".to_string()]),
+    )
+}
+
+/// Both executors, same SQL, same database: identical ordered output.
+fn assert_same(db: &Database, sql: &str) -> Result<(), TestCaseError> {
+    let streaming = db.execute(sql).unwrap();
+    let reference = db.query_reference(sql).unwrap();
+    prop_assert_eq!(
+        streaming.columns(),
+        reference.columns(),
+        "columns diverged on {}",
+        sql
+    );
+    prop_assert_eq!(
+        streaming.rows(),
+        reference.rows(),
+        "rows diverged on {}",
+        sql
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn streaming_matches_reference(
+        t_rows in prop::collection::vec(t_row_strategy(), 0..50),
+        u_rows in prop::collection::vec(u_row_strategy(), 0..20),
+        point in 0i64..12,
+        limit in 0u64..15,
+        offset in 0u64..8,
+    ) {
+        let db = build_db(&t_rows, &u_rows);
+        let queries = [
+            // Plain and filtered scans (index and full).
+            "SELECT a, b, s FROM t".to_string(),
+            format!("SELECT a, b FROM t WHERE a = {point}"),
+            format!("SELECT a, b FROM t WHERE a >= {point} AND b < 4"),
+            "SELECT a, b FROM t WHERE CONTAINS(s, 'beta')".to_string(),
+            // Projection with expressions.
+            "SELECT a + b, s FROM t WHERE b > 1".to_string(),
+            // Limit/offset without sort (document order).
+            format!("SELECT a, b FROM t LIMIT {limit}"),
+            format!("SELECT a, b FROM t LIMIT {limit} OFFSET {offset}"),
+            format!("SELECT a FROM t OFFSET {offset}"),
+            // Sort, and Sort fused with Limit into Top-K (ties abound:
+            // `a` repeats, so stability differences would show here).
+            "SELECT a, b FROM t ORDER BY a".to_string(),
+            "SELECT b, a FROM t ORDER BY b DESC, a".to_string(),
+            format!("SELECT a, b FROM t ORDER BY a LIMIT {limit}"),
+            format!("SELECT a, s FROM t ORDER BY a DESC LIMIT {limit} OFFSET {offset}"),
+            format!("SELECT a FROM t ORDER BY b LIMIT {limit}"),
+            // Distinct (blocks fusion) and distinct + order + limit.
+            "SELECT DISTINCT a FROM t".to_string(),
+            format!("SELECT DISTINCT a FROM t ORDER BY a LIMIT {limit}"),
+            format!("SELECT DISTINCT b FROM t ORDER BY b DESC LIMIT {limit} OFFSET {offset}"),
+            // Hash join, semi-join (DISTINCT + existence-only table),
+            // and a cross join kept small by filters.
+            "SELECT t.a, t.b, u.name FROM t, u WHERE t.a = u.a".to_string(),
+            format!("SELECT t.a, u.name FROM t, u WHERE t.a = u.a ORDER BY t.b LIMIT {limit}"),
+            "SELECT DISTINCT t.s FROM t, u WHERE t.a = u.a".to_string(),
+            format!("SELECT t.a, u.a FROM t, u WHERE t.b < 2 AND u.a = {point}"),
+            // Aggregates above a join and above a filter.
+            "SELECT a, COUNT(*), SUM(b) FROM t GROUP BY a ORDER BY a".to_string(),
+            "SELECT COUNT(*), MIN(a), MAX(b), AVG(b) FROM t".to_string(),
+            format!("SELECT u.name, COUNT(*) FROM t, u WHERE t.a = u.a GROUP BY u.name ORDER BY u.name LIMIT {limit}"),
+        ];
+        for sql in &queries {
+            assert_same(&db, sql)?;
+        }
+    }
+
+    #[test]
+    fn streaming_matches_reference_on_errors(
+        t_rows in prop::collection::vec(t_row_strategy(), 1..20),
+    ) {
+        // Both executors must also fail identically (e.g. SUM over text).
+        let db = build_db(&t_rows, &[]);
+        for sql in ["SELECT SUM(s) FROM t", "SELECT a + s FROM t"] {
+            let streaming = db.execute(sql);
+            let reference = db.query_reference(sql);
+            prop_assert_eq!(streaming.is_err(), reference.is_err(), "{}", sql);
+        }
+    }
+
+    #[test]
+    fn topk_equals_sort_then_limit_semantics(
+        t_rows in prop::collection::vec(t_row_strategy(), 0..50),
+        limit in 0u64..12,
+        offset in 0u64..6,
+    ) {
+        // Independent of the reference executor: the fused Top-K must
+        // agree with materializing the full sorted output and slicing it.
+        let db = build_db(&t_rows, &[]);
+        let fused = db
+            .execute(&format!("SELECT a, b FROM t ORDER BY a, b DESC LIMIT {limit} OFFSET {offset}"))
+            .unwrap();
+        let full = db
+            .execute("SELECT a, b FROM t ORDER BY a, b DESC")
+            .unwrap();
+        let expect: Vec<Vec<Value>> = full
+            .rows()
+            .iter()
+            .skip(offset as usize)
+            .take(limit as usize)
+            .cloned()
+            .collect();
+        prop_assert_eq!(fused.rows(), &expect[..]);
+    }
+}

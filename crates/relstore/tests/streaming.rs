@@ -1,0 +1,209 @@
+//! Streaming-executor behaviour: O(k) materialization bounds for
+//! `LIMIT`/Top-K pushdown, plan-shape assertions, and the aggregate-layer
+//! regression tests (integer SUM precision and overflow).
+
+use xomatiq_relstore::{Database, Value};
+
+/// A database with one `n`-row table `big(a INT, b TEXT)`.
+fn big_db(n: i64) -> Database {
+    let db = Database::in_memory();
+    db.execute("CREATE TABLE big (a INT, b TEXT)").unwrap();
+    let stmts: Vec<String> = (0..n)
+        .map(|i| format!("INSERT INTO big VALUES ({i}, 'row{i}')"))
+        .collect();
+    let refs: Vec<&str> = stmts.iter().map(|s| s.as_str()).collect();
+    db.execute_batch(&refs).unwrap();
+    db
+}
+
+#[test]
+fn limit_over_scan_stops_pulling_and_buffers_nothing() {
+    let db = big_db(10_000);
+    let (rs, stats) = db.query_with_stats("SELECT a FROM big LIMIT 10").unwrap();
+    assert_eq!(rs.rows().len(), 10);
+    // The limit satisfies itself from the first 10 rows: the scan never
+    // visits the other 9 990, and no operator buffers anything.
+    assert_eq!(stats.rows_scanned, 10, "{stats:?}");
+    assert_eq!(stats.buffered_peak, 0, "{stats:?}");
+    assert_eq!(stats.rows_emitted, 10);
+
+    // OFFSET still only pulls offset + limit rows.
+    let (rs, stats) = db
+        .query_with_stats("SELECT a FROM big LIMIT 10 OFFSET 25")
+        .unwrap();
+    assert_eq!(rs.rows()[0][0], Value::Int(25));
+    assert_eq!(stats.rows_scanned, 35, "{stats:?}");
+    assert_eq!(stats.buffered_peak, 0, "{stats:?}");
+}
+
+#[test]
+fn filtered_limit_stops_at_the_kth_match() {
+    let db = big_db(10_000);
+    let (rs, stats) = db
+        .query_with_stats("SELECT a FROM big WHERE a >= 100 LIMIT 5")
+        .unwrap();
+    assert_eq!(rs.rows().len(), 5);
+    // 100 non-matching rows stream through the filter, then 5 matches.
+    assert_eq!(stats.rows_scanned, 105, "{stats:?}");
+    assert_eq!(stats.buffered_peak, 0, "{stats:?}");
+}
+
+#[test]
+fn topk_buffers_only_k_rows() {
+    let db = big_db(10_000);
+    assert!(db
+        .explain("SELECT a FROM big ORDER BY a DESC LIMIT 5")
+        .unwrap()
+        .contains("TopK"),);
+    let (rs, stats) = db
+        .query_with_stats("SELECT a FROM big ORDER BY a DESC LIMIT 5")
+        .unwrap();
+    let got: Vec<i64> = rs.rows().iter().map(|r| r[0].as_int().unwrap()).collect();
+    assert_eq!(got, vec![9999, 9998, 9997, 9996, 9995]);
+    // Top-K must read everything but retain only the k best rows.
+    assert_eq!(stats.rows_scanned, 10_000, "{stats:?}");
+    assert_eq!(stats.buffered_peak, 5, "{stats:?}");
+}
+
+#[test]
+fn topk_with_offset_buffers_offset_plus_k() {
+    let db = big_db(1_000);
+    let (rs, stats) = db
+        .query_with_stats("SELECT a FROM big ORDER BY a LIMIT 3 OFFSET 7")
+        .unwrap();
+    let got: Vec<i64> = rs.rows().iter().map(|r| r[0].as_int().unwrap()).collect();
+    assert_eq!(got, vec![7, 8, 9]);
+    assert_eq!(stats.buffered_peak, 10, "{stats:?}");
+}
+
+#[test]
+fn topk_limit_zero_pulls_nothing() {
+    let db = big_db(1_000);
+    let (rs, stats) = db
+        .query_with_stats("SELECT a FROM big ORDER BY a LIMIT 0")
+        .unwrap();
+    assert!(rs.rows().is_empty());
+    assert_eq!(stats.rows_scanned, 0, "{stats:?}");
+    assert_eq!(stats.buffered_peak, 0, "{stats:?}");
+}
+
+#[test]
+fn full_sort_still_buffers_everything() {
+    // Sanity check on the counter itself: an unfused ORDER BY (no LIMIT)
+    // is a genuine pipeline breaker.
+    let db = big_db(1_000);
+    let (rs, stats) = db.query_with_stats("SELECT a FROM big ORDER BY a").unwrap();
+    assert_eq!(rs.rows().len(), 1_000);
+    assert_eq!(stats.buffered_peak, 1_000, "{stats:?}");
+}
+
+#[test]
+fn topk_ties_keep_stable_input_order() {
+    // Rows with equal sort keys must come out in insertion order, exactly
+    // as a stable full sort would emit them.
+    let db = Database::in_memory();
+    db.execute("CREATE TABLE t (grp INT, tag TEXT)").unwrap();
+    for (g, tag) in [(1, "a"), (0, "b"), (1, "c"), (0, "d"), (1, "e"), (0, "f")] {
+        db.execute(&format!("INSERT INTO t VALUES ({g}, '{tag}')"))
+            .unwrap();
+    }
+    let rs = db
+        .execute("SELECT tag FROM t ORDER BY grp LIMIT 4")
+        .unwrap();
+    let got: Vec<&str> = rs
+        .rows()
+        .iter()
+        .map(|r| match &r[0] {
+            Value::Text(s) => s.as_str(),
+            other => panic!("{other:?}"),
+        })
+        .collect();
+    assert_eq!(got, vec!["b", "d", "f", "a"]);
+}
+
+#[test]
+fn hash_join_probe_side_streams() {
+    // Join a large probe side against a small build side under a limit:
+    // only the build side (plus matches) may be buffered.
+    let db = Database::in_memory();
+    db.execute("CREATE TABLE facts (id INT, val TEXT)").unwrap();
+    db.execute("CREATE TABLE dims (id INT, name TEXT)").unwrap();
+    let stmts: Vec<String> = (0..5_000)
+        .map(|i| format!("INSERT INTO facts VALUES ({}, 'v{i}')", i % 100))
+        .collect();
+    let refs: Vec<&str> = stmts.iter().map(|s| s.as_str()).collect();
+    db.execute_batch(&refs).unwrap();
+    for i in 0..100 {
+        db.execute(&format!("INSERT INTO dims VALUES ({i}, 'n{i}')"))
+            .unwrap();
+    }
+    let (rs, stats) = db
+        .query_with_stats("SELECT f.val, d.name FROM facts f, dims d WHERE f.id = d.id LIMIT 10")
+        .unwrap();
+    assert_eq!(rs.rows().len(), 10);
+    // The build side holds 100 rows; the probe (facts) must not be
+    // materialized, and the limit stops the probe after ~10 rows.
+    assert!(stats.buffered_peak <= 110, "{stats:?}");
+    assert!(stats.rows_scanned < 200, "{stats:?}");
+}
+
+#[test]
+fn sum_of_large_ints_is_exact() {
+    // Seed regression: SUM accumulated all-int groups in f64 and cast
+    // back, so totals beyond 2^53 silently lost precision — this exact
+    // query returned 1024 instead of 806.
+    let db = Database::in_memory();
+    db.execute("CREATE TABLE t (v INT)").unwrap();
+    db.execute("INSERT INTO t VALUES (9223372036854775806)")
+        .unwrap();
+    db.execute("INSERT INTO t VALUES (-9223372036854775000)")
+        .unwrap();
+    let rs = db.execute("SELECT SUM(v) FROM t").unwrap();
+    assert_eq!(rs.rows()[0][0], Value::Int(806));
+}
+
+#[test]
+fn sum_overflow_is_a_typed_error() {
+    let db = Database::in_memory();
+    db.execute("CREATE TABLE t (v INT)").unwrap();
+    db.execute("INSERT INTO t VALUES (9223372036854775807)")
+        .unwrap();
+    db.execute("INSERT INTO t VALUES (1)").unwrap();
+    let err = db.execute("SELECT SUM(v) FROM t").unwrap_err();
+    assert!(
+        err.to_string().contains("integer overflow"),
+        "unexpected error: {err}"
+    );
+    // AVG over the same data stays in float land and still works.
+    assert!(db.execute("SELECT AVG(v) FROM t").is_ok());
+}
+
+#[test]
+fn arithmetic_overflow_surfaces_through_sql() {
+    let db = Database::in_memory();
+    db.execute("CREATE TABLE t (v INT)").unwrap();
+    db.execute("INSERT INTO t VALUES (9223372036854775807)")
+        .unwrap();
+    let err = db.execute("SELECT v + 1 FROM t").unwrap_err();
+    assert!(err.to_string().contains("integer overflow"), "{err}");
+    // i64::MIN / -1 must error, not panic (seed aborted the process here).
+    db.execute("CREATE TABLE m (v INT)").unwrap();
+    db.execute("INSERT INTO m VALUES (-9223372036854775807)")
+        .unwrap();
+    db.execute("UPDATE m SET v = v - 1").unwrap();
+    let err = db.execute("SELECT v / -1 FROM m").unwrap_err();
+    assert!(err.to_string().contains("integer overflow"), "{err}");
+}
+
+#[test]
+fn stats_are_sane_for_aggregates_and_distinct() {
+    let db = big_db(500);
+    // Aggregation buffers its groups; COUNT over one global group.
+    let (rs, stats) = db.query_with_stats("SELECT COUNT(*) FROM big").unwrap();
+    assert_eq!(rs.rows()[0][0], Value::Int(500));
+    assert_eq!(stats.rows_scanned, 500);
+    // DISTINCT over a unique column retains every row key.
+    let (rs, stats) = db.query_with_stats("SELECT DISTINCT a FROM big").unwrap();
+    assert_eq!(rs.rows().len(), 500);
+    assert_eq!(stats.buffered_peak, 500);
+}

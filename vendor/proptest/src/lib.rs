@@ -562,14 +562,12 @@ pub mod test_runner {
             test: impl Fn(S::Value) -> Result<(), TestCaseError>,
         ) -> Result<(), TestError> {
             for case in 0..self.config.cases {
-                let mut rng = TestRng::seed(
-                    BASE_SEED ^ u64::from(case).wrapping_mul(0x2545_F491_4F6C_DD1D),
-                );
+                let mut rng =
+                    TestRng::seed(BASE_SEED ^ u64::from(case).wrapping_mul(0x2545_F491_4F6C_DD1D));
                 let value = strategy.generate(&mut rng);
                 let input = format!("{value:?}");
-                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    test(value)
-                }));
+                let outcome =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(value)));
                 match outcome {
                     Ok(Ok(())) => {}
                     Ok(Err(reason)) => {
