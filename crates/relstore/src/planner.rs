@@ -258,6 +258,16 @@ pub fn plan_select(stmt: &SelectStmt, catalog: &Catalog) -> RelResult<PlannedQue
                     condition: residual,
                 }
             } else {
+                // Build-side invariant: the executor buffers the *right*
+                // input of a HashJoin. Left-deep construction guarantees
+                // that input is always a single table's access path
+                // (possibly filtered), never an intermediate join result,
+                // so build memory is bounded by one base table while the
+                // growing join product streams through as the probe. The
+                // catalog carries no row counts, so within that bound the
+                // planner cannot pick the smaller of the two tables; if
+                // stats ever land, prefer placing the expected-smaller
+                // access path on the right here.
                 Plan::HashJoin {
                     left: Box::new(plan),
                     right: Box::new(right),
