@@ -24,8 +24,10 @@
 //! split; everything the paper's figures need is conjunctive.
 
 use std::collections::HashMap;
-use std::sync::{mpsc, Arc};
-use std::time::Duration;
+use std::sync::{mpsc, Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use xomatiq_obs::{Counter, Histogram};
 
 use xomatiq_relstore::Value;
 use xomatiq_xquery::ast::{
@@ -34,6 +36,34 @@ use xomatiq_xquery::ast::{
 use xomatiq_xquery::{parse_query, QueryError};
 
 use crate::warehouse::{QueryOutcome, Xomatiq, XomatiqError};
+
+/// Cached federation-metric handles (`core.federation.*`), resolved once.
+struct FedMetrics {
+    /// `core.federation.queries` — federated queries attempted.
+    queries: Counter,
+    /// `core.federation.degraded_queries` — queries that lost at least one
+    /// member but still produced a (partial) answer path.
+    degraded_queries: Counter,
+    /// `core.federation.member_failures` — member sub-queries that failed
+    /// (execution error, injected fault, missed deadline).
+    member_failures: Counter,
+    /// `core.federation.member_wait` — wall-time spent waiting on each
+    /// member's answer, successful or not.
+    member_wait_ns: Histogram,
+}
+
+fn fed_metrics() -> &'static FedMetrics {
+    static CELL: OnceLock<FedMetrics> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let reg = xomatiq_obs::global();
+        FedMetrics {
+            queries: reg.counter("core.federation.queries"),
+            degraded_queries: reg.counter("core.federation.degraded_queries"),
+            member_failures: reg.counter("core.federation.member_failures"),
+            member_wait_ns: reg.histogram("core.federation.member_wait"),
+        }
+    })
+}
 
 /// An injected fault for one member, returned by a [`FaultHook`]. Tests
 /// use this to simulate a member dying mid-query or hanging past its
@@ -187,18 +217,27 @@ impl Federation {
         &self,
         rx: &mpsc::Receiver<Result<QueryOutcome, XomatiqError>>,
     ) -> Result<QueryOutcome, String> {
+        let m = fed_metrics();
+        let wait_start = Instant::now();
         let answer = match self.member_deadline {
             Some(deadline) => rx.recv_timeout(deadline).map_err(|e| match e {
                 mpsc::RecvTimeoutError::Timeout => {
                     format!("deadline of {deadline:?} exceeded")
                 }
                 mpsc::RecvTimeoutError::Disconnected => "member worker vanished".to_string(),
-            })?,
-            None => rx
-                .recv()
-                .map_err(|_| "member worker vanished".to_string())?,
+            }),
+            None => rx.recv().map_err(|_| "member worker vanished".to_string()),
         };
-        answer.map_err(|e| e.to_string())
+        let elapsed = u64::try_from(wait_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        m.member_wait_ns.record(elapsed);
+        let result = match answer {
+            Ok(a) => a.map_err(|e| e.to_string()),
+            Err(e) => Err(e),
+        };
+        if result.is_err() {
+            m.member_failures.inc();
+        }
+        result
     }
 
     /// Runs a parsed query across the federation.
@@ -220,6 +259,7 @@ impl Federation {
         &self,
         query: &FlwrQuery,
     ) -> Result<FederatedOutcome, XomatiqError> {
+        fed_metrics().queries.inc();
         // Assign each binding variable to the member that holds its
         // collection.
         let mut var_home: HashMap<String, usize> = HashMap::new();
@@ -396,6 +436,7 @@ impl Federation {
             }
         }
         if degraded.is_degraded() {
+            fed_metrics().degraded_queries.inc();
             if self.strict {
                 let detail: Vec<String> = degraded
                     .failed

@@ -46,6 +46,7 @@
 //! ```
 
 pub mod error;
+pub(crate) mod metrics;
 pub mod retry;
 pub mod shred;
 pub mod source;

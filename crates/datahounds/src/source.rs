@@ -17,6 +17,7 @@ use xomatiq_xml::dtd::{validate, Dtd};
 use xomatiq_xml::Document;
 
 use crate::error::{HoundError, HoundResult};
+use crate::metrics;
 use crate::retry::{RetryPolicy, Sleeper};
 use crate::shred::{
     collection_prefix, create_collection_indexes, create_collection_tables, delete_statements,
@@ -462,7 +463,11 @@ impl DataHounds {
                 sql_quote(&p.serialized)
             ));
             let refs: Vec<&str> = statements.iter().map(String::as_str).collect();
+            let txn_start = std::time::Instant::now();
             self.db.execute_batch(&refs)?;
+            let m = metrics::ingest();
+            m.wal_txn_ns.record(metrics::elapsed_ns(txn_start));
+            m.entries.inc();
             stats += entry_stats;
             doc_id += 1;
         }
@@ -626,7 +631,11 @@ impl DataHounds {
                         sql_quote(&p.serialized)
                     ));
                     let refs: Vec<&str> = statements.iter().map(String::as_str).collect();
+                    let txn_start = std::time::Instant::now();
                     self.db.execute_batch(&refs)?;
+                    let m = metrics::ingest();
+                    m.wal_txn_ns.record(metrics::elapsed_ns(txn_start));
+                    m.entries.inc();
                 }
             }
             let event = ChangeEvent {
@@ -667,6 +676,7 @@ impl DataHounds {
             "DELETE FROM hlx_quarantine WHERE collection = '{}'",
             sql_quote(collection)
         ))?;
+        metrics::ingest().quarantined.add(rejected.len() as u64);
         for r in rejected {
             self.db.execute(&format!(
                 "INSERT INTO hlx_quarantine VALUES ('{}', '{}', '{}', '{}')",
@@ -714,7 +724,12 @@ impl DataHounds {
     where
         F: FnMut() -> HoundResult<String>,
     {
-        let flat = policy.run(sleeper, |_| fetch())?;
+        let flat = policy.run(sleeper, |attempt| {
+            if attempt > 0 {
+                metrics::ingest().retries.inc();
+            }
+            fetch()
+        })?;
         if self.collections.lock().contains_key(name) {
             self.update_source(name, &flat)
         } else {

@@ -1,0 +1,82 @@
+//! Observability plane for the XomatiQ workspace: a process-wide metrics
+//! registry (counters, gauges, fixed-bucket latency histograms), a
+//! lightweight span API that records wall-time into histograms and can
+//! mirror structured events to a pluggable [`Sink`], and a deterministic
+//! [`Snapshot`] renderer (text and line-JSON).
+//!
+//! The crate is deliberately `std`-only so every layer of the pipeline —
+//! from the WAL up to the federation driver — can link it without new
+//! dependencies. All hot-path primitives are lock-free: counters are
+//! sharded cache-line-padded atomics, gauges and histogram buckets are
+//! plain atomics, and the registry itself is only locked when a metric is
+//! first created (callers are expected to cache handles).
+//!
+//! Metric names follow the `crate.subsystem.name` convention, e.g.
+//! `relstore.exec.rows_scanned` or `datahounds.ingest.quarantined`.
+
+#![warn(missing_docs)]
+
+pub mod registry;
+pub mod sink;
+pub mod snapshot;
+pub mod span;
+
+pub use registry::{Counter, Gauge, Histogram, MetricsRegistry, LATENCY_BUCKETS_NS};
+pub use sink::{MemorySink, Sink, SpanEvent, StderrJsonSink};
+pub use snapshot::{MetricValue, Snapshot};
+pub use span::SpanGuard;
+
+use std::sync::{Arc, OnceLock, RwLock};
+
+static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+
+/// The process-wide registry. Created on first use; never torn down.
+pub fn global() -> &'static MetricsRegistry {
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// Enables or disables recording on the global registry (and spans, which
+/// consult the same flag). Handles stay valid either way; a disabled
+/// registry turns every `inc`/`record` into a single relaxed load.
+pub fn set_enabled(on: bool) {
+    global().set_enabled(on);
+}
+
+/// Whether the global registry is currently recording.
+pub fn enabled() -> bool {
+    global().enabled()
+}
+
+/// Renders the global registry as deterministic text (sorted by name).
+pub fn render_stats() -> String {
+    global().snapshot().render_text()
+}
+
+static SINK: RwLock<Option<Arc<dyn Sink>>> = RwLock::new(None);
+
+/// Installs (or, with `None`, removes) the process-wide span sink. Spans
+/// always record their latency histogram; the sink additionally receives a
+/// structured [`SpanEvent`] per completed span.
+pub fn set_sink(sink: Option<Arc<dyn Sink>>) {
+    *SINK.write().expect("obs sink lock poisoned") = sink;
+}
+
+/// The currently installed span sink, if any.
+pub fn sink() -> Option<Arc<dyn Sink>> {
+    SINK.read().expect("obs sink lock poisoned").clone()
+}
+
+/// Opens a [`SpanGuard`] that, on drop, records its wall-time into the
+/// global histogram named by the span and forwards a [`SpanEvent`] to the
+/// installed sink (if any).
+///
+/// ```
+/// let _guard = xomatiq_obs::span!("relstore.exec.query");
+/// // ... timed work ...
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::SpanGuard::enter($name)
+    };
+}

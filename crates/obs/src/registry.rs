@@ -1,0 +1,297 @@
+//! Metric primitives and the registry that names them.
+//!
+//! Counters are sharded over cache-line-padded atomics so concurrent
+//! per-row increments from many threads do not contend on one line;
+//! gauges and histograms are single atomics per cell. Reads (snapshots)
+//! are racy-but-consistent-enough: each cell is loaded with relaxed
+//! ordering, which is fine for monitoring data.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::snapshot::{HistogramSnapshot, MetricValue, Snapshot};
+
+/// Number of counter shards. A small power of two: enough to spread the
+/// 8-thread concurrency we test for, cheap enough to sum on snapshot.
+const SHARDS: usize = 8;
+
+/// One cache line per shard so adjacent shards never false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+fn shard_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: usize = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+    }
+    SHARD.with(|s| *s)
+}
+
+/// Default latency bucket upper edges, in nanoseconds: powers of four from
+/// 1µs to ~4s, a span that covers everything from a per-row callback to a
+/// full WAL replay.
+pub const LATENCY_BUCKETS_NS: &[u64] = &[
+    1_000,
+    4_000,
+    16_000,
+    64_000,
+    256_000,
+    1_000_000,
+    4_000_000,
+    16_000_000,
+    64_000_000,
+    256_000_000,
+    1_000_000_000,
+    4_000_000_000,
+];
+
+/// A monotonically increasing counter. Cloning yields another handle to
+/// the same underlying cells; handles are cheap to cache in `OnceLock`s.
+#[derive(Clone)]
+pub struct Counter {
+    shards: Arc<[PaddedU64; SHARDS]>,
+    enabled: Arc<AtomicBool>,
+}
+
+impl Counter {
+    fn new(enabled: Arc<AtomicBool>) -> Self {
+        Counter {
+            shards: Arc::new(Default::default()),
+            enabled,
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`. A no-op while the owning registry is disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total across all shards.
+    pub fn value(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A signed instantaneous value (e.g. "transactions applied by the last
+/// WAL recovery").
+#[derive(Clone)]
+pub struct Gauge {
+    cell: Arc<AtomicI64>,
+    enabled: Arc<AtomicBool>,
+}
+
+impl Gauge {
+    fn new(enabled: Arc<AtomicBool>) -> Self {
+        Gauge {
+            cell: Arc::new(AtomicI64::new(0)),
+            enabled,
+        }
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adjusts the gauge by `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn value(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+struct HistogramInner {
+    /// Upper edges (inclusive) of the finite buckets, strictly increasing.
+    edges: Vec<u64>,
+    /// One cell per edge plus a final overflow (+inf) bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A fixed-bucket histogram; values at or below an edge land in that
+/// edge's bucket, values above every edge land in the overflow bucket.
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+    enabled: Arc<AtomicBool>,
+}
+
+impl Histogram {
+    fn new(edges: &[u64], enabled: Arc<AtomicBool>) -> Self {
+        let inner = HistogramInner {
+            edges: edges.to_vec(),
+            buckets: (0..=edges.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        };
+        Histogram {
+            inner: Arc::new(inner),
+            enabled,
+        }
+    }
+
+    /// Records one observation. A no-op while the registry is disabled.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let idx = self.inner.edges.partition_point(|&edge| edge < v);
+        self.inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded observations.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of edges and bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            edges: self.inner.edges.clone(),
+            buckets: self
+                .inner
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// A named collection of metrics. Normally used through
+/// [`crate::global()`], but fully functional as a local instance, which
+/// keeps tests hermetic.
+pub struct MetricsRegistry {
+    enabled: Arc<AtomicBool>,
+    counters: RwLock<BTreeMap<String, Counter>>,
+    gauges: RwLock<BTreeMap<String, Gauge>>,
+    histograms: RwLock<BTreeMap<String, Histogram>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty, enabled registry.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            enabled: Arc::new(AtomicBool::new(true)),
+            counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
+            histograms: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Turns recording on or off for every handle minted by this registry.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether handles from this registry currently record.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(c) = self.counters.read().expect("poisoned").get(name) {
+            return c.clone();
+        }
+        self.counters
+            .write()
+            .expect("poisoned")
+            .entry(name.to_string())
+            .or_insert_with(|| Counter::new(Arc::clone(&self.enabled)))
+            .clone()
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(g) = self.gauges.read().expect("poisoned").get(name) {
+            return g.clone();
+        }
+        self.gauges
+            .write()
+            .expect("poisoned")
+            .entry(name.to_string())
+            .or_insert_with(|| Gauge::new(Arc::clone(&self.enabled)))
+            .clone()
+    }
+
+    /// The histogram named `name` with the default latency buckets
+    /// ([`LATENCY_BUCKETS_NS`]), created on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with(name, LATENCY_BUCKETS_NS)
+    }
+
+    /// The histogram named `name`, created with the given bucket edges on
+    /// first use (an existing histogram keeps its original edges).
+    pub fn histogram_with(&self, name: &str, edges: &[u64]) -> Histogram {
+        if let Some(h) = self.histograms.read().expect("poisoned").get(name) {
+            return h.clone();
+        }
+        self.histograms
+            .write()
+            .expect("poisoned")
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(edges, Arc::clone(&self.enabled)))
+            .clone()
+    }
+
+    /// A deterministic point-in-time view of every registered metric,
+    /// sorted by name (counters, then gauges, then histograms on name
+    /// collisions — names should not collide across kinds).
+    pub fn snapshot(&self) -> Snapshot {
+        let mut entries: Vec<(String, MetricValue)> = Vec::new();
+        for (name, c) in self.counters.read().expect("poisoned").iter() {
+            entries.push((name.clone(), MetricValue::Counter(c.value())));
+        }
+        for (name, g) in self.gauges.read().expect("poisoned").iter() {
+            entries.push((name.clone(), MetricValue::Gauge(g.value())));
+        }
+        for (name, h) in self.histograms.read().expect("poisoned").iter() {
+            entries.push((name.clone(), MetricValue::Histogram(h.snapshot())));
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Snapshot { entries }
+    }
+}

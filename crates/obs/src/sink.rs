@@ -1,0 +1,73 @@
+//! Pluggable destinations for completed-span events.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+use crate::snapshot::json_escape;
+
+/// A completed span: its (static) name and measured wall-time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// The span name, e.g. `relstore.exec.query`.
+    pub name: &'static str,
+    /// Elapsed wall-time in nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+/// Receives structured events from completed spans. Implementations must
+/// be cheap and non-blocking-ish; they run on the instrumented thread.
+pub trait Sink: Send + Sync {
+    /// Called once per completed span.
+    fn record(&self, event: &SpanEvent);
+}
+
+/// An in-memory sink for tests: collects every event for later assertion.
+#[derive(Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<SpanEvent>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of every event recorded so far.
+    pub fn events(&self) -> Vec<SpanEvent> {
+        self.events.lock().expect("sink lock poisoned").clone()
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, event: &SpanEvent) {
+        self.events
+            .lock()
+            .expect("sink lock poisoned")
+            .push(event.clone());
+    }
+}
+
+/// Writes one JSON object per completed span to stderr, e.g.
+/// `{"span":"relstore.exec.query","elapsed_ns":12345}`.
+#[derive(Default)]
+pub struct StderrJsonSink;
+
+impl StderrJsonSink {
+    /// A new stderr sink.
+    pub fn new() -> Self {
+        StderrJsonSink
+    }
+}
+
+impl Sink for StderrJsonSink {
+    fn record(&self, event: &SpanEvent) {
+        // A full stderr (or closed fd) must never take the pipeline down.
+        let line = format!(
+            "{{\"span\":\"{}\",\"elapsed_ns\":{}}}\n",
+            json_escape(event.name),
+            event.elapsed_ns
+        );
+        let _ = std::io::stderr().write_all(line.as_bytes());
+    }
+}

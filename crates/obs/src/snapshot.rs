@@ -1,0 +1,114 @@
+//! Deterministic rendering of a registry's contents.
+//!
+//! Both renders are byte-stable for a given set of metric values: entries
+//! are sorted by name, numbers are formatted without locale or float
+//! involvement, and no timestamps are embedded. Two identical runs
+//! therefore produce identical output — tested in `tests/obs.rs`.
+
+/// Point-in-time state of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Finite bucket upper edges (inclusive), strictly increasing.
+    pub edges: Vec<u64>,
+    /// Bucket counts; `buckets.len() == edges.len() + 1`, the final cell
+    /// being the overflow (+inf) bucket.
+    pub buckets: Vec<u64>,
+}
+
+/// The value of one named metric inside a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// A monotonic counter total.
+    Counter(u64),
+    /// A gauge reading.
+    Gauge(i64),
+    /// A histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// A point-in-time, name-sorted copy of a registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// `(name, value)` pairs sorted by name.
+    pub entries: Vec<(String, MetricValue)>,
+}
+
+impl Snapshot {
+    /// One line per metric: `name kind value...`. Histograms render their
+    /// count, sum and every bucket as `le_<edge>=<n>` with a final
+    /// `le_inf` overflow cell.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.entries {
+            match value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("{name} counter {v}\n"));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("{name} gauge {v}\n"));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!("{name} histogram count={} sum={}", h.count, h.sum));
+                    for (i, n) in h.buckets.iter().enumerate() {
+                        match h.edges.get(i) {
+                            Some(edge) => out.push_str(&format!(" le_{edge}={n}")),
+                            None => out.push_str(&format!(" le_inf={n}")),
+                        }
+                    }
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+
+    /// A single JSON object `{"metrics": [...]}` with one entry per
+    /// metric, in name order.
+    pub fn render_json(&self) -> String {
+        let mut items = Vec::with_capacity(self.entries.len());
+        for (name, value) in &self.entries {
+            let name = json_escape(name);
+            items.push(match value {
+                MetricValue::Counter(v) => {
+                    format!("{{\"name\":\"{name}\",\"type\":\"counter\",\"value\":{v}}}")
+                }
+                MetricValue::Gauge(v) => {
+                    format!("{{\"name\":\"{name}\",\"type\":\"gauge\",\"value\":{v}}}")
+                }
+                MetricValue::Histogram(h) => {
+                    let edges: Vec<String> = h.edges.iter().map(u64::to_string).collect();
+                    let buckets: Vec<String> = h.buckets.iter().map(u64::to_string).collect();
+                    format!(
+                        "{{\"name\":\"{name}\",\"type\":\"histogram\",\"count\":{},\"sum\":{},\"edges\":[{}],\"buckets\":[{}]}}",
+                        h.count,
+                        h.sum,
+                        edges.join(","),
+                        buckets.join(",")
+                    )
+                }
+            });
+        }
+        format!("{{\"metrics\":[{}]}}\n", items.join(","))
+    }
+}
+
+/// Escapes a string for embedding in a JSON literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

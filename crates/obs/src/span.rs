@@ -1,0 +1,39 @@
+//! Wall-time spans: RAII guards that record their lifetime into the
+//! global latency histogram of the same name and forward a structured
+//! event to the installed [`crate::Sink`].
+
+use std::time::Instant;
+
+use crate::sink::SpanEvent;
+
+/// An open span; closes (and records) when dropped. Prefer the
+/// [`crate::span!`] macro over constructing this directly.
+#[must_use = "a span measures the scope it is bound to; binding it to _ drops it immediately"]
+pub struct SpanGuard {
+    name: &'static str,
+    /// `None` when the registry was disabled at entry: the span then
+    /// records nothing on drop, making disabled spans two relaxed loads.
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// Opens a span named `name` (a `crate.subsystem.name` style label).
+    pub fn enter(name: &'static str) -> SpanGuard {
+        let start = crate::enabled().then(Instant::now);
+        SpanGuard { name, start }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let elapsed_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        crate::global().histogram(self.name).record(elapsed_ns);
+        if let Some(sink) = crate::sink() {
+            sink.record(&SpanEvent {
+                name: self.name,
+                elapsed_ns,
+            });
+        }
+    }
+}

@@ -136,7 +136,63 @@ fn bench_exec(_c: &mut Criterion) {
         db.execute(kw_sql).unwrap().rows().len()
     });
 
+    // Observability overhead: the same per-row-heavy queries with the
+    // metrics registry disabled vs enabled. Batches are interleaved and
+    // the minimum batch mean is kept on each side, so a scheduler blip
+    // during one batch cannot fake (or mask) an overhead regression.
+    // With `XOMATIQ_BENCH_ENFORCE` set, instrumented time beyond
+    // off-time × 1.10 (+2µs/iter of timer-jitter slack) fails the bench —
+    // CI runs the smoke scale this way.
+    let enforce = std::env::var("XOMATIQ_BENCH_ENFORCE").is_ok();
+    for (name, sql) in [("scan_full", "SELECT a FROM big"), ("hash_join", join_sql)] {
+        let run = || db.execute(sql).unwrap().rows().len();
+        let (off, on) = min_batch_pair(run);
+        println!("exec/overhead/{name}: off {off:.0} ns/iter, on {on:.0} ns/iter");
+        rec.results
+            .push((format!("overhead/{name}/metrics_off"), off));
+        rec.results
+            .push((format!("overhead/{name}/metrics_on"), on));
+        let budget = off * 1.10 + 2_000.0;
+        if enforce {
+            assert!(
+                on <= budget,
+                "instrumented {name} exceeds the 10% overhead budget: \
+                 {on:.0} ns/iter on vs {off:.0} ns/iter off"
+            );
+        } else if on > budget {
+            println!("exec/overhead/{name}: WARNING above 10% budget (not enforced)");
+        }
+    }
+
     rec.write_json(n);
+}
+
+/// Interleaved min-of-batches measurement of `f` with metrics disabled
+/// then enabled, returning `(off_ns_per_iter, on_ns_per_iter)`. The
+/// registry is left enabled afterwards.
+fn min_batch_pair<R>(mut f: impl FnMut() -> R) -> (f64, f64) {
+    const BATCHES: usize = 5;
+    const ITERS: usize = 8;
+    let batch = |f: &mut dyn FnMut()| {
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            f();
+        }
+        start.elapsed().as_nanos() as f64 / ITERS as f64
+    };
+    let (mut off, mut on) = (f64::INFINITY, f64::INFINITY);
+    black_box(f()); // warmup
+    for _ in 0..BATCHES {
+        xomatiq_obs::set_enabled(false);
+        off = off.min(batch(&mut || {
+            black_box(f());
+        }));
+        xomatiq_obs::set_enabled(true);
+        on = on.min(batch(&mut || {
+            black_box(f());
+        }));
+    }
+    (off, on)
 }
 
 criterion_group!(benches, bench_exec);

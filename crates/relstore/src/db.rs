@@ -9,17 +9,21 @@
 
 use std::collections::BTreeMap;
 use std::path::Path;
+use std::time::Instant;
 
 use parking_lot::{Mutex, RwLock};
 
 use crate::error::{RelError, RelResult};
-use crate::exec::{execute_plan, execute_plan_with_stats, ExecStats};
+use crate::exec::{
+    execute_plan_profiled, execute_plan_with_stats, format_ns, ExecStats, OpProfile,
+};
 use crate::expr::{eval, eval_predicate, RowSchema};
 use crate::index::BTreeIndex;
+use crate::metrics;
 use crate::plan::PlannedQuery;
 use crate::planner::plan_select;
 use crate::schema::{Catalog, Column, IndexDef, TableSchema};
-use crate::sql::ast::Statement;
+use crate::sql::ast::{SelectStmt, Statement};
 use crate::sql::parser::parse_statement;
 use crate::table::{Row, RowId, Table};
 use crate::text::KeywordIndex;
@@ -321,6 +325,19 @@ impl ResultSet {
         }
     }
 
+    /// Wraps rendered plan text as a one-column result set (one row per
+    /// line), the shape `EXPLAIN [ANALYZE]` statements return.
+    fn plan_text(text: &str) -> Self {
+        ResultSet {
+            columns: vec!["plan".to_string()],
+            rows: text
+                .lines()
+                .map(|l| vec![Value::Text(l.to_string())])
+                .collect(),
+            affected: 0,
+        }
+    }
+
     /// Output column names (empty for DML/DDL).
     pub fn columns(&self) -> &[String] {
         &self.columns
@@ -384,6 +401,39 @@ impl ResultSet {
         sep(&mut out);
         out.push_str(&format!("({} rows)\n", self.rows.len()));
         out
+    }
+}
+
+/// The structured output of `EXPLAIN ANALYZE`: the per-operator profile
+/// tree, the executor counters, the measured total execution time, and
+/// the query's actual results (an analyzed query really runs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzedQuery {
+    /// Per-operator rows/time profile, mirroring the plan tree.
+    pub profile: OpProfile,
+    /// Executor counters for the run.
+    pub stats: ExecStats,
+    /// Total execution wall-time in nanoseconds (root pull loop,
+    /// excluding parse/plan time).
+    pub total_ns: u64,
+    /// The rows the query produced.
+    pub result: ResultSet,
+}
+
+impl AnalyzedQuery {
+    /// Renders the annotated plan tree plus a summary footer.
+    pub fn render(&self) -> String {
+        format!(
+            "{}(total: {}, rows scanned: {}, rows emitted: {}, buffered peak: {}, \
+             index probes: {}, keyword postings read: {})\n",
+            self.profile.render(),
+            format_ns(self.total_ns),
+            self.stats.rows_scanned,
+            self.stats.rows_emitted,
+            self.stats.buffered_peak,
+            self.stats.index_probes,
+            self.stats.keyword_postings_read,
+        )
     }
 }
 
@@ -516,6 +566,7 @@ impl Database {
             report.transactions_dropped.push(tx);
         }
         report.transactions_dropped.sort_unstable();
+        metrics::observe_recovery(&report);
         Ok((
             Database {
                 storage: RwLock::new(storage),
@@ -538,10 +589,20 @@ impl Database {
     pub fn execute_statement(&self, stmt: Statement) -> RelResult<ResultSet> {
         match stmt {
             Statement::Select(select) => {
-                let storage = self.storage.read();
-                let PlannedQuery { plan, visible } = plan_select(&select, &storage.catalog)?;
-                let (schema, rows) = execute_plan(&plan, &storage)?;
-                Ok(select_result(visible, &schema, rows))
+                let (rs, _) = self.run_select(&select)?;
+                Ok(rs)
+            }
+            Statement::Explain { analyze, inner } => {
+                let Statement::Select(select) = *inner else {
+                    return Err(RelError::Parse("EXPLAIN supports SELECT only".into()));
+                };
+                let text = if analyze {
+                    self.analyze_select(&select)?.render()
+                } else {
+                    let storage = self.storage.read();
+                    plan_select(&select, &storage.catalog)?.plan.explain()
+                };
+                Ok(ResultSet::plan_text(&text))
             }
             Statement::CreateTable { name, columns } => {
                 let schema = TableSchema::new(
@@ -691,14 +752,76 @@ impl Database {
     /// `LIMIT`/Top-K queries materialize O(k) rows, not the whole input.
     pub fn query_with_stats(&self, sql: &str) -> RelResult<(ResultSet, ExecStats)> {
         match parse_statement(sql)? {
-            Statement::Select(select) => {
-                let storage = self.storage.read();
-                let PlannedQuery { plan, visible } = plan_select(&select, &storage.catalog)?;
-                let (schema, rows, stats) = execute_plan_with_stats(&plan, &storage)?;
-                Ok((select_result(visible, &schema, rows), stats))
-            }
+            Statement::Select(select) => self.run_select(&select),
             _ => Err(RelError::Parse("only SELECT reports exec stats".into())),
         }
+    }
+
+    /// Plans and executes one `SELECT`, publishing per-query aggregates
+    /// (row counters, plan/exec latency) to the global metrics registry.
+    fn run_select(&self, select: &SelectStmt) -> RelResult<(ResultSet, ExecStats)> {
+        let m = metrics::engine();
+        let result = (|| {
+            let plan_start = Instant::now();
+            let storage = self.storage.read();
+            let PlannedQuery { plan, visible } = plan_select(select, &storage.catalog)?;
+            m.plan_ns.record(metrics::elapsed_ns(plan_start));
+            let exec_start = Instant::now();
+            let (schema, rows, stats) = execute_plan_with_stats(&plan, &storage)?;
+            m.exec_ns.record(metrics::elapsed_ns(exec_start));
+            Ok((select_result(visible, &schema, rows), stats))
+        })();
+        match &result {
+            Ok((_, stats)) => m.observe_query(stats),
+            Err(_) => m.errors.inc(),
+        }
+        result
+    }
+
+    /// Runs a `SELECT` (or an `EXPLAIN [ANALYZE] SELECT`) under the
+    /// per-operator profiler and renders the annotated plan tree — the
+    /// string form of `EXPLAIN ANALYZE`.
+    pub fn explain_analyze(&self, sql: &str) -> RelResult<String> {
+        Ok(self.explain_analyze_query(sql)?.render())
+    }
+
+    /// Like [`Database::explain_analyze`], but returns the structured
+    /// [`AnalyzedQuery`] (profile tree, counters, total time, results)
+    /// instead of rendered text.
+    pub fn explain_analyze_query(&self, sql: &str) -> RelResult<AnalyzedQuery> {
+        match parse_statement(sql)? {
+            Statement::Select(select) => self.analyze_select(&select),
+            Statement::Explain { inner, .. } => match *inner {
+                Statement::Select(select) => self.analyze_select(&select),
+                _ => Err(RelError::Parse("EXPLAIN supports SELECT only".into())),
+            },
+            _ => Err(RelError::Parse("only SELECT can be analyzed".into())),
+        }
+    }
+
+    fn analyze_select(&self, select: &SelectStmt) -> RelResult<AnalyzedQuery> {
+        let m = metrics::engine();
+        let result = (|| {
+            let plan_start = Instant::now();
+            let storage = self.storage.read();
+            let PlannedQuery { plan, visible } = plan_select(select, &storage.catalog)?;
+            m.plan_ns.record(metrics::elapsed_ns(plan_start));
+            let exec_start = Instant::now();
+            let (schema, rows, stats, profile) = execute_plan_profiled(&plan, &storage)?;
+            let total_ns = metrics::elapsed_ns(exec_start);
+            m.exec_ns.record(total_ns);
+            Ok(AnalyzedQuery {
+                profile,
+                stats,
+                total_ns,
+                result: select_result(visible, &schema, rows),
+            })
+        })();
+        match &result {
+            Ok(analyzed) => m.observe_query(&analyzed.stats),
+            Err(_) => m.errors.inc(),
+        }
+        result
     }
 
     /// Executes a `SELECT` through the materializing reference interpreter
@@ -816,12 +939,16 @@ impl Database {
             if records.is_empty() {
                 return Ok(());
             }
+            let start = Instant::now();
             s.wal.append(&WalRecord::Begin { tx });
             for r in &records {
                 s.wal.append(r);
             }
             s.wal.append(&WalRecord::Commit { tx });
             s.wal.sync()?;
+            metrics::engine()
+                .wal_commit_ns
+                .record(metrics::elapsed_ns(start));
         }
         Ok(())
     }

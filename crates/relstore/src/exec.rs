@@ -20,6 +20,7 @@ use std::cmp::Ordering;
 use std::collections::hash_map::Entry;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::rc::Rc;
+use std::time::Instant;
 
 use crate::db::Storage;
 use crate::error::{RelError, RelResult};
@@ -44,6 +45,13 @@ pub struct ExecStats {
     pub buffered_peak: u64,
     /// Rows the root operator produced.
     pub rows_emitted: u64,
+    /// Number of index lookups performed (B-tree probes/range scans and
+    /// keyword-index lookups); a plan with no index access reports `0`.
+    pub index_probes: u64,
+    /// Posting-list entries read out of keyword (inverted) indexes — the
+    /// true cost of a `CONTAINS` access path, independent of how many of
+    /// those postings survive visibility checks.
+    pub keyword_postings_read: u64,
 }
 
 /// Shared mutable counters threaded through every cursor of one execution.
@@ -52,6 +60,8 @@ struct StatsCell {
     scanned: Cell<u64>,
     buffered: Cell<u64>,
     buffered_peak: Cell<u64>,
+    index_probes: Cell<u64>,
+    keyword_postings: Cell<u64>,
 }
 
 impl StatsCell {
@@ -69,6 +79,14 @@ impl StatsCell {
 
     fn buffer_shrink(&self, n: u64) {
         self.buffered.set(self.buffered.get().saturating_sub(n));
+    }
+
+    fn index_probe(&self) {
+        self.index_probes.set(self.index_probes.get() + 1);
+    }
+
+    fn postings_read(&self, n: u64) {
+        self.keyword_postings.set(self.keyword_postings.get() + n);
     }
 }
 
@@ -111,6 +129,139 @@ trait Cursor<'a> {
 
 type BoxCursor<'a> = Box<dyn Cursor<'a> + 'a>;
 
+/// Per-operator runtime profile produced by profiled execution
+/// ([`execute_plan_profiled`] / `Database::explain_analyze`).
+///
+/// `elapsed_ns` is *self* (exclusive) time: the operator's inclusive
+/// wall-time minus its children's, so summing `elapsed_ns` over a whole
+/// tree reconstructs the root's inclusive time without double counting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpProfile {
+    /// One-line operator label, identical to the `EXPLAIN` rendering.
+    pub op: String,
+    /// Rows pulled from this operator's children (for leaf access paths,
+    /// the rows read from storage — equal to `rows_out`).
+    pub rows_in: u64,
+    /// Rows this operator produced.
+    pub rows_out: u64,
+    /// Exclusive (self) wall-time in nanoseconds.
+    pub elapsed_ns: u64,
+    /// Inclusive wall-time in nanoseconds (self + children).
+    pub total_ns: u64,
+    /// Child operator profiles, in plan order.
+    pub children: Vec<OpProfile>,
+}
+
+impl OpProfile {
+    /// Renders the profile as an indented tree, one operator per line:
+    /// `label  [rows_in=… rows_out=… self=…]`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(0, &mut out);
+        out
+    }
+
+    fn render_into(&self, depth: usize, out: &mut String) {
+        out.push_str(&format!(
+            "{:indent$}{}  [rows_in={} rows_out={} self={}]\n",
+            "",
+            self.op,
+            self.rows_in,
+            self.rows_out,
+            format_ns(self.elapsed_ns),
+            indent = depth * 2
+        ));
+        for child in &self.children {
+            child.render_into(depth + 1, out);
+        }
+    }
+
+    /// Sum of exclusive times over this subtree.
+    pub fn tree_elapsed_ns(&self) -> u64 {
+        self.elapsed_ns
+            + self
+                .children
+                .iter()
+                .map(OpProfile::tree_elapsed_ns)
+                .sum::<u64>()
+    }
+}
+
+/// Formats a nanosecond count with a human unit (`815ns`, `12.4µs`, ...).
+pub fn format_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Per-operator cells filled in by [`ProfiledCursor`] while the query
+/// runs; converted into an [`OpProfile`] tree afterwards.
+struct ProfNode {
+    label: String,
+    rows_out: Cell<u64>,
+    /// Inclusive wall-time accumulated across `next_row` calls.
+    elapsed_ns: Cell<u64>,
+    children: Vec<Rc<ProfNode>>,
+}
+
+impl ProfNode {
+    fn to_profile(&self) -> OpProfile {
+        let children: Vec<OpProfile> = self.children.iter().map(|c| c.to_profile()).collect();
+        let total_ns = self.elapsed_ns.get();
+        let child_total: u64 = children.iter().map(|c| c.total_ns).sum();
+        let rows_out = self.rows_out.get();
+        let rows_in = if children.is_empty() {
+            // Leaf access path: what it read is what it produced.
+            rows_out
+        } else {
+            children.iter().map(|c| c.rows_out).sum()
+        };
+        OpProfile {
+            op: self.label.clone(),
+            rows_in,
+            rows_out,
+            elapsed_ns: total_ns.saturating_sub(child_total),
+            total_ns,
+            children,
+        }
+    }
+}
+
+/// Wraps an operator cursor, timing every `next_row` call and counting
+/// produced rows into the operator's [`ProfNode`]. Only constructed when
+/// profiling was requested, so unprofiled execution pays nothing.
+struct ProfiledCursor<'a> {
+    inner: BoxCursor<'a>,
+    node: Rc<ProfNode>,
+}
+
+impl<'a> Cursor<'a> for ProfiledCursor<'a> {
+    fn next_row(&mut self) -> RelResult<Option<RowRef<'a>>> {
+        let start = Instant::now();
+        let out = self.inner.next_row();
+        self.node
+            .elapsed_ns
+            .set(self.node.elapsed_ns.get() + start.elapsed().as_nanos() as u64);
+        if matches!(out, Ok(Some(_))) {
+            self.node.rows_out.set(self.node.rows_out.get() + 1);
+        }
+        out
+    }
+}
+
+/// Execution context threaded through [`open`]: the shared stat cells plus
+/// whether to wrap every operator in a [`ProfiledCursor`].
+struct ExecCtx {
+    stats: Rc<StatsCell>,
+    profile: bool,
+}
+
 /// Executes a plan against storage, materializing the full result.
 pub fn execute_plan(plan: &Plan, storage: &Storage) -> RelResult<(RowSchema, Vec<Row>)> {
     let (schema, rows, _) = execute_plan_with_stats(plan, storage)?;
@@ -122,38 +273,86 @@ pub fn execute_plan_with_stats(
     plan: &Plan,
     storage: &Storage,
 ) -> RelResult<(RowSchema, Vec<Row>, ExecStats)> {
-    let stats = Rc::new(StatsCell::default());
-    let (schema, mut cursor) = open(plan, storage, &stats)?;
+    let (schema, rows, stats, _) = run_plan(plan, storage, false)?;
+    Ok((schema, rows, stats))
+}
+
+/// Like [`execute_plan_with_stats`], but additionally wraps every operator
+/// in a timing/row-counting shim and returns the per-operator profile
+/// tree. This is the engine behind `EXPLAIN ANALYZE`.
+pub fn execute_plan_profiled(
+    plan: &Plan,
+    storage: &Storage,
+) -> RelResult<(RowSchema, Vec<Row>, ExecStats, OpProfile)> {
+    let (schema, rows, stats, profile) = run_plan(plan, storage, true)?;
+    Ok((
+        schema,
+        rows,
+        stats,
+        profile.expect("profiling was requested"),
+    ))
+}
+
+fn run_plan(
+    plan: &Plan,
+    storage: &Storage,
+    profile: bool,
+) -> RelResult<(RowSchema, Vec<Row>, ExecStats, Option<OpProfile>)> {
+    let ctx = ExecCtx {
+        stats: Rc::new(StatsCell::default()),
+        profile,
+    };
+    let (schema, mut cursor, root) = open(plan, storage, &ctx)?;
     let mut rows = Vec::new();
     while let Some(row) = cursor.next_row()? {
         rows.push(row.into_owned());
     }
     let stats = ExecStats {
-        rows_scanned: stats.scanned.get(),
-        buffered_peak: stats.buffered_peak.get(),
+        rows_scanned: ctx.stats.scanned.get(),
+        buffered_peak: ctx.stats.buffered_peak.get(),
         rows_emitted: rows.len() as u64,
+        index_probes: ctx.stats.index_probes.get(),
+        keyword_postings_read: ctx.stats.keyword_postings.get(),
     };
-    Ok((schema, rows, stats))
+    Ok((schema, rows, stats, root.map(|n| n.to_profile())))
 }
 
-/// Compiles a plan operator into its output schema and a cursor.
+/// Opens `plan` as a child operator, collecting its profile node (if
+/// profiling) into `children`.
+fn open_child<'a>(
+    plan: &'a Plan,
+    storage: &'a Storage,
+    ctx: &ExecCtx,
+    children: &mut Vec<Rc<ProfNode>>,
+) -> RelResult<(RowSchema, BoxCursor<'a>)> {
+    let (schema, cursor, node) = open(plan, storage, ctx)?;
+    if let Some(node) = node {
+        children.push(node);
+    }
+    Ok((schema, cursor))
+}
+
+/// Compiles a plan operator into its output schema and a cursor (plus a
+/// profile node when the context asks for profiling).
 fn open<'a>(
     plan: &'a Plan,
     storage: &'a Storage,
-    stats: &Rc<StatsCell>,
-) -> RelResult<(RowSchema, BoxCursor<'a>)> {
-    match plan {
+    ctx: &ExecCtx,
+) -> RelResult<(RowSchema, BoxCursor<'a>, Option<Rc<ProfNode>>)> {
+    let stats = &ctx.stats;
+    let mut kids: Vec<Rc<ProfNode>> = Vec::new();
+    let (schema, cursor): (RowSchema, BoxCursor<'a>) = match plan {
         Plan::Scan { table, alias } => {
             let t = storage.table(table)?;
             let schema =
                 RowSchema::for_table(alias, t.schema().columns.iter().map(|c| c.name.clone()));
-            Ok((
+            (
                 schema,
                 Box::new(ScanCursor {
                     rows: t.rows(),
                     stats: Rc::clone(stats),
                 }),
-            ))
+            )
         }
         Plan::IndexScan {
             table,
@@ -163,6 +362,7 @@ fn open<'a>(
         } => {
             let t = storage.table(table)?;
             let idx = storage.btree_index(index)?;
+            stats.index_probe();
             let mut ids = match access {
                 IndexAccess::Exact(values) => {
                     if values.len() == idx.key_columns().len() {
@@ -181,14 +381,14 @@ fn open<'a>(
             ids.sort();
             let schema =
                 RowSchema::for_table(alias, t.schema().columns.iter().map(|c| c.name.clone()));
-            Ok((
+            (
                 schema,
                 Box::new(IdListCursor {
                     table: t,
                     ids: ids.into_iter(),
                     stats: Rc::clone(stats),
                 }),
-            ))
+            )
         }
         Plan::KeywordScan {
             table,
@@ -198,39 +398,41 @@ fn open<'a>(
         } => {
             let t = storage.table(table)?;
             let idx = storage.keyword_index(index)?;
+            stats.index_probe();
             let mut ids = idx.lookup(keyword);
+            stats.postings_read(ids.len() as u64);
             ids.sort();
             let schema =
                 RowSchema::for_table(alias, t.schema().columns.iter().map(|c| c.name.clone()));
-            Ok((
+            (
                 schema,
                 Box::new(IdListCursor {
                     table: t,
                     ids: ids.into_iter(),
                     stats: Rc::clone(stats),
                 }),
-            ))
+            )
         }
         Plan::Filter { input, predicate } => {
-            let (schema, input) = open(input, storage, stats)?;
-            Ok((
+            let (schema, input) = open_child(input, storage, ctx, &mut kids)?;
+            (
                 schema.clone(),
                 Box::new(FilterCursor {
                     input,
                     schema,
                     predicate,
                 }),
-            ))
+            )
         }
         Plan::NestedLoopJoin {
             left,
             right,
             condition,
         } => {
-            let (ls, lcur) = open(left, storage, stats)?;
-            let (rs, rcur) = open(right, storage, stats)?;
+            let (ls, lcur) = open_child(left, storage, ctx, &mut kids)?;
+            let (rs, rcur) = open_child(right, storage, ctx, &mut kids)?;
             let schema = ls.join(&rs);
-            Ok((
+            (
                 schema.clone(),
                 Box::new(NestedLoopCursor {
                     left: lcur,
@@ -242,7 +444,7 @@ fn open<'a>(
                     right_pos: 0,
                     stats: Rc::clone(stats),
                 }),
-            ))
+            )
         }
         Plan::HashJoin {
             left,
@@ -252,13 +454,13 @@ fn open<'a>(
             residual,
             semi,
         } => {
-            let (ls, lcur) = open(left, storage, stats)?;
-            let (rs, rcur) = open(right, storage, stats)?;
+            let (ls, lcur) = open_child(left, storage, ctx, &mut kids)?;
+            let (rs, rcur) = open_child(right, storage, ctx, &mut kids)?;
             if *semi {
                 // Existence-only: emit each matching left row once; the
                 // right side's columns are dropped (planner guaranteed
                 // nothing downstream references them).
-                return Ok((
+                (
                     ls.clone(),
                     Box::new(SemiJoinCursor {
                         left: lcur,
@@ -269,35 +471,36 @@ fn open<'a>(
                         right_keys,
                         stats: Rc::clone(stats),
                     }),
-                ));
+                )
+            } else {
+                let schema = ls.join(&rs);
+                (
+                    schema.clone(),
+                    Box::new(HashJoinCursor {
+                        left: lcur,
+                        left_schema: ls,
+                        schema,
+                        left_keys,
+                        residual: residual.as_ref(),
+                        build: None,
+                        right_input: Some((rs, rcur)),
+                        right_keys,
+                        probe: None,
+                        stats: Rc::clone(stats),
+                    }),
+                )
             }
-            let schema = ls.join(&rs);
-            Ok((
-                schema.clone(),
-                Box::new(HashJoinCursor {
-                    left: lcur,
-                    left_schema: ls,
-                    schema,
-                    left_keys,
-                    residual: residual.as_ref(),
-                    build: None,
-                    right_input: Some((rs, rcur)),
-                    right_keys,
-                    probe: None,
-                    stats: Rc::clone(stats),
-                }),
-            ))
         }
         Plan::Project { input, items, .. } => {
-            let (schema, input) = open(input, storage, stats)?;
-            Ok((
+            let (schema, input) = open_child(input, storage, ctx, &mut kids)?;
+            (
                 projected_schema(items),
                 Box::new(ProjectCursor {
                     input,
                     schema,
                     items,
                 }),
-            ))
+            )
         }
         Plan::Aggregate {
             input,
@@ -305,8 +508,8 @@ fn open<'a>(
             items,
             ..
         } => {
-            let (schema, input) = open(input, storage, stats)?;
-            Ok((
+            let (schema, input) = open_child(input, storage, ctx, &mut kids)?;
+            (
                 projected_schema(items),
                 Box::new(AggregateCursor {
                     input: Some(input),
@@ -316,11 +519,11 @@ fn open<'a>(
                     output: Vec::new().into_iter(),
                     stats: Rc::clone(stats),
                 }),
-            ))
+            )
         }
         Plan::Sort { input, keys } => {
-            let (schema, input) = open(input, storage, stats)?;
-            Ok((
+            let (schema, input) = open_child(input, storage, ctx, &mut kids)?;
+            (
                 schema,
                 Box::new(SortCursor {
                     input: Some(input),
@@ -328,7 +531,7 @@ fn open<'a>(
                     sorted: Vec::new().into_iter(),
                     stats: Rc::clone(stats),
                 }),
-            ))
+            )
         }
         Plan::TopK {
             input,
@@ -336,8 +539,8 @@ fn open<'a>(
             limit,
             offset,
         } => {
-            let (schema, input) = open(input, storage, stats)?;
-            Ok((
+            let (schema, input) = open_child(input, storage, ctx, &mut kids)?;
+            (
                 schema,
                 Box::new(TopKCursor {
                     input: Some(input),
@@ -347,11 +550,11 @@ fn open<'a>(
                     output: Vec::new().into_iter(),
                     stats: Rc::clone(stats),
                 }),
-            ))
+            )
         }
         Plan::Distinct { input, visible } => {
-            let (schema, input) = open(input, storage, stats)?;
-            Ok((
+            let (schema, input) = open_child(input, storage, ctx, &mut kids)?;
+            (
                 schema,
                 Box::new(DistinctCursor {
                     input,
@@ -359,24 +562,38 @@ fn open<'a>(
                     seen: HashSet::new(),
                     stats: Rc::clone(stats),
                 }),
-            ))
+            )
         }
         Plan::Limit {
             input,
             limit,
             offset,
         } => {
-            let (schema, input) = open(input, storage, stats)?;
-            Ok((
+            let (schema, input) = open_child(input, storage, ctx, &mut kids)?;
+            (
                 schema,
                 Box::new(LimitCursor {
                     input,
                     to_skip: *offset,
                     remaining: *limit,
                 }),
-            ))
+            )
         }
+    };
+    if !ctx.profile {
+        return Ok((schema, cursor, None));
     }
+    let node = Rc::new(ProfNode {
+        label: plan.describe(),
+        rows_out: Cell::new(0),
+        elapsed_ns: Cell::new(0),
+        children: kids,
+    });
+    let cursor = Box::new(ProfiledCursor {
+        inner: cursor,
+        node: Rc::clone(&node),
+    });
+    Ok((schema, cursor, Some(node)))
 }
 
 /// Full-table scan borrowing rows in insertion (document) order.

@@ -48,6 +48,7 @@ pub mod exec;
 pub mod exec_reference;
 pub mod expr;
 pub mod index;
+pub(crate) mod metrics;
 pub mod plan;
 pub mod planner;
 pub mod regex;
@@ -58,9 +59,9 @@ pub mod text;
 pub mod value;
 pub mod wal;
 
-pub use db::{Database, ResultSet};
+pub use db::{AnalyzedQuery, Database, ResultSet};
 pub use error::{RelError, RelResult};
-pub use exec::ExecStats;
+pub use exec::{format_ns, ExecStats, OpProfile};
 pub use schema::{Column, TableSchema};
 pub use value::{DataType, Value};
 pub use wal::{Corruption, FaultConfig, FaultyIo, RecoveryReport, StdFileIo, WalIo};

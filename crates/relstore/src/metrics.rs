@@ -1,0 +1,99 @@
+//! Cached handles into the global observability registry.
+//!
+//! Per-row accounting stays in the executor's non-atomic [`Cell`]-based
+//! `StatsCell`; this module only flushes the per-query aggregates into the
+//! process-wide registry, once per statement. Caching the handles in a
+//! `OnceLock` keeps the metrics-on cost of a query to a handful of relaxed
+//! atomic adds — the overhead budget (see DESIGN.md "Observability") is
+//! enforced by the exec bench.
+//!
+//! [`Cell`]: std::cell::Cell
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use xomatiq_obs::{Counter, Gauge, Histogram};
+
+use crate::exec::ExecStats;
+use crate::wal::RecoveryReport;
+
+/// Engine-wide metric handles, resolved once.
+pub(crate) struct EngineMetrics {
+    /// `relstore.exec.queries` — SELECTs executed (any executor).
+    pub queries: Counter,
+    /// `relstore.exec.errors` — SELECTs that failed to plan or execute.
+    pub errors: Counter,
+    /// `relstore.exec.rows_scanned` — aggregate of [`ExecStats::rows_scanned`].
+    pub rows_scanned: Counter,
+    /// `relstore.exec.rows_emitted` — aggregate of [`ExecStats::rows_emitted`].
+    pub rows_emitted: Counter,
+    /// `relstore.exec.index_probes` — aggregate of [`ExecStats::index_probes`].
+    pub index_probes: Counter,
+    /// `relstore.exec.keyword_postings_read` — aggregate of
+    /// [`ExecStats::keyword_postings_read`].
+    pub keyword_postings: Counter,
+    /// `relstore.plan.latency` — planning wall-time per SELECT.
+    pub plan_ns: Histogram,
+    /// `relstore.exec.latency` — execution wall-time per SELECT.
+    pub exec_ns: Histogram,
+    /// `relstore.wal.commit_latency` — append+fsync wall-time per commit.
+    pub wal_commit_ns: Histogram,
+}
+
+impl EngineMetrics {
+    /// Flushes one finished query's counters into the registry.
+    pub fn observe_query(&self, stats: &ExecStats) {
+        self.queries.inc();
+        self.rows_scanned.add(stats.rows_scanned);
+        self.rows_emitted.add(stats.rows_emitted);
+        self.index_probes.add(stats.index_probes);
+        self.keyword_postings.add(stats.keyword_postings_read);
+    }
+}
+
+/// The cached engine handles.
+pub(crate) fn engine() -> &'static EngineMetrics {
+    static CELL: OnceLock<EngineMetrics> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let reg = xomatiq_obs::global();
+        EngineMetrics {
+            queries: reg.counter("relstore.exec.queries"),
+            errors: reg.counter("relstore.exec.errors"),
+            rows_scanned: reg.counter("relstore.exec.rows_scanned"),
+            rows_emitted: reg.counter("relstore.exec.rows_emitted"),
+            index_probes: reg.counter("relstore.exec.index_probes"),
+            keyword_postings: reg.counter("relstore.exec.keyword_postings_read"),
+            plan_ns: reg.histogram("relstore.plan.latency"),
+            exec_ns: reg.histogram("relstore.exec.latency"),
+            wal_commit_ns: reg.histogram("relstore.wal.commit_latency"),
+        }
+    })
+}
+
+/// Publishes a WAL recovery's outcome as gauges (last recovery wins) and
+/// bumps `relstore.wal.recoveries`.
+pub(crate) fn observe_recovery(report: &RecoveryReport) {
+    static RECOVERY: OnceLock<(Counter, Gauge, Gauge, Gauge, Gauge, Gauge)> = OnceLock::new();
+    let (recoveries, scanned, applied, dropped, errors, truncated) = RECOVERY.get_or_init(|| {
+        let reg = xomatiq_obs::global();
+        (
+            reg.counter("relstore.wal.recoveries"),
+            reg.gauge("relstore.wal.recovery.records_scanned"),
+            reg.gauge("relstore.wal.recovery.transactions_applied"),
+            reg.gauge("relstore.wal.recovery.transactions_dropped"),
+            reg.gauge("relstore.wal.recovery.replay_errors"),
+            reg.gauge("relstore.wal.recovery.truncated_bytes"),
+        )
+    });
+    recoveries.inc();
+    scanned.set(report.records_scanned as i64);
+    applied.set(report.transactions_applied as i64);
+    dropped.set(report.transactions_dropped.len() as i64);
+    errors.set(report.replay_errors.len() as i64);
+    truncated.set(report.truncated_bytes as i64);
+}
+
+/// Nanoseconds since `start`, saturating.
+pub(crate) fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}

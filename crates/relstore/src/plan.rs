@@ -184,11 +184,20 @@ impl Plan {
     }
 
     fn explain_into(&self, depth: usize, out: &mut String) {
-        let pad = "  ".repeat(depth);
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&self.describe());
+        out.push('\n');
+        for child in self.children() {
+            child.explain_into(depth + 1, out);
+        }
+    }
+
+    /// The one-line label of this operator (the line `explain` prints for
+    /// it, without children) — shared with the `EXPLAIN ANALYZE` profile
+    /// rendering so both views stay in sync.
+    pub fn describe(&self) -> String {
         match self {
-            Plan::Scan { table, alias } => {
-                out.push_str(&format!("{pad}Scan {table} AS {alias}\n"));
-            }
+            Plan::Scan { table, alias } => format!("Scan {table} AS {alias}"),
             Plan::IndexScan {
                 table,
                 alias,
@@ -201,107 +210,76 @@ impl Plan {
                         format!("range(prefix {} cols)", prefix.len())
                     }
                 };
-                out.push_str(&format!(
-                    "{pad}IndexScan {table} AS {alias} USING {index} {how}\n"
-                ));
+                format!("IndexScan {table} AS {alias} USING {index} {how}")
             }
             Plan::KeywordScan {
                 table,
                 alias,
                 index,
                 keyword,
-            } => {
-                out.push_str(&format!(
-                    "{pad}KeywordScan {table} AS {alias} USING {index} FOR {keyword:?}\n"
-                ));
-            }
-            Plan::Filter { input, .. } => {
-                out.push_str(&format!("{pad}Filter\n"));
-                input.explain_into(depth + 1, out);
-            }
-            Plan::NestedLoopJoin { left, right, .. } => {
-                out.push_str(&format!("{pad}NestedLoopJoin\n"));
-                left.explain_into(depth + 1, out);
-                right.explain_into(depth + 1, out);
-            }
+            } => format!("KeywordScan {table} AS {alias} USING {index} FOR {keyword:?}"),
+            Plan::Filter { .. } => "Filter".to_string(),
+            Plan::NestedLoopJoin { .. } => "NestedLoopJoin".to_string(),
             Plan::HashJoin {
-                left,
-                right,
-                left_keys,
-                semi,
-                ..
+                left_keys, semi, ..
             } => {
                 let kind = if *semi { "HashSemiJoin" } else { "HashJoin" };
-                out.push_str(&format!("{pad}{kind} ({} keys)\n", left_keys.len()));
-                left.explain_into(depth + 1, out);
-                right.explain_into(depth + 1, out);
+                format!("{kind} ({} keys)", left_keys.len())
             }
-            Plan::Project {
-                input,
-                items,
-                visible,
-            } => {
-                out.push_str(&format!(
-                    "{pad}Project [{}]{}\n",
-                    items
-                        .iter()
-                        .take(*visible)
-                        .map(|i| i.name.as_str())
-                        .collect::<Vec<_>>()
-                        .join(", "),
-                    if items.len() > *visible {
-                        " (+hidden sort keys)"
-                    } else {
-                        ""
-                    },
-                ));
-                input.explain_into(depth + 1, out);
-            }
+            Plan::Project { items, visible, .. } => format!(
+                "Project [{}]{}",
+                items
+                    .iter()
+                    .take(*visible)
+                    .map(|i| i.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                if items.len() > *visible {
+                    " (+hidden sort keys)"
+                } else {
+                    ""
+                },
+            ),
             Plan::Aggregate {
-                input,
                 group_by,
                 items,
                 visible,
-            } => {
-                out.push_str(&format!(
-                    "{pad}Aggregate groups={} [{}]\n",
-                    group_by.len(),
-                    items
-                        .iter()
-                        .take(*visible)
-                        .map(|i| i.name.as_str())
-                        .collect::<Vec<_>>()
-                        .join(", "),
-                ));
-                input.explain_into(depth + 1, out);
-            }
-            Plan::Sort { input, keys } => {
-                out.push_str(&format!("{pad}Sort ({} keys)\n", keys.len()));
-                input.explain_into(depth + 1, out);
-            }
+                ..
+            } => format!(
+                "Aggregate groups={} [{}]",
+                group_by.len(),
+                items
+                    .iter()
+                    .take(*visible)
+                    .map(|i| i.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            ),
+            Plan::Sort { keys, .. } => format!("Sort ({} keys)", keys.len()),
             Plan::TopK {
-                input,
                 keys,
                 limit,
                 offset,
-            } => {
-                out.push_str(&format!(
-                    "{pad}TopK {limit} OFFSET {offset} ({} keys)\n",
-                    keys.len()
-                ));
-                input.explain_into(depth + 1, out);
-            }
-            Plan::Distinct { input, .. } => {
-                out.push_str(&format!("{pad}Distinct\n"));
-                input.explain_into(depth + 1, out);
-            }
-            Plan::Limit {
-                input,
-                limit,
-                offset,
-            } => {
-                out.push_str(&format!("{pad}Limit {limit:?} OFFSET {offset}\n"));
-                input.explain_into(depth + 1, out);
+                ..
+            } => format!("TopK {limit} OFFSET {offset} ({} keys)", keys.len()),
+            Plan::Distinct { .. } => "Distinct".to_string(),
+            Plan::Limit { limit, offset, .. } => format!("Limit {limit:?} OFFSET {offset}"),
+        }
+    }
+
+    /// This operator's inputs, in plan (and `explain`) order.
+    pub fn children(&self) -> Vec<&Plan> {
+        match self {
+            Plan::Scan { .. } | Plan::IndexScan { .. } | Plan::KeywordScan { .. } => Vec::new(),
+            Plan::Filter { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::TopK { input, .. }
+            | Plan::Distinct { input, .. }
+            | Plan::Limit { input, .. } => vec![input],
+            Plan::NestedLoopJoin { left, right, .. } | Plan::HashJoin { left, right, .. } => {
+                vec![left, right]
             }
         }
     }
@@ -311,17 +289,7 @@ impl Plan {
     pub fn uses_index(&self) -> bool {
         match self {
             Plan::IndexScan { .. } | Plan::KeywordScan { .. } => true,
-            Plan::Scan { .. } => false,
-            Plan::Filter { input, .. }
-            | Plan::Project { input, .. }
-            | Plan::Aggregate { input, .. }
-            | Plan::Sort { input, .. }
-            | Plan::TopK { input, .. }
-            | Plan::Distinct { input, .. }
-            | Plan::Limit { input, .. } => input.uses_index(),
-            Plan::NestedLoopJoin { left, right, .. } | Plan::HashJoin { left, right, .. } => {
-                left.uses_index() || right.uses_index()
-            }
+            _ => self.children().into_iter().any(Plan::uses_index),
         }
     }
 }

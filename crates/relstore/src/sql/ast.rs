@@ -259,6 +259,15 @@ pub struct SelectStmt {
 pub enum Statement {
     /// `SELECT ...`.
     Select(SelectStmt),
+    /// `EXPLAIN [ANALYZE] SELECT ...`: renders the plan (and, with
+    /// `ANALYZE`, executes it and annotates each operator with observed
+    /// rows and wall-time).
+    Explain {
+        /// Whether to execute the statement and report runtime figures.
+        analyze: bool,
+        /// The statement being explained (only `SELECT` is accepted).
+        inner: Box<Statement>,
+    },
     /// `CREATE TABLE name (col TYPE, ...)`.
     CreateTable {
         /// Table name.

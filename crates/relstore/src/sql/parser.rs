@@ -92,6 +92,16 @@ impl SqlParser {
     // ---- statements -------------------------------------------------------
 
     fn statement(&mut self) -> RelResult<Statement> {
+        if self.eat_kw("EXPLAIN") {
+            let analyze = self.eat_kw("ANALYZE");
+            if !self.peek().is_some_and(|t| t.is_kw("SELECT")) {
+                return Err(RelError::Parse(
+                    "EXPLAIN [ANALYZE] supports only SELECT statements".into(),
+                ));
+            }
+            let inner = Box::new(Statement::Select(self.select()?));
+            return Ok(Statement::Explain { analyze, inner });
+        }
         if self.peek().is_some_and(|t| t.is_kw("SELECT")) {
             return Ok(Statement::Select(self.select()?));
         }

@@ -1,0 +1,165 @@
+//! `EXPLAIN ANALYZE` behaviour: golden profile tree over a known plan,
+//! per-operator row accounting, the self-time-sums-to-total invariant the
+//! issue pins at ±10%, and the SQL-level `EXPLAIN [ANALYZE]` statements.
+
+use xomatiq_relstore::{Database, Value};
+
+fn big_db(n: i64) -> Database {
+    let db = Database::in_memory();
+    db.execute("CREATE TABLE big (a INT, b TEXT)").unwrap();
+    let stmts: Vec<String> = (0..n)
+        .map(|i| format!("INSERT INTO big VALUES ({i}, 'row{i}')"))
+        .collect();
+    let refs: Vec<&str> = stmts.iter().map(|s| s.as_str()).collect();
+    db.execute_batch(&refs).unwrap();
+    db
+}
+
+/// Replaces the (nondeterministic) time fields so profile renders can be
+/// compared against a golden string.
+fn normalize(rendered: &str) -> String {
+    rendered
+        .lines()
+        .filter(|l| !l.starts_with("(total:"))
+        .map(|l| match l.find(" self=") {
+            Some(i) => format!("{} self=_]", &l[..i]),
+            None => l.to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn golden_profile_over_three_operator_plan() {
+    let db = big_db(1_000);
+    let analyzed = db
+        .explain_analyze_query("SELECT a FROM big WHERE a < 3")
+        .unwrap();
+    assert_eq!(analyzed.result.rows().len(), 3);
+    let got = normalize(&analyzed.render());
+    let want = "\
+Project [a]  [rows_in=3 rows_out=3 self=_]
+  Filter  [rows_in=1000 rows_out=3 self=_]
+    Scan big AS big  [rows_in=1000 rows_out=1000 self=_]";
+    assert_eq!(got, want);
+    // The footer carries the executor counters.
+    assert!(
+        analyzed.render().contains("rows scanned: 1000"),
+        "{}",
+        analyzed.render()
+    );
+}
+
+#[test]
+fn filter_join_topk_times_sum_to_total_within_ten_percent() {
+    // The acceptance-criteria query shape: filter + hash join + Top-K.
+    let db = Database::in_memory();
+    db.execute("CREATE TABLE facts (id INT, v INT)").unwrap();
+    db.execute("CREATE TABLE dims (id INT, name TEXT)").unwrap();
+    let stmts: Vec<String> = (0..20_000)
+        .map(|i| format!("INSERT INTO facts VALUES ({}, {i})", i % 64))
+        .collect();
+    let refs: Vec<&str> = stmts.iter().map(|s| s.as_str()).collect();
+    db.execute_batch(&refs).unwrap();
+    for i in 0..64 {
+        db.execute(&format!("INSERT INTO dims VALUES ({i}, 'n{i}')"))
+            .unwrap();
+    }
+    let sql = "SELECT f.v, d.name FROM facts f, dims d \
+               WHERE f.id = d.id AND f.v < 10000 \
+               ORDER BY f.v DESC LIMIT 5";
+    let analyzed = db.explain_analyze_query(sql).unwrap();
+    assert_eq!(analyzed.result.rows().len(), 5);
+    assert_eq!(analyzed.result.rows()[0][0], Value::Int(9999));
+
+    // The profile tree contains the three interesting operators, each
+    // with rows-in/rows-out accounted.
+    let rendered = analyzed.render();
+    assert!(rendered.contains("TopK 5 OFFSET 0"), "{rendered}");
+    assert!(rendered.contains("HashJoin"), "{rendered}");
+    assert!(rendered.contains("Filter"), "{rendered}");
+    let mut stack = vec![&analyzed.profile];
+    let mut ops = 0usize;
+    while let Some(node) = stack.pop() {
+        ops += 1;
+        // Streaming operators can't produce more than they consume
+        // (leaves report rows_in == rows_out by definition).
+        assert!(
+            node.rows_out <= node.rows_in.max(1),
+            "{}: rows_in={} rows_out={}",
+            node.op,
+            node.rows_in,
+            node.rows_out
+        );
+        assert!(node.elapsed_ns <= node.total_ns, "{}", node.op);
+        stack.extend(node.children.iter());
+    }
+    assert!(ops >= 5, "expected a filter+join+topk tree, got {rendered}");
+
+    // Exclusive per-operator times must sum (within ±10%) to the total
+    // measured execution time.
+    let sum = analyzed.profile.tree_elapsed_ns() as f64;
+    let total = analyzed.total_ns as f64;
+    assert!(
+        (sum - total).abs() <= total * 0.10,
+        "per-operator sum {sum}ns vs total {total}ns drifts more than 10%:\n{rendered}"
+    );
+}
+
+#[test]
+fn explain_statement_matches_database_explain() {
+    let db = big_db(10);
+    let rs = db.execute("EXPLAIN SELECT a FROM big LIMIT 2").unwrap();
+    assert_eq!(rs.columns(), ["plan"]);
+    let lines: Vec<String> = rs
+        .rows()
+        .iter()
+        .map(|r| match &r[0] {
+            Value::Text(s) => s.clone(),
+            other => panic!("{other:?}"),
+        })
+        .collect();
+    let explain = db.explain("SELECT a FROM big LIMIT 2").unwrap();
+    let want: Vec<&str> = explain.lines().collect();
+    assert_eq!(lines, want);
+}
+
+#[test]
+fn explain_analyze_statement_reports_rows_and_total() {
+    let db = big_db(100);
+    let rs = db
+        .execute("EXPLAIN ANALYZE SELECT a FROM big WHERE a >= 90")
+        .unwrap();
+    let text: Vec<String> = rs.rows().iter().map(|r| r[0].to_string()).collect();
+    let joined = text.join("\n");
+    assert!(joined.contains("rows_out=10"), "{joined}");
+    assert!(joined.contains("(total:"), "{joined}");
+    // EXPLAIN ANALYZE of DML is rejected at parse time.
+    let err = db.execute("EXPLAIN ANALYZE DELETE FROM big").unwrap_err();
+    assert!(err.to_string().contains("SELECT"), "{err}");
+}
+
+#[test]
+fn analyze_reports_index_and_keyword_counters() {
+    let db = Database::in_memory();
+    db.execute("CREATE TABLE t (a INT, s TEXT)").unwrap();
+    db.execute("CREATE INDEX idx_a ON t (a)").unwrap();
+    db.execute("CREATE KEYWORD INDEX kw_s ON t (s)").unwrap();
+    for i in 0..100 {
+        let s = if i % 10 == 0 { "needle here" } else { "hay" };
+        db.execute(&format!("INSERT INTO t VALUES ({i}, '{s}')"))
+            .unwrap();
+    }
+    let analyzed = db
+        .explain_analyze_query("SELECT a FROM t WHERE a = 42")
+        .unwrap();
+    assert_eq!(analyzed.stats.index_probes, 1);
+    assert_eq!(analyzed.stats.rows_scanned, 1);
+    assert!(analyzed.render().contains("index probes: 1"));
+
+    let analyzed = db
+        .explain_analyze_query("SELECT a FROM t WHERE CONTAINS(s, 'needle')")
+        .unwrap();
+    assert_eq!(analyzed.stats.index_probes, 1);
+    assert_eq!(analyzed.stats.keyword_postings_read, 10);
+}

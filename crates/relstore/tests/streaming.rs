@@ -26,6 +26,9 @@ fn limit_over_scan_stops_pulling_and_buffers_nothing() {
     assert_eq!(stats.rows_scanned, 10, "{stats:?}");
     assert_eq!(stats.buffered_peak, 0, "{stats:?}");
     assert_eq!(stats.rows_emitted, 10);
+    // No index exists, so the access path must not report probes.
+    assert_eq!(stats.index_probes, 0, "{stats:?}");
+    assert_eq!(stats.keyword_postings_read, 0, "{stats:?}");
 
     // OFFSET still only pulls offset + limit rows.
     let (rs, stats) = db
@@ -63,6 +66,52 @@ fn topk_buffers_only_k_rows() {
     // Top-K must read everything but retain only the k best rows.
     assert_eq!(stats.rows_scanned, 10_000, "{stats:?}");
     assert_eq!(stats.buffered_peak, 5, "{stats:?}");
+    assert_eq!(stats.index_probes, 0, "{stats:?}");
+}
+
+#[test]
+fn index_scan_probes_once_and_reads_only_matches() {
+    // The O(k) bound for point lookups: with 10 000 rows and an index on
+    // `a`, an equality query must touch one row via one probe.
+    let db = big_db(10_000);
+    db.execute("CREATE INDEX idx_big_a ON big (a)").unwrap();
+    assert!(db
+        .explain("SELECT b FROM big WHERE a = 4321")
+        .unwrap()
+        .contains("IndexScan"));
+    let (rs, stats) = db
+        .query_with_stats("SELECT b FROM big WHERE a = 4321")
+        .unwrap();
+    assert_eq!(rs.rows().len(), 1);
+    assert_eq!(stats.index_probes, 1, "{stats:?}");
+    assert_eq!(stats.rows_scanned, 1, "{stats:?}");
+    assert_eq!(stats.keyword_postings_read, 0, "{stats:?}");
+}
+
+#[test]
+fn keyword_scan_counts_probe_and_postings() {
+    let db = Database::in_memory();
+    db.execute("CREATE TABLE docs (id INT, body TEXT)").unwrap();
+    db.execute("CREATE KEYWORD INDEX kw_body ON docs (body)")
+        .unwrap();
+    for i in 0..1_000 {
+        let body = if i % 100 == 0 {
+            "rare keyword"
+        } else {
+            "filler"
+        };
+        db.execute(&format!("INSERT INTO docs VALUES ({i}, '{body}')"))
+            .unwrap();
+    }
+    let (rs, stats) = db
+        .query_with_stats("SELECT id FROM docs WHERE CONTAINS(body, 'rare')")
+        .unwrap();
+    assert_eq!(rs.rows().len(), 10);
+    // One inverted-index lookup; the posting list carries exactly the 10
+    // matching row ids, and only those rows are fetched.
+    assert_eq!(stats.index_probes, 1, "{stats:?}");
+    assert_eq!(stats.keyword_postings_read, 10, "{stats:?}");
+    assert_eq!(stats.rows_scanned, 10, "{stats:?}");
 }
 
 #[test]

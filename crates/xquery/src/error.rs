@@ -23,6 +23,10 @@ pub enum QueryError {
     },
     /// The query uses a construct the translator does not support.
     Unsupported(String),
+    /// An invariant inside the translator itself failed — a bug surfaced
+    /// as a typed error rather than a panic, so one bad query cannot take
+    /// the process down.
+    Internal(String),
 }
 
 impl fmt::Display for QueryError {
@@ -39,6 +43,7 @@ impl fmt::Display for QueryError {
                 "path {pattern:?} matches nothing in collection {collection:?}"
             ),
             QueryError::Unsupported(m) => write!(f, "unsupported query construct: {m}"),
+            QueryError::Internal(m) => write!(f, "internal translator error: {m}"),
         }
     }
 }

@@ -44,9 +44,17 @@ pub fn translate(
     query: &FlwrQuery,
     provider: &dyn CatalogProvider,
 ) -> QueryResult<TranslatedQuery> {
-    let inlined = inline_lets(query)?;
-    let mut t = Translator::new(provider);
-    t.run(&inlined)
+    let _span = xomatiq_obs::span!("xquery.xq2sql.translate");
+    let result = (|| {
+        let inlined = inline_lets(query)?;
+        let mut t = Translator::new(provider);
+        t.run(&inlined)
+    })();
+    if result.is_err() {
+        // A bad query is a counter tick, never a panic.
+        xomatiq_obs::global().counter("xquery.xq2sql.errors").inc();
+    }
+    result
 }
 
 /// Rewrites LET variables away: every use of a LET variable becomes the
@@ -277,14 +285,16 @@ impl<'a> Translator<'a> {
         let mut used_names: HashMap<String, usize> = HashMap::new();
         for item in &query.return_items {
             let vr = self.resolve(&item.path)?;
-            let mut name = sanitize_column(&item.output_name());
-            let n = used_names.entry(name.clone()).or_insert(0);
-            if *n > 0 {
-                name = format!("{name}_{n}");
-            }
-            *used_names
-                .get_mut(&sanitize_column(&item.output_name()))
-                .expect("inserted") += 1;
+            let base = sanitize_column(&item.output_name());
+            // Deduplicate output names via the entry's own counter; no
+            // second lookup that could miss and panic.
+            let n = used_names.entry(base.clone()).or_insert(0);
+            let name = if *n > 0 {
+                format!("{base}_{n}")
+            } else {
+                base.clone()
+            };
+            *n += 1;
             select.push(format!("{} AS {name}", vr.text));
             columns.push(name);
         }
@@ -497,7 +507,9 @@ impl<'a> Translator<'a> {
                         None => self.binding(&target.var)?.path.clone(),
                     };
                     let mut matched = expand(&catalog, &full);
-                    let below = full.join(&LabelPath::parse("//*").expect("static pattern"));
+                    let below = full.join(&LabelPath::parse("//*").map_err(|e| {
+                        QueryError::Internal(format!("subtree pattern failed to parse: {e}"))
+                    })?);
                     matched.extend(expand(&catalog, &below));
                     matched.sort();
                     matched.dedup();

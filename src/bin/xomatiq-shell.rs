@@ -15,6 +15,9 @@
 //! dtd <collection>                 show a collection's DTD (the GUI left panel)
 //! doc <collection> <entry-key>     reconstruct + print one document
 //! explain <flwr-query>             show generated SQL + plan
+//! .explain <sql>                   show a SQL statement's plan tree
+//! .explain analyze <sql>           run the SQL, print per-operator profile
+//! .stats                           dump the process metrics registry
 //! xml                              toggle XML result view (default: table)
 //! FOR ...                          any FLWR query, run immediately
 //! help | quit
@@ -175,6 +178,29 @@ fn main() {
                     Err(e) => println!("{e}"),
                 }
             }
+            Some(cmd) if cmd.eq_ignore_ascii_case(".stats") => {
+                print!("{}", xomatiq_obs::global().snapshot().render_text());
+            }
+            Some(cmd) if cmd.eq_ignore_ascii_case(".explain") => {
+                let rest = trimmed[cmd.len()..].trim();
+                if rest.is_empty() {
+                    println!("usage: .explain [analyze] SELECT ...");
+                    continue;
+                }
+                let analyze = rest
+                    .split_whitespace()
+                    .next()
+                    .is_some_and(|w| w.eq_ignore_ascii_case("analyze"));
+                let result = if analyze {
+                    xq.db().explain_analyze(rest["analyze".len()..].trim())
+                } else {
+                    xq.db().explain(rest)
+                };
+                match result {
+                    Ok(text) => print!("{text}"),
+                    Err(e) => println!("{e}"),
+                }
+            }
             Some(cmd) if cmd.eq_ignore_ascii_case("FOR") => {
                 // Start of a (possibly multi-line) query.
                 buffer = trimmed.trim_end_matches(';').to_string();
@@ -249,6 +275,9 @@ collections | stats               list what is loaded
 dtd <collection>                  show a collection's DTD
 doc <collection> <entry-key>      reconstruct and print one document
 explain FOR ... RETURN ...        show generated SQL and plan
+.explain SELECT ...               show a SQL statement's plan tree
+.explain analyze SELECT ...       run the SQL and print the per-operator profile
+.stats                            dump the process metrics registry
 xml                               toggle XML result view
 FOR ... RETURN ... ;              run a FLWR query (end with ';' or blank line)
 quit
