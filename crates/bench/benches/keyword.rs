@@ -37,8 +37,8 @@ fn bench_keyword(c: &mut Criterion) {
                 &scale,
                 |b, _| {
                     b.iter(|| {
-                        let rs = xq.db().execute(raw).expect("raw query runs");
-                        std::hint::black_box(rs.rows().len())
+                        let out = xq.db().query(raw).run().expect("raw query runs");
+                        std::hint::black_box(out.rows.rows().len())
                     });
                 },
             );

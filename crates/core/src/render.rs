@@ -5,6 +5,7 @@
 //! documents satisfying the query" on the right. These functions produce
 //! the textual equivalents for CLI applications and the examples.
 
+use xomatiq_relstore::{ResultSet, Value};
 use xomatiq_xml::document::NodeKind;
 use xomatiq_xml::{Document, NodeId};
 
@@ -12,9 +13,19 @@ use crate::warehouse::QueryOutcome;
 
 /// Renders a query outcome as an ASCII table (the "simple table format").
 pub fn render_table(outcome: &QueryOutcome) -> String {
-    let mut widths: Vec<usize> = outcome.columns.iter().map(String::len).collect();
-    let rendered: Vec<Vec<String>> = outcome
-        .rows
+    render_rows(&outcome.columns, &outcome.rows)
+}
+
+/// Renders a raw relstore [`ResultSet`] (as produced by the `Query`
+/// builder) in the same table format — the shell's direct-SQL view.
+pub fn render_result_set(rs: &ResultSet) -> String {
+    render_rows(rs.columns(), rs.rows())
+}
+
+/// Renders arbitrary columns + rows as an ASCII table.
+pub fn render_rows(columns: &[String], rows: &[Vec<Value>]) -> String {
+    let mut widths: Vec<usize> = columns.iter().map(String::len).collect();
+    let rendered: Vec<Vec<String>> = rows
         .iter()
         .map(|r| r.iter().map(|v| v.to_string()).collect())
         .collect();
@@ -36,7 +47,7 @@ pub fn render_table(outcome: &QueryOutcome) -> String {
     };
     sep(&mut out);
     out.push('|');
-    for (c, w) in outcome.columns.iter().zip(&widths) {
+    for (c, w) in columns.iter().zip(&widths) {
         out.push_str(&format!(" {c:<w$} |"));
     }
     out.push('\n');
@@ -49,7 +60,7 @@ pub fn render_table(outcome: &QueryOutcome) -> String {
         out.push('\n');
     }
     sep(&mut out);
-    out.push_str(&format!("({} rows)\n", outcome.rows.len()));
+    out.push_str(&format!("({} rows)\n", rows.len()));
     out
 }
 

@@ -7,7 +7,7 @@
 //! XML-publishing work of Shanmugasundaram et al.); full source-document
 //! reconstruction is provided by [`crate::Xomatiq::reconstruct`].
 
-use xomatiq_relstore::Value;
+use xomatiq_relstore::{ResultSet, Value};
 use xomatiq_xml::{Document, XmlResult};
 
 use crate::warehouse::QueryOutcome;
@@ -28,6 +28,13 @@ use crate::warehouse::QueryOutcome;
 /// between absent and empty survives tagging.
 pub fn tag_results(outcome: &QueryOutcome) -> XmlResult<Document> {
     tag_rows("results", "result", &outcome.columns, &outcome.rows)
+}
+
+/// Tags a raw SQL [`ResultSet`] (as produced by the relstore `Query`
+/// builder) as an XML document, reusing the result set's own column
+/// names — the path the shell's direct-SQL mode renders through.
+pub fn tag_result_set(rs: &ResultSet) -> XmlResult<Document> {
+    tag_rows("results", "result", rs.columns(), rs.rows())
 }
 
 /// Tags arbitrary rows under configurable element names.

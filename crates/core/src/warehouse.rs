@@ -152,8 +152,10 @@ impl Xomatiq {
         let translated = translate(query, self)?;
         let rs = self
             .db
-            .execute(&translated.sql)
-            .map_err(|e| XomatiqError::Execution(format!("{e} (SQL: {})", translated.sql)))?;
+            .query(&translated.sql)
+            .run()
+            .map_err(|e| XomatiqError::Execution(format!("{e} (SQL: {})", translated.sql)))?
+            .rows;
         Ok(QueryOutcome {
             columns: translated.columns,
             rows: rs.into_rows(),

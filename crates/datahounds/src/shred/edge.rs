@@ -96,18 +96,26 @@ pub(crate) fn emit_rows(doc: &Document, _doc_id: u64) -> EmittedRows {
 /// Rebuilds document `doc_id` from Edge rows.
 pub(crate) fn reconstruct(db: &Database, prefix: &str, doc_id: u64) -> HoundResult<Document> {
     // Rows ordered by node_id = document order; parents precede children.
-    let rows = db.execute(&format!(
-        "SELECT node_id, parent_id, kind, name, val FROM {prefix}_nodes \
-         WHERE doc_id = {doc_id} ORDER BY node_id"
-    ))?;
+    let rows = db
+        .query(&format!(
+            "SELECT node_id, parent_id, kind, name, val FROM {prefix}_nodes \
+             WHERE doc_id = ? ORDER BY node_id"
+        ))
+        .bind(doc_id as i64)
+        .run()?
+        .rows;
     if rows.rows().is_empty() {
         return Err(HoundError::Pipeline(format!(
             "document {doc_id} has no tuples in {prefix}_nodes"
         )));
     }
-    let attrs = db.execute(&format!(
-        "SELECT owner, aname, aval FROM {prefix}_attrs WHERE doc_id = {doc_id} ORDER BY owner"
-    ))?;
+    let attrs = db
+        .query(&format!(
+            "SELECT owner, aname, aval FROM {prefix}_attrs WHERE doc_id = ? ORDER BY owner"
+        ))
+        .bind(doc_id as i64)
+        .run()?
+        .rows;
 
     let mut doc = Document::new();
     // Source node_id → rebuilt NodeId.

@@ -124,18 +124,26 @@ fn walk(
 
 /// Rebuilds document `doc_id` from Interval rows using a region stack.
 pub(crate) fn reconstruct(db: &Database, prefix: &str, doc_id: u64) -> HoundResult<Document> {
-    let rows = db.execute(&format!(
-        "SELECT start, stop, kind, name, val FROM {prefix}_nodes \
-         WHERE doc_id = {doc_id} ORDER BY start"
-    ))?;
+    let rows = db
+        .query(&format!(
+            "SELECT start, stop, kind, name, val FROM {prefix}_nodes \
+             WHERE doc_id = ? ORDER BY start"
+        ))
+        .bind(doc_id as i64)
+        .run()?
+        .rows;
     if rows.rows().is_empty() {
         return Err(HoundError::Pipeline(format!(
             "document {doc_id} has no tuples in {prefix}_nodes"
         )));
     }
-    let attrs = db.execute(&format!(
-        "SELECT owner, aname, aval FROM {prefix}_attrs WHERE doc_id = {doc_id} ORDER BY owner"
-    ))?;
+    let attrs = db
+        .query(&format!(
+            "SELECT owner, aname, aval FROM {prefix}_attrs WHERE doc_id = ? ORDER BY owner"
+        ))
+        .bind(doc_id as i64)
+        .run()?
+        .rows;
 
     let mut doc = Document::new();
     // Stack of (rebuilt id, stop): the parent of the next node is the

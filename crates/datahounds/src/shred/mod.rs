@@ -108,49 +108,59 @@ pub fn collection_prefix(collection: &str) -> String {
 /// columns; unused columns hold NULL, which keeps reconstruction and
 /// XQ2SQL generation uniform.
 pub fn create_collection_tables(db: &Database, prefix: &str) -> RelResult<()> {
-    db.execute(&format!(
+    db.query(&format!(
         "CREATE TABLE {prefix}_docs (doc_id INT, entry_key TEXT, root TEXT)"
-    ))?;
-    db.execute(&format!(
+    ))
+    .run()?;
+    db.query(&format!(
         "CREATE TABLE {prefix}_nodes (doc_id INT, node_id INT, parent_id INT, ord INT, \
          start INT, stop INT, level INT, kind TEXT, name TEXT, path TEXT, val TEXT, \
          num_val FLOAT, is_seq INT)"
-    ))?;
-    db.execute(&format!(
+    ))
+    .run()?;
+    db.query(&format!(
         "CREATE TABLE {prefix}_attrs (doc_id INT, owner INT, aname TEXT, aval TEXT, \
          num_val FLOAT, path TEXT)"
-    ))?;
-    db.execute(&format!("CREATE TABLE {prefix}_paths (path TEXT)"))?;
+    ))
+    .run()?;
+    db.query(&format!("CREATE TABLE {prefix}_paths (path TEXT)"))
+        .run()?;
     Ok(())
 }
 
 /// Creates the paper's §3.2 index set over a collection's tables.
 pub fn create_collection_indexes(db: &Database, prefix: &str) -> RelResult<()> {
-    db.execute(&format!(
+    db.query(&format!(
         "CREATE INDEX {prefix}_nodes_path ON {prefix}_nodes (path, val)"
-    ))?;
-    db.execute(&format!(
+    ))
+    .run()?;
+    db.query(&format!(
         "CREATE INDEX {prefix}_nodes_doc ON {prefix}_nodes (doc_id)"
-    ))?;
-    db.execute(&format!(
+    ))
+    .run()?;
+    db.query(&format!(
         "CREATE INDEX {prefix}_attrs_path ON {prefix}_attrs (path, aval)"
-    ))?;
-    db.execute(&format!(
+    ))
+    .run()?;
+    db.query(&format!(
         "CREATE INDEX {prefix}_attrs_doc ON {prefix}_attrs (doc_id)"
-    ))?;
-    db.execute(&format!(
+    ))
+    .run()?;
+    db.query(&format!(
         "CREATE INDEX {prefix}_docs_doc ON {prefix}_docs (doc_id)"
-    ))?;
-    db.execute(&format!(
+    ))
+    .run()?;
+    db.query(&format!(
         "CREATE KEYWORD INDEX {prefix}_nodes_kw ON {prefix}_nodes (val)"
-    ))?;
+    ))
+    .run()?;
     Ok(())
 }
 
 /// Drops a collection's tables (used by full re-loads).
 pub fn drop_collection_tables(db: &Database, prefix: &str) -> RelResult<()> {
     for table in ["docs", "nodes", "attrs", "paths"] {
-        db.execute(&format!("DROP TABLE {prefix}_{table}"))?;
+        db.query(&format!("DROP TABLE {prefix}_{table}")).run()?;
     }
     Ok(())
 }
@@ -233,10 +243,11 @@ pub fn shred_statements(
     new_paths.sort();
     new_paths.dedup();
     let known: std::collections::HashSet<String> = db
-        .execute(&format!("SELECT path FROM {prefix}_paths"))?
-        .rows()
-        .iter()
-        .filter_map(|r| r[0].as_text().map(str::to_string))
+        .query(&format!("SELECT path FROM {prefix}_paths"))
+        .run()?
+        .rows
+        .into_iter()
+        .filter_map(|row| row.try_get::<String>("path").ok().flatten())
         .collect();
     let fresh: Vec<String> = new_paths
         .into_iter()

@@ -253,29 +253,51 @@ impl DataHounds {
     /// metadata from the warehouse if present.
     pub fn new(db: Arc<Database>) -> HoundResult<DataHounds> {
         if !db.table_names().iter().any(|t| t == "hlx_collections") {
-            db.execute(
+            db.query(
                 "CREATE TABLE hlx_collections (name TEXT, prefix TEXT, kind TEXT, \
                  strategy TEXT, dtd TEXT)",
-            )?;
+            )
+            .run()?;
         }
         if !db.table_names().iter().any(|t| t == "hlx_quarantine") {
-            db.execute(
+            db.query(
                 "CREATE TABLE hlx_quarantine (collection TEXT, entry_key TEXT, \
                  reason TEXT, raw TEXT)",
-            )?;
+            )
+            .run()?;
         }
         let mut collections = BTreeMap::new();
-        let rows = db.execute("SELECT name, prefix, kind, strategy, dtd FROM hlx_collections")?;
-        for row in rows.rows() {
-            let name = row[0].as_text().unwrap_or_default().to_string();
-            let prefix = row[1].as_text().unwrap_or_default().to_string();
-            let kind = SourceKind::from_name(row[2].as_text().unwrap_or_default())
-                .ok_or_else(|| HoundError::Pipeline("corrupt collection kind".into()))?;
-            let strategy = ShreddingStrategy::from_name(row[3].as_text().unwrap_or_default())
-                .ok_or_else(|| HoundError::Pipeline("corrupt collection strategy".into()))?;
-            let dtd = xomatiq_xml::dtd::parse_dtd(row[4].as_text().unwrap_or_default())?;
+        let rows = db
+            .query("SELECT name, prefix, kind, strategy, dtd FROM hlx_collections")
+            .run()?
+            .rows;
+        for row in rows {
+            let name: String = row.try_get("name").ok().flatten().unwrap_or_default();
+            let prefix: String = row.try_get("prefix").ok().flatten().unwrap_or_default();
+            let kind = SourceKind::from_name(
+                &row.try_get::<String>("kind")
+                    .ok()
+                    .flatten()
+                    .unwrap_or_default(),
+            )
+            .ok_or_else(|| HoundError::Pipeline("corrupt collection kind".into()))?;
+            let strategy = ShreddingStrategy::from_name(
+                &row.try_get::<String>("strategy")
+                    .ok()
+                    .flatten()
+                    .unwrap_or_default(),
+            )
+            .ok_or_else(|| HoundError::Pipeline("corrupt collection strategy".into()))?;
+            let dtd = xomatiq_xml::dtd::parse_dtd(
+                &row.try_get::<String>("dtd")
+                    .ok()
+                    .flatten()
+                    .unwrap_or_default(),
+            )?;
             let max_doc = db
-                .execute(&format!("SELECT MAX(doc_id) FROM {prefix}_docs"))?
+                .query(&format!("SELECT MAX(doc_id) FROM {prefix}_docs"))
+                .run()?
+                .rows
                 .rows()
                 .first()
                 .and_then(|r| r[0].as_int())
@@ -430,9 +452,11 @@ impl DataHounds {
         // row; the leftovers would make the re-load fail on CREATE TABLE.
         self.sweep_orphan_tables(&prefix)?;
         create_collection_tables(&self.db, &prefix)?;
-        self.db.execute(&format!(
-            "CREATE TABLE {prefix}_src (doc_id INT, entry_key TEXT, flat TEXT)"
-        ))?;
+        self.db
+            .query(&format!(
+                "CREATE TABLE {prefix}_src (doc_id INT, entry_key TEXT, flat TEXT)"
+            ))
+            .run()?;
 
         let mut stats = ShredStats::default();
         let mut doc_id = 0u64;
@@ -474,18 +498,20 @@ impl DataHounds {
         // Indexes are built after the bulk load, like a sane warehouse.
         if options.with_indexes {
             create_collection_indexes(&self.db, &prefix)?;
-            self.db.execute(&format!(
-                "CREATE INDEX {prefix}_src_doc ON {prefix}_src (doc_id)"
-            ))?;
+            self.db
+                .query(&format!(
+                    "CREATE INDEX {prefix}_src_doc ON {prefix}_src (doc_id)"
+                ))
+                .run()?;
         }
-        self.db.execute(&format!(
-            "INSERT INTO hlx_collections VALUES ('{}', '{}', '{}', '{}', '{}')",
-            sql_quote(name),
-            sql_quote(&prefix),
-            kind.name(),
-            options.strategy.name(),
-            sql_quote(dtd_text)
-        ))?;
+        self.db
+            .query("INSERT INTO hlx_collections VALUES (?, ?, ?, ?, ?)")
+            .bind(name)
+            .bind(prefix.as_str())
+            .bind(kind.name())
+            .bind(options.strategy.name())
+            .bind(dtd_text)
+            .run()?;
         self.record_quarantine(name, &rejected)?;
         self.collections.lock().insert(
             name.to_string(),
@@ -553,13 +579,15 @@ impl DataHounds {
         // Old snapshot: entry key → (doc_id, serialized source).
         let rows = self
             .db
-            .execute(&format!("SELECT doc_id, entry_key, flat FROM {prefix}_src"))?;
+            .query(&format!("SELECT doc_id, entry_key, flat FROM {prefix}_src"))
+            .run()?
+            .rows;
         let mut old_docs: BTreeMap<String, u64> = BTreeMap::new();
         let mut old_snapshot: BTreeMap<String, String> = BTreeMap::new();
-        for row in rows.rows() {
-            let doc_id = row[0].as_int().unwrap_or(0) as u64;
-            let key = row[1].as_text().unwrap_or_default().to_string();
-            let flat = row[2].as_text().unwrap_or_default().to_string();
+        for row in rows {
+            let doc_id = row.try_get::<i64>("doc_id").ok().flatten().unwrap_or(0) as u64;
+            let key: String = row.try_get("entry_key").ok().flatten().unwrap_or_default();
+            let flat: String = row.try_get("flat").ok().flatten().unwrap_or_default();
             old_docs.insert(key.clone(), doc_id);
             old_snapshot.insert(key, flat);
         }
@@ -660,7 +688,7 @@ impl DataHounds {
                 .strip_prefix(prefix)
                 .is_some_and(|rest| rest.starts_with('_'));
             if orphan {
-                self.db.execute(&format!("DROP TABLE {table}"))?;
+                self.db.query(&format!("DROP TABLE {table}")).run()?;
             }
         }
         Ok(())
@@ -672,19 +700,24 @@ impl DataHounds {
         collection: &str,
         rejected: &[QuarantineRecord],
     ) -> HoundResult<()> {
-        self.db.execute(&format!(
-            "DELETE FROM hlx_quarantine WHERE collection = '{}'",
-            sql_quote(collection)
-        ))?;
+        self.db
+            .query("DELETE FROM hlx_quarantine WHERE collection = ?")
+            .bind(collection)
+            .run()?;
         metrics::ingest().quarantined.add(rejected.len() as u64);
+        // One parse for the whole loop: bound parameters replace the old
+        // per-record SQL-escaping dance.
+        let insert = self
+            .db
+            .prepare("INSERT INTO hlx_quarantine VALUES (?, ?, ?, ?)")?;
         for r in rejected {
-            self.db.execute(&format!(
-                "INSERT INTO hlx_quarantine VALUES ('{}', '{}', '{}', '{}')",
-                sql_quote(collection),
-                sql_quote(&r.entry_key),
-                sql_quote(&r.reason),
-                sql_quote(&r.raw)
-            ))?;
+            self.db
+                .query_prepared(&insert)
+                .bind(collection)
+                .bind(r.entry_key.as_str())
+                .bind(r.reason.as_str())
+                .bind(r.raw.as_str())
+                .run()?;
         }
         Ok(())
     }
@@ -693,17 +726,18 @@ impl DataHounds {
     /// entries that failed to parse, transform or validate and were
     /// skipped. Empty after a fully clean harvest.
     pub fn quarantined(&self, collection: &str) -> HoundResult<Vec<QuarantineRecord>> {
-        let rows = self.db.execute(&format!(
-            "SELECT entry_key, reason, raw FROM hlx_quarantine WHERE collection = '{}'",
-            sql_quote(collection)
-        ))?;
+        let rows = self
+            .db
+            .query("SELECT entry_key, reason, raw FROM hlx_quarantine WHERE collection = ?")
+            .bind(collection)
+            .run()?
+            .rows;
         Ok(rows
-            .rows()
-            .iter()
+            .into_iter()
             .map(|r| QuarantineRecord {
-                entry_key: r[0].as_text().unwrap_or_default().to_string(),
-                reason: r[1].as_text().unwrap_or_default().to_string(),
-                raw: r[2].as_text().unwrap_or_default().to_string(),
+                entry_key: r.try_get("entry_key").ok().flatten().unwrap_or_default(),
+                reason: r.try_get("reason").ok().flatten().unwrap_or_default(),
+                raw: r.try_get("raw").ok().flatten().unwrap_or_default(),
             })
             .collect())
     }
@@ -742,14 +776,18 @@ impl DataHounds {
     /// Relation2XML direction.
     pub fn reconstruct(&self, collection: &str, entry_key: &str) -> HoundResult<Document> {
         let (prefix, _, strategy) = self.meta(collection)?;
-        let rows = self.db.execute(&format!(
-            "SELECT doc_id FROM {prefix}_docs WHERE entry_key = '{}'",
-            sql_quote(entry_key)
-        ))?;
+        let rows = self
+            .db
+            .query(&format!(
+                "SELECT doc_id FROM {prefix}_docs WHERE entry_key = ?"
+            ))
+            .bind(entry_key)
+            .run()?
+            .rows;
         let doc_id = rows
-            .rows()
-            .first()
-            .and_then(|r| r[0].as_int())
+            .into_iter()
+            .next()
+            .and_then(|r| r.try_get::<i64>("doc_id").ok().flatten())
             .ok_or_else(|| HoundError::Pipeline(format!("no document for entry {entry_key:?}")))?;
         reconstruct_document(&self.db, &prefix, strategy, doc_id as u64)
     }
@@ -805,16 +843,19 @@ mod tests {
         // tables exist, the metadata row does not.
         let prefix = collection_prefix("hlx_enzyme.DEFAULT");
         create_collection_tables(&db, &prefix).unwrap();
-        db.execute(&format!(
+        db.query(&format!(
             "CREATE TABLE {prefix}_src (doc_id INT, entry_key TEXT, flat TEXT)"
         ))
+        .run()
         .unwrap();
-        db.execute(&format!(
+        db.query(&format!(
             "INSERT INTO {prefix}_src VALUES (0, 'stale', 'stale')"
         ))
+        .run()
         .unwrap();
         // A sibling collection sharing the name stem must survive the sweep.
-        db.execute(&format!("CREATE TABLE {prefix}2_docs (doc_id INT)"))
+        db.query(&format!("CREATE TABLE {prefix}2_docs (doc_id INT)"))
+            .run()
             .unwrap();
 
         let corpus = small_corpus();
@@ -829,13 +870,18 @@ mod tests {
         assert_eq!(stats.documents, 10);
         assert_eq!(dh.doc_count("hlx_enzyme.DEFAULT").unwrap(), 10);
         let stale = db
-            .execute(&format!(
+            .query(&format!(
                 "SELECT flat FROM {prefix}_src WHERE entry_key = 'stale'"
             ))
+            .run()
             .unwrap();
-        assert!(stale.rows().is_empty(), "stale orphan row must be swept");
+        assert!(
+            stale.rows.rows().is_empty(),
+            "stale orphan row must be swept"
+        );
         assert!(db
-            .execute(&format!("SELECT doc_id FROM {prefix}2_docs"))
+            .query(&format!("SELECT doc_id FROM {prefix}2_docs"))
+            .run()
             .is_ok());
     }
 

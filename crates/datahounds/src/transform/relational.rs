@@ -47,7 +47,7 @@ pub fn wrap_relational_table(
     table: &str,
     key_column: &str,
 ) -> HoundResult<(String, Vec<(String, Document)>)> {
-    let rs = remote.execute(&format!("SELECT * FROM {table}"))?;
+    let rs = remote.query(&format!("SELECT * FROM {table}")).run()?.rows;
     let columns: Vec<String> = rs.columns().to_vec();
     let key_pos = columns
         .iter()
@@ -94,14 +94,16 @@ mod tests {
 
     fn remote() -> Database {
         let db = Database::in_memory();
-        db.execute("CREATE TABLE patients (mrn TEXT, diagnosis TEXT, age INT, score FLOAT)")
+        db.query("CREATE TABLE patients (mrn TEXT, diagnosis TEXT, age INT, score FLOAT)")
+            .run()
             .unwrap();
-        db.execute(
+        db.query(
             "INSERT INTO patients VALUES \
              ('MRN001', 'Alkaptonuria', 34, 0.8), \
              ('MRN002', 'Phenylketonuria', 7, NULL), \
              ('MRN003', NULL, 61, 0.3)",
         )
+        .run()
         .unwrap();
         db
     }
@@ -138,7 +140,12 @@ mod tests {
     #[test]
     fn duplicate_keys_rejected() {
         let db = remote();
-        db.execute("INSERT INTO patients VALUES ('MRN001', 'dup', 1, 1.0)")
+        db.query("INSERT INTO patients VALUES (?, ?, ?, ?)")
+            .bind("MRN001")
+            .bind("dup")
+            .bind(1i64)
+            .bind(1.0f64)
+            .run()
             .unwrap();
         assert!(wrap_relational_table(&db, "patients", "mrn").is_err());
     }

@@ -1,6 +1,8 @@
 //! Executor microbenchmarks: scan, limit-over-scan, Top-K, hash join and
 //! keyword query, each timed on the streaming executor and (where the
-//! comparison is meaningful) the materializing reference interpreter.
+//! comparison is meaningful) the materializing reference interpreter,
+//! plus morsel-parallel scaling (1/2/4 workers) and plan-cache hit/miss
+//! latency for the prepared-statement path.
 //!
 //! Besides the usual console output, results are recorded to
 //! `BENCH_exec.json` at the workspace root so future PRs have a perf
@@ -25,12 +27,18 @@ fn scale() -> usize {
 /// `facts`/`dims` pair for the join benchmark.
 fn build_db(n: usize) -> Database {
     let db = Database::in_memory();
-    db.execute("CREATE TABLE big (a INT, b INT, s TEXT)")
+    db.query("CREATE TABLE big (a INT, b INT, s TEXT)")
+        .run()
         .unwrap();
-    db.execute("CREATE KEYWORD INDEX kw_big_s ON big (s)")
+    db.query("CREATE KEYWORD INDEX kw_big_s ON big (s)")
+        .run()
         .unwrap();
-    db.execute("CREATE TABLE facts (id INT, v INT)").unwrap();
-    db.execute("CREATE TABLE dims (id INT, name TEXT)").unwrap();
+    db.query("CREATE TABLE facts (id INT, v INT)")
+        .run()
+        .unwrap();
+    db.query("CREATE TABLE dims (id INT, name TEXT)")
+        .run()
+        .unwrap();
     let mut stmts: Vec<String> = Vec::with_capacity(2 * n + 64);
     for i in 0..n {
         // ~1 row in 500 carries the needle keyword.
@@ -59,8 +67,8 @@ struct Recorder {
 
 impl Recorder {
     /// Times `f` over `samples` iterations (after one warmup), prints the
-    /// mean, and records it for the JSON report.
-    fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+    /// mean, records it for the JSON report and returns it (ns/iter).
+    fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> f64 {
         black_box(f()); // warmup
         let start = Instant::now();
         for _ in 0..self.samples {
@@ -69,6 +77,7 @@ impl Recorder {
         let ns = start.elapsed().as_nanos() as f64 / self.samples as f64;
         println!("exec/{name}: {ns:.0} ns/iter");
         self.results.push((name.to_string(), ns));
+        ns
     }
 
     fn write_json(&self, rows: usize) {
@@ -93,48 +102,124 @@ impl Recorder {
 fn bench_exec(_c: &mut Criterion) {
     let n = scale();
     let db = build_db(n);
+    let enforce = std::env::var("XOMATIQ_BENCH_ENFORCE").is_ok();
     let mut rec = Recorder {
         samples: if n > 1_000 { 10 } else { 30 },
         results: Vec::new(),
     };
 
     rec.bench("scan_full", || {
-        db.execute("SELECT a FROM big").unwrap().rows().len()
+        db.query("SELECT a FROM big").run().unwrap().rows.len()
     });
 
-    // The tentpole number: LIMIT k over a large scan. The streaming
-    // executor pulls k rows; the reference interpreter clones the table.
+    // LIMIT k over a large scan: the streaming executor pulls k rows; the
+    // reference interpreter clones the table.
     let limit_sql = "SELECT a, b FROM big LIMIT 10";
     rec.bench("limit_over_scan/streaming", || {
-        db.execute(limit_sql).unwrap().rows().len()
+        db.query(limit_sql).run().unwrap().rows.len()
     });
     rec.bench("limit_over_scan/reference", || {
-        db.query_reference(limit_sql).unwrap().rows().len()
+        db.query(limit_sql)
+            .via_reference()
+            .run()
+            .unwrap()
+            .rows
+            .len()
     });
 
     // Top-K: bounded heap vs full sort + slice.
     let topk_sql = "SELECT a, b FROM big ORDER BY b DESC, a LIMIT 10";
     rec.bench("topk_sort_limit/streaming", || {
-        db.execute(topk_sql).unwrap().rows().len()
+        db.query(topk_sql).run().unwrap().rows.len()
     });
     rec.bench("topk_sort_limit/reference", || {
-        db.query_reference(topk_sql).unwrap().rows().len()
+        db.query(topk_sql).via_reference().run().unwrap().rows.len()
     });
 
     // Hash join: build on 64-row dims, probe streams over facts.
     let join_sql = "SELECT f.v, d.name FROM facts f, dims d WHERE f.id = d.id AND f.v < 100";
     rec.bench("hash_join/streaming", || {
-        db.execute(join_sql).unwrap().rows().len()
+        db.query(join_sql).run().unwrap().rows.len()
     });
     rec.bench("hash_join/reference", || {
-        db.query_reference(join_sql).unwrap().rows().len()
+        db.query(join_sql).via_reference().run().unwrap().rows.len()
     });
 
     // Keyword query through the inverted index.
     let kw_sql = "SELECT a FROM big WHERE CONTAINS(s, 'needle')";
     rec.bench("keyword_query/streaming", || {
-        db.execute(kw_sql).unwrap().rows().len()
+        db.query(kw_sql).run().unwrap().rows.len()
     });
+
+    // The tentpole number: morsel-parallel scan-aggregate scaling. The same
+    // GROUP BY over `big` at 1, 2 and 4 workers; with XOMATIQ_BENCH_ENFORCE
+    // (full scale, >= 4 cores) 4 workers must beat sequential by >= 2x.
+    let agg_sql = "SELECT b, COUNT(*), SUM(a) FROM big GROUP BY b";
+    let mut agg_ns = [0.0f64; 3];
+    for (slot, workers) in [1usize, 2, 4].into_iter().enumerate() {
+        agg_ns[slot] = rec.bench(&format!("scan_aggregate/workers_{workers}"), || {
+            db.query(agg_sql)
+                .with_workers(workers)
+                .run()
+                .unwrap()
+                .rows
+                .len()
+        });
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let speedup = agg_ns[0] / agg_ns[2];
+    println!("exec/scan_aggregate: 4-worker speedup {speedup:.2}x over sequential");
+    if enforce && n >= 50_000 && cores >= 4 {
+        assert!(
+            speedup >= 2.0,
+            "parallel scan-aggregate too slow: 4 workers only {speedup:.2}x \
+             over sequential (need >= 2x)"
+        );
+    }
+
+    // Plan cache: cold parse+plan vs a warm cache hit through a prepared
+    // handle (whose normalized SQL is precomputed, so the hit is one LRU
+    // lookup). The statement mirrors what XQ2SQL emits for shredded-XML
+    // queries — a multi-way join with a pile of predicates — which is the
+    // workload plan caching exists for. A hit must skip parsing and
+    // planning entirely, so with XOMATIQ_BENCH_ENFORCE it must be >= 100x
+    // faster. (Plan-only on both sides: nothing below executes it.)
+    let cached_sql = "SELECT b1.a, b2.b, b3.s, b4.a, f.v, f2.v, d.name, d2.name \
+                      FROM big b1, big b2, big b3, big b4, \
+                      facts f, facts f2, dims d, dims d2 \
+                      WHERE b1.a = b2.a AND b2.a = b3.a AND b3.a = b4.a \
+                      AND b4.b = f.id AND f.id = f2.id AND f2.id = d.id \
+                      AND d.id = d2.id \
+                      AND b1.b > 10 AND b1.a < 40000 AND f.v < 100000 \
+                      AND b2.s LIKE '%filler%' AND b3.s LIKE '%plain%' \
+                      AND b4.s LIKE '%text%' AND d.name LIKE 'dim%'";
+    // Both sides are nanosecond-to-microsecond scale (no data touched),
+    // so they need far more samples than the row-crunching benches above.
+    let samples = std::mem::replace(&mut rec.samples, 3_000);
+    let cold = rec.bench("plan_cache/cold_parse_plan", || {
+        db.plan(cached_sql).unwrap().plan.uses_index()
+    });
+    let prepared = db.prepare(cached_sql).unwrap();
+    db.query_prepared(&prepared).planned().unwrap(); // warm the cache entry
+    let warm = rec.bench("plan_cache/warm_hit", || {
+        db.query_prepared(&prepared)
+            .planned()
+            .unwrap()
+            .plan
+            .uses_index()
+    });
+    rec.samples = samples;
+    println!(
+        "exec/plan_cache: hit is {:.0}x faster than cold",
+        cold / warm
+    );
+    if enforce {
+        assert!(
+            cold >= warm * 100.0,
+            "plan-cache hit not cheap enough: cold {cold:.0} ns vs warm \
+             {warm:.0} ns (need >= 100x)"
+        );
+    }
 
     // Observability overhead: the same per-row-heavy queries with the
     // metrics registry disabled vs enabled. Batches are interleaved and
@@ -143,9 +228,8 @@ fn bench_exec(_c: &mut Criterion) {
     // With `XOMATIQ_BENCH_ENFORCE` set, instrumented time beyond
     // off-time × 1.10 (+2µs/iter of timer-jitter slack) fails the bench —
     // CI runs the smoke scale this way.
-    let enforce = std::env::var("XOMATIQ_BENCH_ENFORCE").is_ok();
     for (name, sql) in [("scan_full", "SELECT a FROM big"), ("hash_join", join_sql)] {
-        let run = || db.execute(sql).unwrap().rows().len();
+        let run = || db.query(sql).run().unwrap().rows.len();
         let (off, on) = min_batch_pair(run);
         println!("exec/overhead/{name}: off {off:.0} ns/iter, on {on:.0} ns/iter");
         rec.results

@@ -17,11 +17,14 @@ use crate::error::{RelError, RelResult};
 use crate::exec::{
     execute_plan_profiled, execute_plan_with_stats, format_ns, ExecStats, OpProfile,
 };
+use crate::exec_parallel;
 use crate::expr::{eval, eval_predicate, RowSchema};
 use crate::index::BTreeIndex;
 use crate::metrics;
 use crate::plan::PlannedQuery;
 use crate::planner::plan_select;
+use crate::pool::WorkerPool;
+use crate::query::PlanCache;
 use crate::schema::{Catalog, Column, IndexDef, TableSchema};
 use crate::sql::ast::{SelectStmt, Statement};
 use crate::sql::parser::parse_statement;
@@ -338,6 +341,16 @@ impl ResultSet {
         }
     }
 
+    /// Builds a query-shaped result set from column names and rows, for
+    /// adapters that synthesize results outside the executor.
+    pub fn from_parts(columns: Vec<String>, rows: Vec<Row>) -> ResultSet {
+        ResultSet {
+            columns,
+            rows,
+            affected: 0,
+        }
+    }
+
     /// Output column names (empty for DML/DDL).
     pub fn columns(&self) -> &[String] {
         &self.columns
@@ -346,6 +359,16 @@ impl ResultSet {
     /// Result rows (empty for DML/DDL).
     pub fn rows(&self) -> &[Row] {
         &self.rows
+    }
+
+    /// Number of result rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the result holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
     }
 
     /// Rows affected by DML (0 for queries).
@@ -442,19 +465,78 @@ struct WalState {
     next_tx: u64,
 }
 
+/// Tuning knobs for a [`Database`].
+#[derive(Debug, Clone)]
+pub struct DatabaseOptions {
+    /// Total workers available to parallel-eligible `SELECT` plans (the
+    /// calling thread counts as one; `1` disables parallel execution).
+    /// Defaults to the `XOMATIQ_WORKERS` environment variable if set,
+    /// else the machine's available parallelism capped at 8.
+    pub workers: usize,
+    /// Rows per morsel handed to a worker by the parallel executor.
+    pub morsel_size: usize,
+    /// Maximum number of cached `SELECT` plans (`0` disables the cache).
+    pub plan_cache_capacity: usize,
+}
+
+impl Default for DatabaseOptions {
+    fn default() -> DatabaseOptions {
+        let workers = std::env::var("XOMATIQ_WORKERS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get().min(8))
+                    .unwrap_or(1)
+            })
+            .max(1);
+        DatabaseOptions {
+            workers,
+            morsel_size: 1024,
+            plan_cache_capacity: 128,
+        }
+    }
+}
+
 /// An embedded relational database.
 pub struct Database {
-    storage: RwLock<Storage>,
+    pub(crate) storage: RwLock<Storage>,
     wal: Option<Mutex<WalState>>,
+    pub(crate) options: DatabaseOptions,
+    pub(crate) pool: WorkerPool,
+    pub(crate) plan_cache: Mutex<PlanCache>,
 }
 
 impl Database {
+    fn assemble(
+        storage: Storage,
+        wal: Option<Mutex<WalState>>,
+        options: DatabaseOptions,
+    ) -> Database {
+        let pool = WorkerPool::new(options.workers);
+        let plan_cache = Mutex::new(PlanCache::new(options.plan_cache_capacity));
+        Database {
+            storage: RwLock::new(storage),
+            wal,
+            options,
+            pool,
+            plan_cache,
+        }
+    }
+
     /// Creates a volatile database (no durability).
     pub fn in_memory() -> Database {
-        Database {
-            storage: RwLock::new(Storage::default()),
-            wal: None,
-        }
+        Database::in_memory_with_options(DatabaseOptions::default())
+    }
+
+    /// Creates a volatile database with explicit [`DatabaseOptions`].
+    pub fn in_memory_with_options(options: DatabaseOptions) -> Database {
+        Database::assemble(Storage::default(), None, options)
+    }
+
+    /// The options this database was built with.
+    pub fn options(&self) -> &DatabaseOptions {
+        &self.options
     }
 
     /// Opens a durable database whose write-ahead log lives at `path`,
@@ -568,21 +650,22 @@ impl Database {
         report.transactions_dropped.sort_unstable();
         metrics::observe_recovery(&report);
         Ok((
-            Database {
-                storage: RwLock::new(storage),
-                wal: Some(Mutex::new(WalState {
+            Database::assemble(
+                storage,
+                Some(Mutex::new(WalState {
                     wal,
                     next_tx: max_tx + 1,
                 })),
-            },
+                DatabaseOptions::default(),
+            ),
             report,
         ))
     }
 
     /// Parses and executes one SQL statement.
+    #[deprecated(note = "use `db.query(sql).run()` (the `Query` builder)")]
     pub fn execute(&self, sql: &str) -> RelResult<ResultSet> {
-        let stmt = parse_statement(sql)?;
-        self.execute_statement(stmt)
+        Ok(self.query(sql).run()?.rows)
     }
 
     /// Executes a pre-parsed statement.
@@ -599,8 +682,7 @@ impl Database {
                 let text = if analyze {
                     self.analyze_select(&select)?.render()
                 } else {
-                    let storage = self.storage.read();
-                    plan_select(&select, &storage.catalog)?.plan.explain()
+                    self.explain_select(&select)?
                 };
                 Ok(ResultSet::plan_text(&text))
             }
@@ -614,12 +696,14 @@ impl Database {
                 );
                 let mut storage = self.storage.write();
                 storage.create_table(schema.clone())?;
+                self.plan_cache.lock().clear();
                 self.log_ddl(WalRecord::CreateTable { schema })?;
                 Ok(ResultSet::dml(0))
             }
             Statement::DropTable { name } => {
                 let mut storage = self.storage.write();
                 storage.drop_table(&name)?;
+                self.plan_cache.lock().clear();
                 self.log_ddl(WalRecord::DropTable { name })?;
                 Ok(ResultSet::dml(0))
             }
@@ -637,12 +721,14 @@ impl Database {
                 };
                 let mut storage = self.storage.write();
                 storage.create_index(def.clone())?;
+                self.plan_cache.lock().clear();
                 self.log_ddl(WalRecord::CreateIndex { def })?;
                 Ok(ResultSet::dml(0))
             }
             Statement::DropIndex { name } => {
                 let mut storage = self.storage.write();
                 storage.drop_index(&name)?;
+                self.plan_cache.lock().clear();
                 self.log_ddl(WalRecord::DropIndex { name })?;
                 Ok(ResultSet::dml(0))
             }
@@ -723,15 +809,25 @@ impl Database {
     }
 
     /// Returns the textual plan for a `SELECT` — the engine's `EXPLAIN`.
+    /// The final `parallel=N` line reports how many workers the plan
+    /// would use (`1` for shapes that must run sequentially to keep the
+    /// documented row-order contract).
     pub fn explain(&self, sql: &str) -> RelResult<String> {
         match parse_statement(sql)? {
-            Statement::Select(select) => {
-                let storage = self.storage.read();
-                let planned = plan_select(&select, &storage.catalog)?;
-                Ok(planned.plan.explain())
-            }
+            Statement::Select(select) => self.explain_select(&select),
             _ => Err(RelError::Parse("EXPLAIN supports SELECT only".into())),
         }
+    }
+
+    fn explain_select(&self, select: &SelectStmt) -> RelResult<String> {
+        let storage = self.storage.read();
+        let planned = plan_select(select, &storage.catalog)?;
+        let workers = if exec_parallel::parallel_eligible(&planned.plan) {
+            self.options.workers
+        } else {
+            1
+        };
+        Ok(format!("{}parallel={workers}\n", planned.plan.explain()))
     }
 
     /// Plans a `SELECT` without executing it (used by tests and benches to
@@ -750,26 +846,58 @@ impl Database {
     /// executor's counters — rows scanned, peak buffered rows, rows
     /// emitted. This is the hook tests and benches use to assert that
     /// `LIMIT`/Top-K queries materialize O(k) rows, not the whole input.
+    #[deprecated(note = "use `db.query(sql).with_stats().run()` (the `Query` builder)")]
     pub fn query_with_stats(&self, sql: &str) -> RelResult<(ResultSet, ExecStats)> {
-        match parse_statement(sql)? {
-            Statement::Select(select) => self.run_select(&select),
-            _ => Err(RelError::Parse("only SELECT reports exec stats".into())),
-        }
+        let out = self.query(sql).with_stats().run()?;
+        Ok((out.rows, out.stats.expect("with_stats was requested")))
     }
 
-    /// Plans and executes one `SELECT`, publishing per-query aggregates
-    /// (row counters, plan/exec latency) to the global metrics registry.
-    fn run_select(&self, select: &SelectStmt) -> RelResult<(ResultSet, ExecStats)> {
+    /// Plans one `SELECT`, publishing plan latency (or an error count) to
+    /// the global metrics registry.
+    pub(crate) fn plan_select_stmt(&self, select: &SelectStmt) -> RelResult<PlannedQuery> {
+        let m = metrics::engine();
+        let plan_start = Instant::now();
+        let storage = self.storage.read();
+        let result = plan_select(select, &storage.catalog);
+        match &result {
+            Ok(_) => m.plan_ns.record(metrics::elapsed_ns(plan_start)),
+            Err(_) => m.errors.inc(),
+        }
+        result
+    }
+
+    /// Executes a planned `SELECT`, dispatching parallel-eligible shapes
+    /// across the worker pool when `workers > 1`, and publishing per-query
+    /// aggregates (row counters, exec latency) to the metrics registry.
+    pub(crate) fn run_planned_query(
+        &self,
+        planned: &PlannedQuery,
+        workers: usize,
+    ) -> RelResult<(ResultSet, ExecStats)> {
         let m = metrics::engine();
         let result = (|| {
-            let plan_start = Instant::now();
             let storage = self.storage.read();
-            let PlannedQuery { plan, visible } = plan_select(select, &storage.catalog)?;
-            m.plan_ns.record(metrics::elapsed_ns(plan_start));
             let exec_start = Instant::now();
-            let (schema, rows, stats) = execute_plan_with_stats(&plan, &storage)?;
+            let parallel = if workers > 1 {
+                exec_parallel::execute_plan_parallel(
+                    &planned.plan,
+                    &storage,
+                    &self.pool,
+                    workers,
+                    self.options.morsel_size,
+                )
+            } else {
+                None
+            };
+            let (schema, rows, stats) = match parallel {
+                Some(run) => {
+                    m.parallel_workers.add(workers as u64);
+                    run?
+                }
+                None => execute_plan_with_stats(&planned.plan, &storage)?,
+            };
             m.exec_ns.record(metrics::elapsed_ns(exec_start));
-            Ok((select_result(visible, &schema, rows), stats))
+            Ok((select_result(planned.visible, &schema, rows), stats))
         })();
         match &result {
             Ok((_, stats)) => m.observe_query(stats),
@@ -778,17 +906,29 @@ impl Database {
         result
     }
 
+    /// Plans and executes one `SELECT` with the database's default worker
+    /// count.
+    fn run_select(&self, select: &SelectStmt) -> RelResult<(ResultSet, ExecStats)> {
+        let planned = self.plan_select_stmt(select)?;
+        self.run_planned_query(&planned, self.options.workers)
+    }
+
     /// Runs a `SELECT` (or an `EXPLAIN [ANALYZE] SELECT`) under the
     /// per-operator profiler and renders the annotated plan tree — the
     /// string form of `EXPLAIN ANALYZE`.
     pub fn explain_analyze(&self, sql: &str) -> RelResult<String> {
-        Ok(self.explain_analyze_query(sql)?.render())
+        Ok(self.analyze_sql(sql)?.render())
     }
 
     /// Like [`Database::explain_analyze`], but returns the structured
     /// [`AnalyzedQuery`] (profile tree, counters, total time, results)
     /// instead of rendered text.
+    #[deprecated(note = "use `db.query(sql).with_profile().run()` (the `Query` builder)")]
     pub fn explain_analyze_query(&self, sql: &str) -> RelResult<AnalyzedQuery> {
+        self.analyze_sql(sql)
+    }
+
+    fn analyze_sql(&self, sql: &str) -> RelResult<AnalyzedQuery> {
         match parse_statement(sql)? {
             Statement::Select(select) => self.analyze_select(&select),
             Statement::Explain { inner, .. } => match *inner {
@@ -799,7 +939,7 @@ impl Database {
         }
     }
 
-    fn analyze_select(&self, select: &SelectStmt) -> RelResult<AnalyzedQuery> {
+    pub(crate) fn analyze_select(&self, select: &SelectStmt) -> RelResult<AnalyzedQuery> {
         let m = metrics::engine();
         let result = (|| {
             let plan_start = Instant::now();
@@ -828,18 +968,17 @@ impl Database {
     /// ([`crate::exec_reference`]) instead of the streaming executor.
     /// The property suite runs randomized queries through both paths and
     /// requires row-for-row identical results.
+    #[deprecated(note = "use `db.query(sql).via_reference().run()` (the `Query` builder)")]
     pub fn query_reference(&self, sql: &str) -> RelResult<ResultSet> {
-        match parse_statement(sql)? {
-            Statement::Select(select) => {
-                let storage = self.storage.read();
-                let PlannedQuery { plan, visible } = plan_select(&select, &storage.catalog)?;
-                let (schema, rows) = crate::exec_reference::execute_plan(&plan, &storage)?;
-                Ok(select_result(visible, &schema, rows))
-            }
-            _ => Err(RelError::Parse(
-                "only SELECT runs on the reference executor".into(),
-            )),
-        }
+        Ok(self.query(sql).via_reference().run()?.rows)
+    }
+
+    /// Runs a pre-parsed `SELECT` on the reference interpreter.
+    pub(crate) fn run_select_reference(&self, select: &SelectStmt) -> RelResult<ResultSet> {
+        let storage = self.storage.read();
+        let PlannedQuery { plan, visible } = plan_select(select, &storage.catalog)?;
+        let (schema, rows) = crate::exec_reference::execute_plan(&plan, &storage)?;
+        Ok(select_result(visible, &schema, rows))
     }
 
     /// Number of rows currently in `table`.
@@ -971,7 +1110,7 @@ fn validate_expr_columns(expr: &crate::sql::ast::Expr, schema: &RowSchema) -> Re
             schema.resolve(table.as_deref(), name)?;
             Ok(())
         }
-        E::Literal(_) => Ok(()),
+        E::Literal(_) | E::Param(_) => Ok(()),
         E::Binary { left, right, .. } => {
             validate_expr_columns(left, schema)?;
             validate_expr_columns(right, schema)

@@ -6,7 +6,13 @@ use std::fmt;
 pub type RelResult<T> = Result<T, RelError>;
 
 /// An error raised by the relational engine.
+///
+/// The enum is `#[non_exhaustive]`: downstream crates must keep a
+/// wildcard arm when matching, and should use [`RelError::code`] when a
+/// stable machine-readable discriminant is needed (e.g. for federation
+/// error routing) instead of string-prefix matching on `Display` output.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum RelError {
     /// SQL text failed to lex or parse.
     Parse(String),
@@ -26,8 +32,33 @@ pub enum RelError {
     Eval(String),
     /// Write-ahead log I/O or corruption.
     Wal(String),
+    /// A prepared-statement parameter could not be bound: wrong value
+    /// count, or a value that does not coerce to the inferred column type.
+    Bind(String),
     /// Anything else.
     Internal(String),
+}
+
+impl RelError {
+    /// A stable, machine-readable error code: one lowercase snake_case
+    /// token per variant. Codes are append-only across releases, so
+    /// downstream crates can match on them without tracking new variants
+    /// behind `#[non_exhaustive]`.
+    pub fn code(&self) -> &'static str {
+        match self {
+            RelError::Parse(_) => "parse",
+            RelError::UnknownTable(_) => "unknown_table",
+            RelError::UnknownColumn(_) => "unknown_column",
+            RelError::AmbiguousColumn(_) => "ambiguous_column",
+            RelError::AlreadyExists(_) => "already_exists",
+            RelError::UnknownIndex(_) => "unknown_index",
+            RelError::SchemaMismatch(_) => "schema_mismatch",
+            RelError::Eval(_) => "eval",
+            RelError::Wal(_) => "wal",
+            RelError::Bind(_) => "bind",
+            RelError::Internal(_) => "internal",
+        }
+    }
 }
 
 impl fmt::Display for RelError {
@@ -42,6 +73,7 @@ impl fmt::Display for RelError {
             RelError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
             RelError::Eval(m) => write!(f, "evaluation error: {m}"),
             RelError::Wal(m) => write!(f, "write-ahead log error: {m}"),
+            RelError::Bind(m) => write!(f, "bind error: {m}"),
             RelError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -67,5 +99,13 @@ mod tests {
             RelError::AmbiguousColumn("id".into()).to_string(),
             "ambiguous column \"id\""
         );
+    }
+
+    #[test]
+    fn codes_are_stable() {
+        assert_eq!(RelError::Parse("x".into()).code(), "parse");
+        assert_eq!(RelError::Bind("x".into()).code(), "bind");
+        assert_eq!(RelError::Wal("x".into()).code(), "wal");
+        assert_eq!(RelError::UnknownTable("t".into()).code(), "unknown_table");
     }
 }

@@ -719,7 +719,7 @@ impl<'a> Cursor<'a> for NestedLoopCursor<'a> {
 }
 
 /// Evaluates join key expressions; any NULL key disqualifies the row.
-fn eval_join_keys(
+pub(crate) fn eval_join_keys(
     keys: &[Expr],
     schema: &RowSchema,
     row: &[Value],
@@ -1147,7 +1147,7 @@ pub(crate) fn materialize_aggregates<R: AsRef<[Value]>>(
             schema,
             rows,
         )?),
-        Expr::Literal(_) | Expr::Column { .. } => expr.clone(),
+        Expr::Literal(_) | Expr::Param(_) | Expr::Column { .. } => expr.clone(),
         Expr::Binary { op, left, right } => Expr::Binary {
             op: *op,
             left: Box::new(materialize_aggregates(left, schema, rows)?),

@@ -1,0 +1,599 @@
+//! Morsel-driven parallel execution.
+//!
+//! Table scans are split into fixed-size row-range *morsels*; a reusable
+//! [`WorkerPool`] fans the morsels across workers and the per-morsel
+//! outputs are reassembled in morsel order, which makes every parallel
+//! plan produce byte-identical rows — and identical [`ExecStats`] — to the
+//! streaming executor in `exec.rs`. Only plan shapes whose output order is
+//! a pure function of morsel order are eligible (see [`parallel_eligible`]);
+//! anything else (sorts, limits, nested-loop joins, index access paths)
+//! falls back to the sequential streaming executor, a decision the planner
+//! surfaces as the `parallel=N` line of `EXPLAIN`.
+//!
+//! Error semantics match streaming exactly: the streaming executor stops
+//! at the first failing row in scan order, so workers here track the
+//! lowest-numbered morsel that failed, keep processing *earlier* morsels
+//! (one of them may fail even earlier), skip later ones, and report the
+//! error from the lowest morsel index — which is the error the sequential
+//! executor would have raised.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::db::Storage;
+use crate::error::{RelError, RelResult};
+use crate::exec::{eval_join_keys, materialize_aggregates, projected_schema, ExecStats};
+use crate::expr::{eval, eval_predicate, RowSchema};
+use crate::plan::{Plan, ProjectItem};
+use crate::pool::WorkerPool;
+use crate::sql::ast::Expr;
+use crate::table::Row;
+use crate::value::Value;
+
+/// A parallel-eligible access chain: `Filter*(Scan)`.
+struct ChainShape<'p> {
+    table: &'p str,
+    alias: &'p str,
+    /// Filter predicates in evaluation (innermost-first) order.
+    predicates: Vec<&'p Expr>,
+}
+
+/// A hash join whose both sides are chains: left probes, right builds.
+struct JoinShape<'p> {
+    probe: ChainShape<'p>,
+    build: ChainShape<'p>,
+    left_keys: &'p [Expr],
+    right_keys: &'p [Expr],
+    residual: Option<&'p Expr>,
+    semi: bool,
+}
+
+/// The parallel-eligible plan grammar.
+enum Shape<'p> {
+    Chain(ChainShape<'p>),
+    Project {
+        chain: ChainShape<'p>,
+        items: &'p [ProjectItem],
+    },
+    Join {
+        join: JoinShape<'p>,
+        /// Projection applied on top of the join output, if any.
+        items: Option<&'p [ProjectItem]>,
+    },
+    Aggregate {
+        chain: ChainShape<'p>,
+        group_by: &'p [Expr],
+        items: &'p [ProjectItem],
+    },
+}
+
+/// A parsed eligible plan: a shape, optionally under a `Distinct` that is
+/// applied as an order-preserving post-merge pass.
+struct Parsed<'p> {
+    shape: Shape<'p>,
+    distinct: Option<usize>,
+}
+
+fn parse_chain(plan: &Plan) -> Option<ChainShape<'_>> {
+    let mut predicates = Vec::new();
+    let mut node = plan;
+    loop {
+        match node {
+            Plan::Filter { input, predicate } => {
+                predicates.push(predicate);
+                node = input;
+            }
+            Plan::Scan { table, alias } => {
+                // Collected outermost-first; evaluation is innermost-first.
+                predicates.reverse();
+                return Some(ChainShape {
+                    table,
+                    alias,
+                    predicates,
+                });
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn parse_join(plan: &Plan) -> Option<JoinShape<'_>> {
+    let Plan::HashJoin {
+        left,
+        right,
+        left_keys,
+        right_keys,
+        residual,
+        semi,
+    } = plan
+    else {
+        return None;
+    };
+    Some(JoinShape {
+        probe: parse_chain(left)?,
+        build: parse_chain(right)?,
+        left_keys,
+        right_keys,
+        residual: residual.as_ref(),
+        semi: *semi,
+    })
+}
+
+fn parse_shape(plan: &Plan) -> Option<Parsed<'_>> {
+    let (inner, distinct) = match plan {
+        Plan::Distinct { input, visible } => (&**input, Some(*visible)),
+        other => (other, None),
+    };
+    let shape = match inner {
+        Plan::Scan { .. } | Plan::Filter { .. } => Shape::Chain(parse_chain(inner)?),
+        Plan::Project { input, items, .. } => match &**input {
+            Plan::HashJoin { .. } => Shape::Join {
+                join: parse_join(input)?,
+                items: Some(items),
+            },
+            _ => Shape::Project {
+                chain: parse_chain(input)?,
+                items,
+            },
+        },
+        Plan::HashJoin { .. } => Shape::Join {
+            join: parse_join(inner)?,
+            items: None,
+        },
+        Plan::Aggregate {
+            input,
+            group_by,
+            items,
+            ..
+        } => Shape::Aggregate {
+            chain: parse_chain(input)?,
+            group_by,
+            items,
+        },
+        _ => return None,
+    };
+    Some(Parsed { shape, distinct })
+}
+
+/// Whether the plan can run on the morsel-parallel executor while
+/// preserving the engine's documented row order. This is the single
+/// source of truth for both the execution dispatch and the `parallel=N`
+/// line `EXPLAIN` prints.
+pub(crate) fn parallel_eligible(plan: &Plan) -> bool {
+    parse_shape(plan).is_some()
+}
+
+/// Executes an eligible plan across the pool, or returns `None` when the
+/// plan is not eligible (or fewer than two workers were requested), in
+/// which case the caller falls back to the streaming executor.
+pub(crate) fn execute_plan_parallel(
+    plan: &Plan,
+    storage: &Storage,
+    pool: &WorkerPool,
+    workers: usize,
+    morsel_size: usize,
+) -> Option<RelResult<(RowSchema, Vec<Row>, ExecStats)>> {
+    if workers < 2 {
+        return None;
+    }
+    let parsed = parse_shape(plan)?;
+    Some(run_parsed(
+        &parsed,
+        storage,
+        pool,
+        workers,
+        morsel_size.max(1),
+    ))
+}
+
+/// A chain bound to storage: the table's rows (in insertion order, same
+/// as `ScanCursor`), its schema, and the filter predicates.
+struct BoundChain<'a> {
+    rows: Vec<&'a Row>,
+    schema: RowSchema,
+    predicates: Vec<&'a Expr>,
+}
+
+impl BoundChain<'_> {
+    fn passes(&self, row: &[Value]) -> RelResult<bool> {
+        for p in &self.predicates {
+            if !eval_predicate(p, &self.schema, row)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+fn bind_chain<'a>(chain: &ChainShape<'a>, storage: &'a Storage) -> RelResult<BoundChain<'a>> {
+    let t = storage.table(chain.table)?;
+    let schema = RowSchema::for_table(
+        chain.alias,
+        t.schema().columns.iter().map(|c| c.name.clone()),
+    );
+    Ok(BoundChain {
+        rows: t.rows().collect(),
+        schema,
+        predicates: chain.predicates.clone(),
+    })
+}
+
+fn run_parsed(
+    parsed: &Parsed<'_>,
+    storage: &Storage,
+    pool: &WorkerPool,
+    workers: usize,
+    morsel_size: usize,
+) -> RelResult<(RowSchema, Vec<Row>, ExecStats)> {
+    let (schema, mut rows, mut stats) = match &parsed.shape {
+        Shape::Chain(chain) => run_chain(chain, None, storage, pool, workers, morsel_size)?,
+        Shape::Project { chain, items } => {
+            run_chain(chain, Some(items), storage, pool, workers, morsel_size)?
+        }
+        Shape::Join { join, items } => run_join(join, *items, storage, pool, workers, morsel_size)?,
+        Shape::Aggregate {
+            chain,
+            group_by,
+            items,
+        } => run_aggregate(chain, group_by, items, storage, pool, workers, morsel_size)?,
+    };
+    if let Some(visible) = parsed.distinct {
+        let mut seen: HashSet<Vec<Value>> = HashSet::new();
+        rows.retain(|row| seen.insert(row.iter().take(visible).cloned().collect()));
+        // The streaming DistinctCursor retains one buffered row per
+        // distinct key and never shrinks; under an Aggregate child the
+        // aggregate's output buffer drains exactly as Distinct fills, so
+        // the peak does not move.
+        if !matches!(parsed.shape, Shape::Aggregate { .. }) {
+            stats.buffered_peak += rows.len() as u64;
+        }
+        stats.rows_emitted = rows.len() as u64;
+    }
+    Ok((schema, rows, stats))
+}
+
+/// `Scan`/`Filter` chain, optionally with a projection on top.
+fn run_chain(
+    chain: &ChainShape<'_>,
+    items: Option<&[ProjectItem]>,
+    storage: &Storage,
+    pool: &WorkerPool,
+    workers: usize,
+    morsel_size: usize,
+) -> RelResult<(RowSchema, Vec<Row>, ExecStats)> {
+    let bc = bind_chain(chain, storage)?;
+    let parts = morsel_map(pool, workers, morsel_size, bc.rows.len(), |range| {
+        let mut out: Vec<Row> = Vec::new();
+        for &row in &bc.rows[range] {
+            if !bc.passes(row)? {
+                continue;
+            }
+            match items {
+                Some(items) => out.push(
+                    items
+                        .iter()
+                        .map(|it| eval(&it.expr, &bc.schema, row))
+                        .collect::<RelResult<_>>()?,
+                ),
+                None => out.push(row.clone()),
+            }
+        }
+        Ok(out)
+    })?;
+    let rows = parts.concat();
+    let stats = ExecStats {
+        rows_scanned: bc.rows.len() as u64,
+        buffered_peak: 0,
+        rows_emitted: rows.len() as u64,
+        ..ExecStats::default()
+    };
+    let schema = match items {
+        Some(items) => projected_schema(items),
+        None => bc.schema,
+    };
+    Ok((schema, rows, stats))
+}
+
+fn run_join(
+    join: &JoinShape<'_>,
+    items: Option<&[ProjectItem]>,
+    storage: &Storage,
+    pool: &WorkerPool,
+    workers: usize,
+    morsel_size: usize,
+) -> RelResult<(RowSchema, Vec<Row>, ExecStats)> {
+    let probe = bind_chain(&join.probe, storage)?;
+    let build = bind_chain(&join.build, storage)?;
+    let scanned = (probe.rows.len() + build.rows.len()) as u64;
+
+    // Build phase: evaluate keys morsel-parallel, then merge in morsel
+    // order so match lists enumerate build rows in arrival order, exactly
+    // like the streaming `BuildSide`.
+    let built = morsel_map(pool, workers, morsel_size, build.rows.len(), |range| {
+        let mut out: Vec<(Vec<Value>, &Row)> = Vec::new();
+        for &row in &build.rows[range] {
+            if !build.passes(row)? {
+                continue;
+            }
+            if let Some(key) = eval_join_keys(join.right_keys, &build.schema, row)? {
+                out.push((key, row));
+            }
+        }
+        Ok(out)
+    })?;
+
+    if join.semi {
+        let mut keys: HashSet<Vec<Value>> = HashSet::new();
+        for part in built {
+            for (key, _) in part {
+                keys.insert(key);
+            }
+        }
+        let buffered = keys.len() as u64;
+        let out_schema = match items {
+            Some(items) => projected_schema(items),
+            None => probe.schema.clone(),
+        };
+        let parts = morsel_map(pool, workers, morsel_size, probe.rows.len(), |range| {
+            let mut out: Vec<Row> = Vec::new();
+            for &lrow in &probe.rows[range] {
+                if !probe.passes(lrow)? {
+                    continue;
+                }
+                let Some(key) = eval_join_keys(join.left_keys, &probe.schema, lrow)? else {
+                    continue;
+                };
+                if !keys.contains(&key) {
+                    continue;
+                }
+                match items {
+                    Some(items) => out.push(
+                        items
+                            .iter()
+                            .map(|it| eval(&it.expr, &probe.schema, lrow))
+                            .collect::<RelResult<_>>()?,
+                    ),
+                    None => out.push(lrow.clone()),
+                }
+            }
+            Ok(out)
+        })?;
+        let rows = parts.concat();
+        let stats = ExecStats {
+            rows_scanned: scanned,
+            buffered_peak: buffered,
+            rows_emitted: rows.len() as u64,
+            ..ExecStats::default()
+        };
+        return Ok((out_schema, rows, stats));
+    }
+
+    let mut build_rows: Vec<&Row> = Vec::new();
+    let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    for part in built {
+        for (key, row) in part {
+            index.entry(key).or_default().push(build_rows.len());
+            build_rows.push(row);
+        }
+    }
+    let buffered = build_rows.len() as u64;
+    let combined = probe.schema.join(&build.schema);
+    let out_schema = match items {
+        Some(items) => projected_schema(items),
+        None => combined.clone(),
+    };
+    let parts = morsel_map(pool, workers, morsel_size, probe.rows.len(), |range| {
+        let mut out: Vec<Row> = Vec::new();
+        for &lrow in &probe.rows[range] {
+            if !probe.passes(lrow)? {
+                continue;
+            }
+            let Some(key) = eval_join_keys(join.left_keys, &probe.schema, lrow)? else {
+                continue;
+            };
+            let Some(matches) = index.get(&key) else {
+                continue;
+            };
+            for &m in matches {
+                let mut row = lrow.clone();
+                row.extend(build_rows[m].iter().cloned());
+                if let Some(res) = join.residual {
+                    if !eval_predicate(res, &combined, &row)? {
+                        continue;
+                    }
+                }
+                match items {
+                    Some(items) => out.push(
+                        items
+                            .iter()
+                            .map(|it| eval(&it.expr, &combined, &row))
+                            .collect::<RelResult<_>>()?,
+                    ),
+                    None => out.push(row),
+                }
+            }
+        }
+        Ok(out)
+    })?;
+    let rows = parts.concat();
+    let stats = ExecStats {
+        rows_scanned: scanned,
+        buffered_peak: buffered,
+        rows_emitted: rows.len() as u64,
+        ..ExecStats::default()
+    };
+    Ok((out_schema, rows, stats))
+}
+
+/// Two-phase parallel aggregation.
+///
+/// Phase 1 groups each morsel independently (keys in first-seen order);
+/// the sequential merge concatenates per-group row lists in morsel order,
+/// which reproduces the streaming executor's global first-seen group
+/// order *and* each group's row order. Phase 2 evaluates the aggregate
+/// items per group, fanned across workers in contiguous group chunks, so
+/// the first erroring group in group order still wins.
+fn run_aggregate(
+    chain: &ChainShape<'_>,
+    group_by: &[Expr],
+    items: &[ProjectItem],
+    storage: &Storage,
+    pool: &WorkerPool,
+    workers: usize,
+    morsel_size: usize,
+) -> RelResult<(RowSchema, Vec<Row>, ExecStats)> {
+    let bc = bind_chain(chain, storage)?;
+    type MorselGroups<'a> = Vec<(Vec<Value>, Vec<&'a Row>)>;
+    let parts: Vec<MorselGroups<'_>> =
+        morsel_map(pool, workers, morsel_size, bc.rows.len(), |range| {
+            let mut groups: MorselGroups<'_> = Vec::new();
+            let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+            for &row in &bc.rows[range] {
+                if !bc.passes(row)? {
+                    continue;
+                }
+                let key: Vec<Value> = group_by
+                    .iter()
+                    .map(|e| eval(e, &bc.schema, row))
+                    .collect::<RelResult<_>>()?;
+                match index.entry(key.clone()) {
+                    Entry::Occupied(slot) => groups[*slot.get()].1.push(row),
+                    Entry::Vacant(slot) => {
+                        slot.insert(groups.len());
+                        groups.push((key, vec![row]));
+                    }
+                }
+            }
+            Ok(groups)
+        })?;
+
+    let mut groups: MorselGroups<'_> = Vec::new();
+    let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+    for part in parts {
+        for (key, rows) in part {
+            match index.entry(key.clone()) {
+                Entry::Occupied(slot) => groups[*slot.get()].1.extend(rows),
+                Entry::Vacant(slot) => {
+                    slot.insert(groups.len());
+                    groups.push((key, rows));
+                }
+            }
+        }
+    }
+    let surviving: u64 = groups.iter().map(|g| g.1.len() as u64).sum();
+    if groups.is_empty() && group_by.is_empty() {
+        // Global aggregate over empty input yields one row.
+        groups.push((Vec::new(), Vec::new()));
+    }
+
+    let chunk = groups
+        .len()
+        .div_ceil(workers.min(groups.len()).max(1))
+        .max(1);
+    let parts = morsel_map(pool, workers, chunk, groups.len(), |range| {
+        let mut out: Vec<Row> = Vec::with_capacity(range.len());
+        for (_, group_rows) in &groups[range] {
+            let null_row;
+            let representative: &[Value] = match group_rows.first() {
+                Some(r) => r.as_slice(),
+                None => {
+                    null_row = vec![Value::Null; bc.schema.len()];
+                    &null_row
+                }
+            };
+            let mut result_row = Vec::with_capacity(items.len());
+            for item in items {
+                let materialized = materialize_aggregates(&item.expr, &bc.schema, group_rows)?;
+                result_row.push(eval(&materialized, &bc.schema, representative)?);
+            }
+            out.push(result_row);
+        }
+        Ok(out)
+    })?;
+    let rows = parts.concat();
+    let stats = ExecStats {
+        rows_scanned: bc.rows.len() as u64,
+        buffered_peak: surviving.max(rows.len() as u64),
+        rows_emitted: rows.len() as u64,
+        ..ExecStats::default()
+    };
+    Ok((projected_schema(items), rows, stats))
+}
+
+/// Fans `work` over `total` items split into `morsel_size`-sized ranges,
+/// returning per-morsel results assembled in morsel order.
+///
+/// On error, workers keep processing morsels *before* the lowest failed
+/// index (an earlier one may fail too), skip later ones, and the error
+/// from the lowest morsel index is returned — matching the error the
+/// sequential executor, which stops at the first failing row, would raise.
+fn morsel_map<T, F>(
+    pool: &WorkerPool,
+    workers: usize,
+    morsel_size: usize,
+    total: usize,
+    work: F,
+) -> RelResult<Vec<T>>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> RelResult<T> + Sync,
+{
+    let morsel_count = total.div_ceil(morsel_size);
+    if morsel_count == 0 {
+        return Ok(Vec::new());
+    }
+    let next = AtomicUsize::new(0);
+    let error_floor = AtomicUsize::new(usize::MAX);
+    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(morsel_count));
+    let first_error: Mutex<Option<(usize, RelError)>> = Mutex::new(None);
+    let run = |_task: usize| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= morsel_count {
+            break;
+        }
+        if i > error_floor.load(Ordering::Relaxed) {
+            continue;
+        }
+        let lo = i * morsel_size;
+        let hi = (lo + morsel_size).min(total);
+        match work(lo..hi) {
+            Ok(t) => results
+                .lock()
+                .expect("morsel results poisoned")
+                .push((i, t)),
+            Err(e) => {
+                error_floor.fetch_min(i, Ordering::Relaxed);
+                let mut slot = first_error.lock().expect("morsel error slot poisoned");
+                let replace = match slot.as_ref() {
+                    Some((j, _)) => i < *j,
+                    None => true,
+                };
+                if replace {
+                    *slot = Some((i, e));
+                }
+            }
+        }
+    };
+    let tasks = workers.min(morsel_count).max(1);
+    if tasks == 1 {
+        run(0);
+    } else {
+        let run = &run;
+        let boxed: Vec<Box<dyn FnOnce() + Send + '_>> = (0..tasks)
+            .map(|k| Box::new(move || run(k)) as Box<dyn FnOnce() + Send + '_>)
+            .collect();
+        pool.scope(boxed);
+    }
+    if let Some((_, e)) = first_error
+        .into_inner()
+        .expect("morsel error slot poisoned")
+    {
+        return Err(e);
+    }
+    let mut out = results.into_inner().expect("morsel results poisoned");
+    out.sort_unstable_by_key(|(i, _)| *i);
+    Ok(out.into_iter().map(|(_, t)| t).collect())
+}

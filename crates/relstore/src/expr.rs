@@ -244,6 +244,7 @@ pub fn eval(expr: &Expr, schema: &RowSchema, row: &[Value]) -> RelResult<Value> 
                 _ => Err(RelError::Eval("MATCHES requires text operands".into())),
             }
         }
+        Expr::Param(i) => Err(RelError::Eval(format!("unbound parameter ?{}", i + 1))),
         Expr::Aggregate { .. } => Err(RelError::Eval(
             "aggregate used outside of a select list".into(),
         )),

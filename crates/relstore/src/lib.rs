@@ -31,26 +31,41 @@
 //!   [`Database`] facade combining all of the above behind reader/writer
 //!   locking.
 //!
+//! * [`query`] — the unified [`Query`] builder
+//!   (`db.query(sql).bind(v).with_stats().run()`), prepared statements,
+//!   the LRU plan cache, and typed row access ([`ResultRow`]).
+//!
 //! ```
 //! use xomatiq_relstore::Database;
 //!
 //! let db = Database::in_memory();
-//! db.execute("CREATE TABLE enzymes (ec TEXT, description TEXT, sites INT)").unwrap();
-//! db.execute("INSERT INTO enzymes VALUES ('1.14.17.3', 'Peptidylglycine monooxygenase.', 5)")
+//! db.query("CREATE TABLE enzymes (ec TEXT, description TEXT, sites INT)").run().unwrap();
+//! db.query("INSERT INTO enzymes VALUES (?, ?, ?)")
+//!     .bind("1.14.17.3")
+//!     .bind("Peptidylglycine monooxygenase.")
+//!     .bind(5i64)
+//!     .run()
 //!     .unwrap();
-//! let rs = db.execute("SELECT ec FROM enzymes WHERE sites > 2").unwrap();
-//! assert_eq!(rs.rows().len(), 1);
+//! let out = db.query("SELECT ec FROM enzymes WHERE sites > ?").bind(2i64).run().unwrap();
+//! assert_eq!(out.rows.rows().len(), 1);
+//! for row in out.rows {
+//!     let ec: String = row.get("ec").unwrap();
+//!     assert_eq!(ec, "1.14.17.3");
+//! }
 //! ```
 
 pub mod db;
 pub mod error;
 pub mod exec;
+pub(crate) mod exec_parallel;
 pub mod exec_reference;
 pub mod expr;
 pub mod index;
 pub(crate) mod metrics;
 pub mod plan;
 pub mod planner;
+pub(crate) mod pool;
+pub mod query;
 pub mod regex;
 pub mod schema;
 pub mod sql;
@@ -59,9 +74,10 @@ pub mod text;
 pub mod value;
 pub mod wal;
 
-pub use db::{AnalyzedQuery, Database, ResultSet};
+pub use db::{AnalyzedQuery, Database, DatabaseOptions, ResultSet};
 pub use error::{RelError, RelResult};
 pub use exec::{format_ns, ExecStats, OpProfile};
+pub use query::{ColumnError, FromValue, Prepared, Query, QueryOutcome, ResultRow, ResultRows};
 pub use schema::{Column, TableSchema};
 pub use value::{DataType, Value};
 pub use wal::{Corruption, FaultConfig, FaultyIo, RecoveryReport, StdFileIo, WalIo};

@@ -32,6 +32,17 @@ pub(crate) struct EngineMetrics {
     /// `relstore.exec.keyword_postings_read` — aggregate of
     /// [`ExecStats::keyword_postings_read`].
     pub keyword_postings: Counter,
+    /// `relstore.exec.parallel_workers` — workers used by parallel plan
+    /// executions (a sequential execution adds nothing).
+    pub parallel_workers: Counter,
+    /// `relstore.plan.cache_hit` — prepared/plan-cache lookups that
+    /// skipped parse+plan entirely.
+    pub cache_hit: Counter,
+    /// `relstore.plan.cache_miss` — cacheable SELECTs that had to be
+    /// parsed and planned.
+    pub cache_miss: Counter,
+    /// `relstore.plan.cache_evict` — plans dropped by the LRU bound.
+    pub cache_evict: Counter,
     /// `relstore.plan.latency` — planning wall-time per SELECT.
     pub plan_ns: Histogram,
     /// `relstore.exec.latency` — execution wall-time per SELECT.
@@ -63,6 +74,10 @@ pub(crate) fn engine() -> &'static EngineMetrics {
             rows_emitted: reg.counter("relstore.exec.rows_emitted"),
             index_probes: reg.counter("relstore.exec.index_probes"),
             keyword_postings: reg.counter("relstore.exec.keyword_postings_read"),
+            parallel_workers: reg.counter("relstore.exec.parallel_workers"),
+            cache_hit: reg.counter("relstore.plan.cache_hit"),
+            cache_miss: reg.counter("relstore.plan.cache_miss"),
+            cache_evict: reg.counter("relstore.plan.cache_evict"),
             plan_ns: reg.histogram("relstore.plan.latency"),
             exec_ns: reg.histogram("relstore.exec.latency"),
             wal_commit_ns: reg.histogram("relstore.wal.commit_latency"),

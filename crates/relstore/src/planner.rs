@@ -455,7 +455,7 @@ fn aliases_in(expr: &Expr) -> HashSet<String> {
                     out.insert(t.to_ascii_lowercase());
                 }
             }
-            Expr::Literal(_) => {}
+            Expr::Literal(_) | Expr::Param(_) => {}
             Expr::Binary { left, right, .. } => {
                 walk(left, out);
                 walk(right, out);
@@ -570,6 +570,7 @@ impl Resolver<'_> {
         Ok(match expr {
             Expr::Column { table, name } => self.resolve_column(table, name)?,
             Expr::Literal(v) => Expr::Literal(v),
+            Expr::Param(i) => Expr::Param(i),
             Expr::Binary { op, left, right } => Expr::Binary {
                 op,
                 left: Box::new(self.resolve_expr(*left)?),

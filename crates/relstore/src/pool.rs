@@ -1,0 +1,323 @@
+//! A reusable scoped worker pool (std threads only).
+//!
+//! The pool owns `workers - 1` persistent threads; [`WorkerPool::scope`]
+//! fans a batch of closures across them while the calling thread runs the
+//! first closure inline and then helps drain the queue, so a pool is never
+//! slower than running the closures sequentially and a batch larger than
+//! the pool still completes. `scope` blocks until every closure of the
+//! batch finished, which is what makes handing non-`'static` borrows to
+//! the worker threads sound (see the safety note on [`WorkerPool::scope`]).
+//!
+//! Worker panics are caught, carried across the thread boundary and
+//! resumed on the caller once the whole batch has drained — a panicking
+//! task can therefore never leave a borrow alive on a detached thread.
+
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A type-erased unit of work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Queue shared between the pool threads and scoping callers.
+struct Shared {
+    queue: Mutex<QueueState>,
+    /// Signals pool threads that work (or shutdown) is available.
+    work_ready: Condvar,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+impl Shared {
+    /// Pops one job without blocking.
+    fn try_pop(&self) -> Option<Job> {
+        self.queue
+            .lock()
+            .expect("pool queue poisoned")
+            .jobs
+            .pop_front()
+    }
+}
+
+/// Completion tracking for one `scope` batch.
+struct Latch {
+    state: Mutex<LatchState>,
+    done: Condvar,
+}
+
+struct LatchState {
+    remaining: usize,
+    /// The first panic payload raised by a batch task, if any.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl Latch {
+    fn new(count: usize) -> Arc<Latch> {
+        Arc::new(Latch {
+            state: Mutex::new(LatchState {
+                remaining: count,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        })
+    }
+
+    /// Runs `f` under `catch_unwind`, then marks one task complete. The
+    /// completion mark lives in a drop guard so even a panic inside the
+    /// bookkeeping cannot leave the latch hanging.
+    fn run(&self, f: impl FnOnce()) {
+        if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(f)) {
+            let mut s = self.state.lock().expect("latch poisoned");
+            s.panic.get_or_insert(payload);
+        }
+        let mut s = self.state.lock().expect("latch poisoned");
+        s.remaining -= 1;
+        if s.remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.state.lock().expect("latch poisoned").remaining == 0
+    }
+}
+
+/// A fixed-size pool of persistent worker threads.
+///
+/// `workers` counts the calling thread too: a pool built for `n` workers
+/// spawns `n - 1` threads, and `workers = 1` spawns none (every scope then
+/// runs inline, with zero synchronization beyond one mutex lock).
+pub(crate) struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Builds a pool sized for `workers` total workers (min 1).
+    pub(crate) fn new(workers: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+        });
+        static POOL_SEQ: AtomicUsize = AtomicUsize::new(0);
+        let pool_id = POOL_SEQ.fetch_add(1, Ordering::Relaxed);
+        let handles = (0..workers - 1)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("relstore-pool{pool_id}-w{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            workers,
+        }
+    }
+
+    /// Total worker count (pool threads + the scoping caller).
+    #[allow(dead_code)] // exercised by tests; kept as the pool's natural API
+    pub(crate) fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs every closure in `tasks` to completion before returning.
+    ///
+    /// The caller executes the first task inline, queues the rest for the
+    /// pool threads, then helps drain the queue until the batch is done.
+    /// If any task panicked, the first panic is resumed on the caller
+    /// after the whole batch has drained.
+    ///
+    /// # Safety argument
+    ///
+    /// Tasks may borrow from the caller's stack (`'scope` need not be
+    /// `'static`); the transmute below erases that lifetime so the job can
+    /// sit in the shared queue. This is sound because `scope` does not
+    /// return — normally or by unwinding — until the latch counts every
+    /// task as finished, so no borrow outlives the frame it came from.
+    pub(crate) fn scope<'scope>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        let mut tasks = tasks;
+        let Some(first) = tasks.pop() else {
+            return;
+        };
+        let latch = Latch::new(tasks.len() + 1);
+        {
+            let mut q = self.shared.queue.lock().expect("pool queue poisoned");
+            for task in tasks {
+                let latch = Arc::clone(&latch);
+                let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || latch.run(task));
+                // SAFETY: see the function-level safety argument — the
+                // latch wait below keeps every borrow alive until the job
+                // has run (or the queue is drained by this very caller).
+                let job: Job =
+                    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
+                q.jobs.push_back(job);
+            }
+            self.shared.work_ready.notify_all();
+        }
+        latch.run(first);
+        // Help drain the queue while waiting: this also guarantees forward
+        // progress when a batch is larger than the pool, or when several
+        // scopes contend for the same threads.
+        while !latch.is_done() {
+            match self.shared.try_pop() {
+                Some(job) => job(),
+                None => {
+                    let s = self.latch_wait(&latch);
+                    if s {
+                        break;
+                    }
+                }
+            }
+        }
+        let payload = {
+            let mut s = latch.state.lock().expect("latch poisoned");
+            s.panic.take()
+        };
+        if let Some(payload) = payload {
+            panic::resume_unwind(payload);
+        }
+    }
+
+    /// Blocks briefly on the latch; returns true when the batch is done.
+    fn latch_wait(&self, latch: &Latch) -> bool {
+        let guard = latch.state.lock().expect("latch poisoned");
+        if guard.remaining == 0 {
+            return true;
+        }
+        // A short timeout keeps the caller responsive to new queue entries
+        // (another scope's jobs it could help with) without spinning.
+        let (guard, _) = latch
+            .done
+            .wait_timeout(guard, std::time::Duration::from_millis(1))
+            .expect("latch poisoned");
+        guard.remaining == 0
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("pool queue poisoned");
+            q.shutdown = true;
+            self.shared.work_ready.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break Some(job);
+                }
+                if q.shutdown {
+                    break None;
+                }
+                q = shared.work_ready.wait(q).expect("pool queue poisoned");
+            }
+        };
+        match job {
+            Some(job) => job(),
+            None => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scope_runs_every_task() {
+        let pool = WorkerPool::new(4);
+        let counter = AtomicU64::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..16)
+            .map(|i| {
+                let counter = &counter;
+                Box::new(move || {
+                    counter.fetch_add(i, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.scope(tasks);
+        assert_eq!(counter.load(Ordering::Relaxed), (0..16).sum::<u64>());
+    }
+
+    #[test]
+    fn single_worker_pool_runs_inline() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.workers(), 1);
+        let mut hits = AtomicU64::new(0);
+        pool.scope(vec![Box::new(|| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        })]);
+        assert_eq!(*hits.get_mut(), 1);
+    }
+
+    #[test]
+    fn batches_larger_than_pool_complete() {
+        let pool = WorkerPool::new(2);
+        let counter = AtomicU64::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..64)
+            .map(|_| {
+                let counter = &counter;
+                Box::new(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.scope(tasks);
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn panics_propagate_to_caller() {
+        let pool = WorkerPool::new(3);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(vec![
+                Box::new(|| {}),
+                Box::new(|| panic!("worker exploded")),
+                Box::new(|| {}),
+            ]);
+        }));
+        assert!(result.is_err());
+        // The pool survives a panicking batch and keeps working.
+        let hits = AtomicU64::new(0);
+        pool.scope(vec![
+            Box::new(|| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            }),
+            Box::new(|| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            }),
+        ]);
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+}

@@ -1,0 +1,1092 @@
+//! The unified query API: the [`Query`] builder, prepared statements, the
+//! plan cache, and typed row access.
+//!
+//! One entry point replaces the old pile of `Database` methods
+//! (`execute`, `query_with_stats`, `explain_analyze_query`,
+//! `query_reference` — all now thin deprecated wrappers):
+//!
+//! ```
+//! use xomatiq_relstore::Database;
+//!
+//! let db = Database::in_memory();
+//! db.query("CREATE TABLE t (a INT, b TEXT)").run().unwrap();
+//! db.query("INSERT INTO t VALUES (?, ?)").bind(1i64).bind("x").run().unwrap();
+//! let out = db.query("SELECT b FROM t WHERE a = ?").bind(1i64).with_stats().run().unwrap();
+//! assert_eq!(out.rows.rows().len(), 1);
+//! assert!(out.stats.is_some());
+//! ```
+//!
+//! `SELECT` plans resolved through the builder go through a per-database
+//! LRU plan cache keyed by *(normalized SQL, bound parameter values)*; a
+//! hit skips parse and plan entirely. Parameters are part of the key
+//! because they are substituted into the statement as literals *before*
+//! planning — that is what lets a bound `WHERE doc_id = ?` use the same
+//! index-selection (sargability) analysis as its literal counterpart.
+//! DDL invalidates the whole cache; hits, misses and evictions are
+//! published as `relstore.plan.cache_{hit,miss,evict}`.
+
+use std::borrow::Cow;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::db::{Database, ResultSet};
+use crate::error::{RelError, RelResult};
+use crate::exec::{ExecStats, OpProfile};
+use crate::metrics;
+use crate::plan::PlannedQuery;
+use crate::schema::Catalog;
+use crate::sql::ast::{Expr, JoinClause, OrderKey, SelectItem, SelectStmt, Statement, TableRef};
+use crate::sql::parser::parse_statement_with_params;
+use crate::table::Row;
+use crate::value::{DataType, Value};
+
+// ---------------------------------------------------------------------------
+// Plan cache
+// ---------------------------------------------------------------------------
+
+/// Multiply-xor string hasher for the plan cache. Normalized-SQL keys run
+/// hundreds of bytes, where SipHash's per-byte cost dominates the whole
+/// hit path; this construction processes 8 bytes per multiply. The cache
+/// is capacity-bounded, so hash-flooding resistance buys nothing here.
+#[derive(Default)]
+struct FxHasher(u64);
+
+impl std::hash::Hasher for FxHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        const SEED: u64 = 0x517c_c1b7_2722_0a95;
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().unwrap());
+            self.0 = (self.0 ^ word).wrapping_mul(SEED);
+        }
+        let mut tail = 0u64;
+        for (i, b) in chunks.remainder().iter().enumerate() {
+            tail |= u64::from(*b) << (8 * i);
+        }
+        self.0 = (self.0 ^ tail).wrapping_mul(SEED);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type FxMap<V> = HashMap<String, V, std::hash::BuildHasherDefault<FxHasher>>;
+
+/// A capacity-bounded LRU cache of planned `SELECT`s, keyed by
+/// [`cache_key`]. Owned by [`Database`] behind a mutex; cleared on DDL.
+pub(crate) struct PlanCache {
+    capacity: usize,
+    stamp: u64,
+    entries: FxMap<(Arc<PlannedQuery>, u64)>,
+}
+
+impl PlanCache {
+    pub(crate) fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            capacity,
+            stamp: 0,
+            entries: FxMap::default(),
+        }
+    }
+
+    /// Looks up a plan, refreshing its LRU stamp on a hit.
+    pub(crate) fn get(&mut self, key: &str) -> Option<Arc<PlannedQuery>> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        self.entries.get_mut(key).map(|(plan, s)| {
+            *s = stamp;
+            Arc::clone(plan)
+        })
+    }
+
+    /// Inserts a plan, evicting the least-recently-used entry when full.
+    pub(crate) fn insert(&mut self, key: String, plan: Arc<PlannedQuery>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.stamp += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone());
+            if let Some(victim) = victim {
+                self.entries.remove(&victim);
+                metrics::engine().cache_evict.inc();
+            }
+        }
+        self.entries.insert(key, (plan, self.stamp));
+    }
+
+    /// Drops every cached plan (the DDL invalidation hook).
+    pub(crate) fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of cached plans (used by tests).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Normalizes SQL for plan-cache keying: ASCII-lowercases and collapses
+/// whitespace runs *outside* single-quoted string literals (where `''` is
+/// the quote escape), so `SELECT  A` and `select a` share a cache entry
+/// while `'CaSe'` keeps its meaning.
+pub(crate) fn normalize_sql(sql: &str) -> String {
+    let mut out = String::with_capacity(sql.len());
+    let mut in_str = false;
+    let mut pending_space = false;
+    for ch in sql.chars() {
+        if in_str {
+            out.push(ch);
+            if ch == '\'' {
+                in_str = false;
+            }
+            continue;
+        }
+        if ch.is_whitespace() {
+            pending_space = true;
+            continue;
+        }
+        if pending_space && !out.is_empty() {
+            out.push(' ');
+        }
+        pending_space = false;
+        if ch == '\'' {
+            in_str = true;
+            out.push(ch);
+        } else {
+            out.push(ch.to_ascii_lowercase());
+        }
+    }
+    out
+}
+
+/// The cache key: normalized SQL, then each bound parameter value
+/// rendered after a `\0` separator (`Debug` keeps `Int(3)` and
+/// `Float(3.0)` distinct, which matters because parameters are planned as
+/// literals). A param-less key borrows the normalized SQL unchanged, so
+/// the prepared-statement hit path never allocates.
+pub(crate) fn cache_key<'a>(sql_norm: Cow<'a, str>, params: &[Value]) -> Cow<'a, str> {
+    if params.is_empty() {
+        return sql_norm;
+    }
+    let mut key = String::with_capacity(sql_norm.len() + 16 * params.len());
+    key.push_str(&sql_norm);
+    for p in params {
+        key.push('\0');
+        key.push_str(&format!("{p:?}"));
+    }
+    Cow::Owned(key)
+}
+
+// ---------------------------------------------------------------------------
+// Parameter substitution and type inference
+// ---------------------------------------------------------------------------
+
+fn bind_missing(i: usize) -> RelError {
+    RelError::Bind(format!("no value bound for parameter ?{}", i + 1))
+}
+
+fn check_count(expected: usize, got: usize) -> RelResult<()> {
+    if expected == got {
+        Ok(())
+    } else {
+        Err(RelError::Bind(format!(
+            "statement takes {expected} parameter(s), {got} bound"
+        )))
+    }
+}
+
+fn subst_expr(expr: &Expr, params: &[Value]) -> RelResult<Expr> {
+    Ok(match expr {
+        Expr::Param(i) => Expr::Literal(params.get(*i).ok_or_else(|| bind_missing(*i))?.clone()),
+        Expr::Literal(_) | Expr::Column { .. } => expr.clone(),
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(subst_expr(left, params)?),
+            right: Box::new(subst_expr(right, params)?),
+        },
+        Expr::Not(e) => Expr::Not(Box::new(subst_expr(e, params)?)),
+        Expr::Neg(e) => Expr::Neg(Box::new(subst_expr(e, params)?)),
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(subst_expr(expr, params)?),
+            negated: *negated,
+        },
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
+            expr: Box::new(subst_expr(expr, params)?),
+            pattern: Box::new(subst_expr(pattern, params)?),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(subst_expr(expr, params)?),
+            list: list
+                .iter()
+                .map(|e| subst_expr(e, params))
+                .collect::<RelResult<_>>()?,
+            negated: *negated,
+        },
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(subst_expr(expr, params)?),
+            low: Box::new(subst_expr(low, params)?),
+            high: Box::new(subst_expr(high, params)?),
+            negated: *negated,
+        },
+        Expr::Contains { column, keyword } => Expr::Contains {
+            column: Box::new(subst_expr(column, params)?),
+            keyword: Box::new(subst_expr(keyword, params)?),
+        },
+        Expr::Matches { column, pattern } => Expr::Matches {
+            column: Box::new(subst_expr(column, params)?),
+            pattern: Box::new(subst_expr(pattern, params)?),
+        },
+        Expr::Aggregate {
+            func,
+            arg,
+            distinct,
+        } => Expr::Aggregate {
+            func: *func,
+            arg: match arg {
+                Some(a) => Some(Box::new(subst_expr(a, params)?)),
+                None => None,
+            },
+            distinct: *distinct,
+        },
+    })
+}
+
+fn subst_select(s: &SelectStmt, params: &[Value]) -> RelResult<SelectStmt> {
+    Ok(SelectStmt {
+        distinct: s.distinct,
+        items: s
+            .items
+            .iter()
+            .map(|item| {
+                Ok(match item {
+                    SelectItem::Expr { expr, alias } => SelectItem::Expr {
+                        expr: subst_expr(expr, params)?,
+                        alias: alias.clone(),
+                    },
+                    other => other.clone(),
+                })
+            })
+            .collect::<RelResult<_>>()?,
+        from: s.from.clone(),
+        joins: s
+            .joins
+            .iter()
+            .map(|j| {
+                Ok(JoinClause {
+                    table: j.table.clone(),
+                    on: subst_expr(&j.on, params)?,
+                })
+            })
+            .collect::<RelResult<_>>()?,
+        filter: s
+            .filter
+            .as_ref()
+            .map(|f| subst_expr(f, params))
+            .transpose()?,
+        group_by: s
+            .group_by
+            .iter()
+            .map(|e| subst_expr(e, params))
+            .collect::<RelResult<_>>()?,
+        order_by: s
+            .order_by
+            .iter()
+            .map(|k| {
+                Ok(OrderKey {
+                    expr: subst_expr(&k.expr, params)?,
+                    descending: k.descending,
+                })
+            })
+            .collect::<RelResult<_>>()?,
+        limit: s.limit,
+        offset: s.offset,
+    })
+}
+
+/// Replaces every `?` placeholder with its bound value as a literal —
+/// done *before* planning, so bound parameters stay sargable.
+pub(crate) fn substitute_params(stmt: &Statement, params: &[Value]) -> RelResult<Statement> {
+    Ok(match stmt {
+        Statement::Select(s) => Statement::Select(subst_select(s, params)?),
+        Statement::Explain { analyze, inner } => Statement::Explain {
+            analyze: *analyze,
+            inner: Box::new(substitute_params(inner, params)?),
+        },
+        Statement::Insert { table, rows } => Statement::Insert {
+            table: table.clone(),
+            rows: rows
+                .iter()
+                .map(|row| row.iter().map(|e| subst_expr(e, params)).collect())
+                .collect::<RelResult<_>>()?,
+        },
+        Statement::Delete { table, filter } => Statement::Delete {
+            table: table.clone(),
+            filter: filter.as_ref().map(|f| subst_expr(f, params)).transpose()?,
+        },
+        Statement::Update {
+            table,
+            assignments,
+            filter,
+        } => Statement::Update {
+            table: table.clone(),
+            assignments: assignments
+                .iter()
+                .map(|(c, e)| Ok((c.clone(), subst_expr(e, params)?)))
+                .collect::<RelResult<_>>()?,
+            filter: filter.as_ref().map(|f| subst_expr(f, params)).transpose()?,
+        },
+        ddl => ddl.clone(),
+    })
+}
+
+/// Best-effort parameter type inference: a parameter compared against a
+/// column (`col = ?`, `? < col`, `col BETWEEN ? AND ?`, `col IN (?, ?)`),
+/// inserted into a column position, or assigned to a column, takes that
+/// column's declared type. Parameters in other positions stay untyped
+/// and bind any value verbatim.
+fn infer_param_types(stmt: &Statement, catalog: &Catalog, count: usize) -> Vec<Option<DataType>> {
+    let mut types = vec![None; count];
+    match stmt {
+        Statement::Select(s) => {
+            let mut tables: Vec<&TableRef> = s.from.iter().collect();
+            tables.extend(s.joins.iter().map(|j| &j.table));
+            let col_ty = move |qualifier: Option<&str>, name: &str| -> Option<DataType> {
+                for tr in &tables {
+                    if let Some(q) = qualifier {
+                        if !tr.alias.eq_ignore_ascii_case(q) {
+                            continue;
+                        }
+                    }
+                    if let Ok(schema) = catalog.table(&tr.table) {
+                        if let Some(i) = schema.column_index(name) {
+                            return Some(schema.columns[i].ty);
+                        }
+                    }
+                }
+                None
+            };
+            for item in &s.items {
+                if let SelectItem::Expr { expr, .. } = item {
+                    infer_expr(expr, &col_ty, &mut types);
+                }
+            }
+            for j in &s.joins {
+                infer_expr(&j.on, &col_ty, &mut types);
+            }
+            if let Some(f) = &s.filter {
+                infer_expr(f, &col_ty, &mut types);
+            }
+        }
+        Statement::Insert { table, rows } => {
+            if let Ok(schema) = catalog.table(table) {
+                for row in rows {
+                    for (pos, expr) in row.iter().enumerate() {
+                        if let Expr::Param(i) = expr {
+                            if let Some(col) = schema.columns.get(pos) {
+                                types[*i] = Some(col.ty);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Statement::Delete { table, filter } => {
+            if let (Ok(schema), Some(f)) = (catalog.table(table), filter) {
+                let col_ty = move |_: Option<&str>, name: &str| -> Option<DataType> {
+                    schema.column_index(name).map(|i| schema.columns[i].ty)
+                };
+                infer_expr(f, &col_ty, &mut types);
+            }
+        }
+        Statement::Update {
+            table,
+            assignments,
+            filter,
+        } => {
+            if let Ok(schema) = catalog.table(table) {
+                for (col, expr) in assignments {
+                    if let Expr::Param(i) = expr {
+                        if let Some(pos) = schema.column_index(col) {
+                            types[*i] = Some(schema.columns[pos].ty);
+                        }
+                    }
+                }
+                if let Some(f) = filter {
+                    let col_ty = move |_: Option<&str>, name: &str| -> Option<DataType> {
+                        schema.column_index(name).map(|i| schema.columns[i].ty)
+                    };
+                    infer_expr(f, &col_ty, &mut types);
+                }
+            }
+        }
+        _ => {}
+    }
+    types
+}
+
+fn infer_expr<F>(expr: &Expr, col_ty: &F, types: &mut [Option<DataType>])
+where
+    F: Fn(Option<&str>, &str) -> Option<DataType>,
+{
+    let mut note = |i: usize, table: &Option<String>, name: &str| {
+        if types[i].is_none() {
+            types[i] = col_ty(table.as_deref(), name);
+        }
+    };
+    match expr {
+        Expr::Binary { op, left, right } => {
+            if op.is_comparison() {
+                match (&**left, &**right) {
+                    (Expr::Column { table, name }, Expr::Param(i))
+                    | (Expr::Param(i), Expr::Column { table, name }) => note(*i, table, name),
+                    _ => {}
+                }
+            }
+            infer_expr(left, col_ty, types);
+            infer_expr(right, col_ty, types);
+        }
+        Expr::Between {
+            expr: e, low, high, ..
+        } => {
+            if let Expr::Column { table, name } = &**e {
+                for bound in [&**low, &**high] {
+                    if let Expr::Param(i) = bound {
+                        note(*i, table, name);
+                    }
+                }
+            }
+            infer_expr(e, col_ty, types);
+            infer_expr(low, col_ty, types);
+            infer_expr(high, col_ty, types);
+        }
+        Expr::InList { expr: e, list, .. } => {
+            if let Expr::Column { table, name } = &**e {
+                for item in list {
+                    if let Expr::Param(i) = item {
+                        note(*i, table, name);
+                    }
+                }
+            }
+            infer_expr(e, col_ty, types);
+            for item in list {
+                infer_expr(item, col_ty, types);
+            }
+        }
+        Expr::Like {
+            expr: e, pattern, ..
+        } => {
+            if let Expr::Param(i) = &**pattern {
+                if types[*i].is_none() {
+                    types[*i] = Some(DataType::Text);
+                }
+            }
+            infer_expr(e, col_ty, types);
+            infer_expr(pattern, col_ty, types);
+        }
+        Expr::Contains { column, keyword }
+        | Expr::Matches {
+            column,
+            pattern: keyword,
+        } => {
+            if let Expr::Param(i) = &**keyword {
+                if types[*i].is_none() {
+                    types[*i] = Some(DataType::Text);
+                }
+            }
+            infer_expr(column, col_ty, types);
+            infer_expr(keyword, col_ty, types);
+        }
+        Expr::Not(e) | Expr::Neg(e) => infer_expr(e, col_ty, types),
+        Expr::IsNull { expr: e, .. } => infer_expr(e, col_ty, types),
+        Expr::Aggregate { arg: Some(a), .. } => infer_expr(a, col_ty, types),
+        Expr::Aggregate { arg: None, .. }
+        | Expr::Literal(_)
+        | Expr::Param(_)
+        | Expr::Column { .. } => {}
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prepared statements
+// ---------------------------------------------------------------------------
+
+/// A statement parsed once and reusable with different bound parameters,
+/// produced by [`Database::prepare`].
+///
+/// Parameter types are inferred at prepare time from the columns each
+/// placeholder is compared against (or inserted into); at bind time every
+/// value is coerced to its inferred type, and a value that does not
+/// coerce fails with [`RelError::Bind`] before anything executes.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    pub(crate) stmt: Statement,
+    pub(crate) sql_norm: String,
+    pub(crate) param_count: usize,
+    pub(crate) param_types: Vec<Option<DataType>>,
+}
+
+impl Prepared {
+    /// Number of `?` placeholders in the statement.
+    pub fn param_count(&self) -> usize {
+        self.param_count
+    }
+
+    /// Inferred parameter types, one per placeholder; `None` means the
+    /// placeholder's type could not be inferred and binds any value.
+    pub fn param_types(&self) -> &[Option<DataType>] {
+        &self.param_types
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The Query builder
+// ---------------------------------------------------------------------------
+
+enum QuerySource<'a> {
+    Sql(&'a str),
+    Prepared(&'a Prepared),
+}
+
+/// A fluent, single entry point for executing statements:
+/// `db.query(sql).bind(v).with_stats().run()`.
+///
+/// `SELECT`s resolved through the builder use the plan cache and, when
+/// the plan shape allows it, the morsel-parallel executor. Profiled runs
+/// ([`Query::with_profile`]) and reference runs ([`Query::via_reference`])
+/// always execute sequentially.
+pub struct Query<'a> {
+    db: &'a Database,
+    source: QuerySource<'a>,
+    params: Vec<Value>,
+    with_stats: bool,
+    with_profile: bool,
+    reference: bool,
+    workers: Option<usize>,
+}
+
+/// What one [`Query::run`] produced.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The statement's result rows (or DML affected-count).
+    pub rows: ResultSet,
+    /// Executor counters, present when [`Query::with_stats`] or
+    /// [`Query::with_profile`] was requested (SELECT only).
+    pub stats: Option<ExecStats>,
+    /// Per-operator profile, present when [`Query::with_profile`] was
+    /// requested (SELECT only).
+    pub profile: Option<OpProfile>,
+}
+
+impl<'a> Query<'a> {
+    /// Binds the next `?` placeholder (placeholders bind left-to-right).
+    pub fn bind(mut self, value: impl Into<Value>) -> Self {
+        self.params.push(value.into());
+        self
+    }
+
+    /// Binds a [`Value`] directly (useful for `Value::Null`).
+    pub fn bind_value(mut self, value: Value) -> Self {
+        self.params.push(value);
+        self
+    }
+
+    /// Requests executor counters in the outcome (SELECT only).
+    pub fn with_stats(mut self) -> Self {
+        self.with_stats = true;
+        self
+    }
+
+    /// Requests a per-operator runtime profile (SELECT only; forces the
+    /// sequential streaming executor, as `EXPLAIN ANALYZE` does).
+    pub fn with_profile(mut self) -> Self {
+        self.with_profile = true;
+        self
+    }
+
+    /// Runs the statement on the materializing reference interpreter
+    /// instead of the streaming/parallel executors (SELECT only) — the
+    /// oracle the property suite compares against.
+    pub fn via_reference(mut self) -> Self {
+        self.reference = true;
+        self
+    }
+
+    /// Overrides the worker count for this query only (capped below by 1;
+    /// `1` forces sequential execution). Defaults to
+    /// [`DatabaseOptions::workers`](crate::db::DatabaseOptions::workers).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    fn effective_workers(&self) -> usize {
+        self.workers.unwrap_or(self.db.options.workers).max(1)
+    }
+
+    /// The normalized-SQL cache key prefix plus the (coerced) parameters.
+    /// A prepared source borrows its precomputed normalization — the hit
+    /// path must not copy the SQL text.
+    fn norm_and_params(&self) -> RelResult<(Cow<'a, str>, Vec<Value>)> {
+        match self.source {
+            QuerySource::Sql(sql) => Ok((Cow::Owned(normalize_sql(sql)), self.params.clone())),
+            QuerySource::Prepared(p) => {
+                check_count(p.param_count, self.params.len())?;
+                let coerced = self
+                    .params
+                    .iter()
+                    .zip(&p.param_types)
+                    .enumerate()
+                    .map(|(i, (v, ty))| match ty {
+                        Some(ty) => v.coerce(*ty).ok_or_else(|| {
+                            RelError::Bind(format!(
+                                "parameter ?{} ({v:?}) does not coerce to {ty}",
+                                i + 1
+                            ))
+                        }),
+                        None => Ok(v.clone()),
+                    })
+                    .collect::<RelResult<Vec<_>>>()?;
+                Ok((Cow::Borrowed(p.sql_norm.as_str()), coerced))
+            }
+        }
+    }
+
+    /// Parses (if needed) and substitutes parameters into the statement.
+    fn statement(&self, params: &[Value]) -> RelResult<Statement> {
+        match self.source {
+            QuerySource::Sql(sql) => {
+                let (stmt, count) = parse_statement_with_params(sql)?;
+                check_count(count, params.len())?;
+                substitute_params(&stmt, params)
+            }
+            QuerySource::Prepared(p) => substitute_params(&p.stmt, params),
+        }
+    }
+
+    /// Resolves the query's plan through the plan cache without executing
+    /// it (SELECT only). A warm cache makes this skip parse and plan
+    /// entirely — the path the bench's ≥100× cache-hit gate measures.
+    pub fn planned(&self) -> RelResult<Arc<PlannedQuery>> {
+        let m = metrics::engine();
+        let (norm, params) = self.norm_and_params()?;
+        let key = cache_key(norm, &params);
+        if let Some(planned) = self.db.plan_cache.lock().get(key.as_ref()) {
+            m.cache_hit.inc();
+            return Ok(planned);
+        }
+        let stmt = self.statement(&params)?;
+        let Statement::Select(select) = stmt else {
+            return Err(RelError::Parse("only SELECT can be planned".into()));
+        };
+        m.cache_miss.inc();
+        let planned = Arc::new(self.db.plan_select_stmt(&select)?);
+        self.db
+            .plan_cache
+            .lock()
+            .insert(key.into_owned(), Arc::clone(&planned));
+        Ok(planned)
+    }
+
+    /// Executes the statement.
+    pub fn run(self) -> RelResult<QueryOutcome> {
+        if self.with_profile {
+            return self.run_profiled();
+        }
+        if self.reference {
+            return self.run_reference();
+        }
+        let m = metrics::engine();
+        let (norm, params) = self.norm_and_params()?;
+        let key = cache_key(norm, &params);
+        let cached = self.db.plan_cache.lock().get(key.as_ref());
+        if let Some(planned) = cached {
+            m.cache_hit.inc();
+            let (rows, stats) = self
+                .db
+                .run_planned_query(&planned, self.effective_workers())?;
+            return Ok(QueryOutcome {
+                rows,
+                stats: self.with_stats.then_some(stats),
+                profile: None,
+            });
+        }
+        let stmt = self.statement(&params)?;
+        match stmt {
+            Statement::Select(select) => {
+                m.cache_miss.inc();
+                let planned = Arc::new(self.db.plan_select_stmt(&select)?);
+                self.db
+                    .plan_cache
+                    .lock()
+                    .insert(key.into_owned(), Arc::clone(&planned));
+                let (rows, stats) = self
+                    .db
+                    .run_planned_query(&planned, self.effective_workers())?;
+                Ok(QueryOutcome {
+                    rows,
+                    stats: self.with_stats.then_some(stats),
+                    profile: None,
+                })
+            }
+            other => {
+                if self.with_stats {
+                    return Err(RelError::Parse("only SELECT reports exec stats".into()));
+                }
+                let rows = self.db.execute_statement(other)?;
+                Ok(QueryOutcome {
+                    rows,
+                    stats: None,
+                    profile: None,
+                })
+            }
+        }
+    }
+
+    fn run_profiled(self) -> RelResult<QueryOutcome> {
+        let (_, params) = self.norm_and_params()?;
+        let select = match self.statement(&params)? {
+            Statement::Select(select) => select,
+            Statement::Explain { inner, .. } => match *inner {
+                Statement::Select(select) => select,
+                _ => return Err(RelError::Parse("EXPLAIN supports SELECT only".into())),
+            },
+            _ => return Err(RelError::Parse("only SELECT can be analyzed".into())),
+        };
+        let analyzed = self.db.analyze_select(&select)?;
+        Ok(QueryOutcome {
+            rows: analyzed.result,
+            stats: Some(analyzed.stats),
+            profile: Some(analyzed.profile),
+        })
+    }
+
+    fn run_reference(self) -> RelResult<QueryOutcome> {
+        let (_, params) = self.norm_and_params()?;
+        let Statement::Select(select) = self.statement(&params)? else {
+            return Err(RelError::Parse(
+                "only SELECT runs on the reference executor".into(),
+            ));
+        };
+        let rows = self.db.run_select_reference(&select)?;
+        Ok(QueryOutcome {
+            rows,
+            stats: None,
+            profile: None,
+        })
+    }
+}
+
+impl Database {
+    /// Starts a [`Query`] builder over one SQL statement — the unified
+    /// entry point for every statement kind (SELECT, DML, DDL, EXPLAIN).
+    pub fn query<'a>(&'a self, sql: &'a str) -> Query<'a> {
+        Query {
+            db: self,
+            source: QuerySource::Sql(sql),
+            params: Vec::new(),
+            with_stats: false,
+            with_profile: false,
+            reference: false,
+            workers: None,
+        }
+    }
+
+    /// Parses `sql` once into a reusable [`Prepared`] handle, inferring a
+    /// type for each `?` placeholder from the catalog.
+    pub fn prepare(&self, sql: &str) -> RelResult<Prepared> {
+        let (stmt, param_count) = parse_statement_with_params(sql)?;
+        let param_types = {
+            let storage = self.storage.read();
+            infer_param_types(&stmt, &storage.catalog, param_count)
+        };
+        Ok(Prepared {
+            sql_norm: normalize_sql(sql),
+            stmt,
+            param_count,
+            param_types,
+        })
+    }
+
+    /// Starts a [`Query`] builder over a prepared statement.
+    pub fn query_prepared<'a>(&'a self, prepared: &'a Prepared) -> Query<'a> {
+        Query {
+            db: self,
+            source: QuerySource::Prepared(prepared),
+            params: Vec::new(),
+            with_stats: false,
+            with_profile: false,
+            reference: false,
+            workers: None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed row access
+// ---------------------------------------------------------------------------
+
+/// A typed-access error from [`ResultRow::get`] / [`ResultRow::try_get`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ColumnError {
+    /// The named column does not exist in the result set.
+    NoSuchColumn(String),
+    /// The cell is SQL NULL; use [`ResultRow::try_get`] for an `Option`.
+    Null(String),
+    /// The cell's runtime type does not convert to the requested type.
+    TypeMismatch {
+        /// The accessed column.
+        column: String,
+        /// The requested Rust type.
+        expected: &'static str,
+        /// The cell's actual runtime type.
+        actual: &'static str,
+    },
+}
+
+impl std::fmt::Display for ColumnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ColumnError::NoSuchColumn(c) => write!(f, "no such column {c:?}"),
+            ColumnError::Null(c) => write!(f, "column {c:?} is NULL"),
+            ColumnError::TypeMismatch {
+                column,
+                expected,
+                actual,
+            } => write!(f, "column {column:?} is {actual}, requested {expected}"),
+        }
+    }
+}
+
+impl std::error::Error for ColumnError {}
+
+fn value_type_name(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Int(_) => "int",
+        Value::Float(_) => "float",
+        Value::Text(_) => "text",
+    }
+}
+
+/// Conversion from a non-NULL [`Value`] cell, used by [`ResultRow::get`].
+pub trait FromValue: Sized {
+    /// Human-readable name of the requested type, used in error messages.
+    const EXPECTED: &'static str;
+
+    /// Converts from a non-NULL value; `None` on type mismatch.
+    fn from_value(v: &Value) -> Option<Self>;
+}
+
+impl FromValue for i64 {
+    const EXPECTED: &'static str = "int";
+
+    fn from_value(v: &Value) -> Option<i64> {
+        v.as_int()
+    }
+}
+
+impl FromValue for f64 {
+    const EXPECTED: &'static str = "float";
+
+    fn from_value(v: &Value) -> Option<f64> {
+        v.as_f64()
+    }
+}
+
+impl FromValue for String {
+    const EXPECTED: &'static str = "text";
+
+    fn from_value(v: &Value) -> Option<String> {
+        v.as_text().map(str::to_string)
+    }
+}
+
+impl FromValue for Value {
+    const EXPECTED: &'static str = "value";
+
+    fn from_value(v: &Value) -> Option<Value> {
+        Some(v.clone())
+    }
+}
+
+/// One row of a [`ResultSet`] with name-based, typed column access.
+#[derive(Debug, Clone)]
+pub struct ResultRow {
+    columns: Arc<[String]>,
+    values: Row,
+}
+
+impl ResultRow {
+    /// The result set's column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The row's cells in column order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Consumes the row into its cells.
+    pub fn into_values(self) -> Row {
+        self.values
+    }
+
+    fn position(&self, column: &str) -> Result<usize, ColumnError> {
+        self.columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(column))
+            .ok_or_else(|| ColumnError::NoSuchColumn(column.to_string()))
+    }
+
+    /// Typed access to a non-NULL cell: `row.get::<i64>("doc_id")?`.
+    /// NULL is an error here; use [`ResultRow::try_get`] to map NULL to
+    /// `None` instead.
+    pub fn get<T: FromValue>(&self, column: &str) -> Result<T, ColumnError> {
+        let v = &self.values[self.position(column)?];
+        if v.is_null() {
+            return Err(ColumnError::Null(column.to_string()));
+        }
+        T::from_value(v).ok_or_else(|| ColumnError::TypeMismatch {
+            column: column.to_string(),
+            expected: T::EXPECTED,
+            actual: value_type_name(v),
+        })
+    }
+
+    /// Like [`ResultRow::get`], but NULL becomes `Ok(None)`.
+    pub fn try_get<T: FromValue>(&self, column: &str) -> Result<Option<T>, ColumnError> {
+        let v = &self.values[self.position(column)?];
+        if v.is_null() {
+            return Ok(None);
+        }
+        T::from_value(v)
+            .map(Some)
+            .ok_or_else(|| ColumnError::TypeMismatch {
+                column: column.to_string(),
+                expected: T::EXPECTED,
+                actual: value_type_name(v),
+            })
+    }
+}
+
+/// Iterator over a [`ResultSet`]'s rows as [`ResultRow`]s.
+pub struct ResultRows {
+    columns: Arc<[String]>,
+    rows: std::vec::IntoIter<Row>,
+}
+
+impl Iterator for ResultRows {
+    type Item = ResultRow;
+
+    fn next(&mut self) -> Option<ResultRow> {
+        self.rows.next().map(|values| ResultRow {
+            columns: Arc::clone(&self.columns),
+            values,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.rows.size_hint()
+    }
+}
+
+impl ExactSizeIterator for ResultRows {}
+
+impl IntoIterator for ResultSet {
+    type Item = ResultRow;
+    type IntoIter = ResultRows;
+
+    fn into_iter(self) -> ResultRows {
+        let columns: Arc<[String]> = self.columns().to_vec().into();
+        ResultRows {
+            columns,
+            rows: self.into_rows().into_iter(),
+        }
+    }
+}
+
+impl IntoIterator for &ResultSet {
+    type Item = ResultRow;
+    type IntoIter = ResultRows;
+
+    fn into_iter(self) -> ResultRows {
+        let columns: Arc<[String]> = self.columns().to_vec().into();
+        ResultRows {
+            columns,
+            rows: self.rows().to_vec().into_iter(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_collapses_outside_strings() {
+        assert_eq!(
+            normalize_sql("SELECT  A\n FROM   T WHERE x = 'Ca  Se'"),
+            "select a from t where x = 'Ca  Se'"
+        );
+        assert_eq!(normalize_sql("  SELECT 1  "), "select 1");
+        // The '' escape keeps the literal open across the doubled quote.
+        assert_eq!(normalize_sql("SELECT 'IT''S  A'"), "select 'IT''S  A'");
+    }
+
+    #[test]
+    fn cache_key_distinguishes_param_types() {
+        let a = cache_key(Cow::Borrowed("select 1"), &[Value::Int(3)]);
+        let b = cache_key(Cow::Borrowed("select 1"), &[Value::Float(3.0)]);
+        assert_ne!(a, b);
+        // No params: the key is the normalized SQL itself, still borrowed.
+        let key = cache_key(Cow::Borrowed("select 1"), &[]);
+        assert_eq!(key, "select 1");
+        assert!(matches!(key, Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn plan_cache_evicts_least_recently_used() {
+        use crate::plan::{Plan, PlannedQuery};
+        let plan = || {
+            Arc::new(PlannedQuery {
+                plan: Plan::Scan {
+                    table: "t".into(),
+                    alias: "t".into(),
+                },
+                visible: 1,
+            })
+        };
+        let mut cache = PlanCache::new(2);
+        cache.insert("a".into(), plan());
+        cache.insert("b".into(), plan());
+        assert!(cache.get("a").is_some()); // refresh a; b is now LRU
+        cache.insert("c".into(), plan());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("b").is_none());
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_some());
+    }
+}

@@ -7,6 +7,10 @@ use crate::value::{DataType, Value};
 pub enum Expr {
     /// A literal value.
     Literal(Value),
+    /// A `?` placeholder, numbered left-to-right from zero. Parameters
+    /// are substituted with bound literals before planning; evaluating an
+    /// unbound parameter is an error.
+    Param(usize),
     /// A column reference, optionally qualified by a table alias.
     Column {
         /// Optional table alias qualifier.
@@ -117,7 +121,7 @@ impl Expr {
     pub fn has_aggregate(&self) -> bool {
         match self {
             Expr::Aggregate { .. } => true,
-            Expr::Literal(_) | Expr::Column { .. } => false,
+            Expr::Literal(_) | Expr::Param(_) | Expr::Column { .. } => false,
             Expr::Binary { left, right, .. } => left.has_aggregate() || right.has_aggregate(),
             Expr::Not(e) | Expr::Neg(e) => e.has_aggregate(),
             Expr::IsNull { expr, .. } => expr.has_aggregate(),

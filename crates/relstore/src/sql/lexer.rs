@@ -14,7 +14,7 @@ pub enum Token {
     Int(i64),
     /// A float literal.
     Float(f64),
-    /// A punctuation or operator token: `( ) , . * = <> < <= > >= + - /`.
+    /// A punctuation or operator token: `( ) , . * = <> < <= > >= + - / ?`.
     Sym(&'static str),
 }
 
@@ -135,6 +135,7 @@ pub fn tokenize_sql(input: &str) -> RelResult<Vec<Token>> {
                     Some(b'=') => "<>",
                     _ => return Err(RelError::Parse("unexpected '!'".into())),
                 },
+                '?' => "?",
                 other => return Err(RelError::Parse(format!("unexpected character {other:?}"))),
             };
             i += sym.len().max(if c == '!' { 2 } else { 1 });

@@ -9,9 +9,19 @@ use crate::value::{DataType, Value};
 
 /// Parses one SQL statement (an optional trailing `;` is accepted).
 pub fn parse_statement(sql: &str) -> RelResult<Statement> {
+    parse_statement_with_params(sql).map(|(stmt, _)| stmt)
+}
+
+/// Parses one SQL statement, also returning the number of `?` placeholders
+/// it contains (numbered left to right). Used by [`crate::Database::prepare`].
+pub fn parse_statement_with_params(sql: &str) -> RelResult<(Statement, usize)> {
     let sql = sql.trim().trim_end_matches(';');
     let tokens = tokenize_sql(sql)?;
-    let mut p = SqlParser { tokens, pos: 0 };
+    let mut p = SqlParser {
+        tokens,
+        pos: 0,
+        params: 0,
+    };
     let stmt = p.statement()?;
     if p.pos != p.tokens.len() {
         return Err(RelError::Parse(format!(
@@ -19,12 +29,14 @@ pub fn parse_statement(sql: &str) -> RelResult<Statement> {
             p.tokens[p.pos]
         )));
     }
-    Ok(stmt)
+    Ok((stmt, p.params))
 }
 
 struct SqlParser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Count of `?` placeholders seen so far.
+    params: usize,
 }
 
 impl SqlParser {
@@ -514,6 +526,11 @@ impl SqlParser {
             Some(Token::Int(n)) => Ok(Expr::Literal(Value::Int(n))),
             Some(Token::Float(f)) => Ok(Expr::Literal(Value::Float(f))),
             Some(Token::Str(s)) => Ok(Expr::Literal(Value::Text(s))),
+            Some(Token::Sym("?")) => {
+                let i = self.params;
+                self.params += 1;
+                Ok(Expr::Param(i))
+            }
             Some(Token::Sym("(")) => {
                 let inner = self.expr()?;
                 self.expect_sym(")")?;
@@ -817,6 +834,33 @@ mod tests {
         ] {
             assert!(parse_statement(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn placeholders_numbered_left_to_right() {
+        let (stmt, n) =
+            parse_statement_with_params("SELECT * FROM t WHERE a = ? AND b BETWEEN ? AND ?")
+                .unwrap();
+        assert_eq!(n, 3);
+        let Statement::Select(s) = stmt else {
+            panic!("expected SELECT");
+        };
+        match s.filter.unwrap() {
+            Expr::Binary { left, right, .. } => {
+                assert!(matches!(
+                    *left,
+                    Expr::Binary { ref right, .. } if **right == Expr::Param(0)
+                ));
+                assert!(matches!(
+                    *right,
+                    Expr::Between { ref low, ref high, .. }
+                        if **low == Expr::Param(1) && **high == Expr::Param(2)
+                ));
+            }
+            other => panic!("expected AND, got {other:?}"),
+        }
+        let (_, n) = parse_statement_with_params("INSERT INTO t VALUES (?, ?)").unwrap();
+        assert_eq!(n, 2);
     }
 
     #[test]

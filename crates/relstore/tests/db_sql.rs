@@ -1,5 +1,7 @@
 //! End-to-end SQL tests against the [`Database`] facade.
 
+#![allow(deprecated)] // exercises the legacy wrappers on purpose
+
 use xomatiq_relstore::{Database, Value};
 
 fn seeded() -> Database {

@@ -2,6 +2,8 @@
 //! per-operator row accounting, the self-time-sums-to-total invariant the
 //! issue pins at ±10%, and the SQL-level `EXPLAIN [ANALYZE]` statements.
 
+#![allow(deprecated)] // exercises the legacy wrappers on purpose
+
 use xomatiq_relstore::{Database, Value};
 
 fn big_db(n: i64) -> Database {

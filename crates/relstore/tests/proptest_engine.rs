@@ -4,6 +4,8 @@
 //! optimization, never a semantic change — indexed and unindexed executions
 //! of the same query over the same data return identical row multisets.
 
+#![allow(deprecated)] // exercises the legacy wrappers on purpose
+
 use proptest::prelude::*;
 use xomatiq_relstore::{Database, Value};
 

@@ -6,6 +6,8 @@
 //! never a torn write, never a half-applied transaction, and always a
 //! prefix (no committed statement disappears while a later one survives).
 
+#![allow(deprecated)] // exercises the legacy wrappers on purpose
+
 use proptest::prelude::*;
 use xomatiq_relstore::{Database, FaultConfig, FaultyIo, Value};
 

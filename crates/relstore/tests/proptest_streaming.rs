@@ -6,6 +6,8 @@
 //! ([`xomatiq_relstore::exec_reference`]) row for row, *including order* —
 //! same rows, same duplicates, same tie-breaking under Top-K.
 
+#![allow(deprecated)] // exercises the legacy wrappers on purpose
+
 use proptest::prelude::*;
 use xomatiq_relstore::{Database, Value};
 

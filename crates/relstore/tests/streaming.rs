@@ -2,6 +2,8 @@
 //! `LIMIT`/Top-K pushdown, plan-shape assertions, and the aggregate-layer
 //! regression tests (integer SUM precision and overflow).
 
+#![allow(deprecated)] // exercises the legacy wrappers on purpose
+
 use xomatiq_relstore::{Database, Value};
 
 /// A database with one `n`-row table `big(a INT, b TEXT)`.

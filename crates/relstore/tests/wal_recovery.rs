@@ -2,6 +2,8 @@
 //! tails do not; compaction preserves state; concurrent readers see
 //! consistent snapshots during writes.
 
+#![allow(deprecated)] // exercises the legacy wrappers on purpose
+
 use std::path::PathBuf;
 use std::sync::Arc;
 

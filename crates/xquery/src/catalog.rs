@@ -36,16 +36,18 @@ impl CollectionCatalog {
         strategy: ShreddingStrategy,
     ) -> QueryResult<CollectionCatalog> {
         let rows = db
-            .execute(&format!("SELECT path FROM {prefix}_paths"))
-            .map_err(|_| QueryError::UnknownCollection(name.to_string()))?;
+            .query(&format!("SELECT path FROM {prefix}_paths"))
+            .run()
+            .map_err(|_| QueryError::UnknownCollection(name.to_string()))?
+            .rows;
         let mut element_paths = Vec::new();
         let mut attribute_paths = Vec::new();
-        for row in rows.rows() {
-            if let Some(path) = row[0].as_text() {
+        for row in rows {
+            if let Ok(path) = row.get::<String>("path") {
                 if path.contains("/@") {
-                    attribute_paths.push(path.to_string());
+                    attribute_paths.push(path);
                 } else {
-                    element_paths.push(path.to_string());
+                    element_paths.push(path);
                 }
             }
         }

@@ -6,7 +6,12 @@ use std::fmt;
 pub type QueryResult<T> = Result<T, QueryError>;
 
 /// An error raised while lexing, parsing or translating a query.
+///
+/// The enum is `#[non_exhaustive]`: downstream crates must keep a
+/// wildcard arm when matching, and can rely on [`QueryError::code`] for
+/// a stable machine-readable discriminant.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum QueryError {
     /// The query text failed to lex or parse.
     Parse(String),
@@ -27,6 +32,21 @@ pub enum QueryError {
     /// as a typed error rather than a panic, so one bad query cannot take
     /// the process down.
     Internal(String),
+}
+
+impl QueryError {
+    /// A stable, machine-readable error code: one lowercase snake_case
+    /// token per variant, append-only across releases.
+    pub fn code(&self) -> &'static str {
+        match self {
+            QueryError::Parse(_) => "parse",
+            QueryError::UnboundVariable(_) => "unbound_variable",
+            QueryError::UnknownCollection(_) => "unknown_collection",
+            QueryError::EmptyPath { .. } => "empty_path",
+            QueryError::Unsupported(_) => "unsupported",
+            QueryError::Internal(_) => "internal",
+        }
+    }
 }
 
 impl fmt::Display for QueryError {
@@ -66,5 +86,18 @@ mod tests {
         }
         .to_string()
         .contains("matches nothing"));
+    }
+
+    #[test]
+    fn codes_are_stable() {
+        assert_eq!(QueryError::Parse("x".into()).code(), "parse");
+        assert_eq!(
+            QueryError::EmptyPath {
+                collection: "c".into(),
+                pattern: "//x".into()
+            }
+            .code(),
+            "empty_path"
+        );
     }
 }

@@ -95,8 +95,10 @@ fn run(warehouse: &Warehouse, query_text: &str) -> (Vec<String>, Vec<Vec<String>
     let translated = translate(&query, &warehouse.catalog).unwrap();
     let rs = warehouse
         .db
-        .execute(&translated.sql)
-        .unwrap_or_else(|e| panic!("{e}\nSQL: {}", translated.sql));
+        .query(&translated.sql)
+        .run()
+        .unwrap_or_else(|e| panic!("{e}\nSQL: {}", translated.sql))
+        .rows;
     let rows = rs
         .rows()
         .iter()
@@ -611,5 +613,5 @@ fn duplicate_return_names_are_disambiguated() {
         vec!["organism".to_string(), "organism_1".to_string()]
     );
     // And it executes.
-    w.db.execute(&t.sql).unwrap();
+    w.db.query(&t.sql).run().unwrap();
 }

@@ -15,6 +15,7 @@
 //! dtd <collection>                 show a collection's DTD (the GUI left panel)
 //! doc <collection> <entry-key>     reconstruct + print one document
 //! explain <flwr-query>             show generated SQL + plan
+//! .sql <sql>                       run raw SQL through the Query builder
 //! .explain <sql>                   show a SQL statement's plan tree
 //! .explain analyze <sql>           run the SQL, print per-operator profile
 //! .stats                           dump the process metrics registry
@@ -25,8 +26,8 @@
 
 use std::io::{BufRead, Write};
 
-use xomatiq_core::render::{render_table, render_tree};
-use xomatiq_core::tagger::tag_results;
+use xomatiq_core::render::{render_result_set, render_table, render_tree};
+use xomatiq_core::tagger::{tag_result_set, tag_results};
 use xomatiq_core::{SourceKind, Xomatiq};
 
 fn main() {
@@ -178,6 +179,14 @@ fn main() {
                     Err(e) => println!("{e}"),
                 }
             }
+            Some(cmd) if cmd.eq_ignore_ascii_case(".sql") => {
+                let rest = trimmed[cmd.len()..].trim();
+                if rest.is_empty() {
+                    println!("usage: .sql <statement>");
+                    continue;
+                }
+                run_sql(&xq, rest, xml_view);
+            }
             Some(cmd) if cmd.eq_ignore_ascii_case(".stats") => {
                 print!("{}", xomatiq_obs::global().snapshot().render_text());
             }
@@ -234,6 +243,43 @@ fn run_query(xq: &Xomatiq, query: &str, xml_view: bool) {
     }
 }
 
+/// Runs a raw SQL statement through the relstore `Query` builder. SELECTs
+/// request exec stats; DDL/DML run plain and report affected rows.
+fn run_sql(xq: &Xomatiq, sql: &str, xml_view: bool) {
+    let is_select = sql
+        .split_whitespace()
+        .next()
+        .is_some_and(|w| w.eq_ignore_ascii_case("select"));
+    let start = std::time::Instant::now();
+    let mut query = xq.db().query(sql);
+    if is_select {
+        query = query.with_stats();
+    }
+    match query.run() {
+        Ok(out) => {
+            if xml_view {
+                match tag_result_set(&out.rows) {
+                    Ok(doc) => println!("{}", xomatiq_xml::to_string_pretty(&doc)),
+                    Err(e) => println!("tagging failed: {e}"),
+                }
+            } else {
+                print!("{}", render_result_set(&out.rows));
+            }
+            match out.stats {
+                Some(stats) => println!(
+                    "({:.2?}; {} scanned, {} emitted, {} index probes)",
+                    start.elapsed(),
+                    stats.rows_scanned,
+                    stats.rows_emitted,
+                    stats.index_probes
+                ),
+                None => println!("({:.2?})", start.elapsed()),
+            }
+        }
+        Err(e) => println!("sql failed: {e}"),
+    }
+}
+
 fn generate_demo(xq: &Xomatiq, n: usize) {
     use xomatiq_bioflat::{Corpus, CorpusSpec};
     println!("generating {n}-entry demo corpora...");
@@ -275,6 +321,7 @@ collections | stats               list what is loaded
 dtd <collection>                  show a collection's DTD
 doc <collection> <entry-key>      reconstruct and print one document
 explain FOR ... RETURN ...        show generated SQL and plan
+.sql <statement>                  run raw SQL through the Query builder
 .explain SELECT ...               show a SQL statement's plan tree
 .explain analyze SELECT ...       run the SQL and print the per-operator profile
 .stats                            dump the process metrics registry

@@ -126,16 +126,18 @@ fn relational_table_wraps_and_queries() {
     // correlation scenario) — simulated by a second engine instance.
     let remote = Database::in_memory();
     remote
-        .execute("CREATE TABLE patients (mrn TEXT, diagnosis TEXT, mim_id TEXT, age INT)")
+        .query("CREATE TABLE patients (mrn TEXT, diagnosis TEXT, mim_id TEXT, age INT)")
+        .run()
         .unwrap();
     remote
-        .execute(
+        .query(
             "INSERT INTO patients VALUES \
              ('MRN001', 'Alkaptonuria', '203500', 34), \
              ('MRN002', 'Phenylketonuria', '261600', 7), \
              ('MRN003', 'Alkaptonuria', '203500', 61), \
              ('MRN004', 'Galactosemia', '230400', 2)",
         )
+        .run()
         .unwrap();
 
     let xq = Xomatiq::in_memory();
