@@ -34,13 +34,28 @@ use crate::value::Value;
 use crate::wal::{RecoveryReport, Wal, WalIo, WalRecord};
 
 /// In-memory state: catalog, tables and index structures.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Storage {
     /// Schemas and index definitions.
     pub catalog: Catalog,
     tables: BTreeMap<String, Table>,
     btree: BTreeMap<String, BTreeIndex>,
     keyword: BTreeMap<String, KeywordIndex>,
+    /// Whether scans may skip segments via zone maps (on by default;
+    /// benches turn it off to measure the pruning win).
+    zone_map_pruning: bool,
+}
+
+impl Default for Storage {
+    fn default() -> Storage {
+        Storage {
+            catalog: Catalog::default(),
+            tables: BTreeMap::new(),
+            btree: BTreeMap::new(),
+            keyword: BTreeMap::new(),
+            zone_map_pruning: true,
+        }
+    }
 }
 
 fn key(name: &str) -> String {
@@ -67,6 +82,11 @@ impl Storage {
         self.keyword
             .get(&key(name))
             .ok_or_else(|| RelError::UnknownIndex(name.to_string()))
+    }
+
+    /// Whether scans may consult zone maps to skip segments.
+    pub fn zone_map_pruning(&self) -> bool {
+        self.zone_map_pruning
     }
 
     fn create_table(&mut self, schema: TableSchema) -> RelResult<()> {
@@ -102,7 +122,7 @@ impl Storage {
                 .expect("validated by catalog");
             let mut idx = KeywordIndex::new(col);
             for (id, row) in table.scan() {
-                idx.insert(id, row);
+                idx.insert(id, &row);
             }
             self.keyword.insert(key(&def.name), idx);
         } else {
@@ -118,7 +138,7 @@ impl Storage {
                 .collect();
             let mut idx = BTreeIndex::new(cols);
             for (id, row) in table.scan() {
-                idx.insert(id, row);
+                idx.insert(id, &row);
             }
             self.btree.insert(key(&def.name), idx);
         }
@@ -138,7 +158,7 @@ impl Storage {
             .get_mut(&key(table))
             .ok_or_else(|| RelError::UnknownTable(table.to_string()))?;
         let id = t.insert(row)?;
-        let stored = t.get(id).expect("just inserted").clone();
+        let stored = t.get(id).expect("just inserted");
         self.index_insert(table, id, &stored);
         Ok((id, stored))
     }
@@ -149,7 +169,7 @@ impl Storage {
             .get_mut(&key(table))
             .ok_or_else(|| RelError::UnknownTable(table.to_string()))?;
         t.insert_at(id, row)?;
-        let stored = t.get(id).expect("just inserted").clone();
+        let stored = t.get(id).expect("just inserted");
         self.index_insert(table, id, &stored);
         Ok(())
     }
@@ -170,7 +190,7 @@ impl Storage {
             .get_mut(&key(table))
             .ok_or_else(|| RelError::UnknownTable(table.to_string()))?;
         let old = t.update(id, row)?;
-        let new = t.get(id).expect("just updated").clone();
+        let new = t.get(id).expect("just updated");
         self.index_remove(table, id, &old);
         self.index_insert(table, id, &new);
         Ok(old)
@@ -273,7 +293,7 @@ impl Storage {
         for id in candidates {
             let Some(row) = t.get(id) else { continue };
             let keep = match filter {
-                Some(f) => eval_predicate(f, &schema, row)?,
+                Some(f) => eval_predicate(f, &schema, &row)?,
                 None => true,
             };
             if keep {
@@ -448,7 +468,7 @@ impl AnalyzedQuery {
     pub fn render(&self) -> String {
         format!(
             "{}(total: {}, rows scanned: {}, rows emitted: {}, buffered peak: {}, \
-             index probes: {}, keyword postings read: {})\n",
+             index probes: {}, keyword postings read: {}, segments pruned: {})\n",
             self.profile.render(),
             format_ns(self.total_ns),
             self.stats.rows_scanned,
@@ -456,6 +476,7 @@ impl AnalyzedQuery {
             self.stats.buffered_peak,
             self.stats.index_probes,
             self.stats.keyword_postings_read,
+            self.stats.segments_pruned,
         )
     }
 }
@@ -477,6 +498,9 @@ pub struct DatabaseOptions {
     pub morsel_size: usize,
     /// Maximum number of cached `SELECT` plans (`0` disables the cache).
     pub plan_cache_capacity: usize,
+    /// Whether scans may skip segments via zone maps. On by default;
+    /// benches disable it to measure the unpruned baseline.
+    pub zone_map_pruning: bool,
 }
 
 impl Default for DatabaseOptions {
@@ -494,6 +518,7 @@ impl Default for DatabaseOptions {
             workers,
             morsel_size: 1024,
             plan_cache_capacity: 128,
+            zone_map_pruning: true,
         }
     }
 }
@@ -509,10 +534,11 @@ pub struct Database {
 
 impl Database {
     fn assemble(
-        storage: Storage,
+        mut storage: Storage,
         wal: Option<Mutex<WalState>>,
         options: DatabaseOptions,
     ) -> Database {
+        storage.zone_map_pruning = options.zone_map_pruning;
         let pool = WorkerPool::new(options.workers);
         let plan_cache = Mutex::new(PlanCache::new(options.plan_cache_capacity));
         Database {
@@ -537,6 +563,13 @@ impl Database {
     /// The options this database was built with.
     pub fn options(&self) -> &DatabaseOptions {
         &self.options
+    }
+
+    /// Toggles zone-map segment pruning at runtime (bench A/B runs).
+    /// Disabling it only stops scans from *skipping* segments; the
+    /// vectorized kernels still evaluate pushed-down conjuncts.
+    pub fn set_zone_map_pruning(&self, enabled: bool) {
+        self.storage.write().zone_map_pruning = enabled;
     }
 
     /// Opens a durable database whose write-ahead log lives at `path`,
@@ -1020,7 +1053,7 @@ impl Database {
                     tx: 0,
                     table: schema.name.clone(),
                     row_id: id,
-                    row: row.clone(),
+                    row,
                 });
             }
         }
@@ -1304,13 +1337,13 @@ fn apply_batch_statement(
             }
             let ids = storage.matching_rows(&table, filter.as_ref())?;
             for id in &ids {
-                let current = storage.table(&table)?.get(*id).expect("matched").clone();
+                let current = storage.table(&table)?.get(*id).expect("matched");
                 let mut next = current.clone();
                 for ((_, expr), pos) in assignments.iter().zip(&positions) {
                     next[*pos] = eval(expr, &row_schema, &current)?;
                 }
                 let old = storage.update(&table, *id, next)?;
-                let stored = storage.table(&table)?.get(*id).expect("updated").clone();
+                let stored = storage.table(&table)?.get(*id).expect("updated");
                 records.push(WalRecord::Update {
                     tx,
                     table: table.clone(),

@@ -3,13 +3,17 @@
 //! A streaming (pull-based iterator) executor: [`open`] compiles each
 //! [`Plan`] operator into a cursor that yields one row at a time, so
 //! `Filter`, `Project`, `Limit`, `Distinct` and the probe side of
-//! `HashJoin` never materialize their inputs. Scan cursors *borrow* rows
-//! straight out of the table's B-tree; a row is only cloned once an
-//! operator genuinely needs ownership (projection output, join
-//! concatenation, pipeline breakers). The pipeline breakers — `Sort`,
-//! `Aggregate`, `TopK` and the build side of joins — buffer the minimum
-//! they need and account for it in [`ExecStats`], which is how tests pin
-//! the O(k) memory bound of `LIMIT`/Top-K pushdown.
+//! `HashJoin` never materialize their inputs. Scan cursors read straight
+//! out of the table's segmented column store: a base `Scan` (and a
+//! `Filter` directly above one) becomes a columnar access path that
+//! consults per-segment zone maps to skip whole segments
+//! ([`ExecStats::segments_pruned`]), evaluates sargable conjuncts with
+//! the vectorized kernels in [`crate::segment`], and materializes only
+//! the columns the operators above actually reference. The pipeline
+//! breakers — `Sort`, `Aggregate`, `TopK` and the build side of joins —
+//! buffer the minimum they need and account for it in [`ExecStats`],
+//! which is how tests pin the O(k) memory bound of `LIMIT`/Top-K
+//! pushdown.
 //!
 //! The retained materialize-everything interpreter lives on in
 //! [`crate::exec_reference`] as the oracle the property tests compare
@@ -22,11 +26,13 @@ use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::rc::Rc;
 use std::time::Instant;
 
+use crate::colstore::ColStore;
 use crate::db::Storage;
 use crate::error::{RelError, RelResult};
 use crate::expr::{eval, eval_predicate, RowSchema};
 use crate::plan::{IndexAccess, Plan, ProjectItem, SortKey};
-use crate::sql::ast::{AggFunc, Expr};
+use crate::segment::{CmpOp, SimplePred};
+use crate::sql::ast::{AggFunc, BinOp, Expr};
 use crate::table::{Row, RowId, Table};
 use crate::value::Value;
 
@@ -52,6 +58,9 @@ pub struct ExecStats {
     /// true cost of a `CONTAINS` access path, independent of how many of
     /// those postings survive visibility checks.
     pub keyword_postings_read: u64,
+    /// Segments skipped entirely because their zone maps proved no row
+    /// could satisfy a pushed-down predicate.
+    pub segments_pruned: u64,
 }
 
 /// Shared mutable counters threaded through every cursor of one execution.
@@ -62,11 +71,20 @@ struct StatsCell {
     buffered_peak: Cell<u64>,
     index_probes: Cell<u64>,
     keyword_postings: Cell<u64>,
+    segments_pruned: Cell<u64>,
 }
 
 impl StatsCell {
     fn scan_one(&self) {
         self.scanned.set(self.scanned.get() + 1);
+    }
+
+    fn scan_n(&self, n: u64) {
+        self.scanned.set(self.scanned.get() + n);
+    }
+
+    fn prune_n(&self, n: u64) {
+        self.segments_pruned.set(self.segments_pruned.get() + n);
     }
 
     fn buffer_grow(&self, n: u64) {
@@ -90,41 +108,11 @@ impl StatsCell {
     }
 }
 
-/// A row flowing between operators: borrowed from storage until an
-/// operator needs ownership.
-enum RowRef<'a> {
-    /// A row borrowed from a table (or another borrowed source).
-    Borrowed(&'a [Value]),
-    /// A row an operator built (projection, join concatenation, ...).
-    Owned(Row),
-}
-
-impl RowRef<'_> {
-    fn as_slice(&self) -> &[Value] {
-        match self {
-            RowRef::Borrowed(r) => r,
-            RowRef::Owned(r) => r,
-        }
-    }
-
-    fn into_owned(self) -> Row {
-        match self {
-            RowRef::Borrowed(r) => r.to_vec(),
-            RowRef::Owned(r) => r,
-        }
-    }
-}
-
-impl AsRef<[Value]> for RowRef<'_> {
-    fn as_ref(&self) -> &[Value] {
-        self.as_slice()
-    }
-}
-
-/// A pull-based operator: yields rows until exhausted.
+/// A pull-based operator: yields owned rows (materialized out of the
+/// column store, or built by an operator) until exhausted.
 trait Cursor<'a> {
     /// Pulls the next row, or `None` when the operator is exhausted.
-    fn next_row(&mut self) -> RelResult<Option<RowRef<'a>>>;
+    fn next_row(&mut self) -> RelResult<Option<Row>>;
 }
 
 type BoxCursor<'a> = Box<dyn Cursor<'a> + 'a>;
@@ -242,7 +230,7 @@ struct ProfiledCursor<'a> {
 }
 
 impl<'a> Cursor<'a> for ProfiledCursor<'a> {
-    fn next_row(&mut self) -> RelResult<Option<RowRef<'a>>> {
+    fn next_row(&mut self) -> RelResult<Option<Row>> {
         let start = Instant::now();
         let out = self.inner.next_row();
         self.node
@@ -305,7 +293,7 @@ fn run_plan(
     let (schema, mut cursor, root) = open(plan, storage, &ctx)?;
     let mut rows = Vec::new();
     while let Some(row) = cursor.next_row()? {
-        rows.push(row.into_owned());
+        rows.push(row);
     }
     let stats = ExecStats {
         rows_scanned: ctx.stats.scanned.get(),
@@ -313,6 +301,7 @@ fn run_plan(
         rows_emitted: rows.len() as u64,
         index_probes: ctx.stats.index_probes.get(),
         keyword_postings_read: ctx.stats.keyword_postings.get(),
+        segments_pruned: ctx.stats.segments_pruned.get(),
     };
     Ok((schema, rows, stats, root.map(|n| n.to_profile())))
 }
@@ -332,28 +321,23 @@ fn open_child<'a>(
     Ok((schema, cursor))
 }
 
+/// An opened operator: output schema, cursor, and its profile node when
+/// the context asks for profiling.
+type OpenedCursor<'a> = (RowSchema, BoxCursor<'a>, Option<Rc<ProfNode>>);
+
 /// Compiles a plan operator into its output schema and a cursor (plus a
 /// profile node when the context asks for profiling).
-fn open<'a>(
-    plan: &'a Plan,
-    storage: &'a Storage,
-    ctx: &ExecCtx,
-) -> RelResult<(RowSchema, BoxCursor<'a>, Option<Rc<ProfNode>>)> {
+fn open<'a>(plan: &'a Plan, storage: &'a Storage, ctx: &ExecCtx) -> RelResult<OpenedCursor<'a>> {
+    // Columnar access paths — a bare `Scan`, or a `Filter` directly over
+    // one — are compiled against the segment store (zone-map pruning,
+    // vectorized conjunct kernels) instead of the generic operator match.
+    if let Some(access) = open_access(plan, storage, ctx, None)? {
+        return Ok(access);
+    }
     let stats = &ctx.stats;
     let mut kids: Vec<Rc<ProfNode>> = Vec::new();
     let (schema, cursor): (RowSchema, BoxCursor<'a>) = match plan {
-        Plan::Scan { table, alias } => {
-            let t = storage.table(table)?;
-            let schema =
-                RowSchema::for_table(alias, t.schema().columns.iter().map(|c| c.name.clone()));
-            (
-                schema,
-                Box::new(ScanCursor {
-                    rows: t.rows(),
-                    stats: Rc::clone(stats),
-                }),
-            )
-        }
+        Plan::Scan { .. } => unreachable!("base scans are opened by open_access"),
         Plan::IndexScan {
             table,
             alias,
@@ -421,6 +405,7 @@ fn open<'a>(
                     input,
                     schema,
                     predicate,
+                    pre_applied: false,
                 }),
             )
         }
@@ -492,10 +477,25 @@ fn open<'a>(
             }
         }
         Plan::Project { input, items, .. } => {
-            let (schema, input) = open_child(input, storage, ctx, &mut kids)?;
+            if !ctx.profile {
+                if let Some(cursor) = open_fused(input, items, storage, ctx)? {
+                    return Ok((projected_schema(items), cursor, None));
+                }
+            }
+            // Tell a columnar access path which columns the projection
+            // reads, so it skips materializing the rest (notably text).
+            let needed: Vec<&Expr> = items.iter().map(|i| &i.expr).collect();
+            let (schema, input) = match open_access(input, storage, ctx, Some(&needed))? {
+                Some((schema, cursor, node)) => {
+                    kids.extend(node);
+                    (schema, cursor)
+                }
+                None => open_child(input, storage, ctx, &mut kids)?,
+            };
             (
                 projected_schema(items),
                 Box::new(ProjectCursor {
+                    cols: column_fast_paths(items.iter().map(|i| &i.expr), &schema),
                     input,
                     schema,
                     items,
@@ -508,7 +508,17 @@ fn open<'a>(
             items,
             ..
         } => {
-            let (schema, input) = open_child(input, storage, ctx, &mut kids)?;
+            let needed: Vec<&Expr> = group_by
+                .iter()
+                .chain(items.iter().map(|i| &i.expr))
+                .collect();
+            let (schema, input) = match open_access(input, storage, ctx, Some(&needed))? {
+                Some((schema, cursor, node)) => {
+                    kids.extend(node);
+                    (schema, cursor)
+                }
+                None => open_child(input, storage, ctx, &mut kids)?,
+            };
             (
                 projected_schema(items),
                 Box::new(AggregateCursor {
@@ -596,22 +606,487 @@ fn open<'a>(
     Ok((schema, cursor, Some(node)))
 }
 
-/// Full-table scan borrowing rows in insertion (document) order.
+/// Opens a storage-level access path — a bare `Scan`, or a `Filter`
+/// directly over one — against the segmented column store. Returns
+/// `None` for any other plan shape.
+///
+/// `needed` is the set of expressions the parent operator evaluates over
+/// the scanned rows (projection items, aggregate arguments); when given,
+/// only the columns those expressions (and the filter predicate)
+/// reference are materialized — the rest come out as `Null`, which is
+/// sound because nothing downstream reads them.
+///
+/// Predicate pushdown: when the *entire* filter predicate is infallible
+/// (pure comparisons/logic — can never raise an evaluation error), its
+/// sargable conjuncts are compiled into [`SimplePred`]s. Zone maps then
+/// skip whole segments, and the vectorized kernels pre-filter slots.
+/// A conjunct rejecting a row implies the full predicate rejects it, so
+/// early-dropping is observationally identical; the [`FilterCursor`] on
+/// top re-evaluates the full predicate on the survivors only when some
+/// conjunct did *not* compile to a sarg — a fully covered predicate is
+/// already enforced row-exactly by the kernels.
+fn open_access<'a>(
+    plan: &'a Plan,
+    storage: &'a Storage,
+    ctx: &ExecCtx,
+    needed: Option<&[&'a Expr]>,
+) -> RelResult<Option<OpenedCursor<'a>>> {
+    let (scan_plan, filter) = match plan {
+        Plan::Scan { .. } => (plan, None),
+        Plan::Filter { input, predicate } if matches!(&**input, Plan::Scan { .. }) => {
+            (&**input, Some(predicate))
+        }
+        _ => return Ok(None),
+    };
+    let Plan::Scan { table, alias } = scan_plan else {
+        unreachable!("matched above");
+    };
+    let t = storage.table(table)?;
+    let schema = RowSchema::for_table(alias, t.schema().columns.iter().map(|c| c.name.clone()));
+    let mask = needed
+        .and_then(|exprs| column_mask(exprs.iter().copied().chain(filter), &schema, schema.len()));
+    let (sargs, covered) = match filter {
+        Some(pred) if expr_infallible(pred, &schema) => compile_sargs(pred, &schema),
+        _ => (Vec::new(), false),
+    };
+    // Re-evaluation is skippable only when the kernels actually run
+    // (non-empty sargs) and they cover the whole predicate.
+    let pre_applied = covered && !sargs.is_empty();
+    let store = t.store();
+    let stats = &ctx.stats;
+    let scan: BoxCursor<'a> = if sargs.is_empty() {
+        Box::new(ScanCursor {
+            store,
+            seg: 0,
+            slot: 0,
+            mask,
+            stats: Rc::clone(stats),
+        })
+    } else {
+        let prune_with: &[SimplePred] = if storage.zone_map_pruning() {
+            &sargs
+        } else {
+            &[]
+        };
+        let (visited, pruned) = store.prune_segments(prune_with);
+        stats.prune_n(pruned);
+        Box::new(SegScanCursor {
+            store,
+            visited: visited.into_iter(),
+            sargs,
+            mask,
+            current: None,
+            stats: Rc::clone(stats),
+        })
+    };
+    let (cursor, node) = maybe_profile(scan, scan_plan, ctx, Vec::new());
+    let Some(predicate) = filter else {
+        return Ok(Some((schema, cursor, node)));
+    };
+    let filtered: BoxCursor<'a> = Box::new(FilterCursor {
+        input: cursor,
+        schema: schema.clone(),
+        predicate,
+        pre_applied,
+    });
+    let (cursor, node) = maybe_profile(filtered, plan, ctx, node.into_iter().collect());
+    Ok(Some((schema, cursor, node)))
+}
+
+/// Attempts the fully fused `Project(Filter(Scan))` access path: every
+/// conjunct of the predicate must compile to a sarg (so the kernels
+/// enforce it row-exactly) and every projection item must be a bare
+/// resolvable column. Returns `None` for any other shape. Kept off the
+/// profiling path so EXPLAIN ANALYZE still shows the per-operator tree.
+fn open_fused<'a>(
+    plan: &'a Plan,
+    items: &'a [ProjectItem],
+    storage: &'a Storage,
+    ctx: &ExecCtx,
+) -> RelResult<Option<BoxCursor<'a>>> {
+    let Plan::Filter { input, predicate } = plan else {
+        return Ok(None);
+    };
+    let Plan::Scan { table, alias } = &**input else {
+        return Ok(None);
+    };
+    let t = storage.table(table)?;
+    let schema = RowSchema::for_table(alias, t.schema().columns.iter().map(|c| c.name.clone()));
+    if !expr_infallible(predicate, &schema) {
+        return Ok(None);
+    }
+    let (sargs, covered) = compile_sargs(predicate, &schema);
+    if !covered || sargs.is_empty() {
+        return Ok(None);
+    }
+    let mut cols = Vec::with_capacity(items.len());
+    for item in items {
+        match &item.expr {
+            Expr::Column { table, name } => match schema.resolve(table.as_deref(), name) {
+                Ok(i) => cols.push(i),
+                Err(_) => return Ok(None),
+            },
+            _ => return Ok(None),
+        }
+    }
+    let store = t.store();
+    let prune_with: &[SimplePred] = if storage.zone_map_pruning() {
+        &sargs
+    } else {
+        &[]
+    };
+    let (visited, pruned) = store.prune_segments(prune_with);
+    ctx.stats.prune_n(pruned);
+    Ok(Some(Box::new(FusedScanCursor {
+        store,
+        visited: visited.into_iter(),
+        sargs,
+        cols,
+        batch: Vec::new().into_iter(),
+        stats: Rc::clone(&ctx.stats),
+    })))
+}
+
+/// Wraps `cursor` in a [`ProfiledCursor`] when profiling is on.
+fn maybe_profile<'a>(
+    cursor: BoxCursor<'a>,
+    plan: &Plan,
+    ctx: &ExecCtx,
+    children: Vec<Rc<ProfNode>>,
+) -> (BoxCursor<'a>, Option<Rc<ProfNode>>) {
+    if !ctx.profile {
+        return (cursor, None);
+    }
+    let node = Rc::new(ProfNode {
+        label: plan.describe(),
+        rows_out: Cell::new(0),
+        elapsed_ns: Cell::new(0),
+        children,
+    });
+    let cursor = Box::new(ProfiledCursor {
+        inner: cursor,
+        node: Rc::clone(&node),
+    });
+    (cursor, Some(node))
+}
+
+/// Resolves every column reference in `exprs` into a materialization
+/// mask. `None` (materialize everything) when a reference fails to
+/// resolve — evaluation will surface that error on full rows.
+pub(crate) fn column_mask<'e>(
+    exprs: impl Iterator<Item = &'e Expr>,
+    schema: &RowSchema,
+    arity: usize,
+) -> Option<Vec<bool>> {
+    let mut mask = vec![false; arity];
+    for expr in exprs {
+        if !mark_columns(expr, schema, &mut mask) {
+            return None;
+        }
+    }
+    Some(mask)
+}
+
+fn mark_columns(expr: &Expr, schema: &RowSchema, mask: &mut [bool]) -> bool {
+    match expr {
+        Expr::Column { table, name } => match schema.resolve(table.as_deref(), name) {
+            Ok(i) => {
+                mask[i] = true;
+                true
+            }
+            Err(_) => false,
+        },
+        Expr::Literal(_) | Expr::Param(_) => true,
+        Expr::Binary { left, right, .. } => {
+            mark_columns(left, schema, mask) && mark_columns(right, schema, mask)
+        }
+        Expr::Not(e) | Expr::Neg(e) => mark_columns(e, schema, mask),
+        Expr::IsNull { expr, .. } => mark_columns(expr, schema, mask),
+        Expr::Like { expr, pattern, .. } => {
+            mark_columns(expr, schema, mask) && mark_columns(pattern, schema, mask)
+        }
+        Expr::InList { expr, list, .. } => {
+            mark_columns(expr, schema, mask) && list.iter().all(|e| mark_columns(e, schema, mask))
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            mark_columns(expr, schema, mask)
+                && mark_columns(low, schema, mask)
+                && mark_columns(high, schema, mask)
+        }
+        Expr::Contains { column, keyword } => {
+            mark_columns(column, schema, mask) && mark_columns(keyword, schema, mask)
+        }
+        Expr::Matches { column, pattern } => {
+            mark_columns(column, schema, mask) && mark_columns(pattern, schema, mask)
+        }
+        Expr::Aggregate { arg, .. } => arg.as_deref().is_none_or(|e| mark_columns(e, schema, mask)),
+    }
+}
+
+/// Whether evaluating `expr` can never return an error: only literals,
+/// resolvable column references, comparisons, `AND`/`OR`/`NOT`,
+/// `IS NULL`, `IN` and `BETWEEN`. Arithmetic (overflow, division),
+/// `LIKE`/`CONTAINS`/`MATCHES` (type errors), parameters and aggregates
+/// are all fallible. Only an infallible predicate may be pushed below
+/// the row-at-a-time filter: early-dropping a row must not suppress an
+/// error the reference executor would raise.
+pub(crate) fn expr_infallible(expr: &Expr, schema: &RowSchema) -> bool {
+    match expr {
+        Expr::Literal(_) => true,
+        Expr::Column { table, name } => schema.resolve(table.as_deref(), name).is_ok(),
+        Expr::Binary { op, left, right } => {
+            (op.is_comparison() || matches!(op, BinOp::And | BinOp::Or))
+                && expr_infallible(left, schema)
+                && expr_infallible(right, schema)
+        }
+        Expr::Not(e) => expr_infallible(e, schema),
+        Expr::IsNull { expr, .. } => expr_infallible(expr, schema),
+        Expr::InList { expr, list, .. } => {
+            expr_infallible(expr, schema) && list.iter().all(|e| expr_infallible(e, schema))
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            expr_infallible(expr, schema)
+                && expr_infallible(low, schema)
+                && expr_infallible(high, schema)
+        }
+        _ => false,
+    }
+}
+
+/// Extracts the sargable top-level conjuncts of `expr`:
+/// `column <cmp> literal` (either orientation) and non-negated
+/// `column BETWEEN literal AND literal` (as a `>=`/`<=` pair). Dropping
+/// a row on a false-or-unknown conjunct is exactly what the WHERE clause
+/// would do, so the kernels can apply these before full evaluation.
+///
+/// The returned flag is true when the sargs *fully cover* `expr` — the
+/// predicate is exactly an AND-tree of compiled conjuncts. The kernels
+/// mirror [`Value::compare`] for every column/literal type combination
+/// (cross-type and NULL comparisons drop everything, just like
+/// three-valued logic drops false-or-unknown), so a covered predicate
+/// needs no per-row re-evaluation: every kernel survivor passes, every
+/// kernel drop would have been dropped by the WHERE clause.
+pub(crate) fn compile_sargs(expr: &Expr, schema: &RowSchema) -> (Vec<SimplePred>, bool) {
+    let mut out = Vec::new();
+    let covered = collect_sargs(expr, schema, &mut out);
+    (out, covered)
+}
+
+fn collect_sargs(expr: &Expr, schema: &RowSchema, out: &mut Vec<SimplePred>) -> bool {
+    match expr {
+        Expr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        } => {
+            // No short-circuit: both sides must still contribute sargs.
+            let l = collect_sargs(left, schema, out);
+            let r = collect_sargs(right, schema, out);
+            l && r
+        }
+        Expr::Binary { op, left, right } if op.is_comparison() => {
+            let (col, lit, op) = match (&**left, &**right) {
+                (Expr::Column { table, name }, Expr::Literal(lit)) => {
+                    (schema.resolve(table.as_deref(), name), lit, cmp_op(*op))
+                }
+                (Expr::Literal(lit), Expr::Column { table, name }) => (
+                    schema.resolve(table.as_deref(), name),
+                    lit,
+                    cmp_op(*op).flip(),
+                ),
+                _ => return false,
+            };
+            match col {
+                Ok(col) => {
+                    out.push(SimplePred {
+                        col,
+                        op,
+                        lit: lit.clone(),
+                    });
+                    true
+                }
+                Err(_) => false,
+            }
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated: false,
+        } => {
+            if let (Expr::Column { table, name }, Expr::Literal(lo), Expr::Literal(hi)) =
+                (&**expr, &**low, &**high)
+            {
+                if let Ok(col) = schema.resolve(table.as_deref(), name) {
+                    out.push(SimplePred {
+                        col,
+                        op: CmpOp::Ge,
+                        lit: lo.clone(),
+                    });
+                    out.push(SimplePred {
+                        col,
+                        op: CmpOp::Le,
+                        lit: hi.clone(),
+                    });
+                    return true;
+                }
+            }
+            false
+        }
+        _ => false,
+    }
+}
+
+fn cmp_op(op: BinOp) -> CmpOp {
+    match op {
+        BinOp::Eq => CmpOp::Eq,
+        BinOp::Ne => CmpOp::Ne,
+        BinOp::Lt => CmpOp::Lt,
+        BinOp::Le => CmpOp::Le,
+        BinOp::Gt => CmpOp::Gt,
+        BinOp::Ge => CmpOp::Ge,
+        other => unreachable!("{other:?} is not a comparison"),
+    }
+}
+
+impl CmpOp {
+    /// Mirrors the operator across the operands: `lit op col` ⇢
+    /// `col op.flip() lit`.
+    fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+}
+
+/// Full-table scan materializing rows in insertion (document) order,
+/// segment by segment. Counts each live row as it is yielded, so `LIMIT`
+/// over a scan stays O(k) in `rows_scanned`.
 struct ScanCursor<'a> {
-    rows: std::collections::btree_map::Values<'a, RowId, Row>,
+    store: &'a ColStore,
+    seg: usize,
+    slot: usize,
+    mask: Option<Vec<bool>>,
     stats: Rc<StatsCell>,
 }
 
 impl<'a> Cursor<'a> for ScanCursor<'a> {
-    fn next_row(&mut self) -> RelResult<Option<RowRef<'a>>> {
-        Ok(self.rows.next().map(|r| {
-            self.stats.scan_one();
-            RowRef::Borrowed(r)
-        }))
+    fn next_row(&mut self) -> RelResult<Option<Row>> {
+        while let Some(seg) = self.store.segments().get(self.seg) {
+            while self.slot < seg.len() {
+                let slot = self.slot;
+                self.slot += 1;
+                if seg.is_live(slot) {
+                    self.stats.scan_one();
+                    let mut row = Vec::new();
+                    seg.row_into(slot, self.mask.as_deref(), &mut row);
+                    return Ok(Some(row));
+                }
+            }
+            self.seg += 1;
+            self.slot = 0;
+        }
+        Ok(None)
     }
 }
 
-/// Index/keyword access: resolves a precomputed id list to borrowed rows.
+/// Predicate-pushdown scan: visits only the segments whose zone maps
+/// admit the sargs, evaluates the sargs with the vectorized kernels into
+/// a selection vector, and materializes surviving slots. `rows_scanned`
+/// counts the live rows of each *visited* segment (pruned segments show
+/// up in `segments_pruned` instead), charged when the segment is entered
+/// — segment granularity, still lazy under `LIMIT`.
+struct SegScanCursor<'a> {
+    store: &'a ColStore,
+    visited: std::vec::IntoIter<usize>,
+    sargs: Vec<SimplePred>,
+    mask: Option<Vec<bool>>,
+    current: Option<(usize, std::vec::IntoIter<u32>)>,
+    stats: Rc<StatsCell>,
+}
+
+impl<'a> Cursor<'a> for SegScanCursor<'a> {
+    fn next_row(&mut self) -> RelResult<Option<Row>> {
+        loop {
+            if let Some((seg_idx, sel)) = &mut self.current {
+                if let Some(slot) = sel.next() {
+                    let seg = &self.store.segments()[*seg_idx];
+                    let mut row = Vec::new();
+                    seg.row_into(slot as usize, self.mask.as_deref(), &mut row);
+                    return Ok(Some(row));
+                }
+                self.current = None;
+            }
+            let Some(seg_idx) = self.visited.next() else {
+                return Ok(None);
+            };
+            let seg = &self.store.segments()[seg_idx];
+            self.stats.scan_n(seg.live_count() as u64);
+            let mut sel = Vec::with_capacity(seg.live_count());
+            seg.live_slots(0..seg.len(), &mut sel);
+            for pred in &self.sargs {
+                seg.apply_pred(pred, &mut sel);
+            }
+            self.current = Some((seg_idx, sel.into_iter()));
+        }
+    }
+}
+
+/// Fully fused `Project(Filter(Scan))`: the kernels enforce the entire
+/// predicate (every conjunct compiled to a sarg) and every projection
+/// item is a bare column, so each segment's survivors materialize
+/// directly in projected layout — one columnar gather per projected
+/// column per segment, no intermediate full-width row, and no filter or
+/// projection operator above. Stats match [`SegScanCursor`]:
+/// segment-granular `rows_scanned`, zone-map prunes charged at open.
+struct FusedScanCursor<'a> {
+    store: &'a ColStore,
+    visited: std::vec::IntoIter<usize>,
+    sargs: Vec<SimplePred>,
+    /// Projected column positions, in output order.
+    cols: Vec<usize>,
+    batch: std::vec::IntoIter<Row>,
+    stats: Rc<StatsCell>,
+}
+
+impl<'a> Cursor<'a> for FusedScanCursor<'a> {
+    fn next_row(&mut self) -> RelResult<Option<Row>> {
+        loop {
+            if let Some(row) = self.batch.next() {
+                return Ok(Some(row));
+            }
+            let Some(seg_idx) = self.visited.next() else {
+                return Ok(None);
+            };
+            let seg = &self.store.segments()[seg_idx];
+            self.stats.scan_n(seg.live_count() as u64);
+            let mut sel = Vec::with_capacity(seg.live_count());
+            seg.live_slots(0..seg.len(), &mut sel);
+            for pred in &self.sargs {
+                seg.apply_pred(pred, &mut sel);
+            }
+            let mut batch: Vec<Row> = sel
+                .iter()
+                .map(|_| Vec::with_capacity(self.cols.len()))
+                .collect();
+            for &col in &self.cols {
+                seg.gather_column(col, &sel, &mut batch);
+            }
+            self.batch = batch.into_iter();
+        }
+    }
+}
+
+/// Index/keyword access: materializes a precomputed id list's rows.
 struct IdListCursor<'a> {
     table: &'a Table,
     ids: std::vec::IntoIter<RowId>,
@@ -619,11 +1094,11 @@ struct IdListCursor<'a> {
 }
 
 impl<'a> Cursor<'a> for IdListCursor<'a> {
-    fn next_row(&mut self) -> RelResult<Option<RowRef<'a>>> {
+    fn next_row(&mut self) -> RelResult<Option<Row>> {
         for id in self.ids.by_ref() {
             if let Some(row) = self.table.get(id) {
                 self.stats.scan_one();
-                return Ok(Some(RowRef::Borrowed(row)));
+                return Ok(Some(row));
             }
         }
         Ok(None)
@@ -635,12 +1110,16 @@ struct FilterCursor<'a> {
     input: BoxCursor<'a>,
     schema: RowSchema,
     predicate: &'a Expr,
+    /// True when the scan kernels below already enforce the *entire*
+    /// predicate (every conjunct compiled to a sarg): survivors are
+    /// known to pass, so the per-row re-evaluation is skipped.
+    pre_applied: bool,
 }
 
 impl<'a> Cursor<'a> for FilterCursor<'a> {
-    fn next_row(&mut self) -> RelResult<Option<RowRef<'a>>> {
+    fn next_row(&mut self) -> RelResult<Option<Row>> {
         while let Some(row) = self.input.next_row()? {
-            if eval_predicate(self.predicate, &self.schema, row.as_slice())? {
+            if self.pre_applied || eval_predicate(self.predicate, &self.schema, &row)? {
                 return Ok(Some(row));
             }
         }
@@ -653,19 +1132,43 @@ struct ProjectCursor<'a> {
     input: BoxCursor<'a>,
     schema: RowSchema,
     items: &'a [ProjectItem],
+    /// Per-item fast path, resolved once at open: `Some(i)` when the
+    /// item is a plain column reference, which is then copied straight
+    /// out of the row instead of walking name resolution per row. Items
+    /// that fail to resolve stay `None` so `eval` raises the identical
+    /// error on the first row.
+    cols: Vec<Option<usize>>,
+}
+
+/// Resolves each projection item that is a bare column reference to its
+/// row position.
+pub(crate) fn column_fast_paths(
+    items: impl Iterator<Item = impl std::borrow::Borrow<Expr>>,
+    schema: &RowSchema,
+) -> Vec<Option<usize>> {
+    items
+        .map(|item| match item.borrow() {
+            Expr::Column { table, name } => schema.resolve(table.as_deref(), name).ok(),
+            _ => None,
+        })
+        .collect()
 }
 
 impl<'a> Cursor<'a> for ProjectCursor<'a> {
-    fn next_row(&mut self) -> RelResult<Option<RowRef<'a>>> {
+    fn next_row(&mut self) -> RelResult<Option<Row>> {
         let Some(row) = self.input.next_row()? else {
             return Ok(None);
         };
         let projected: Row = self
             .items
             .iter()
-            .map(|item| eval(&item.expr, &self.schema, row.as_slice()))
+            .zip(&self.cols)
+            .map(|(item, col)| match col {
+                Some(i) => Ok(row[*i].clone()),
+                None => eval(&item.expr, &self.schema, &row),
+            })
             .collect::<RelResult<_>>()?;
-        Ok(Some(RowRef::Owned(projected)))
+        Ok(Some(projected))
     }
 }
 
@@ -675,16 +1178,16 @@ struct NestedLoopCursor<'a> {
     left: BoxCursor<'a>,
     /// Right input, consumed into `right` on the first pull.
     right_input: Option<BoxCursor<'a>>,
-    right: Vec<RowRef<'a>>,
+    right: Vec<Row>,
     schema: RowSchema,
     condition: Option<&'a Expr>,
-    current_left: Option<RowRef<'a>>,
+    current_left: Option<Row>,
     right_pos: usize,
     stats: Rc<StatsCell>,
 }
 
 impl<'a> Cursor<'a> for NestedLoopCursor<'a> {
-    fn next_row(&mut self) -> RelResult<Option<RowRef<'a>>> {
+    fn next_row(&mut self) -> RelResult<Option<Row>> {
         if let Some(mut rcur) = self.right_input.take() {
             while let Some(row) = rcur.next_row()? {
                 self.stats.buffer_grow(1);
@@ -703,14 +1206,14 @@ impl<'a> Cursor<'a> for NestedLoopCursor<'a> {
             while self.right_pos < self.right.len() {
                 let rrow = &self.right[self.right_pos];
                 self.right_pos += 1;
-                let mut combined = lrow.as_slice().to_vec();
-                combined.extend(rrow.as_slice().iter().cloned());
+                let mut combined = lrow.clone();
+                combined.extend(rrow.iter().cloned());
                 let keep = match self.condition {
                     Some(cond) => eval_predicate(cond, &self.schema, &combined)?,
                     None => true,
                 };
                 if keep {
-                    return Ok(Some(RowRef::Owned(combined)));
+                    return Ok(Some(combined));
                 }
             }
             self.current_left = None;
@@ -736,26 +1239,26 @@ pub(crate) fn eval_join_keys(
 }
 
 /// The buffered build side of a hash join.
-struct BuildSide<'a> {
-    rows: Vec<RowRef<'a>>,
+struct BuildSide {
+    rows: Vec<Row>,
     index: HashMap<Vec<Value>, Vec<usize>>,
 }
 
-impl<'a> BuildSide<'a> {
+impl BuildSide {
     /// Drains `input`, keeping only rows with fully non-NULL keys (rows
     /// with a NULL key can never join).
     fn build(
         schema: &RowSchema,
         keys: &[Expr],
-        mut input: BoxCursor<'a>,
+        mut input: BoxCursor<'_>,
         stats: &StatsCell,
-    ) -> RelResult<BuildSide<'a>> {
+    ) -> RelResult<BuildSide> {
         let mut side = BuildSide {
             rows: Vec::new(),
             index: HashMap::new(),
         };
         while let Some(row) = input.next_row()? {
-            if let Some(key) = eval_join_keys(keys, schema, row.as_slice())? {
+            if let Some(key) = eval_join_keys(keys, schema, &row)? {
                 stats.buffer_grow(1);
                 side.index.entry(key).or_default().push(side.rows.len());
                 side.rows.push(row);
@@ -780,16 +1283,16 @@ struct HashJoinCursor<'a> {
     schema: RowSchema,
     left_keys: &'a [Expr],
     residual: Option<&'a Expr>,
-    build: Option<BuildSide<'a>>,
+    build: Option<BuildSide>,
     right_input: Option<(RowSchema, BoxCursor<'a>)>,
     right_keys: &'a [Expr],
     /// The probe row currently being expanded: `(row, matches, position)`.
-    probe: Option<(RowRef<'a>, Vec<usize>, usize)>,
+    probe: Option<(Row, Vec<usize>, usize)>,
     stats: Rc<StatsCell>,
 }
 
 impl<'a> Cursor<'a> for HashJoinCursor<'a> {
-    fn next_row(&mut self) -> RelResult<Option<RowRef<'a>>> {
+    fn next_row(&mut self) -> RelResult<Option<Row>> {
         if let Some((rs, rcur)) = self.right_input.take() {
             self.build = Some(BuildSide::build(&rs, self.right_keys, rcur, &self.stats)?);
         }
@@ -799,14 +1302,14 @@ impl<'a> Cursor<'a> for HashJoinCursor<'a> {
                 while *pos < matches.len() {
                     let rrow = &build.rows[matches[*pos]];
                     *pos += 1;
-                    let mut combined = lrow.as_slice().to_vec();
-                    combined.extend(rrow.as_slice().iter().cloned());
+                    let mut combined = lrow.clone();
+                    combined.extend(rrow.iter().cloned());
                     let keep = match self.residual {
                         Some(cond) => eval_predicate(cond, &self.schema, &combined)?,
                         None => true,
                     };
                     if keep {
-                        return Ok(Some(RowRef::Owned(combined)));
+                        return Ok(Some(combined));
                     }
                 }
                 self.probe = None;
@@ -814,8 +1317,7 @@ impl<'a> Cursor<'a> for HashJoinCursor<'a> {
             let Some(lrow) = self.left.next_row()? else {
                 return Ok(None);
             };
-            let Some(key) = eval_join_keys(self.left_keys, &self.left_schema, lrow.as_slice())?
-            else {
+            let Some(key) = eval_join_keys(self.left_keys, &self.left_schema, &lrow)? else {
                 continue;
             };
             if let Some(matches) = build.index.get(&key) {
@@ -838,11 +1340,11 @@ struct SemiJoinCursor<'a> {
 }
 
 impl<'a> Cursor<'a> for SemiJoinCursor<'a> {
-    fn next_row(&mut self) -> RelResult<Option<RowRef<'a>>> {
+    fn next_row(&mut self) -> RelResult<Option<Row>> {
         if let Some((rs, mut rcur)) = self.right_input.take() {
             let mut keys = HashSet::new();
             while let Some(row) = rcur.next_row()? {
-                if let Some(key) = eval_join_keys(self.right_keys, &rs, row.as_slice())? {
+                if let Some(key) = eval_join_keys(self.right_keys, &rs, &row)? {
                     if keys.insert(key) {
                         self.stats.buffer_grow(1);
                     }
@@ -852,7 +1354,7 @@ impl<'a> Cursor<'a> for SemiJoinCursor<'a> {
         }
         let keys = self.build.as_ref().expect("built above");
         while let Some(lrow) = self.left.next_row()? {
-            if let Some(key) = eval_join_keys(self.left_keys, &self.left_schema, lrow.as_slice())? {
+            if let Some(key) = eval_join_keys(self.left_keys, &self.left_schema, &lrow)? {
                 if keys.contains(&key) {
                     return Ok(Some(lrow));
                 }
@@ -874,16 +1376,16 @@ struct AggregateCursor<'a> {
 }
 
 impl<'a> Cursor<'a> for AggregateCursor<'a> {
-    fn next_row(&mut self) -> RelResult<Option<RowRef<'a>>> {
+    fn next_row(&mut self) -> RelResult<Option<Row>> {
         if let Some(mut input) = self.input.take() {
             // Group rows; with no GROUP BY everything is one global group.
-            let mut groups: Vec<(Vec<Value>, Vec<RowRef<'a>>)> = Vec::new();
+            let mut groups: Vec<(Vec<Value>, Vec<Row>)> = Vec::new();
             let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
             while let Some(row) = input.next_row()? {
                 let key: Vec<Value> = self
                     .group_by
                     .iter()
-                    .map(|e| eval(e, &self.schema, row.as_slice()))
+                    .map(|e| eval(e, &self.schema, &row))
                     .collect::<RelResult<_>>()?;
                 self.stats.buffer_grow(1);
                 match index.entry(key.clone()) {
@@ -902,7 +1404,7 @@ impl<'a> Cursor<'a> for AggregateCursor<'a> {
             for (_, group_rows) in &groups {
                 let null_row;
                 let representative: &[Value] = match group_rows.first() {
-                    Some(r) => r.as_slice(),
+                    Some(r) => r,
                     None => {
                         null_row = vec![Value::Null; self.schema.len()];
                         &null_row
@@ -924,7 +1426,7 @@ impl<'a> Cursor<'a> for AggregateCursor<'a> {
         }
         if let Some(row) = self.output.next() {
             self.stats.buffer_shrink(1);
-            return Ok(Some(RowRef::Owned(row)));
+            return Ok(Some(row));
         }
         Ok(None)
     }
@@ -934,19 +1436,19 @@ impl<'a> Cursor<'a> for AggregateCursor<'a> {
 struct SortCursor<'a> {
     input: Option<BoxCursor<'a>>,
     keys: &'a [SortKey],
-    sorted: std::vec::IntoIter<RowRef<'a>>,
+    sorted: std::vec::IntoIter<Row>,
     stats: Rc<StatsCell>,
 }
 
 impl<'a> Cursor<'a> for SortCursor<'a> {
-    fn next_row(&mut self) -> RelResult<Option<RowRef<'a>>> {
+    fn next_row(&mut self) -> RelResult<Option<Row>> {
         if let Some(mut input) = self.input.take() {
             let mut rows = Vec::new();
             while let Some(row) = input.next_row()? {
                 self.stats.buffer_grow(1);
                 rows.push(row);
             }
-            rows.sort_by(|a, b| compare_rows(a.as_slice(), b.as_slice(), self.keys));
+            rows.sort_by(|a, b| compare_rows(a, b, self.keys));
             self.sorted = rows.into_iter();
         }
         if let Some(row) = self.sorted.next() {
@@ -963,14 +1465,13 @@ impl<'a> Cursor<'a> for SortCursor<'a> {
 /// evict.
 struct HeapEntry<'a> {
     keys: &'a [SortKey],
-    row: RowRef<'a>,
+    row: Row,
     seq: u64,
 }
 
 impl HeapEntry<'_> {
     fn order(&self, other: &Self) -> Ordering {
-        compare_rows(self.row.as_slice(), other.row.as_slice(), self.keys)
-            .then(self.seq.cmp(&other.seq))
+        compare_rows(&self.row, &other.row, self.keys).then(self.seq.cmp(&other.seq))
     }
 }
 
@@ -1001,12 +1502,12 @@ struct TopKCursor<'a> {
     keys: &'a [SortKey],
     limit: u64,
     offset: u64,
-    output: std::vec::IntoIter<RowRef<'a>>,
+    output: std::vec::IntoIter<Row>,
     stats: Rc<StatsCell>,
 }
 
 impl<'a> Cursor<'a> for TopKCursor<'a> {
-    fn next_row(&mut self) -> RelResult<Option<RowRef<'a>>> {
+    fn next_row(&mut self) -> RelResult<Option<Row>> {
         if let Some(mut input) = self.input.take() {
             let cap = self.offset.saturating_add(self.limit) as usize;
             if cap == 0 {
@@ -1057,10 +1558,13 @@ struct DistinctCursor<'a> {
 }
 
 impl<'a> Cursor<'a> for DistinctCursor<'a> {
-    fn next_row(&mut self) -> RelResult<Option<RowRef<'a>>> {
+    fn next_row(&mut self) -> RelResult<Option<Row>> {
         while let Some(row) = self.input.next_row()? {
-            let key: Vec<Value> = row.as_slice().iter().take(self.visible).cloned().collect();
-            if self.seen.insert(key) {
+            // Probe with the borrowed prefix; clone the key only for the
+            // first occurrence that actually enters the set.
+            let key = &row[..self.visible.min(row.len())];
+            if !self.seen.contains(key) {
+                self.seen.insert(key.to_vec());
                 self.stats.buffer_grow(1);
                 return Ok(Some(row));
             }
@@ -1078,7 +1582,7 @@ struct LimitCursor<'a> {
 }
 
 impl<'a> Cursor<'a> for LimitCursor<'a> {
-    fn next_row(&mut self) -> RelResult<Option<RowRef<'a>>> {
+    fn next_row(&mut self) -> RelResult<Option<Row>> {
         if self.remaining == Some(0) {
             return Ok(None);
         }

@@ -1,14 +1,24 @@
-//! Morsel-driven parallel execution.
+//! Morsel-driven parallel execution over the segmented column store.
 //!
-//! Table scans are split into fixed-size row-range *morsels*; a reusable
+//! Table scans are split into *segment-aligned* morsels — slot ranges
+//! within a single column-store segment — so a worker touches one
+//! segment's column vectors at a time and no per-morsel row
+//! materialization happens up front. Zone maps prune non-matching
+//! segments before any morsel is formed, the sargable conjuncts of the
+//! innermost filter run as vectorized kernels over each morsel's
+//! selection vector, and only surviving slots are materialized (through
+//! the same column mask the streaming access path uses). A reusable
 //! [`WorkerPool`] fans the morsels across workers and the per-morsel
 //! outputs are reassembled in morsel order, which makes every parallel
-//! plan produce byte-identical rows — and identical [`ExecStats`] — to the
-//! streaming executor in `exec.rs`. Only plan shapes whose output order is
-//! a pure function of morsel order are eligible (see [`parallel_eligible`]);
-//! anything else (sorts, limits, nested-loop joins, index access paths)
-//! falls back to the sequential streaming executor, a decision the planner
-//! surfaces as the `parallel=N` line of `EXPLAIN`.
+//! plan produce byte-identical rows — and identical [`ExecStats`],
+//! including `segments_pruned` — to the streaming executor in `exec.rs`.
+//! Only plan shapes whose output order is a pure function of morsel order
+//! are eligible (see [`parallel_eligible`]); anything else (sorts, limits,
+//! nested-loop joins, index access paths) falls back to the sequential
+//! streaming executor, a decision the planner surfaces as the
+//! `parallel=N` line of `EXPLAIN`. Tables too small to amortize the
+//! hand-off (fewer than two morsels' worth of rows) also run
+//! sequentially; see [`should_parallelize`].
 //!
 //! Error semantics match streaming exactly: the streaming executor stops
 //! at the first failing row in scan order, so workers here track the
@@ -23,12 +33,17 @@ use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use crate::colstore::ColStore;
 use crate::db::Storage;
 use crate::error::{RelError, RelResult};
-use crate::exec::{eval_join_keys, materialize_aggregates, projected_schema, ExecStats};
+use crate::exec::{
+    column_fast_paths, column_mask, compile_sargs, eval_join_keys, expr_infallible,
+    materialize_aggregates, projected_schema, ExecStats,
+};
 use crate::expr::{eval, eval_predicate, RowSchema};
 use crate::plan::{Plan, ProjectItem};
 use crate::pool::WorkerPool;
+use crate::segment::SimplePred;
 use crate::sql::ast::Expr;
 use crate::table::Row;
 use crate::value::Value;
@@ -166,9 +181,32 @@ pub(crate) fn parallel_eligible(plan: &Plan) -> bool {
     parse_shape(plan).is_some()
 }
 
+/// Whether splitting `total_rows` across workers is worth the hand-off:
+/// below two morsels' worth of rows there is at most one morsel per
+/// worker pair and the scan itself is cheaper than scheduling it.
+pub(crate) fn should_parallelize(total_rows: usize, workers: usize, morsel_size: usize) -> bool {
+    workers >= 2 && total_rows >= 2 * morsel_size
+}
+
+/// Total live rows the shape will scan, used by the small-table fallback.
+/// Unknown tables report `usize::MAX` so the parallel path (not the
+/// heuristic) surfaces the error — identically to the sequential one.
+fn shape_rows(shape: &Shape<'_>, storage: &Storage) -> usize {
+    let table_len = |name: &str| storage.table(name).map(|t| t.len()).unwrap_or(usize::MAX);
+    match shape {
+        Shape::Chain(c) | Shape::Project { chain: c, .. } | Shape::Aggregate { chain: c, .. } => {
+            table_len(c.table)
+        }
+        Shape::Join { join, .. } => {
+            table_len(join.probe.table).saturating_add(table_len(join.build.table))
+        }
+    }
+}
+
 /// Executes an eligible plan across the pool, or returns `None` when the
-/// plan is not eligible (or fewer than two workers were requested), in
-/// which case the caller falls back to the streaming executor.
+/// plan is not eligible (or fewer than two workers were requested, or the
+/// table is too small for parallelism to pay for itself), in which case
+/// the caller falls back to the streaming executor.
 pub(crate) fn execute_plan_parallel(
     plan: &Plan,
     storage: &Storage,
@@ -180,44 +218,139 @@ pub(crate) fn execute_plan_parallel(
         return None;
     }
     let parsed = parse_shape(plan)?;
-    Some(run_parsed(
-        &parsed,
-        storage,
-        pool,
-        workers,
-        morsel_size.max(1),
-    ))
+    let morsel_size = morsel_size.max(1);
+    if !should_parallelize(shape_rows(&parsed.shape, storage), workers, morsel_size) {
+        return None;
+    }
+    Some(run_parsed(&parsed, storage, pool, workers, morsel_size))
 }
 
-/// A chain bound to storage: the table's rows (in insertion order, same
-/// as `ScanCursor`), its schema, and the filter predicates.
+/// A chain bound to the table's segment store: segment-aligned morsels
+/// over the zone-map-surviving segments, the compiled sargable conjuncts,
+/// the materialization column mask, and the filter predicates.
 struct BoundChain<'a> {
-    rows: Vec<&'a Row>,
+    store: &'a ColStore,
     schema: RowSchema,
     predicates: Vec<&'a Expr>,
+    /// Sargable conjuncts of the innermost predicate (compiled only when
+    /// the whole predicate is infallible), mirroring the streaming access
+    /// path's kernel pre-filter.
+    sargs: Vec<SimplePred>,
+    /// True when the sargs fully cover the innermost predicate: the
+    /// kernels enforce it row-exactly, so [`Self::passes`] skips its
+    /// re-evaluation (same rule as the streaming `FilterCursor`).
+    sargs_cover_first: bool,
+    /// Columns the consumer reads; `None` materializes every column.
+    mask: Option<Vec<bool>>,
+    /// Segment-aligned morsels: `(segment index, slot range)`, in scan
+    /// (document) order.
+    morsels: Vec<(usize, Range<usize>)>,
+    /// Live rows in visited segments — the chain's `rows_scanned`.
+    rows_scanned: u64,
+    segments_pruned: u64,
 }
 
 impl BoundChain<'_> {
     fn passes(&self, row: &[Value]) -> RelResult<bool> {
-        for p in &self.predicates {
+        let skip = usize::from(self.sargs_cover_first);
+        for p in &self.predicates[skip..] {
             if !eval_predicate(p, &self.schema, row)? {
                 return Ok(false);
             }
         }
         Ok(true)
     }
+
+    /// Runs `f` over every surviving row of morsel `i`: live slots,
+    /// vectorized kernel pre-filter, masked materialization, then the
+    /// full predicate re-evaluation (kernels only cover the sargable
+    /// conjuncts of the innermost filter).
+    fn for_each_row<F>(&self, i: usize, mut f: F) -> RelResult<()>
+    where
+        F: FnMut(Row) -> RelResult<()>,
+    {
+        let (seg_idx, range) = &self.morsels[i];
+        let seg = &self.store.segments()[*seg_idx];
+        let mut sel = Vec::new();
+        seg.live_slots(range.clone(), &mut sel);
+        for pred in &self.sargs {
+            if sel.is_empty() {
+                break;
+            }
+            seg.apply_pred(pred, &mut sel);
+        }
+        for &slot in &sel {
+            let mut row = Vec::new();
+            seg.row_into(slot as usize, self.mask.as_deref(), &mut row);
+            if !self.passes(&row)? {
+                continue;
+            }
+            f(row)?;
+        }
+        Ok(())
+    }
 }
 
-fn bind_chain<'a>(chain: &ChainShape<'a>, storage: &'a Storage) -> RelResult<BoundChain<'a>> {
+/// Binds a chain to its table's segment store: compiles sargs from the
+/// innermost predicate, prunes segments through their zone maps (when
+/// enabled), and carves the survivors into `morsel_size`-slot morsels.
+/// `needed` lists the consumer's expressions for column masking; `None`
+/// materializes full rows (chain output, join sides).
+fn bind_chain<'a>(
+    chain: &ChainShape<'a>,
+    storage: &'a Storage,
+    morsel_size: usize,
+    needed: Option<&[&Expr]>,
+) -> RelResult<BoundChain<'a>> {
     let t = storage.table(chain.table)?;
     let schema = RowSchema::for_table(
         chain.alias,
         t.schema().columns.iter().map(|c| c.name.clone()),
     );
+    let mask = needed.and_then(|exprs| {
+        column_mask(
+            exprs
+                .iter()
+                .copied()
+                .chain(chain.predicates.iter().copied()),
+            &schema,
+            schema.len(),
+        )
+    });
+    let (sargs, covered) = match chain.predicates.first() {
+        Some(p) if expr_infallible(p, &schema) => compile_sargs(p, &schema),
+        _ => (Vec::new(), false),
+    };
+    let sargs_cover_first = covered && !sargs.is_empty();
+    let store = t.store();
+    let prune_with: &[SimplePred] = if sargs.is_empty() || !storage.zone_map_pruning() {
+        &[]
+    } else {
+        &sargs
+    };
+    let (visited, segments_pruned) = store.prune_segments(prune_with);
+    let mut morsels = Vec::new();
+    let mut rows_scanned = 0u64;
+    for seg_idx in visited {
+        let seg = &store.segments()[seg_idx];
+        rows_scanned += seg.live_count() as u64;
+        let mut lo = 0;
+        while lo < seg.len() {
+            let hi = (lo + morsel_size).min(seg.len());
+            morsels.push((seg_idx, lo..hi));
+            lo = hi;
+        }
+    }
     Ok(BoundChain {
-        rows: t.rows().collect(),
+        store,
         schema,
         predicates: chain.predicates.clone(),
+        sargs,
+        sargs_cover_first,
+        mask,
+        morsels,
+        rows_scanned,
+        segments_pruned,
     })
 }
 
@@ -242,7 +375,17 @@ fn run_parsed(
     };
     if let Some(visible) = parsed.distinct {
         let mut seen: HashSet<Vec<Value>> = HashSet::new();
-        rows.retain(|row| seen.insert(row.iter().take(visible).cloned().collect()));
+        rows.retain(|row| {
+            // Probe with the borrowed prefix; allocate the owned key only
+            // for rows seen for the first time.
+            let key = &row[..visible.min(row.len())];
+            if seen.contains(key) {
+                false
+            } else {
+                seen.insert(key.to_vec());
+                true
+            }
+        });
         // The streaming DistinctCursor retains one buffered row per
         // distinct key and never shrinks; under an Aggregate child the
         // aggregate's output buffer drains exactly as Distinct fills, so
@@ -264,30 +407,38 @@ fn run_chain(
     workers: usize,
     morsel_size: usize,
 ) -> RelResult<(RowSchema, Vec<Row>, ExecStats)> {
-    let bc = bind_chain(chain, storage)?;
-    let parts = morsel_map(pool, workers, morsel_size, bc.rows.len(), |range| {
+    let needed: Option<Vec<&Expr>> = items.map(|items| items.iter().map(|it| &it.expr).collect());
+    let bc = bind_chain(chain, storage, morsel_size, needed.as_deref())?;
+    // Same per-item column fast path as the streaming ProjectCursor.
+    let cols = items.map(|items| column_fast_paths(items.iter().map(|it| &it.expr), &bc.schema));
+    let parts = morsel_map(pool, workers, 1, bc.morsels.len(), |range| {
         let mut out: Vec<Row> = Vec::new();
-        for &row in &bc.rows[range] {
-            if !bc.passes(row)? {
-                continue;
-            }
-            match items {
-                Some(items) => out.push(
-                    items
-                        .iter()
-                        .map(|it| eval(&it.expr, &bc.schema, row))
-                        .collect::<RelResult<_>>()?,
-                ),
-                None => out.push(row.clone()),
-            }
+        for i in range {
+            bc.for_each_row(i, |row| {
+                match (items, &cols) {
+                    (Some(items), Some(cols)) => out.push(
+                        items
+                            .iter()
+                            .zip(cols)
+                            .map(|(it, col)| match col {
+                                Some(i) => Ok(row[*i].clone()),
+                                None => eval(&it.expr, &bc.schema, &row),
+                            })
+                            .collect::<RelResult<_>>()?,
+                    ),
+                    _ => out.push(row),
+                }
+                Ok(())
+            })?;
         }
         Ok(out)
     })?;
     let rows = parts.concat();
     let stats = ExecStats {
-        rows_scanned: bc.rows.len() as u64,
+        rows_scanned: bc.rows_scanned,
         buffered_peak: 0,
         rows_emitted: rows.len() as u64,
+        segments_pruned: bc.segments_pruned,
         ..ExecStats::default()
     };
     let schema = match items {
@@ -305,22 +456,25 @@ fn run_join(
     workers: usize,
     morsel_size: usize,
 ) -> RelResult<(RowSchema, Vec<Row>, ExecStats)> {
-    let probe = bind_chain(&join.probe, storage)?;
-    let build = bind_chain(&join.build, storage)?;
-    let scanned = (probe.rows.len() + build.rows.len()) as u64;
+    // Join sides feed key evaluation, residuals and projections over the
+    // combined schema, so both chains materialize full rows (no mask).
+    let probe = bind_chain(&join.probe, storage, morsel_size, None)?;
+    let build = bind_chain(&join.build, storage, morsel_size, None)?;
+    let scanned = probe.rows_scanned + build.rows_scanned;
+    let pruned = probe.segments_pruned + build.segments_pruned;
 
     // Build phase: evaluate keys morsel-parallel, then merge in morsel
     // order so match lists enumerate build rows in arrival order, exactly
     // like the streaming `BuildSide`.
-    let built = morsel_map(pool, workers, morsel_size, build.rows.len(), |range| {
-        let mut out: Vec<(Vec<Value>, &Row)> = Vec::new();
-        for &row in &build.rows[range] {
-            if !build.passes(row)? {
-                continue;
-            }
-            if let Some(key) = eval_join_keys(join.right_keys, &build.schema, row)? {
-                out.push((key, row));
-            }
+    let built = morsel_map(pool, workers, 1, build.morsels.len(), |range| {
+        let mut out: Vec<(Vec<Value>, Row)> = Vec::new();
+        for i in range {
+            build.for_each_row(i, |row| {
+                if let Some(key) = eval_join_keys(join.right_keys, &build.schema, &row)? {
+                    out.push((key, row));
+                }
+                Ok(())
+            })?;
         }
         Ok(out)
     })?;
@@ -337,27 +491,27 @@ fn run_join(
             Some(items) => projected_schema(items),
             None => probe.schema.clone(),
         };
-        let parts = morsel_map(pool, workers, morsel_size, probe.rows.len(), |range| {
+        let parts = morsel_map(pool, workers, 1, probe.morsels.len(), |range| {
             let mut out: Vec<Row> = Vec::new();
-            for &lrow in &probe.rows[range] {
-                if !probe.passes(lrow)? {
-                    continue;
-                }
-                let Some(key) = eval_join_keys(join.left_keys, &probe.schema, lrow)? else {
-                    continue;
-                };
-                if !keys.contains(&key) {
-                    continue;
-                }
-                match items {
-                    Some(items) => out.push(
-                        items
-                            .iter()
-                            .map(|it| eval(&it.expr, &probe.schema, lrow))
-                            .collect::<RelResult<_>>()?,
-                    ),
-                    None => out.push(lrow.clone()),
-                }
+            for i in range {
+                probe.for_each_row(i, |lrow| {
+                    let Some(key) = eval_join_keys(join.left_keys, &probe.schema, &lrow)? else {
+                        return Ok(());
+                    };
+                    if !keys.contains(&key) {
+                        return Ok(());
+                    }
+                    match items {
+                        Some(items) => out.push(
+                            items
+                                .iter()
+                                .map(|it| eval(&it.expr, &probe.schema, &lrow))
+                                .collect::<RelResult<_>>()?,
+                        ),
+                        None => out.push(lrow),
+                    }
+                    Ok(())
+                })?;
             }
             Ok(out)
         })?;
@@ -366,12 +520,13 @@ fn run_join(
             rows_scanned: scanned,
             buffered_peak: buffered,
             rows_emitted: rows.len() as u64,
+            segments_pruned: pruned,
             ..ExecStats::default()
         };
         return Ok((out_schema, rows, stats));
     }
 
-    let mut build_rows: Vec<&Row> = Vec::new();
+    let mut build_rows: Vec<Row> = Vec::new();
     let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
     for part in built {
         for (key, row) in part {
@@ -385,36 +540,36 @@ fn run_join(
         Some(items) => projected_schema(items),
         None => combined.clone(),
     };
-    let parts = morsel_map(pool, workers, morsel_size, probe.rows.len(), |range| {
+    let parts = morsel_map(pool, workers, 1, probe.morsels.len(), |range| {
         let mut out: Vec<Row> = Vec::new();
-        for &lrow in &probe.rows[range] {
-            if !probe.passes(lrow)? {
-                continue;
-            }
-            let Some(key) = eval_join_keys(join.left_keys, &probe.schema, lrow)? else {
-                continue;
-            };
-            let Some(matches) = index.get(&key) else {
-                continue;
-            };
-            for &m in matches {
-                let mut row = lrow.clone();
-                row.extend(build_rows[m].iter().cloned());
-                if let Some(res) = join.residual {
-                    if !eval_predicate(res, &combined, &row)? {
-                        continue;
+        for i in range {
+            probe.for_each_row(i, |lrow| {
+                let Some(key) = eval_join_keys(join.left_keys, &probe.schema, &lrow)? else {
+                    return Ok(());
+                };
+                let Some(matches) = index.get(&key) else {
+                    return Ok(());
+                };
+                for &m in matches {
+                    let mut row = lrow.clone();
+                    row.extend(build_rows[m].iter().cloned());
+                    if let Some(res) = join.residual {
+                        if !eval_predicate(res, &combined, &row)? {
+                            continue;
+                        }
+                    }
+                    match items {
+                        Some(items) => out.push(
+                            items
+                                .iter()
+                                .map(|it| eval(&it.expr, &combined, &row))
+                                .collect::<RelResult<_>>()?,
+                        ),
+                        None => out.push(row),
                     }
                 }
-                match items {
-                    Some(items) => out.push(
-                        items
-                            .iter()
-                            .map(|it| eval(&it.expr, &combined, &row))
-                            .collect::<RelResult<_>>()?,
-                    ),
-                    None => out.push(row),
-                }
-            }
+                Ok(())
+            })?;
         }
         Ok(out)
     })?;
@@ -423,6 +578,7 @@ fn run_join(
         rows_scanned: scanned,
         buffered_peak: buffered,
         rows_emitted: rows.len() as u64,
+        segments_pruned: pruned,
         ..ExecStats::default()
     };
     Ok((out_schema, rows, stats))
@@ -445,19 +601,20 @@ fn run_aggregate(
     workers: usize,
     morsel_size: usize,
 ) -> RelResult<(RowSchema, Vec<Row>, ExecStats)> {
-    let bc = bind_chain(chain, storage)?;
-    type MorselGroups<'a> = Vec<(Vec<Value>, Vec<&'a Row>)>;
-    let parts: Vec<MorselGroups<'_>> =
-        morsel_map(pool, workers, morsel_size, bc.rows.len(), |range| {
-            let mut groups: MorselGroups<'_> = Vec::new();
-            let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
-            for &row in &bc.rows[range] {
-                if !bc.passes(row)? {
-                    continue;
-                }
+    let needed: Vec<&Expr> = group_by
+        .iter()
+        .chain(items.iter().map(|it| &it.expr))
+        .collect();
+    let bc = bind_chain(chain, storage, morsel_size, Some(&needed))?;
+    type MorselGroups = Vec<(Vec<Value>, Vec<Row>)>;
+    let parts: Vec<MorselGroups> = morsel_map(pool, workers, 1, bc.morsels.len(), |range| {
+        let mut groups: MorselGroups = Vec::new();
+        let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+        for i in range {
+            bc.for_each_row(i, |row| {
                 let key: Vec<Value> = group_by
                     .iter()
-                    .map(|e| eval(e, &bc.schema, row))
+                    .map(|e| eval(e, &bc.schema, &row))
                     .collect::<RelResult<_>>()?;
                 match index.entry(key.clone()) {
                     Entry::Occupied(slot) => groups[*slot.get()].1.push(row),
@@ -466,11 +623,13 @@ fn run_aggregate(
                         groups.push((key, vec![row]));
                     }
                 }
-            }
-            Ok(groups)
-        })?;
+                Ok(())
+            })?;
+        }
+        Ok(groups)
+    })?;
 
-    let mut groups: MorselGroups<'_> = Vec::new();
+    let mut groups: MorselGroups = Vec::new();
     let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
     for part in parts {
         for (key, rows) in part {
@@ -498,7 +657,7 @@ fn run_aggregate(
         for (_, group_rows) in &groups[range] {
             let null_row;
             let representative: &[Value] = match group_rows.first() {
-                Some(r) => r.as_slice(),
+                Some(r) => r,
                 None => {
                     null_row = vec![Value::Null; bc.schema.len()];
                     &null_row
@@ -515,9 +674,10 @@ fn run_aggregate(
     })?;
     let rows = parts.concat();
     let stats = ExecStats {
-        rows_scanned: bc.rows.len() as u64,
+        rows_scanned: bc.rows_scanned,
         buffered_peak: surviving.max(rows.len() as u64),
         rows_emitted: rows.len() as u64,
+        segments_pruned: bc.segments_pruned,
         ..ExecStats::default()
     };
     Ok((projected_schema(items), rows, stats))
@@ -596,4 +756,18 @@ where
     let mut out = results.into_inner().expect("morsel results poisoned");
     out.sort_unstable_by_key(|(i, _)| *i);
     Ok(out.into_iter().map(|(_, t)| t).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::should_parallelize;
+
+    #[test]
+    fn small_tables_stay_sequential() {
+        assert!(!should_parallelize(0, 4, 8));
+        assert!(!should_parallelize(15, 4, 8));
+        assert!(should_parallelize(16, 4, 8));
+        assert!(should_parallelize(100, 2, 8));
+        assert!(!should_parallelize(1_000_000, 1, 8));
+    }
 }

@@ -29,7 +29,7 @@ pub fn execute_plan(plan: &Plan, storage: &Storage) -> RelResult<(RowSchema, Vec
             let t = storage.table(table)?;
             let schema =
                 RowSchema::for_table(alias, t.schema().columns.iter().map(|c| c.name.clone()));
-            let rows = t.scan().map(|(_, r)| r.clone()).collect();
+            let rows = t.scan().map(|(_, r)| r).collect();
             Ok((schema, rows))
         }
         Plan::IndexScan {
@@ -58,10 +58,7 @@ pub fn execute_plan(plan: &Plan, storage: &Storage) -> RelResult<(RowSchema, Vec
             ids.sort();
             let schema =
                 RowSchema::for_table(alias, t.schema().columns.iter().map(|c| c.name.clone()));
-            let rows = ids
-                .into_iter()
-                .filter_map(|id| t.get(id).cloned())
-                .collect();
+            let rows = ids.into_iter().filter_map(|id| t.get(id)).collect();
             Ok((schema, rows))
         }
         Plan::KeywordScan {
@@ -76,10 +73,7 @@ pub fn execute_plan(plan: &Plan, storage: &Storage) -> RelResult<(RowSchema, Vec
             ids.sort();
             let schema =
                 RowSchema::for_table(alias, t.schema().columns.iter().map(|c| c.name.clone()));
-            let rows = ids
-                .into_iter()
-                .filter_map(|id| t.get(id).cloned())
-                .collect();
+            let rows = ids.into_iter().filter_map(|id| t.get(id)).collect();
             Ok((schema, rows))
         }
         Plan::Filter { input, predicate } => {

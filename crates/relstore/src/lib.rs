@@ -16,7 +16,9 @@
 //!   from numeric data because "common queries often require to compare
 //!   these numeric types across large datasets"), columns, table schemas
 //!   and a catalog.
-//! * [`table`] — a row store with stable, insertion-ordered row ids.
+//! * [`table`] / [`colstore`] / [`segment`] — an append-only segmented
+//!   column store with stable, insertion-ordered row ids, per-segment
+//!   zone maps for scan pruning, and vectorized predicate kernels.
 //! * [`index`] — composite-key B-tree secondary indexes with point and
 //!   range scans.
 //! * [`text`] — an inverted keyword index supporting the paper's
@@ -54,6 +56,7 @@
 //! }
 //! ```
 
+pub mod colstore;
 pub mod db;
 pub mod error;
 pub mod exec;
@@ -68,6 +71,7 @@ pub(crate) mod pool;
 pub mod query;
 pub mod regex;
 pub mod schema;
+pub mod segment;
 pub mod sql;
 pub mod table;
 pub mod text;

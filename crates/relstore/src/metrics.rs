@@ -32,6 +32,10 @@ pub(crate) struct EngineMetrics {
     /// `relstore.exec.keyword_postings_read` — aggregate of
     /// [`ExecStats::keyword_postings_read`].
     pub keyword_postings: Counter,
+    /// `relstore.exec.segments_pruned` — aggregate of
+    /// [`ExecStats::segments_pruned`]: column-store segments skipped via
+    /// zone maps.
+    pub segments_pruned: Counter,
     /// `relstore.exec.parallel_workers` — workers used by parallel plan
     /// executions (a sequential execution adds nothing).
     pub parallel_workers: Counter,
@@ -59,6 +63,7 @@ impl EngineMetrics {
         self.rows_emitted.add(stats.rows_emitted);
         self.index_probes.add(stats.index_probes);
         self.keyword_postings.add(stats.keyword_postings_read);
+        self.segments_pruned.add(stats.segments_pruned);
     }
 }
 
@@ -74,6 +79,7 @@ pub(crate) fn engine() -> &'static EngineMetrics {
             rows_emitted: reg.counter("relstore.exec.rows_emitted"),
             index_probes: reg.counter("relstore.exec.index_probes"),
             keyword_postings: reg.counter("relstore.exec.keyword_postings_read"),
+            segments_pruned: reg.counter("relstore.exec.segments_pruned"),
             parallel_workers: reg.counter("relstore.exec.parallel_workers"),
             cache_hit: reg.counter("relstore.plan.cache_hit"),
             cache_miss: reg.counter("relstore.plan.cache_miss"),

@@ -1,13 +1,17 @@
 //! The row store.
 //!
-//! Rows are kept in a `BTreeMap` keyed by a monotonically increasing
-//! [`RowId`], so a full scan returns rows in insertion order — which, for
-//! shredded XML, is document order. That makes "order as a data value"
-//! (paper §2.2) cheap: the shredder stores ordinals, and the storage layer
-//! never reorders underneath them.
+//! Rows live in an append-only segmented column store ([`ColStore`])
+//! keyed by a monotonically increasing [`RowId`], so a full scan returns
+//! rows in insertion order — which, for shredded XML, is document order.
+//! That makes "order as a data value" (paper §2.2) cheap: the shredder
+//! stores ordinals, and the storage layer never reorders underneath them.
+//! Executors that want columnar access (zone-map pruning, vectorized
+//! predicate kernels, segment-aligned morsels) reach the segments through
+//! [`Table::store`]; everything else sees the same row-oriented API as
+//! before, with `get`/`scan` now materializing owned rows out of the
+//! column vectors.
 
-use std::collections::BTreeMap;
-
+use crate::colstore::ColStore;
 use crate::error::{RelError, RelResult};
 use crate::schema::TableSchema;
 use crate::value::Value;
@@ -19,20 +23,33 @@ pub struct RowId(pub u64);
 /// A stored row.
 pub type Row = Vec<Value>;
 
-/// A table: schema plus rows.
+/// A table: schema plus segmented columnar rows.
 #[derive(Debug, Clone)]
 pub struct Table {
     schema: TableSchema,
-    rows: BTreeMap<RowId, Row>,
+    store: ColStore,
     next_row_id: u64,
 }
 
 impl Table {
     /// Creates an empty table with `schema`.
     pub fn new(schema: TableSchema) -> Self {
+        let types = schema.columns.iter().map(|c| c.ty).collect();
         Table {
             schema,
-            rows: BTreeMap::new(),
+            store: ColStore::new(types),
+            next_row_id: 0,
+        }
+    }
+
+    /// As [`Table::new`] with a custom segment capacity, so tests can
+    /// exercise many-segment layouts without millions of rows.
+    #[doc(hidden)]
+    pub fn with_segment_capacity(schema: TableSchema, seg_capacity: usize) -> Self {
+        let types = schema.columns.iter().map(|c| c.ty).collect();
+        Table {
+            schema,
+            store: ColStore::with_segment_capacity(types, seg_capacity),
             next_row_id: 0,
         }
     }
@@ -42,14 +59,19 @@ impl Table {
         &self.schema
     }
 
+    /// The underlying segmented column store (scan cursors, morsels).
+    pub fn store(&self) -> &ColStore {
+        &self.store
+    }
+
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.store.len()
     }
 
     /// Whether the table has no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.store.is_empty()
     }
 
     /// Validates, coerces and appends `row`, returning its new id.
@@ -57,24 +79,25 @@ impl Table {
         let row = self.schema.check_row(row)?;
         let id = RowId(self.next_row_id);
         self.next_row_id += 1;
-        self.rows.insert(id, row);
+        self.store.insert(id.0, &row);
         Ok(id)
     }
 
-    /// Re-inserts a row under a specific id (WAL replay only).
+    /// Re-inserts a row under a specific id (WAL replay and rollback).
     ///
     /// Keeps `next_row_id` ahead of every replayed id so post-recovery
-    /// inserts never collide.
+    /// inserts never collide. An id below the store's high-water mark is
+    /// spliced back in at document order.
     pub fn insert_at(&mut self, id: RowId, row: Row) -> RelResult<()> {
         let row = self.schema.check_row(row)?;
         self.next_row_id = self.next_row_id.max(id.0 + 1);
-        self.rows.insert(id, row);
+        self.store.insert(id.0, &row);
         Ok(())
     }
 
     /// Removes the row `id`, returning it.
     pub fn delete(&mut self, id: RowId) -> RelResult<Row> {
-        self.rows.remove(&id).ok_or_else(|| {
+        self.store.delete(id.0).ok_or_else(|| {
             RelError::Internal(format!("row {id:?} not found in {}", self.schema.name))
         })
     }
@@ -82,28 +105,19 @@ impl Table {
     /// Replaces the row `id`, returning the previous value.
     pub fn update(&mut self, id: RowId, row: Row) -> RelResult<Row> {
         let row = self.schema.check_row(row)?;
-        let slot = self.rows.get_mut(&id).ok_or_else(|| {
+        self.store.update(id.0, &row).ok_or_else(|| {
             RelError::Internal(format!("row {id:?} not found in {}", self.schema.name))
-        })?;
-        Ok(std::mem::replace(slot, row))
+        })
     }
 
-    /// Borrows the row `id`.
-    pub fn get(&self, id: RowId) -> Option<&Row> {
-        self.rows.get(&id)
+    /// Materializes the row `id`.
+    pub fn get(&self, id: RowId) -> Option<Row> {
+        self.store.get(id.0)
     }
 
     /// Iterates over `(id, row)` in insertion order.
-    pub fn scan(&self) -> impl Iterator<Item = (RowId, &Row)> {
-        self.rows.iter().map(|(id, row)| (*id, row))
-    }
-
-    /// Borrows the rows in insertion order (streaming scan cursors).
-    ///
-    /// The concrete iterator type is exposed so executor cursors can hold
-    /// it in a named struct field without boxing.
-    pub fn rows(&self) -> std::collections::btree_map::Values<'_, RowId, Row> {
-        self.rows.values()
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, Row)> + '_ {
+        self.store.scan().map(|(id, row)| (RowId(id), row))
     }
 }
 
@@ -205,5 +219,29 @@ mod tests {
         assert!(t
             .update(RowId(99), vec![Value::Int(1), Value::Text("x".into())])
             .is_err());
+    }
+
+    #[test]
+    fn scan_spans_many_segments_in_document_order() {
+        let schema = TableSchema::new(
+            "t",
+            vec![
+                Column::new("a", DataType::Int),
+                Column::new("b", DataType::Text),
+            ],
+        );
+        let mut t = Table::with_segment_capacity(schema, 3);
+        for i in 0..10 {
+            t.insert(vec![Value::Int(i), Value::Text(format!("r{i}"))])
+                .unwrap();
+        }
+        // Delete across segment boundaries, update in the middle.
+        t.delete(RowId(0)).unwrap();
+        t.delete(RowId(4)).unwrap();
+        t.update(RowId(7), vec![Value::Int(70), Value::Text("r70".into())])
+            .unwrap();
+        let scanned: Vec<i64> = t.scan().map(|(_, r)| r[0].as_int().unwrap()).collect();
+        assert_eq!(scanned, vec![1, 2, 3, 5, 6, 70, 8, 9]);
+        assert_eq!(t.store().segments().len(), 4);
     }
 }
