@@ -38,7 +38,10 @@ impl Sleeper for RecordingSleeper {
 }
 
 /// Capped exponential backoff: attempt `n` (0-based) waits
-/// `min(base_delay_ms << n, max_delay_ms)` before retrying.
+/// `min(base_delay_ms << n, max_delay_ms)` before retrying — or, with
+/// [`RetryPolicy::with_full_jitter`], a uniformly random slice of that
+/// window, which de-synchronizes a fleet of Data Hounds hammering the
+/// same recovering mirror (the "thundering herd" fix).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total attempts, including the first (0 behaves as 1).
@@ -47,6 +50,10 @@ pub struct RetryPolicy {
     pub base_delay_ms: u64,
     /// Ceiling on any single delay, in milliseconds.
     pub max_delay_ms: u64,
+    /// When set, each delay is drawn uniformly from `0..=window` (full
+    /// jitter) using this deterministic seed; `None` keeps the exact
+    /// capped-exponential schedule.
+    pub jitter_seed: Option<u64>,
 }
 
 impl Default for RetryPolicy {
@@ -55,8 +62,19 @@ impl Default for RetryPolicy {
             max_attempts: 4,
             base_delay_ms: 250,
             max_delay_ms: 5_000,
+            jitter_seed: None,
         }
     }
+}
+
+/// SplitMix64 — a tiny, high-quality mixer; good enough to decorrelate
+/// retry schedules and fully deterministic for a given seed.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl RetryPolicy {
@@ -66,7 +84,16 @@ impl RetryPolicy {
             max_attempts: 1,
             base_delay_ms: 0,
             max_delay_ms: 0,
+            jitter_seed: None,
         }
+    }
+
+    /// Switches the policy to full jitter: each delay becomes a uniform
+    /// draw from `0..=delay_for(n)`, derived deterministically from
+    /// `seed` so tests can assert exact schedules.
+    pub fn with_full_jitter(mut self, seed: u64) -> Self {
+        self.jitter_seed = Some(seed);
+        self
     }
 
     /// The backoff delay after failed attempt `attempt` (0-based).
@@ -85,6 +112,7 @@ impl RetryPolicy {
         F: FnMut(u32) -> Result<T, E>,
     {
         let attempts = self.max_attempts.max(1);
+        let mut rng = self.jitter_seed;
         let mut last_err = None;
         for attempt in 0..attempts {
             match op(attempt) {
@@ -92,7 +120,17 @@ impl RetryPolicy {
                 Err(e) => {
                     last_err = Some(e);
                     if attempt + 1 < attempts {
-                        sleeper.sleep(self.delay_for(attempt));
+                        let window = self.delay_for(attempt);
+                        let delay = match &mut rng {
+                            // Full jitter: uniform over the whole window,
+                            // inclusive of both edges.
+                            Some(state) => {
+                                let ms = window.as_millis() as u64;
+                                Duration::from_millis(splitmix64(state) % (ms + 1))
+                            }
+                            None => window,
+                        };
+                        sleeper.sleep(delay);
                     }
                 }
             }
@@ -119,6 +157,7 @@ mod tests {
             max_attempts: 6,
             base_delay_ms: 100,
             max_delay_ms: 450,
+            jitter_seed: None,
         };
         let mut sleeper = RecordingSleeper::default();
         let got: Result<(), String> = policy.run(&mut sleeper, |n| Err(format!("attempt {n}")));
@@ -135,6 +174,7 @@ mod tests {
             max_attempts: 5,
             base_delay_ms: 10,
             max_delay_ms: 1_000,
+            jitter_seed: None,
         };
         let mut sleeper = RecordingSleeper::default();
         let got: Result<u32, &str> =
@@ -158,6 +198,7 @@ mod tests {
             max_attempts: 0,
             base_delay_ms: 10,
             max_delay_ms: 10,
+            jitter_seed: None,
         };
         let mut sleeper = RecordingSleeper::default();
         let mut calls = 0;
@@ -176,7 +217,35 @@ mod tests {
             max_attempts: 80,
             base_delay_ms: 1,
             max_delay_ms: 700,
+            jitter_seed: None,
         };
         assert_eq!(policy.delay_for(70), Duration::from_millis(700));
+    }
+
+    #[test]
+    fn full_jitter_is_bounded_and_deterministic() {
+        let policy = RetryPolicy {
+            max_attempts: 6,
+            base_delay_ms: 100,
+            max_delay_ms: 450,
+            jitter_seed: None,
+        }
+        .with_full_jitter(7);
+        let mut a = RecordingSleeper::default();
+        let _: Result<(), &str> = policy.run(&mut a, |_| Err("down"));
+        // Every jittered delay stays inside its un-jittered window...
+        let windows = [100u64, 200, 400, 450, 450];
+        assert_eq!(a.slept.len(), windows.len());
+        for (d, w) in a.slept.iter().zip(windows) {
+            assert!(d.as_millis() as u64 <= w, "{d:?} exceeds {w}ms window");
+        }
+        // ...the same seed reproduces the same schedule exactly...
+        let mut b = RecordingSleeper::default();
+        let _: Result<(), &str> = policy.run(&mut b, |_| Err("down"));
+        assert_eq!(a.slept, b.slept);
+        // ...and a different seed decorrelates it.
+        let mut c = RecordingSleeper::default();
+        let _: Result<(), &str> = policy.with_full_jitter(8).run(&mut c, |_| Err("down"));
+        assert_ne!(a.slept, c.slept);
     }
 }

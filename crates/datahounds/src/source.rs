@@ -1123,6 +1123,7 @@ mod tests {
             max_attempts: 4,
             base_delay_ms: 100,
             max_delay_ms: 150,
+            jitter_seed: None,
         };
         let mut sleeper = RecordingSleeper::default();
         let mut calls = 0;

@@ -9,10 +9,10 @@
 //! trajectory to compare against. Set `XOMATIQ_BENCH_SMOKE=1` to run with
 //! a tiny dataset — CI uses this to keep the harness from bit-rotting.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use xomatiq_relstore::Database;
+use xomatiq_relstore::{Database, FaultConfig, FaultyIo, SlowIo};
 
 /// Row count: 50k normally, 500 under `XOMATIQ_BENCH_SMOKE`.
 fn scale() -> usize {
@@ -281,6 +281,106 @@ fn bench_exec(_c: &mut Criterion) {
             println!("exec/overhead/{name}: WARNING above 10% budget (not enforced)");
         }
     }
+
+    // Group-commit throughput. Durable commits pay an fsync; with the
+    // fsync pinned at a known latency (SlowIo), batching becomes the
+    // whole story: 8 concurrent writers sharing one leader fsync per
+    // batch must beat 8x the single-writer sequential cost by >= 4x in
+    // aggregate (enforced at full scale on >= 4 cores).
+    let commits = if n > 1_000 { 128 } else { 16 };
+    let open_slow_db = || {
+        let io = SlowIo::new(
+            Box::new(FaultyIo::new(1, FaultConfig::none())),
+            Duration::from_millis(3),
+        );
+        let (db, _) = Database::open_with_io(Box::new(io)).unwrap();
+        db.query("CREATE TABLE c (a INT)").run().unwrap();
+        db
+    };
+    let single_db = open_slow_db();
+    let start = Instant::now();
+    for i in 0..commits {
+        single_db
+            .query("INSERT INTO c VALUES (?)")
+            .bind(i as i64)
+            .run()
+            .unwrap();
+    }
+    let single_ns = start.elapsed().as_nanos() as f64 / commits as f64;
+    println!("exec/commit/single_writer: {single_ns:.0} ns/commit");
+    rec.results
+        .push(("commit/single_writer".to_string(), single_ns));
+    drop(single_db);
+
+    let multi_db = std::sync::Arc::new(open_slow_db());
+    let per_thread = commits / 8;
+    let start = Instant::now();
+    let writers: Vec<_> = (0..8)
+        .map(|t| {
+            let db = std::sync::Arc::clone(&multi_db);
+            std::thread::spawn(move || {
+                for i in 0..per_thread {
+                    db.query("INSERT INTO c VALUES (?)")
+                        .bind((t * 1000 + i) as i64)
+                        .run()
+                        .unwrap();
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+    let multi_ns = start.elapsed().as_nanos() as f64 / (per_thread * 8) as f64;
+    println!("exec/commit/writers_8: {multi_ns:.0} ns/commit aggregate");
+    rec.results.push(("commit/writers_8".to_string(), multi_ns));
+    let batching = single_ns / multi_ns;
+    println!("exec/commit: group commit amortizes fsyncs {batching:.2}x");
+    if enforce && n >= 50_000 && cores >= 4 {
+        assert!(
+            batching >= 4.0,
+            "group commit not amortizing: 8 writers only {batching:.2}x the \
+             single-writer commit rate (need >= 4x aggregate)"
+        );
+    }
+    drop(multi_db);
+
+    // Recovery after a checkpoint: reopen latency, with the replay length
+    // asserted through the recovery report — the tail after the
+    // checkpoint, and nothing more, is replayed.
+    let tail = 24usize;
+    let io = FaultyIo::new(2, FaultConfig::none());
+    {
+        let (db, _) = Database::open_with_io(Box::new(io.clone())).unwrap();
+        db.query("CREATE TABLE c (a INT)").run().unwrap();
+        for i in 0..200i64 {
+            db.query("INSERT INTO c VALUES (?)").bind(i).run().unwrap();
+        }
+        db.checkpoint().unwrap();
+        for i in 0..tail {
+            db.query("INSERT INTO c VALUES (?)")
+                .bind(i as i64)
+                .run()
+                .unwrap();
+        }
+    }
+    let start = Instant::now();
+    let (recovered, report) = Database::open_with_io(Box::new(io)).unwrap();
+    let reopen_ns = start.elapsed().as_nanos() as f64;
+    assert_eq!(
+        report.transactions_applied, tail,
+        "recovery replayed {} transactions; only the {tail}-commit tail \
+         after the checkpoint should replay",
+        report.transactions_applied
+    );
+    assert_eq!(recovered.row_count("c").unwrap(), 200 + tail);
+    println!(
+        "exec/recovery/reopen_after_checkpoint: {reopen_ns:.0} ns \
+         (replayed {tail} of {} commits)",
+        200 + tail
+    );
+    rec.results
+        .push(("recovery/reopen_after_checkpoint".to_string(), reopen_ns));
 
     rec.write_json(n);
 }

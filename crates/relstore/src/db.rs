@@ -2,16 +2,45 @@
 //!
 //! [`Database`] is what the rest of the workspace talks to — the stand-in
 //! for the paper's Oracle 9i instance. It wraps [`Storage`] (catalog +
-//! tables + indexes) in a reader/writer lock, so any number of XomatiQ
-//! queries run concurrently while Data Hounds updates take exclusive
-//! turns, and threads every mutation through the write-ahead log before
-//! acknowledging it.
+//! tables + indexes) in a reader/writer lock for mutations, publishes an
+//! immutable copy-on-write snapshot of the committed state for readers,
+//! and threads every mutation through a group-committed write-ahead log
+//! before acknowledging it.
+//!
+//! # Transactions, snapshots and commit sequence numbers
+//!
+//! Every committed unit of work — one DML statement, one
+//! [`Database::execute_batch`], or one autocommitted DDL statement — is
+//! assigned the next **commit sequence number** (CSN) while it holds the
+//! storage write lock, so CSN order, apply order and log order are the
+//! same total order. Row versions carry the CSN that inserted and (for
+//! tombstones) deleted them, stamped down in the segment store.
+//!
+//! Readers never block on writers: queries run against an
+//! `Arc<Storage>` snapshot published at the *last durable commit*.
+//! Cloning `Storage` is cheap — tables share their sealed segments via
+//! `Arc`, indexes are `Arc`-wrapped, and writers clone-on-write only the
+//! pieces a live snapshot still references. A query pinned to a snapshot
+//! sees that CSN's state for its whole lifetime, whatever writers do
+//! concurrently.
+//!
+//! # Group commit
+//!
+//! Committers enqueue their framed records into a shared buffer under the
+//! storage write lock, release it, and wait. The first waiter whose CSN
+//! is not yet durable becomes the **flush leader**: it takes the whole
+//! buffer and makes it durable with a single append + fsync, then wakes
+//! everyone. Concurrent committers therefore amortize one fsync across
+//! the batch. If the flush fails, *every* transaction in the batch
+//! observes the error, each rolls back its own in-memory effects, and the
+//! database is poisoned — it refuses further commits until reopened.
 
 use std::collections::BTreeMap;
 use std::path::Path;
-use std::time::Instant;
+use std::sync::{Arc, Condvar, Weak};
+use std::time::{Duration, Instant};
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Mutex, MutexGuard, RwLock, RwLockWriteGuard};
 
 use crate::error::{RelError, RelResult};
 use crate::exec::{
@@ -23,7 +52,7 @@ use crate::index::BTreeIndex;
 use crate::metrics;
 use crate::plan::PlannedQuery;
 use crate::planner::plan_select;
-use crate::pool::WorkerPool;
+use crate::pool::{StopSignal, WorkerPool};
 use crate::query::PlanCache;
 use crate::schema::{Catalog, Column, IndexDef, TableSchema};
 use crate::sql::ast::{SelectStmt, Statement};
@@ -31,16 +60,30 @@ use crate::sql::parser::parse_statement;
 use crate::table::{Row, RowId, Table};
 use crate::text::KeywordIndex;
 use crate::value::Value;
-use crate::wal::{RecoveryReport, Wal, WalIo, WalRecord};
+use crate::wal::{frame_into, RecoveryReport, Wal, WalIo, WalRecord};
+
+/// Segments whose dead-slot fraction exceeds this are rewritten by the
+/// background compactor.
+const COMPACT_DEAD_RATIO: f64 = 0.3;
 
 /// In-memory state: catalog, tables and index structures.
-#[derive(Debug)]
+///
+/// `Storage` is cheaply `Clone`: tables share sealed segments through
+/// `Arc`, and index structures are `Arc`-wrapped. A clone is an MVCC
+/// snapshot — it sees the state as of the clone and is never affected by
+/// later mutations of the original (which copy-on-write any shared piece
+/// before changing it).
+#[derive(Debug, Clone)]
 pub struct Storage {
     /// Schemas and index definitions.
     pub catalog: Catalog,
     tables: BTreeMap<String, Table>,
-    btree: BTreeMap<String, BTreeIndex>,
-    keyword: BTreeMap<String, KeywordIndex>,
+    btree: BTreeMap<String, Arc<BTreeIndex>>,
+    keyword: BTreeMap<String, Arc<KeywordIndex>>,
+    /// Commit sequence number of the last commit applied to this state.
+    /// Mutations are stamped with `csn + 1` (the CSN their commit will
+    /// take); the commit itself bumps the counter.
+    pub(crate) csn: u64,
     /// Whether scans may skip segments via zone maps (on by default;
     /// benches turn it off to measure the pruning win).
     zone_map_pruning: bool,
@@ -53,6 +96,7 @@ impl Default for Storage {
             tables: BTreeMap::new(),
             btree: BTreeMap::new(),
             keyword: BTreeMap::new(),
+            csn: 0,
             zone_map_pruning: true,
         }
     }
@@ -70,10 +114,17 @@ impl Storage {
             .ok_or_else(|| RelError::UnknownTable(name.to_string()))
     }
 
+    fn table_mut(&mut self, name: &str) -> RelResult<&mut Table> {
+        self.tables
+            .get_mut(&key(name))
+            .ok_or_else(|| RelError::UnknownTable(name.to_string()))
+    }
+
     /// Borrows a B-tree index by name.
     pub fn btree_index(&self, name: &str) -> RelResult<&BTreeIndex> {
         self.btree
             .get(&key(name))
+            .map(|idx| idx.as_ref())
             .ok_or_else(|| RelError::UnknownIndex(name.to_string()))
     }
 
@@ -81,12 +132,18 @@ impl Storage {
     pub fn keyword_index(&self, name: &str) -> RelResult<&KeywordIndex> {
         self.keyword
             .get(&key(name))
+            .map(|idx| idx.as_ref())
             .ok_or_else(|| RelError::UnknownIndex(name.to_string()))
     }
 
     /// Whether scans may consult zone maps to skip segments.
     pub fn zone_map_pruning(&self) -> bool {
         self.zone_map_pruning
+    }
+
+    /// Commit sequence number of the last commit this state includes.
+    pub fn csn(&self) -> u64 {
+        self.csn
     }
 
     fn create_table(&mut self, schema: TableSchema) -> RelResult<()> {
@@ -124,7 +181,7 @@ impl Storage {
             for (id, row) in table.scan() {
                 idx.insert(id, &row);
             }
-            self.keyword.insert(key(&def.name), idx);
+            self.keyword.insert(key(&def.name), Arc::new(idx));
         } else {
             let cols: Vec<usize> = def
                 .columns
@@ -140,7 +197,7 @@ impl Storage {
             for (id, row) in table.scan() {
                 idx.insert(id, &row);
             }
-            self.btree.insert(key(&def.name), idx);
+            self.btree.insert(key(&def.name), Arc::new(idx));
         }
         Ok(())
     }
@@ -153,10 +210,9 @@ impl Storage {
     }
 
     fn insert(&mut self, table: &str, row: Row) -> RelResult<(RowId, Row)> {
-        let t = self
-            .tables
-            .get_mut(&key(table))
-            .ok_or_else(|| RelError::UnknownTable(table.to_string()))?;
+        let stamp = self.csn + 1;
+        let t = self.table_mut(table)?;
+        t.set_stamp(stamp);
         let id = t.insert(row)?;
         let stored = t.get(id).expect("just inserted");
         self.index_insert(table, id, &stored);
@@ -164,10 +220,9 @@ impl Storage {
     }
 
     fn insert_at(&mut self, table: &str, id: RowId, row: Row) -> RelResult<()> {
-        let t = self
-            .tables
-            .get_mut(&key(table))
-            .ok_or_else(|| RelError::UnknownTable(table.to_string()))?;
+        let stamp = self.csn + 1;
+        let t = self.table_mut(table)?;
+        t.set_stamp(stamp);
         t.insert_at(id, row)?;
         let stored = t.get(id).expect("just inserted");
         self.index_insert(table, id, &stored);
@@ -175,20 +230,18 @@ impl Storage {
     }
 
     fn delete(&mut self, table: &str, id: RowId) -> RelResult<Row> {
-        let t = self
-            .tables
-            .get_mut(&key(table))
-            .ok_or_else(|| RelError::UnknownTable(table.to_string()))?;
+        let stamp = self.csn + 1;
+        let t = self.table_mut(table)?;
+        t.set_stamp(stamp);
         let old = t.delete(id)?;
         self.index_remove(table, id, &old);
         Ok(old)
     }
 
     fn update(&mut self, table: &str, id: RowId, row: Row) -> RelResult<Row> {
-        let t = self
-            .tables
-            .get_mut(&key(table))
-            .ok_or_else(|| RelError::UnknownTable(table.to_string()))?;
+        let stamp = self.csn + 1;
+        let t = self.table_mut(table)?;
+        t.set_stamp(stamp);
         let old = t.update(id, row)?;
         let new = t.get(id).expect("just updated");
         self.index_remove(table, id, &old);
@@ -197,40 +250,39 @@ impl Storage {
     }
 
     fn index_insert(&mut self, table: &str, id: RowId, row: &[Value]) {
-        for def in self
+        let defs: Vec<String> = self
             .catalog
             .indexes_on(table)
             .into_iter()
-            .map(|d| d.name.clone())
-            .collect::<Vec<_>>()
-        {
-            if let Some(idx) = self.btree.get_mut(&key(&def)) {
-                idx.insert(id, row);
+            .map(|d| key(&d.name))
+            .collect();
+        for name in defs {
+            if let Some(idx) = self.btree.get_mut(&name) {
+                Arc::make_mut(idx).insert(id, row);
             }
-            if let Some(idx) = self.keyword.get_mut(&key(&def)) {
-                idx.insert(id, row);
+            if let Some(idx) = self.keyword.get_mut(&name) {
+                Arc::make_mut(idx).insert(id, row);
             }
         }
     }
 
     fn index_remove(&mut self, table: &str, id: RowId, row: &[Value]) {
-        for def in self
+        let defs: Vec<String> = self
             .catalog
             .indexes_on(table)
             .into_iter()
-            .map(|d| d.name.clone())
-            .collect::<Vec<_>>()
-        {
-            if let Some(idx) = self.btree.get_mut(&key(&def)) {
-                idx.remove(id, row);
+            .map(|d| key(&d.name))
+            .collect();
+        for name in defs {
+            if let Some(idx) = self.btree.get_mut(&name) {
+                Arc::make_mut(idx).remove(id, row);
             }
-            if let Some(idx) = self.keyword.get_mut(&key(&def)) {
-                idx.remove(id, row);
+            if let Some(idx) = self.keyword.get_mut(&name) {
+                Arc::make_mut(idx).remove(id, row);
             }
         }
     }
 
-    /// Rows of `table` matching `filter` (all rows when `None`).
     /// Rows of `table` matching `filter` (all rows when `None`).
     ///
     /// DML gets the same index-driven access paths as queries: the
@@ -481,9 +533,52 @@ impl AnalyzedQuery {
     }
 }
 
-struct WalState {
-    wal: Wal,
+/// Shared state of the group-commit queue, guarded by
+/// [`Durability::queue`].
+struct CommitQueue {
+    /// Framed `Begin .. Commit` bytes enqueued and awaiting flush.
+    buf: Vec<u8>,
+    /// Highest CSN whose frames have been enqueued (or already flushed).
+    queued_csn: u64,
+    /// Highest CSN known durable on disk.
+    durable_csn: u64,
+    /// Whether a flush leader is currently at the disk.
+    flushing: bool,
+    /// Sticky failure: once a flush or rotation fails, every later commit
+    /// is refused with this message until the database is reopened.
+    poisoned: Option<String>,
+    /// Copy-on-write snapshot covering everything up to `queued_csn`,
+    /// published to readers only once its covering flush succeeds — so
+    /// readers never see state the log does not have.
+    pending_snapshot: Option<Arc<Storage>>,
+    /// Next transaction id to hand out.
     next_tx: u64,
+    /// Bytes written to the active log since open/rotation (the
+    /// `relstore.wal.bytes` gauge).
+    log_bytes: u64,
+}
+
+/// Durable-mode machinery: the log plus the group-commit queue.
+///
+/// Lock order: the flush leader never holds the queue lock while taking
+/// the wal lock (it drops one before the other); [`Database::checkpoint`]
+/// nests queue → wal, which is safe because nothing nests wal → queue.
+struct Durability {
+    wal: Mutex<Wal>,
+    queue: Mutex<CommitQueue>,
+    cond: Condvar,
+}
+
+/// `Condvar::wait` with lock-poisoning flattened away (the engine holds
+/// no invariants that a panicking peer could have broken mid-update).
+fn cond_wait<'a, T>(cond: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cond.wait(guard).unwrap_or_else(|e| e.into_inner())
+}
+
+fn poison_error(msg: &str) -> RelError {
+    RelError::Wal(format!(
+        "database poisoned by an earlier I/O failure (reopen to recover): {msg}"
+    ))
 }
 
 /// Tuning knobs for a [`Database`].
@@ -523,30 +618,42 @@ impl Default for DatabaseOptions {
     }
 }
 
+struct MaintenanceTask {
+    stop: Arc<StopSignal>,
+    handle: std::thread::JoinHandle<()>,
+}
+
 /// An embedded relational database.
 pub struct Database {
     pub(crate) storage: RwLock<Storage>,
-    wal: Option<Mutex<WalState>>,
+    /// The latest committed-and-durable state, served to readers without
+    /// touching the storage write lock.
+    snapshot: Mutex<Arc<Storage>>,
+    durability: Option<Durability>,
     pub(crate) options: DatabaseOptions,
     pub(crate) pool: WorkerPool,
     pub(crate) plan_cache: Mutex<PlanCache>,
+    maintenance: Mutex<Option<MaintenanceTask>>,
 }
 
 impl Database {
     fn assemble(
         mut storage: Storage,
-        wal: Option<Mutex<WalState>>,
+        durability: Option<Durability>,
         options: DatabaseOptions,
     ) -> Database {
         storage.zone_map_pruning = options.zone_map_pruning;
         let pool = WorkerPool::new(options.workers);
         let plan_cache = Mutex::new(PlanCache::new(options.plan_cache_capacity));
+        let snapshot = Mutex::new(Arc::new(storage.clone()));
         Database {
             storage: RwLock::new(storage),
-            wal,
+            snapshot,
+            durability,
             options,
             pool,
             plan_cache,
+            maintenance: Mutex::new(None),
         }
     }
 
@@ -565,11 +672,33 @@ impl Database {
         &self.options
     }
 
+    /// The snapshot queries run against: the state as of the last durable
+    /// (or, in memory-only mode, last applied) commit.
+    pub(crate) fn snapshot(&self) -> Arc<Storage> {
+        Arc::clone(&self.snapshot.lock())
+    }
+
+    fn publish(&self, snap: Arc<Storage>) {
+        *self.snapshot.lock() = snap;
+    }
+
     /// Toggles zone-map segment pruning at runtime (bench A/B runs).
     /// Disabling it only stops scans from *skipping* segments; the
     /// vectorized kernels still evaluate pushed-down conjuncts.
     pub fn set_zone_map_pruning(&self, enabled: bool) {
-        self.storage.write().zone_map_pruning = enabled;
+        let mut storage = self.storage.write();
+        storage.zone_map_pruning = enabled;
+        if let Some(d) = &self.durability {
+            let mut q = d.queue.lock();
+            if let Some(snap) = &mut q.pending_snapshot {
+                Arc::make_mut(snap).zone_map_pruning = enabled;
+            }
+        }
+        // Flip the flag on the published snapshot in place rather than
+        // republishing the master state, which may hold commits that are
+        // applied but not yet durable.
+        let mut snap = self.snapshot.lock();
+        Arc::make_mut(&mut snap).zone_map_pruning = enabled;
     }
 
     /// Opens a durable database whose write-ahead log lives at `path`,
@@ -579,8 +708,8 @@ impl Database {
     }
 
     /// Like [`Database::open`], but also returns the [`RecoveryReport`]
-    /// describing what replay found: transactions applied, transactions
-    /// dropped, and any corruption truncated off the tail.
+    /// describing what replay found: the checkpoint restored, transactions
+    /// applied or skipped, and any corruption truncated off the tail.
     pub fn open_with_report(path: &Path) -> RelResult<(Database, RecoveryReport)> {
         Database::from_wal(Wal::open(path)?)
     }
@@ -592,22 +721,69 @@ impl Database {
     }
 
     fn from_wal(mut wal: Wal) -> RelResult<(Database, RecoveryReport)> {
-        let scan = wal.recover()?;
-        let mut report = RecoveryReport {
-            records_scanned: scan.records.len(),
-            corruption: scan.corruption.clone(),
-            truncated_bytes: scan.total_len - scan.valid_len,
-            ..RecoveryReport::default()
-        };
+        let mut report = RecoveryReport::default();
         let mut storage = Storage::default();
+
+        // Phase 1: restore the checkpoint image, if one exists and is
+        // whole. Any damage — unreadable, torn (missing its trailing
+        // marker), undecodable — falls back to replaying the log from
+        // scratch; the image is an accelerator, never the only copy of
+        // anything the active log still has.
+        match wal.get_side() {
+            Ok(Some(image)) => match load_checkpoint_image(&image) {
+                Ok((loaded, k)) => {
+                    storage = loaded;
+                    report.checkpoint_csn = k;
+                }
+                Err(e) => report.replay_errors.push(format!(
+                    "checkpoint image unusable ({e}); falling back to full log replay"
+                )),
+            },
+            Ok(None) => {}
+            Err(e) => report.replay_errors.push(format!(
+                "checkpoint image unreadable ({e}); falling back to full log replay"
+            )),
+        }
+        let base = report.checkpoint_csn;
+
+        // Phase 2: scan the active log and replay the tail past `base`.
+        let scan = wal.recover()?;
+        report.records_scanned = scan.records.len();
+        report.corruption = scan.corruption.clone();
+        report.truncated_bytes = scan.total_len - scan.valid_len;
+        let log_was_empty = scan.records.is_empty();
+        let mut log_bytes = scan.valid_len;
+
         let mut max_tx = 0u64;
         // Buffer DML per transaction; apply at Commit, strictly in log
         // (= commit) order, so interleaved transactions replay exactly as
         // they were acknowledged. DDL is autocommitted (it is only ever
         // logged outside an open transaction).
         let mut open_txns: BTreeMap<u64, Vec<WalRecord>> = BTreeMap::new();
-        for record in scan.records {
+        // Position in the commit sequence. A rotated log leads with a
+        // Checkpoint marker and counts from its CSN; an unrotated log
+        // (crash between writing the image and rotating) counts from
+        // zero, and every commit at or below `base` is already inside
+        // the image — skipped, never re-applied.
+        let mut replay_csn = 0u64;
+        fn covered(replay_csn: u64, base: u64, report: &mut RecoveryReport) -> bool {
+            let skip = replay_csn <= base;
+            if skip {
+                report.transactions_skipped += 1;
+            }
+            skip
+        }
+        for (i, record) in scan.records.into_iter().enumerate() {
             match record {
+                WalRecord::Checkpoint { csn } => {
+                    if i == 0 {
+                        replay_csn = csn;
+                    } else {
+                        report.replay_errors.push(format!(
+                            "stray mid-log checkpoint marker (csn {csn}) ignored"
+                        ));
+                    }
+                }
                 WalRecord::Begin { tx } => {
                     max_tx = max_tx.max(tx);
                     if open_txns.insert(tx, Vec::new()).is_some() {
@@ -617,38 +793,60 @@ impl Database {
                         ));
                     }
                 }
-                WalRecord::Commit { tx } => match open_txns.remove(&tx) {
-                    Some(ops) => match apply_txn(&mut storage, &ops) {
-                        Ok(()) => report.transactions_applied += 1,
-                        Err(e) => {
-                            report.transactions_dropped.push(tx);
-                            report
-                                .replay_errors
-                                .push(format!("transaction {tx} dropped: {e}"));
+                WalRecord::Commit { tx } => {
+                    replay_csn += 1;
+                    match open_txns.remove(&tx) {
+                        Some(ops) => {
+                            if !covered(replay_csn, base, &mut report) {
+                                match apply_txn(&mut storage, &ops) {
+                                    Ok(()) => {
+                                        storage.csn = replay_csn;
+                                        report.transactions_applied += 1;
+                                    }
+                                    Err(e) => {
+                                        report.transactions_dropped.push(tx);
+                                        report
+                                            .replay_errors
+                                            .push(format!("transaction {tx} dropped: {e}"));
+                                    }
+                                }
+                            }
                         }
-                    },
-                    None => report
-                        .replay_errors
-                        .push(format!("Commit for unknown transaction {tx} ignored")),
-                },
+                        None => report
+                            .replay_errors
+                            .push(format!("Commit for unknown transaction {tx} ignored")),
+                    }
+                }
                 WalRecord::CreateTable { schema } => {
-                    if let Err(e) = storage.create_table(schema) {
-                        report.replay_errors.push(format!("CREATE TABLE: {e}"));
+                    replay_csn += 1;
+                    if !covered(replay_csn, base, &mut report) {
+                        if let Err(e) = storage.create_table(schema) {
+                            report.replay_errors.push(format!("CREATE TABLE: {e}"));
+                        }
                     }
                 }
                 WalRecord::DropTable { name } => {
-                    if let Err(e) = storage.drop_table(&name) {
-                        report.replay_errors.push(format!("DROP TABLE: {e}"));
+                    replay_csn += 1;
+                    if !covered(replay_csn, base, &mut report) {
+                        if let Err(e) = storage.drop_table(&name) {
+                            report.replay_errors.push(format!("DROP TABLE: {e}"));
+                        }
                     }
                 }
                 WalRecord::CreateIndex { def } => {
-                    if let Err(e) = storage.create_index(def) {
-                        report.replay_errors.push(format!("CREATE INDEX: {e}"));
+                    replay_csn += 1;
+                    if !covered(replay_csn, base, &mut report) {
+                        if let Err(e) = storage.create_index(def) {
+                            report.replay_errors.push(format!("CREATE INDEX: {e}"));
+                        }
                     }
                 }
                 WalRecord::DropIndex { name } => {
-                    if let Err(e) = storage.drop_index(&name) {
-                        report.replay_errors.push(format!("DROP INDEX: {e}"));
+                    replay_csn += 1;
+                    if !covered(replay_csn, base, &mut report) {
+                        if let Err(e) = storage.drop_index(&name) {
+                            report.replay_errors.push(format!("DROP INDEX: {e}"));
+                        }
                     }
                 }
                 dml @ (WalRecord::Insert { .. }
@@ -681,16 +879,41 @@ impl Database {
             report.transactions_dropped.push(tx);
         }
         report.transactions_dropped.sort_unstable();
+        storage.csn = storage.csn.max(base).max(replay_csn);
+
+        // A crash after rotation but before the fresh log's leading
+        // marker leaves an empty, markerless log beside a valid image.
+        // Repair by writing the marker now — otherwise the next recovery
+        // would count this log's commits from zero and wrongly skip them
+        // as image-covered.
+        if base > 0 && log_was_empty {
+            wal.append(&WalRecord::Checkpoint { csn: base });
+            wal.sync()?;
+            let mut marker = Vec::new();
+            frame_into(&mut marker, &WalRecord::Checkpoint { csn: base });
+            log_bytes = marker.len() as u64;
+        }
+
         metrics::observe_recovery(&report);
+        metrics::engine()
+            .wal_bytes
+            .set(i64::try_from(log_bytes).unwrap_or(i64::MAX));
+        let durability = Durability {
+            wal: Mutex::new(wal),
+            queue: Mutex::new(CommitQueue {
+                buf: Vec::new(),
+                queued_csn: storage.csn,
+                durable_csn: storage.csn,
+                flushing: false,
+                poisoned: None,
+                pending_snapshot: None,
+                next_tx: max_tx + 1,
+                log_bytes,
+            }),
+            cond: Condvar::new(),
+        };
         Ok((
-            Database::assemble(
-                storage,
-                Some(Mutex::new(WalState {
-                    wal,
-                    next_tx: max_tx + 1,
-                })),
-                DatabaseOptions::default(),
-            ),
+            Database::assemble(storage, Some(durability), DatabaseOptions::default()),
             report,
         ))
     }
@@ -713,7 +936,8 @@ impl Database {
                     return Err(RelError::Parse("EXPLAIN supports SELECT only".into()));
                 };
                 let text = if analyze {
-                    self.analyze_select(&select)?.render()
+                    let snap = self.snapshot();
+                    self.analyze_select(&snap, &select)?.render()
                 } else {
                     self.explain_select(&select)?
                 };
@@ -730,15 +954,13 @@ impl Database {
                 let mut storage = self.storage.write();
                 storage.create_table(schema.clone())?;
                 self.plan_cache.lock().clear();
-                self.log_ddl(WalRecord::CreateTable { schema })?;
-                Ok(ResultSet::dml(0))
+                self.finish_ddl(storage, WalRecord::CreateTable { schema })
             }
             Statement::DropTable { name } => {
                 let mut storage = self.storage.write();
                 storage.drop_table(&name)?;
                 self.plan_cache.lock().clear();
-                self.log_ddl(WalRecord::DropTable { name })?;
-                Ok(ResultSet::dml(0))
+                self.finish_ddl(storage, WalRecord::DropTable { name })
             }
             Statement::CreateIndex {
                 name,
@@ -755,15 +977,13 @@ impl Database {
                 let mut storage = self.storage.write();
                 storage.create_index(def.clone())?;
                 self.plan_cache.lock().clear();
-                self.log_ddl(WalRecord::CreateIndex { def })?;
-                Ok(ResultSet::dml(0))
+                self.finish_ddl(storage, WalRecord::CreateIndex { def })
             }
             Statement::DropIndex { name } => {
                 let mut storage = self.storage.write();
                 storage.drop_index(&name)?;
                 self.plan_cache.lock().clear();
-                self.log_ddl(WalRecord::DropIndex { name })?;
-                Ok(ResultSet::dml(0))
+                self.finish_ddl(storage, WalRecord::DropIndex { name })
             }
             stmt @ (Statement::Insert { .. }
             | Statement::Delete { .. }
@@ -791,14 +1011,16 @@ impl Database {
         let tx = self.begin_tx();
         let mut records = Vec::new();
         let mut undo = Vec::new();
-        let applied = apply_batch_statement(&mut storage, stmt, tx, &mut records, &mut undo);
-        match applied.and_then(|n| self.commit_tx(tx, records).map(|()| n)) {
-            Ok(affected) => Ok(ResultSet::dml(affected)),
+        let affected = match apply_batch_statement(&mut storage, stmt, tx, &mut records, &mut undo)
+        {
+            Ok(n) => n,
             Err(e) => {
                 rollback(&mut storage, undo);
-                Err(e)
+                return Err(e);
             }
-        }
+        };
+        self.commit_applied(storage, tx, records, undo)
+            .map(|()| ResultSet::dml(affected))
     }
 
     /// Executes a sequence of DML statements atomically: either every
@@ -829,16 +1051,412 @@ impl Database {
             }
             Ok(())
         })();
-        // A batch that failed to apply OR failed to commit durably is
-        // rolled back in memory: no half-applied document, no state the
-        // log does not have.
-        match result.and_then(|()| self.commit_tx(tx, records)) {
-            Ok(()) => Ok(affected),
+        // A batch that failed to apply is rolled back in memory before
+        // anything reaches the log: no half-applied document, no state
+        // the log does not have.
+        if let Err(e) = result {
+            rollback(&mut storage, undo);
+            return Err(e);
+        }
+        self.commit_applied(storage, tx, records, undo)
+            .map(|()| affected)
+    }
+
+    /// Completes an already-applied transaction: assigns its CSN and
+    /// enqueues its frames under the write lock, releases the lock, then
+    /// waits for a group-commit flush to cover it. On failure the
+    /// transaction's own effects are rolled back before the error
+    /// surfaces, so memory and log agree on what exists.
+    fn commit_applied(
+        &self,
+        mut storage: RwLockWriteGuard<'_, Storage>,
+        tx: u64,
+        records: Vec<WalRecord>,
+        undo: Vec<UndoOp>,
+    ) -> RelResult<()> {
+        if records.is_empty() {
+            return Ok(()); // no-op DML: nothing to log, nothing to publish
+        }
+        let csn = storage.csn + 1;
+        let Some(d) = &self.durability else {
+            storage.csn = csn;
+            self.publish(Arc::new(storage.clone()));
+            return Ok(());
+        };
+        {
+            let mut q = d.queue.lock();
+            if let Some(msg) = &q.poisoned {
+                let err = poison_error(msg);
+                drop(q);
+                rollback(&mut storage, undo);
+                return Err(err);
+            }
+            frame_into(&mut q.buf, &WalRecord::Begin { tx });
+            for r in &records {
+                frame_into(&mut q.buf, r);
+            }
+            frame_into(&mut q.buf, &WalRecord::Commit { tx });
+            storage.csn = csn;
+            q.queued_csn = csn;
+            q.pending_snapshot = Some(Arc::new(storage.clone()));
+        }
+        drop(storage);
+        match self.wait_durable(csn) {
+            Ok(()) => Ok(()),
             Err(e) => {
+                // Never acknowledged: revert this transaction's in-memory
+                // effects (best effort — the database is poisoned either
+                // way, and reads keep serving the last durable snapshot).
+                let mut storage = self.storage.write();
                 rollback(&mut storage, undo);
                 Err(e)
             }
         }
+    }
+
+    /// Completes an autocommitted DDL statement, which occupies one CSN
+    /// just like a DML transaction (recovery counts it the same way).
+    fn finish_ddl(
+        &self,
+        mut storage: RwLockWriteGuard<'_, Storage>,
+        record: WalRecord,
+    ) -> RelResult<ResultSet> {
+        let csn = storage.csn + 1;
+        let Some(d) = &self.durability else {
+            storage.csn = csn;
+            self.publish(Arc::new(storage.clone()));
+            return Ok(ResultSet::dml(0));
+        };
+        {
+            let mut q = d.queue.lock();
+            if let Some(msg) = &q.poisoned {
+                return Err(poison_error(msg));
+            }
+            frame_into(&mut q.buf, &record);
+            storage.csn = csn;
+            q.queued_csn = csn;
+            q.pending_snapshot = Some(Arc::new(storage.clone()));
+        }
+        drop(storage);
+        self.wait_durable(csn)?;
+        Ok(ResultSet::dml(0))
+    }
+
+    /// Blocks until `csn` is durable (or the log is poisoned). The first
+    /// waiter to find no flush in flight becomes the leader and flushes
+    /// the whole queue with one append + fsync.
+    fn wait_durable(&self, csn: u64) -> RelResult<()> {
+        let d = self.durability.as_ref().expect("durable mode");
+        let mut q = d.queue.lock();
+        loop {
+            if let Some(msg) = &q.poisoned {
+                return Err(poison_error(msg));
+            }
+            if q.durable_csn >= csn {
+                return Ok(());
+            }
+            if q.flushing {
+                q = cond_wait(&d.cond, q);
+                continue;
+            }
+            // Leader: take the whole batch and flush it outside the queue
+            // lock, so later committers keep enqueueing into a fresh
+            // buffer while the disk works.
+            q.flushing = true;
+            let buf = std::mem::take(&mut q.buf);
+            let top = q.queued_csn;
+            let snap = q.pending_snapshot.take();
+            drop(q);
+            let start = Instant::now();
+            let res = d.wal.lock().write_frames(&buf);
+            metrics::engine()
+                .wal_commit_ns
+                .record(metrics::elapsed_ns(start));
+            q = d.queue.lock();
+            q.flushing = false;
+            let outcome = self.apply_flush_outcome(&mut q, res, top, buf.len(), snap);
+            d.cond.notify_all();
+            outcome?;
+        }
+    }
+
+    /// Records a flush's result in the queue: on success advances the
+    /// durable horizon and publishes the covering snapshot; on failure
+    /// poisons the database.
+    fn apply_flush_outcome(
+        &self,
+        q: &mut CommitQueue,
+        res: RelResult<()>,
+        top: u64,
+        bytes: usize,
+        snap: Option<Arc<Storage>>,
+    ) -> RelResult<()> {
+        let m = metrics::engine();
+        match res {
+            Ok(()) => {
+                q.durable_csn = q.durable_csn.max(top);
+                q.log_bytes += bytes as u64;
+                m.wal_bytes
+                    .set(i64::try_from(q.log_bytes).unwrap_or(i64::MAX));
+                if let Some(s) = snap {
+                    self.publish(s);
+                }
+                Ok(())
+            }
+            Err(e) => {
+                m.wal_fsync_failures.inc();
+                q.poisoned = Some(e.to_string());
+                Err(e)
+            }
+        }
+    }
+
+    fn begin_tx(&self) -> u64 {
+        match &self.durability {
+            Some(d) => {
+                let mut q = d.queue.lock();
+                let tx = q.next_tx;
+                q.next_tx += 1;
+                tx
+            }
+            None => 0,
+        }
+    }
+
+    /// Checkpoints the database: writes a complete image of the current
+    /// state to the side store (write-to-temp + atomic rename), rotates
+    /// the log, and starts the fresh log with a marker recording the
+    /// image's CSN. Recovery then loads the image and replays only the
+    /// tail — replay work is bounded by writes since the last checkpoint,
+    /// not by total history. A no-op in memory-only mode.
+    ///
+    /// Crash semantics: a crash before the rename keeps the previous
+    /// image and the full log (nothing lost); after the rename but before
+    /// rotation, recovery loads the new image and skips the log's
+    /// image-covered prefix by CSN; after rotation but before the marker,
+    /// recovery repairs the missing marker on open.
+    pub fn checkpoint(&self) -> RelResult<()> {
+        let Some(d) = &self.durability else {
+            return Ok(()); // nothing to checkpoint in memory-only mode
+        };
+        // Exclusive over writers for the whole protocol: no commit can
+        // enqueue while the image is cut, so `storage.csn` is exactly
+        // the state the image captures.
+        let storage = self.storage.write();
+        let mut q = d.queue.lock();
+        while q.flushing {
+            q = cond_wait(&d.cond, q);
+        }
+        if let Some(msg) = &q.poisoned {
+            return Err(poison_error(msg));
+        }
+        if !q.buf.is_empty() {
+            // Drain the last queued frames inline. No new enqueuers can
+            // appear (they need the storage write lock held here), and
+            // leaving them would fold unacknowledged commits into the
+            // image while their committers wait forever.
+            let buf = std::mem::take(&mut q.buf);
+            let top = q.queued_csn;
+            let snap = q.pending_snapshot.take();
+            let start = Instant::now();
+            let res = d.wal.lock().write_frames(&buf);
+            metrics::engine()
+                .wal_commit_ns
+                .record(metrics::elapsed_ns(start));
+            let outcome = self.apply_flush_outcome(&mut q, res, top, buf.len(), snap);
+            d.cond.notify_all();
+            outcome?;
+        }
+        let k = storage.csn;
+        // The image: DDL first, then every live row, then the footer
+        // that certifies completeness. A torn or partial image fails the
+        // footer check at recovery and falls back to full log replay.
+        let mut image = Vec::new();
+        for schema in storage.catalog.tables() {
+            frame_into(
+                &mut image,
+                &WalRecord::CreateTable {
+                    schema: schema.clone(),
+                },
+            );
+        }
+        for def in storage.catalog.indexes() {
+            frame_into(&mut image, &WalRecord::CreateIndex { def: def.clone() });
+        }
+        for schema in storage.catalog.tables() {
+            let table = storage.table(&schema.name)?;
+            for (id, row) in table.scan() {
+                frame_into(
+                    &mut image,
+                    &WalRecord::Insert {
+                        tx: 0,
+                        table: schema.name.clone(),
+                        row_id: id,
+                        row,
+                    },
+                );
+            }
+        }
+        frame_into(&mut image, &WalRecord::Checkpoint { csn: k });
+        let mut wal = d.wal.lock();
+        // A failure before rotation loses nothing — the previous image
+        // (if any) and the whole log are still in place — so it leaves
+        // the database healthy rather than poisoned.
+        wal.put_side(&image)
+            .map_err(|e| RelError::Wal(format!("checkpoint image: {e}")))?;
+        if let Err(e) = wal.rotate() {
+            q.poisoned = Some(e.to_string());
+            d.cond.notify_all();
+            return Err(e);
+        }
+        // Lead the fresh log with the marker so replay counts commits
+        // from `k` instead of zero.
+        let mut marker = Vec::new();
+        frame_into(&mut marker, &WalRecord::Checkpoint { csn: k });
+        if let Err(e) = wal.write_frames(&marker) {
+            q.poisoned = Some(e.to_string());
+            d.cond.notify_all();
+            return Err(e);
+        }
+        q.log_bytes = marker.len() as u64;
+        let m = metrics::engine();
+        m.wal_bytes
+            .set(i64::try_from(q.log_bytes).unwrap_or(i64::MAX));
+        m.checkpoint_csn.set(i64::try_from(k).unwrap_or(i64::MAX));
+        Ok(())
+    }
+
+    /// Rewrites segments whose dead-slot (tombstone) fraction exceeds
+    /// [`COMPACT_DEAD_RATIO`], reclaiming space and re-tightening the
+    /// widen-only zone maps. Returns the number of segments rewritten or
+    /// removed. Purely an in-memory reorganization: row ids, visible
+    /// contents and the log are untouched, so a crash at any point during
+    /// or after it recovers the same state.
+    pub fn compact_segments(&self) -> usize {
+        let mut storage = self.storage.write();
+        let names: Vec<String> = storage.catalog.tables().map(|t| t.name.clone()).collect();
+        let mut rewritten = 0;
+        for name in names {
+            if let Ok(t) = storage.table_mut(&name) {
+                rewritten += t.compact_store(COMPACT_DEAD_RATIO);
+            }
+        }
+        if rewritten > 0 {
+            let publishable = match &self.durability {
+                None => true,
+                Some(d) => {
+                    let q = d.queue.lock();
+                    q.poisoned.is_none() && q.durable_csn == storage.csn
+                }
+            };
+            // An applied-but-unflushed commit must not leak into the
+            // published snapshot; in that window the compacted layout
+            // simply rides out with the next successful flush instead.
+            if publishable {
+                self.publish(Arc::new(storage.clone()));
+            }
+        }
+        rewritten
+    }
+
+    /// Starts the background maintenance thread: every `interval` it
+    /// compacts tombstone-heavy segments and takes a checkpoint. Errors
+    /// (e.g. a poisoned log) are swallowed — the next tick retries.
+    /// Idempotent while a maintenance thread is already running.
+    pub fn start_maintenance(self: &Arc<Database>, interval: Duration) {
+        let mut slot = self.maintenance.lock();
+        if slot.is_some() {
+            return;
+        }
+        let stop = Arc::new(StopSignal::new());
+        let signal = Arc::clone(&stop);
+        let weak: Weak<Database> = Arc::downgrade(self);
+        let handle = std::thread::Builder::new()
+            .name("relstore-maintenance".into())
+            .spawn(move || {
+                while !signal.wait_timeout(interval) {
+                    let Some(db) = weak.upgrade() else { break };
+                    db.compact_segments();
+                    let _ = db.checkpoint();
+                }
+            })
+            .expect("spawn maintenance thread");
+        *slot = Some(MaintenanceTask { stop, handle });
+    }
+
+    /// Stops and joins the maintenance thread, if one is running.
+    pub fn stop_maintenance(&self) {
+        let task = self.maintenance.lock().take();
+        if let Some(task) = task {
+            task.stop.stop();
+            let _ = task.handle.join();
+        }
+    }
+
+    /// Compacts the durable log so recovery time becomes proportional to
+    /// live data rather than history: a checkpoint + rotation on backends
+    /// that support it, an in-place snapshot rewrite otherwise.
+    pub fn compact(&self) -> RelResult<()> {
+        let Some(d) = &self.durability else {
+            return Ok(()); // nothing to compact in memory-only mode
+        };
+        if d.wal.lock().supports_rotation() {
+            return self.checkpoint();
+        }
+        let storage = self.storage.write();
+        let mut q = d.queue.lock();
+        while q.flushing {
+            q = cond_wait(&d.cond, q);
+        }
+        if let Some(msg) = &q.poisoned {
+            return Err(poison_error(msg));
+        }
+        if !q.buf.is_empty() {
+            // Same drain as checkpoint: the snapshot below includes these
+            // frames' effects, but their committers have not been acked.
+            let buf = std::mem::take(&mut q.buf);
+            let top = q.queued_csn;
+            let snap = q.pending_snapshot.take();
+            let res = d.wal.lock().write_frames(&buf);
+            let outcome = self.apply_flush_outcome(&mut q, res, top, buf.len(), snap);
+            d.cond.notify_all();
+            outcome?;
+        }
+        let mut snapshot = Vec::new();
+        for schema in storage.catalog.tables() {
+            snapshot.push(WalRecord::CreateTable {
+                schema: schema.clone(),
+            });
+        }
+        for def in storage.catalog.indexes() {
+            snapshot.push(WalRecord::CreateIndex { def: def.clone() });
+        }
+        for schema in storage.catalog.tables() {
+            let table = storage.table(&schema.name)?;
+            for (id, row) in table.scan() {
+                snapshot.push(WalRecord::Insert {
+                    tx: 0,
+                    table: schema.name.clone(),
+                    row_id: id,
+                    row,
+                });
+            }
+        }
+        let mut wal = d.wal.lock();
+        if let Err(e) = wal.rewrite(&snapshot) {
+            q.poisoned = Some(e.to_string());
+            d.cond.notify_all();
+            return Err(e);
+        }
+        let mut framed = Vec::new();
+        for r in &snapshot {
+            frame_into(&mut framed, r);
+        }
+        q.log_bytes = framed.len() as u64;
+        metrics::engine()
+            .wal_bytes
+            .set(i64::try_from(q.log_bytes).unwrap_or(i64::MAX));
+        Ok(())
     }
 
     /// Returns the textual plan for a `SELECT` — the engine's `EXPLAIN`.
@@ -853,7 +1471,7 @@ impl Database {
     }
 
     fn explain_select(&self, select: &SelectStmt) -> RelResult<String> {
-        let storage = self.storage.read();
+        let storage = self.snapshot();
         let planned = plan_select(select, &storage.catalog)?;
         let workers = if exec_parallel::parallel_eligible(&planned.plan) {
             self.options.workers
@@ -868,7 +1486,7 @@ impl Database {
     pub fn plan(&self, sql: &str) -> RelResult<PlannedQuery> {
         match parse_statement(sql)? {
             Statement::Select(select) => {
-                let storage = self.storage.read();
+                let storage = self.snapshot();
                 plan_select(&select, &storage.catalog)
             }
             _ => Err(RelError::Parse("only SELECT can be planned".into())),
@@ -885,12 +1503,15 @@ impl Database {
         Ok((out.rows, out.stats.expect("with_stats was requested")))
     }
 
-    /// Plans one `SELECT`, publishing plan latency (or an error count) to
-    /// the global metrics registry.
-    pub(crate) fn plan_select_stmt(&self, select: &SelectStmt) -> RelResult<PlannedQuery> {
+    /// Plans one `SELECT` against a pinned snapshot, publishing plan
+    /// latency (or an error count) to the global metrics registry.
+    pub(crate) fn plan_select_stmt(
+        &self,
+        storage: &Storage,
+        select: &SelectStmt,
+    ) -> RelResult<PlannedQuery> {
         let m = metrics::engine();
         let plan_start = Instant::now();
-        let storage = self.storage.read();
         let result = plan_select(select, &storage.catalog);
         match &result {
             Ok(_) => m.plan_ns.record(metrics::elapsed_ns(plan_start)),
@@ -899,22 +1520,23 @@ impl Database {
         result
     }
 
-    /// Executes a planned `SELECT`, dispatching parallel-eligible shapes
-    /// across the worker pool when `workers > 1`, and publishing per-query
-    /// aggregates (row counters, exec latency) to the metrics registry.
+    /// Executes a planned `SELECT` against a pinned snapshot, dispatching
+    /// parallel-eligible shapes across the worker pool when `workers > 1`,
+    /// and publishing per-query aggregates (row counters, exec latency)
+    /// to the metrics registry.
     pub(crate) fn run_planned_query(
         &self,
+        storage: &Storage,
         planned: &PlannedQuery,
         workers: usize,
     ) -> RelResult<(ResultSet, ExecStats)> {
         let m = metrics::engine();
         let result = (|| {
-            let storage = self.storage.read();
             let exec_start = Instant::now();
             let parallel = if workers > 1 {
                 exec_parallel::execute_plan_parallel(
                     &planned.plan,
-                    &storage,
+                    storage,
                     &self.pool,
                     workers,
                     self.options.morsel_size,
@@ -927,7 +1549,7 @@ impl Database {
                     m.parallel_workers.add(workers as u64);
                     run?
                 }
-                None => execute_plan_with_stats(&planned.plan, &storage)?,
+                None => execute_plan_with_stats(&planned.plan, storage)?,
             };
             m.exec_ns.record(metrics::elapsed_ns(exec_start));
             Ok((select_result(planned.visible, &schema, rows), stats))
@@ -940,10 +1562,11 @@ impl Database {
     }
 
     /// Plans and executes one `SELECT` with the database's default worker
-    /// count.
+    /// count against the current snapshot.
     fn run_select(&self, select: &SelectStmt) -> RelResult<(ResultSet, ExecStats)> {
-        let planned = self.plan_select_stmt(select)?;
-        self.run_planned_query(&planned, self.options.workers)
+        let storage = self.snapshot();
+        let planned = self.plan_select_stmt(&storage, select)?;
+        self.run_planned_query(&storage, &planned, self.options.workers)
     }
 
     /// Runs a `SELECT` (or an `EXPLAIN [ANALYZE] SELECT`) under the
@@ -962,25 +1585,30 @@ impl Database {
     }
 
     fn analyze_sql(&self, sql: &str) -> RelResult<AnalyzedQuery> {
-        match parse_statement(sql)? {
-            Statement::Select(select) => self.analyze_select(&select),
+        let select = match parse_statement(sql)? {
+            Statement::Select(select) => select,
             Statement::Explain { inner, .. } => match *inner {
-                Statement::Select(select) => self.analyze_select(&select),
-                _ => Err(RelError::Parse("EXPLAIN supports SELECT only".into())),
+                Statement::Select(select) => select,
+                _ => return Err(RelError::Parse("EXPLAIN supports SELECT only".into())),
             },
-            _ => Err(RelError::Parse("only SELECT can be analyzed".into())),
-        }
+            _ => return Err(RelError::Parse("only SELECT can be analyzed".into())),
+        };
+        let snap = self.snapshot();
+        self.analyze_select(&snap, &select)
     }
 
-    pub(crate) fn analyze_select(&self, select: &SelectStmt) -> RelResult<AnalyzedQuery> {
+    pub(crate) fn analyze_select(
+        &self,
+        storage: &Storage,
+        select: &SelectStmt,
+    ) -> RelResult<AnalyzedQuery> {
         let m = metrics::engine();
         let result = (|| {
             let plan_start = Instant::now();
-            let storage = self.storage.read();
             let PlannedQuery { plan, visible } = plan_select(select, &storage.catalog)?;
             m.plan_ns.record(metrics::elapsed_ns(plan_start));
             let exec_start = Instant::now();
-            let (schema, rows, stats, profile) = execute_plan_profiled(&plan, &storage)?;
+            let (schema, rows, stats, profile) = execute_plan_profiled(&plan, storage)?;
             let total_ns = metrics::elapsed_ns(exec_start);
             m.exec_ns.record(total_ns);
             Ok(AnalyzedQuery {
@@ -1006,78 +1634,30 @@ impl Database {
         Ok(self.query(sql).via_reference().run()?.rows)
     }
 
-    /// Runs a pre-parsed `SELECT` on the reference interpreter.
-    pub(crate) fn run_select_reference(&self, select: &SelectStmt) -> RelResult<ResultSet> {
-        let storage = self.storage.read();
+    /// Runs a pre-parsed `SELECT` on the reference interpreter against a
+    /// pinned snapshot.
+    pub(crate) fn run_select_reference(
+        &self,
+        storage: &Storage,
+        select: &SelectStmt,
+    ) -> RelResult<ResultSet> {
         let PlannedQuery { plan, visible } = plan_select(select, &storage.catalog)?;
-        let (schema, rows) = crate::exec_reference::execute_plan(&plan, &storage)?;
+        let (schema, rows) = crate::exec_reference::execute_plan(&plan, storage)?;
         Ok(select_result(visible, &schema, rows))
     }
 
-    /// Number of rows currently in `table`.
+    /// Number of rows currently in `table` (as of the latest snapshot).
     pub fn row_count(&self, table: &str) -> RelResult<usize> {
-        Ok(self.storage.read().table(table)?.len())
+        Ok(self.snapshot().table(table)?.len())
     }
 
     /// Names of all tables.
     pub fn table_names(&self) -> Vec<String> {
-        self.storage
-            .read()
+        self.snapshot()
             .catalog
             .tables()
             .map(|t| t.name.clone())
             .collect()
-    }
-
-    /// Rewrites the log as a compact snapshot of current state; recovery
-    /// time becomes proportional to live data rather than history.
-    pub fn compact(&self) -> RelResult<()> {
-        let Some(wal_state) = &self.wal else {
-            return Ok(()); // nothing to compact in memory-only mode
-        };
-        let storage = self.storage.write();
-        let mut state = wal_state.lock();
-        let mut snapshot = Vec::new();
-        for schema in storage.catalog.tables() {
-            snapshot.push(WalRecord::CreateTable {
-                schema: schema.clone(),
-            });
-        }
-        for def in storage.catalog.indexes() {
-            snapshot.push(WalRecord::CreateIndex { def: def.clone() });
-        }
-        for schema in storage.catalog.tables() {
-            let table = storage.table(&schema.name)?;
-            for (id, row) in table.scan() {
-                snapshot.push(WalRecord::Insert {
-                    tx: 0,
-                    table: schema.name.clone(),
-                    row_id: id,
-                    row,
-                });
-            }
-        }
-        match state.wal.path().map(Path::to_path_buf) {
-            // File-backed: write the snapshot beside the log and swap it
-            // in with an atomic rename, so a crash mid-compaction leaves
-            // either the old log or the new one — never a mixture.
-            Some(path) => {
-                let tmp_path = path.with_extension("compact");
-                let _ = std::fs::remove_file(&tmp_path);
-                let mut fresh = Wal::open(&tmp_path)?;
-                for record in &snapshot {
-                    fresh.append(record);
-                }
-                fresh.sync()?;
-                drop(fresh);
-                std::fs::rename(&tmp_path, &path)
-                    .map_err(|e| RelError::Wal(format!("rename compacted log: {e}")))?;
-                state.wal = Wal::open(&path)?;
-            }
-            // Custom backend: no rename available; rewrite in place.
-            None => state.wal.rewrite(&snapshot)?,
-        }
-        Ok(())
     }
 
     fn validate_filter(
@@ -1092,47 +1672,50 @@ impl Database {
         // Validate references eagerly so errors carry good messages.
         validate_expr_columns(filter, &row_schema)
     }
+}
 
-    fn begin_tx(&self) -> u64 {
-        match &self.wal {
-            Some(state) => {
-                let mut s = state.lock();
-                let tx = s.next_tx;
-                s.next_tx += 1;
-                tx
-            }
-            None => 0,
+impl Drop for Database {
+    fn drop(&mut self) {
+        // Signal but never join: the maintenance thread's own temporary
+        // Arc upgrade can be the last reference, which would run this
+        // drop *on* the maintenance thread — joining it would deadlock.
+        if let Some(task) = self.maintenance.get_mut().take() {
+            task.stop.stop();
         }
     }
+}
 
-    fn commit_tx(&self, tx: u64, records: Vec<WalRecord>) -> RelResult<()> {
-        if let Some(state) = &self.wal {
-            let mut s = state.lock();
-            if records.is_empty() {
-                return Ok(());
-            }
-            let start = Instant::now();
-            s.wal.append(&WalRecord::Begin { tx });
-            for r in &records {
-                s.wal.append(r);
-            }
-            s.wal.append(&WalRecord::Commit { tx });
-            s.wal.sync()?;
-            metrics::engine()
-                .wal_commit_ns
-                .record(metrics::elapsed_ns(start));
-        }
-        Ok(())
+/// Rebuilds a [`Storage`] from a checkpoint image: framed DDL + `tx:0`
+/// row records, certified complete by a trailing [`WalRecord::Checkpoint`]
+/// footer. Any damage — truncation, bit-rot, a missing footer — is an
+/// error; the caller falls back to full log replay.
+fn load_checkpoint_image(image: &[u8]) -> Result<(Storage, u64), String> {
+    let scan = crate::wal::scan_log(image);
+    if let Some(c) = &scan.corruption {
+        return Err(format!("torn at byte {}: {}", c.offset, c.reason));
     }
-
-    fn log_ddl(&self, record: WalRecord) -> RelResult<()> {
-        if let Some(state) = &self.wal {
-            let mut s = state.lock();
-            s.wal.append(&record);
-            s.wal.sync()?;
+    let Some(WalRecord::Checkpoint { csn }) = scan.records.last() else {
+        return Err("missing its trailing completeness marker".into());
+    };
+    let k = *csn;
+    let mut storage = Storage::default();
+    for record in &scan.records[..scan.records.len() - 1] {
+        match record {
+            WalRecord::CreateTable { schema } => storage
+                .create_table(schema.clone())
+                .map_err(|e| format!("CREATE TABLE: {e}"))?,
+            WalRecord::CreateIndex { def } => storage
+                .create_index(def.clone())
+                .map_err(|e| format!("CREATE INDEX: {e}"))?,
+            WalRecord::Insert { .. } => {
+                let mut throwaway = Vec::new();
+                apply_dml(&mut storage, record, &mut throwaway).map_err(|e| format!("row: {e}"))?;
+            }
+            other => return Err(format!("unexpected record {other:?}")),
         }
-        Ok(())
     }
+    storage.csn = k;
+    Ok((storage, k))
 }
 
 /// Validates that every column an expression mentions resolves.

@@ -84,4 +84,4 @@ pub use exec::{format_ns, ExecStats, OpProfile};
 pub use query::{ColumnError, FromValue, Prepared, Query, QueryOutcome, ResultRow, ResultRows};
 pub use schema::{Column, TableSchema};
 pub use value::{DataType, Value};
-pub use wal::{Corruption, FaultConfig, FaultyIo, RecoveryReport, StdFileIo, WalIo};
+pub use wal::{Corruption, FaultConfig, FaultyIo, RecoveryReport, SlowIo, StdFileIo, WalIo};

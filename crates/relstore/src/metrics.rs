@@ -51,8 +51,17 @@ pub(crate) struct EngineMetrics {
     pub plan_ns: Histogram,
     /// `relstore.exec.latency` — execution wall-time per SELECT.
     pub exec_ns: Histogram,
-    /// `relstore.wal.commit_latency` — append+fsync wall-time per commit.
+    /// `relstore.wal.commit_latency` — append+fsync wall-time per group
+    /// commit flush (one flush may cover many transactions).
     pub wal_commit_ns: Histogram,
+    /// `relstore.wal.fsync_failures` — group-commit flushes that failed
+    /// to reach the disk (each one poisons the database until reopen).
+    pub wal_fsync_failures: Counter,
+    /// `relstore.wal.bytes` — current size of the active log.
+    pub wal_bytes: Gauge,
+    /// `relstore.wal.checkpoint_csn` — CSN of the latest checkpoint
+    /// (written at checkpoint time and restored at recovery).
+    pub checkpoint_csn: Gauge,
 }
 
 impl EngineMetrics {
@@ -87,6 +96,9 @@ pub(crate) fn engine() -> &'static EngineMetrics {
             plan_ns: reg.histogram("relstore.plan.latency"),
             exec_ns: reg.histogram("relstore.exec.latency"),
             wal_commit_ns: reg.histogram("relstore.wal.commit_latency"),
+            wal_fsync_failures: reg.counter("relstore.wal.fsync_failures"),
+            wal_bytes: reg.gauge("relstore.wal.bytes"),
+            checkpoint_csn: reg.gauge("relstore.wal.checkpoint_csn"),
         }
     })
 }
@@ -94,24 +106,45 @@ pub(crate) fn engine() -> &'static EngineMetrics {
 /// Publishes a WAL recovery's outcome as gauges (last recovery wins) and
 /// bumps `relstore.wal.recoveries`.
 pub(crate) fn observe_recovery(report: &RecoveryReport) {
-    static RECOVERY: OnceLock<(Counter, Gauge, Gauge, Gauge, Gauge, Gauge)> = OnceLock::new();
-    let (recoveries, scanned, applied, dropped, errors, truncated) = RECOVERY.get_or_init(|| {
+    struct RecoveryMetrics {
+        recoveries: Counter,
+        scanned: Gauge,
+        applied: Gauge,
+        dropped: Gauge,
+        errors: Gauge,
+        truncated: Gauge,
+        /// `relstore.wal.recovery.replay_tail` — transactions replayed
+        /// from the log tail past the checkpoint. With checkpointing
+        /// working, this stays bounded no matter how much history the
+        /// database has accumulated.
+        replay_tail: Gauge,
+        skipped: Gauge,
+        checkpoint_csn: Gauge,
+    }
+    static RECOVERY: OnceLock<RecoveryMetrics> = OnceLock::new();
+    let m = RECOVERY.get_or_init(|| {
         let reg = xomatiq_obs::global();
-        (
-            reg.counter("relstore.wal.recoveries"),
-            reg.gauge("relstore.wal.recovery.records_scanned"),
-            reg.gauge("relstore.wal.recovery.transactions_applied"),
-            reg.gauge("relstore.wal.recovery.transactions_dropped"),
-            reg.gauge("relstore.wal.recovery.replay_errors"),
-            reg.gauge("relstore.wal.recovery.truncated_bytes"),
-        )
+        RecoveryMetrics {
+            recoveries: reg.counter("relstore.wal.recoveries"),
+            scanned: reg.gauge("relstore.wal.recovery.records_scanned"),
+            applied: reg.gauge("relstore.wal.recovery.transactions_applied"),
+            dropped: reg.gauge("relstore.wal.recovery.transactions_dropped"),
+            errors: reg.gauge("relstore.wal.recovery.replay_errors"),
+            truncated: reg.gauge("relstore.wal.recovery.truncated_bytes"),
+            replay_tail: reg.gauge("relstore.wal.recovery.replay_tail"),
+            skipped: reg.gauge("relstore.wal.recovery.transactions_skipped"),
+            checkpoint_csn: reg.gauge("relstore.wal.checkpoint_csn"),
+        }
     });
-    recoveries.inc();
-    scanned.set(report.records_scanned as i64);
-    applied.set(report.transactions_applied as i64);
-    dropped.set(report.transactions_dropped.len() as i64);
-    errors.set(report.replay_errors.len() as i64);
-    truncated.set(report.truncated_bytes as i64);
+    m.recoveries.inc();
+    m.scanned.set(report.records_scanned as i64);
+    m.applied.set(report.transactions_applied as i64);
+    m.dropped.set(report.transactions_dropped.len() as i64);
+    m.errors.set(report.replay_errors.len() as i64);
+    m.truncated.set(report.truncated_bytes as i64);
+    m.replay_tail.set(report.transactions_applied as i64);
+    m.skipped.set(report.transactions_skipped as i64);
+    m.checkpoint_csn.set(report.checkpoint_csn as i64);
 }
 
 /// Nanoseconds since `start`, saturating.

@@ -228,6 +228,61 @@ impl std::fmt::Debug for WorkerPool {
     }
 }
 
+/// A one-shot stop flag with timed waits, built from the same
+/// mutex+condvar machinery as the pool queue. Background threads (the
+/// maintenance loop in [`crate::db`]) sleep on it between passes and wake
+/// immediately when [`StopSignal::stop`] fires, so shutdown never has to
+/// wait out a full interval.
+#[derive(Debug, Default)]
+pub(crate) struct StopSignal {
+    stopped: Mutex<bool>,
+    changed: Condvar,
+}
+
+impl StopSignal {
+    /// A fresh, unstopped signal.
+    pub(crate) fn new() -> StopSignal {
+        StopSignal::default()
+    }
+
+    /// Trips the flag and wakes every waiter.
+    pub(crate) fn stop(&self) {
+        let mut stopped = self.stopped.lock().expect("stop signal poisoned");
+        *stopped = true;
+        self.changed.notify_all();
+    }
+
+    /// Whether the flag has been tripped.
+    #[cfg(test)]
+    pub(crate) fn is_stopped(&self) -> bool {
+        *self.stopped.lock().expect("stop signal poisoned")
+    }
+
+    /// Sleeps up to `timeout`, returning early — with `true` — if the
+    /// signal stops. `false` means the timeout elapsed.
+    pub(crate) fn wait_timeout(&self, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut stopped = self.stopped.lock().expect("stop signal poisoned");
+        loop {
+            if *stopped {
+                return true;
+            }
+            let now = std::time::Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return false;
+            };
+            let (guard, _) = self
+                .changed
+                .wait_timeout(stopped, remaining)
+                .expect("stop signal poisoned");
+            stopped = guard;
+        }
+    }
+}
+
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
@@ -295,6 +350,23 @@ mod tests {
             .collect();
         pool.scope(tasks);
         assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn stop_signal_wakes_waiters_early() {
+        let signal = Arc::new(StopSignal::new());
+        assert!(!signal.is_stopped());
+        // Timeout path: nothing stopped it.
+        assert!(!signal.wait_timeout(std::time::Duration::from_millis(1)));
+        let waiter = {
+            let signal = Arc::clone(&signal);
+            std::thread::spawn(move || signal.wait_timeout(std::time::Duration::from_secs(60)))
+        };
+        signal.stop();
+        assert!(waiter.join().unwrap());
+        assert!(signal.is_stopped());
+        // Stopped signals return immediately.
+        assert!(signal.wait_timeout(std::time::Duration::from_secs(60)));
     }
 
     #[test]

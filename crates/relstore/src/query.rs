@@ -577,6 +577,10 @@ enum QuerySource<'a> {
 /// always execute sequentially.
 pub struct Query<'a> {
     db: &'a Database,
+    /// The MVCC snapshot this query is pinned to, captured when the
+    /// builder was created: the state as of the last durable commit.
+    /// Concurrent writers never change what this query sees.
+    snapshot: Arc<crate::db::Storage>,
     source: QuerySource<'a>,
     params: Vec<Value>,
     with_stats: bool,
@@ -700,7 +704,7 @@ impl<'a> Query<'a> {
             return Err(RelError::Parse("only SELECT can be planned".into()));
         };
         m.cache_miss.inc();
-        let planned = Arc::new(self.db.plan_select_stmt(&select)?);
+        let planned = Arc::new(self.db.plan_select_stmt(&self.snapshot, &select)?);
         self.db
             .plan_cache
             .lock()
@@ -722,9 +726,9 @@ impl<'a> Query<'a> {
         let cached = self.db.plan_cache.lock().get(key.as_ref());
         if let Some(planned) = cached {
             m.cache_hit.inc();
-            let (rows, stats) = self
-                .db
-                .run_planned_query(&planned, self.effective_workers())?;
+            let (rows, stats) =
+                self.db
+                    .run_planned_query(&self.snapshot, &planned, self.effective_workers())?;
             return Ok(QueryOutcome {
                 rows,
                 stats: self.with_stats.then_some(stats),
@@ -735,14 +739,16 @@ impl<'a> Query<'a> {
         match stmt {
             Statement::Select(select) => {
                 m.cache_miss.inc();
-                let planned = Arc::new(self.db.plan_select_stmt(&select)?);
+                let planned = Arc::new(self.db.plan_select_stmt(&self.snapshot, &select)?);
                 self.db
                     .plan_cache
                     .lock()
                     .insert(key.into_owned(), Arc::clone(&planned));
-                let (rows, stats) = self
-                    .db
-                    .run_planned_query(&planned, self.effective_workers())?;
+                let (rows, stats) = self.db.run_planned_query(
+                    &self.snapshot,
+                    &planned,
+                    self.effective_workers(),
+                )?;
                 Ok(QueryOutcome {
                     rows,
                     stats: self.with_stats.then_some(stats),
@@ -773,7 +779,7 @@ impl<'a> Query<'a> {
             },
             _ => return Err(RelError::Parse("only SELECT can be analyzed".into())),
         };
-        let analyzed = self.db.analyze_select(&select)?;
+        let analyzed = self.db.analyze_select(&self.snapshot, &select)?;
         Ok(QueryOutcome {
             rows: analyzed.result,
             stats: Some(analyzed.stats),
@@ -788,7 +794,7 @@ impl<'a> Query<'a> {
                 "only SELECT runs on the reference executor".into(),
             ));
         };
-        let rows = self.db.run_select_reference(&select)?;
+        let rows = self.db.run_select_reference(&self.snapshot, &select)?;
         Ok(QueryOutcome {
             rows,
             stats: None,
@@ -803,6 +809,7 @@ impl Database {
     pub fn query<'a>(&'a self, sql: &'a str) -> Query<'a> {
         Query {
             db: self,
+            snapshot: self.snapshot(),
             source: QuerySource::Sql(sql),
             params: Vec::new(),
             with_stats: false,
@@ -817,7 +824,7 @@ impl Database {
     pub fn prepare(&self, sql: &str) -> RelResult<Prepared> {
         let (stmt, param_count) = parse_statement_with_params(sql)?;
         let param_types = {
-            let storage = self.storage.read();
+            let storage = self.snapshot();
             infer_param_types(&stmt, &storage.catalog, param_count)
         };
         Ok(Prepared {
@@ -832,6 +839,7 @@ impl Database {
     pub fn query_prepared<'a>(&'a self, prepared: &'a Prepared) -> Query<'a> {
         Query {
             db: self,
+            snapshot: self.snapshot(),
             source: QuerySource::Prepared(prepared),
             params: Vec::new(),
             with_stats: false,

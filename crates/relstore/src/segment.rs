@@ -247,6 +247,12 @@ pub struct Segment {
     ids: Vec<u64>,
     /// Tombstone bitmap: `false` = deleted.
     live: Vec<bool>,
+    /// Commit sequence number that created each slot (0 = pre-MVCC:
+    /// bootstrap, replayed snapshot records, or rebuilt segments).
+    insert_csn: Vec<u64>,
+    /// Commit sequence number that tombstoned each slot (0 = never
+    /// deleted). Cleared again when a rollback revives the slot.
+    delete_csn: Vec<u64>,
     live_count: usize,
     cols: Vec<Column>,
     zones: Vec<ZoneMap>,
@@ -258,6 +264,8 @@ impl Segment {
         Segment {
             ids: Vec::new(),
             live: Vec::new(),
+            insert_csn: Vec::new(),
+            delete_csn: Vec::new(),
             live_count: 0,
             cols: types.iter().map(|&ty| Column::new(ty)).collect(),
             zones: types.iter().map(|_| ZoneMap::default()).collect(),
@@ -290,10 +298,41 @@ impl Segment {
         self.ids[slot]
     }
 
+    /// Lowest RowId in the segment (`None` when empty).
+    #[inline]
+    pub fn first_id(&self) -> Option<u64> {
+        self.ids.first().copied()
+    }
+
+    /// Highest RowId in the segment (`None` when empty).
+    #[inline]
+    pub fn last_id(&self) -> Option<u64> {
+        self.ids.last().copied()
+    }
+
+    /// Binary-searches the strictly-increasing id vector for `id`,
+    /// returning its slot.
+    #[inline]
+    pub fn find_slot(&self, id: u64) -> Option<usize> {
+        self.ids.binary_search(&id).ok()
+    }
+
     /// Whether `slot` is live.
     #[inline]
     pub fn is_live(&self, slot: usize) -> bool {
         self.live[slot]
+    }
+
+    /// CSN of the commit that created `slot` (0 = pre-MVCC).
+    #[inline]
+    pub fn insert_csn_at(&self, slot: usize) -> u64 {
+        self.insert_csn[slot]
+    }
+
+    /// CSN of the commit that tombstoned `slot` (0 = still live).
+    #[inline]
+    pub fn delete_csn_at(&self, slot: usize) -> u64 {
+        self.delete_csn[slot]
     }
 
     /// The columns.
@@ -306,16 +345,18 @@ impl Segment {
         &self.zones[col]
     }
 
-    /// Appends a row, returning its slot. The caller guarantees `id` is
-    /// greater than every id already in the segment and that `row`
-    /// values match the declared column types (enforced upstream by
-    /// `check_row`).
-    pub fn push(&mut self, id: u64, row: &[Value]) -> usize {
+    /// Appends a row stamped with the committing transaction's `csn`,
+    /// returning its slot. The caller guarantees `id` is greater than
+    /// every id already in the segment and that `row` values match the
+    /// declared column types (enforced upstream by `check_row`).
+    pub fn push(&mut self, id: u64, row: &[Value], csn: u64) -> usize {
         debug_assert!(self.has_capacity());
         debug_assert!(self.ids.last().is_none_or(|&last| last < id));
         let slot = self.ids.len();
         self.ids.push(id);
         self.live.push(true);
+        self.insert_csn.push(csn);
+        self.delete_csn.push(0);
         self.live_count += 1;
         for ((col, zone), v) in self.cols.iter_mut().zip(&mut self.zones).zip(row) {
             col.push(v);
@@ -324,11 +365,13 @@ impl Segment {
         slot
     }
 
-    /// Tombstones `slot`. Zone maps are left untouched (they only ever
-    /// widen), so pruning stays conservative.
-    pub fn delete(&mut self, slot: usize) {
+    /// Tombstones `slot`, stamping the deleting commit's `csn`. Zone maps
+    /// are left untouched (they only ever widen), so pruning stays
+    /// conservative.
+    pub fn delete(&mut self, slot: usize, csn: u64) {
         debug_assert!(self.live[slot]);
         self.live[slot] = false;
+        self.delete_csn[slot] = csn;
         self.live_count -= 1;
     }
 
@@ -337,6 +380,7 @@ impl Segment {
     pub fn revive(&mut self, slot: usize) {
         if !self.live[slot] {
             self.live[slot] = true;
+            self.delete_csn[slot] = 0;
             self.live_count += 1;
         }
     }
@@ -495,7 +539,7 @@ mod tests {
         let mut seg = Segment::new(&[DataType::Int]);
         for (i, v) in values.iter().enumerate() {
             let val = v.map_or(Value::Null, Value::Int);
-            seg.push(i as u64, &[val]);
+            seg.push(i as u64, &[val], 0);
         }
         seg
     }
@@ -567,10 +611,10 @@ mod tests {
     #[test]
     fn nan_values_never_poison_zones() {
         let mut seg = Segment::new(&[DataType::Float]);
-        seg.push(0, &[Value::Float(f64::NAN)]);
+        seg.push(0, &[Value::Float(f64::NAN)], 0);
         // Only NaN so far: zone has no bounds, everything prunes...
         assert!(!seg.zone(0).can_match(CmpOp::Ge, &Value::Float(0.0)));
-        seg.push(1, &[Value::Float(1.5)]);
+        seg.push(1, &[Value::Float(1.5)], 0);
         // ...but a later comparable value re-enables matching.
         assert!(seg.zone(0).can_match(CmpOp::Eq, &Value::Float(1.5)));
         let sel = selected(&seg, &pred(CmpOp::Ge, Value::Float(0.0)));
@@ -583,8 +627,9 @@ mod tests {
         seg.push(
             0,
             &[Value::Int(3), Value::Float(2.5), Value::Text("pear".into())],
+            0,
         );
-        seg.push(1, &[Value::Null, Value::Null, Value::Null]);
+        seg.push(1, &[Value::Null, Value::Null, Value::Null], 0);
         let cases = [
             (
                 SimplePred {
@@ -643,7 +688,7 @@ mod tests {
     #[test]
     fn tombstones_hide_rows_but_zones_stay_wide() {
         let mut seg = seg_int(&[Some(1), Some(100)]);
-        seg.delete(1);
+        seg.delete(1, 0);
         assert_eq!(seg.live_count(), 1);
         assert_eq!(selected(&seg, &pred(CmpOp::Ge, Value::Int(0))), vec![0]);
         // The deleted max still widens the zone — conservative, never wrong.
@@ -653,7 +698,7 @@ mod tests {
     #[test]
     fn update_widens_zone_and_rewrites_text_span() {
         let mut seg = Segment::new(&[DataType::Text]);
-        seg.push(0, &[Value::Text("bb".into())]);
+        seg.push(0, &[Value::Text("bb".into())], 0);
         seg.update(0, &[Value::Text("zz".into())]);
         assert_eq!(seg.row(0), vec![Value::Text("zz".into())]);
         let (min, max) = seg.zone(0).bounds().unwrap();
@@ -664,7 +709,7 @@ mod tests {
     #[test]
     fn masked_materialization_nulls_unused_columns() {
         let mut seg = Segment::new(&[DataType::Int, DataType::Text]);
-        seg.push(0, &[Value::Int(7), Value::Text("long string".into())]);
+        seg.push(0, &[Value::Int(7), Value::Text("long string".into())], 0);
         let mut buf = Vec::new();
         seg.row_into(0, Some(&[true, false]), &mut buf);
         assert_eq!(buf, vec![Value::Int(7), Value::Null]);

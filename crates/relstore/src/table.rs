@@ -64,6 +64,18 @@ impl Table {
         &self.store
     }
 
+    /// Sets the CSN stamped onto subsequent mutations (MVCC versioning).
+    pub fn set_stamp(&mut self, csn: u64) {
+        self.store.set_stamp(csn);
+    }
+
+    /// Rewrites segments whose dead-slot fraction exceeds
+    /// `max_dead_ratio`, reclaiming tombstones and re-tightening zone
+    /// maps. Returns the number of segments rewritten or removed.
+    pub fn compact_store(&mut self, max_dead_ratio: f64) -> usize {
+        self.store.compact(max_dead_ratio)
+    }
+
     /// Number of rows.
     pub fn len(&self) -> usize {
         self.store.len()

@@ -86,10 +86,20 @@ pub enum WalRecord {
         /// The replacement values.
         row: Vec<Value>,
     },
+    /// Checkpoint marker. As the trailing record of a checkpoint image it
+    /// certifies the image is complete; as the leading record of a fresh
+    /// (rotated) log it tells recovery how many commit sequence numbers
+    /// the checkpoint already covers, so replay counts from `csn` instead
+    /// of zero.
+    Checkpoint {
+        /// Commit sequence number the checkpoint state includes.
+        csn: u64,
+    },
 }
 
 const TAG_BEGIN: u8 = 0x01;
 const TAG_COMMIT: u8 = 0x02;
+const TAG_CHECKPOINT: u8 = 0x03;
 const TAG_CREATE_TABLE: u8 = 0x10;
 const TAG_DROP_TABLE: u8 = 0x11;
 const TAG_CREATE_INDEX: u8 = 0x12;
@@ -233,6 +243,10 @@ impl WalRecord {
                 buf.put_u8(TAG_COMMIT);
                 buf.put_u64(*tx);
             }
+            WalRecord::Checkpoint { csn } => {
+                buf.put_u8(TAG_CHECKPOINT);
+                buf.put_u64(*csn);
+            }
             WalRecord::CreateTable { schema } => {
                 buf.put_u8(TAG_CREATE_TABLE);
                 put_schema(&mut buf, schema);
@@ -308,6 +322,9 @@ impl WalRecord {
             }),
             TAG_COMMIT => Ok(WalRecord::Commit {
                 tx: need_u64(&mut buf)?,
+            }),
+            TAG_CHECKPOINT => Ok(WalRecord::Checkpoint {
+                csn: need_u64(&mut buf)?,
             }),
             TAG_CREATE_TABLE => Ok(WalRecord::CreateTable {
                 schema: get_schema(&mut buf)?,
@@ -390,12 +407,57 @@ pub trait WalIo: Send + std::fmt::Debug {
     fn read_all(&mut self) -> io::Result<Vec<u8>>;
     /// Discards every byte past `len` (corrupt-tail repair).
     fn truncate_to(&mut self, len: u64) -> io::Result<()>;
+
+    /// Whether this backend supports the checkpoint side store and log
+    /// rotation ([`WalIo::put_side`] / [`WalIo::get_side`] /
+    /// [`WalIo::rotate`]). Backends that return `false` fall back to
+    /// in-place log rewriting for compaction.
+    fn supports_rotation(&self) -> bool {
+        false
+    }
+
+    /// Atomically replaces the checkpoint side store with `bytes`:
+    /// after a success the next [`WalIo::get_side`] returns exactly
+    /// `bytes`; after a failure it returns whatever it returned before
+    /// (write-to-temp + rename semantics — never a torn mix).
+    fn put_side(&mut self, _bytes: &[u8]) -> io::Result<()> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "checkpoint side store unsupported by this backend",
+        ))
+    }
+
+    /// Reads the checkpoint side store (`None` when absent).
+    fn get_side(&mut self) -> io::Result<Option<Vec<u8>>> {
+        Ok(None)
+    }
+
+    /// Rotates the active log: the current contents move aside as the
+    /// single retained previous generation (replacing any earlier one)
+    /// and the active log restarts empty.
+    fn rotate(&mut self) -> io::Result<()> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "log rotation unsupported by this backend",
+        ))
+    }
 }
 
-/// Production [`WalIo`]: a real append-only file.
+/// Appends `suffix` to a path's file name (`db.wal` → `db.wal.ckpt`),
+/// keeping the original extension intact.
+fn sibling_path(path: &Path, suffix: &str) -> PathBuf {
+    let mut s = path.as_os_str().to_os_string();
+    s.push(suffix);
+    PathBuf::from(s)
+}
+
+/// Production [`WalIo`]: a real append-only file, with the checkpoint
+/// image in a `<path>.ckpt` sibling and one rotated generation in
+/// `<path>.old`.
 #[derive(Debug)]
 pub struct StdFileIo {
     file: File,
+    path: PathBuf,
 }
 
 impl StdFileIo {
@@ -406,7 +468,22 @@ impl StdFileIo {
             .append(true)
             .read(true)
             .open(path)?;
-        Ok(StdFileIo { file })
+        Ok(StdFileIo {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Best-effort fsync of the directory holding the log, making the
+    /// renames in [`WalIo::put_side`] / [`WalIo::rotate`] durable. Some
+    /// filesystems reject directory fsync; the rename itself is still
+    /// atomic, so errors are ignored.
+    fn sync_dir(&self) {
+        if let Some(dir) = self.path.parent() {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
     }
 }
 
@@ -428,6 +505,46 @@ impl WalIo for StdFileIo {
 
     fn truncate_to(&mut self, len: u64) -> io::Result<()> {
         self.file.set_len(len)
+    }
+
+    fn supports_rotation(&self) -> bool {
+        true
+    }
+
+    fn put_side(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let tmp = sibling_path(&self.path, ".ckpt.tmp");
+        let side = sibling_path(&self.path, ".ckpt");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        // The atomic-rename guarantee: a crash before this line leaves
+        // the previous checkpoint untouched; after it, the new image is
+        // fully in place. There is no in-between.
+        std::fs::rename(&tmp, &side)?;
+        self.sync_dir();
+        Ok(())
+    }
+
+    fn get_side(&mut self) -> io::Result<Option<Vec<u8>>> {
+        match std::fs::read(sibling_path(&self.path, ".ckpt")) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn rotate(&mut self) -> io::Result<()> {
+        self.file.sync_data()?;
+        std::fs::rename(&self.path, sibling_path(&self.path, ".old"))?;
+        self.file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(&self.path)?;
+        self.sync_dir();
+        Ok(())
     }
 }
 
@@ -474,6 +591,11 @@ struct FaultyState {
     durable: Vec<u8>,
     /// Appended but not yet fsynced bytes (simulated OS cache).
     cache: Vec<u8>,
+    /// Checkpoint side store (always durable once written: `put_side`
+    /// models write-to-temp + atomic rename).
+    side: Option<Vec<u8>>,
+    /// The single retained previous log generation.
+    rotated: Option<Vec<u8>>,
     rng: u64,
     cfg: FaultConfig,
 }
@@ -495,6 +617,8 @@ impl FaultyIo {
             state: Arc::new(Mutex::new(FaultyState {
                 durable: Vec::new(),
                 cache: Vec::new(),
+                side: None,
+                rotated: None,
                 rng: seed,
                 cfg,
             })),
@@ -535,6 +659,25 @@ impl FaultyIo {
     pub fn corrupt_durable(&self, offset: u64, mask: u8) {
         let mut s = self.lock();
         if let Some(b) = s.durable.get_mut(offset as usize) {
+            *b ^= mask;
+        }
+    }
+
+    /// The checkpoint side store's current contents, if any.
+    pub fn side_bytes(&self) -> Option<Vec<u8>> {
+        self.lock().side.clone()
+    }
+
+    /// The single retained rotated log generation, if any.
+    pub fn rotated_bytes(&self) -> Option<Vec<u8>> {
+        self.lock().rotated.clone()
+    }
+
+    /// Flips bits of the checkpoint side byte at `offset` (a torn or
+    /// damaged checkpoint image at rest).
+    pub fn corrupt_side(&self, offset: u64, mask: u8) {
+        let mut s = self.lock();
+        if let Some(b) = s.side.as_mut().and_then(|v| v.get_mut(offset as usize)) {
             *b ^= mask;
         }
     }
@@ -602,6 +745,97 @@ impl WalIo for FaultyIo {
         }
         Ok(())
     }
+
+    fn supports_rotation(&self) -> bool {
+        true
+    }
+
+    fn put_side(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let mut s = self.lock();
+        let s = &mut *s;
+        // Models write-to-temp + atomic rename: a failure (drawn from the
+        // fsync schedule — it is a durability operation) leaves the
+        // previous image fully intact, never a torn mix.
+        if one_in(&mut s.rng, s.cfg.fsync_fail_in) {
+            return Err(io::Error::other("injected checkpoint write failure"));
+        }
+        s.side = Some(bytes.to_vec());
+        Ok(())
+    }
+
+    fn get_side(&mut self) -> io::Result<Option<Vec<u8>>> {
+        let mut s = self.lock();
+        let s = &mut *s;
+        if s.side.is_some() && one_in(&mut s.rng, s.cfg.read_fail_in) {
+            return Err(io::Error::other("injected checkpoint read failure"));
+        }
+        Ok(s.side.clone())
+    }
+
+    fn rotate(&mut self) -> io::Result<()> {
+        let mut s = self.lock();
+        let s = &mut *s;
+        // Rotation is a rename: atomic, but it can still fail outright
+        // (drawn from the fsync schedule), leaving the log unmoved.
+        if one_in(&mut s.rng, s.cfg.fsync_fail_in) {
+            return Err(io::Error::other("injected rotation failure"));
+        }
+        s.rotated = Some(std::mem::take(&mut s.durable));
+        s.cache.clear();
+        Ok(())
+    }
+}
+
+/// A [`WalIo`] decorator that sleeps on every fsync, modelling a slow
+/// disk. Used by the group-commit bench and the reader-vs-writer tests:
+/// with fsyncs pinned at a known latency, commit batching and non-blocking
+/// snapshot reads become deterministic, observable effects.
+#[derive(Debug)]
+pub struct SlowIo {
+    inner: Box<dyn WalIo>,
+    fsync_delay: std::time::Duration,
+}
+
+impl SlowIo {
+    /// Wraps `inner`, delaying every fsync by `fsync_delay`.
+    pub fn new(inner: Box<dyn WalIo>, fsync_delay: std::time::Duration) -> SlowIo {
+        SlowIo { inner, fsync_delay }
+    }
+}
+
+impl WalIo for SlowIo {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.inner.append(bytes)
+    }
+
+    fn fsync(&mut self) -> io::Result<()> {
+        std::thread::sleep(self.fsync_delay);
+        self.inner.fsync()
+    }
+
+    fn read_all(&mut self) -> io::Result<Vec<u8>> {
+        self.inner.read_all()
+    }
+
+    fn truncate_to(&mut self, len: u64) -> io::Result<()> {
+        self.inner.truncate_to(len)
+    }
+
+    fn supports_rotation(&self) -> bool {
+        self.inner.supports_rotation()
+    }
+
+    fn put_side(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.inner.put_side(bytes)
+    }
+
+    fn get_side(&mut self) -> io::Result<Option<Vec<u8>>> {
+        self.inner.get_side()
+    }
+
+    fn rotate(&mut self) -> io::Result<()> {
+        self.inner.rotate()
+    }
 }
 
 /// Where and why a log scan stopped early.
@@ -648,6 +882,13 @@ pub struct RecoveryReport {
     pub corruption: Option<Corruption>,
     /// Bytes discarded past the last intact frame.
     pub truncated_bytes: u64,
+    /// CSN of the checkpoint image recovery restored (0 = none: no
+    /// checkpoint existed, or it was torn and full replay ran instead).
+    pub checkpoint_csn: u64,
+    /// Committed transactions present in the log but already covered by
+    /// the restored checkpoint, so not replayed. `transactions_applied`
+    /// counts only the tail actually replayed.
+    pub transactions_skipped: usize,
 }
 
 impl RecoveryReport {
@@ -713,7 +954,7 @@ pub fn scan_log(raw: &[u8]) -> LogScan {
     scan
 }
 
-fn frame_into(buf: &mut Vec<u8>, record: &WalRecord) {
+pub(crate) fn frame_into(buf: &mut Vec<u8>, record: &WalRecord) {
     let payload = record.encode();
     buf.reserve(8 + payload.len());
     buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
@@ -799,6 +1040,60 @@ impl Wal {
     /// Discards buffered (unsynced) records — transaction rollback.
     pub fn discard_pending(&mut self) {
         self.pending.clear();
+    }
+
+    /// Writes pre-framed bytes and fsyncs — the group-commit durability
+    /// point. The caller (the flush leader) has already framed a whole
+    /// batch of transactions into `frames`; one append + one fsync makes
+    /// them all durable together. Poisons the handle on failure, exactly
+    /// like [`Wal::sync`].
+    pub(crate) fn write_frames(&mut self, frames: &[u8]) -> RelResult<()> {
+        if self.poisoned {
+            return Err(RelError::Wal(
+                "log poisoned by an earlier I/O failure; reopen the database".into(),
+            ));
+        }
+        if frames.is_empty() {
+            return Ok(());
+        }
+        let result = self.io.append(frames).and_then(|()| self.io.fsync());
+        if let Err(e) = result {
+            self.poisoned = true;
+            return Err(RelError::Wal(format!("sync: {e} (log poisoned)")));
+        }
+        Ok(())
+    }
+
+    /// Whether the backend supports checkpoint side stores and rotation.
+    pub(crate) fn supports_rotation(&self) -> bool {
+        self.io.supports_rotation()
+    }
+
+    /// Atomically replaces the checkpoint side store. A failure leaves
+    /// the previous image (and the active log) fully intact, so it does
+    /// *not* poison the handle.
+    pub(crate) fn put_side(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.io.put_side(bytes)
+    }
+
+    /// Reads the checkpoint side store (`None` when absent).
+    pub(crate) fn get_side(&mut self) -> io::Result<Option<Vec<u8>>> {
+        self.io.get_side()
+    }
+
+    /// Rotates the active log aside as the retained previous generation.
+    /// Poisons the handle on failure: the log's identity is then unknown.
+    pub(crate) fn rotate(&mut self) -> RelResult<()> {
+        if self.poisoned {
+            return Err(RelError::Wal(
+                "log poisoned by an earlier I/O failure; reopen the database".into(),
+            ));
+        }
+        if let Err(e) = self.io.rotate() {
+            self.poisoned = true;
+            return Err(RelError::Wal(format!("rotate: {e} (log poisoned)")));
+        }
+        Ok(())
     }
 
     /// Reads the log, keeps the longest intact prefix, and physically
@@ -896,6 +1191,7 @@ mod tests {
                 row_id: RowId(0),
             },
             WalRecord::Commit { tx: 1 },
+            WalRecord::Checkpoint { csn: 42 },
             WalRecord::DropIndex { name: "i".into() },
             WalRecord::DropTable { name: "t".into() },
         ]
@@ -1056,6 +1352,85 @@ mod tests {
         handle.append(b"lost").unwrap();
         io.crash();
         assert_eq!(handle.read_all().unwrap(), b"durable");
+    }
+
+    #[test]
+    fn std_file_io_side_store_round_trips_atomically() {
+        let path = tmp("side");
+        let mut io = StdFileIo::open(&path).unwrap();
+        assert!(io.supports_rotation());
+        assert_eq!(io.get_side().unwrap(), None);
+        io.put_side(b"image-one").unwrap();
+        assert_eq!(io.get_side().unwrap().unwrap(), b"image-one");
+        // Replacement is whole-image: no torn mix of old and new.
+        io.put_side(b"image-two-longer").unwrap();
+        assert_eq!(io.get_side().unwrap().unwrap(), b"image-two-longer");
+        // No stray temp file left behind.
+        assert!(!sibling_path(&path, ".ckpt.tmp").exists());
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(sibling_path(&path, ".ckpt"));
+    }
+
+    #[test]
+    fn std_file_io_rotation_keeps_one_generation() {
+        let path = tmp("rotate");
+        let mut io = StdFileIo::open(&path).unwrap();
+        io.append(b"gen-one").unwrap();
+        io.fsync().unwrap();
+        io.rotate().unwrap();
+        assert_eq!(io.read_all().unwrap(), b"");
+        assert_eq!(
+            std::fs::read(sibling_path(&path, ".old")).unwrap(),
+            b"gen-one"
+        );
+        io.append(b"gen-two").unwrap();
+        io.fsync().unwrap();
+        io.rotate().unwrap();
+        // Only the latest previous generation is retained.
+        assert_eq!(
+            std::fs::read(sibling_path(&path, ".old")).unwrap(),
+            b"gen-two"
+        );
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(sibling_path(&path, ".old"));
+    }
+
+    #[test]
+    fn faulty_io_side_store_fails_atomically() {
+        let io = FaultyIo::new(3, FaultConfig::none());
+        let mut handle = io.clone();
+        handle.put_side(b"good").unwrap();
+        io.set_config(FaultConfig {
+            fsync_fail_in: 1,
+            ..FaultConfig::none()
+        });
+        assert!(handle.put_side(b"never-lands").is_err());
+        // The failed write left the previous image fully intact.
+        assert_eq!(io.side_bytes().unwrap(), b"good");
+        io.set_config(FaultConfig::none());
+        handle.rotate().unwrap();
+        assert_eq!(handle.read_all().unwrap(), b"");
+        // The side store survives rotation and crashes.
+        io.crash();
+        assert_eq!(io.side_bytes().unwrap(), b"good");
+    }
+
+    #[test]
+    fn slow_io_delegates_everything() {
+        let faulty = FaultyIo::new(5, FaultConfig::none());
+        let mut io = SlowIo::new(
+            Box::new(faulty.clone()),
+            std::time::Duration::from_millis(1),
+        );
+        assert!(io.supports_rotation());
+        io.append(b"abc").unwrap();
+        io.fsync().unwrap();
+        assert_eq!(io.read_all().unwrap(), b"abc");
+        io.put_side(b"side").unwrap();
+        assert_eq!(io.get_side().unwrap().unwrap(), b"side");
+        io.rotate().unwrap();
+        assert_eq!(io.read_all().unwrap(), b"");
+        assert_eq!(faulty.rotated_bytes().unwrap(), b"abc");
     }
 
     #[test]

@@ -106,8 +106,17 @@ fn assert_all_agree(db: &Database, sql: &str) -> Result<(), TestCaseError> {
     Ok(())
 }
 
+/// Cases per property: the file's default, or `PROPTEST_CASES` when set
+/// (the nightly stress job raises it to 1024).
+fn prop_cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+    #![proptest_config(ProptestConfig::with_cases(prop_cases(32)))]
 
     #[test]
     fn parallel_matches_streaming_and_reference(

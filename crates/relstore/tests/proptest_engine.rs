@@ -57,8 +57,17 @@ fn row_strategy() -> impl Strategy<Value = (i64, i64, String)> {
     )
 }
 
+/// Cases per property: the file's default, or `PROPTEST_CASES` when set
+/// (the nightly stress job raises it to 1024).
+fn prop_cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_cases(prop_cases(64)))]
 
     #[test]
     fn index_never_changes_results(

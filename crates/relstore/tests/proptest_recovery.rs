@@ -63,8 +63,17 @@ fn wal_path(tag: u64) -> std::path::PathBuf {
     dir.join(format!("case-{}-{tag}.wal", std::process::id()))
 }
 
+/// Cases per property: the file's default, or `PROPTEST_CASES` when set
+/// (the nightly stress job raises it to 1024).
+fn prop_cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig::with_cases(prop_cases(24)))]
 
     /// Crash at an arbitrary byte cut: the recovered state must equal the
     /// state after some prefix of the committed statements.
@@ -170,7 +179,7 @@ proptest! {
 // must always produce a recovery report. 120 cases so CI exercises well
 // over the 100-schedule floor.
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(120))]
+    #![proptest_config(ProptestConfig::with_cases(prop_cases(120)))]
 
     #[test]
     fn any_fault_schedule_recovers_an_acked_prefix(

@@ -75,8 +75,17 @@ fn assert_same(db: &Database, sql: &str) -> Result<(), TestCaseError> {
     Ok(())
 }
 
+/// Cases per property: the file's default, or `PROPTEST_CASES` when set
+/// (the nightly stress job raises it to 1024).
+fn prop_cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![proptest_config(ProptestConfig::with_cases(prop_cases(48)))]
 
     #[test]
     fn streaming_matches_reference(

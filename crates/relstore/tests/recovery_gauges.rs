@@ -1,0 +1,67 @@
+//! Recovery/checkpoint gauge assertions.
+//!
+//! Lives in its own integration-test binary on purpose: the metrics
+//! registry is process-global, and other test binaries open databases
+//! of their own. One test, one process, deterministic gauge values.
+
+use std::path::PathBuf;
+
+use xomatiq_relstore::Database;
+
+fn wal_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("xomatiq-gauge-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{name}-{}.wal", std::process::id()));
+    for suffix in ["", ".old", ".ckpt", ".ckpt.tmp"] {
+        let mut p = path.as_os_str().to_os_string();
+        p.push(suffix);
+        let _ = std::fs::remove_file(PathBuf::from(p));
+    }
+    path
+}
+
+#[test]
+fn recovery_after_checkpoint_replays_only_the_tail() {
+    let path = wal_path("tail");
+    let db = Database::open(&path).unwrap();
+    db.query("CREATE TABLE t (a INT)").run().unwrap(); // CSN 1
+    for i in 0..100i64 {
+        db.query("INSERT INTO t VALUES (?)").bind(i).run().unwrap(); // CSNs 2..=101
+    }
+    db.checkpoint().unwrap(); // K = 101
+    for i in 100..105i64 {
+        db.query("INSERT INTO t VALUES (?)").bind(i).run().unwrap(); // CSNs 102..=106
+    }
+    drop(db);
+
+    let (db2, report) = Database::open_with_report(&path).unwrap();
+    // Only the 5 commits after the checkpoint were replayed.
+    assert!(report.is_clean(), "{report:?}");
+    assert_eq!(report.checkpoint_csn, 101);
+    assert_eq!(report.transactions_applied, 5);
+    assert_eq!(report.transactions_skipped, 0);
+    assert_eq!(db2.row_count("t").unwrap(), 105);
+
+    // The same facts are published as process gauges for dashboards.
+    let metrics = xomatiq_obs::global();
+    assert_eq!(
+        metrics.gauge("relstore.wal.recovery.replay_tail").value(),
+        5
+    );
+    assert_eq!(
+        metrics
+            .gauge("relstore.wal.recovery.transactions_skipped")
+            .value(),
+        0
+    );
+    assert_eq!(metrics.gauge("relstore.wal.checkpoint_csn").value(), 101);
+    // No fsync ever failed, and the active-log gauge tracks the real file.
+    assert_eq!(metrics.counter("relstore.wal.fsync_failures").value(), 0);
+    let active_len = std::fs::metadata(&path).unwrap().len() as i64;
+    assert_eq!(metrics.gauge("relstore.wal.bytes").value(), active_len);
+
+    // Rotation left exactly one prior generation beside the active log.
+    let mut old = path.as_os_str().to_os_string();
+    old.push(".old");
+    assert!(PathBuf::from(old).exists());
+}

@@ -105,8 +105,17 @@ fn check(ops: &[Op], seg_capacity: usize) -> Result<(), TestCaseError> {
     Ok(())
 }
 
+/// Cases per property: the file's default, or `PROPTEST_CASES` when set
+/// (the nightly stress job raises it to 1024).
+fn prop_cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+    #![proptest_config(ProptestConfig::with_cases(prop_cases(96)))]
 
     /// Tiny segments (capacity 1..8) force many-segment layouts, so
     /// revives, splices and cross-segment document order all trigger

@@ -61,8 +61,17 @@ impl Op {
     }
 }
 
+/// Cases per property: the file's default, or `PROPTEST_CASES` when set
+/// (the nightly stress job raises it to 1024).
+fn prop_cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![proptest_config(ProptestConfig::with_cases(prop_cases(48)))]
 
     /// Fault-schedule crash + recovery: the rebuilt segment store must
     /// present a document-order prefix of the acked statements, and the

@@ -4,47 +4,81 @@
 //! both panels.
 //!
 //! Run with: `cargo run --release --example enzyme_warehouse [entries]`
+//!
+//! Pass `--durable <path>` to back the warehouse with a write-ahead log
+//! at `path` instead of running in memory. Background maintenance
+//! (checkpointing + segment compaction) runs during the load, and a
+//! re-run against the same path recovers whatever a previous —
+//! possibly killed — run made durable: an already-warehoused collection
+//! is queried directly, a half-loaded one is swept and reloaded. CI's
+//! crash smoke kills a durable load partway and restarts it.
 
 use xomatiq_bioflat::{Corpus, CorpusSpec};
 use xomatiq_core::render::{render_table, render_tree};
 use xomatiq_core::{QueryBuilder, SourceKind, Xomatiq};
 
+const COLLECTION: &str = "hlx_enzyme.DEFAULT";
+
 fn main() {
-    let entries: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(5_000);
+    let mut entries: usize = 5_000;
+    let mut durable: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--durable" {
+            let path = args.next().expect("--durable requires a path");
+            durable = Some(path.into());
+        } else if let Ok(n) = arg.parse() {
+            entries = n;
+        }
+    }
 
-    // Simulated FTP download of the ENZYME flat file (§2.1).
-    println!("Generating a synthetic ENZYME database of {entries} entries...");
-    let corpus = Corpus::generate(&CorpusSpec {
-        enzymes: entries,
-        embl: 0,
-        swissprot: 0,
-        ..CorpusSpec::default()
-    });
-    let flat = corpus.enzyme_flat();
-    println!("Flat file size: {} KiB", flat.len() / 1024);
+    let xq = match &durable {
+        Some(path) => {
+            println!("Opening durable warehouse at {}...", path.display());
+            Xomatiq::open(path).expect("open durable warehouse")
+        }
+        None => Xomatiq::in_memory(),
+    };
+    if durable.is_some() {
+        // Checkpoints and tombstone compaction in the background while
+        // the load commits entry batches.
+        xq.db()
+            .start_maintenance(std::time::Duration::from_millis(250));
+    }
 
-    // Warehouse it: flat → XML → validate → shred → index.
-    let xq = Xomatiq::in_memory();
-    let start = std::time::Instant::now();
-    let stats = xq
-        .load_source("hlx_enzyme.DEFAULT", SourceKind::Enzyme, &flat)
-        .expect("load succeeds");
-    println!(
-        "Warehoused {} documents in {:.2?}: {} element rows, {} text rows, {} attribute rows\n",
-        stats.documents,
-        start.elapsed(),
-        stats.elements,
-        stats.texts,
-        stats.attributes
-    );
+    if xq.hounds().collections().iter().any(|c| c == COLLECTION) {
+        println!("Collection {COLLECTION} recovered from the log; skipping load.\n");
+    } else {
+        // Simulated FTP download of the ENZYME flat file (§2.1).
+        println!("Generating a synthetic ENZYME database of {entries} entries...");
+        let corpus = Corpus::generate(&CorpusSpec {
+            enzymes: entries,
+            embl: 0,
+            swissprot: 0,
+            ..CorpusSpec::default()
+        });
+        let flat = corpus.enzyme_flat();
+        println!("Flat file size: {} KiB", flat.len() / 1024);
+
+        // Warehouse it: flat → XML → validate → shred → index.
+        let start = std::time::Instant::now();
+        let stats = xq
+            .load_source(COLLECTION, SourceKind::Enzyme, &flat)
+            .expect("load succeeds");
+        println!(
+            "Warehoused {} documents in {:.2?}: {} element rows, {} text rows, {} attribute rows\n",
+            stats.documents,
+            start.elapsed(),
+            stats.elements,
+            stats.texts,
+            stats.attributes
+        );
+    }
 
     // Formulate the Figure 7(a) query via the sub-tree search mode.
     let query = QueryBuilder::subtree_search(
         "a",
-        "hlx_enzyme.DEFAULT",
+        COLLECTION,
         "/hlx_enzyme",
         "$a//catalytic_activity",
         "ketone",
@@ -77,12 +111,16 @@ fn main() {
     // Clicking a result row shows the document (right panel).
     if let Some(first) = outcome.rows.first() {
         let key = first[0].to_string();
-        let doc = xq
-            .reconstruct("hlx_enzyme.DEFAULT", &key)
-            .expect("document exists");
+        let doc = xq.reconstruct(COLLECTION, &key).expect("document exists");
         println!(
             "-- Document for enzyme {key} (right panel) --\n{}",
             render_tree(&doc)
         );
+    }
+
+    if durable.is_some() {
+        // Join the maintenance thread so the final checkpoint (if one is
+        // mid-flight) completes before the process exits.
+        xq.db().stop_maintenance();
     }
 }
