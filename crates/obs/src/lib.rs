@@ -23,7 +23,7 @@ pub mod span;
 
 pub use registry::{Counter, Gauge, Histogram, MetricsRegistry, LATENCY_BUCKETS_NS};
 pub use sink::{MemorySink, Sink, SpanEvent, StderrJsonSink};
-pub use snapshot::{MetricValue, Snapshot};
+pub use snapshot::{HistogramSnapshot, MetricValue, Snapshot};
 pub use span::SpanGuard;
 
 use std::sync::{Arc, OnceLock, RwLock};

@@ -19,6 +19,36 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<u64>,
 }
 
+impl HistogramSnapshot {
+    /// Estimated value at quantile `q` (clamped to `[0, 1]`), by linear
+    /// interpolation within the bucket that contains the target rank.
+    /// Observations in the overflow bucket report the last finite edge —
+    /// a lower bound, which is the honest answer a bucketed histogram can
+    /// give. Returns `None` for an empty histogram.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            let next = cumulative + n;
+            if (next as f64) >= target && n > 0 {
+                let Some(&hi) = self.edges.get(i) else {
+                    // Overflow bucket: all we know is "above the last edge".
+                    return Some(*self.edges.last()? as f64);
+                };
+                let lo = if i == 0 { 0 } else { self.edges[i - 1] };
+                let frac = (target - cumulative as f64) / n as f64;
+                return Some(lo as f64 + frac.clamp(0.0, 1.0) * (hi - lo) as f64);
+            }
+            cumulative = next;
+        }
+        Some(*self.edges.last()? as f64)
+    }
+}
+
 /// The value of one named metric inside a [`Snapshot`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MetricValue {

@@ -152,3 +152,23 @@ fn global_snapshot_sees_global_metrics() {
     }
     assert!(xomatiq_obs::render_stats().contains("test.global.visible"));
 }
+
+#[test]
+fn histogram_quantile_interpolates_and_bounds() {
+    let reg = MetricsRegistry::new();
+    let h = reg.histogram_with("test.quantile", &[10, 100, 1000]);
+    assert_eq!(h.snapshot().quantile(0.5), None);
+    // 10 observations in (10, 100], none elsewhere: the median sits
+    // mid-bucket by linear interpolation.
+    for _ in 0..10 {
+        h.record(50);
+    }
+    let snap = h.snapshot();
+    let p50 = snap.quantile(0.5).unwrap();
+    assert!((10.0..=100.0).contains(&p50), "p50 = {p50}");
+    assert_eq!(snap.quantile(0.0).unwrap(), 10.0);
+    assert_eq!(snap.quantile(1.0).unwrap(), 100.0);
+    // Overflow observations clamp to the last finite edge (lower bound).
+    h.record(5000);
+    assert_eq!(h.snapshot().quantile(1.0).unwrap(), 1000.0);
+}

@@ -36,6 +36,9 @@
 //! * [`query`] — the unified [`Query`] builder
 //!   (`db.query(sql).bind(v).with_stats().run()`), prepared statements,
 //!   the LRU plan cache, and typed row access ([`ResultRow`]).
+//! * [`session`] — the per-connection [`Session`] state (prepared-
+//!   statement handles, worker overrides) the wire-protocol server
+//!   builds on.
 //!
 //! ```
 //! use xomatiq_relstore::Database;
@@ -72,6 +75,7 @@ pub mod query;
 pub mod regex;
 pub mod schema;
 pub mod segment;
+pub mod session;
 pub mod sql;
 pub mod table;
 pub mod text;
@@ -83,5 +87,6 @@ pub use error::{RelError, RelResult};
 pub use exec::{format_ns, ExecStats, OpProfile};
 pub use query::{ColumnError, FromValue, Prepared, Query, QueryOutcome, ResultRow, ResultRows};
 pub use schema::{Column, TableSchema};
+pub use session::{Session, StmtHandle};
 pub use value::{DataType, Value};
 pub use wal::{Corruption, FaultConfig, FaultyIo, RecoveryReport, SlowIo, StdFileIo, WalIo};

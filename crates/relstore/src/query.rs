@@ -133,19 +133,34 @@ impl PlanCache {
 }
 
 /// Normalizes SQL for plan-cache keying: ASCII-lowercases and collapses
-/// whitespace runs *outside* single-quoted string literals (where `''` is
-/// the quote escape), so `SELECT  A` and `select a` share a cache entry
-/// while `'CaSe'` keeps its meaning.
+/// whitespace runs *outside* single-quoted string literals, and strips
+/// `--` line comments the same way the lexer does. `SELECT  A` and
+/// `select a` share a cache entry while `'CaSe'` keeps its meaning.
+///
+/// The two tokenizer subtleties matter for key *correctness*, not just
+/// hit rate:
+/// - `''` inside a literal is an escaped quote, **not** a close-and-
+///   reopen: the literal stays open, so `SELECT 'O''Hara'` and
+///   `select 'O''hara'` (different literals) must never share a key.
+/// - comments are dead text to the lexer, so they must be dead text to
+///   the key too — otherwise `SELECT a -- x\nFROM t` and
+///   `SELECT a -- x FROM t` (whose `FROM` is genuinely commented out,
+///   a *different statement*) would collide once the newline is
+///   collapsed to a space.
 pub(crate) fn normalize_sql(sql: &str) -> String {
     let mut out = String::with_capacity(sql.len());
-    let mut in_str = false;
+    let mut chars = sql.chars().peekable();
     let mut pending_space = false;
-    for ch in sql.chars() {
-        if in_str {
-            out.push(ch);
-            if ch == '\'' {
-                in_str = false;
+    while let Some(ch) = chars.next() {
+        if ch == '-' && chars.peek() == Some(&'-') {
+            // `--` line comment: skip to the newline, which then counts
+            // as ordinary whitespace (mirrors tokenize_sql).
+            for c in chars.by_ref() {
+                if c == '\n' {
+                    break;
+                }
             }
+            pending_space = true;
             continue;
         }
         if ch.is_whitespace() {
@@ -157,8 +172,23 @@ pub(crate) fn normalize_sql(sql: &str) -> String {
         }
         pending_space = false;
         if ch == '\'' {
-            in_str = true;
-            out.push(ch);
+            // String literal: copied verbatim. A doubled quote is the
+            // `''` escape and keeps the literal open.
+            out.push('\'');
+            while let Some(c) = chars.next() {
+                out.push(c);
+                if c == '\'' {
+                    match chars.peek() {
+                        Some('\'') => {
+                            out.push('\'');
+                            chars.next();
+                        }
+                        // Closing quote (or unterminated literal at end
+                        // of input, which the parser will reject anyway).
+                        _ => break,
+                    }
+                }
+            }
         } else {
             out.push(ch.to_ascii_lowercase());
         }
@@ -1062,6 +1092,53 @@ mod tests {
         assert_eq!(normalize_sql("  SELECT 1  "), "select 1");
         // The '' escape keeps the literal open across the doubled quote.
         assert_eq!(normalize_sql("SELECT 'IT''S  A'"), "select 'IT''S  A'");
+    }
+
+    #[test]
+    fn normalize_keeps_escaped_literals_distinct() {
+        // Different literals must produce different keys: everything
+        // after the `''` escape is still *inside* the string and must
+        // keep its case and spacing.
+        let pairs = [
+            ("SELECT 'O''Hara'", "select 'O''hara'"),
+            ("SELECT 'O''Hara  X' FROM T", "SELECT 'O''Hara X' FROM T"),
+            ("SELECT 'A''B''C'", "SELECT 'a''b''c'"),
+            // A literal that is just one escaped quote, then diverging
+            // content in a *second* literal.
+            ("SELECT '''', 'UP'", "SELECT '''', 'up'"),
+        ];
+        for (a, b) in pairs {
+            assert_ne!(normalize_sql(a), normalize_sql(b), "{a} vs {b}");
+        }
+        // While the same statement differing only outside literals —
+        // case, whitespace — still collapses onto one key.
+        assert_eq!(
+            normalize_sql("SELECT  'O''Hara'  FROM T"),
+            normalize_sql("select 'O''Hara' from t")
+        );
+        assert_eq!(
+            normalize_sql("SELECT 'IT''S  A' FROM t WHERE A=1"),
+            normalize_sql("select 'IT''S  A' FROM T where a=1")
+        );
+    }
+
+    #[test]
+    fn normalize_strips_comments_like_the_lexer() {
+        // Comments are invisible to the lexer, so they must be invisible
+        // to the cache key.
+        assert_eq!(
+            normalize_sql("SELECT a -- it's fine\nFROM t"),
+            "select a from t"
+        );
+        // The collision this prevents: with the comment kept, collapsing
+        // the newline would merge a live FROM with a commented-out one.
+        assert_ne!(
+            normalize_sql("SELECT a -- x\nFROM t"),
+            normalize_sql("SELECT a -- x FROM t")
+        );
+        assert_eq!(normalize_sql("SELECT a -- x FROM t"), "select a");
+        // `--` inside a literal is data, not a comment.
+        assert_eq!(normalize_sql("SELECT '--NoT'"), "select '--NoT'");
     }
 
     #[test]

@@ -493,24 +493,35 @@ impl Segment {
                 });
             }
             (ColumnData::Int(vals), Value::Float(lit)) => {
+                // Exact mixed comparison, same as the scalar path: casting
+                // the column values to f64 would collapse integers beyond
+                // 2^53 onto the literal.
                 let lit = *lit;
                 sel.retain(|&s| {
                     let s = s as usize;
                     !nulls[s]
-                        && (vals[s] as f64)
-                            .partial_cmp(&lit)
+                        && crate::value::cmp_int_float(vals[s], lit).is_some_and(|o| op.matches(o))
+                });
+            }
+            (ColumnData::Float(vals), Value::Float(lit)) => {
+                let lit = *lit;
+                sel.retain(|&s| {
+                    let s = s as usize;
+                    !nulls[s] && vals[s].partial_cmp(&lit).is_some_and(|o| op.matches(o))
+                });
+            }
+            (ColumnData::Float(vals), Value::Int(lit)) => {
+                // Mirror of the Int-column case: compare the integer
+                // literal exactly against each float, never through a cast.
+                let lit = *lit;
+                sel.retain(|&s| {
+                    let s = s as usize;
+                    !nulls[s]
+                        && crate::value::cmp_int_float(lit, vals[s])
+                            .map(std::cmp::Ordering::reverse)
                             .is_some_and(|o| op.matches(o))
                 });
             }
-            (ColumnData::Float(vals), lit) => match lit.as_f64() {
-                Some(lit) => sel.retain(|&s| {
-                    let s = s as usize;
-                    !nulls[s] && vals[s].partial_cmp(&lit).is_some_and(|o| op.matches(o))
-                }),
-                // Text or NULL literal against a float column: unknown
-                // for every row.
-                None => sel.clear(),
-            },
             (ColumnData::Text { spans, arena }, Value::Text(lit)) => {
                 let lit = lit.as_str();
                 sel.retain(|&s| {
@@ -592,6 +603,34 @@ mod tests {
         assert!(!seg.zone(0).can_match(CmpOp::Eq, &Value::Int(99)));
         assert!(!seg.zone(0).can_match(CmpOp::Lt, &Value::Int(10)));
         assert!(!seg.zone(0).can_match(CmpOp::Gt, &Value::Int(30)));
+    }
+
+    #[test]
+    fn kernel_mixed_type_compare_is_exact() {
+        // Int column vs float literal: 2^53 and 2^53+1 collapse onto the
+        // same f64 under a cast; the kernel must keep them distinct, and
+        // must agree with the scalar Value::compare path.
+        let p53 = 1i64 << 53;
+        let seg = seg_int(&[Some(p53), Some(p53 + 1), Some(i64::MAX)]);
+        let sel = selected(&seg, &pred(CmpOp::Eq, Value::Float(p53 as f64)));
+        assert_eq!(sel, vec![0], "only the exactly-equal slot matches");
+        let sel = selected(&seg, &pred(CmpOp::Gt, Value::Float(p53 as f64)));
+        assert_eq!(sel, vec![1, 2]);
+        // i64::MAX as f64 rounds up to 2^63: nothing equals it.
+        let two_63 = 9_223_372_036_854_775_808.0f64;
+        let sel = selected(&seg, &pred(CmpOp::Eq, Value::Float(two_63)));
+        assert!(sel.is_empty());
+        let sel = selected(&seg, &pred(CmpOp::Lt, Value::Float(two_63)));
+        assert_eq!(sel, vec![0, 1, 2]);
+
+        // Float column vs big int literal, the mirror case.
+        let mut fseg = Segment::new(&[DataType::Float]);
+        fseg.push(0, &[Value::Float(p53 as f64)], 0);
+        fseg.push(1, &[Value::Float((p53 as f64) * 2.0)], 0);
+        let mut sel = Vec::new();
+        fseg.live_slots(0..fseg.len(), &mut sel);
+        fseg.apply_pred(&pred(CmpOp::Lt, Value::Int(p53 + 1)), &mut sel);
+        assert_eq!(sel, vec![0], "2^53 < 2^53+1 exactly (a cast would tie)");
     }
 
     #[test]

@@ -44,6 +44,39 @@ pub enum Value {
     Text(String),
 }
 
+/// Exact comparison of an `i64` against an `f64`, never rounding the
+/// integer through `f64` first: above 2^53 that cast collapses distinct
+/// integers onto one float (`i64::MAX as f64 == (i64::MAX - 511) as f64`),
+/// which made `Int(i64::MAX)` compare `Equal` to a float it does not
+/// equal. The float is split into integral and fractional parts instead;
+/// both halves compare exactly. `None` iff `f` is NaN.
+pub(crate) fn cmp_int_float(i: i64, f: f64) -> Option<Ordering> {
+    if f.is_nan() {
+        return None;
+    }
+    // 2^63 is exactly representable. Any finite float at or above it
+    // exceeds every i64; anything strictly below -2^63 is below every
+    // i64 (-2^63 itself *is* an i64). Infinities fall out of the same
+    // two tests.
+    const TWO_63: f64 = 9_223_372_036_854_775_808.0;
+    if f >= TWO_63 {
+        return Some(Ordering::Less);
+    }
+    if f < -TWO_63 {
+        return Some(Ordering::Greater);
+    }
+    // Now -2^63 <= f < 2^63, so trunc(f) converts to i64 without loss.
+    let t = f.trunc();
+    let ti = t as i64;
+    Some(match i.cmp(&ti) {
+        // Same integral part: the fractional remainder decides. trunc
+        // rounds toward zero, so the remainder carries the float's sign.
+        Ordering::Equal if f > t => Ordering::Less,
+        Ordering::Equal if f < t => Ordering::Greater,
+        other => other,
+    })
+}
+
 impl Value {
     /// The value's runtime type, or `None` for NULL.
     pub fn data_type(&self) -> Option<DataType> {
@@ -105,16 +138,18 @@ impl Value {
     }
 
     /// SQL three-valued comparison: `None` when either side is NULL or the
-    /// types are incomparable. Int and Float compare numerically.
+    /// types are incomparable. Int and Float compare numerically and
+    /// *exactly* — a mixed comparison never rounds the integer to `f64`,
+    /// so integers beyond ±2^53 still order correctly against floats.
     pub fn compare(&self, other: &Value) -> Option<Ordering> {
         match (self, other) {
             (Value::Null, _) | (_, Value::Null) => None,
             (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
             (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
-            (a, b) => {
-                let (x, y) = (a.as_f64()?, b.as_f64()?);
-                x.partial_cmp(&y)
-            }
+            (Value::Float(a), Value::Float(b)) => a.partial_cmp(b),
+            (Value::Int(a), Value::Float(b)) => cmp_int_float(*a, *b),
+            (Value::Float(a), Value::Int(b)) => cmp_int_float(*b, *a).map(Ordering::reverse),
+            _ => None,
         }
     }
 
@@ -128,15 +163,25 @@ impl Value {
                 Value::Text(_) => 2,
             }
         }
+        // An Int against a NaN or negative-zero float has no exact answer;
+        // treat the integer as its +0.0/non-NaN self under f64::total_cmp
+        // (so -NaN < Int < +NaN, and Int(0) sorts after Float(-0.0)),
+        // which keeps this a total order agreeing with Float-vs-Float.
+        fn int_vs_float(i: i64, f: f64) -> Ordering {
+            match cmp_int_float(i, f) {
+                Some(Ordering::Equal) if f == 0.0 && f.is_sign_negative() => Ordering::Greater,
+                Some(ord) => ord,
+                None if f.is_sign_positive() => Ordering::Less,
+                None => Ordering::Greater,
+            }
+        }
         match (self, other) {
             (Value::Null, Value::Null) => Ordering::Equal,
             (Value::Int(a), Value::Int(b)) => a.cmp(b),
             (Value::Text(a), Value::Text(b)) => a.cmp(b),
-            (a, b) if rank(a) == 1 && rank(b) == 1 => {
-                let x = a.as_f64().expect("numeric");
-                let y = b.as_f64().expect("numeric");
-                x.total_cmp(&y)
-            }
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Int(a), Value::Float(b)) => int_vs_float(*a, *b),
+            (Value::Float(a), Value::Int(b)) => int_vs_float(*b, *a).reverse(),
             (a, b) => rank(a).cmp(&rank(b)),
         }
     }
@@ -223,6 +268,74 @@ mod tests {
             Value::Float(3.0).compare(&Value::Int(2)),
             Some(Ordering::Greater)
         );
+    }
+
+    #[test]
+    fn compare_int_float_is_exact_beyond_2_53() {
+        // i64::MAX as f64 rounds up to 2^63; the old cast-based compare
+        // called these Equal.
+        let two_63 = 9_223_372_036_854_775_808.0f64;
+        assert_eq!(
+            Value::Int(i64::MAX).compare(&Value::Float(two_63)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Float(two_63).compare(&Value::Int(i64::MAX)),
+            Some(Ordering::Greater)
+        );
+        // 2^53 + 1 is the first integer with no exact f64; 2^53 itself
+        // has one. The cast collapses them onto the same float.
+        let p53 = 1i64 << 53;
+        assert_eq!(
+            Value::Int(p53 + 1).compare(&Value::Float(p53 as f64)),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(
+            Value::Int(p53).compare(&Value::Float(p53 as f64)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Int(-(p53 + 1)).compare(&Value::Float(-(p53 as f64))),
+            Some(Ordering::Less)
+        );
+        // i64::MIN is exactly -2^63 and representable.
+        assert_eq!(
+            Value::Int(i64::MIN).compare(&Value::Float(-9_223_372_036_854_775_808.0)),
+            Some(Ordering::Equal)
+        );
+        // Infinities and fractional parts.
+        assert_eq!(
+            Value::Int(i64::MAX).compare(&Value::Float(f64::INFINITY)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Int(i64::MIN).compare(&Value::Float(f64::NEG_INFINITY)),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(
+            Value::Int(-3).compare(&Value::Float(-2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Int(0).compare(&Value::Float(-0.5)),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(Value::Int(1).compare(&Value::Float(f64::NAN)), None);
+        // total_cmp agrees with compare wherever compare is defined.
+        assert_eq!(
+            Value::Int(i64::MAX).total_cmp(&Value::Float(two_63)),
+            Ordering::Less
+        );
+        assert_eq!(
+            Value::Float(two_63).total_cmp(&Value::Int(i64::MAX)),
+            Ordering::Greater
+        );
+        // Large equal pairs stay equal (and must keep hashing together).
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Value::Int(p53));
+        assert!(set.contains(&Value::Float(p53 as f64)));
+        assert_ne!(Value::Int(p53 + 1), Value::Float(p53 as f64));
     }
 
     #[test]

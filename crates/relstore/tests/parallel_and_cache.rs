@@ -64,6 +64,10 @@ fn t_row_strategy() -> impl Strategy<Value = (i64, i64, String)> {
             "cdc6 protein".to_string(),
             "plain".to_string(),
             "100% beta".to_string(),
+            // Quote-bearing data: exercises '' escapes in literals the
+            // queries below compare against.
+            "o'hara beta".to_string(),
+            "5'-utr region".to_string(),
         ]),
     )
 }
@@ -106,6 +110,18 @@ fn assert_all_agree(db: &Database, sql: &str) -> Result<(), TestCaseError> {
     Ok(())
 }
 
+/// Integers clustered around the ±2^53 exactness boundary plus extremes.
+fn big_int_strategy() -> impl Strategy<Value = i64> {
+    prop_oneof![
+        (-4i64..=4).prop_map(|d| (1i64 << 53) + d),
+        (-4i64..=4).prop_map(|d| -(1i64 << 53) + d),
+        Just(i64::MAX),
+        Just(i64::MIN),
+        any::<i64>(),
+        -10i64..10,
+    ]
+}
+
 /// Cases per property: the file's default, or `PROPTEST_CASES` when set
 /// (the nightly stress job raises it to 1024).
 fn prop_cases(default: u32) -> u32 {
@@ -133,6 +149,9 @@ proptest! {
             format!("SELECT a + b, s FROM t WHERE a >= {point} AND b < 4"),
             "SELECT a FROM t WHERE CONTAINS(s, 'beta')".to_string(),
             "SELECT DISTINCT b FROM t".to_string(),
+            // Escaped-quote literal predicates through the parallel path.
+            "SELECT a, b FROM t WHERE s = 'o''hara beta'".to_string(),
+            "SELECT a FROM t WHERE s = '5''-utr region'".to_string(),
             // Parallel hash join (build side u, probe side t) + residual.
             "SELECT t.a, t.b, u.name FROM t, u WHERE t.a = u.a".to_string(),
             "SELECT DISTINCT t.s FROM t, u WHERE t.a = u.a".to_string(),
@@ -147,6 +166,29 @@ proptest! {
             format!("SELECT u.name, COUNT(*) FROM t, u WHERE t.a = u.a GROUP BY u.name ORDER BY u.name LIMIT {limit}"),
         ];
         for sql in &queries {
+            assert_all_agree(&db, sql)?;
+        }
+    }
+
+    #[test]
+    fn big_int_float_compare_agrees_at_every_worker_count(
+        vals in prop::collection::vec(big_int_strategy(), 1..50),
+    ) {
+        // The ±2^53 fix must hold identically on the morsel-parallel
+        // executor (which runs the vectorized segment kernels) as on the
+        // streaming and reference paths.
+        let db = Database::in_memory_with_options(parallel_options());
+        db.query("CREATE TABLE big (v INT)").run().unwrap();
+        let insert = db.prepare("INSERT INTO big VALUES (?)").unwrap();
+        for v in &vals {
+            db.query_prepared(&insert).bind(*v).run().unwrap();
+        }
+        for sql in [
+            "SELECT v FROM big WHERE v > 9007199254740992.0",
+            "SELECT v FROM big WHERE v = 9007199254740992.0",
+            "SELECT v FROM big WHERE v <= -9007199254740991.5",
+            "SELECT COUNT(*) FROM big WHERE v < 9223372036854775808.0",
+        ] {
             assert_all_agree(&db, sql)?;
         }
     }
@@ -232,6 +274,55 @@ fn plan_cache_hit_returns_same_plan() {
         &hit.planned().unwrap(),
         &other.planned().unwrap()
     ));
+}
+
+/// End-to-end regression for the quote-escape cache-key fix: queries that
+/// differ only *inside* a `''`-escaped literal must not share a cached
+/// plan, while case/whitespace differences *outside* literals still must.
+#[test]
+fn plan_cache_distinguishes_escaped_literals() {
+    let db = Database::in_memory();
+    db.query("CREATE TABLE people (s TEXT)").run().unwrap();
+    let insert = db.prepare("INSERT INTO people VALUES (?)").unwrap();
+    for name in ["O'Hara", "O'hara"] {
+        db.query_prepared(&insert).bind(name).run().unwrap();
+    }
+
+    let upper = db
+        .query("SELECT s FROM people WHERE s = 'O''Hara'")
+        .planned()
+        .unwrap();
+    let lower = db
+        .query("select s from people where s = 'O''hara'")
+        .planned()
+        .unwrap();
+    assert!(
+        !Arc::ptr_eq(&upper, &lower),
+        "different literals must not share a plan-cache entry"
+    );
+    // And each query returns its own row, never the other literal's.
+    let got = |sql: &str| -> Vec<String> {
+        db.query(sql)
+            .run()
+            .unwrap()
+            .rows
+            .rows()
+            .iter()
+            .map(|r| r[0].as_text().unwrap().to_string())
+            .collect()
+    };
+    assert_eq!(got("SELECT s FROM people WHERE s = 'O''Hara'"), ["O'Hara"]);
+    assert_eq!(got("select s from people where s = 'O''hara'"), ["O'hara"]);
+
+    // Equal modulo case/whitespace outside the literal: one entry.
+    let renorm = db
+        .query("select  S  from PEOPLE\nwhere s = 'O''Hara'")
+        .planned()
+        .unwrap();
+    assert!(
+        Arc::ptr_eq(&upper, &renorm),
+        "case/whitespace outside literals must still normalize together"
+    );
 }
 
 #[test]

@@ -20,7 +20,10 @@ fn build_db(t_rows: &[(i64, i64, String)], u_rows: &[(i64, String)]) -> Database
     db.execute("CREATE INDEX idx_t_a ON t (a)").unwrap();
     db.execute("CREATE KEYWORD INDEX kw_t_s ON t (s)").unwrap();
     for (a, b, s) in t_rows {
-        db.execute(&format!("INSERT INTO t VALUES ({a}, {b}, '{s}')"))
+        // The pool includes strings containing single quotes, so the
+        // SQL-literal path ('' escaping) is exercised on every insert.
+        let lit = s.replace('\'', "''");
+        db.execute(&format!("INSERT INTO t VALUES ({a}, {b}, '{lit}')"))
             .unwrap();
     }
     for (a, name) in u_rows {
@@ -45,6 +48,12 @@ fn t_row_strategy() -> impl Strategy<Value = (i64, i64, String)> {
             "100% beta".to_string(),
             "%odd beta".to_string(),
             "under_score".to_string(),
+            // Single quotes *in the data*: these must survive the ''
+            // escape through insert, equality predicates and the plan
+            // cache's normalize_sql (which once risked de-syncing on
+            // them — see query.rs).
+            "o'hara beta".to_string(),
+            "5'-utr region".to_string(),
         ]),
     )
 }
@@ -73,6 +82,20 @@ fn assert_same(db: &Database, sql: &str) -> Result<(), TestCaseError> {
         sql
     );
     Ok(())
+}
+
+/// Integers clustered where Int↔Float comparison precision matters:
+/// the ±2^53 boundary (beyond which f64 cannot represent every i64) and
+/// the extremes, mixed with small values so predicates stay selective.
+fn big_int_strategy() -> impl Strategy<Value = i64> {
+    prop_oneof![
+        (-4i64..=4).prop_map(|d| (1i64 << 53) + d),
+        (-4i64..=4).prop_map(|d| -(1i64 << 53) + d),
+        Just(i64::MAX),
+        Just(i64::MIN),
+        any::<i64>(),
+        -10i64..10,
+    ]
 }
 
 /// Cases per property: the file's default, or `PROPTEST_CASES` when set
@@ -108,6 +131,10 @@ proptest! {
             "SELECT a FROM t WHERE s LIKE '%under_score%'".to_string(),
             "SELECT a, s FROM t WHERE s NOT LIKE '%a%'".to_string(),
             format!("SELECT a FROM t WHERE s LIKE '%beta%' ORDER BY a LIMIT {limit}"),
+            // Escaped-quote literal in a predicate: lexer and
+            // normalize_sql must agree on where the string ends.
+            "SELECT a, b FROM t WHERE s = 'o''hara beta'".to_string(),
+            "SELECT a FROM t WHERE s = '5''-utr region' ORDER BY a".to_string(),
             // Projection with expressions.
             "SELECT a + b, s FROM t WHERE b > 1".to_string(),
             // Limit/offset without sort (document order).
@@ -151,6 +178,36 @@ proptest! {
             let streaming = db.execute(sql);
             let reference = db.query_reference(sql);
             prop_assert_eq!(streaming.is_err(), reference.is_err(), "{}", sql);
+        }
+    }
+
+    #[test]
+    fn big_int_float_comparisons_match_reference(
+        vals in prop::collection::vec(big_int_strategy(), 1..40),
+    ) {
+        // Int↔Float comparisons used to round the integer through f64,
+        // collapsing neighbours beyond ±2^53. The scalar path, the
+        // vectorized kernels (full scans) and the zone maps (pruned
+        // scans) must all perform the exact comparison now — and agree
+        // with the reference interpreter on every executor-visible shape.
+        let db = Database::in_memory();
+        db.execute("CREATE TABLE big (v INT)").unwrap();
+        for v in &vals {
+            db.query("INSERT INTO big VALUES (?)").bind(*v).run().unwrap();
+        }
+        // 2^53 = 9007199254740992 is the last exactly-representable
+        // neighbourhood; 2^63 rounds to exactly 9223372036854775808.0.
+        for sql in [
+            "SELECT v FROM big WHERE v > 9007199254740992.0 ORDER BY v",
+            "SELECT v FROM big WHERE v = 9007199254740992.0 ORDER BY v",
+            "SELECT v FROM big WHERE v < 9007199254740992.0 ORDER BY v",
+            "SELECT v FROM big WHERE v >= 9007199254740991.5 ORDER BY v",
+            "SELECT v FROM big WHERE v <= -9007199254740991.5 ORDER BY v",
+            "SELECT v FROM big WHERE v < 9223372036854775808.0 ORDER BY v",
+            "SELECT v FROM big WHERE v >= -9223372036854775808.0 ORDER BY v",
+            "SELECT COUNT(*) FROM big WHERE v > 0.5",
+        ] {
+            assert_same(&db, sql)?;
         }
     }
 

@@ -1,0 +1,164 @@
+//! `xomatiq-server-load` — load generator for the wire protocol.
+//!
+//! Boots an in-process server over a seeded in-memory database, hammers
+//! it from N concurrent TCP clients (a mix of prepared point lookups,
+//! ad-hoc aggregates and pings), and reports client-observed p50/p99
+//! latency plus throughput. Results are written to `BENCH_server.json`
+//! at the workspace root so future PRs have a serving-layer perf
+//! trajectory, alongside the server's own latency histogram quantiles
+//! from `obs` for cross-checking.
+//!
+//! `XOMATIQ_BENCH_SMOKE=1` shrinks the run to a few hundred requests —
+//! CI uses this to keep the harness from bit-rotting.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use xomatiq_obs::MetricValue;
+use xomatiq_relstore::{Database, Value};
+use xomatiq_server::{start, Client, QueryReply, ServerConfig};
+
+fn smoke() -> bool {
+    std::env::var("XOMATIQ_BENCH_SMOKE").is_ok()
+}
+
+/// `(rows, clients, requests per client)`.
+fn scale() -> (usize, usize, usize) {
+    if smoke() {
+        (500, 4, 50)
+    } else {
+        (20_000, 8, 1_000)
+    }
+}
+
+fn build_db(rows: usize) -> Arc<Database> {
+    let db = Database::in_memory();
+    db.query("CREATE TABLE seq (id INT, family TEXT, len INT)")
+        .run()
+        .unwrap();
+    let insert = db.prepare("INSERT INTO seq VALUES (?, ?, ?)").unwrap();
+    for i in 0..rows {
+        db.query_prepared(&insert)
+            .bind(i as i64)
+            .bind(format!("fam{}", i % 97))
+            .bind((i * 37 % 1000) as i64)
+            .run()
+            .unwrap();
+    }
+    db.query("CREATE INDEX idx_seq_id ON seq (id)")
+        .run()
+        .unwrap();
+    Arc::new(db)
+}
+
+/// One client's workload; returns per-request latencies in nanoseconds.
+fn client_loop(addr: std::net::SocketAddr, id: usize, rows: usize, requests: usize) -> Vec<u64> {
+    let mut client = Client::connect(addr).expect("connect");
+    let (stmt, _) = client
+        .prepare("SELECT family, len FROM seq WHERE id = ?")
+        .expect("prepare");
+    let mut latencies = Vec::with_capacity(requests);
+    for i in 0..requests {
+        let key = ((id * 7919 + i * 104_729) % rows) as i64;
+        let started = Instant::now();
+        match i % 10 {
+            // Mostly prepared point lookups — the serving hot path.
+            0..=7 => {
+                let reply = client
+                    .execute(stmt, vec![Value::Int(key)])
+                    .expect("execute");
+                assert_eq!(reply.rows().len(), 1, "point lookup must hit");
+            }
+            // Occasional ad-hoc aggregate to keep the plan cache honest.
+            8 => {
+                let reply = client
+                    .query(
+                        "SELECT COUNT(*) FROM seq WHERE len < ?",
+                        vec![Value::Int(500)],
+                    )
+                    .expect("query");
+                assert!(matches!(reply, QueryReply::Rows { .. }));
+            }
+            // And a ping to measure the protocol floor.
+            _ => client.ping().expect("ping"),
+        }
+        latencies.push(started.elapsed().as_nanos() as u64);
+    }
+    client.goodbye().expect("goodbye");
+    latencies
+}
+
+/// Exact quantile over client-side samples (sorted, nearest-rank).
+fn quantile_ns(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// The server-side latency histogram's interpolated quantile, in ns.
+fn server_hist_quantile(q: f64) -> f64 {
+    let snap = xomatiq_obs::global().snapshot();
+    for (name, value) in &snap.entries {
+        if name == "server.request.latency_ns" {
+            if let MetricValue::Histogram(h) = value {
+                return h.quantile(q).unwrap_or(0.0);
+            }
+        }
+    }
+    0.0
+}
+
+fn main() {
+    let (rows, clients, requests) = scale();
+    eprintln!("seeding {rows} rows...");
+    let db = build_db(rows);
+    let mut server = start(
+        db,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_connections: clients + 2,
+        },
+    )
+    .expect("start server");
+    let addr = server.local_addr();
+    eprintln!("server on {addr}; driving {clients} clients x {requests} requests");
+
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|id| std::thread::spawn(move || client_loop(addr, id, rows, requests)))
+        .collect();
+    let mut latencies: Vec<u64> = Vec::with_capacity(clients * requests);
+    for h in handles {
+        latencies.extend(h.join().expect("client thread"));
+    }
+    let elapsed = started.elapsed();
+    server.shutdown();
+
+    latencies.sort_unstable();
+    let total = latencies.len();
+    let p50_us = quantile_ns(&latencies, 0.50) as f64 / 1_000.0;
+    let p99_us = quantile_ns(&latencies, 0.99) as f64 / 1_000.0;
+    let throughput = total as f64 / elapsed.as_secs_f64();
+    let hist_p50_us = server_hist_quantile(0.50) / 1_000.0;
+    let hist_p99_us = server_hist_quantile(0.99) / 1_000.0;
+
+    println!(
+        "{total} requests over {clients} clients in {:.2}s: {throughput:.0} req/s, \
+         client p50 {p50_us:.1}us p99 {p99_us:.1}us (server histogram p50 {hist_p50_us:.1}us p99 {hist_p99_us:.1}us)",
+        elapsed.as_secs_f64()
+    );
+
+    let json = format!(
+        "{{\"bench\":\"server\",\"smoke\":{},\"clients\":{clients},\"requests\":{total},\
+         \"elapsed_ms\":{:.1},\"throughput_rps\":{throughput:.1},\
+         \"p50_us\":{p50_us:.1},\"p99_us\":{p99_us:.1},\
+         \"server_hist_p50_us\":{hist_p50_us:.1},\"server_hist_p99_us\":{hist_p99_us:.1}}}\n",
+        smoke(),
+        elapsed.as_secs_f64() * 1_000.0,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
+    std::fs::write(path, json).expect("write BENCH_server.json");
+    eprintln!("wrote {path}");
+}

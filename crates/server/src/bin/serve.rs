@@ -1,0 +1,93 @@
+//! `xomatiq-server` — serve a database over TCP.
+//!
+//! ```text
+//! xomatiq-server [--addr HOST:PORT] [--data DIR] [--max-connections N]
+//! ```
+//!
+//! With `--data` the database is opened (or created) at that directory
+//! with WAL durability; without it the server runs in-memory. The
+//! process serves until stdin reaches EOF or a line reading `quit`,
+//! then shuts down gracefully, draining in-flight queries.
+
+use std::io::BufRead;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use xomatiq_relstore::Database;
+use xomatiq_server::{start, ServerConfig};
+
+fn main() -> ExitCode {
+    let mut config = ServerConfig::default();
+    let mut data_dir: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(v) => config.addr = v,
+                None => return usage("--addr needs HOST:PORT"),
+            },
+            "--data" => match args.next() {
+                Some(v) => data_dir = Some(v),
+                None => return usage("--data needs a directory"),
+            },
+            "--max-connections" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.max_connections = n,
+                None => return usage("--max-connections needs a positive integer"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let db = match &data_dir {
+        Some(dir) => match Database::open(std::path::Path::new(dir)) {
+            Ok(db) => db,
+            Err(e) => {
+                eprintln!("xomatiq-server: cannot open {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Database::in_memory(),
+    };
+
+    let mut handle = match start(Arc::new(db), config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("xomatiq-server: cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "xomatiq-server listening on {} ({}); type 'quit' to stop",
+        handle.local_addr(),
+        match data_dir {
+            Some(d) => format!("data dir {d}"),
+            None => "in-memory".to_string(),
+        }
+    );
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(l) if l.trim() == "quit" => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    println!("xomatiq-server: draining sessions...");
+    handle.shutdown();
+    println!("xomatiq-server: stopped");
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("xomatiq-server: {err}");
+    }
+    eprintln!("usage: xomatiq-server [--addr HOST:PORT] [--data DIR] [--max-connections N]");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -2,10 +2,14 @@
 //!
 //! ```text
 //! cargo run --release --bin xomatiq-shell [warehouse.wal]
+//! cargo run --release --bin xomatiq-shell -- --connect HOST:PORT
 //! ```
 //!
 //! With a path argument the warehouse is durable (write-ahead log +
-//! recovery); without one it is in-memory. Commands:
+//! recovery); without one it is in-memory. With `--connect` the shell is
+//! a thin client of a running `xomatiq-server` instead of embedding the
+//! engine: SQL lines run over the wire protocol, sharing the server's
+//! plan cache and MVCC snapshots with every other session. Commands:
 //!
 //! ```text
 //! gen <n>                        generate+load demo corpora at n entries each
@@ -31,6 +35,16 @@ use xomatiq_core::tagger::{tag_result_set, tag_results};
 use xomatiq_core::{SourceKind, Xomatiq};
 
 fn main() {
+    if let Some(flag) = std::env::args().nth(1) {
+        if flag == "--connect" {
+            let Some(addr) = std::env::args().nth(2) else {
+                eprintln!("usage: xomatiq-shell --connect HOST:PORT");
+                std::process::exit(2);
+            };
+            remote_repl(&addr);
+            return;
+        }
+    }
     let xq = match std::env::args().nth(1) {
         Some(path) => {
             let path = std::path::PathBuf::from(path);
@@ -225,6 +239,109 @@ fn main() {
     }
 }
 
+/// A thin REPL over the wire protocol: every plain line is SQL run on
+/// the server; dot-commands mirror the embedded shell where they make
+/// sense remotely (`.explain`, `.stats` via the `METRICS` frame) plus
+/// `set workers <n|default>` and `ping`.
+fn remote_repl(addr: &str) {
+    use xomatiq_server::{Client, ClientError};
+
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(ClientError::Busy) => {
+            eprintln!("server at {addr} is at its connection limit, try again later");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("connected to xomatiq-server at {addr}");
+    let stdin = std::io::stdin();
+    let interactive = atty_stdin();
+    loop {
+        if interactive {
+            print!("xomatiq({addr})> ");
+            std::io::stdout().flush().ok();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let trimmed = line.trim();
+        let mut parts = trimmed.split_whitespace();
+        match parts.next() {
+            None => continue,
+            Some(cmd) if cmd.eq_ignore_ascii_case("quit") || cmd.eq_ignore_ascii_case("exit") => {
+                break;
+            }
+            Some(cmd) if cmd.eq_ignore_ascii_case("help") => {
+                println!("{}", REMOTE_HELP.trim());
+            }
+            Some(cmd) if cmd.eq_ignore_ascii_case("ping") => match client.ping() {
+                Ok(()) => println!("pong"),
+                Err(e) => println!("{e}"),
+            },
+            Some(cmd) if cmd.eq_ignore_ascii_case(".stats") => match client.metrics() {
+                Ok(text) => print!("{text}"),
+                Err(e) => println!("{e}"),
+            },
+            Some(cmd) if cmd.eq_ignore_ascii_case("set") => {
+                let (Some(name), Some(value)) = (parts.next(), parts.next()) else {
+                    println!("usage: set workers <n|default>");
+                    continue;
+                };
+                match client.set(name, value) {
+                    Ok(ack) => println!("{ack}"),
+                    Err(e) => println!("{e}"),
+                }
+            }
+            Some(cmd) if cmd.eq_ignore_ascii_case(".explain") => {
+                let rest = trimmed[cmd.len()..].trim();
+                if rest.is_empty() {
+                    println!("usage: .explain [analyze] SELECT ...");
+                    continue;
+                }
+                let analyze = rest
+                    .split_whitespace()
+                    .next()
+                    .is_some_and(|w| w.eq_ignore_ascii_case("analyze"));
+                let sql = if analyze {
+                    rest["analyze".len()..].trim()
+                } else {
+                    rest
+                };
+                match client.explain(sql, analyze) {
+                    Ok(text) => print!("{text}"),
+                    Err(e) => println!("{e}"),
+                }
+            }
+            Some(_) => {
+                let sql = trimmed.trim_start_matches(".sql").trim();
+                if sql.is_empty() {
+                    continue;
+                }
+                let start = std::time::Instant::now();
+                match client.query(sql, vec![]) {
+                    Ok(xomatiq_server::QueryReply::Rows { columns, rows }) => {
+                        let rs = xomatiq_relstore::ResultSet::from_parts(columns, rows);
+                        print!("{}", render_result_set(&rs));
+                        println!("({:.2?})", start.elapsed());
+                    }
+                    Ok(xomatiq_server::QueryReply::Affected(n)) => {
+                        println!("{n} row(s) affected ({:.2?})", start.elapsed());
+                    }
+                    Err(e) => println!("{e}"),
+                }
+            }
+        }
+    }
+    let _ = client.goodbye();
+}
+
 fn run_query(xq: &Xomatiq, query: &str, xml_view: bool) {
     let start = std::time::Instant::now();
     match xq.query(query) {
@@ -328,4 +445,13 @@ explain FOR ... RETURN ...        show generated SQL and plan
 xml                               toggle XML result view
 FOR ... RETURN ... ;              run a FLWR query (end with ';' or blank line)
 quit
+"#;
+
+const REMOTE_HELP: &str = r#"
+<sql statement>                   run SQL on the server (also: .sql <statement>)
+.explain [analyze] SELECT ...     server-side plan tree / per-operator profile
+.stats                            the server's metrics snapshot (METRICS frame)
+set workers <n|default>           session-local worker override
+ping                              liveness probe
+quit                              graceful goodbye
 "#;
