@@ -20,11 +20,13 @@ pub mod registry;
 pub mod sink;
 pub mod snapshot;
 pub mod span;
+pub mod trace;
 
 pub use registry::{Counter, Gauge, Histogram, MetricsRegistry, LATENCY_BUCKETS_NS};
 pub use sink::{MemorySink, Sink, SpanEvent, StderrJsonSink};
 pub use snapshot::{HistogramSnapshot, MetricValue, Snapshot};
 pub use span::SpanGuard;
+pub use trace::{set_trace_sink, trace_sink, MemoryTraceSink, TraceCtx, TraceSink, TraceSpanEvent};
 
 use std::sync::{Arc, OnceLock, RwLock};
 

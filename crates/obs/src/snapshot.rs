@@ -47,6 +47,43 @@ impl HistogramSnapshot {
         }
         Some(*self.edges.last()? as f64)
     }
+
+    /// Median — `quantile(0.5)`.
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// 99th percentile — `quantile(0.99)`.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile — `quantile(0.999)`. Tail latency beyond p99:
+    /// the figure group-commit stalls and checkpoint pauses show up in.
+    pub fn p999(&self) -> Option<f64> {
+        self.quantile(0.999)
+    }
+
+    /// Observations recorded since `prev` was taken: count, sum and every
+    /// bucket subtracted cell-wise. Falls back to `self` unchanged when
+    /// the bucket layouts differ (the histogram was re-created with other
+    /// edges between the two snapshots).
+    pub fn delta_since(&self, prev: &HistogramSnapshot) -> HistogramSnapshot {
+        if self.edges != prev.edges || self.buckets.len() != prev.buckets.len() {
+            return self.clone();
+        }
+        HistogramSnapshot {
+            count: self.count.saturating_sub(prev.count),
+            sum: self.sum.saturating_sub(prev.sum),
+            edges: self.edges.clone(),
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&prev.buckets)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+        }
+    }
 }
 
 /// The value of one named metric inside a [`Snapshot`].
@@ -96,6 +133,36 @@ impl Snapshot {
         out
     }
 
+    /// What changed since `prev`: counters and histograms report the
+    /// increment between the two snapshots (a counter present in both
+    /// renders `cur - prev`), gauges report their current reading, and
+    /// metrics absent from `prev` carry over unchanged. The result is a
+    /// regular [`Snapshot`] — render it, quantile it, diff it again.
+    pub fn delta_since(&self, prev: &Snapshot) -> Snapshot {
+        let entries = self
+            .entries
+            .iter()
+            .map(|(name, value)| {
+                let old = prev
+                    .entries
+                    .binary_search_by(|(n, _)| n.as_str().cmp(name))
+                    .ok()
+                    .map(|i| &prev.entries[i].1);
+                let value = match (value, old) {
+                    (MetricValue::Counter(cur), Some(MetricValue::Counter(p))) => {
+                        MetricValue::Counter(cur.saturating_sub(*p))
+                    }
+                    (MetricValue::Histogram(cur), Some(MetricValue::Histogram(p))) => {
+                        MetricValue::Histogram(cur.delta_since(p))
+                    }
+                    (v, _) => v.clone(),
+                };
+                (name.clone(), value)
+            })
+            .collect();
+        Snapshot { entries }
+    }
+
     /// A single JSON object `{"metrics": [...]}` with one entry per
     /// metric, in name order.
     pub fn render_json(&self) -> String {
@@ -123,6 +190,97 @@ impl Snapshot {
             });
         }
         format!("{{\"metrics\":[{}]}}\n", items.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(edges: Vec<u64>, buckets: Vec<u64>) -> HistogramSnapshot {
+        let count = buckets.iter().sum();
+        let sum = 0; // irrelevant to quantiles
+        HistogramSnapshot {
+            count,
+            sum,
+            edges,
+            buckets,
+        }
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none() {
+        let h = hist(vec![10, 100], vec![0, 0, 0]);
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p99(), None);
+        assert_eq!(h.p999(), None);
+    }
+
+    #[test]
+    fn quantile_with_a_single_occupied_bucket_interpolates_within_it() {
+        // All observations land in (10, 100]: every quantile stays inside
+        // that bucket, clamped to its edges.
+        let h = hist(vec![10, 100], vec![0, 4, 0]);
+        for q in [0.0, 0.25, 0.5, 0.999, 1.0] {
+            let v = h.quantile(q).unwrap();
+            assert!((10.0..=100.0).contains(&v), "q={q} gave {v}");
+        }
+        assert_eq!(h.quantile(1.0), Some(100.0));
+    }
+
+    #[test]
+    fn quantile_of_overflow_only_histogram_reports_last_edge() {
+        let h = hist(vec![10, 100], vec![0, 0, 7]);
+        assert_eq!(h.quantile(0.5), Some(100.0));
+        assert_eq!(h.p999(), Some(100.0));
+    }
+
+    #[test]
+    fn p999_sits_at_or_above_p99() {
+        let mut buckets = vec![1000, 9, 1];
+        let h = hist(vec![10, 100], std::mem::take(&mut buckets));
+        let (p99, p999) = (h.p99().unwrap(), h.p999().unwrap());
+        assert!(p999 >= p99, "p999={p999} < p99={p99}");
+    }
+
+    #[test]
+    fn histogram_delta_subtracts_cell_wise() {
+        let prev = hist(vec![10, 100], vec![3, 1, 0]);
+        let cur = hist(vec![10, 100], vec![5, 4, 2]);
+        let d = cur.delta_since(&prev);
+        assert_eq!(d.buckets, vec![2, 3, 2]);
+        assert_eq!(d.count, 7);
+        // Mismatched layouts fall back to the current snapshot.
+        let other = hist(vec![50], vec![1, 0]);
+        assert_eq!(cur.delta_since(&other), cur);
+    }
+
+    #[test]
+    fn snapshot_delta_diffs_counters_and_keeps_gauges() {
+        let prev = Snapshot {
+            entries: vec![
+                ("a.count".into(), MetricValue::Counter(10)),
+                ("b.gauge".into(), MetricValue::Gauge(5)),
+            ],
+        };
+        let cur = Snapshot {
+            entries: vec![
+                ("a.count".into(), MetricValue::Counter(15)),
+                ("b.gauge".into(), MetricValue::Gauge(2)),
+                ("c.new".into(), MetricValue::Counter(3)),
+            ],
+        };
+        let d = cur.delta_since(&prev);
+        assert_eq!(
+            d.entries,
+            vec![
+                ("a.count".into(), MetricValue::Counter(5)),
+                ("b.gauge".into(), MetricValue::Gauge(2)),
+                ("c.new".into(), MetricValue::Counter(3)),
+            ]
+        );
     }
 }
 

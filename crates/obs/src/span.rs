@@ -1,6 +1,9 @@
 //! Wall-time spans: RAII guards that record their lifetime into the
 //! global latency histogram of the same name and forward a structured
-//! event to the installed [`crate::Sink`].
+//! event to the installed [`crate::Sink`]. When a [`crate::trace`]
+//! context is current on the thread, the same guard also opens a child
+//! trace span, so `span!` call sites link into the request's trace tree
+//! with no extra code.
 
 use std::time::Instant;
 
@@ -14,13 +17,20 @@ pub struct SpanGuard {
     /// `None` when the registry was disabled at entry: the span then
     /// records nothing on drop, making disabled spans two relaxed loads.
     start: Option<Instant>,
+    /// Child trace span under the thread's current trace context (inert
+    /// when no context is active).
+    _trace: crate::trace::TraceSpanGuard,
 }
 
 impl SpanGuard {
     /// Opens a span named `name` (a `crate.subsystem.name` style label).
     pub fn enter(name: &'static str) -> SpanGuard {
         let start = crate::enabled().then(Instant::now);
-        SpanGuard { name, start }
+        SpanGuard {
+            name,
+            start,
+            _trace: crate::trace::span(name),
+        }
     }
 }
 

@@ -1,0 +1,381 @@
+//! End-to-end request tracing: a lightweight trace context propagated
+//! through thread scopes, and span events that link into one trace tree.
+//!
+//! A [`TraceCtx`] is two `u64`s — the trace id shared by every span of a
+//! request, and the id of the span that is "current" on this thread (the
+//! parent of any span opened next). Ids come from a process-local
+//! splitmix64 stream, so tracing stays dependency-free and id generation
+//! is one atomic fetch-add plus a few multiplies.
+//!
+//! Propagation is by thread scope: [`scope`] installs a context for the
+//! enclosing lexical region (restoring the previous one on drop), and
+//! [`span`] opens a child span under whatever context is current —
+//! becoming the current parent itself until it closes. Work that finishes
+//! on a *different* thread than the one that owns the request (the WAL
+//! group-commit leader flushing other sessions' transactions) uses
+//! [`emit`] to attach a span to a captured context explicitly.
+//!
+//! Completed spans go to the installed [`TraceSink`]; when none is
+//! installed a span costs two thread-local accesses and a clock read.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+/// The identity a request's spans share: the trace id, plus the span id
+/// of the innermost open span on this thread (`0` = the trace root, i.e.
+/// spans opened next have no parent inside the tree).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Identifies the whole request across threads and processes.
+    pub trace_id: u64,
+    /// The span under which new child spans open (`0` at the root).
+    pub span_id: u64,
+}
+
+impl TraceCtx {
+    /// A fresh root context with a generated trace id and no parent span.
+    pub fn root() -> TraceCtx {
+        TraceCtx {
+            trace_id: next_id(),
+            span_id: 0,
+        }
+    }
+
+    /// A root context for an externally supplied trace id (e.g. one a
+    /// client sent on the wire).
+    pub fn with_trace_id(trace_id: u64) -> TraceCtx {
+        TraceCtx {
+            trace_id,
+            span_id: 0,
+        }
+    }
+}
+
+/// One completed span of a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSpanEvent {
+    /// The trace this span belongs to.
+    pub trace_id: u64,
+    /// This span's id (unique within the process).
+    pub span_id: u64,
+    /// The parent span's id, `0` for top-level spans.
+    pub parent_span_id: u64,
+    /// Span label, `crate.subsystem.name` style.
+    pub name: String,
+    /// Elapsed wall-time in nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+/// Receives completed trace spans. Implementations run on the
+/// instrumented thread and must be cheap.
+pub trait TraceSink: Send + Sync {
+    /// Called once per completed span.
+    fn record(&self, span: &TraceSpanEvent);
+}
+
+static TRACE_SINK: RwLock<Option<Arc<dyn TraceSink>>> = RwLock::new(None);
+
+/// Installs (or, with `None`, removes) the process-wide trace sink.
+pub fn set_trace_sink(sink: Option<Arc<dyn TraceSink>>) {
+    *TRACE_SINK.write().expect("trace sink lock poisoned") = sink;
+}
+
+/// The currently installed trace sink, if any.
+pub fn trace_sink() -> Option<Arc<dyn TraceSink>> {
+    TRACE_SINK.read().expect("trace sink lock poisoned").clone()
+}
+
+/// An in-memory trace sink for tests and local export.
+#[derive(Default)]
+pub struct MemoryTraceSink {
+    spans: Mutex<Vec<TraceSpanEvent>>,
+}
+
+impl MemoryTraceSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of every span recorded so far.
+    pub fn spans(&self) -> Vec<TraceSpanEvent> {
+        self.spans.lock().expect("trace sink lock poisoned").clone()
+    }
+
+    /// The spans of one trace, in completion order.
+    pub fn trace(&self, trace_id: u64) -> Vec<TraceSpanEvent> {
+        self.spans
+            .lock()
+            .expect("trace sink lock poisoned")
+            .iter()
+            .filter(|s| s.trace_id == trace_id)
+            .cloned()
+            .collect()
+    }
+}
+
+impl TraceSink for MemoryTraceSink {
+    fn record(&self, span: &TraceSpanEvent) {
+        self.spans
+            .lock()
+            .expect("trace sink lock poisoned")
+            .push(span.clone());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Id generation (splitmix64 over an atomic counter)
+// ---------------------------------------------------------------------------
+
+static ID_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A fresh non-zero id (`0` is reserved to mean "no parent").
+pub fn next_id() -> u64 {
+    loop {
+        let n = ID_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let id = splitmix64(n.wrapping_add(0x5851_f42d_4c95_7f2d));
+        if id != 0 {
+            return id;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-scoped propagation
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static CURRENT: Cell<Option<TraceCtx>> = const { Cell::new(None) };
+}
+
+/// The context current on this thread, if a scope is active.
+pub fn current() -> Option<TraceCtx> {
+    CURRENT.with(Cell::get)
+}
+
+/// Restores the previously current context when dropped.
+#[must_use = "dropping the guard immediately ends the scope"]
+pub struct ScopeGuard {
+    prev: Option<TraceCtx>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev));
+    }
+}
+
+/// Makes `ctx` current for the guard's lifetime (nesting-safe: the prior
+/// context is restored on drop).
+pub fn scope(ctx: TraceCtx) -> ScopeGuard {
+    let prev = CURRENT.with(|c| c.replace(Some(ctx)));
+    ScopeGuard { prev }
+}
+
+/// An open trace span; completes (and reports to the sink) when dropped.
+/// Opened via [`span`]; a no-op when no context is current.
+#[must_use = "a span measures the scope it is bound to; binding it to _ drops it immediately"]
+pub struct TraceSpanGuard {
+    /// `None` when no context was current at entry: nothing to link to.
+    armed: Option<ArmedSpan>,
+}
+
+struct ArmedSpan {
+    name: &'static str,
+    ctx: TraceCtx,
+    parent: Option<TraceCtx>,
+    start: Instant,
+}
+
+impl TraceSpanGuard {
+    /// The context this span established (its own id as the parent for
+    /// children), if it is armed.
+    pub fn ctx(&self) -> Option<TraceCtx> {
+        self.armed.as_ref().map(|a| a.ctx)
+    }
+}
+
+/// Opens a child span under the current context, making itself the
+/// current parent until dropped. Without a current context this is a
+/// no-op guard.
+pub fn span(name: &'static str) -> TraceSpanGuard {
+    let Some(parent) = current() else {
+        return TraceSpanGuard { armed: None };
+    };
+    let ctx = TraceCtx {
+        trace_id: parent.trace_id,
+        span_id: next_id(),
+    };
+    let prev = CURRENT.with(|c| c.replace(Some(ctx)));
+    TraceSpanGuard {
+        armed: Some(ArmedSpan {
+            name,
+            ctx,
+            parent: prev,
+            start: Instant::now(),
+        }),
+    }
+}
+
+impl Drop for TraceSpanGuard {
+    fn drop(&mut self) {
+        let Some(armed) = self.armed.take() else {
+            return;
+        };
+        CURRENT.with(|c| c.set(armed.parent));
+        let Some(sink) = trace_sink() else { return };
+        let elapsed_ns = u64::try_from(armed.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        sink.record(&TraceSpanEvent {
+            trace_id: armed.ctx.trace_id,
+            span_id: armed.ctx.span_id,
+            parent_span_id: armed.parent.map_or(0, |p| p.span_id),
+            name: armed.name.to_string(),
+            elapsed_ns,
+        });
+    }
+}
+
+/// Attaches a completed span to a *captured* context — the cross-thread
+/// escape hatch for work finished on a thread that does not own the
+/// request (e.g. a group-commit flush leader covering other sessions'
+/// transactions). Returns the new span's id so callers can chain
+/// children under it via [`emit_with_parent`].
+pub fn emit(name: impl Into<String>, ctx: TraceCtx, elapsed_ns: u64) -> u64 {
+    emit_with_parent(name, ctx.trace_id, ctx.span_id, elapsed_ns)
+}
+
+/// Like [`emit`], with the parent span id given explicitly.
+pub fn emit_with_parent(
+    name: impl Into<String>,
+    trace_id: u64,
+    parent_span_id: u64,
+    elapsed_ns: u64,
+) -> u64 {
+    let span_id = next_id();
+    if let Some(sink) = trace_sink() {
+        sink.record(&TraceSpanEvent {
+            trace_id,
+            span_id,
+            parent_span_id,
+            name: name.into(),
+            elapsed_ns,
+        });
+    }
+    span_id
+}
+
+/// Renders the spans of one trace as an indented tree (children under
+/// their parent, siblings in completion order) — the exportable form.
+pub fn render_trace_tree(spans: &[TraceSpanEvent], trace_id: u64) -> String {
+    let mine: Vec<&TraceSpanEvent> = spans.iter().filter(|s| s.trace_id == trace_id).collect();
+    let ids: std::collections::HashSet<u64> = mine.iter().map(|s| s.span_id).collect();
+    let mut out = String::new();
+    fn walk(spans: &[&TraceSpanEvent], parent: u64, depth: usize, out: &mut String) {
+        for s in spans.iter().filter(|s| s.parent_span_id == parent) {
+            out.push_str(&format!(
+                "{:indent$}{} [{}ns]\n",
+                "",
+                s.name,
+                s.elapsed_ns,
+                indent = depth * 2
+            ));
+            walk(spans, s.span_id, depth + 1, out);
+        }
+    }
+    // Roots: parent 0, or a parent that never completed into this set
+    // (e.g. the request outlived the export window).
+    let roots: Vec<&TraceSpanEvent> = mine
+        .iter()
+        .filter(|s| s.parent_span_id == 0 || !ids.contains(&s.parent_span_id))
+        .copied()
+        .collect();
+    for root in &roots {
+        out.push_str(&format!("{} [{}ns]\n", root.name, root.elapsed_ns));
+        walk(&mine, root.span_id, 1, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_nonzero() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let id = next_id();
+            assert_ne!(id, 0);
+            assert!(seen.insert(id), "duplicate id {id}");
+        }
+    }
+
+    #[test]
+    fn span_without_scope_is_inert() {
+        let s = span("noop");
+        assert!(s.ctx().is_none());
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn spans_nest_and_restore_scope() {
+        let root = TraceCtx::root();
+        let _scope = scope(root);
+        let outer = span("outer");
+        let outer_ctx = outer.ctx().unwrap();
+        assert_eq!(current().unwrap().span_id, outer_ctx.span_id);
+        {
+            let inner = span("inner");
+            assert_eq!(current().unwrap().span_id, inner.ctx().unwrap().span_id);
+        }
+        assert_eq!(current().unwrap().span_id, outer_ctx.span_id);
+        drop(outer);
+        assert_eq!(current().unwrap(), root);
+    }
+
+    #[test]
+    fn tree_renders_children_under_parents() {
+        let t = 42;
+        let spans = vec![
+            TraceSpanEvent {
+                trace_id: t,
+                span_id: 1,
+                parent_span_id: 0,
+                name: "request".into(),
+                elapsed_ns: 100,
+            },
+            TraceSpanEvent {
+                trace_id: t,
+                span_id: 2,
+                parent_span_id: 1,
+                name: "plan".into(),
+                elapsed_ns: 10,
+            },
+            TraceSpanEvent {
+                trace_id: t,
+                span_id: 3,
+                parent_span_id: 1,
+                name: "exec".into(),
+                elapsed_ns: 80,
+            },
+            TraceSpanEvent {
+                trace_id: 7,
+                span_id: 4,
+                parent_span_id: 0,
+                name: "other".into(),
+                elapsed_ns: 5,
+            },
+        ];
+        let tree = render_trace_tree(&spans, t);
+        assert_eq!(tree, "request [100ns]\n  plan [10ns]\n  exec [80ns]\n");
+    }
+}

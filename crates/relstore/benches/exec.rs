@@ -12,7 +12,7 @@
 use std::time::{Duration, Instant};
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use xomatiq_relstore::{Database, FaultConfig, FaultyIo, SlowIo};
+use xomatiq_relstore::{Database, DatabaseOptions, FaultConfig, FaultyIo, SlowIo};
 
 /// Row count: 50k normally, 500 under `XOMATIQ_BENCH_SMOKE`.
 fn scale() -> usize {
@@ -26,7 +26,11 @@ fn scale() -> usize {
 /// `big(a INT, b INT, s TEXT)` with a keyword index on `s`, plus the
 /// `facts`/`dims` pair for the join benchmark.
 fn build_db(n: usize) -> Database {
-    let db = Database::in_memory();
+    build_db_opts(n, DatabaseOptions::default())
+}
+
+fn build_db_opts(n: usize, options: DatabaseOptions) -> Database {
+    let db = Database::in_memory_with_options(options);
     db.query("CREATE TABLE big (a INT, b INT, s TEXT)")
         .run()
         .unwrap();
@@ -279,6 +283,59 @@ fn bench_exec(_c: &mut Criterion) {
             );
         } else if on > budget {
             println!("exec/overhead/{name}: WARNING above 10% budget (not enforced)");
+        }
+    }
+
+    // Tracing overhead on the same scan-aggregate workload: flight
+    // recorder off + no trace context, vs recorder on (production
+    // default) + a client-style trace scope per statement with a sink
+    // installed — slow-query profiling stays at the "never" default, so
+    // this measures the always-on tracing cost, under the same
+    // interleaved min-of-batches discipline and 10% enforced budget as
+    // the metrics overhead above.
+    {
+        let off_db = build_db_opts(
+            n,
+            DatabaseOptions {
+                flight_recorder_capacity: 0,
+                ..DatabaseOptions::default()
+            },
+        );
+        let sink = std::sync::Arc::new(xomatiq_obs::MemoryTraceSink::new());
+        const BATCHES: usize = 5;
+        const ITERS: usize = 8;
+        let batch = |db: &Database, traced: bool| {
+            let start = Instant::now();
+            for _ in 0..ITERS {
+                let _scope =
+                    traced.then(|| xomatiq_obs::trace::scope(xomatiq_obs::trace::TraceCtx::root()));
+                black_box(db.query(agg_sql).run().unwrap().rows.len());
+            }
+            start.elapsed().as_nanos() as f64 / ITERS as f64
+        };
+        black_box(db.query(agg_sql).run().unwrap().rows.len()); // warmup
+        black_box(off_db.query(agg_sql).run().unwrap().rows.len());
+        let (mut off, mut on) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..BATCHES {
+            off = off.min(batch(&off_db, false));
+            xomatiq_obs::trace::set_trace_sink(Some(sink.clone()));
+            on = on.min(batch(&db, true));
+            xomatiq_obs::trace::set_trace_sink(None);
+        }
+        println!("exec/overhead/scan_aggregate: tracing off {off:.0} ns/iter, on {on:.0} ns/iter");
+        rec.results
+            .push(("overhead/scan_aggregate/tracing_off".to_string(), off));
+        rec.results
+            .push(("overhead/scan_aggregate/tracing_on".to_string(), on));
+        let budget = off * 1.10 + 2_000.0;
+        if enforce {
+            assert!(
+                on <= budget,
+                "tracing exceeds the 10% overhead budget on scan_aggregate: \
+                 {on:.0} ns/iter on vs {off:.0} ns/iter off"
+            );
+        } else if on > budget {
+            println!("exec/overhead/scan_aggregate: WARNING above 10% budget (not enforced)");
         }
     }
 

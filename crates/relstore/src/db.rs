@@ -41,6 +41,7 @@ use std::sync::{Arc, Condvar, Weak};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, MutexGuard, RwLock, RwLockWriteGuard};
+use xomatiq_obs::trace;
 
 use crate::error::{RelError, RelResult};
 use crate::exec::{
@@ -54,12 +55,14 @@ use crate::plan::PlannedQuery;
 use crate::planner::plan_select;
 use crate::pool::{StopSignal, WorkerPool};
 use crate::query::PlanCache;
+use crate::recorder::FlightRecorder;
 use crate::schema::{Catalog, Column, IndexDef, TableSchema};
 use crate::sql::ast::{SelectStmt, Statement};
 use crate::sql::parser::parse_statement;
 use crate::table::{Row, RowId, Table};
 use crate::text::KeywordIndex;
 use crate::value::Value;
+use crate::vtab::{VirtualTableProvider, VirtualTables, SYS_PREFIX};
 use crate::wal::{frame_into, RecoveryReport, Wal, WalIo, WalRecord};
 
 /// Segments whose dead-slot fraction exceeds this are rewritten by the
@@ -144,6 +147,32 @@ impl Storage {
     /// Commit sequence number of the last commit this state includes.
     pub fn csn(&self) -> u64 {
         self.csn
+    }
+
+    /// A copy-on-write overlay of this snapshot with the given virtual
+    /// tables materialized as ordinary (index-less) tables — the storage
+    /// a `SELECT` referencing `sys_*` names runs against. The overlay
+    /// shares every user segment with `self` via `Arc`, so building it
+    /// costs only the virtual rows themselves.
+    pub(crate) fn overlay_virtual(
+        &self,
+        tables: Vec<(TableSchema, Vec<Row>)>,
+    ) -> RelResult<Storage> {
+        let mut overlay = self.clone();
+        for (schema, rows) in tables {
+            let name = schema.name.clone();
+            // A user table shadowed by a system name cannot exist (DDL
+            // rejects the sys_ prefix), but replayed legacy state might:
+            // the virtual table wins for the duration of the query.
+            if overlay.catalog.has_table(&name) {
+                overlay.drop_table(&name)?;
+            }
+            overlay.create_table(schema)?;
+            for row in rows {
+                overlay.insert(&name, row)?;
+            }
+        }
+        Ok(overlay)
     }
 
     fn create_table(&mut self, schema: TableSchema) -> RelResult<()> {
@@ -556,6 +585,12 @@ struct CommitQueue {
     /// Bytes written to the active log since open/rotation (the
     /// `relstore.wal.bytes` gauge).
     log_bytes: u64,
+    /// Trace contexts of the committers whose frames sit in `buf`. The
+    /// flush leader takes them with the buffer and attaches one
+    /// `relstore.wal.group_commit` span to each — which is how a commit
+    /// flushed by *another session's* thread still shows up in its own
+    /// request's trace tree.
+    waiting_traces: Vec<trace::TraceCtx>,
 }
 
 /// Durable-mode machinery: the log plus the group-commit queue.
@@ -596,6 +631,15 @@ pub struct DatabaseOptions {
     /// Whether scans may skip segments via zone maps. On by default;
     /// benches disable it to measure the unpruned baseline.
     pub zone_map_pruning: bool,
+    /// Statements at or above this latency are flagged slow in the
+    /// flight recorder and re-profiled against their own snapshot to
+    /// capture a per-operator profile (`sys_profiles`). The default
+    /// (`u64::MAX`) keeps recording on but never triggers the profile
+    /// capture, so the hot path pays nothing for it.
+    pub slow_query_ns: u64,
+    /// Recent-query records the flight recorder retains (`0` disables
+    /// recording entirely; the default keeps the last 512).
+    pub flight_recorder_capacity: usize,
 }
 
 impl Default for DatabaseOptions {
@@ -614,6 +658,8 @@ impl Default for DatabaseOptions {
             morsel_size: 1024,
             plan_cache_capacity: 128,
             zone_map_pruning: true,
+            slow_query_ns: u64::MAX,
+            flight_recorder_capacity: 512,
         }
     }
 }
@@ -621,6 +667,25 @@ impl Default for DatabaseOptions {
 struct MaintenanceTask {
     stop: Arc<StopSignal>,
     handle: std::thread::JoinHandle<()>,
+}
+
+/// Registry entry for one live [`crate::Session`] (the `sys_sessions`
+/// virtual table's backing state).
+#[derive(Debug, Clone)]
+pub(crate) struct SessionInfo {
+    pub(crate) workers: Option<usize>,
+    pub(crate) prepared: usize,
+    pub(crate) queries: u64,
+    pub(crate) started: Instant,
+}
+
+/// One `sys_sessions` row, flattened out of the registry.
+pub(crate) struct SessionInfoSnapshot {
+    pub(crate) session_id: u64,
+    pub(crate) workers: Option<usize>,
+    pub(crate) prepared: usize,
+    pub(crate) queries: u64,
+    pub(crate) uptime_ns: u64,
 }
 
 /// An embedded relational database.
@@ -634,6 +699,13 @@ pub struct Database {
     pub(crate) pool: WorkerPool,
     pub(crate) plan_cache: Mutex<PlanCache>,
     maintenance: Mutex<Option<MaintenanceTask>>,
+    /// Recent-query ring buffer (the `sys_queries` backing store).
+    recorder: FlightRecorder,
+    /// System virtual tables (builtins plus registered providers).
+    vtabs: RwLock<VirtualTables>,
+    /// Live sessions keyed by session id.
+    sessions: Mutex<BTreeMap<u64, SessionInfo>>,
+    next_session_id: std::sync::atomic::AtomicU64,
 }
 
 impl Database {
@@ -646,6 +718,7 @@ impl Database {
         let pool = WorkerPool::new(options.workers);
         let plan_cache = Mutex::new(PlanCache::new(options.plan_cache_capacity));
         let snapshot = Mutex::new(Arc::new(storage.clone()));
+        let recorder = FlightRecorder::new(options.flight_recorder_capacity, options.slow_query_ns);
         Database {
             storage: RwLock::new(storage),
             snapshot,
@@ -654,6 +727,10 @@ impl Database {
             pool,
             plan_cache,
             maintenance: Mutex::new(None),
+            recorder,
+            vtabs: RwLock::new(VirtualTables::builtin()),
+            sessions: Mutex::new(BTreeMap::new()),
+            next_session_id: std::sync::atomic::AtomicU64::new(1),
         }
     }
 
@@ -670,6 +747,106 @@ impl Database {
     /// The options this database was built with.
     pub fn options(&self) -> &DatabaseOptions {
         &self.options
+    }
+
+    /// The slow-query flight recorder (see [`crate::recorder`]).
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Registers (or replaces, by name) a system virtual table. The
+    /// provider's name must start with `sys_`; it becomes queryable
+    /// through the ordinary `db.query(...)` path immediately.
+    pub fn register_virtual_table(&self, provider: Box<dyn VirtualTableProvider>) -> RelResult<()> {
+        if !provider.name().to_ascii_lowercase().starts_with(SYS_PREFIX) {
+            return Err(RelError::Internal(format!(
+                "virtual table {:?} must use the {SYS_PREFIX:?} name prefix",
+                provider.name()
+            )));
+        }
+        self.vtabs.write().register(provider);
+        Ok(())
+    }
+
+    /// Whether `name` resolves to a system virtual table (or reserves the
+    /// `sys_` prefix without one registered — writes are refused either
+    /// way, so the namespace stays free for future builtins).
+    pub fn is_system_table(&self, name: &str) -> bool {
+        name.to_ascii_lowercase().starts_with(SYS_PREFIX)
+    }
+
+    fn reject_system_write(&self, name: &str, action: &str) -> RelResult<()> {
+        if self.is_system_table(name) {
+            return Err(RelError::ReadOnly(format!(
+                "cannot {action} {name:?}: the sys_ prefix is reserved for \
+                 read-only system tables"
+            )));
+        }
+        Ok(())
+    }
+
+    /// The storage a `SELECT` should run against: `base` itself unless
+    /// the statement references system virtual tables, in which case a
+    /// copy-on-write overlay with those tables materialized (snapshot
+    /// semantics: telemetry is captured here, once, for the whole query).
+    pub(crate) fn storage_for_select(
+        &self,
+        base: &Arc<Storage>,
+        select: &SelectStmt,
+    ) -> RelResult<Arc<Storage>> {
+        let vtabs = self.vtabs.read();
+        let referenced = vtabs.referenced(select);
+        if referenced.is_empty() {
+            return Ok(Arc::clone(base));
+        }
+        let tables: Vec<(TableSchema, Vec<Row>)> = referenced
+            .iter()
+            .map(|p| (p.schema(), p.rows(self)))
+            .collect();
+        drop(vtabs);
+        Ok(Arc::new(base.overlay_virtual(tables)?))
+    }
+
+    // --- session registry (the `sys_sessions` backing store) ---
+
+    pub(crate) fn register_session(&self) -> u64 {
+        let id = self
+            .next_session_id
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.sessions.lock().insert(
+            id,
+            SessionInfo {
+                workers: None,
+                prepared: 0,
+                queries: 0,
+                started: Instant::now(),
+            },
+        );
+        id
+    }
+
+    pub(crate) fn unregister_session(&self, id: u64) {
+        self.sessions.lock().remove(&id);
+    }
+
+    pub(crate) fn update_session(&self, id: u64, f: impl FnOnce(&mut SessionInfo)) {
+        if let Some(info) = self.sessions.lock().get_mut(&id) {
+            f(info);
+        }
+    }
+
+    pub(crate) fn session_infos(&self) -> Vec<SessionInfoSnapshot> {
+        self.sessions
+            .lock()
+            .iter()
+            .map(|(id, info)| SessionInfoSnapshot {
+                session_id: *id,
+                workers: info.workers,
+                prepared: info.prepared,
+                queries: info.queries,
+                uptime_ns: u64::try_from(info.started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            })
+            .collect()
     }
 
     /// The snapshot queries run against: the state as of the last durable
@@ -909,6 +1086,7 @@ impl Database {
                 pending_snapshot: None,
                 next_tx: max_tx + 1,
                 log_bytes,
+                waiting_traces: Vec::new(),
             }),
             cond: Condvar::new(),
         };
@@ -936,7 +1114,7 @@ impl Database {
                     return Err(RelError::Parse("EXPLAIN supports SELECT only".into()));
                 };
                 let text = if analyze {
-                    let snap = self.snapshot();
+                    let snap = self.storage_for_select(&self.snapshot(), &select)?;
                     self.analyze_select(&snap, &select)?.render()
                 } else {
                     self.explain_select(&select)?
@@ -944,6 +1122,7 @@ impl Database {
                 Ok(ResultSet::plan_text(&text))
             }
             Statement::CreateTable { name, columns } => {
+                self.reject_system_write(&name, "create table")?;
                 let schema = TableSchema::new(
                     &name,
                     columns
@@ -957,6 +1136,7 @@ impl Database {
                 self.finish_ddl(storage, WalRecord::CreateTable { schema })
             }
             Statement::DropTable { name } => {
+                self.reject_system_write(&name, "drop table")?;
                 let mut storage = self.storage.write();
                 storage.drop_table(&name)?;
                 self.plan_cache.lock().clear();
@@ -968,6 +1148,7 @@ impl Database {
                 columns,
                 keyword,
             } => {
+                self.reject_system_write(&table, "index")?;
                 let def = IndexDef {
                     name,
                     table,
@@ -987,7 +1168,16 @@ impl Database {
             }
             stmt @ (Statement::Insert { .. }
             | Statement::Delete { .. }
-            | Statement::Update { .. }) => self.execute_dml(stmt),
+            | Statement::Update { .. }) => {
+                let target = match &stmt {
+                    Statement::Insert { table, .. }
+                    | Statement::Delete { table, .. }
+                    | Statement::Update { table, .. } => table,
+                    _ => unreachable!(),
+                };
+                self.reject_system_write(target, "modify")?;
+                self.execute_dml(stmt)
+            }
         }
     }
 
@@ -1099,9 +1289,16 @@ impl Database {
             storage.csn = csn;
             q.queued_csn = csn;
             q.pending_snapshot = Some(Arc::new(storage.clone()));
+            if let Some(ctx) = trace::current() {
+                q.waiting_traces.push(ctx);
+            }
         }
         drop(storage);
-        match self.wait_durable(csn) {
+        let wait = {
+            let _t = trace::span("relstore.wal.commit_wait");
+            self.wait_durable(csn)
+        };
+        match wait {
             Ok(()) => Ok(()),
             Err(e) => {
                 // Never acknowledged: revert this transaction's in-memory
@@ -1136,9 +1333,15 @@ impl Database {
             storage.csn = csn;
             q.queued_csn = csn;
             q.pending_snapshot = Some(Arc::new(storage.clone()));
+            if let Some(ctx) = trace::current() {
+                q.waiting_traces.push(ctx);
+            }
         }
         drop(storage);
-        self.wait_durable(csn)?;
+        {
+            let _t = trace::span("relstore.wal.commit_wait");
+            self.wait_durable(csn)?;
+        }
         Ok(ResultSet::dml(0))
     }
 
@@ -1164,14 +1367,22 @@ impl Database {
             // buffer while the disk works.
             q.flushing = true;
             let buf = std::mem::take(&mut q.buf);
+            let traces = std::mem::take(&mut q.waiting_traces);
             let top = q.queued_csn;
             let snap = q.pending_snapshot.take();
             drop(q);
             let start = Instant::now();
             let res = d.wal.lock().write_frames(&buf);
-            metrics::engine()
-                .wal_commit_ns
-                .record(metrics::elapsed_ns(start));
+            let flush_ns = metrics::elapsed_ns(start);
+            metrics::engine().wal_commit_ns.record(flush_ns);
+            // One group-commit span per covered committer, attached to
+            // the committer's own trace. This thread may belong to a
+            // different session than most of `traces` — the whole point
+            // of group commit — so the spans are emitted against the
+            // captured contexts, not the thread-local one.
+            for ctx in traces {
+                trace::emit("relstore.wal.group_commit", ctx, flush_ns);
+            }
             q = d.queue.lock();
             q.flushing = false;
             let outcome = self.apply_flush_outcome(&mut q, res, top, buf.len(), snap);
@@ -1471,7 +1682,7 @@ impl Database {
     }
 
     fn explain_select(&self, select: &SelectStmt) -> RelResult<String> {
-        let storage = self.snapshot();
+        let storage = self.storage_for_select(&self.snapshot(), select)?;
         let planned = plan_select(select, &storage.catalog)?;
         let workers = if exec_parallel::parallel_eligible(&planned.plan) {
             self.options.workers
@@ -1486,7 +1697,7 @@ impl Database {
     pub fn plan(&self, sql: &str) -> RelResult<PlannedQuery> {
         match parse_statement(sql)? {
             Statement::Select(select) => {
-                let storage = self.snapshot();
+                let storage = self.storage_for_select(&self.snapshot(), &select)?;
                 plan_select(&select, &storage.catalog)
             }
             _ => Err(RelError::Parse("only SELECT can be planned".into())),
@@ -1511,6 +1722,7 @@ impl Database {
         select: &SelectStmt,
     ) -> RelResult<PlannedQuery> {
         let m = metrics::engine();
+        let _t = trace::span("relstore.query.plan");
         let plan_start = Instant::now();
         let result = plan_select(select, &storage.catalog);
         match &result {
@@ -1531,6 +1743,7 @@ impl Database {
         workers: usize,
     ) -> RelResult<(ResultSet, ExecStats)> {
         let m = metrics::engine();
+        let _t = trace::span("relstore.query.exec");
         let result = (|| {
             let exec_start = Instant::now();
             let parallel = if workers > 1 {
@@ -1564,7 +1777,7 @@ impl Database {
     /// Plans and executes one `SELECT` with the database's default worker
     /// count against the current snapshot.
     fn run_select(&self, select: &SelectStmt) -> RelResult<(ResultSet, ExecStats)> {
-        let storage = self.snapshot();
+        let storage = self.storage_for_select(&self.snapshot(), select)?;
         let planned = self.plan_select_stmt(&storage, select)?;
         self.run_planned_query(&storage, &planned, self.options.workers)
     }
@@ -1593,7 +1806,7 @@ impl Database {
             },
             _ => return Err(RelError::Parse("only SELECT can be analyzed".into())),
         };
-        let snap = self.snapshot();
+        let snap = self.storage_for_select(&self.snapshot(), &select)?;
         self.analyze_select(&snap, &select)
     }
 
@@ -1605,8 +1818,12 @@ impl Database {
         let m = metrics::engine();
         let result = (|| {
             let plan_start = Instant::now();
-            let PlannedQuery { plan, visible } = plan_select(select, &storage.catalog)?;
+            let PlannedQuery { plan, visible } = {
+                let _t = trace::span("relstore.query.plan");
+                plan_select(select, &storage.catalog)?
+            };
             m.plan_ns.record(metrics::elapsed_ns(plan_start));
+            let _t = trace::span("relstore.query.exec");
             let exec_start = Instant::now();
             let (schema, rows, stats, profile) = execute_plan_profiled(&plan, storage)?;
             let total_ns = metrics::elapsed_ns(exec_start);

@@ -35,6 +35,8 @@ pub enum RelError {
     /// A prepared-statement parameter could not be bound: wrong value
     /// count, or a value that does not coerce to the inferred column type.
     Bind(String),
+    /// A write targeted a read-only relation (a `sys_*` system table).
+    ReadOnly(String),
     /// Anything else.
     Internal(String),
 }
@@ -56,6 +58,7 @@ impl RelError {
             RelError::Eval(_) => "eval",
             RelError::Wal(_) => "wal",
             RelError::Bind(_) => "bind",
+            RelError::ReadOnly(_) => "read_only",
             RelError::Internal(_) => "internal",
         }
     }
@@ -74,6 +77,7 @@ impl fmt::Display for RelError {
             RelError::Eval(m) => write!(f, "evaluation error: {m}"),
             RelError::Wal(m) => write!(f, "write-ahead log error: {m}"),
             RelError::Bind(m) => write!(f, "bind error: {m}"),
+            RelError::ReadOnly(m) => write!(f, "read-only: {m}"),
             RelError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }

@@ -39,6 +39,9 @@
 //! * [`session`] — the per-connection [`Session`] state (prepared-
 //!   statement handles, worker overrides) the wire-protocol server
 //!   builds on.
+//! * [`vtab`] / [`recorder`] — the introspection layer: `sys_*` system
+//!   virtual tables over live engine telemetry, and the slow-query
+//!   flight recorder behind `sys_queries` / `sys_profiles`.
 //!
 //! ```
 //! use xomatiq_relstore::Database;
@@ -72,6 +75,7 @@ pub mod plan;
 pub mod planner;
 pub(crate) mod pool;
 pub mod query;
+pub mod recorder;
 pub mod regex;
 pub mod schema;
 pub mod segment;
@@ -80,13 +84,16 @@ pub mod sql;
 pub mod table;
 pub mod text;
 pub mod value;
+pub mod vtab;
 pub mod wal;
 
 pub use db::{AnalyzedQuery, Database, DatabaseOptions, ResultSet};
 pub use error::{RelError, RelResult};
 pub use exec::{format_ns, ExecStats, OpProfile};
 pub use query::{ColumnError, FromValue, Prepared, Query, QueryOutcome, ResultRow, ResultRows};
+pub use recorder::{FlightRecorder, QueryRecord};
 pub use schema::{Column, TableSchema};
 pub use session::{Session, StmtHandle};
 pub use value::{DataType, Value};
+pub use vtab::VirtualTableProvider;
 pub use wal::{Corruption, FaultConfig, FaultyIo, RecoveryReport, SlowIo, StdFileIo, WalIo};

@@ -28,17 +28,22 @@
 use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
+
+use xomatiq_obs::trace;
 
 use crate::db::{Database, ResultSet};
 use crate::error::{RelError, RelResult};
-use crate::exec::{ExecStats, OpProfile};
+use crate::exec::{execute_plan_profiled, ExecStats, OpProfile};
 use crate::metrics;
 use crate::plan::PlannedQuery;
+use crate::recorder::QueryRecord;
 use crate::schema::Catalog;
 use crate::sql::ast::{Expr, JoinClause, OrderKey, SelectItem, SelectStmt, Statement, TableRef};
 use crate::sql::parser::parse_statement_with_params;
 use crate::table::Row;
 use crate::value::{DataType, Value};
+use crate::vtab::SYS_PREFIX;
 
 // ---------------------------------------------------------------------------
 // Plan cache
@@ -721,28 +726,44 @@ impl<'a> Query<'a> {
     /// Resolves the query's plan through the plan cache without executing
     /// it (SELECT only). A warm cache makes this skip parse and plan
     /// entirely — the path the bench's ≥100× cache-hit gate measures.
+    /// Statements referencing system virtual tables bypass the cache in
+    /// both directions: their table contents change per query, so a
+    /// cached plan would pin dead snapshot state.
     pub fn planned(&self) -> RelResult<Arc<PlannedQuery>> {
         let m = metrics::engine();
         let (norm, params) = self.norm_and_params()?;
+        let sys = may_reference_system(&norm);
         let key = cache_key(norm, &params);
-        if let Some(planned) = self.db.plan_cache.lock().get(key.as_ref()) {
-            m.cache_hit.inc();
-            return Ok(planned);
+        if !sys {
+            if let Some(planned) = self.db.plan_cache.lock().get(key.as_ref()) {
+                m.cache_hit.inc();
+                return Ok(planned);
+            }
         }
         let stmt = self.statement(&params)?;
         let Statement::Select(select) = stmt else {
             return Err(RelError::Parse("only SELECT can be planned".into()));
         };
         m.cache_miss.inc();
-        let planned = Arc::new(self.db.plan_select_stmt(&self.snapshot, &select)?);
-        self.db
-            .plan_cache
-            .lock()
-            .insert(key.into_owned(), Arc::clone(&planned));
+        let storage = if sys {
+            self.db.storage_for_select(&self.snapshot, &select)?
+        } else {
+            Arc::clone(&self.snapshot)
+        };
+        let planned = Arc::new(self.db.plan_select_stmt(&storage, &select)?);
+        if !sys {
+            self.db
+                .plan_cache
+                .lock()
+                .insert(key.into_owned(), Arc::clone(&planned));
+        }
         Ok(planned)
     }
 
-    /// Executes the statement.
+    /// Executes the statement. Every run carries a trace context — the
+    /// thread's current one (e.g. rooted by the server from a
+    /// client-supplied trace id) or a fresh root — and deposits one
+    /// record in the flight recorder on completion.
     pub fn run(self) -> RelResult<QueryOutcome> {
         if self.with_profile {
             return self.run_profiled();
@@ -750,35 +771,80 @@ impl<'a> Query<'a> {
         if self.reference {
             return self.run_reference();
         }
+        let (_root, trace_id) = ensure_trace();
+        let _qspan = trace::span("relstore.query");
+        let started = Instant::now();
         let m = metrics::engine();
         let (norm, params) = self.norm_and_params()?;
+        let sys = may_reference_system(&norm);
+        let sql_norm = self
+            .db
+            .flight_recorder()
+            .enabled()
+            .then(|| norm.clone().into_owned());
         let key = cache_key(norm, &params);
-        let cached = self.db.plan_cache.lock().get(key.as_ref());
-        if let Some(planned) = cached {
-            m.cache_hit.inc();
-            let (rows, stats) =
-                self.db
-                    .run_planned_query(&self.snapshot, &planned, self.effective_workers())?;
-            return Ok(QueryOutcome {
-                rows,
-                stats: self.with_stats.then_some(stats),
-                profile: None,
-            });
+        if !sys {
+            let cached = self.db.plan_cache.lock().get(key.as_ref());
+            if let Some(planned) = cached {
+                m.cache_hit.inc();
+                trace_mark("relstore.query.cache_hit");
+                let workers = self.effective_workers();
+                let (rows, stats) = self
+                    .db
+                    .run_planned_query(&self.snapshot, &planned, workers)?;
+                record_statement(RecordArgs {
+                    db: self.db,
+                    trace_id,
+                    sql_norm,
+                    rows: rows.len() as u64,
+                    started,
+                    cache_hit: true,
+                    workers,
+                    stats: Some(&stats),
+                    profile_source: Some((&planned, self.snapshot.as_ref())),
+                    profile: None,
+                });
+                return Ok(QueryOutcome {
+                    rows,
+                    stats: self.with_stats.then_some(stats),
+                    profile: None,
+                });
+            }
         }
-        let stmt = self.statement(&params)?;
+        let stmt = {
+            let _t = trace::span("relstore.query.parse");
+            self.statement(&params)?
+        };
         match stmt {
             Statement::Select(select) => {
                 m.cache_miss.inc();
-                let planned = Arc::new(self.db.plan_select_stmt(&self.snapshot, &select)?);
-                self.db
-                    .plan_cache
-                    .lock()
-                    .insert(key.into_owned(), Arc::clone(&planned));
-                let (rows, stats) = self.db.run_planned_query(
-                    &self.snapshot,
-                    &planned,
-                    self.effective_workers(),
-                )?;
+                trace_mark("relstore.query.cache_miss");
+                let storage = if sys {
+                    self.db.storage_for_select(&self.snapshot, &select)?
+                } else {
+                    Arc::clone(&self.snapshot)
+                };
+                let planned = Arc::new(self.db.plan_select_stmt(&storage, &select)?);
+                if !sys {
+                    self.db
+                        .plan_cache
+                        .lock()
+                        .insert(key.into_owned(), Arc::clone(&planned));
+                }
+                let workers = self.effective_workers();
+                let (rows, stats) = self.db.run_planned_query(&storage, &planned, workers)?;
+                record_statement(RecordArgs {
+                    db: self.db,
+                    trace_id,
+                    sql_norm,
+                    rows: rows.len() as u64,
+                    started,
+                    cache_hit: false,
+                    workers,
+                    stats: Some(&stats),
+                    profile_source: Some((&planned, storage.as_ref())),
+                    profile: None,
+                });
                 Ok(QueryOutcome {
                     rows,
                     stats: self.with_stats.then_some(stats),
@@ -790,6 +856,18 @@ impl<'a> Query<'a> {
                     return Err(RelError::Parse("only SELECT reports exec stats".into()));
                 }
                 let rows = self.db.execute_statement(other)?;
+                record_statement(RecordArgs {
+                    db: self.db,
+                    trace_id,
+                    sql_norm,
+                    rows: rows.affected() as u64,
+                    started,
+                    cache_hit: false,
+                    workers: 1,
+                    stats: None,
+                    profile_source: None,
+                    profile: None,
+                });
                 Ok(QueryOutcome {
                     rows,
                     stats: None,
@@ -800,7 +878,15 @@ impl<'a> Query<'a> {
     }
 
     fn run_profiled(self) -> RelResult<QueryOutcome> {
-        let (_, params) = self.norm_and_params()?;
+        let (_root, trace_id) = ensure_trace();
+        let _qspan = trace::span("relstore.query");
+        let started = Instant::now();
+        let (norm, params) = self.norm_and_params()?;
+        let sql_norm = self
+            .db
+            .flight_recorder()
+            .enabled()
+            .then(|| norm.into_owned());
         let select = match self.statement(&params)? {
             Statement::Select(select) => select,
             Statement::Explain { inner, .. } => match *inner {
@@ -809,7 +895,20 @@ impl<'a> Query<'a> {
             },
             _ => return Err(RelError::Parse("only SELECT can be analyzed".into())),
         };
-        let analyzed = self.db.analyze_select(&self.snapshot, &select)?;
+        let storage = self.db.storage_for_select(&self.snapshot, &select)?;
+        let analyzed = self.db.analyze_select(&storage, &select)?;
+        record_statement(RecordArgs {
+            db: self.db,
+            trace_id,
+            sql_norm,
+            rows: analyzed.result.len() as u64,
+            started,
+            cache_hit: false,
+            workers: 1,
+            stats: Some(&analyzed.stats),
+            profile_source: None,
+            profile: Some(analyzed.profile.clone()),
+        });
         Ok(QueryOutcome {
             rows: analyzed.result,
             stats: Some(analyzed.stats),
@@ -817,6 +916,9 @@ impl<'a> Query<'a> {
         })
     }
 
+    /// The reference interpreter stays a pure oracle: no tracing, no
+    /// flight-recorder writes — the property suite compares its rows
+    /// against the streaming executor's, nothing else.
     fn run_reference(self) -> RelResult<QueryOutcome> {
         let (_, params) = self.norm_and_params()?;
         let Statement::Select(select) = self.statement(&params)? else {
@@ -824,13 +926,110 @@ impl<'a> Query<'a> {
                 "only SELECT runs on the reference executor".into(),
             ));
         };
-        let rows = self.db.run_select_reference(&self.snapshot, &select)?;
+        let storage = self.db.storage_for_select(&self.snapshot, &select)?;
+        let rows = self.db.run_select_reference(&storage, &select)?;
         Ok(QueryOutcome {
             rows,
             stats: None,
             profile: None,
         })
     }
+}
+
+/// Conservative pre-parse filter for system-table references: normalized
+/// SQL mentioning `sys_` anywhere bypasses the plan cache. Identifiers
+/// are lowercased by normalization so every real reference matches; a
+/// false positive (the prefix inside a string literal) merely skips the
+/// cache for that statement.
+fn may_reference_system(norm: &str) -> bool {
+    norm.contains(SYS_PREFIX)
+}
+
+/// Adopts the thread's current trace context or roots a fresh trace.
+/// Returns the guard holding the root scope open (`None` when adopted)
+/// and the trace id this statement runs under.
+fn ensure_trace() -> (Option<trace::ScopeGuard>, u64) {
+    match trace::current() {
+        Some(ctx) => (None, ctx.trace_id),
+        None => {
+            let ctx = trace::TraceCtx::root();
+            let trace_id = ctx.trace_id;
+            (Some(trace::scope(ctx)), trace_id)
+        }
+    }
+}
+
+/// Zero-length marker span under the current context (plan-cache
+/// hit/miss outcomes).
+fn trace_mark(name: &'static str) {
+    if let Some(ctx) = trace::current() {
+        trace::emit(name, ctx, 0);
+    }
+}
+
+/// Emits one trace span per operator of a captured profile, preserving
+/// the operator tree shape under `parent`.
+fn emit_profile_spans(node: &OpProfile, trace_id: u64, parent: u64) {
+    let id = trace::emit_with_parent(node.op.clone(), trace_id, parent, node.total_ns);
+    for child in &node.children {
+        emit_profile_spans(child, trace_id, id);
+    }
+}
+
+struct RecordArgs<'a> {
+    db: &'a Database,
+    trace_id: u64,
+    /// `None` when the recorder is disabled (spares the allocation).
+    sql_norm: Option<String>,
+    rows: u64,
+    started: Instant,
+    cache_hit: bool,
+    workers: usize,
+    stats: Option<&'a ExecStats>,
+    /// Plan + pinned snapshot, for re-profiling a statement that turns
+    /// out slow (MVCC guarantees the re-run sees identical rows).
+    profile_source: Option<(&'a PlannedQuery, &'a crate::db::Storage)>,
+    /// A profile the run already produced (`with_profile` path).
+    profile: Option<OpProfile>,
+}
+
+/// Deposits one completed statement into the flight recorder. Statements
+/// at or above the slow threshold keep a per-operator profile — either
+/// the one the run produced, or one captured now by re-executing the
+/// plan against the statement's own snapshot — and mirror it into the
+/// trace tree as per-operator spans.
+fn record_statement(args: RecordArgs<'_>) {
+    let rec = args.db.flight_recorder();
+    if !rec.enabled() {
+        return;
+    }
+    let latency_ns = u64::try_from(args.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let slow = latency_ns >= rec.slow_ns();
+    let mut profile = slow.then_some(args.profile).flatten();
+    if slow && profile.is_none() {
+        if let Some((planned, storage)) = args.profile_source {
+            profile = execute_plan_profiled(&planned.plan, storage)
+                .ok()
+                .map(|(_, _, _, p)| p);
+        }
+    }
+    if let Some(p) = profile.as_ref() {
+        if let Some(ctx) = trace::current() {
+            emit_profile_spans(p, ctx.trace_id, ctx.span_id);
+        }
+    }
+    rec.record(QueryRecord {
+        query_id: rec.next_query_id(),
+        trace_id: args.trace_id,
+        sql: args.sql_norm.unwrap_or_default(),
+        rows: args.rows,
+        latency_ns,
+        cache_hit: args.cache_hit,
+        workers: u32::try_from(args.workers).unwrap_or(u32::MAX),
+        segments_pruned: args.stats.map_or(0, |s| s.segments_pruned),
+        slow,
+        profile,
+    });
 }
 
 impl Database {

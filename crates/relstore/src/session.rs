@@ -31,8 +31,12 @@ pub struct StmtHandle {
 }
 
 /// Per-connection state over a shared [`Database`]. See the module docs.
+///
+/// Each session registers itself with the database on construction and
+/// unregisters on drop, which is what `sys_sessions` rows are made of.
 pub struct Session {
     db: Arc<Database>,
+    id: u64,
     prepared: HashMap<u32, Prepared>,
     next_stmt_id: u32,
     workers: Option<usize>,
@@ -42,12 +46,20 @@ impl Session {
     /// A fresh session over `db` with no prepared statements and the
     /// database's default worker count.
     pub fn new(db: Arc<Database>) -> Session {
+        let id = db.register_session();
         Session {
             db,
+            id,
             prepared: HashMap::new(),
             next_stmt_id: 1,
             workers: None,
         }
+    }
+
+    /// The database-assigned session id (the `sys_sessions.session_id`
+    /// this session shows up under).
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     /// The shared database this session runs against.
@@ -59,6 +71,8 @@ impl Session {
     /// session (`None` restores the database default).
     pub fn set_workers(&mut self, workers: Option<usize>) {
         self.workers = workers.map(|w| w.max(1));
+        let workers = self.workers;
+        self.db.update_session(self.id, |s| s.workers = workers);
     }
 
     /// The session's worker override, if any.
@@ -81,6 +95,7 @@ impl Session {
         if let Some(w) = self.workers {
             q = q.with_workers(w);
         }
+        self.db.update_session(self.id, |s| s.queries += 1);
         q.run()
     }
 
@@ -94,6 +109,8 @@ impl Session {
         };
         self.next_stmt_id += 1;
         self.prepared.insert(handle.id, prepared);
+        let live = self.prepared.len();
+        self.db.update_session(self.id, |s| s.prepared = live);
         Ok(handle)
     }
 
@@ -111,12 +128,16 @@ impl Session {
         if let Some(w) = self.workers {
             q = q.with_workers(w);
         }
+        self.db.update_session(self.id, |s| s.queries += 1);
         q.run()
     }
 
     /// Drops a prepared statement; `false` if the id was not live.
     pub fn close_stmt(&mut self, id: u32) -> bool {
-        self.prepared.remove(&id).is_some()
+        let removed = self.prepared.remove(&id).is_some();
+        let live = self.prepared.len();
+        self.db.update_session(self.id, |s| s.prepared = live);
+        removed
     }
 
     /// Renders the plan tree (or, with `analyze`, runs the query and
@@ -127,6 +148,12 @@ impl Session {
         } else {
             self.db.explain(sql)
         }
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        self.db.unregister_session(self.id);
     }
 }
 

@@ -110,6 +110,32 @@ fn server_hist_quantile(q: f64) -> f64 {
     0.0
 }
 
+/// A single-row `COUNT(*)`-style integer result over the wire.
+fn count(client: &mut Client, sql: &str) -> i64 {
+    let reply = client.query(sql, vec![]).expect("system catalog query");
+    match reply.rows()[0][0] {
+        Value::Int(n) => n,
+        ref v => panic!("expected Int from {sql}, got {v:?}"),
+    }
+}
+
+/// After the run, the server's own telemetry must be queryable over the
+/// same wire: an empty system catalog here means the observability
+/// plumbing bit-rotted, so fail the bench loudly.
+fn check_introspection(addr: std::net::SocketAddr) {
+    let mut probe = Client::connect(addr).expect("connect introspection probe");
+    probe.set_trace(Some(0x10ad));
+    let metrics = count(
+        &mut probe,
+        "SELECT COUNT(*) FROM sys_metrics WHERE name LIKE 'server.%'",
+    );
+    assert!(metrics > 0, "sys_metrics has no server.* rows after load");
+    let queries = count(&mut probe, "SELECT COUNT(*) FROM sys_queries");
+    assert!(queries > 0, "sys_queries is empty after the load run");
+    probe.goodbye().expect("goodbye");
+    eprintln!("introspection: {metrics} server metric rows, {queries} recorded statements");
+}
+
 fn main() {
     let (rows, clients, requests) = scale();
     eprintln!("seeding {rows} rows...");
@@ -134,6 +160,7 @@ fn main() {
         latencies.extend(h.join().expect("client thread"));
     }
     let elapsed = started.elapsed();
+    check_introspection(addr);
     server.shutdown();
 
     latencies.sort_unstable();

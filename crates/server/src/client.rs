@@ -75,9 +75,14 @@ impl QueryReply {
 
 /// A connected session. One request is in flight at a time; every method
 /// writes a frame and blocks for its response.
+///
+/// With [`Client::set_trace`] armed, every request travels inside a
+/// [`Request::Traced`] envelope carrying that id; the server roots its
+/// spans under it, and `sys_queries.trace_id` reports it back as hex.
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
+    trace_id: Option<u64>,
 }
 
 impl Client {
@@ -86,7 +91,10 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> ClientResult<Client> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
-        let mut client = Client { stream };
+        let mut client = Client {
+            stream,
+            trace_id: None,
+        };
         match client.read_response()? {
             Response::Hello { admitted: true } => Ok(client),
             Response::Hello { admitted: false } => Err(ClientError::Busy),
@@ -94,10 +102,40 @@ impl Client {
         }
     }
 
-    fn roundtrip(&mut self, request: &Request) -> ClientResult<Response> {
+    /// Arms (or clears) the trace id attached to every subsequent
+    /// request on this client.
+    pub fn set_trace(&mut self, trace_id: Option<u64>) {
+        self.trace_id = trace_id;
+    }
+
+    /// The currently armed trace id, if any.
+    pub fn trace_id(&self) -> Option<u64> {
+        self.trace_id
+    }
+
+    fn roundtrip(&mut self, request: Request) -> ClientResult<Response> {
+        let request = match self.trace_id {
+            Some(trace_id) => Request::Traced {
+                trace_id,
+                inner: Box::new(request),
+            },
+            None => request,
+        };
         self.stream.write_all(&request.encode())?;
         self.stream.flush()?;
-        match self.read_response()? {
+        let resp = match self.read_response()? {
+            Response::Traced { trace_id, inner } => {
+                if self.trace_id != Some(trace_id) {
+                    return Err(ClientError::Protocol(format!(
+                        "trace id mismatch: sent {:?}, got {trace_id}",
+                        self.trace_id
+                    )));
+                }
+                *inner
+            }
+            other => other,
+        };
+        match resp {
             Response::Error { code, message } => Err(ClientError::Server { code, message }),
             other => Ok(other),
         }
@@ -115,7 +153,7 @@ impl Client {
 
     /// Runs one SQL statement with positional parameters.
     pub fn query(&mut self, sql: &str, params: Vec<Value>) -> ClientResult<QueryReply> {
-        let resp = self.roundtrip(&Request::Query {
+        let resp = self.roundtrip(Request::Query {
             sql: sql.to_string(),
             params,
         })?;
@@ -124,7 +162,7 @@ impl Client {
 
     /// Prepares a statement; returns `(stmt_id, param_count)`.
     pub fn prepare(&mut self, sql: &str) -> ClientResult<(u32, usize)> {
-        match self.roundtrip(&Request::Prepare {
+        match self.roundtrip(Request::Prepare {
             sql: sql.to_string(),
         })? {
             Response::Prepared {
@@ -137,13 +175,13 @@ impl Client {
 
     /// Executes a prepared statement by handle.
     pub fn execute(&mut self, stmt_id: u32, params: Vec<Value>) -> ClientResult<QueryReply> {
-        let resp = self.roundtrip(&Request::Execute { stmt_id, params })?;
+        let resp = self.roundtrip(Request::Execute { stmt_id, params })?;
         reply_from(resp)
     }
 
     /// Closes a prepared statement; `true` if the handle existed.
     pub fn close_stmt(&mut self, stmt_id: u32) -> ClientResult<bool> {
-        match self.roundtrip(&Request::CloseStmt { stmt_id })? {
+        match self.roundtrip(Request::CloseStmt { stmt_id })? {
             Response::Closed { existed } => Ok(existed),
             other => Err(unexpected("Closed", &other)),
         }
@@ -151,7 +189,7 @@ impl Client {
 
     /// `EXPLAIN` (or `EXPLAIN ANALYZE`) rendering for a `SELECT`.
     pub fn explain(&mut self, sql: &str, analyze: bool) -> ClientResult<String> {
-        match self.roundtrip(&Request::Explain {
+        match self.roundtrip(Request::Explain {
             sql: sql.to_string(),
             analyze,
         })? {
@@ -162,7 +200,7 @@ impl Client {
 
     /// Liveness probe.
     pub fn ping(&mut self) -> ClientResult<()> {
-        match self.roundtrip(&Request::Ping)? {
+        match self.roundtrip(Request::Ping)? {
             Response::Pong => Ok(()),
             other => Err(unexpected("Pong", &other)),
         }
@@ -170,7 +208,15 @@ impl Client {
 
     /// The server's deterministic metrics snapshot (text rendering).
     pub fn metrics(&mut self) -> ClientResult<String> {
-        match self.roundtrip(&Request::Metrics)? {
+        match self.roundtrip(Request::Metrics)? {
+            Response::Text { body } => Ok(body),
+            other => Err(unexpected("Text", &other)),
+        }
+    }
+
+    /// The server's metrics snapshot as a JSON document.
+    pub fn metrics_json(&mut self) -> ClientResult<String> {
+        match self.roundtrip(Request::MetricsJson)? {
             Response::Text { body } => Ok(body),
             other => Err(unexpected("Text", &other)),
         }
@@ -178,7 +224,7 @@ impl Client {
 
     /// Applies a session-local setting, e.g. `set("workers", "4")`.
     pub fn set(&mut self, name: &str, value: &str) -> ClientResult<String> {
-        match self.roundtrip(&Request::Set {
+        match self.roundtrip(Request::Set {
             name: name.to_string(),
             value: value.to_string(),
         })? {
@@ -189,7 +235,7 @@ impl Client {
 
     /// Ends the session gracefully, waiting for the server's `Bye`.
     pub fn goodbye(mut self) -> ClientResult<()> {
-        match self.roundtrip(&Request::Goodbye)? {
+        match self.roundtrip(Request::Goodbye)? {
             Response::Bye => Ok(()),
             other => Err(unexpected("Bye", &other)),
         }

@@ -75,6 +75,20 @@ pub enum Request {
     },
     /// Graceful end of session; the server answers [`Response::Bye`].
     Goodbye,
+    /// Metrics snapshot rendered as JSON (the `obs` JSON rendering).
+    MetricsJson,
+    /// Any other request, carrying a client-chosen trace id. The server
+    /// adopts the id as the request's trace root and echoes it back in a
+    /// [`Response::Traced`] wrapper, which is what lets a client join its
+    /// own spans with the server's in one trace tree. Wrappers do not
+    /// nest.
+    Traced {
+        /// Client-chosen trace id (any nonzero u64; 0 is legal but
+        /// indistinguishable from "untraced" in most sinks).
+        trace_id: u64,
+        /// The request to serve under that trace.
+        inner: Box<Request>,
+    },
 }
 
 /// Server→client messages.
@@ -126,6 +140,14 @@ pub enum Response {
     },
     /// Answer to [`Request::Goodbye`]; the server closes after sending it.
     Bye,
+    /// The response to a [`Request::Traced`], echoing the trace id so the
+    /// client can correlate without bookkeeping.
+    Traced {
+        /// The trace id from the request.
+        trace_id: u64,
+        /// The wrapped response. Wrappers do not nest.
+        inner: Box<Response>,
+    },
 }
 
 // --- payload primitives ----------------------------------------------------
@@ -218,6 +240,13 @@ impl<'a> Cursor<'a> {
         })
     }
 
+    /// Everything left in the payload (used for nested frame bodies).
+    fn rest(&mut self) -> &'a [u8] {
+        let out = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        out
+    }
+
     fn values(&mut self) -> io::Result<Vec<Value>> {
         let n = self.u32()? as usize;
         let mut out = Vec::with_capacity(n.min(1024));
@@ -257,6 +286,8 @@ impl Request {
             Request::Metrics => 0x07,
             Request::Set { .. } => 0x08,
             Request::Goodbye => 0x09,
+            Request::Traced { .. } => 0x0a,
+            Request::MetricsJson => 0x0b,
         }
     }
 
@@ -278,10 +309,15 @@ impl Request {
                 put_str(&mut payload, sql);
                 payload.push(u8::from(*analyze));
             }
-            Request::Ping | Request::Metrics | Request::Goodbye => {}
+            Request::Ping | Request::Metrics | Request::MetricsJson | Request::Goodbye => {}
             Request::Set { name, value } => {
                 put_str(&mut payload, name);
                 put_str(&mut payload, value);
+            }
+            Request::Traced { trace_id, inner } => {
+                payload.extend_from_slice(&trace_id.to_le_bytes());
+                // Nested body = the inner frame minus its length prefix.
+                payload.extend_from_slice(&inner.encode()[4..]);
             }
         }
         frame(self.opcode(), payload)
@@ -313,6 +349,18 @@ impl Request {
                 value: c.str()?,
             },
             0x09 => Request::Goodbye,
+            0x0a => {
+                let trace_id = c.u64()?;
+                let inner = Request::decode(c.rest())?;
+                if matches!(inner, Request::Traced { .. }) {
+                    return Err(malformed("nested trace wrapper"));
+                }
+                Request::Traced {
+                    trace_id,
+                    inner: Box::new(inner),
+                }
+            }
+            0x0b => Request::MetricsJson,
             op => return Err(malformed(&format!("unknown request opcode {op:#x}"))),
         };
         c.finish()?;
@@ -332,6 +380,7 @@ impl Response {
             Response::Text { .. } => 0x87,
             Response::Closed { .. } => 0x88,
             Response::Bye => 0x89,
+            Response::Traced { .. } => 0x8a,
         }
     }
 
@@ -365,6 +414,10 @@ impl Response {
             Response::Pong | Response::Bye => {}
             Response::Text { body } => put_str(&mut payload, body),
             Response::Closed { existed } => payload.push(u8::from(*existed)),
+            Response::Traced { trace_id, inner } => {
+                payload.extend_from_slice(&trace_id.to_le_bytes());
+                payload.extend_from_slice(&inner.encode()[4..]);
+            }
         }
         frame(self.opcode(), payload)
     }
@@ -405,6 +458,17 @@ impl Response {
                 existed: c.u8()? != 0,
             },
             0x89 => Response::Bye,
+            0x8a => {
+                let trace_id = c.u64()?;
+                let inner = Response::decode(c.rest())?;
+                if matches!(inner, Response::Traced { .. }) {
+                    return Err(malformed("nested trace wrapper"));
+                }
+                Response::Traced {
+                    trace_id,
+                    inner: Box::new(inner),
+                }
+            }
             op => return Err(malformed(&format!("unknown response opcode {op:#x}"))),
         };
         c.finish()?;
@@ -480,6 +544,14 @@ mod tests {
                 value: "4".into(),
             },
             Request::Goodbye,
+            Request::MetricsJson,
+            Request::Traced {
+                trace_id: 0xdead_beef_cafe_f00d,
+                inner: Box::new(Request::Query {
+                    sql: "SELECT 1".into(),
+                    params: vec![Value::Int(9)],
+                }),
+            },
         ];
         for req in reqs {
             let frame = req.encode();
@@ -514,6 +586,13 @@ mod tests {
             },
             Response::Closed { existed: true },
             Response::Bye,
+            Response::Traced {
+                trace_id: 7,
+                inner: Box::new(Response::Rows {
+                    columns: vec!["n".into()],
+                    rows: vec![vec![Value::Int(1)]],
+                }),
+            },
         ];
         for resp in resps {
             let frame = resp.encode();
@@ -534,6 +613,15 @@ mod tests {
         frame[0] += 1; // lengthen the body
         frame.push(0xee);
         let body = read_frame(&mut &frame[..]).unwrap().unwrap();
+        assert!(Request::decode(&body).is_err());
+        // A trace wrapper may not nest another trace wrapper.
+        let nested = Request::Traced {
+            trace_id: 1,
+            inner: Box::new(Request::Ping),
+        };
+        let mut body = vec![0x0a];
+        body.extend_from_slice(&2u64.to_le_bytes());
+        body.extend_from_slice(&nested.encode()[4..]);
         assert!(Request::decode(&body).is_err());
         // Oversized length prefix.
         let huge = ((MAX_FRAME_LEN + 1) as u32).to_le_bytes();

@@ -22,6 +22,7 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
+use xomatiq_obs::trace::{self, TraceCtx};
 use xomatiq_obs::{Counter, Gauge, Histogram};
 use xomatiq_relstore::{Database, Session, Value};
 
@@ -336,10 +337,31 @@ fn run_session(mut stream: TcpStream, shared: &Shared) {
                 return;
             }
         };
+        // Unwrap a trace envelope: the client-chosen id becomes this
+        // request's trace root, so every span the engine opens below —
+        // parse, plan, exec, even the WAL group-commit flush on another
+        // session's thread — links into the client's trace.
+        let (trace_id, request) = match request {
+            Request::Traced { trace_id, inner } => (Some(trace_id), *inner),
+            other => (None, other),
+        };
         let goodbye = matches!(request, Request::Goodbye);
         shared.metrics.requests.inc();
         let started = Instant::now();
-        let response = handle_request(&mut session, request);
+        let response = match trace_id {
+            Some(id) => {
+                let _trace = trace::scope(TraceCtx::with_trace_id(id));
+                let inner = {
+                    let _root = trace::span("server.request");
+                    handle_request(&mut session, request)
+                };
+                Response::Traced {
+                    trace_id: id,
+                    inner: Box::new(inner),
+                }
+            }
+            None => handle_request(&mut session, request),
+        };
         shared
             .metrics
             .latency_ns
@@ -381,8 +403,17 @@ fn handle_request(session: &mut Session, request: Request) -> Response {
         Request::Metrics => Response::Text {
             body: xomatiq_obs::global().snapshot().render_text(),
         },
+        Request::MetricsJson => Response::Text {
+            body: xomatiq_obs::global().snapshot().render_json(),
+        },
         Request::Set { name, value } => apply_set(session, &name, &value),
         Request::Goodbye => Response::Bye,
+        // The session loop unwraps envelopes before dispatch; one that
+        // reaches here (wrappers do not nest) is a protocol violation.
+        Request::Traced { .. } => Response::Error {
+            code: "proto".to_string(),
+            message: "unexpected nested trace wrapper".to_string(),
+        },
     }
 }
 

@@ -1,0 +1,280 @@
+//! End-to-end request tracing over real TCP sockets: a client-supplied
+//! trace id must show up on every span of the request's trace tree —
+//! including the WAL group-commit span emitted by a flush leader running
+//! on a *different* session's thread — and round-trip through the
+//! `sys_queries` virtual table.
+
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, ThreadId};
+use std::time::{Duration, Instant};
+
+use xomatiq_obs::trace::{self, TraceSink, TraceSpanEvent};
+use xomatiq_relstore::vtab::trace_id_text;
+use xomatiq_relstore::{Database, Value, WalIo};
+use xomatiq_server::{start, Client, QueryReply, ServerConfig};
+
+/// The trace sink is process-global; tests that install one take this
+/// lock so they never observe each other's spans.
+static SINK_LOCK: Mutex<()> = Mutex::new(());
+
+fn serve(db: Arc<Database>) -> xomatiq_server::ServerHandle {
+    start(
+        db,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_connections: 8,
+        },
+    )
+    .expect("start server")
+}
+
+/// A sink that remembers which OS thread recorded each span — the fact
+/// the cross-thread group-commit assertion is about.
+#[derive(Default)]
+struct ThreadSink {
+    spans: Mutex<Vec<(TraceSpanEvent, ThreadId)>>,
+}
+
+impl ThreadSink {
+    fn spans(&self) -> Vec<(TraceSpanEvent, ThreadId)> {
+        self.spans.lock().unwrap().clone()
+    }
+
+    /// The thread that recorded the first span named `name` in `trace`.
+    fn thread_of(&self, trace_id: u64, name: &str) -> Option<ThreadId> {
+        self.spans()
+            .into_iter()
+            .find(|(s, _)| s.trace_id == trace_id && s.name == name)
+            .map(|(_, t)| t)
+    }
+}
+
+impl TraceSink for ThreadSink {
+    fn record(&self, span: &TraceSpanEvent) {
+        self.spans
+            .lock()
+            .unwrap()
+            .push((span.clone(), thread::current().id()));
+    }
+}
+
+#[test]
+fn client_trace_id_reaches_every_span_and_sys_queries() {
+    let _guard = SINK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // A durable database, so commits exercise the WAL spans too (the
+    // gate stays open throughout this test).
+    let (db, _) = Database::open_with_io(Box::<GateIo>::default()).unwrap();
+    let db = Arc::new(db);
+    let server = serve(Arc::clone(&db));
+    let sink = Arc::new(ThreadSink::default());
+    trace::set_trace_sink(Some(sink.clone()));
+
+    let trace_id = 0x00c0_ffee_0000_beef_u64;
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.set_trace(Some(trace_id));
+    client.query("CREATE TABLE t (a INT)", vec![]).unwrap();
+    client
+        .query("INSERT INTO t VALUES (?)", vec![Value::Int(7)])
+        .unwrap();
+    let reply = client.query("SELECT COUNT(*) FROM t", vec![]).unwrap();
+    assert_eq!(reply.rows()[0][0], Value::Int(1));
+
+    // The engine's spans all carry the id the client chose, rooted under
+    // the server's per-request span.
+    let spans: Vec<TraceSpanEvent> = sink
+        .spans()
+        .into_iter()
+        .map(|(s, _)| s)
+        .filter(|s| s.trace_id == trace_id)
+        .collect();
+    let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+    for expected in [
+        "server.request",
+        "relstore.query",
+        "relstore.query.parse",
+        "relstore.query.plan",
+        "relstore.query.exec",
+        "relstore.wal.commit_wait",
+        "relstore.wal.group_commit",
+    ] {
+        assert!(names.contains(&expected), "missing {expected} in {names:?}");
+    }
+    // No span of these requests escaped to another trace: every
+    // server.request span recorded carries the client's id.
+    assert!(sink
+        .spans()
+        .iter()
+        .filter(|(s, _)| s.name == "server.request")
+        .all(|(s, _)| s.trace_id == trace_id));
+    // The tree renders with the request as a root.
+    let tree = trace::render_trace_tree(&spans, trace_id);
+    assert!(tree.starts_with("server.request"), "tree:\n{tree}");
+
+    // And the flight recorder reports the same id, queryable over the
+    // same wire connection.
+    let reply = client
+        .query(
+            "SELECT COUNT(*) FROM sys_queries WHERE trace_id = ?",
+            vec![Value::Text(trace_id_text(trace_id))],
+        )
+        .unwrap();
+    match reply.rows()[0][0] {
+        Value::Int(n) => assert!(n >= 3, "expected at least 3 recorded statements, got {n}"),
+        ref v => panic!("expected Int, got {v:?}"),
+    }
+
+    trace::set_trace_sink(None);
+}
+
+/// A WAL backend whose fsync can be held shut, so a group-commit flush
+/// leader stays stuck mid-flush while other sessions enqueue commits.
+#[derive(Debug, Default)]
+struct GateIo {
+    log: Vec<u8>,
+    gate: Arc<Gate>,
+}
+
+#[derive(Debug, Default)]
+struct Gate {
+    closed: Mutex<bool>,
+    opened: Condvar,
+    stuck: AtomicBool,
+}
+
+impl Gate {
+    fn engage(&self) {
+        *self.closed.lock().unwrap() = true;
+    }
+
+    fn release(&self) {
+        *self.closed.lock().unwrap() = false;
+        self.opened.notify_all();
+    }
+
+    fn pass(&self) {
+        let mut closed = self.closed.lock().unwrap();
+        if *closed {
+            self.stuck.store(true, Ordering::SeqCst);
+        }
+        while *closed {
+            closed = self.opened.wait(closed).unwrap();
+        }
+    }
+}
+
+impl WalIo for GateIo {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.log.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn fsync(&mut self) -> io::Result<()> {
+        self.gate.pass();
+        Ok(())
+    }
+
+    fn read_all(&mut self) -> io::Result<Vec<u8>> {
+        Ok(self.log.clone())
+    }
+
+    fn truncate_to(&mut self, len: u64) -> io::Result<()> {
+        self.log.truncate(len as usize);
+        Ok(())
+    }
+}
+
+/// Three sessions commit concurrently while the first flush is held shut:
+/// the first committer becomes the flush leader and sticks in fsync; the
+/// other two enqueue behind it and are flushed together by ONE leader
+/// thread once the gate opens. That leader belongs to one session, so at
+/// least one of the two traces must receive its `group_commit` span from
+/// a thread other than the one that served its query — the cross-session
+/// linkage the trace model promises.
+#[test]
+fn group_commit_leader_span_links_other_sessions_traces() {
+    let _guard = SINK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let gate = Arc::new(Gate::default());
+    let io = GateIo {
+        log: Vec::new(),
+        gate: Arc::clone(&gate),
+    };
+    let (db, _report) = Database::open_with_io(Box::new(io)).unwrap();
+    let db = Arc::new(db);
+    let server = serve(Arc::clone(&db));
+    let sink = Arc::new(ThreadSink::default());
+    trace::set_trace_sink(Some(sink.clone()));
+
+    let mut setup = Client::connect(server.local_addr()).unwrap();
+    setup.query("CREATE TABLE t (a INT)", vec![]).unwrap();
+
+    // Hold the WAL shut, then let session A commit: it becomes the flush
+    // leader and blocks inside fsync with only its own frame taken.
+    gate.engage();
+    let addr = server.local_addr();
+    let commit = |trace_id: u64| {
+        thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            c.set_trace(Some(trace_id));
+            let reply = c
+                .query(
+                    "INSERT INTO t VALUES (?)",
+                    vec![Value::Int(trace_id as i64)],
+                )
+                .unwrap();
+            assert_eq!(reply, QueryReply::Affected(1));
+        })
+    };
+    let a = commit(0xaaaa);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !gate.stuck.load(Ordering::SeqCst) {
+        assert!(Instant::now() < deadline, "leader never reached fsync");
+        thread::sleep(Duration::from_millis(10));
+    }
+
+    // Sessions B and C commit while the leader is stuck: they enqueue
+    // behind the in-flight flush and wait.
+    let b = commit(0xbbbb);
+    let c = commit(0xcccc);
+    thread::sleep(Duration::from_millis(500));
+    gate.release();
+    for t in [a, b, c] {
+        t.join().unwrap();
+    }
+
+    // Every trace got its group-commit span…
+    for trace_id in [0xaaaa_u64, 0xbbbb, 0xcccc] {
+        assert!(
+            sink.thread_of(trace_id, "relstore.wal.group_commit")
+                .is_some(),
+            "trace {trace_id:#x} has no group_commit span"
+        );
+    }
+    // …and B and C were flushed by one leader thread, which can belong
+    // to at most one of their sessions: the other trace's group_commit
+    // span was emitted by a thread that never served its query.
+    let gc_b = sink.thread_of(0xbbbb, "relstore.wal.group_commit").unwrap();
+    let gc_c = sink.thread_of(0xcccc, "relstore.wal.group_commit").unwrap();
+    assert_eq!(gc_b, gc_c, "B and C were not flushed by the same leader");
+    let q_b = sink.thread_of(0xbbbb, "relstore.query").unwrap();
+    let q_c = sink.thread_of(0xcccc, "relstore.query").unwrap();
+    assert_ne!(q_b, q_c, "B and C should run on distinct session threads");
+    assert!(
+        gc_b != q_b || gc_c != q_c,
+        "one of B/C must get its group_commit span from another session's thread"
+    );
+
+    trace::set_trace_sink(None);
+}
+
+#[test]
+fn metrics_json_travels_over_the_wire() {
+    let db = Arc::new(Database::in_memory());
+    let server = serve(Arc::clone(&db));
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.ping().unwrap();
+    let body = client.metrics_json().unwrap();
+    assert!(body.starts_with("{\"metrics\":["), "not JSON: {body}");
+    assert!(body.contains("\"name\":\"server.requests\""));
+}

@@ -22,7 +22,8 @@
 //! .sql <sql>                       run raw SQL through the Query builder
 //! .explain <sql>                   show a SQL statement's plan tree
 //! .explain analyze <sql>           run the SQL, print per-operator profile
-//! .stats                           dump the process metrics registry
+//! .stats [--json]                  dump the process metrics registry
+//! .top [n]                         slowest recent queries (sys_queries)
 //! xml                              toggle XML result view (default: table)
 //! FOR ...                          any FLWR query, run immediately
 //! help | quit
@@ -202,7 +203,22 @@ fn main() {
                 run_sql(&xq, rest, xml_view);
             }
             Some(cmd) if cmd.eq_ignore_ascii_case(".stats") => {
-                print!("{}", xomatiq_obs::global().snapshot().render_text());
+                let snap = xomatiq_obs::global().snapshot();
+                if parts
+                    .next()
+                    .is_some_and(|w| w.eq_ignore_ascii_case("--json"))
+                {
+                    print!("{}", snap.render_json());
+                } else {
+                    print!("{}", snap.render_text());
+                }
+            }
+            Some(cmd) if cmd.eq_ignore_ascii_case(".top") => {
+                let n: usize = parts.next().and_then(|s| s.parse().ok()).unwrap_or(10);
+                match xq.db().query(&top_sql(n)).run() {
+                    Ok(out) => print!("{}", render_result_set(&out.rows)),
+                    Err(e) => println!("{e}"),
+                }
             }
             Some(cmd) if cmd.eq_ignore_ascii_case(".explain") => {
                 let rest = trimmed[cmd.len()..].trim();
@@ -285,10 +301,31 @@ fn remote_repl(addr: &str) {
                 Ok(()) => println!("pong"),
                 Err(e) => println!("{e}"),
             },
-            Some(cmd) if cmd.eq_ignore_ascii_case(".stats") => match client.metrics() {
-                Ok(text) => print!("{text}"),
-                Err(e) => println!("{e}"),
-            },
+            Some(cmd) if cmd.eq_ignore_ascii_case(".stats") => {
+                let json = parts
+                    .next()
+                    .is_some_and(|w| w.eq_ignore_ascii_case("--json"));
+                let result = if json {
+                    client.metrics_json()
+                } else {
+                    client.metrics()
+                };
+                match result {
+                    Ok(text) => print!("{text}"),
+                    Err(e) => println!("{e}"),
+                }
+            }
+            Some(cmd) if cmd.eq_ignore_ascii_case(".top") => {
+                let n: usize = parts.next().and_then(|s| s.parse().ok()).unwrap_or(10);
+                match client.query(&top_sql(n), vec![]) {
+                    Ok(xomatiq_server::QueryReply::Rows { columns, rows }) => {
+                        let rs = xomatiq_relstore::ResultSet::from_parts(columns, rows);
+                        print!("{}", render_result_set(&rs));
+                    }
+                    Ok(xomatiq_server::QueryReply::Affected(_)) => {}
+                    Err(e) => println!("{e}"),
+                }
+            }
             Some(cmd) if cmd.eq_ignore_ascii_case("set") => {
                 let (Some(name), Some(value)) = (parts.next(), parts.next()) else {
                     println!("usage: set workers <n|default>");
@@ -340,6 +377,15 @@ fn remote_repl(addr: &str) {
         }
     }
     let _ = client.goodbye();
+}
+
+/// The `.top [n]` command is plain SQL over the `sys_queries` virtual
+/// table, which is exactly why it works identically against an embedded
+/// warehouse and over `--connect`.
+fn top_sql(n: usize) -> String {
+    format!(
+        "SELECT query_id, trace_id, latency_ns, rows, cache_hit, slow, sql          FROM sys_queries ORDER BY latency_ns DESC LIMIT {n}"
+    )
 }
 
 fn run_query(xq: &Xomatiq, query: &str, xml_view: bool) {
@@ -441,7 +487,8 @@ explain FOR ... RETURN ...        show generated SQL and plan
 .sql <statement>                  run raw SQL through the Query builder
 .explain SELECT ...               show a SQL statement's plan tree
 .explain analyze SELECT ...       run the SQL and print the per-operator profile
-.stats                            dump the process metrics registry
+.stats [--json]                   dump the process metrics registry
+.top [n]                          slowest recent queries from sys_queries
 xml                               toggle XML result view
 FOR ... RETURN ... ;              run a FLWR query (end with ';' or blank line)
 quit
@@ -450,7 +497,8 @@ quit
 const REMOTE_HELP: &str = r#"
 <sql statement>                   run SQL on the server (also: .sql <statement>)
 .explain [analyze] SELECT ...     server-side plan tree / per-operator profile
-.stats                            the server's metrics snapshot (METRICS frame)
+.stats [--json]                   the server's metrics snapshot (text or JSON)
+.top [n]                          the server's slowest recent queries (sys_queries)
 set workers <n|default>           session-local worker override
 ping                              liveness probe
 quit                              graceful goodbye
