@@ -186,7 +186,9 @@ impl Xomatiq {
         let translated = translate(&parsed, self)?;
         let plan = self
             .db
-            .explain(&translated.sql)
+            .query(&translated.sql)
+            .explain()
+            .map(|tree| tree.render())
             .map_err(|e| XomatiqError::Execution(e.to_string()))?;
         Ok(format!("-- SQL\n{}\n-- Plan\n{}", translated.sql, plan))
     }

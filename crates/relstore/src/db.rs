@@ -59,6 +59,7 @@ use crate::recorder::FlightRecorder;
 use crate::schema::{Catalog, Column, IndexDef, TableSchema};
 use crate::sql::ast::{SelectStmt, Statement};
 use crate::sql::parser::parse_statement;
+use crate::stats::StatsCatalog;
 use crate::table::{Row, RowId, Table};
 use crate::text::KeywordIndex;
 use crate::value::Value;
@@ -90,6 +91,10 @@ pub struct Storage {
     /// Whether scans may skip segments via zone maps (on by default;
     /// benches turn it off to measure the pruning win).
     zone_map_pruning: bool,
+    /// Planner statistics (row counts, min/max, NDV sketches). Part of
+    /// the snapshot: a pinned reader plans against the statistics of its
+    /// own state, never a later `ANALYZE`'s.
+    pub(crate) stats: StatsCatalog,
 }
 
 impl Default for Storage {
@@ -101,6 +106,7 @@ impl Default for Storage {
             keyword: BTreeMap::new(),
             csn: 0,
             zone_map_pruning: true,
+            stats: StatsCatalog::default(),
         }
     }
 }
@@ -177,7 +183,11 @@ impl Storage {
 
     fn create_table(&mut self, schema: TableSchema) -> RelResult<()> {
         self.catalog.create_table(schema.clone())?;
-        self.tables.insert(key(&schema.name), Table::new(schema));
+        let name = key(&schema.name);
+        self.tables.insert(name.clone(), Table::new(schema));
+        // Start row-count tracking immediately; column statistics wait
+        // for an ANALYZE.
+        *self.stats.table_mut(&name) = crate::stats::TableStats::default();
         Ok(())
     }
 
@@ -191,6 +201,7 @@ impl Storage {
             .collect();
         self.catalog.drop_table(name)?;
         self.tables.remove(&key(name));
+        self.stats.remove(name);
         for idx in dropped {
             self.btree.remove(&idx);
             self.keyword.remove(&idx);
@@ -245,6 +256,7 @@ impl Storage {
         let id = t.insert(row)?;
         let stored = t.get(id).expect("just inserted");
         self.index_insert(table, id, &stored);
+        self.note_mutation(table, 1);
         Ok((id, stored))
     }
 
@@ -255,6 +267,7 @@ impl Storage {
         t.insert_at(id, row)?;
         let stored = t.get(id).expect("just inserted");
         self.index_insert(table, id, &stored);
+        self.note_mutation(table, 1);
         Ok(())
     }
 
@@ -264,6 +277,7 @@ impl Storage {
         t.set_stamp(stamp);
         let old = t.delete(id)?;
         self.index_remove(table, id, &old);
+        self.note_mutation(table, -1);
         Ok(old)
     }
 
@@ -275,7 +289,37 @@ impl Storage {
         let new = t.get(id).expect("just updated");
         self.index_remove(table, id, &old);
         self.index_insert(table, id, &new);
+        self.note_mutation(table, 0);
         Ok(old)
+    }
+
+    /// Tracks one row mutation against the planner statistics: the row
+    /// count moves by `delta` exactly, and once enough churn accumulates
+    /// the column statistics (if the table was analyzed) rebuild in place.
+    fn note_mutation(&mut self, table: &str, delta: i64) {
+        let rebuild = {
+            let Some(stats) = self.stats.existing_mut(table) else {
+                return;
+            };
+            stats.row_count = stats.row_count.saturating_add_signed(delta);
+            stats.churn += 1;
+            stats.needs_rebuild()
+        };
+        if rebuild {
+            self.rebuild_stats(table);
+        }
+    }
+
+    /// Rescans `table` into its statistics entry and bumps the stats
+    /// generation (invalidating cached plans).
+    pub(crate) fn rebuild_stats(&mut self, table: &str) {
+        let Ok(t) = self.table(table) else { return };
+        let schema = t.schema().clone();
+        let rows: Vec<Row> = t.scan().map(|(_, row)| row).collect();
+        if let Some(stats) = self.stats.existing_mut(table) {
+            stats.rescan(&schema, rows.into_iter());
+            self.stats.generation += 1;
+        }
     }
 
     fn index_insert(&mut self, table: &str, id: RowId, row: &[Value]) {
@@ -337,7 +381,12 @@ impl Storage {
                     table: table.to_string(),
                     alias: table.to_string(),
                 };
-                match crate::planner::choose_access_path(&table_ref, &conjuncts, &self.catalog) {
+                match crate::planner::choose_access_path(
+                    &table_ref,
+                    &conjuncts,
+                    &self.catalog,
+                    &self.stats,
+                ) {
                     Plan::IndexScan { index, access, .. } => {
                         let idx = self.btree_index(&index)?;
                         let mut ids = match &access {
@@ -1058,6 +1107,18 @@ impl Database {
         report.transactions_dropped.sort_unstable();
         storage.csn = storage.csn.max(base).max(replay_csn);
 
+        // Statistics are memory-only and never logged: re-derive exact row
+        // counts from the restored tables (checkpoint images and replayed
+        // snapshot records bypass the counting mutation paths). Column
+        // statistics wait for the next ANALYZE.
+        let table_names: Vec<String> = storage.catalog.tables().map(|s| s.name.clone()).collect();
+        for name in table_names {
+            let rows = storage.table(&name).map(|t| t.len() as u64).unwrap_or(0);
+            let entry = storage.stats.table_mut(&name);
+            entry.row_count = rows;
+            entry.churn = 0;
+        }
+
         // A crash after rotation but before the fresh log's leading
         // marker leaves an empty, markerless log beside a valid image.
         // Repair by writing the marker now — otherwise the next recovery
@@ -1178,7 +1239,50 @@ impl Database {
                 self.reject_system_write(target, "modify")?;
                 self.execute_dml(stmt)
             }
+            Statement::Analyze { table } => self.execute_analyze(table.as_deref()),
         }
+    }
+
+    /// `ANALYZE [TABLE <t>]`: scans the named table (or every table) into
+    /// fresh column statistics, bumps the stats generation (invalidating
+    /// cached plans) and publishes the statistics to current readers.
+    ///
+    /// Statistics are memory-only engine state, not data: they are never
+    /// WAL-logged. After recovery, row counts are re-synced from the
+    /// restored tables and column statistics wait for the next `ANALYZE`.
+    fn execute_analyze(&self, table: Option<&str>) -> RelResult<ResultSet> {
+        let mut storage = self.storage.write();
+        let names: Vec<String> = match table {
+            Some(t) => {
+                storage.table(t)?; // fail with UnknownTable before mutating
+                vec![t.to_string()]
+            }
+            None => storage.catalog.tables().map(|s| s.name.clone()).collect(),
+        };
+        for name in &names {
+            let t = storage.table(name)?;
+            let schema = t.schema().clone();
+            let rows: Vec<Row> = t.scan().map(|(_, row)| row).collect();
+            storage
+                .stats
+                .table_mut(name)
+                .rescan(&schema, rows.into_iter());
+        }
+        storage.stats.generation += 1;
+        let stats = storage.stats.clone();
+        self.plan_cache.lock().clear();
+        // Publish like `set_zone_map_pruning`: patch any pending snapshot
+        // and the published snapshot in place rather than republishing the
+        // master state, which may hold applied-but-not-durable commits.
+        if let Some(d) = &self.durability {
+            let mut q = d.queue.lock();
+            if let Some(snap) = &mut q.pending_snapshot {
+                Arc::make_mut(snap).stats = stats.clone();
+            }
+        }
+        let mut snap = self.snapshot.lock();
+        Arc::make_mut(&mut snap).stats = stats;
+        Ok(ResultSet::dml(names.len()))
     }
 
     /// Runs one DML statement as its own transaction. The in-memory state
@@ -1674,6 +1778,7 @@ impl Database {
     /// The final `parallel=N` line reports how many workers the plan
     /// would use (`1` for shapes that must run sequentially to keep the
     /// documented row-order contract).
+    #[deprecated(note = "use `db.query(sql).explain()` (the typed `PlanExplain` tree)")]
     pub fn explain(&self, sql: &str) -> RelResult<String> {
         match parse_statement(sql)? {
             Statement::Select(select) => self.explain_select(&select),
@@ -1681,15 +1786,22 @@ impl Database {
         }
     }
 
-    fn explain_select(&self, select: &SelectStmt) -> RelResult<String> {
+    pub(crate) fn explain_select(&self, select: &SelectStmt) -> RelResult<String> {
         let storage = self.storage_for_select(&self.snapshot(), select)?;
-        let planned = plan_select(select, &storage.catalog)?;
+        let planned = plan_select(select, &storage.catalog, &storage.stats)?;
+        Ok(self.plan_explain_tree(&planned).render())
+    }
+
+    /// Builds the typed explain tree for an already-planned query,
+    /// annotating the worker count the morsel-parallel executor would use
+    /// for this plan shape.
+    pub(crate) fn plan_explain_tree(&self, planned: &PlannedQuery) -> crate::plan::PlanExplain {
         let workers = if exec_parallel::parallel_eligible(&planned.plan) {
             self.options.workers
         } else {
             1
         };
-        Ok(format!("{}parallel={workers}\n", planned.plan.explain()))
+        crate::plan::PlanExplain::from_planned(planned, workers)
     }
 
     /// Plans a `SELECT` without executing it (used by tests and benches to
@@ -1698,7 +1810,7 @@ impl Database {
         match parse_statement(sql)? {
             Statement::Select(select) => {
                 let storage = self.storage_for_select(&self.snapshot(), &select)?;
-                plan_select(&select, &storage.catalog)
+                plan_select(&select, &storage.catalog, &storage.stats)
             }
             _ => Err(RelError::Parse("only SELECT can be planned".into())),
         }
@@ -1724,7 +1836,7 @@ impl Database {
         let m = metrics::engine();
         let _t = trace::span("relstore.query.plan");
         let plan_start = Instant::now();
-        let result = plan_select(select, &storage.catalog);
+        let result = plan_select(select, &storage.catalog, &storage.stats);
         match &result {
             Ok(_) => m.plan_ns.record(metrics::elapsed_ns(plan_start)),
             Err(_) => m.errors.inc(),
@@ -1753,6 +1865,7 @@ impl Database {
                     &self.pool,
                     workers,
                     self.options.morsel_size,
+                    planned.estimate.cost,
                 )
             } else {
                 None
@@ -1818,21 +1931,22 @@ impl Database {
         let m = metrics::engine();
         let result = (|| {
             let plan_start = Instant::now();
-            let PlannedQuery { plan, visible } = {
+            let planned = {
                 let _t = trace::span("relstore.query.plan");
-                plan_select(select, &storage.catalog)?
+                plan_select(select, &storage.catalog, &storage.stats)?
             };
             m.plan_ns.record(metrics::elapsed_ns(plan_start));
             let _t = trace::span("relstore.query.exec");
             let exec_start = Instant::now();
-            let (schema, rows, stats, profile) = execute_plan_profiled(&plan, storage)?;
+            let (schema, rows, stats, mut profile) = execute_plan_profiled(&planned.plan, storage)?;
             let total_ns = metrics::elapsed_ns(exec_start);
             m.exec_ns.record(total_ns);
+            profile.annotate_estimates(&planned.estimate);
             Ok(AnalyzedQuery {
                 profile,
                 stats,
                 total_ns,
-                result: select_result(visible, &schema, rows),
+                result: select_result(planned.visible, &schema, rows),
             })
         })();
         match &result {
@@ -1858,7 +1972,8 @@ impl Database {
         storage: &Storage,
         select: &SelectStmt,
     ) -> RelResult<ResultSet> {
-        let PlannedQuery { plan, visible } = plan_select(select, &storage.catalog)?;
+        let PlannedQuery { plan, visible, .. } =
+            plan_select(select, &storage.catalog, &storage.stats)?;
         let (schema, rows) = crate::exec_reference::execute_plan(&plan, storage)?;
         Ok(select_result(visible, &schema, rows))
     }

@@ -123,7 +123,7 @@ type BoxCursor<'a> = Box<dyn Cursor<'a> + 'a>;
 /// `elapsed_ns` is *self* (exclusive) time: the operator's inclusive
 /// wall-time minus its children's, so summing `elapsed_ns` over a whole
 /// tree reconstructs the root's inclusive time without double counting.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OpProfile {
     /// One-line operator label, identical to the `EXPLAIN` rendering.
     pub op: String,
@@ -136,13 +136,17 @@ pub struct OpProfile {
     pub elapsed_ns: u64,
     /// Inclusive wall-time in nanoseconds (self + children).
     pub total_ns: u64,
+    /// The planner's estimated output rows for this operator, when it had
+    /// a statistical basis — lets `EXPLAIN ANALYZE` show estimated vs
+    /// actual per operator.
+    pub est_rows: Option<f64>,
     /// Child operator profiles, in plan order.
     pub children: Vec<OpProfile>,
 }
 
 impl OpProfile {
     /// Renders the profile as an indented tree, one operator per line:
-    /// `label  [rows_in=… rows_out=… self=…]`.
+    /// `label  [rows_in=… rows_out=… self=… est=…]`.
     pub fn render(&self) -> String {
         let mut out = String::new();
         self.render_into(0, &mut out);
@@ -150,17 +154,34 @@ impl OpProfile {
     }
 
     fn render_into(&self, depth: usize, out: &mut String) {
+        let est = match self.est_rows {
+            Some(e) => format!(" est={e:.0}"),
+            None => String::new(),
+        };
         out.push_str(&format!(
-            "{:indent$}{}  [rows_in={} rows_out={} self={}]\n",
+            "{:indent$}{}  [rows_in={} rows_out={} self={}{}]\n",
             "",
             self.op,
             self.rows_in,
             self.rows_out,
             format_ns(self.elapsed_ns),
+            est,
             indent = depth * 2
         ));
         for child in &self.children {
             child.render_into(depth + 1, out);
+        }
+    }
+
+    /// Copies the planner's row estimates into the profile tree. Both
+    /// trees were built from the same plan, so they match positionally;
+    /// a shape mismatch (never expected) just stops the copy.
+    pub(crate) fn annotate_estimates(&mut self, est: &crate::plan::PlanEstimate) {
+        self.est_rows = est.rows;
+        if self.children.len() == est.children.len() {
+            for (c, e) in self.children.iter_mut().zip(&est.children) {
+                c.annotate_estimates(e);
+            }
         }
     }
 
@@ -216,6 +237,7 @@ impl ProfNode {
             rows_out,
             elapsed_ns: total_ns.saturating_sub(child_total),
             total_ns,
+            est_rows: None,
             children,
         }
     }

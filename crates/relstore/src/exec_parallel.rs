@@ -181,11 +181,12 @@ pub(crate) fn parallel_eligible(plan: &Plan) -> bool {
     parse_shape(plan).is_some()
 }
 
-/// Whether splitting `total_rows` across workers is worth the hand-off:
-/// below two morsels' worth of rows there is at most one morsel per
-/// worker pair and the scan itself is cheaper than scheduling it.
-pub(crate) fn should_parallelize(total_rows: usize, workers: usize, morsel_size: usize) -> bool {
-    workers >= 2 && total_rows >= 2 * morsel_size
+/// Whether splitting work of estimated cost `cost` (in rows processed)
+/// across workers is worth the hand-off: below two morsels' worth there
+/// is at most one morsel per worker pair and the scan itself is cheaper
+/// than scheduling it.
+pub(crate) fn should_parallelize(cost: f64, workers: usize, morsel_size: usize) -> bool {
+    workers >= 2 && cost >= 2.0 * morsel_size as f64
 }
 
 /// Total live rows the shape will scan, used by the small-table fallback.
@@ -205,21 +206,30 @@ fn shape_rows(shape: &Shape<'_>, storage: &Storage) -> usize {
 
 /// Executes an eligible plan across the pool, or returns `None` when the
 /// plan is not eligible (or fewer than two workers were requested, or the
-/// table is too small for parallelism to pay for itself), in which case
+/// work is too small for parallelism to pay for itself), in which case
 /// the caller falls back to the streaming executor.
+///
+/// The cutover uses the planner's estimated cost when available, floored
+/// by the snapshot's exact input row count: a query whose estimated work
+/// (joins, filters) exceeds the raw scan size parallelizes even when its
+/// base table alone would not, while a stale (low) cached estimate can
+/// never suppress parallelism the input size already justifies.
 pub(crate) fn execute_plan_parallel(
     plan: &Plan,
     storage: &Storage,
     pool: &WorkerPool,
     workers: usize,
     morsel_size: usize,
+    est_cost: Option<f64>,
 ) -> Option<RelResult<(RowSchema, Vec<Row>, ExecStats)>> {
     if workers < 2 {
         return None;
     }
     let parsed = parse_shape(plan)?;
     let morsel_size = morsel_size.max(1);
-    if !should_parallelize(shape_rows(&parsed.shape, storage), workers, morsel_size) {
+    let input_rows = shape_rows(&parsed.shape, storage) as f64;
+    let cost = est_cost.map_or(input_rows, |c| c.max(input_rows));
+    if !should_parallelize(cost, workers, morsel_size) {
         return None;
     }
     Some(run_parsed(&parsed, storage, pool, workers, morsel_size))
@@ -763,11 +773,11 @@ mod tests {
     use super::should_parallelize;
 
     #[test]
-    fn small_tables_stay_sequential() {
-        assert!(!should_parallelize(0, 4, 8));
-        assert!(!should_parallelize(15, 4, 8));
-        assert!(should_parallelize(16, 4, 8));
-        assert!(should_parallelize(100, 2, 8));
-        assert!(!should_parallelize(1_000_000, 1, 8));
+    fn small_workloads_stay_sequential() {
+        assert!(!should_parallelize(0.0, 4, 8));
+        assert!(!should_parallelize(15.0, 4, 8));
+        assert!(should_parallelize(16.0, 4, 8));
+        assert!(should_parallelize(100.0, 2, 8));
+        assert!(!should_parallelize(1_000_000.0, 1, 8));
     }
 }

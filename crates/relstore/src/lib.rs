@@ -42,6 +42,10 @@
 //! * [`vtab`] / [`recorder`] — the introspection layer: `sys_*` system
 //!   virtual tables over live engine telemetry, and the slow-query
 //!   flight recorder behind `sys_queries` / `sys_profiles`.
+//! * [`stats`] — per-table row counts, min/max, null fractions and NDV
+//!   sketches (collected by `ANALYZE`, maintained incrementally) that
+//!   drive the planner's cardinality estimates and the typed
+//!   [`PlanExplain`] tree `EXPLAIN` renders.
 //!
 //! ```
 //! use xomatiq_relstore::Database;
@@ -81,6 +85,7 @@ pub mod schema;
 pub mod segment;
 pub mod session;
 pub mod sql;
+pub mod stats;
 pub mod table;
 pub mod text;
 pub mod value;
@@ -90,10 +95,12 @@ pub mod wal;
 pub use db::{AnalyzedQuery, Database, DatabaseOptions, ResultSet};
 pub use error::{RelError, RelResult};
 pub use exec::{format_ns, ExecStats, OpProfile};
+pub use plan::{PlanEstimate, PlanExplain, PlanExplainNode, PlannedQuery};
 pub use query::{ColumnError, FromValue, Prepared, Query, QueryOutcome, ResultRow, ResultRows};
 pub use recorder::{FlightRecorder, QueryRecord};
 pub use schema::{Column, TableSchema};
 pub use session::{Session, StmtHandle};
+pub use stats::{ColumnStats, NdvSketch, StatsCatalog, TableStats};
 pub use value::{DataType, Value};
 pub use vtab::VirtualTableProvider;
 pub use wal::{Corruption, FaultConfig, FaultyIo, RecoveryReport, SlowIo, StdFileIo, WalIo};

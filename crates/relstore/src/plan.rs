@@ -294,6 +294,33 @@ impl Plan {
     }
 }
 
+/// Estimated cardinalities for one plan operator, kept as a parallel tree
+/// whose children line up with [`Plan::children`]. `None` means the
+/// planner had no basis for a number (e.g. a virtual-table overlay with
+/// no tracked row count).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanEstimate {
+    /// Estimated output rows of this operator.
+    pub rows: Option<f64>,
+    /// Cumulative estimated rows *processed* by this subtree (scans,
+    /// probes, builds and intermediate results) — the planner's cost
+    /// unit, also used for the parallel-execution cutover.
+    pub cost: Option<f64>,
+    /// Child estimates, in [`Plan::children`] order.
+    pub children: Vec<PlanEstimate>,
+}
+
+impl PlanEstimate {
+    /// An all-unknown estimate tree matching `plan`'s shape.
+    pub fn unknown(plan: &Plan) -> PlanEstimate {
+        PlanEstimate {
+            rows: None,
+            cost: None,
+            children: plan.children().into_iter().map(Self::unknown).collect(),
+        }
+    }
+}
+
 /// The planner's output: a plan plus the visible column count.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlannedQuery {
@@ -301,10 +328,128 @@ pub struct PlannedQuery {
     pub plan: Plan,
     /// The number of user-visible output columns (hidden sort keys follow).
     pub visible: usize,
+    /// Estimated cardinality per operator, parallel to `plan`.
+    pub estimate: PlanEstimate,
 }
 
 /// Re-exported for planner convenience.
 pub type OrderKeys = Vec<OrderKey>;
+
+/// The typed `EXPLAIN` surface: one node per plan operator carrying the
+/// operator label, the planner's row estimate and — after an analyzed run
+/// — the observed row count and exclusive wall-time. Built by
+/// [`crate::Query::explain`] / [`crate::Query::explain_analyzed`];
+/// [`PlanExplain::render`] produces the text form the shell and the wire
+/// protocol's EXPLAIN frame print.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanExplain {
+    /// The root operator.
+    pub root: PlanExplainNode,
+    /// Workers the morsel-parallel executor would use for this plan shape
+    /// (1 when the plan must run on the streaming executor).
+    pub workers: usize,
+}
+
+/// One operator of a [`PlanExplain`] tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanExplainNode {
+    /// Operator label, identical to [`Plan::describe`].
+    pub op: String,
+    /// The planner's estimated output rows, when it had a basis.
+    pub estimated_rows: Option<f64>,
+    /// Rows the operator actually produced (analyzed runs only).
+    pub actual_rows: Option<u64>,
+    /// Exclusive (self) wall-time in nanoseconds (analyzed runs only).
+    pub self_time_ns: Option<u64>,
+    /// Child operators, in plan order.
+    pub children: Vec<PlanExplainNode>,
+}
+
+impl PlanExplain {
+    /// Builds the explain tree for a planned query (no actuals).
+    pub fn from_planned(planned: &PlannedQuery, workers: usize) -> PlanExplain {
+        fn node(plan: &Plan, est: &PlanEstimate) -> PlanExplainNode {
+            let unknown = PlanEstimate::unknown(plan);
+            let children = plan.children();
+            // A malformed estimate tree degrades to unknowns, never panics.
+            let ests = if est.children.len() == children.len() {
+                &est.children
+            } else {
+                &unknown.children
+            };
+            PlanExplainNode {
+                op: plan.describe(),
+                estimated_rows: est.rows,
+                actual_rows: None,
+                self_time_ns: None,
+                children: children
+                    .into_iter()
+                    .zip(ests)
+                    .map(|(p, e)| node(p, e))
+                    .collect(),
+            }
+        }
+        PlanExplain {
+            root: node(&planned.plan, &planned.estimate),
+            workers,
+        }
+    }
+
+    /// Copies observed row counts and self-times from an executed
+    /// profile into matching operators (matched by label and shape).
+    pub fn attach_profile(&mut self, profile: &crate::exec::OpProfile) {
+        fn walk(node: &mut PlanExplainNode, prof: &crate::exec::OpProfile) {
+            if node.op != prof.op {
+                return;
+            }
+            node.actual_rows = Some(prof.rows_out);
+            node.self_time_ns = Some(prof.elapsed_ns);
+            if node.children.len() == prof.children.len() {
+                for (c, p) in node.children.iter_mut().zip(&prof.children) {
+                    walk(c, p);
+                }
+            }
+        }
+        walk(&mut self.root, profile);
+    }
+
+    /// Renders the tree as indented text, one operator per line, followed
+    /// by the `parallel=N` summary line — the same shape the string
+    /// `EXPLAIN` surface always printed, now with row estimates (and,
+    /// when analyzed, actual rows and self-times) appended per operator.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.root.render_into(0, &mut out);
+        out.push_str(&format!("parallel={}\n", self.workers));
+        out
+    }
+}
+
+impl PlanExplainNode {
+    fn render_into(&self, depth: usize, out: &mut String) {
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&self.op);
+        let mut parts: Vec<String> = Vec::new();
+        if let Some(rows) = self.actual_rows {
+            parts.push(format!("rows={rows}"));
+        }
+        if let Some(est) = self.estimated_rows {
+            parts.push(format!("est={est:.0}"));
+        }
+        if let Some(ns) = self.self_time_ns {
+            parts.push(format!("self={}", crate::exec::format_ns(ns)));
+        }
+        if !parts.is_empty() {
+            out.push_str("  [");
+            out.push_str(&parts.join(" "));
+            out.push(']');
+        }
+        out.push('\n');
+        for child in &self.children {
+            child.render_into(depth + 1, out);
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

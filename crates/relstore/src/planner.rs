@@ -1,8 +1,8 @@
 //! The query planner.
 //!
-//! Compiles a parsed [`SelectStmt`] into a [`PlannedQuery`]. Planning is
-//! rule-based, mirroring the paper's workflow of shaping indexes until the
-//! optimizer picks them (§3.2):
+//! Compiles a parsed [`SelectStmt`] into a [`PlannedQuery`]. Planning
+//! mirrors the paper's workflow of shaping indexes until the optimizer
+//! picks them (§3.2):
 //!
 //! 1. every unqualified column reference is resolved to its table alias;
 //! 2. the `WHERE` clause and all `ON` conditions are split into conjuncts;
@@ -11,23 +11,41 @@
 //!    optional range on the next column), a [`Plan::KeywordScan`] when a
 //!    `CONTAINS` conjunct hits a keyword index, and a full [`Plan::Scan`]
 //!    otherwise — with the table's conjuncts re-applied as a filter;
-//! 4. tables join left-deep, greedily preferring tables connected to the
-//!    joined set by an equi-join conjunct (hash join) so unrelated tables
-//!    do not cross-product early; nested loops otherwise;
+//! 4. tables join left-deep, preferring tables connected to the joined
+//!    set by an equi-join conjunct (hash join) so unrelated tables do not
+//!    cross-product early; nested loops otherwise. When every table in a
+//!    component carries `ANALYZE`d statistics the order is *cost-based*:
+//!    seeds and join steps are chosen to minimize estimated intermediate
+//!    rows, which also places the smaller estimated input on the hash
+//!    join's build side. Without statistics the original greedy
+//!    connectivity order is kept;
 //! 5. aggregation, projection (with hidden sort-key columns), sorting,
 //!    `DISTINCT` and `LIMIT` complete the tree.
+//!
+//! Alongside the operator tree, the planner emits a [`PlanEstimate`] for
+//! every node — cardinalities derived from the [`StatsCatalog`]'s row
+//! counts, min/max bounds, null fractions and NDV sketches (see
+//! [`Estimator`] for the selectivity model). Unbound `?` parameters get
+//! placeholder selectivities, so prepared statements can be explained
+//! before binding.
 
 use std::collections::{BTreeMap, HashSet};
 use std::ops::Bound;
 
 use crate::error::{RelError, RelResult};
-use crate::plan::{IndexAccess, Plan, PlannedQuery, ProjectItem, SortKey};
+use crate::plan::{IndexAccess, Plan, PlanEstimate, PlannedQuery, ProjectItem, SortKey};
 use crate::schema::Catalog;
 use crate::sql::ast::{BinOp, Expr, SelectItem, SelectStmt, TableRef};
+use crate::stats::StatsCatalog;
 use crate::value::Value;
 
-/// Plans a `SELECT` statement against the catalog.
-pub fn plan_select(stmt: &SelectStmt, catalog: &Catalog) -> RelResult<PlannedQuery> {
+/// Plans a `SELECT` statement against the catalog, using `stats` for
+/// cardinality estimation and cost-based join ordering.
+pub fn plan_select(
+    stmt: &SelectStmt,
+    catalog: &Catalog,
+    stats: &StatsCatalog,
+) -> RelResult<PlannedQuery> {
     let mut tables: Vec<TableRef> = stmt.from.clone();
     tables.extend(stmt.joins.iter().map(|j| j.table.clone()));
     if tables.is_empty() {
@@ -80,7 +98,7 @@ pub fn plan_select(stmt: &SelectStmt, catalog: &Catalog) -> RelResult<PlannedQue
         let own = single
             .remove(&t.alias.to_ascii_lowercase())
             .unwrap_or_default();
-        let scan = choose_access_path(t, &own, catalog);
+        let scan = choose_access_path(t, &own, catalog, stats);
         let plan = if own.is_empty() {
             scan
         } else {
@@ -191,14 +209,27 @@ pub fn plan_select(stmt: &SelectStmt, catalog: &Catalog) -> RelResult<PlannedQue
     // Join ordering (the planner-side half of §3.2's "meticulous analysis
     // of the query plans"): tables are first partitioned into connected
     // components of the multi-table-conjunct graph; each component builds
-    // a left-deep plan greedily preferring equi-join-connected tables
-    // (hash joins), and only the fully *reduced* components are then
-    // crossed. Crossing reduced components instead of raw tables keeps
-    // queries with independent bindings — the Figure 8 keyword search —
-    // from materializing table-sized cross products.
+    // a left-deep plan preferring equi-join-connected tables (hash
+    // joins), and only the fully *reduced* components are then crossed.
+    // Crossing reduced components instead of raw tables keeps queries
+    // with independent bindings — the Figure 8 keyword search — from
+    // materializing table-sized cross products.
+    //
+    // When every table in a component has ANALYZEd statistics, the
+    // component's members are reordered cost-based before construction:
+    // each candidate seed is completed greedily by minimal estimated
+    // join output, and the cheapest completion (by total estimated rows
+    // processed) wins. The construction loop below then consumes the
+    // members in exactly that order.
+    let estimator = Estimator {
+        catalog,
+        stats,
+        aliases: &alias_map,
+    };
     let components = connected_components(inputs, &multi);
     let mut component_plans: Vec<Plan> = Vec::new();
     for mut remaining in components {
+        order_component(&mut remaining, &multi, &estimator);
         let (first_alias, mut plan) = remaining.remove(0);
         let mut joined: HashSet<String> = HashSet::from([first_alias]);
         while !remaining.is_empty() {
@@ -263,11 +294,10 @@ pub fn plan_select(stmt: &SelectStmt, catalog: &Catalog) -> RelResult<PlannedQue
                 // that input is always a single table's access path
                 // (possibly filtered), never an intermediate join result,
                 // so build memory is bounded by one base table while the
-                // growing join product streams through as the probe. The
-                // catalog carries no row counts, so within that bound the
-                // planner cannot pick the smaller of the two tables; if
-                // stats ever land, prefer placing the expected-smaller
-                // access path on the right here.
+                // growing join product streams through as the probe.
+                // Within that bound the cost-based reorder above already
+                // placed the smallest estimated inputs on the build side
+                // (when statistics exist).
                 Plan::HashJoin {
                     left: Box::new(plan),
                     right: Box::new(right),
@@ -356,7 +386,12 @@ pub fn plan_select(stmt: &SelectStmt, catalog: &Catalog) -> RelResult<PlannedQue
             }
         }
     }
-    Ok(PlannedQuery { plan, visible })
+    let estimate = estimator.estimate(&plan);
+    Ok(PlannedQuery {
+        plan,
+        visible,
+        estimate,
+    })
 }
 
 fn push_table_columns(
@@ -523,6 +558,497 @@ fn equi_join_keys(c: &Expr, joined: &HashSet<String>, new_alias: &str) -> Option
     }
 }
 
+// ---------------------------------------------------------------------------
+// Cardinality estimation
+// ---------------------------------------------------------------------------
+
+/// Default selectivities used when statistics are missing — or when the
+/// compared value is an unbound `?` parameter, which is what makes
+/// `EXPLAIN` of a prepared statement meaningful before binding.
+const DEFAULT_EQ_SEL: f64 = 0.1;
+const DEFAULT_RANGE_SEL: f64 = 0.3;
+const DEFAULT_SEL: f64 = 0.25;
+const KEYWORD_SEL: f64 = 0.1;
+const DEFAULT_JOIN_SEL: f64 = 0.1;
+/// Selectivity floor keeping estimates nonzero so costs stay ordered.
+const MIN_SEL: f64 = 1e-4;
+
+/// The planner's cardinality model over the [`StatsCatalog`]:
+///
+/// * base rows — the maintained exact row count per table;
+/// * `col = lit` — `1/NDV`, or the floor when `lit` falls outside the
+///   column's min/max bounds;
+/// * numeric ranges — the covered fraction of the `[min, max]` interval;
+/// * `IS [NOT] NULL` — the measured null fraction;
+/// * equi-joins — `|L|·|R| / max(NDV(l), NDV(r))` per key pair;
+/// * everything else (and unbound parameters) — fixed defaults.
+pub(crate) struct Estimator<'a> {
+    pub(crate) catalog: &'a Catalog,
+    pub(crate) stats: &'a StatsCatalog,
+    /// Lowercase alias → table name for every table in scope.
+    pub(crate) aliases: &'a BTreeMap<String, String>,
+}
+
+impl Estimator<'_> {
+    fn table_rows(&self, table: &str) -> Option<f64> {
+        Some(self.stats.table(table)?.row_count as f64)
+    }
+
+    /// Whether the table bound under `alias` has ANALYZEd column stats.
+    fn alias_analyzed(&self, alias: &str) -> bool {
+        self.aliases
+            .get(&alias.to_ascii_lowercase())
+            .and_then(|t| self.stats.table(t))
+            .is_some_and(crate::stats::TableStats::analyzed)
+    }
+
+    /// Column statistics (plus the rows they were scanned over) for a
+    /// simple column reference, when that table was analyzed.
+    fn column_stats(&self, e: &Expr) -> Option<(u64, &crate::stats::ColumnStats)> {
+        let Expr::Column {
+            table: Some(alias),
+            name,
+        } = e
+        else {
+            return None;
+        };
+        let table = self.aliases.get(&alias.to_ascii_lowercase())?;
+        let ts = self.stats.table(table)?;
+        Some((ts.analyzed_rows, ts.column(name)?))
+    }
+
+    /// NDV of a join-key expression (simple columns only).
+    fn key_ndv(&self, e: &Expr) -> Option<f64> {
+        let (_, col) = self.column_stats(e)?;
+        Some(col.ndv.max(1) as f64)
+    }
+
+    /// Estimated selectivity of `predicate` in `[MIN_SEL, 1]`.
+    fn selectivity(&self, predicate: &Expr) -> f64 {
+        let raw = match predicate {
+            Expr::Binary {
+                op: BinOp::And,
+                left,
+                right,
+            } => self.selectivity(left) * self.selectivity(right),
+            Expr::Binary {
+                op: BinOp::Or,
+                left,
+                right,
+            } => {
+                let (l, r) = (self.selectivity(left), self.selectivity(right));
+                l + r - l * r
+            }
+            Expr::Binary { op, left, right } if op.is_comparison() => {
+                self.comparison_selectivity(*op, left, right)
+            }
+            Expr::Not(e) => 1.0 - self.selectivity(e),
+            Expr::IsNull { expr, negated } => {
+                let frac = match self.column_stats(expr) {
+                    Some((rows, col)) => col.null_fraction(rows),
+                    None => 0.05,
+                };
+                if *negated {
+                    1.0 - frac
+                } else {
+                    frac
+                }
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let eq = self.eq_selectivity(expr, None);
+                let sel = (eq * list.len() as f64).min(1.0);
+                if *negated {
+                    1.0 - sel
+                } else {
+                    sel
+                }
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                let sel = self.range_selectivity(
+                    expr,
+                    literal_value(low).map(Bound::Included),
+                    literal_value(high).map(Bound::Included),
+                );
+                if *negated {
+                    1.0 - sel
+                } else {
+                    sel
+                }
+            }
+            Expr::Contains { .. } => KEYWORD_SEL,
+            Expr::Like { .. } | Expr::Matches { .. } => DEFAULT_SEL,
+            // A constant predicate filters everything or nothing; assume
+            // the common `WHERE 1 = 1`-style tautology shape.
+            Expr::Literal(_) => 1.0,
+            _ => DEFAULT_SEL,
+        };
+        raw.clamp(MIN_SEL, 1.0)
+    }
+
+    /// `col <op> value` (either orientation). Unbound parameters get the
+    /// same defaults as stats-less columns.
+    fn comparison_selectivity(&self, op: BinOp, left: &Expr, right: &Expr) -> f64 {
+        // Normalize to column-op-value.
+        let (col, value, op) = if matches!(left, Expr::Column { .. }) {
+            (left, right, op)
+        } else if matches!(right, Expr::Column { .. }) {
+            let flipped = match op {
+                BinOp::Lt => BinOp::Gt,
+                BinOp::Le => BinOp::Ge,
+                BinOp::Gt => BinOp::Lt,
+                BinOp::Ge => BinOp::Le,
+                other => other,
+            };
+            (right, left, flipped)
+        } else {
+            return DEFAULT_SEL;
+        };
+        match op {
+            BinOp::Eq => self.eq_selectivity(col, literal_value(value)),
+            BinOp::Ne => 1.0 - self.eq_selectivity(col, literal_value(value)),
+            BinOp::Lt => {
+                self.range_selectivity(col, None, literal_value(value).map(Bound::Excluded))
+            }
+            BinOp::Le => {
+                self.range_selectivity(col, None, literal_value(value).map(Bound::Included))
+            }
+            BinOp::Gt => {
+                self.range_selectivity(col, literal_value(value).map(Bound::Excluded), None)
+            }
+            BinOp::Ge => {
+                self.range_selectivity(col, literal_value(value).map(Bound::Included), None)
+            }
+            _ => DEFAULT_SEL,
+        }
+    }
+
+    /// `col = value`: `1/NDV`, the floor when `value` lies outside the
+    /// column's bounds, or the default without stats / with a parameter.
+    fn eq_selectivity(&self, col: &Expr, value: Option<&Value>) -> f64 {
+        let Some((_, stats)) = self.column_stats(col) else {
+            return DEFAULT_EQ_SEL;
+        };
+        if let (Some(v), Some(min), Some(max)) = (value, &stats.min, &stats.max) {
+            let below = v.compare(min).is_some_and(|o| o.is_lt());
+            let above = v.compare(max).is_some_and(|o| o.is_gt());
+            if below || above {
+                return MIN_SEL;
+            }
+        }
+        1.0 / stats.ndv.max(1) as f64
+    }
+
+    /// Fraction of the column's `[min, max]` interval a numeric range
+    /// covers; the default for text columns or missing stats/bounds.
+    fn range_selectivity(
+        &self,
+        col: &Expr,
+        lower: Option<Bound<&Value>>,
+        upper: Option<Bound<&Value>>,
+    ) -> f64 {
+        let Some((_, stats)) = self.column_stats(col) else {
+            return DEFAULT_RANGE_SEL;
+        };
+        let (Some(min), Some(max)) = (&stats.min, &stats.max) else {
+            return DEFAULT_RANGE_SEL;
+        };
+        let (Some(min), Some(max)) = (min.as_f64(), max.as_f64()) else {
+            return DEFAULT_RANGE_SEL;
+        };
+        let bound_f64 = |b: &Option<Bound<&Value>>| match b {
+            Some(Bound::Included(v)) | Some(Bound::Excluded(v)) => v.as_f64(),
+            _ => None,
+        };
+        let lo = match (&lower, bound_f64(&lower)) {
+            (None, _) => min,
+            (Some(_), Some(v)) => v,
+            (Some(_), None) => return DEFAULT_RANGE_SEL,
+        };
+        let hi = match (&upper, bound_f64(&upper)) {
+            (None, _) => max,
+            (Some(_), Some(v)) => v,
+            (Some(_), None) => return DEFAULT_RANGE_SEL,
+        };
+        if max <= min {
+            // Single-valued column: the range either covers it or not.
+            return if lo <= min && hi >= max { 1.0 } else { MIN_SEL };
+        }
+        ((hi.min(max) - lo.max(min)) / (max - min)).clamp(0.0, 1.0)
+    }
+
+    /// Selectivity of one equi-join key pair: `1 / max(NDV_l, NDV_r)`.
+    fn join_key_selectivity(&self, left_key: &Expr, right_key: &Expr) -> f64 {
+        match (self.key_ndv(left_key), self.key_ndv(right_key)) {
+            (Some(l), Some(r)) => 1.0 / l.max(r),
+            (Some(n), None) | (None, Some(n)) => 1.0 / n,
+            (None, None) => DEFAULT_JOIN_SEL,
+        }
+    }
+
+    /// Estimated fraction of the table an index access returns.
+    fn index_selectivity(&self, table: &str, index: &str, access: &IndexAccess) -> f64 {
+        let Some(def) = self
+            .catalog
+            .indexes_on(table)
+            .into_iter()
+            .find(|d| d.name.eq_ignore_ascii_case(index))
+        else {
+            return DEFAULT_EQ_SEL;
+        };
+        let col_expr = |name: &str| Expr::Column {
+            // Any alias of this table works: stats are per table.
+            table: self
+                .aliases
+                .iter()
+                .find(|(_, t)| t.eq_ignore_ascii_case(table))
+                .map(|(a, _)| a.clone()),
+            name: name.to_string(),
+        };
+        let (values, range) = match access {
+            IndexAccess::Exact(values) => (values.as_slice(), None),
+            IndexAccess::Range {
+                prefix,
+                lower,
+                upper,
+            } => (prefix.as_slice(), Some((lower, upper))),
+        };
+        let mut sel = 1.0;
+        for (col, value) in def.columns.iter().zip(values) {
+            sel *= self.eq_selectivity(&col_expr(col), Some(value));
+        }
+        if let (Some((lower, upper)), Some(col)) = (range, def.columns.get(values.len())) {
+            fn as_opt(b: &Bound<Value>) -> Option<Bound<&Value>> {
+                match b {
+                    Bound::Included(v) => Some(Bound::Included(v)),
+                    Bound::Excluded(v) => Some(Bound::Excluded(v)),
+                    Bound::Unbounded => None,
+                }
+            }
+            sel *= self.range_selectivity(&col_expr(col), as_opt(lower), as_opt(upper));
+        }
+        sel.clamp(MIN_SEL, 1.0)
+    }
+
+    /// Builds the estimate tree for a finished plan, bottom-up. `rows`
+    /// stays `None` below tables with no tracked row count (virtual-table
+    /// overlays), and costs accumulate estimated rows processed.
+    pub(crate) fn estimate(&self, plan: &Plan) -> PlanEstimate {
+        let children: Vec<PlanEstimate> = plan
+            .children()
+            .into_iter()
+            .map(|c| self.estimate(c))
+            .collect();
+        let floor = |r: f64| r.max(1.0);
+        let (rows, cost) = match plan {
+            Plan::Scan { table, .. } => {
+                let rows = self.table_rows(table);
+                (rows, rows)
+            }
+            Plan::IndexScan {
+                table,
+                index,
+                access,
+                ..
+            } => {
+                let sel = self.index_selectivity(table, index, access);
+                let rows = self.table_rows(table).map(|r| floor(r * sel));
+                (rows, rows)
+            }
+            Plan::KeywordScan { table, .. } => {
+                let rows = self.table_rows(table).map(|r| floor(r * KEYWORD_SEL));
+                (rows, rows)
+            }
+            Plan::Filter { predicate, .. } => {
+                let input = &children[0];
+                let rows = input.rows.map(|r| floor(r * self.selectivity(predicate)));
+                (rows, add(input.cost, input.rows))
+            }
+            Plan::NestedLoopJoin { condition, .. } => {
+                let (l, r) = (&children[0], &children[1]);
+                let sel = condition.as_ref().map_or(1.0, |c| self.selectivity(c));
+                let product = mul(l.rows, r.rows);
+                let rows = product.map(|p| floor(p * sel));
+                (rows, add(add(l.cost, r.cost), product))
+            }
+            Plan::HashJoin {
+                left_keys,
+                right_keys,
+                residual,
+                semi,
+                ..
+            } => {
+                let (l, r) = (&children[0], &children[1]);
+                let mut sel: f64 = left_keys
+                    .iter()
+                    .zip(right_keys)
+                    .map(|(lk, rk)| self.join_key_selectivity(lk, rk))
+                    .product();
+                if let Some(res) = residual {
+                    sel *= self.selectivity(res);
+                }
+                let mut rows = mul(l.rows, r.rows).map(|p| floor(p * sel.max(MIN_SEL)));
+                if *semi {
+                    rows = match (rows, l.rows) {
+                        (Some(o), Some(probe)) => Some(o.min(probe)),
+                        (o, _) => o,
+                    };
+                }
+                // Build the right side, probe with the left, emit `rows`.
+                let cost = add(add(add(l.cost, r.cost), add(l.rows, r.rows)), rows);
+                (rows, cost)
+            }
+            Plan::Project { .. } | Plan::Sort { .. } | Plan::Distinct { .. } => {
+                let input = &children[0];
+                (input.rows, add(input.cost, input.rows))
+            }
+            Plan::Aggregate { group_by, .. } => {
+                let input = &children[0];
+                let groups = group_by
+                    .iter()
+                    .map(|e| self.key_ndv(e))
+                    .try_fold(1.0, |acc, ndv| ndv.map(|n| acc * n));
+                let rows = if group_by.is_empty() {
+                    Some(1.0)
+                } else {
+                    match (input.rows, groups) {
+                        (Some(r), Some(g)) => Some(g.min(r).max(1.0)),
+                        (r, _) => r,
+                    }
+                };
+                (rows, add(input.cost, input.rows))
+            }
+            Plan::TopK { limit, offset, .. } => {
+                let input = &children[0];
+                let cap = (limit + offset) as f64;
+                let rows = input.rows.map(|r| r.min(cap)).or(Some(cap));
+                (
+                    rows.map(|r| r.min(*limit as f64)),
+                    add(input.cost, input.rows),
+                )
+            }
+            Plan::Limit { limit, offset, .. } => {
+                let input = &children[0];
+                let rows = match limit {
+                    Some(l) => Some(
+                        input
+                            .rows
+                            .map_or(*l as f64, |r| (r - *offset as f64).max(0.0).min(*l as f64)),
+                    ),
+                    None => input.rows.map(|r| (r - *offset as f64).max(0.0)),
+                };
+                (rows, add(input.cost, rows))
+            }
+        };
+        PlanEstimate {
+            rows,
+            cost,
+            children,
+        }
+    }
+}
+
+/// `Some(a + b)` when both known.
+fn add(a: Option<f64>, b: Option<f64>) -> Option<f64> {
+    Some(a? + b?)
+}
+
+/// `Some(a * b)` when both known.
+fn mul(a: Option<f64>, b: Option<f64>) -> Option<f64> {
+    Some(a? * b?)
+}
+
+fn literal_value(e: &Expr) -> Option<&Value> {
+    match e {
+        Expr::Literal(v) if !v.is_null() => Some(v),
+        _ => None,
+    }
+}
+
+/// Cost-based reordering of one join component's members. Active only
+/// when *every* member's table carries ANALYZEd statistics; otherwise the
+/// declaration order (which the greedy connectivity loop consumes) is
+/// kept. Each member is tried as the left-deep seed and the completion
+/// proceeds greedily by minimal estimated join output; the completion
+/// with the least total estimated rows processed wins. Because each
+/// later member joins as the hash build side, picking small estimated
+/// outputs also means building over the smallest estimated inputs.
+fn order_component(members: &mut Vec<(String, Plan)>, multi: &[Expr], est: &Estimator<'_>) {
+    if members.len() < 2 || !members.iter().all(|(alias, _)| est.alias_analyzed(alias)) {
+        return;
+    }
+    let rows: Vec<f64> = members
+        .iter()
+        .map(|(_, plan)| est.estimate(plan).rows.unwrap_or(f64::MAX))
+        .collect();
+    // Estimated output of joining the current set (cardinality `cur`,
+    // aliases `joined`) with member `i`.
+    let join_out = |joined: &HashSet<String>, cur: f64, i: usize| -> f64 {
+        let alias = &members[i].0;
+        let mut sel = 1.0;
+        let mut connected = false;
+        for c in multi {
+            if let Some((lk, rk)) = equi_join_keys(c, joined, alias) {
+                connected = true;
+                sel *= est.join_key_selectivity(&lk, &rk);
+            }
+        }
+        if !connected {
+            sel = DEFAULT_JOIN_SEL; // residual-filtered nested loop
+        }
+        (cur * rows[i] * sel).max(1.0)
+    };
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    for seed in 0..members.len() {
+        let mut order = vec![seed];
+        let mut joined: HashSet<String> = HashSet::from([members[seed].0.clone()]);
+        let mut cur = rows[seed];
+        let mut total = 0.0;
+        while order.len() < members.len() {
+            let mut next: Option<(f64, usize)> = None;
+            let connectable = |i: usize| {
+                multi
+                    .iter()
+                    .any(|c| equi_join_keys(c, &joined, &members[i].0).is_some())
+            };
+            let any_connectable = (0..members.len()).any(|i| !order.contains(&i) && connectable(i));
+            for i in 0..members.len() {
+                if order.contains(&i) || (any_connectable && !connectable(i)) {
+                    continue;
+                }
+                let out = join_out(&joined, cur, i);
+                if next.is_none_or(|(best_out, _)| out < best_out) {
+                    next = Some((out, i));
+                }
+            }
+            let (out, i) = next.expect("member left to join");
+            // Build rows[i], probe cur, emit out.
+            total += rows[i] + cur + out;
+            cur = out;
+            joined.insert(members[i].0.clone());
+            order.push(i);
+        }
+        if best.as_ref().is_none_or(|(t, _)| total < *t) {
+            best = Some((total, order));
+        }
+    }
+    let (_, order) = best.expect("non-empty component");
+    let mut taken: Vec<Option<(String, Plan)>> =
+        std::mem::take(members).into_iter().map(Some).collect();
+    *members = order
+        .into_iter()
+        .map(|i| taken[i].take().expect("each member used once"))
+        .collect();
+}
+
 /// Resolves unqualified column references against the tables in scope.
 struct Resolver<'a> {
     catalog: &'a Catalog,
@@ -639,8 +1165,15 @@ impl Resolver<'_> {
 }
 
 /// Chooses the cheapest access path for one table given its single-table
-/// conjuncts (already alias-resolved).
-pub(crate) fn choose_access_path(t: &TableRef, conjuncts: &[Expr], catalog: &Catalog) -> Plan {
+/// conjuncts (already alias-resolved). When the table carries `ANALYZE`d
+/// statistics, a partially-bound index whose estimated selectivity would
+/// still return most of the table loses to a plain scan.
+pub(crate) fn choose_access_path(
+    t: &TableRef,
+    conjuncts: &[Expr],
+    catalog: &Catalog,
+    stats: &StatsCatalog,
+) -> Plan {
     // Collect sargable constraints per column (lowercase names).
     let mut eq: BTreeMap<String, Value> = BTreeMap::new();
     let mut ranges: BTreeMap<String, (Bound<Value>, Bound<Value>)> = BTreeMap::new();
@@ -718,6 +1251,29 @@ pub(crate) fn choose_access_path(t: &TableRef, conjuncts: &[Expr], catalog: &Cat
         }
     }
     if let Some((_, _, plan)) = best {
+        // Index-vs-scan cost check: a partially-bound composite index can
+        // be less selective than it looks structurally. With statistics,
+        // estimate the fraction of the table it returns; chasing an index
+        // for more than half the table costs more than scanning it.
+        if let Plan::IndexScan { index, access, .. } = &plan {
+            let analyzed = stats
+                .table(&t.table)
+                .is_some_and(crate::stats::TableStats::analyzed);
+            if analyzed {
+                let aliases = BTreeMap::from([(t.alias.to_ascii_lowercase(), t.table.clone())]);
+                let est = Estimator {
+                    catalog,
+                    stats,
+                    aliases: &aliases,
+                };
+                if est.index_selectivity(&t.table, index, access) > 0.5 {
+                    return Plan::Scan {
+                        table: t.table.clone(),
+                        alias: t.alias.clone(),
+                    };
+                }
+            }
+        }
         return plan;
     }
     Plan::Scan {
@@ -865,7 +1421,7 @@ mod tests {
             Statement::Select(s) => s,
             other => panic!("{other:?}"),
         };
-        plan_select(&stmt, &catalog()).unwrap()
+        plan_select(&stmt, &catalog(), &StatsCatalog::default()).unwrap()
     }
 
     fn find_scan(plan: &Plan) -> &Plan {
@@ -1104,7 +1660,7 @@ mod tests {
             _ => unreachable!(),
         };
         assert!(matches!(
-            plan_select(&stmt, &catalog()),
+            plan_select(&stmt, &catalog(), &StatsCatalog::default()),
             Err(RelError::AmbiguousColumn(_))
         ));
     }
@@ -1121,7 +1677,10 @@ mod tests {
                 Statement::Select(s) => s,
                 _ => unreachable!(),
             };
-            assert!(plan_select(&stmt, &catalog()).is_err(), "{sql}");
+            assert!(
+                plan_select(&stmt, &catalog(), &StatsCatalog::default()).is_err(),
+                "{sql}"
+            );
         }
     }
 
@@ -1230,7 +1789,7 @@ mod tests {
                 Statement::Select(s) => s,
                 _ => unreachable!(),
             };
-            let err = plan_select(&stmt, &catalog()).unwrap_err();
+            let err = plan_select(&stmt, &catalog(), &StatsCatalog::default()).unwrap_err();
             assert!(
                 matches!(
                     err,
@@ -1254,6 +1813,6 @@ mod tests {
             Statement::Select(s) => s,
             _ => unreachable!(),
         };
-        assert!(plan_select(&stmt, &catalog()).is_err());
+        assert!(plan_select(&stmt, &catalog(), &StatsCatalog::default()).is_err());
     }
 }

@@ -78,12 +78,26 @@ impl std::hash::Hasher for FxHasher {
 
 type FxMap<V> = HashMap<String, V, std::hash::BuildHasherDefault<FxHasher>>;
 
+/// One cached plan plus the statistics generation it was costed against.
+struct CachedPlan {
+    plan: Arc<PlannedQuery>,
+    /// Stats generation of the snapshot the plan was built from. A lookup
+    /// from a snapshot with a *different* generation misses (and evicts
+    /// the entry), so `ANALYZE` provably invalidates every stale plan —
+    /// even one inserted by a reader pinned to a pre-`ANALYZE` snapshot
+    /// after the explicit cache clear ran.
+    generation: u64,
+    stamp: u64,
+}
+
 /// A capacity-bounded LRU cache of planned `SELECT`s, keyed by
-/// [`cache_key`]. Owned by [`Database`] behind a mutex; cleared on DDL.
+/// [`cache_key`]. Owned by [`Database`] behind a mutex; cleared on DDL
+/// and on `ANALYZE`, and cross-checked against the statistics generation
+/// on every lookup.
 pub(crate) struct PlanCache {
     capacity: usize,
     stamp: u64,
-    entries: FxMap<(Arc<PlannedQuery>, u64)>,
+    entries: FxMap<CachedPlan>,
 }
 
 impl PlanCache {
@@ -95,18 +109,27 @@ impl PlanCache {
         }
     }
 
-    /// Looks up a plan, refreshing its LRU stamp on a hit.
-    pub(crate) fn get(&mut self, key: &str) -> Option<Arc<PlannedQuery>> {
+    /// Looks up a plan, refreshing its LRU stamp on a hit. An entry built
+    /// under a different stats generation is treated as a miss and
+    /// dropped — its costing no longer reflects the querying snapshot.
+    pub(crate) fn get(&mut self, key: &str, generation: u64) -> Option<Arc<PlannedQuery>> {
         self.stamp += 1;
         let stamp = self.stamp;
-        self.entries.get_mut(key).map(|(plan, s)| {
-            *s = stamp;
-            Arc::clone(plan)
-        })
+        match self.entries.get_mut(key) {
+            Some(entry) if entry.generation == generation => {
+                entry.stamp = stamp;
+                Some(Arc::clone(&entry.plan))
+            }
+            Some(_) => {
+                self.entries.remove(key);
+                None
+            }
+            None => None,
+        }
     }
 
     /// Inserts a plan, evicting the least-recently-used entry when full.
-    pub(crate) fn insert(&mut self, key: String, plan: Arc<PlannedQuery>) {
+    pub(crate) fn insert(&mut self, key: String, plan: Arc<PlannedQuery>, generation: u64) {
         if self.capacity == 0 {
             return;
         }
@@ -115,14 +138,21 @@ impl PlanCache {
             let victim = self
                 .entries
                 .iter()
-                .min_by_key(|(_, (_, stamp))| *stamp)
+                .min_by_key(|(_, entry)| entry.stamp)
                 .map(|(k, _)| k.clone());
             if let Some(victim) = victim {
                 self.entries.remove(&victim);
                 metrics::engine().cache_evict.inc();
             }
         }
-        self.entries.insert(key, (plan, self.stamp));
+        self.entries.insert(
+            key,
+            CachedPlan {
+                plan,
+                generation,
+                stamp: self.stamp,
+            },
+        );
     }
 
     /// Drops every cached plan (the DDL invalidation hook).
@@ -237,19 +267,26 @@ fn check_count(expected: usize, got: usize) -> RelResult<()> {
     }
 }
 
-fn subst_expr(expr: &Expr, params: &[Value]) -> RelResult<Expr> {
+fn subst_expr(expr: &Expr, params: &[Value], lenient: bool) -> RelResult<Expr> {
     Ok(match expr {
-        Expr::Param(i) => Expr::Literal(params.get(*i).ok_or_else(|| bind_missing(*i))?.clone()),
+        Expr::Param(i) => match params.get(*i) {
+            Some(v) => Expr::Literal(v.clone()),
+            // Lenient mode (EXPLAIN of a prepared statement with unbound
+            // placeholders): keep the `?` in place so the planner can
+            // estimate with placeholder selectivities instead of erroring.
+            None if lenient => Expr::Param(*i),
+            None => return Err(bind_missing(*i)),
+        },
         Expr::Literal(_) | Expr::Column { .. } => expr.clone(),
         Expr::Binary { op, left, right } => Expr::Binary {
             op: *op,
-            left: Box::new(subst_expr(left, params)?),
-            right: Box::new(subst_expr(right, params)?),
+            left: Box::new(subst_expr(left, params, lenient)?),
+            right: Box::new(subst_expr(right, params, lenient)?),
         },
-        Expr::Not(e) => Expr::Not(Box::new(subst_expr(e, params)?)),
-        Expr::Neg(e) => Expr::Neg(Box::new(subst_expr(e, params)?)),
+        Expr::Not(e) => Expr::Not(Box::new(subst_expr(e, params, lenient)?)),
+        Expr::Neg(e) => Expr::Neg(Box::new(subst_expr(e, params, lenient)?)),
         Expr::IsNull { expr, negated } => Expr::IsNull {
-            expr: Box::new(subst_expr(expr, params)?),
+            expr: Box::new(subst_expr(expr, params, lenient)?),
             negated: *negated,
         },
         Expr::Like {
@@ -257,8 +294,8 @@ fn subst_expr(expr: &Expr, params: &[Value]) -> RelResult<Expr> {
             pattern,
             negated,
         } => Expr::Like {
-            expr: Box::new(subst_expr(expr, params)?),
-            pattern: Box::new(subst_expr(pattern, params)?),
+            expr: Box::new(subst_expr(expr, params, lenient)?),
+            pattern: Box::new(subst_expr(pattern, params, lenient)?),
             negated: *negated,
         },
         Expr::InList {
@@ -266,10 +303,10 @@ fn subst_expr(expr: &Expr, params: &[Value]) -> RelResult<Expr> {
             list,
             negated,
         } => Expr::InList {
-            expr: Box::new(subst_expr(expr, params)?),
+            expr: Box::new(subst_expr(expr, params, lenient)?),
             list: list
                 .iter()
-                .map(|e| subst_expr(e, params))
+                .map(|e| subst_expr(e, params, lenient))
                 .collect::<RelResult<_>>()?,
             negated: *negated,
         },
@@ -279,18 +316,18 @@ fn subst_expr(expr: &Expr, params: &[Value]) -> RelResult<Expr> {
             high,
             negated,
         } => Expr::Between {
-            expr: Box::new(subst_expr(expr, params)?),
-            low: Box::new(subst_expr(low, params)?),
-            high: Box::new(subst_expr(high, params)?),
+            expr: Box::new(subst_expr(expr, params, lenient)?),
+            low: Box::new(subst_expr(low, params, lenient)?),
+            high: Box::new(subst_expr(high, params, lenient)?),
             negated: *negated,
         },
         Expr::Contains { column, keyword } => Expr::Contains {
-            column: Box::new(subst_expr(column, params)?),
-            keyword: Box::new(subst_expr(keyword, params)?),
+            column: Box::new(subst_expr(column, params, lenient)?),
+            keyword: Box::new(subst_expr(keyword, params, lenient)?),
         },
         Expr::Matches { column, pattern } => Expr::Matches {
-            column: Box::new(subst_expr(column, params)?),
-            pattern: Box::new(subst_expr(pattern, params)?),
+            column: Box::new(subst_expr(column, params, lenient)?),
+            pattern: Box::new(subst_expr(pattern, params, lenient)?),
         },
         Expr::Aggregate {
             func,
@@ -299,7 +336,7 @@ fn subst_expr(expr: &Expr, params: &[Value]) -> RelResult<Expr> {
         } => Expr::Aggregate {
             func: *func,
             arg: match arg {
-                Some(a) => Some(Box::new(subst_expr(a, params)?)),
+                Some(a) => Some(Box::new(subst_expr(a, params, lenient)?)),
                 None => None,
             },
             distinct: *distinct,
@@ -307,7 +344,7 @@ fn subst_expr(expr: &Expr, params: &[Value]) -> RelResult<Expr> {
     })
 }
 
-fn subst_select(s: &SelectStmt, params: &[Value]) -> RelResult<SelectStmt> {
+fn subst_select(s: &SelectStmt, params: &[Value], lenient: bool) -> RelResult<SelectStmt> {
     Ok(SelectStmt {
         distinct: s.distinct,
         items: s
@@ -316,7 +353,7 @@ fn subst_select(s: &SelectStmt, params: &[Value]) -> RelResult<SelectStmt> {
             .map(|item| {
                 Ok(match item {
                     SelectItem::Expr { expr, alias } => SelectItem::Expr {
-                        expr: subst_expr(expr, params)?,
+                        expr: subst_expr(expr, params, lenient)?,
                         alias: alias.clone(),
                     },
                     other => other.clone(),
@@ -330,26 +367,26 @@ fn subst_select(s: &SelectStmt, params: &[Value]) -> RelResult<SelectStmt> {
             .map(|j| {
                 Ok(JoinClause {
                     table: j.table.clone(),
-                    on: subst_expr(&j.on, params)?,
+                    on: subst_expr(&j.on, params, lenient)?,
                 })
             })
             .collect::<RelResult<_>>()?,
         filter: s
             .filter
             .as_ref()
-            .map(|f| subst_expr(f, params))
+            .map(|f| subst_expr(f, params, lenient))
             .transpose()?,
         group_by: s
             .group_by
             .iter()
-            .map(|e| subst_expr(e, params))
+            .map(|e| subst_expr(e, params, lenient))
             .collect::<RelResult<_>>()?,
         order_by: s
             .order_by
             .iter()
             .map(|k| {
                 Ok(OrderKey {
-                    expr: subst_expr(&k.expr, params)?,
+                    expr: subst_expr(&k.expr, params, lenient)?,
                     descending: k.descending,
                 })
             })
@@ -362,22 +399,44 @@ fn subst_select(s: &SelectStmt, params: &[Value]) -> RelResult<SelectStmt> {
 /// Replaces every `?` placeholder with its bound value as a literal —
 /// done *before* planning, so bound parameters stay sargable.
 pub(crate) fn substitute_params(stmt: &Statement, params: &[Value]) -> RelResult<Statement> {
+    substitute_params_with(stmt, params, false)
+}
+
+/// Like [`substitute_params`], but an *unbound* placeholder stays an
+/// [`Expr::Param`] instead of erroring. Used by [`Query::explain`]: a
+/// prepared statement can be explained before any values are bound, and
+/// the planner costs the remaining `?`s with placeholder selectivities.
+pub(crate) fn substitute_params_lenient(
+    stmt: &Statement,
+    params: &[Value],
+) -> RelResult<Statement> {
+    substitute_params_with(stmt, params, true)
+}
+
+fn substitute_params_with(
+    stmt: &Statement,
+    params: &[Value],
+    lenient: bool,
+) -> RelResult<Statement> {
     Ok(match stmt {
-        Statement::Select(s) => Statement::Select(subst_select(s, params)?),
+        Statement::Select(s) => Statement::Select(subst_select(s, params, lenient)?),
         Statement::Explain { analyze, inner } => Statement::Explain {
             analyze: *analyze,
-            inner: Box::new(substitute_params(inner, params)?),
+            inner: Box::new(substitute_params_with(inner, params, lenient)?),
         },
         Statement::Insert { table, rows } => Statement::Insert {
             table: table.clone(),
             rows: rows
                 .iter()
-                .map(|row| row.iter().map(|e| subst_expr(e, params)).collect())
+                .map(|row| row.iter().map(|e| subst_expr(e, params, lenient)).collect())
                 .collect::<RelResult<_>>()?,
         },
         Statement::Delete { table, filter } => Statement::Delete {
             table: table.clone(),
-            filter: filter.as_ref().map(|f| subst_expr(f, params)).transpose()?,
+            filter: filter
+                .as_ref()
+                .map(|f| subst_expr(f, params, lenient))
+                .transpose()?,
         },
         Statement::Update {
             table,
@@ -387,9 +446,12 @@ pub(crate) fn substitute_params(stmt: &Statement, params: &[Value]) -> RelResult
             table: table.clone(),
             assignments: assignments
                 .iter()
-                .map(|(c, e)| Ok((c.clone(), subst_expr(e, params)?)))
+                .map(|(c, e)| Ok((c.clone(), subst_expr(e, params, lenient)?)))
                 .collect::<RelResult<_>>()?,
-            filter: filter.as_ref().map(|f| subst_expr(f, params)).transpose()?,
+            filter: filter
+                .as_ref()
+                .map(|f| subst_expr(f, params, lenient))
+                .transpose()?,
         },
         ddl => ddl.clone(),
     })
@@ -734,8 +796,9 @@ impl<'a> Query<'a> {
         let (norm, params) = self.norm_and_params()?;
         let sys = may_reference_system(&norm);
         let key = cache_key(norm, &params);
+        let generation = self.snapshot.stats.generation;
         if !sys {
-            if let Some(planned) = self.db.plan_cache.lock().get(key.as_ref()) {
+            if let Some(planned) = self.db.plan_cache.lock().get(key.as_ref(), generation) {
                 m.cache_hit.inc();
                 return Ok(planned);
             }
@@ -755,9 +818,70 @@ impl<'a> Query<'a> {
             self.db
                 .plan_cache
                 .lock()
-                .insert(key.into_owned(), Arc::clone(&planned));
+                .insert(key.into_owned(), Arc::clone(&planned), generation);
         }
         Ok(planned)
+    }
+
+    /// Plans the statement (without executing it) and returns the typed
+    /// [`PlanExplain`](crate::plan::PlanExplain) tree — estimated rows per
+    /// operator, plus the worker count the parallel cutover would use.
+    /// This is the typed successor to the deprecated string-returning
+    /// `Database::explain`; call [`render`](crate::plan::PlanExplain::render)
+    /// for the classic indented text form.
+    ///
+    /// Unbound `?` placeholders are allowed here: they stay in the plan
+    /// and are costed with placeholder (default) selectivities, so a
+    /// prepared statement can be explained before any values are bound.
+    pub fn explain(&self) -> RelResult<crate::plan::PlanExplain> {
+        let select = self.explain_select()?;
+        let storage = self.db.storage_for_select(&self.snapshot, &select)?;
+        let planned = self.db.plan_select_stmt(&storage, &select)?;
+        Ok(self.db.plan_explain_tree(&planned))
+    }
+
+    /// Executes the statement on the profiling executor and returns the
+    /// typed [`PlanExplain`](crate::plan::PlanExplain) tree with *both*
+    /// estimated and actual rows (plus per-operator self time) — the
+    /// typed form of `EXPLAIN ANALYZE`. All placeholders must be bound,
+    /// since the statement really runs.
+    pub fn explain_analyzed(&self) -> RelResult<crate::plan::PlanExplain> {
+        let (_, params) = self.norm_and_params()?;
+        let select = match self.statement(&params)? {
+            Statement::Select(select) => select,
+            Statement::Explain { inner, .. } => match *inner {
+                Statement::Select(select) => select,
+                _ => return Err(RelError::Parse("EXPLAIN supports SELECT only".into())),
+            },
+            _ => return Err(RelError::Parse("only SELECT can be analyzed".into())),
+        };
+        let storage = self.db.storage_for_select(&self.snapshot, &select)?;
+        let planned = self.db.plan_select_stmt(&storage, &select)?;
+        let analyzed = self.db.analyze_select(&storage, &select)?;
+        let mut tree = self.db.plan_explain_tree(&planned);
+        tree.attach_profile(&analyzed.profile);
+        Ok(tree)
+    }
+
+    /// Extracts the `SELECT` to explain, substituting bound parameters
+    /// leniently (unbound `?`s survive as placeholders). Accepts both a
+    /// bare `SELECT` and an `EXPLAIN [ANALYZE] SELECT` wrapper.
+    fn explain_select(&self) -> RelResult<SelectStmt> {
+        let stmt = match self.source {
+            QuerySource::Sql(sql) => {
+                let (stmt, _) = parse_statement_with_params(sql)?;
+                substitute_params_lenient(&stmt, &self.params)?
+            }
+            QuerySource::Prepared(p) => substitute_params_lenient(&p.stmt, &self.params)?,
+        };
+        match stmt {
+            Statement::Select(select) => Ok(select),
+            Statement::Explain { inner, .. } => match *inner {
+                Statement::Select(select) => Ok(select),
+                _ => Err(RelError::Parse("EXPLAIN supports SELECT only".into())),
+            },
+            _ => Err(RelError::Parse("only SELECT can be explained".into())),
+        }
     }
 
     /// Executes the statement. Every run carries a trace context — the
@@ -783,8 +907,9 @@ impl<'a> Query<'a> {
             .enabled()
             .then(|| norm.clone().into_owned());
         let key = cache_key(norm, &params);
+        let generation = self.snapshot.stats.generation;
         if !sys {
-            let cached = self.db.plan_cache.lock().get(key.as_ref());
+            let cached = self.db.plan_cache.lock().get(key.as_ref(), generation);
             if let Some(planned) = cached {
                 m.cache_hit.inc();
                 trace_mark("relstore.query.cache_hit");
@@ -826,10 +951,11 @@ impl<'a> Query<'a> {
                 };
                 let planned = Arc::new(self.db.plan_select_stmt(&storage, &select)?);
                 if !sys {
-                    self.db
-                        .plan_cache
-                        .lock()
-                        .insert(key.into_owned(), Arc::clone(&planned));
+                    self.db.plan_cache.lock().insert(
+                        key.into_owned(),
+                        Arc::clone(&planned),
+                        generation,
+                    );
                 }
                 let workers = self.effective_workers();
                 let (rows, stats) = self.db.run_planned_query(&storage, &planned, workers)?;
@@ -1351,26 +1477,46 @@ mod tests {
         assert!(matches!(key, Cow::Borrowed(_)));
     }
 
+    fn scan_plan() -> Arc<PlannedQuery> {
+        use crate::plan::{Plan, PlanEstimate};
+        let plan = Plan::Scan {
+            table: "t".into(),
+            alias: "t".into(),
+        };
+        let estimate = PlanEstimate::unknown(&plan);
+        Arc::new(PlannedQuery {
+            plan,
+            visible: 1,
+            estimate,
+        })
+    }
+
     #[test]
     fn plan_cache_evicts_least_recently_used() {
-        use crate::plan::{Plan, PlannedQuery};
-        let plan = || {
-            Arc::new(PlannedQuery {
-                plan: Plan::Scan {
-                    table: "t".into(),
-                    alias: "t".into(),
-                },
-                visible: 1,
-            })
-        };
         let mut cache = PlanCache::new(2);
-        cache.insert("a".into(), plan());
-        cache.insert("b".into(), plan());
-        assert!(cache.get("a").is_some()); // refresh a; b is now LRU
-        cache.insert("c".into(), plan());
+        cache.insert("a".into(), scan_plan(), 0);
+        cache.insert("b".into(), scan_plan(), 0);
+        assert!(cache.get("a", 0).is_some()); // refresh a; b is now LRU
+        cache.insert("c".into(), scan_plan(), 0);
         assert_eq!(cache.len(), 2);
-        assert!(cache.get("b").is_none());
-        assert!(cache.get("a").is_some());
-        assert!(cache.get("c").is_some());
+        assert!(cache.get("b", 0).is_none());
+        assert!(cache.get("a", 0).is_some());
+        assert!(cache.get("c", 0).is_some());
+    }
+
+    #[test]
+    fn plan_cache_rejects_stale_stats_generation() {
+        let mut cache = PlanCache::new(4);
+        cache.insert("q".into(), scan_plan(), 1);
+        // Same generation: hit.
+        assert!(cache.get("q", 1).is_some());
+        // Newer generation (post-ANALYZE snapshot): miss, and the stale
+        // entry is dropped rather than lingering at the old generation.
+        assert!(cache.get("q", 2).is_none());
+        assert_eq!(cache.len(), 0);
+        // A plan inserted by a reader pinned to the old snapshot never
+        // serves post-ANALYZE lookups.
+        cache.insert("q".into(), scan_plan(), 1);
+        assert!(cache.get("q", 2).is_none());
     }
 }

@@ -141,12 +141,14 @@ impl Session {
     }
 
     /// Renders the plan tree (or, with `analyze`, runs the query and
-    /// renders the per-operator profile) for a `SELECT`.
+    /// renders the per-operator profile) for a `SELECT`. The non-analyze
+    /// path renders the typed [`PlanExplain`](crate::plan::PlanExplain)
+    /// tree from [`crate::query::Query::explain`].
     pub fn explain(&self, sql: &str, analyze: bool) -> RelResult<String> {
         if analyze {
             self.db.explain_analyze(sql)
         } else {
-            self.db.explain(sql)
+            Ok(self.db.query(sql).explain()?.render())
         }
     }
 }

@@ -323,6 +323,13 @@ pub enum Statement {
         /// Optional row filter (all rows when absent).
         filter: Option<Expr>,
     },
+    /// `ANALYZE [TABLE name]`: collects planner statistics (row count,
+    /// per-column min/max, null fraction, NDV sketch) for one table or,
+    /// with no name, for every table in the catalog.
+    Analyze {
+        /// Table to analyze; `None` analyzes all tables.
+        table: Option<String>,
+    },
 }
 
 #[cfg(test)]

@@ -117,6 +117,14 @@ impl SqlParser {
         if self.peek().is_some_and(|t| t.is_kw("SELECT")) {
             return Ok(Statement::Select(self.select()?));
         }
+        if self.eat_kw("ANALYZE") {
+            let table = if self.eat_kw("TABLE") {
+                Some(self.ident()?)
+            } else {
+                None
+            };
+            return Ok(Statement::Analyze { table });
+        }
         if self.eat_kw("CREATE") {
             if self.eat_kw("TABLE") {
                 return self.create_table();

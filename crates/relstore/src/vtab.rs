@@ -28,6 +28,7 @@
 //! | `sys_profiles` | one row per operator of each captured slow-query profile |
 //! | `sys_segments` | one row per (table, segment, column) with zone-map bounds |
 //! | `sys_sessions` | one row per live [`crate::Session`] |
+//! | `sys_table_stats` | one row per (analyzed table, column) of optimizer statistics |
 
 use xomatiq_obs::MetricValue;
 
@@ -70,6 +71,7 @@ impl VirtualTables {
                 Box::new(SysProfiles),
                 Box::new(SysSegments),
                 Box::new(SysSessions),
+                Box::new(SysTableStats),
             ],
         }
     }
@@ -341,6 +343,73 @@ impl VirtualTableProvider for SysSegments {
                         int(max_csn.unwrap_or(0)),
                     ]);
                 }
+            }
+        }
+        rows
+    }
+}
+
+// ---------------------------------------------------------------------------
+// sys_table_stats
+// ---------------------------------------------------------------------------
+
+struct SysTableStats;
+
+impl VirtualTableProvider for SysTableStats {
+    fn name(&self) -> &str {
+        "sys_table_stats"
+    }
+
+    fn schema(&self) -> TableSchema {
+        TableSchema::new(
+            "sys_table_stats",
+            cols(&[
+                ("table_name", DataType::Text),
+                ("column_name", DataType::Text),
+                ("row_count", DataType::Int),
+                ("ndv", DataType::Int),
+                ("null_frac", DataType::Float),
+                ("min_value", DataType::Text),
+                ("max_value", DataType::Text),
+                ("stats_generation", DataType::Int),
+            ]),
+        )
+    }
+
+    /// One row per (analyzed table, column), read from the querying
+    /// snapshot's [`crate::stats::StatsCatalog`] — so the rows are
+    /// exactly the statistics the planner would use for this query.
+    /// Tables never `ANALYZE`d contribute no rows.
+    fn rows(&self, db: &Database) -> Vec<Row> {
+        let storage = db.snapshot();
+        let generation = storage.stats.generation;
+        let mut rows = Vec::new();
+        for (table, stats) in storage.stats.analyzed_tables() {
+            for col in &stats.columns {
+                // Long text values (documents, flat-file bodies) would
+                // swamp the rendered table; the bounds are only meant
+                // for eyeballing ranges.
+                let render = |v: &Option<Value>| match v {
+                    Some(v) => {
+                        let mut s = v.to_string();
+                        if s.chars().count() > 48 {
+                            s = s.chars().take(48).collect();
+                            s.push('…');
+                        }
+                        Value::Text(s)
+                    }
+                    None => Value::Null,
+                };
+                rows.push(vec![
+                    Value::Text(table.to_string()),
+                    Value::Text(col.name.clone()),
+                    int(stats.row_count),
+                    int(col.ndv),
+                    Value::Float(col.null_fraction(stats.analyzed_rows)),
+                    render(&col.min),
+                    render(&col.max),
+                    int(generation),
+                ]);
             }
         }
         rows

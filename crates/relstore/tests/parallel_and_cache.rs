@@ -215,16 +215,20 @@ proptest! {
 fn explain_reports_parallelism() {
     let db = Database::in_memory_with_options(parallel_options());
     db.query("CREATE TABLE t (a INT, b INT)").run().unwrap();
+    let explain = |sql: &str| db.query(sql).explain().unwrap().render();
     // Scan/filter/aggregate shapes fan out across the configured workers.
-    let plan = db.explain("SELECT a FROM t WHERE b > 0").unwrap();
+    let plan = explain("SELECT a FROM t WHERE b > 0");
     assert!(plan.contains("parallel=4"), "{plan}");
-    let agg = db.explain("SELECT b, COUNT(*) FROM t GROUP BY b").unwrap();
+    let agg = explain("SELECT b, COUNT(*) FROM t GROUP BY b");
     assert!(agg.contains("parallel=4"), "{agg}");
     // Order-contract shapes must advertise the sequential fallback.
-    let sorted = db.explain("SELECT a FROM t ORDER BY a").unwrap();
+    let sorted = explain("SELECT a FROM t ORDER BY a");
     assert!(sorted.contains("parallel=1"), "{sorted}");
-    let limited = db.explain("SELECT a FROM t LIMIT 3").unwrap();
+    let limited = explain("SELECT a FROM t LIMIT 3");
     assert!(limited.contains("parallel=1"), "{limited}");
+    // The typed tree carries the worker count directly, too.
+    let tree = db.query("SELECT a FROM t WHERE b > 0").explain().unwrap();
+    assert_eq!(tree.workers, 4);
 }
 
 #[test]

@@ -233,10 +233,40 @@ fn main() {
                 let result = if analyze {
                     xq.db().explain_analyze(rest["analyze".len()..].trim())
                 } else {
-                    xq.db().explain(rest)
+                    xq.db().query(rest).explain().map(|tree| tree.render())
                 };
                 match result {
                     Ok(text) => print!("{text}"),
+                    Err(e) => println!("{e}"),
+                }
+            }
+            Some(cmd) if cmd.eq_ignore_ascii_case(".analyze") => {
+                let rest = trimmed[cmd.len()..].trim();
+                let sql = if rest.is_empty() {
+                    "ANALYZE".to_string()
+                } else {
+                    format!("ANALYZE TABLE {rest}")
+                };
+                match xq.db().query(&sql).run() {
+                    Ok(out) => {
+                        println!("analyzed {} table(s)", out.rows.affected());
+                        let stats_sql = if rest.is_empty() {
+                            "SELECT * FROM sys_table_stats ORDER BY table_name, column_name"
+                                .to_string()
+                        } else {
+                            // sys_table_stats reports the catalog's
+                            // lowercased table keys.
+                            let name = rest.to_ascii_lowercase().replace('\'', "''");
+                            format!(
+                                "SELECT * FROM sys_table_stats WHERE table_name = '{name}' \
+                                 ORDER BY column_name"
+                            )
+                        };
+                        match xq.db().query(&stats_sql).run() {
+                            Ok(stats) => print!("{}", render_result_set(&stats.rows)),
+                            Err(e) => println!("{e}"),
+                        }
+                    }
                     Err(e) => println!("{e}"),
                 }
             }
@@ -487,6 +517,7 @@ explain FOR ... RETURN ...        show generated SQL and plan
 .sql <statement>                  run raw SQL through the Query builder
 .explain SELECT ...               show a SQL statement's plan tree
 .explain analyze SELECT ...       run the SQL and print the per-operator profile
+.analyze [table]                  collect optimizer statistics, then show sys_table_stats
 .stats [--json]                   dump the process metrics registry
 .top [n]                          slowest recent queries from sys_queries
 xml                               toggle XML result view
