@@ -124,6 +124,22 @@ impl Xomatiq {
         self.load_xml_source(collection, &dtd_text, docs)
     }
 
+    /// Creates an incrementally maintained keyword summary of a
+    /// collection: a `REFRESH ON COMMIT` materialized view over the
+    /// shredded node table (per-path node counts, keyword-searchable
+    /// text volume, document-id range). After this, a re-harvest via
+    /// [`Xomatiq::update_source`] keeps the summary fresh by folding
+    /// only the changed documents' deltas — O(changes), not a rescan.
+    /// Returns the view name; query it like any table.
+    pub fn create_keyword_summary(&self, collection: &str) -> HoundResult<String> {
+        self.hounds.create_keyword_summary(collection)
+    }
+
+    /// Drops a summary created by [`Xomatiq::create_keyword_summary`].
+    pub fn drop_keyword_summary(&self, collection: &str) -> HoundResult<()> {
+        self.hounds.drop_keyword_summary(collection)
+    }
+
     /// Subscribes to warehouse change triggers (§2.2 end).
     pub fn subscribe(&self) -> crossbeam::channel::Receiver<ChangeEvent> {
         self.hounds.subscribe()
@@ -360,6 +376,67 @@ mod tests {
     }
 
     use xomatiq_datahounds::ChangeKind;
+
+    #[test]
+    fn keyword_summary_is_maintained_through_a_reharvest() {
+        let xq = Xomatiq::in_memory();
+        let corpus = Corpus::generate(&CorpusSpec::sized(6));
+        xq.load_source("c", SourceKind::Enzyme, &corpus.enzyme_flat())
+            .unwrap();
+        let view = xq.create_keyword_summary("c").unwrap();
+
+        let summary_sql = |xq: &Xomatiq, from: &str| {
+            let out = xq
+                .db()
+                .query(&format!(
+                    "SELECT path, COUNT(*) AS nodes, COUNT(val) AS text_nodes, \
+                     MIN(doc_id) AS first_doc, MAX(doc_id) AS last_doc \
+                     FROM {from} GROUP BY path ORDER BY path"
+                ))
+                .run()
+                .unwrap();
+            out.rows.into_rows()
+        };
+        let stored = |xq: &Xomatiq| {
+            let out = xq
+                .db()
+                .query(&format!("SELECT * FROM {view} ORDER BY path"))
+                .run()
+                .unwrap();
+            out.rows.into_rows()
+        };
+        let prefix = xq.hounds().prefix("c").unwrap();
+        assert_eq!(stored(&xq), summary_sql(&xq, &format!("{prefix}_nodes")));
+
+        // Re-harvest a refreshed release: one modified entry, one gone.
+        let mut entries = corpus.enzymes.clone();
+        entries[0].descriptions = vec!["A very different description.".into()];
+        entries.pop();
+        let flat: String = entries.iter().map(|e| e.to_flat()).collect();
+        let events = xq.update_source("c", &flat).unwrap();
+        assert_eq!(events.len(), 2);
+
+        // The summary tracked the changed documents' deltas and agrees
+        // with a from-scratch recompute...
+        assert_eq!(stored(&xq), summary_sql(&xq, &format!("{prefix}_nodes")));
+        // ...incrementally, not by rebuild.
+        let out = xq
+            .db()
+            .query("SELECT incremental_refreshes, fallback_refreshes FROM sys_views WHERE view_name = ?")
+            .bind(view.as_str())
+            .run()
+            .unwrap();
+        let row = &out.rows.rows()[0];
+        assert!(row[0].as_int().unwrap() > 0, "no incremental refreshes ran");
+        assert_eq!(row[1].as_int().unwrap(), 0, "summary fell back to rebuild");
+
+        xq.drop_keyword_summary("c").unwrap();
+        assert!(xq
+            .db()
+            .query(&format!("SELECT * FROM {view}"))
+            .run()
+            .is_err());
+    }
 
     #[test]
     fn query_xml_honours_the_element_constructor() {

@@ -157,8 +157,13 @@ pub fn create_collection_indexes(db: &Database, prefix: &str) -> RelResult<()> {
     Ok(())
 }
 
-/// Drops a collection's tables (used by full re-loads).
+/// Drops a collection's tables (used by full re-loads). The keyword
+/// summary view, when one was created, must go first — a base table with
+/// dependent materialized views refuses to drop.
 pub fn drop_collection_tables(db: &Database, prefix: &str) -> RelResult<()> {
+    let _ = db
+        .query(&format!("DROP MATERIALIZED VIEW {prefix}_kw_summary"))
+        .run();
     for table in ["docs", "nodes", "attrs", "paths"] {
         db.query(&format!("DROP TABLE {prefix}_{table}")).run()?;
     }

@@ -797,6 +797,38 @@ impl DataHounds {
         let (prefix, ..) = self.meta(collection)?;
         Ok(self.db.row_count(&format!("{prefix}_docs"))?)
     }
+
+    /// Creates the collection's keyword summary — a `REFRESH ON COMMIT`
+    /// materialized view over the shredded node table aggregating, per
+    /// element path, the node count, how many of those nodes carry
+    /// keyword-searchable text, and the document-id range. Because the
+    /// view rides the commit-time delta pipeline, a re-harvest that
+    /// touches only changed documents updates the summary O(changes) —
+    /// the incremental counterpart of rescanning `{prefix}_nodes`.
+    /// Returns the view's table name (query it like any table).
+    pub fn create_keyword_summary(&self, collection: &str) -> HoundResult<String> {
+        let (prefix, ..) = self.meta(collection)?;
+        let view = format!("{prefix}_kw_summary");
+        self.db
+            .query(&format!(
+                "CREATE MATERIALIZED VIEW {view} REFRESH ON COMMIT AS \
+                 SELECT path, COUNT(*) AS nodes, COUNT(val) AS text_nodes, \
+                 MIN(doc_id) AS first_doc, MAX(doc_id) AS last_doc \
+                 FROM {prefix}_nodes GROUP BY path"
+            ))
+            .run()?;
+        Ok(view)
+    }
+
+    /// Drops the keyword summary created by
+    /// [`DataHounds::create_keyword_summary`], if present.
+    pub fn drop_keyword_summary(&self, collection: &str) -> HoundResult<()> {
+        let (prefix, ..) = self.meta(collection)?;
+        self.db
+            .query(&format!("DROP MATERIALIZED VIEW {prefix}_kw_summary"))
+            .run()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -63,6 +63,7 @@ use crate::stats::StatsCatalog;
 use crate::table::{Row, RowId, Table};
 use crate::text::KeywordIndex;
 use crate::value::Value;
+use crate::view::{self, DeltaEvent, ViewDef, ViewRuntime, VIEW_DELTA_LOG_CAP};
 use crate::vtab::{VirtualTableProvider, VirtualTables, SYS_PREFIX};
 use crate::wal::{frame_into, RecoveryReport, Wal, WalIo, WalRecord};
 
@@ -95,6 +96,10 @@ pub struct Storage {
     /// the snapshot: a pinned reader plans against the statistics of its
     /// own state, never a later `ANALYZE`'s.
     pub(crate) stats: StatsCatalog,
+    /// Materialized views, keyed like `tables` (each view also owns a
+    /// backing entry in `tables`/`catalog` under the same key). Part of
+    /// the snapshot: a pinned reader sees the view contents of its CSN.
+    pub(crate) views: BTreeMap<String, ViewRuntime>,
 }
 
 impl Default for Storage {
@@ -107,6 +112,7 @@ impl Default for Storage {
             csn: 0,
             zone_map_pruning: true,
             stats: StatsCatalog::default(),
+            views: BTreeMap::new(),
         }
     }
 }
@@ -432,6 +438,173 @@ impl Storage {
         }
         Ok(ids)
     }
+
+    /// Whether `name` is a materialized view's backing table.
+    pub fn is_view(&self, name: &str) -> bool {
+        self.views.contains_key(&key(name))
+    }
+
+    /// Whether any materialized view reads `table` — the signal DML paths
+    /// use to decide whether capturing delta events is worth the clones.
+    fn views_watch(&self, table: &str) -> bool {
+        let k = key(table);
+        self.views
+            .values()
+            .any(|rt| rt.source_tables().any(|s| s == k))
+    }
+
+    /// Names of materialized views that read `table`.
+    fn view_dependents(&self, table: &str) -> Vec<String> {
+        let k = key(table);
+        self.views
+            .iter()
+            .filter(|(_, rt)| rt.source_tables().any(|s| s == k))
+            .map(|(n, _)| n.clone())
+            .collect()
+    }
+
+    /// Registers a materialized view from its durable definition: parses
+    /// and re-analyzes the `SELECT` against the current catalog and
+    /// creates the (empty) backing table. Contents are derived state —
+    /// recovery full-builds every view after replay finishes.
+    fn install_view(
+        &mut self,
+        name: &str,
+        refresh_on_commit: bool,
+        select_sql: &str,
+    ) -> RelResult<()> {
+        let Statement::Select(query) = parse_statement(select_sql)? else {
+            return Err(RelError::Wal(format!(
+                "view {name:?} definition is not a SELECT"
+            )));
+        };
+        let (analysis, backing) = view::analyze_view(name, &query, &self.catalog)?;
+        self.create_table(backing)?;
+        let state = view::empty_state(&analysis);
+        self.views.insert(
+            key(name),
+            ViewRuntime {
+                def: ViewDef {
+                    name: name.to_string(),
+                    refresh_on_commit,
+                    select_sql: select_sql.to_string(),
+                },
+                analysis,
+                state: Arc::new(state),
+                pending: Arc::new(Vec::new()),
+                overflowed: false,
+                last_refresh_csn: 0,
+                incremental_refreshes: 0,
+                fallback_refreshes: 0,
+            },
+        );
+        Ok(())
+    }
+
+    /// From-scratch rebuild of one view's contents and state (creation,
+    /// `REFRESH ... FULL`, overflow fallback, recovery). The backing
+    /// table is replaced wholesale; `stamp` becomes the new rows' CSN.
+    fn rebuild_view(&mut self, name: &str, stamp: u64) -> RelResult<()> {
+        let k = key(name);
+        let mut rt = self
+            .views
+            .remove(&k)
+            .ok_or_else(|| RelError::Internal(format!("view {name:?} not registered")))?;
+        let schema = self
+            .catalog
+            .table(name)
+            .expect("view backing schema")
+            .clone();
+        let mut fresh = Table::new(schema);
+        fresh.set_stamp(stamp);
+        let result = view::full_build(&rt.analysis, &self.tables, &mut fresh);
+        match result {
+            Ok(state) => {
+                rt.state = Arc::new(state);
+                let rows = fresh.len() as u64;
+                self.tables.insert(k.clone(), fresh);
+                if let Some(s) = self.stats.existing_mut(&k) {
+                    s.row_count = rows;
+                }
+                self.views.insert(k, rt);
+                Ok(())
+            }
+            Err(e) => {
+                // Leave the previous table and runtime in place.
+                self.views.insert(k, rt);
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Applies one committed batch of delta events to every affected view,
+/// appending [`UndoOp::RestoreView`] entries so both failure paths —
+/// maintenance error here, flush failure later — restore the views along
+/// with the base tables. `csn` is the committing transaction's CSN.
+fn maintain_views(
+    storage: &mut Storage,
+    deltas: &[DeltaEvent],
+    csn: u64,
+    undo: &mut Vec<UndoOp>,
+) -> RelResult<()> {
+    let affected: Vec<String> = storage
+        .views
+        .iter()
+        .filter(|(_, rt)| rt.affected_by(deltas))
+        .map(|(n, _)| n.clone())
+        .collect();
+    for name in affected {
+        let mut rt = storage.views.remove(&name).expect("listed above");
+        if rt.def.refresh_on_commit {
+            let mut vt = storage
+                .tables
+                .remove(&name)
+                .expect("view backing table exists");
+            undo.push(UndoOp::RestoreView {
+                name: name.clone(),
+                table: Box::new(vt.clone()),
+                runtime: Box::new(rt.clone()),
+            });
+            vt.set_stamp(csn);
+            let res = view::apply_deltas(&mut rt, &mut vt, &storage.tables, deltas);
+            let rows = vt.len() as u64;
+            // Reinsert before surfacing any error so the caller's
+            // rollback finds the entries to restore over.
+            storage.tables.insert(name.clone(), vt);
+            if let Some(s) = storage.stats.existing_mut(&name) {
+                s.row_count = rows;
+            }
+            rt.last_refresh_csn = csn;
+            rt.incremental_refreshes += 1;
+            storage.views.insert(name, rt);
+            res?;
+        } else {
+            undo.push(UndoOp::RestoreView {
+                name: name.clone(),
+                table: Box::new(storage.tables.get(&name).expect("view table").clone()),
+                runtime: Box::new(rt.clone()),
+            });
+            let relevant: Vec<DeltaEvent> = deltas
+                .iter()
+                .filter(|d: &&DeltaEvent| rt.affected_by(std::slice::from_ref(*d)))
+                .cloned()
+                .collect();
+            if !rt.overflowed {
+                let pending = Arc::make_mut(&mut rt.pending);
+                if pending.len() + relevant.len() > VIEW_DELTA_LOG_CAP {
+                    // Bounded log: beyond the cap the deltas are dropped
+                    // and the next REFRESH falls back to a full rebuild.
+                    pending.clear();
+                    rt.overflowed = true;
+                } else {
+                    pending.extend(relevant);
+                }
+            }
+            storage.views.insert(name, rt);
+        }
+    }
+    Ok(())
 }
 
 /// Shapes executor output into a [`ResultSet`], dropping the hidden
@@ -1075,6 +1248,34 @@ impl Database {
                         }
                     }
                 }
+                WalRecord::CreateView {
+                    name,
+                    refresh_on_commit,
+                    select_sql,
+                } => {
+                    replay_csn += 1;
+                    if !covered(replay_csn, base, &mut report) {
+                        // Registers the definition and an empty backing
+                        // table; contents are rebuilt after replay.
+                        if let Err(e) = storage.install_view(&name, refresh_on_commit, &select_sql)
+                        {
+                            report
+                                .replay_errors
+                                .push(format!("CREATE MATERIALIZED VIEW: {e}"));
+                        }
+                    }
+                }
+                WalRecord::DropView { name } => {
+                    replay_csn += 1;
+                    if !covered(replay_csn, base, &mut report) {
+                        storage.views.remove(&key(&name));
+                        if let Err(e) = storage.drop_table(&name) {
+                            report
+                                .replay_errors
+                                .push(format!("DROP MATERIALIZED VIEW: {e}"));
+                        }
+                    }
+                }
                 dml @ (WalRecord::Insert { .. }
                 | WalRecord::Delete { .. }
                 | WalRecord::Update { .. }) => {
@@ -1106,6 +1307,31 @@ impl Database {
         }
         report.transactions_dropped.sort_unstable();
         storage.csn = storage.csn.max(base).max(replay_csn);
+
+        // View contents are derived state: the log records definitions
+        // only, never view-table DML, so every view is full-built here
+        // against the recovered base tables — an implicit full refresh.
+        // A deferred view's un-drained pending delta log does not survive
+        // a restart (the rebuild subsumes it).
+        let view_names: Vec<String> = storage.views.keys().cloned().collect();
+        for name in view_names {
+            match storage.rebuild_view(&name, storage.csn) {
+                Ok(()) => {
+                    let rt = storage.views.get_mut(&name).expect("just rebuilt");
+                    rt.last_refresh_csn = storage.csn;
+                    rt.fallback_refreshes += 1;
+                }
+                Err(e) => {
+                    // A view whose bases did not survive replay (damaged
+                    // log) is dropped rather than left lying.
+                    storage.views.remove(&name);
+                    let _ = storage.drop_table(&name);
+                    report
+                        .replay_errors
+                        .push(format!("materialized view {name:?} dropped: {e}"));
+                }
+            }
+        }
 
         // Statistics are memory-only and never logged: re-derive exact row
         // counts from the restored tables (checkpoint images and replayed
@@ -1199,6 +1425,18 @@ impl Database {
             Statement::DropTable { name } => {
                 self.reject_system_write(&name, "drop table")?;
                 let mut storage = self.storage.write();
+                if storage.is_view(&name) {
+                    return Err(RelError::Eval(format!(
+                        "{name:?} is a materialized view: use DROP MATERIALIZED VIEW"
+                    )));
+                }
+                let dependents = storage.view_dependents(&name);
+                if !dependents.is_empty() {
+                    return Err(RelError::Eval(format!(
+                        "cannot drop table {name:?}: materialized view(s) {dependents:?} \
+                         read it (drop them first)"
+                    )));
+                }
                 storage.drop_table(&name)?;
                 self.plan_cache.lock().clear();
                 self.finish_ddl(storage, WalRecord::DropTable { name })
@@ -1217,6 +1455,16 @@ impl Database {
                     keyword,
                 };
                 let mut storage = self.storage.write();
+                if storage.is_view(&def.table) {
+                    // View maintenance writes the backing table directly,
+                    // bypassing the index-update hooks — an index would
+                    // silently go stale.
+                    return Err(RelError::Eval(format!(
+                        "cannot index materialized view {:?}: view scans already read \
+                         the materialized segments",
+                        def.table
+                    )));
+                }
                 storage.create_index(def.clone())?;
                 self.plan_cache.lock().clear();
                 self.finish_ddl(storage, WalRecord::CreateIndex { def })
@@ -1240,7 +1488,183 @@ impl Database {
                 self.execute_dml(stmt)
             }
             Statement::Analyze { table } => self.execute_analyze(table.as_deref()),
+            Statement::CreateMaterializedView {
+                name,
+                refresh_on_commit,
+                query,
+            } => self.execute_create_view(&name, refresh_on_commit, query),
+            Statement::DropMaterializedView { name } => {
+                let mut storage = self.storage.write();
+                if !storage.views.contains_key(&key(&name)) {
+                    return Err(if storage.catalog.has_table(&name) {
+                        RelError::Eval(format!("{name:?} is a table, not a materialized view"))
+                    } else {
+                        RelError::UnknownTable(name.clone())
+                    });
+                }
+                storage.views.remove(&key(&name));
+                storage.drop_table(&name)?;
+                self.plan_cache.lock().clear();
+                self.finish_ddl(storage, WalRecord::DropView { name })
+            }
+            Statement::RefreshMaterializedView { name, full } => {
+                self.execute_refresh_view(&name, full)
+            }
         }
+    }
+
+    /// `CREATE MATERIALIZED VIEW`: validates and analyzes the definition,
+    /// materializes the initial contents, registers the maintenance
+    /// runtime, and logs the definition (contents are derived state and
+    /// are never logged — recovery rebuilds them from the base tables).
+    fn execute_create_view(
+        &self,
+        name: &str,
+        refresh_on_commit: bool,
+        query: SelectStmt,
+    ) -> RelResult<ResultSet> {
+        self.reject_system_write(name, "create materialized view")?;
+        let select_sql = view::render_select(&query)?;
+        let mut storage = self.storage.write();
+        for src in query
+            .from
+            .iter()
+            .chain(query.joins.iter().map(|j| &j.table))
+        {
+            if storage.is_view(&src.table) {
+                return Err(RelError::Eval(format!(
+                    "materialized view {name:?} cannot read materialized view {:?} \
+                     (views over views are not supported)",
+                    src.table
+                )));
+            }
+        }
+        let (analysis, backing) = view::analyze_view(name, &query, &storage.catalog)?;
+        storage.create_table(backing)?; // rejects name collisions
+        let state = view::empty_state(&analysis);
+        storage.views.insert(
+            key(name),
+            ViewRuntime {
+                def: ViewDef {
+                    name: name.to_string(),
+                    refresh_on_commit,
+                    select_sql: select_sql.clone(),
+                },
+                analysis,
+                state: Arc::new(state),
+                pending: Arc::new(Vec::new()),
+                overflowed: false,
+                last_refresh_csn: 0,
+                incremental_refreshes: 0,
+                fallback_refreshes: 0,
+            },
+        );
+        let csn = storage.csn + 1;
+        if let Err(e) = storage.rebuild_view(name, csn) {
+            storage.views.remove(&key(name));
+            let _ = storage.drop_table(name);
+            return Err(e);
+        }
+        if let Some(rt) = storage.views.get_mut(&key(name)) {
+            rt.last_refresh_csn = csn;
+        }
+        self.plan_cache.lock().clear();
+        self.finish_ddl(
+            storage,
+            WalRecord::CreateView {
+                name: name.to_string(),
+                refresh_on_commit,
+                select_sql,
+            },
+        )
+    }
+
+    /// `REFRESH MATERIALIZED VIEW [FULL]`: drains a deferred view's
+    /// pending delta log through the maintenance pipeline — or, with
+    /// `FULL` (or after the log overflowed), recomputes from scratch.
+    ///
+    /// Like `ANALYZE`, a refresh takes no CSN and writes no WAL: view
+    /// contents are derived state, reconstructible from the definition.
+    /// Publication follows the same pattern — patch the pending and
+    /// published snapshots in place rather than republishing the master
+    /// state, which may hold applied-but-not-yet-durable commits.
+    fn execute_refresh_view(&self, name: &str, full: bool) -> RelResult<ResultSet> {
+        let mut storage = self.storage.write();
+        let k = key(name);
+        let Some(rt0) = storage.views.get(&k) else {
+            return Err(if storage.catalog.has_table(name) {
+                RelError::Eval(format!("{name:?} is a table, not a materialized view"))
+            } else {
+                RelError::UnknownTable(name.to_string())
+            });
+        };
+        let full_recompute = full || rt0.overflowed;
+        let pending_rows = rt0.pending.len();
+        if !full_recompute && pending_rows == 0 {
+            return Ok(ResultSet::dml(0)); // nothing to drain
+        }
+        let csn = storage.csn;
+        let affected;
+        if full_recompute {
+            storage.rebuild_view(name, csn)?;
+            let rt = storage.views.get_mut(&k).expect("just rebuilt");
+            rt.pending = Arc::new(Vec::new());
+            rt.overflowed = false;
+            rt.fallback_refreshes += 1;
+            rt.last_refresh_csn = csn;
+            affected = storage.table(name)?.len();
+        } else {
+            let mut rt = storage.views.remove(&k).expect("checked above");
+            let mut vt = storage.tables.remove(&k).expect("view backing table");
+            // Keep pre-drain clones so a maintenance error (e.g. an
+            // evaluation error in a pending row) leaves the view intact.
+            let vt_before = vt.clone();
+            let rt_before = rt.clone();
+            vt.set_stamp(csn);
+            let pending = Arc::clone(&rt.pending);
+            let res = view::apply_deltas(&mut rt, &mut vt, &storage.tables, &pending);
+            match res {
+                Ok(()) => {
+                    rt.pending = Arc::new(Vec::new());
+                    rt.incremental_refreshes += 1;
+                    rt.last_refresh_csn = csn;
+                    let rows = vt.len() as u64;
+                    storage.tables.insert(k.clone(), vt);
+                    if let Some(s) = storage.stats.existing_mut(&k) {
+                        s.row_count = rows;
+                    }
+                    storage.views.insert(k.clone(), rt);
+                }
+                Err(e) => {
+                    storage.tables.insert(k.clone(), vt_before);
+                    storage.views.insert(k.clone(), rt_before);
+                    return Err(e);
+                }
+            }
+            affected = pending_rows;
+        }
+        // Publish the refreshed view to readers without a CSN, exactly
+        // like ANALYZE publishes fresh statistics.
+        let new_table = storage.tables.get(&k).expect("view table").clone();
+        let new_rt = storage.views.get(&k).expect("view runtime").clone();
+        let new_stats = storage.stats.clone();
+        let patch = |snap: &mut Arc<Storage>| {
+            let s = Arc::make_mut(snap);
+            s.tables.insert(k.clone(), new_table.clone());
+            s.views.insert(k.clone(), new_rt.clone());
+            s.stats = new_stats.clone();
+        };
+        if let Some(d) = &self.durability {
+            let mut q = d.queue.lock();
+            if let Some(snap) = &mut q.pending_snapshot {
+                patch(snap);
+            }
+        }
+        {
+            let mut snap = self.snapshot.lock();
+            patch(&mut snap);
+        }
+        Ok(ResultSet::dml(affected))
     }
 
     /// `ANALYZE [TABLE <t>]`: scans the named table (or every table) into
@@ -1291,6 +1715,19 @@ impl Database {
     fn execute_dml(&self, stmt: Statement) -> RelResult<ResultSet> {
         let mut storage = self.storage.write();
         match &stmt {
+            Statement::Insert { table, .. }
+            | Statement::Delete { table, .. }
+            | Statement::Update { table, .. }
+                if storage.is_view(table) =>
+            {
+                return Err(RelError::ReadOnly(format!(
+                    "cannot modify materialized view {table:?}: its contents are \
+                     maintained from its base tables"
+                )));
+            }
+            _ => {}
+        }
+        match &stmt {
             Statement::Delete {
                 table,
                 filter: Some(f),
@@ -1305,15 +1742,22 @@ impl Database {
         let tx = self.begin_tx();
         let mut records = Vec::new();
         let mut undo = Vec::new();
-        let affected = match apply_batch_statement(&mut storage, stmt, tx, &mut records, &mut undo)
-        {
+        let mut deltas = Vec::new();
+        let affected = match apply_batch_statement(
+            &mut storage,
+            stmt,
+            tx,
+            &mut records,
+            &mut undo,
+            &mut deltas,
+        ) {
             Ok(n) => n,
             Err(e) => {
                 rollback(&mut storage, undo);
                 return Err(e);
             }
         };
-        self.commit_applied(storage, tx, records, undo)
+        self.commit_applied(storage, tx, records, undo, deltas)
             .map(|()| ResultSet::dml(affected))
     }
 
@@ -1335,13 +1779,34 @@ impl Database {
             }
         }
         let mut storage = self.storage.write();
+        for stmt in &parsed {
+            if let Statement::Insert { table, .. }
+            | Statement::Delete { table, .. }
+            | Statement::Update { table, .. } = stmt
+            {
+                if storage.is_view(table) {
+                    return Err(RelError::ReadOnly(format!(
+                        "cannot modify materialized view {table:?}: its contents are \
+                         maintained from its base tables"
+                    )));
+                }
+            }
+        }
         let tx = self.begin_tx();
         let mut records = Vec::new();
         let mut undo: Vec<UndoOp> = Vec::new();
+        let mut deltas: Vec<DeltaEvent> = Vec::new();
         let mut affected = 0usize;
         let result = (|| -> RelResult<()> {
             for stmt in parsed {
-                affected += apply_batch_statement(&mut storage, stmt, tx, &mut records, &mut undo)?;
+                affected += apply_batch_statement(
+                    &mut storage,
+                    stmt,
+                    tx,
+                    &mut records,
+                    &mut undo,
+                    &mut deltas,
+                )?;
             }
             Ok(())
         })();
@@ -1352,7 +1817,7 @@ impl Database {
             rollback(&mut storage, undo);
             return Err(e);
         }
-        self.commit_applied(storage, tx, records, undo)
+        self.commit_applied(storage, tx, records, undo, deltas)
             .map(|()| affected)
     }
 
@@ -1366,12 +1831,24 @@ impl Database {
         mut storage: RwLockWriteGuard<'_, Storage>,
         tx: u64,
         records: Vec<WalRecord>,
-        undo: Vec<UndoOp>,
+        mut undo: Vec<UndoOp>,
+        deltas: Vec<DeltaEvent>,
     ) -> RelResult<()> {
         if records.is_empty() {
             return Ok(()); // no-op DML: nothing to log, nothing to publish
         }
         let csn = storage.csn + 1;
+        // Maintain materialized views before framing anything: the
+        // snapshot cloned below must already carry the maintained view
+        // contents, and a maintenance failure must fail the whole commit
+        // (REFRESH ON COMMIT is part of the transaction's contract).
+        // Deferred views only append to their pending delta logs here.
+        if !deltas.is_empty() && !storage.views.is_empty() {
+            if let Err(e) = maintain_views(&mut storage, &deltas, csn, &mut undo) {
+                rollback(&mut storage, undo);
+                return Err(e);
+            }
+        }
         let Some(d) = &self.durability else {
             storage.csn = csn;
             self.publish(Arc::new(storage.clone()));
@@ -1587,7 +2064,13 @@ impl Database {
         // that certifies completeness. A torn or partial image fails the
         // footer check at recovery and falls back to full log replay.
         let mut image = Vec::new();
+        // View backing tables are excluded: their CreateView record (at
+        // the end, after the base rows it reads exist) re-creates the
+        // table, and recovery rebuilds the contents from the bases.
         for schema in storage.catalog.tables() {
+            if storage.is_view(&schema.name) {
+                continue;
+            }
             frame_into(
                 &mut image,
                 &WalRecord::CreateTable {
@@ -1599,6 +2082,9 @@ impl Database {
             frame_into(&mut image, &WalRecord::CreateIndex { def: def.clone() });
         }
         for schema in storage.catalog.tables() {
+            if storage.is_view(&schema.name) {
+                continue;
+            }
             let table = storage.table(&schema.name)?;
             for (id, row) in table.scan() {
                 frame_into(
@@ -1611,6 +2097,16 @@ impl Database {
                     },
                 );
             }
+        }
+        for rt in storage.views.values() {
+            frame_into(
+                &mut image,
+                &WalRecord::CreateView {
+                    name: rt.def.name.clone(),
+                    refresh_on_commit: rt.def.refresh_on_commit,
+                    select_sql: rt.def.select_sql.clone(),
+                },
+            );
         }
         frame_into(&mut image, &WalRecord::Checkpoint { csn: k });
         let mut wal = d.wal.lock();
@@ -1738,7 +2234,12 @@ impl Database {
             outcome?;
         }
         let mut snapshot = Vec::new();
+        // Same shape as the checkpoint image: base tables + rows, then
+        // view definitions (contents are rebuilt from the bases).
         for schema in storage.catalog.tables() {
+            if storage.is_view(&schema.name) {
+                continue;
+            }
             snapshot.push(WalRecord::CreateTable {
                 schema: schema.clone(),
             });
@@ -1747,6 +2248,9 @@ impl Database {
             snapshot.push(WalRecord::CreateIndex { def: def.clone() });
         }
         for schema in storage.catalog.tables() {
+            if storage.is_view(&schema.name) {
+                continue;
+            }
             let table = storage.table(&schema.name)?;
             for (id, row) in table.scan() {
                 snapshot.push(WalRecord::Insert {
@@ -1756,6 +2260,13 @@ impl Database {
                     row,
                 });
             }
+        }
+        for rt in storage.views.values() {
+            snapshot.push(WalRecord::CreateView {
+                name: rt.def.name.clone(),
+                refresh_on_commit: rt.def.refresh_on_commit,
+                select_sql: rt.def.select_sql.clone(),
+            });
         }
         let mut wal = d.wal.lock();
         if let Err(e) = wal.rewrite(&snapshot) {
@@ -2043,6 +2554,17 @@ fn load_checkpoint_image(image: &[u8]) -> Result<(Storage, u64), String> {
                 let mut throwaway = Vec::new();
                 apply_dml(&mut storage, record, &mut throwaway).map_err(|e| format!("row: {e}"))?;
             }
+            WalRecord::CreateView {
+                name,
+                refresh_on_commit,
+                select_sql,
+            } => {
+                // Definition only; the caller (recovery) rebuilds the
+                // contents from the restored base tables after replay.
+                storage
+                    .install_view(name, *refresh_on_commit, select_sql)
+                    .map_err(|e| format!("CREATE MATERIALIZED VIEW: {e}"))?;
+            }
             other => return Err(format!("unexpected record {other:?}")),
         }
     }
@@ -2165,9 +2687,27 @@ fn rollback(storage: &mut Storage, undo: Vec<UndoOp>) {
 
 /// Inverse operation recorded while applying a batch, replayed on failure.
 enum UndoOp {
-    DeleteInserted { table: String, id: RowId },
-    ReinsertDeleted { table: String, id: RowId, row: Row },
-    RevertUpdated { table: String, id: RowId, row: Row },
+    DeleteInserted {
+        table: String,
+        id: RowId,
+    },
+    ReinsertDeleted {
+        table: String,
+        id: RowId,
+        row: Row,
+    },
+    RevertUpdated {
+        table: String,
+        id: RowId,
+        row: Row,
+    },
+    /// Pre-maintenance snapshot of a materialized view (cheap COW clones),
+    /// restored wholesale if the commit fails after maintenance ran.
+    RestoreView {
+        name: String,
+        table: Box<Table>,
+        runtime: Box<ViewRuntime>,
+    },
 }
 
 impl UndoOp {
@@ -2176,6 +2716,19 @@ impl UndoOp {
             UndoOp::DeleteInserted { table, id } => storage.delete(&table, id).map(|_| ()),
             UndoOp::ReinsertDeleted { table, id, row } => storage.insert_at(&table, id, row),
             UndoOp::RevertUpdated { table, id, row } => storage.update(&table, id, row).map(|_| ()),
+            UndoOp::RestoreView {
+                name,
+                table,
+                runtime,
+            } => {
+                let rows = table.len() as u64;
+                storage.tables.insert(name.clone(), *table);
+                storage.views.insert(name.clone(), *runtime);
+                if let Some(s) = storage.stats.existing_mut(&name) {
+                    s.row_count = rows;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -2186,9 +2739,11 @@ fn apply_batch_statement(
     tx: u64,
     records: &mut Vec<WalRecord>,
     undo: &mut Vec<UndoOp>,
+    deltas: &mut Vec<DeltaEvent>,
 ) -> RelResult<usize> {
     match stmt {
         Statement::Insert { table, rows } => {
+            let capture = storage.views_watch(&table);
             let empty = RowSchema::default();
             let count = rows.len();
             for row in rows {
@@ -2197,6 +2752,13 @@ fn apply_batch_statement(
                     .map(|e| eval(e, &empty, &[]))
                     .collect::<RelResult<_>>()?;
                 let (id, stored) = storage.insert(&table, values)?;
+                if capture {
+                    deltas.push(DeltaEvent::Insert {
+                        table: key(&table),
+                        id,
+                        row: stored.clone(),
+                    });
+                }
                 records.push(WalRecord::Insert {
                     tx,
                     table: table.clone(),
@@ -2211,9 +2773,17 @@ fn apply_batch_statement(
             Ok(count)
         }
         Statement::Delete { table, filter } => {
+            let capture = storage.views_watch(&table);
             let ids = storage.matching_rows(&table, filter.as_ref())?;
             for id in &ids {
                 let old = storage.delete(&table, *id)?;
+                if capture {
+                    deltas.push(DeltaEvent::Delete {
+                        table: key(&table),
+                        id: *id,
+                        row: old.clone(),
+                    });
+                }
                 records.push(WalRecord::Delete {
                     tx,
                     table: table.clone(),
@@ -2250,6 +2820,7 @@ fn apply_batch_statement(
                         .ok_or_else(|| RelError::UnknownColumn(format!("{table}.{col}")))?,
                 );
             }
+            let capture = storage.views_watch(&table);
             let ids = storage.matching_rows(&table, filter.as_ref())?;
             for id in &ids {
                 let current = storage.table(&table)?.get(*id).expect("matched");
@@ -2259,6 +2830,20 @@ fn apply_batch_statement(
                 }
                 let old = storage.update(&table, *id, next)?;
                 let stored = storage.table(&table)?.get(*id).expect("updated");
+                if capture {
+                    // An update is a retraction of the old row plus an
+                    // assertion of the new one under the same id.
+                    deltas.push(DeltaEvent::Delete {
+                        table: key(&table),
+                        id: *id,
+                        row: old.clone(),
+                    });
+                    deltas.push(DeltaEvent::Insert {
+                        table: key(&table),
+                        id: *id,
+                        row: stored.clone(),
+                    });
+                }
                 records.push(WalRecord::Update {
                     tx,
                     table: table.clone(),

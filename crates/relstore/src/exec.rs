@@ -1763,16 +1763,23 @@ pub(crate) fn compute_aggregate<R: AsRef<[Value]>>(
                 return Ok(Value::Null);
             }
             let all_int = values.iter().all(|v| matches!(v, Value::Int(_)));
-            if all_int && func == AggFunc::Sum {
+            if all_int {
                 // Exact integer accumulation: an i128 cannot overflow over
                 // any number of i64 addends this engine can hold, and the
                 // result is range-checked instead of silently truncated
-                // through f64 (which corrupts totals beyond 2^53).
+                // through f64 (which corrupts totals beyond 2^53). AVG
+                // shares the exact sum and divides once at the end, so the
+                // result is independent of accumulation order — which is
+                // what lets incremental view maintenance reproduce it
+                // byte-for-byte.
                 let mut sum: i128 = 0;
                 for v in &values {
                     if let Value::Int(i) = v {
                         sum += *i as i128;
                     }
+                }
+                if func == AggFunc::Avg {
+                    return Ok(Value::Float(sum as f64 / values.len() as f64));
                 }
                 return i64::try_from(sum)
                     .map(Value::Int)

@@ -89,6 +89,7 @@ pub mod stats;
 pub mod table;
 pub mod text;
 pub mod value;
+pub(crate) mod view;
 pub mod vtab;
 pub mod wal;
 

@@ -330,6 +330,32 @@ pub enum Statement {
         /// Table to analyze; `None` analyzes all tables.
         table: Option<String>,
     },
+    /// `CREATE MATERIALIZED VIEW name [REFRESH ON COMMIT] AS SELECT ...`:
+    /// materializes the query result as a real table and maintains it
+    /// delta-wise from committed transactions.
+    CreateMaterializedView {
+        /// View name (also its backing-table name).
+        name: String,
+        /// Synchronous maintenance on every commit; otherwise deltas
+        /// accumulate in a bounded log until `REFRESH MATERIALIZED VIEW`.
+        refresh_on_commit: bool,
+        /// The defining query.
+        query: SelectStmt,
+    },
+    /// `DROP MATERIALIZED VIEW name`.
+    DropMaterializedView {
+        /// View name.
+        name: String,
+    },
+    /// `REFRESH MATERIALIZED VIEW name [FULL]`: drains the pending delta
+    /// log of a deferred view (or, with `FULL`, recomputes the view from
+    /// scratch regardless of the log).
+    RefreshMaterializedView {
+        /// View name.
+        name: String,
+        /// Force a from-scratch recompute instead of the delta drain.
+        full: bool,
+    },
 }
 
 #[cfg(test)]

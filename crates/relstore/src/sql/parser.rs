@@ -129,12 +129,16 @@ impl SqlParser {
             if self.eat_kw("TABLE") {
                 return self.create_table();
             }
+            if self.eat_kw("MATERIALIZED") {
+                self.expect_kw("VIEW")?;
+                return self.create_materialized_view();
+            }
             let keyword = self.eat_kw("KEYWORD");
             if self.eat_kw("INDEX") {
                 return self.create_index(keyword);
             }
             return Err(RelError::Parse(
-                "expected TABLE or [KEYWORD] INDEX after CREATE".into(),
+                "expected TABLE, MATERIALIZED VIEW or [KEYWORD] INDEX after CREATE".into(),
             ));
         }
         if self.eat_kw("DROP") {
@@ -143,12 +147,27 @@ impl SqlParser {
                     name: self.ident()?,
                 });
             }
+            if self.eat_kw("MATERIALIZED") {
+                self.expect_kw("VIEW")?;
+                return Ok(Statement::DropMaterializedView {
+                    name: self.ident()?,
+                });
+            }
             if self.eat_kw("INDEX") {
                 return Ok(Statement::DropIndex {
                     name: self.ident()?,
                 });
             }
-            return Err(RelError::Parse("expected TABLE or INDEX after DROP".into()));
+            return Err(RelError::Parse(
+                "expected TABLE, MATERIALIZED VIEW or INDEX after DROP".into(),
+            ));
+        }
+        if self.eat_kw("REFRESH") {
+            self.expect_kw("MATERIALIZED")?;
+            self.expect_kw("VIEW")?;
+            let name = self.ident()?;
+            let full = self.eat_kw("FULL");
+            return Ok(Statement::RefreshMaterializedView { name, full });
         }
         if self.eat_kw("INSERT") {
             return self.insert();
@@ -194,6 +213,29 @@ impl SqlParser {
         }
         self.expect_sym(")")?;
         Ok(Statement::CreateTable { name, columns })
+    }
+
+    fn create_materialized_view(&mut self) -> RelResult<Statement> {
+        let name = self.ident()?;
+        let refresh_on_commit = if self.eat_kw("REFRESH") {
+            self.expect_kw("ON")?;
+            self.expect_kw("COMMIT")?;
+            true
+        } else {
+            false
+        };
+        self.expect_kw("AS")?;
+        if !self.peek().is_some_and(|t| t.is_kw("SELECT")) {
+            return Err(RelError::Parse(
+                "expected SELECT after CREATE MATERIALIZED VIEW ... AS".into(),
+            ));
+        }
+        let query = self.select()?;
+        Ok(Statement::CreateMaterializedView {
+            name,
+            refresh_on_commit,
+            query,
+        })
     }
 
     fn create_index(&mut self, keyword: bool) -> RelResult<Statement> {
@@ -788,6 +830,60 @@ mod tests {
             parse_statement("DROP INDEX i").unwrap(),
             Statement::DropIndex { name: "i".into() }
         );
+    }
+
+    #[test]
+    fn materialized_view_statements() {
+        match parse_statement("CREATE MATERIALIZED VIEW mv AS SELECT a FROM t WHERE a > 1").unwrap()
+        {
+            Statement::CreateMaterializedView {
+                name,
+                refresh_on_commit,
+                query,
+            } => {
+                assert_eq!(name, "mv");
+                assert!(!refresh_on_commit);
+                assert_eq!(query.items.len(), 1);
+                assert!(query.filter.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_statement(
+            "CREATE MATERIALIZED VIEW mv REFRESH ON COMMIT AS SELECT b, COUNT(*) FROM t GROUP BY b",
+        )
+        .unwrap()
+        {
+            Statement::CreateMaterializedView {
+                refresh_on_commit, ..
+            } => assert!(refresh_on_commit),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            parse_statement("DROP MATERIALIZED VIEW mv").unwrap(),
+            Statement::DropMaterializedView { name: "mv".into() }
+        );
+        assert_eq!(
+            parse_statement("REFRESH MATERIALIZED VIEW mv").unwrap(),
+            Statement::RefreshMaterializedView {
+                name: "mv".into(),
+                full: false,
+            }
+        );
+        assert_eq!(
+            parse_statement("REFRESH MATERIALIZED VIEW mv FULL").unwrap(),
+            Statement::RefreshMaterializedView {
+                name: "mv".into(),
+                full: true,
+            }
+        );
+        for bad in [
+            "CREATE MATERIALIZED mv AS SELECT a FROM t",
+            "CREATE MATERIALIZED VIEW mv AS INSERT INTO t VALUES (1)",
+            "REFRESH MATERIALIZED mv",
+            "DROP MATERIALIZED mv",
+        ] {
+            assert!(parse_statement(bad).is_err(), "{bad:?} should fail");
+        }
     }
 
     #[test]

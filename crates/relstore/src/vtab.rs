@@ -29,6 +29,7 @@
 //! | `sys_segments` | one row per (table, segment, column) with zone-map bounds |
 //! | `sys_sessions` | one row per live [`crate::Session`] |
 //! | `sys_table_stats` | one row per (analyzed table, column) of optimizer statistics |
+//! | `sys_views` | one row per materialized view with refresh telemetry |
 
 use xomatiq_obs::MetricValue;
 
@@ -72,6 +73,7 @@ impl VirtualTables {
                 Box::new(SysSegments),
                 Box::new(SysSessions),
                 Box::new(SysTableStats),
+                Box::new(SysViews),
             ],
         }
     }
@@ -413,6 +415,67 @@ impl VirtualTableProvider for SysTableStats {
             }
         }
         rows
+    }
+}
+
+// ---------------------------------------------------------------------------
+// sys_views
+// ---------------------------------------------------------------------------
+
+struct SysViews;
+
+impl VirtualTableProvider for SysViews {
+    fn name(&self) -> &str {
+        "sys_views"
+    }
+
+    fn schema(&self) -> TableSchema {
+        TableSchema::new(
+            "sys_views",
+            cols(&[
+                ("view_name", DataType::Text),
+                ("definition", DataType::Text),
+                ("refresh_policy", DataType::Text),
+                ("last_refresh_csn", DataType::Int),
+                ("pending_delta_rows", DataType::Int),
+                ("delta_log_overflow", DataType::Int),
+                ("incremental_refreshes", DataType::Int),
+                ("fallback_refreshes", DataType::Int),
+            ]),
+        )
+    }
+
+    /// One row per materialized view, read from the querying snapshot —
+    /// so `pending_delta_rows` counts exactly the committed deltas a
+    /// `REFRESH` issued now would fold in. `delta_log_overflow = 1` means
+    /// the bounded delta log spilled and the next refresh recomputes from
+    /// scratch; the `incremental_refreshes` / `fallback_refreshes`
+    /// counters say which path maintenance has actually been taking.
+    fn rows(&self, db: &Database) -> Vec<Row> {
+        let storage = db.snapshot();
+        storage
+            .views
+            .values()
+            .map(|rt| {
+                vec![
+                    Value::Text(rt.def.name.clone()),
+                    Value::Text(rt.def.select_sql.clone()),
+                    Value::Text(
+                        if rt.def.refresh_on_commit {
+                            "on_commit"
+                        } else {
+                            "deferred"
+                        }
+                        .to_string(),
+                    ),
+                    int(rt.last_refresh_csn),
+                    int(rt.pending.len() as u64),
+                    flag(rt.overflowed),
+                    int(rt.incremental_refreshes),
+                    int(rt.fallback_refreshes),
+                ]
+            })
+            .collect()
     }
 }
 

@@ -86,6 +86,22 @@ pub enum WalRecord {
         /// The replacement values.
         row: Vec<Value>,
     },
+    /// DDL: create a materialized view. Only the definition is logged —
+    /// view *contents* are derived state, rebuilt from the base tables on
+    /// recovery rather than replayed.
+    CreateView {
+        /// View name (also its backing table's name).
+        name: String,
+        /// Synchronous (`REFRESH ON COMMIT`) vs deferred maintenance.
+        refresh_on_commit: bool,
+        /// The defining `SELECT`, rendered back to SQL.
+        select_sql: String,
+    },
+    /// DDL: drop a materialized view.
+    DropView {
+        /// View name.
+        name: String,
+    },
     /// Checkpoint marker. As the trailing record of a checkpoint image it
     /// certifies the image is complete; as the leading record of a fresh
     /// (rotated) log it tells recovery how many commit sequence numbers
@@ -104,6 +120,8 @@ const TAG_CREATE_TABLE: u8 = 0x10;
 const TAG_DROP_TABLE: u8 = 0x11;
 const TAG_CREATE_INDEX: u8 = 0x12;
 const TAG_DROP_INDEX: u8 = 0x13;
+const TAG_CREATE_VIEW: u8 = 0x14;
+const TAG_DROP_VIEW: u8 = 0x15;
 const TAG_INSERT: u8 = 0x20;
 const TAG_DELETE: u8 = 0x21;
 const TAG_UPDATE: u8 = 0x22;
@@ -269,6 +287,20 @@ impl WalRecord {
                 buf.put_u8(TAG_DROP_INDEX);
                 put_str(&mut buf, name);
             }
+            WalRecord::CreateView {
+                name,
+                refresh_on_commit,
+                select_sql,
+            } => {
+                buf.put_u8(TAG_CREATE_VIEW);
+                put_str(&mut buf, name);
+                buf.put_u8(u8::from(*refresh_on_commit));
+                put_str(&mut buf, select_sql);
+            }
+            WalRecord::DropView { name } => {
+                buf.put_u8(TAG_DROP_VIEW);
+                put_str(&mut buf, name);
+            }
             WalRecord::Insert {
                 tx,
                 table,
@@ -357,6 +389,22 @@ impl WalRecord {
                 })
             }
             TAG_DROP_INDEX => Ok(WalRecord::DropIndex {
+                name: get_str(&mut buf)?,
+            }),
+            TAG_CREATE_VIEW => {
+                let name = get_str(&mut buf)?;
+                if !buf.has_remaining() {
+                    return Err(RelError::Wal("truncated view refresh policy".into()));
+                }
+                let refresh_on_commit = buf.get_u8() != 0;
+                let select_sql = get_str(&mut buf)?;
+                Ok(WalRecord::CreateView {
+                    name,
+                    refresh_on_commit,
+                    select_sql,
+                })
+            }
+            TAG_DROP_VIEW => Ok(WalRecord::DropView {
                 name: get_str(&mut buf)?,
             }),
             TAG_INSERT => {

@@ -24,6 +24,7 @@
 //! .explain analyze <sql>           run the SQL, print per-operator profile
 //! .stats [--json]                  dump the process metrics registry
 //! .top [n]                         slowest recent queries (sys_queries)
+//! .views                           materialized views + refresh telemetry (sys_views)
 //! xml                              toggle XML result view (default: table)
 //! FOR ...                          any FLWR query, run immediately
 //! help | quit
@@ -220,6 +221,12 @@ fn main() {
                     Err(e) => println!("{e}"),
                 }
             }
+            Some(cmd) if cmd.eq_ignore_ascii_case(".views") => {
+                match xq.db().query(VIEWS_SQL).run() {
+                    Ok(out) => print!("{}", render_result_set(&out.rows)),
+                    Err(e) => println!("{e}"),
+                }
+            }
             Some(cmd) if cmd.eq_ignore_ascii_case(".explain") => {
                 let rest = trimmed[cmd.len()..].trim();
                 if rest.is_empty() {
@@ -356,6 +363,16 @@ fn remote_repl(addr: &str) {
                     Err(e) => println!("{e}"),
                 }
             }
+            Some(cmd) if cmd.eq_ignore_ascii_case(".views") => {
+                match client.query(VIEWS_SQL, vec![]) {
+                    Ok(xomatiq_server::QueryReply::Rows { columns, rows }) => {
+                        let rs = xomatiq_relstore::ResultSet::from_parts(columns, rows);
+                        print!("{}", render_result_set(&rs));
+                    }
+                    Ok(xomatiq_server::QueryReply::Affected(_)) => {}
+                    Err(e) => println!("{e}"),
+                }
+            }
             Some(cmd) if cmd.eq_ignore_ascii_case("set") => {
                 let (Some(name), Some(value)) = (parts.next(), parts.next()) else {
                     println!("usage: set workers <n|default>");
@@ -408,6 +425,14 @@ fn remote_repl(addr: &str) {
     }
     let _ = client.goodbye();
 }
+
+/// The `.views` command is plain SQL over the `sys_views` virtual table —
+/// like `.top`, that is exactly why it works identically against an
+/// embedded warehouse and over `--connect`.
+const VIEWS_SQL: &str = "SELECT view_name, refresh_policy, last_refresh_csn, \
+     pending_delta_rows, delta_log_overflow, incremental_refreshes, \
+     fallback_refreshes, definition \
+     FROM sys_views ORDER BY view_name";
 
 /// The `.top [n]` command is plain SQL over the `sys_queries` virtual
 /// table, which is exactly why it works identically against an embedded
@@ -520,6 +545,7 @@ explain FOR ... RETURN ...        show generated SQL and plan
 .analyze [table]                  collect optimizer statistics, then show sys_table_stats
 .stats [--json]                   dump the process metrics registry
 .top [n]                          slowest recent queries from sys_queries
+.views                            materialized views and refresh telemetry (sys_views)
 xml                               toggle XML result view
 FOR ... RETURN ... ;              run a FLWR query (end with ';' or blank line)
 quit
@@ -530,6 +556,7 @@ const REMOTE_HELP: &str = r#"
 .explain [analyze] SELECT ...     server-side plan tree / per-operator profile
 .stats [--json]                   the server's metrics snapshot (text or JSON)
 .top [n]                          the server's slowest recent queries (sys_queries)
+.views                            the server's materialized views (sys_views)
 set workers <n|default>           session-local worker override
 ping                              liveness probe
 quit                              graceful goodbye
